@@ -1,0 +1,37 @@
+//! Applications, task graphs, and the Nimblock benchmark suite.
+//!
+//! Before an application reaches the Nimblock hypervisor it is partitioned
+//! into slot-sized *tasks* composed into a *task-graph* — a DAG whose nodes
+//! are tasks (with HLS latency estimates and resource footprints) and whose
+//! edges are data dependencies (paper §2.2). This crate models that
+//! compilation product:
+//!
+//! * [`TaskSpec`] / [`TaskId`] — one slot-sized task,
+//! * [`TaskGraph`] — a validated DAG with the analyses schedulers need
+//!   (topological order, levels, critical path, width),
+//! * [`AppSpec`] — a named application: graph + per-task bitstreams,
+//! * [`Priority`] — the paper's three priority levels (1 / 3 / 9),
+//! * [`benchmarks`] — the six evaluated applications with Table 2 topologies
+//!   and latencies calibrated to Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_app::benchmarks;
+//!
+//! let alexnet = benchmarks::alexnet();
+//! assert_eq!(alexnet.graph().task_count(), 38);
+//! assert_eq!(alexnet.graph().edge_count(), 184);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod application;
+pub mod benchmarks;
+mod graph;
+mod task;
+
+pub use application::{AppSpec, Priority};
+pub use graph::{GraphError, TaskGraph, TaskGraphBuilder};
+pub use task::{TaskId, TaskSpec};

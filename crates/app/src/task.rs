@@ -1,0 +1,140 @@
+//! Slot-sized tasks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_fpga::Resources;
+use nimblock_sim::SimDuration;
+
+/// Identifier of a task within one [`crate::TaskGraph`].
+///
+/// Task identifiers are dense indices assigned by the graph builder in
+/// insertion order; they are meaningless across graphs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task identifier from its index in the graph.
+    pub const fn new(index: u32) -> Self {
+        TaskId(index)
+    }
+
+    /// Returns the task's index in its graph.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// One slot-sized task: a portion of an application with an input and an
+/// output (paper §2.2).
+///
+/// The latency estimate is the per-batch-item run time reported by HLS; the
+/// hypervisor uses it for token accumulation and the saturation analysis
+/// uses it to pick goal numbers. The resource footprint must fit within a
+/// slot.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_app::TaskSpec;
+/// use nimblock_sim::SimDuration;
+///
+/// let task = TaskSpec::new("conv1", SimDuration::from_millis(48));
+/// assert_eq!(task.name(), "conv1");
+/// assert_eq!(task.latency().as_millis(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    name: String,
+    latency: SimDuration,
+    resources: Resources,
+    output_bytes: u64,
+}
+
+/// Default modelled size of a task's output buffer (1 MiB).
+pub(crate) const DEFAULT_OUTPUT_BYTES: u64 = 1 << 20;
+
+impl TaskSpec {
+    /// Creates a task with the given name and per-batch-item latency
+    /// estimate, a typical slot-sized resource footprint, and a 1 MiB output
+    /// buffer.
+    pub fn new(name: impl Into<String>, latency: SimDuration) -> Self {
+        TaskSpec {
+            name: name.into(),
+            latency,
+            resources: nimblock_fpga::zcu106::SLOT_MIN,
+            output_bytes: DEFAULT_OUTPUT_BYTES,
+        }
+    }
+
+    /// Sets the task's resource footprint.
+    pub fn with_resources(mut self, resources: Resources) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Sets the size of the task's output buffer in bytes.
+    pub fn with_output_bytes(mut self, output_bytes: u64) -> Self {
+        self.output_bytes = output_bytes;
+        self
+    }
+
+    /// Returns the task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the HLS per-batch-item latency estimate.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Returns the task's resource footprint.
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+
+    /// Returns the size of the task's output buffer in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters_apply() {
+        let task = TaskSpec::new("t", SimDuration::from_millis(1))
+            .with_resources(Resources { dsp: 7, ..Resources::ZERO })
+            .with_output_bytes(42);
+        assert_eq!(task.resources().dsp, 7);
+        assert_eq!(task.output_bytes(), 42);
+    }
+
+    #[test]
+    fn default_footprint_fits_every_slot() {
+        let task = TaskSpec::new("t", SimDuration::ZERO);
+        for i in 0..nimblock_fpga::zcu106::SLOT_COUNT {
+            assert!(task
+                .resources()
+                .fits_within(&nimblock_fpga::zcu106::slot_resources(i)));
+        }
+    }
+
+    #[test]
+    fn task_id_roundtrips_index() {
+        assert_eq!(TaskId::new(5).index(), 5);
+        assert_eq!(TaskId::new(5).to_string(), "task#5");
+    }
+}

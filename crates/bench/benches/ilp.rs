@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the ILP solver and the saturation analysis — the
+//! paper keeps this work off the scheduling critical path; these numbers
+//! show why that is the right call and how cheap the estimator is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nimblock_app::benchmarks;
+use nimblock_ilp::{saturation, EstimatorConfig, PipelineEstimator, Problem, Relation, Sense};
+use nimblock_sim::SimDuration;
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_integer_var(0.0, 1.0, ((i * 7) % 13 + 1) as f64))
+        .collect();
+    let weights: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 5) % 11 + 1) as f64))
+        .collect();
+    p.add_constraint(&weights, Relation::LessEq, (3 * n) as f64 / 2.0);
+    p
+}
+
+fn ilp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_solve");
+    for n in [8usize, 16, 24] {
+        let problem = knapsack(n);
+        group.bench_function(format!("knapsack_{n}"), |b| {
+            b.iter(|| problem.solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn estimator_makespan(c: &mut Criterion) {
+    let estimator = PipelineEstimator::new(EstimatorConfig {
+        reconfig: SimDuration::from_millis(80),
+        pipelining: true,
+    });
+    let mut group = c.benchmark_group("estimator_makespan");
+    for app in benchmarks::all() {
+        group.bench_function(app.name(), |b| {
+            b.iter(|| estimator.makespan(app.graph(), 20, 10));
+        });
+    }
+    group.finish();
+}
+
+fn saturation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation_analyze");
+    group.sample_size(20);
+    for app in [benchmarks::lenet(), benchmarks::alexnet()] {
+        group.bench_function(app.name().to_owned(), |b| {
+            b.iter(|| saturation::analyze(&app, 20, 10, SimDuration::from_millis(80)));
+        });
+    }
+    group.finish();
+}
+
+fn optimal_split(c: &mut Criterion) {
+    // The exact ILP the rule-based allocator avoids at runtime.
+    let curves: Vec<Vec<SimDuration>> = benchmarks::all()
+        .iter()
+        .map(|app| {
+            saturation::analyze(app, 10, 10, SimDuration::from_millis(80))
+                .makespans()
+                .to_vec()
+        })
+        .collect();
+    let mut group = c.benchmark_group("ilp_slot_split");
+    group.sample_size(10);
+    group.bench_function("six_apps_ten_slots", |b| {
+        b.iter(|| saturation::optimal_slot_split(&curves, 10).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ilp_solver,
+    estimator_makespan,
+    saturation_sweep,
+    optimal_split
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Whole-testbed throughput per scheduling policy: how long the hypervisor
+//! takes (host time) to simulate a fixed ten-event stress sequence. This is
+//! the "scheduler overhead" measure — the paper argues Nimblock must stay
+//! cheap enough to run on the embedded ARM core without an ILP solver on
+//! the critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nimblock_bench::Policy;
+use nimblock_workload::{generate, Scenario};
+
+fn policy_run_time(c: &mut Criterion) {
+    let events = generate(1, 10, Scenario::Stress);
+    let mut group = c.benchmark_group("testbed_run");
+    group.sample_size(10);
+    for policy in [
+        Policy::NoSharing,
+        Policy::Fcfs,
+        Policy::RoundRobin,
+        Policy::Prema,
+        Policy::Nimblock,
+        Policy::NimblockNoPipe,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| policy.run(&events));
+        });
+    }
+    group.finish();
+}
+
+fn nimblock_admission_cost(c: &mut Criterion) {
+    // Admission runs the goal-number saturation analysis (cached per
+    // benchmark/batch); measure a cold single-app run to capture it.
+    let mut group = c.benchmark_group("admission");
+    group.sample_size(10);
+    group.bench_function("single_alexnet_batch20", |b| {
+        use nimblock_app::{benchmarks, Priority};
+        use nimblock_sim::SimTime;
+        use nimblock_workload::{ArrivalEvent, EventSequence};
+        let events = EventSequence::new(vec![ArrivalEvent::new(
+            benchmarks::alexnet(),
+            20,
+            Priority::High,
+            SimTime::ZERO,
+        )]);
+        b.iter(|| Policy::Nimblock.run(&events));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, policy_run_time, nimblock_admission_cost);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the discrete-event engine: the hypervisor's
+//! scheduling overhead rides on this substrate, so its throughput bounds
+//! how fast whole experiments run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
+
+fn event_queue_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut queue| {
+                    // Reverse-ordered pushes are the worst case for a heap.
+                    for i in (0..n).rev() {
+                        queue.push(SimTime::from_micros(i), i);
+                    }
+                    while queue.pop().is_some() {}
+                    queue
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+struct ChainHandler {
+    remaining: u64,
+}
+
+impl Handler<u64> for ChainHandler {
+    fn handle(&mut self, now: SimTime, event: u64, queue: &mut EventQueue<u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            queue.push(now + SimDuration::from_micros(1), event + 1);
+        }
+    }
+}
+
+fn simulation_event_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("chained_events_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(ChainHandler { remaining: n });
+            sim.queue_mut().push(SimTime::ZERO, 0);
+            sim.run();
+            sim.steps()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, event_queue_push_pop, simulation_event_rate);
+criterion_main!(benches);

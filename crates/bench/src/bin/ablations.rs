@@ -1,0 +1,124 @@
+//! Design-choice ablations beyond the paper's Figure 9: sensitivity of the
+//! Nimblock system to its main model and policy parameters.
+//!
+//! Sections:
+//!   1. scheduling-interval sweep (the 400 ms slot-reallocation epoch),
+//!   2. reconfiguration-latency sensitivity (how much the CAP speed
+//!      matters — the paper stresses masking PR latency),
+//!   3. data-movement model: through-PS overhead versus an idealized NoC
+//!      (the paper's §7 future work),
+//!   4. token scale factor α,
+//!   5. goal-number knee threshold of the saturation analysis.
+//!
+//! Each section reports Nimblock's mean response time on a fixed stress
+//! stimulus; lower is better.
+
+use nimblock_bench::{sequences_from_args, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_core::{NimblockConfig, NimblockScheduler, Testbed};
+use nimblock_fpga::DeviceConfig;
+use nimblock_metrics::{fmt3, TextTable};
+use nimblock_sim::SimDuration;
+use nimblock_workload::{generate_suite, EventSequence, Scenario};
+
+fn mean_over(suite: &[EventSequence], build: impl Fn() -> Testbed<NimblockScheduler>) -> f64 {
+    let mut total = 0.0;
+    for seq in suite {
+        total += build().run(seq).mean_response_secs();
+    }
+    total / suite.len() as f64
+}
+
+fn main() {
+    let sequences = sequences_from_args();
+    let suite = generate_suite(BASE_SEED, sequences, EVENTS_PER_SEQUENCE, Scenario::Stress);
+    println!(
+        "Design-choice ablations on the stress test ({sequences} sequences x {EVENTS_PER_SEQUENCE} events); Nimblock mean response time (s)\n"
+    );
+
+    // 1. Scheduling interval. The hypervisor also reacts to events, so the
+    //    tick mainly bounds how stale token counts can get.
+    {
+        let mut table = TextTable::new(vec!["scheduling interval (ms)", "mean response (s)"]);
+        for millis in [100u64, 200, 400, 800, 1_600, 3_200] {
+            let mean = mean_over(&suite, move || {
+                Testbed::new(NimblockScheduler::default())
+                    .with_scheduling_interval(SimDuration::from_millis(millis))
+            });
+            table.row(vec![millis.to_string(), fmt3(mean)]);
+        }
+        println!("1. Scheduling interval (400 ms on the evaluated system):");
+        print!("{table}");
+    }
+
+    // 2. Reconfiguration latency sensitivity: sweep the CAP bandwidth so a
+    //    slot takes 20..320 ms to reconfigure.
+    {
+        let mut table = TextTable::new(vec!["reconfig latency (ms)", "mean response (s)"]);
+        for millis in [20u64, 40, 80, 160, 320] {
+            let mut config = DeviceConfig::zcu106();
+            config.cap_bandwidth_bytes_per_sec =
+                nimblock_fpga::zcu106::SLOT_BITSTREAM_BYTES * 1_000 / millis;
+            let config_for_run = config.clone();
+            let mean = mean_over(&suite, move || {
+                Testbed::new(NimblockScheduler::default())
+                    .with_device_config(config_for_run.clone())
+            });
+            table.row(vec![millis.to_string(), fmt3(mean)]);
+        }
+        println!("\n2. Reconfiguration-latency sensitivity:");
+        print!("{table}");
+    }
+
+    // 3. Data movement: per-item overhead of through-PS transfers versus an
+    //    idealized NoC (zero overhead) and slower fabrics.
+    {
+        let mut table = TextTable::new(vec!["per-item overhead", "mean response (s)"]);
+        for (label, micros) in [
+            ("0 (ideal NoC)", 0u64),
+            ("100 us", 100),
+            ("1 ms (through-PS default)", 1_000),
+            ("5 ms", 5_000),
+            ("20 ms", 20_000),
+        ] {
+            let mean = mean_over(&suite, move || {
+                Testbed::new(NimblockScheduler::default())
+                    .with_per_item_overhead(SimDuration::from_micros(micros))
+            });
+            table.row(vec![label.to_owned(), fmt3(mean)]);
+        }
+        println!("\n3. Data-movement model (paper §7: a NoC would optimize inter-slot transfers):");
+        print!("{table}");
+    }
+
+    // 4. Token scale factor alpha.
+    {
+        let mut table = TextTable::new(vec!["alpha", "mean response (s)"]);
+        for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let mean = mean_over(&suite, move || {
+                Testbed::new(NimblockScheduler::with_config(NimblockConfig {
+                    alpha,
+                    ..NimblockConfig::full()
+                }))
+            });
+            table.row(vec![alpha.to_string(), fmt3(mean)]);
+        }
+        println!("\n4. Token-accumulation scale factor:");
+        print!("{table}");
+    }
+
+    // 5. Goal-number knee threshold.
+    {
+        let mut table = TextTable::new(vec!["knee threshold", "mean response (s)"]);
+        for threshold in [0.01, 0.05, 0.15, 0.40, 0.90] {
+            let mean = mean_over(&suite, move || {
+                Testbed::new(NimblockScheduler::with_config(NimblockConfig {
+                    improvement_threshold: threshold,
+                    ..NimblockConfig::full()
+                }))
+            });
+            table.row(vec![threshold.to_string(), fmt3(mean)]);
+        }
+        println!("\n5. Goal-number knee threshold (higher => smaller goal numbers):");
+        print!("{table}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 11: AlexNet throughput under different batch sizes, for the
+//! Nimblock ablation variants.
+//!
+//! Throughput is batch items retired per second of response time,
+//! averaged over the AlexNet events of the Figure 9 stimulus.
+
+use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_metrics::{fmt3, Report, TextTable};
+use nimblock_sim::SimDuration;
+use nimblock_workload::fixed_batch_sequence;
+
+const STRESS_DELAY: SimDuration = SimDuration::from_millis(175);
+const BATCH_SIZES: [u32; 7] = [1, 5, 10, 15, 20, 25, 30];
+
+fn alexnet_throughput(reports: &[Report]) -> f64 {
+    let samples: Vec<f64> = reports
+        .iter()
+        .flat_map(Report::records)
+        .filter(|r| r.app_name == "AlexNet")
+        .map(|r| f64::from(r.batch_size) / r.response_time().as_secs_f64())
+        .collect();
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn main() {
+    let sequences = sequences_from_args();
+    println!(
+        "Figure 11: AlexNet throughput (items/s) vs batch size under the ablations\n(stress delays, {sequences} sequences x {EVENTS_PER_SEQUENCE} events)\n"
+    );
+    let mut header = vec!["Variant".to_owned()];
+    header.extend(BATCH_SIZES.iter().map(|b| format!("batch {b}")));
+    let mut table = TextTable::new(header);
+    let mut rows: Vec<Vec<String>> = Policy::ABLATION
+        .iter()
+        .map(|p| vec![p.name().to_owned()])
+        .collect();
+    for batch in BATCH_SIZES {
+        let suite: Vec<_> = (0..sequences)
+            .map(|i| {
+                fixed_batch_sequence(
+                    BASE_SEED + i as u64,
+                    EVENTS_PER_SEQUENCE,
+                    batch,
+                    STRESS_DELAY,
+                )
+            })
+            .collect();
+        for (policy, row) in Policy::ABLATION.iter().zip(&mut rows) {
+            let reports = policy.run_suite(&suite);
+            row.push(fmt3(alexnet_throughput(&reports)));
+        }
+    }
+    for row in rows {
+        table.row(row);
+    }
+    print!("{table}");
+    println!(
+        "\nPaper: the pipelining variants (Nimblock, NimblockNoPreempt) sustain the highest\nAlexNet throughput; gains flatten past batch ~5 — even small batches use the\navailable resources well."
+    );
+}

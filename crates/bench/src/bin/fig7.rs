@@ -1,0 +1,84 @@
+//! Figure 7 (a/b/c): deadline failure rate of high-priority applications
+//! across a sweep of deadline scaling factors `D_s`.
+//!
+//! An application's deadline is `D_s` times its single-slot latency; it
+//! fails if its response time exceeds the deadline (paper §5.4). The sweep
+//! runs `D_s` from 1 to 20 at 0.25 steps; this binary prints a coarse
+//! sample of each curve plus the tightest-deadline rates and 10% error
+//! points.
+
+use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_app::Priority;
+use nimblock_metrics::{fmt3, violation_rate, DeadlineCurve, TextTable};
+use nimblock_sim::SimDuration;
+use nimblock_workload::{deadline, generate_suite, EventSequence, Scenario};
+
+const RECONFIG: SimDuration = SimDuration::from_millis(80);
+
+/// Builds the failure-rate curve of one policy over a suite.
+fn curve(policy: Policy, suite: &[EventSequence]) -> DeadlineCurve {
+    let reports = policy.run_suite(suite);
+    let points = deadline::ds_values()
+        .into_iter()
+        .map(|ds| {
+            // Pool violations over all sequences: weighted by each
+            // sequence's number of high-priority events.
+            let mut violated = 0.0;
+            let mut total = 0.0;
+            for (report, seq) in reports.iter().zip(suite) {
+                let high = report
+                    .records()
+                    .iter()
+                    .filter(|r| r.priority == Priority::High)
+                    .count() as f64;
+                let rate = violation_rate(report, Some(Priority::High), |i| {
+                    Some(deadline::deadline_for(&seq.events()[i], ds, RECONFIG))
+                });
+                violated += rate * high;
+                total += high;
+            }
+            (ds, if total == 0.0 { 0.0 } else { violated / total })
+        })
+        .collect();
+    DeadlineCurve::new(policy.name(), points)
+}
+
+fn main() {
+    let sequences = sequences_from_args();
+    let sample_ds = [1.0, 1.75, 2.5, 3.5, 5.0, 6.0, 8.0, 10.0, 15.0, 20.0];
+    for (scenario, figure) in Scenario::ALL.iter().zip(["7a", "7b", "7c"]) {
+        println!(
+            "\nFigure {figure}: deadline failure rate, {} test ({sequences} sequences, high-priority apps)\n",
+            scenario.name()
+        );
+        let suite = generate_suite(BASE_SEED, sequences, EVENTS_PER_SEQUENCE, *scenario);
+        let mut header: Vec<String> = vec!["Scheduler".into()];
+        header.extend(sample_ds.iter().map(|ds| format!("Ds={ds}")));
+        header.push("10% err pt".into());
+        let mut table = TextTable::new(header);
+        for policy in Policy::MAIN {
+            let curve = curve(policy, &suite);
+            let mut row = vec![policy.name().to_owned()];
+            for ds in sample_ds {
+                let rate = curve
+                    .points()
+                    .iter()
+                    .find(|&&(d, _)| (d - ds).abs() < 1e-9)
+                    .map(|&(_, r)| r)
+                    .unwrap_or(f64::NAN);
+                row.push(fmt3(rate));
+            }
+            row.push(
+                curve
+                    .error_point(0.10)
+                    .map(|ds| format!("Ds={ds}"))
+                    .unwrap_or_else(|| "never".to_owned()),
+            );
+            table.row(row);
+        }
+        print!("{table}");
+    }
+    println!(
+        "\nPaper: Nimblock has the lowest violation rate at the tightest deadlines in all\nscenarios (49% lower than PREMA/RR in standard, 44% in stress, 14.3% in real-time)\nand reaches the 10% error point earlier than PREMA (stress: Ds=3.5 vs 6.0;\nreal-time: Ds=4.25 vs 5.75)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 8: run time, partial-reconfiguration time, and wait time as a
+//! proportion of total application time under the Nimblock scheduler.
+//!
+//! Run time sums every task's item run times (tasks overlap, so it can
+//! exceed execution time); PR time sums the application's partial
+//! reconfigurations; wait time is arrival to first launch.
+
+use std::collections::BTreeMap;
+
+use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_metrics::TextTable;
+use nimblock_workload::{generate_suite, Scenario};
+
+fn main() {
+    let sequences = sequences_from_args();
+    println!(
+        "Figure 8: run / PR / wait shares of total application time under Nimblock\n(standard scenario, {sequences} sequences x {EVENTS_PER_SEQUENCE} events)\n"
+    );
+    let suite = generate_suite(BASE_SEED, sequences, EVENTS_PER_SEQUENCE, Scenario::Standard);
+    let reports = Policy::Nimblock.run_suite(&suite);
+
+    // Pool the three components per benchmark.
+    let mut sums: BTreeMap<String, (f64, f64, f64, f64)> = BTreeMap::new();
+    for record in reports.iter().flat_map(|r| r.records()) {
+        let entry = sums.entry(record.app_name.clone()).or_default();
+        entry.0 += record.run_time.as_secs_f64();
+        entry.1 += record.reconfig_time.as_secs_f64();
+        entry.2 += record.wait_time().as_secs_f64();
+        entry.3 += record.response_time().as_secs_f64();
+    }
+
+    let mut table = TextTable::new(vec![
+        "Benchmark", "Run %", "PR %", "Wait %", "mean total (s)",
+    ]);
+    for (app, (run, pr, wait, total)) in &sums {
+        // Normalize by run+pr+wait (the figure shows proportions of the
+        // application's accounted time).
+        let denom = run + pr + wait;
+        table.row(vec![
+            app.clone(),
+            format!("{:.1}", 100.0 * run / denom),
+            format!("{:.1}", 100.0 * pr / denom),
+            format!("{:.1}", 100.0 * wait / denom),
+            format!("{:.1}", total / (sequences as f64)),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nExpected shape (paper Figure 8): PR time is a large share for short benchmarks\n(LeNet, ImageCompression, 3DRendering) and negligible for DigitRecognition;\nlong-running benchmarks are dominated by run time; wait time varies with queueing."
+    );
+}

@@ -1,0 +1,30 @@
+//! Table 2: benchmark sizes (tasks and task-graph edges).
+
+use nimblock_app::benchmarks;
+use nimblock_metrics::TextTable;
+
+fn main() {
+    println!("Table 2: Benchmark Sizes\n");
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Number of Tasks",
+        "Number of Edges",
+        "Depth",
+        "Max Width",
+        "Σ latency (s)",
+    ]);
+    for app in benchmarks::all() {
+        let graph = app.graph();
+        table.row(vec![
+            app.name().to_owned(),
+            graph.task_count().to_string(),
+            graph.edge_count().to_string(),
+            graph.depth().to_string(),
+            graph.max_width().to_string(),
+            format!("{:.3}", graph.total_latency().as_secs_f64()),
+        ]);
+    }
+    print!("{table}");
+    println!("\nPaper values (tasks/edges): LN 3/2, AN 38/184, IMGC 6/5, OF 9/8, 3DR 3/2, DR 3/2.");
+    println!("Depth, width, and calibrated latencies are model detail beyond the paper's table.");
+}

@@ -1,0 +1,457 @@
+//! Hand-rolled argument parsing (the CLI is small enough not to warrant a
+//! parser dependency).
+
+use std::error::Error;
+use std::fmt;
+
+use nimblock_workload::Scenario;
+
+/// An argument-parsing error; the message is user-facing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Which scheduling policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SchedulerKind {
+    NoSharing,
+    Fcfs,
+    RoundRobin,
+    Prema,
+    PremaBackfill,
+    Sjf,
+    Edf,
+    Nimblock,
+    NimblockNoPreempt,
+    NimblockNoPipe,
+    NimblockNoPreemptNoPipe,
+}
+
+impl SchedulerKind {
+    /// Parses a `--scheduler` value.
+    pub fn parse(value: &str) -> Result<Self, CliError> {
+        Ok(match value {
+            "nosharing" => SchedulerKind::NoSharing,
+            "fcfs" => SchedulerKind::Fcfs,
+            "rr" => SchedulerKind::RoundRobin,
+            "prema" => SchedulerKind::Prema,
+            "prema-backfill" => SchedulerKind::PremaBackfill,
+            "sjf" => SchedulerKind::Sjf,
+            "edf" => SchedulerKind::Edf,
+            "nimblock" => SchedulerKind::Nimblock,
+            "nimblock-nopreempt" => SchedulerKind::NimblockNoPreempt,
+            "nimblock-nopipe" => SchedulerKind::NimblockNoPipe,
+            "nimblock-nopreempt-nopipe" => SchedulerKind::NimblockNoPreemptNoPipe,
+            other => return Err(err(format!("unknown scheduler '{other}'"))),
+        })
+    }
+
+    /// Builds the scheduler.
+    pub fn build(self) -> Box<dyn nimblock_core::Scheduler> {
+        use nimblock_core::*;
+        match self {
+            SchedulerKind::NoSharing => Box::new(NoSharingScheduler::new()),
+            SchedulerKind::Fcfs => Box::new(FcfsScheduler::new()),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::Prema => Box::new(PremaScheduler::new()),
+            SchedulerKind::PremaBackfill => Box::new(PremaScheduler::with_backfill()),
+            SchedulerKind::Sjf => Box::new(SjfScheduler::new()),
+            SchedulerKind::Edf => Box::new(EdfScheduler::default()),
+            SchedulerKind::Nimblock => Box::new(NimblockScheduler::default()),
+            SchedulerKind::NimblockNoPreempt => {
+                Box::new(NimblockScheduler::with_config(NimblockConfig::no_preemption()))
+            }
+            SchedulerKind::NimblockNoPipe => {
+                Box::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining()))
+            }
+            SchedulerKind::NimblockNoPreemptNoPipe => Box::new(NimblockScheduler::with_config(
+                NimblockConfig::no_preemption_no_pipelining(),
+            )),
+        }
+    }
+}
+
+/// Stimulus selection shared by the commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StimulusArgs {
+    /// Congestion scenario when generating.
+    pub scenario: Scenario,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of events.
+    pub events: usize,
+    /// Fixed batch size (switches to the fixed-batch generator).
+    pub batch: Option<u32>,
+    /// Fixed inter-arrival delay in ms (with `batch`).
+    pub delay_ms: u64,
+    /// Load the stimulus from this JSON file instead of generating.
+    pub input: Option<String>,
+}
+
+impl Default for StimulusArgs {
+    fn default() -> Self {
+        StimulusArgs {
+            scenario: Scenario::Stress,
+            seed: 2023,
+            events: 20,
+            batch: None,
+            delay_ms: 500,
+            input: None,
+        }
+    }
+}
+
+/// `generate` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Stimulus selection.
+    pub stimulus: StimulusArgs,
+    /// Output path ('-' = stdout).
+    pub output: String,
+}
+
+/// `run` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Stimulus selection.
+    pub stimulus: StimulusArgs,
+    /// Policy to run.
+    pub scheduler: SchedulerKind,
+    /// Device slot count.
+    pub slots: usize,
+    /// Where to write the JSON report, if anywhere ('-' = stdout).
+    pub json: Option<String>,
+    /// Print a Gantt chart of the schedule.
+    pub gantt: bool,
+}
+
+/// `compare` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Stimulus selection.
+    pub stimulus: StimulusArgs,
+    /// Device slot count.
+    pub slots: usize,
+}
+
+/// `faas` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaasArgs {
+    /// RNG seed for the invocation workload.
+    pub seed: u64,
+    /// Number of invocations.
+    pub invocations: usize,
+    /// Mean inter-arrival gap in ms.
+    pub mean_gap_ms: u64,
+    /// Policy serving the invocations.
+    pub scheduler: SchedulerKind,
+}
+
+/// `cluster` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterArgs {
+    /// Stimulus selection.
+    pub stimulus: StimulusArgs,
+    /// Number of boards.
+    pub boards: usize,
+    /// Policy on every board.
+    pub scheduler: SchedulerKind,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Command {
+    Generate(GenerateArgs),
+    Run(RunArgs),
+    Compare(CompareArgs),
+    Faas(FaasArgs),
+    Cluster(ClusterArgs),
+    Help,
+}
+
+fn parse_scenario(value: &str) -> Result<Scenario, CliError> {
+    Ok(match value {
+        "standard" => Scenario::Standard,
+        "stress" => Scenario::Stress,
+        "realtime" | "real-time" => Scenario::RealTime,
+        other => return Err(err(format!("unknown scenario '{other}'"))),
+    })
+}
+
+struct ArgStream<'a> {
+    args: &'a [String],
+    index: usize,
+}
+
+impl<'a> ArgStream<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let value = self.args.get(self.index).map(String::as_str);
+        self.index += 1;
+        value
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    }
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing [`CliError`] for unknown commands, flags, or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut stream = ArgStream { args, index: 0 };
+    let Some(command) = stream.next() else {
+        return Ok(Command::Help);
+    };
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let mut stimulus = StimulusArgs::default();
+            let mut output = None;
+            while let Some(flag) = stream.next() {
+                match flag {
+                    "--output" => output = Some(stream.value_for(flag)?.to_owned()),
+                    other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
+                }
+            }
+            Ok(Command::Generate(GenerateArgs {
+                stimulus,
+                output: output.ok_or_else(|| err("generate requires --output"))?,
+            }))
+        }
+        "run" => {
+            let mut stimulus = StimulusArgs::default();
+            let mut scheduler = SchedulerKind::Nimblock;
+            let mut slots = 10usize;
+            let mut json = None;
+            let mut gantt = false;
+            while let Some(flag) = stream.next() {
+                match flag {
+                    "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
+                    "--slots" => slots = parse_number(flag, stream.value_for(flag)?)?,
+                    "--json" => json = Some(stream.value_for(flag)?.to_owned()),
+                    "--gantt" => gantt = true,
+                    other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
+                }
+            }
+            Ok(Command::Run(RunArgs {
+                stimulus,
+                scheduler,
+                slots,
+                json,
+                gantt,
+            }))
+        }
+        "faas" => {
+            let mut args = FaasArgs {
+                seed: 2023,
+                invocations: 60,
+                mean_gap_ms: 150,
+                scheduler: SchedulerKind::Nimblock,
+            };
+            while let Some(flag) = stream.next() {
+                match flag {
+                    "--seed" => args.seed = parse_number(flag, stream.value_for(flag)?)?,
+                    "--invocations" => {
+                        args.invocations = parse_number(flag, stream.value_for(flag)?)?
+                    }
+                    "--mean-gap-ms" => {
+                        args.mean_gap_ms = parse_number(flag, stream.value_for(flag)?)?
+                    }
+                    "--scheduler" => {
+                        args.scheduler = SchedulerKind::parse(stream.value_for(flag)?)?
+                    }
+                    other => return Err(err(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Faas(args))
+        }
+        "cluster" => {
+            let mut stimulus = StimulusArgs::default();
+            let mut boards = 2usize;
+            let mut scheduler = SchedulerKind::Nimblock;
+            while let Some(flag) = stream.next() {
+                match flag {
+                    "--boards" => boards = parse_number(flag, stream.value_for(flag)?)?,
+                    "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
+                    other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
+                }
+            }
+            if boards == 0 {
+                return Err(err("--boards must be at least 1"));
+            }
+            Ok(Command::Cluster(ClusterArgs {
+                stimulus,
+                boards,
+                scheduler,
+            }))
+        }
+        "compare" => {
+            let mut stimulus = StimulusArgs::default();
+            let mut slots = 10usize;
+            while let Some(flag) = stream.next() {
+                match flag {
+                    "--slots" => slots = parse_number(flag, stream.value_for(flag)?)?,
+                    other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
+                }
+            }
+            Ok(Command::Compare(CompareArgs { stimulus, slots }))
+        }
+        other => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("{flag}: cannot parse '{value}'")))
+}
+
+fn parse_stimulus_flag(
+    stimulus: &mut StimulusArgs,
+    flag: &str,
+    stream: &mut ArgStream<'_>,
+) -> Result<(), CliError> {
+    match flag {
+        "--scenario" => stimulus.scenario = parse_scenario(stream.value_for(flag)?)?,
+        "--seed" => stimulus.seed = parse_number(flag, stream.value_for(flag)?)?,
+        "--events" => stimulus.events = parse_number(flag, stream.value_for(flag)?)?,
+        "--batch" => stimulus.batch = Some(parse_number(flag, stream.value_for(flag)?)?),
+        "--delay-ms" => stimulus.delay_ms = parse_number(flag, stream.value_for(flag)?)?,
+        "--input" => stimulus.input = Some(stream.value_for(flag)?.to_owned()),
+        other => return Err(err(format!("unknown flag '{other}'"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_and_help_lines() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(run) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.scheduler, SchedulerKind::Nimblock);
+        assert_eq!(run.slots, 10);
+        assert_eq!(run.stimulus.seed, 2023);
+        assert!(!run.gantt);
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let line = "run --scheduler prema --scenario standard --seed 7 --events 5 --slots 4 --json - --gantt";
+        let Command::Run(run) = parse(&argv(line)).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.scheduler, SchedulerKind::Prema);
+        assert_eq!(run.stimulus.scenario, Scenario::Standard);
+        assert_eq!(run.stimulus.seed, 7);
+        assert_eq!(run.stimulus.events, 5);
+        assert_eq!(run.slots, 4);
+        assert_eq!(run.json.as_deref(), Some("-"));
+        assert!(run.gantt);
+    }
+
+    #[test]
+    fn generate_requires_output() {
+        assert!(parse(&argv("generate")).is_err());
+        let Command::Generate(generate) =
+            parse(&argv("generate --batch 5 --delay-ms 500 --output s.json")).unwrap()
+        else {
+            panic!("expected generate");
+        };
+        assert_eq!(generate.stimulus.batch, Some(5));
+        assert_eq!(generate.output, "s.json");
+    }
+
+    #[test]
+    fn compare_parses_input_files() {
+        let Command::Compare(compare) = parse(&argv("compare --input stim.json --slots 6")).unwrap()
+        else {
+            panic!("expected compare");
+        };
+        assert_eq!(compare.stimulus.input.as_deref(), Some("stim.json"));
+        assert_eq!(compare.slots, 6);
+    }
+
+    #[test]
+    fn faas_and_cluster_commands_parse() {
+        let Command::Faas(f) =
+            parse(&argv("faas --seed 9 --invocations 30 --mean-gap-ms 80 --scheduler prema")).unwrap()
+        else {
+            panic!("expected faas");
+        };
+        assert_eq!(f.seed, 9);
+        assert_eq!(f.invocations, 30);
+        assert_eq!(f.scheduler, SchedulerKind::Prema);
+
+        let Command::Cluster(c) = parse(&argv("cluster --boards 4 --events 6")).unwrap() else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.boards, 4);
+        assert_eq!(c.stimulus.events, 6);
+        assert!(parse(&argv("cluster --boards 0")).is_err());
+    }
+
+    #[test]
+    fn all_scheduler_names_parse() {
+        for name in [
+            "nosharing",
+            "fcfs",
+            "rr",
+            "prema",
+            "prema-backfill",
+            "sjf",
+            "edf",
+            "nimblock",
+            "nimblock-nopreempt",
+            "nimblock-nopipe",
+            "nimblock-nopreempt-nopipe",
+        ] {
+            assert!(SchedulerKind::parse(name).is_ok(), "{name}");
+        }
+        assert!(SchedulerKind::parse("premature").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = parse(&argv("run --scheduler")).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+        let err = parse(&argv("run --frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+        let err = parse(&argv("launch")).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        let err = parse(&argv("run --events many")).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+}

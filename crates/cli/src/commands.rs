@@ -1,0 +1,311 @@
+//! Command execution.
+
+use std::fs;
+use std::io::Write;
+
+use nimblock_core::Testbed;
+use nimblock_fpga::DeviceConfig;
+use nimblock_metrics::{fmt3, harmonic_speedup, Summary, TextTable};
+use nimblock_sim::SimDuration;
+use nimblock_workload::{fixed_batch_sequence, generate, EventSequence};
+
+use crate::args::{
+    ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs, SchedulerKind,
+    StimulusArgs,
+};
+use crate::CliError;
+
+/// Builds the stimulus described by `args`: generated from a scenario, a
+/// fixed-batch generator, or loaded from a JSON file.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if an `--input` file cannot be read or parsed.
+pub fn make_sequence(args: &StimulusArgs) -> Result<EventSequence, CliError> {
+    if let Some(path) = &args.input {
+        return load_sequence(path);
+    }
+    Ok(match args.batch {
+        Some(batch) => fixed_batch_sequence(
+            args.seed,
+            args.events,
+            batch,
+            SimDuration::from_millis(args.delay_ms),
+        ),
+        None => generate(args.seed, args.events, args.scenario),
+    })
+}
+
+/// Loads an [`EventSequence`] from a JSON file.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the I/O or parse failure.
+pub fn load_sequence(path: &str) -> Result<EventSequence, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    if path == "-" {
+        writeln!(out, "{contents}").map_err(|e| CliError(e.to_string()))
+    } else {
+        fs::write(path, contents).map_err(|e| CliError(format!("cannot write {path}: {e}")))
+    }
+}
+
+fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let events = make_sequence(&args.stimulus)?;
+    let config = DeviceConfig::zcu106().with_slot_count(args.slots);
+    let testbed = Testbed::new(args.scheduler.build()).with_device_config(config);
+    let (report, trace) = if args.gantt {
+        let (report, trace) = testbed.run_traced(&events);
+        (report, Some(trace))
+    } else {
+        (testbed.run(&events), None)
+    };
+
+    let responses: Vec<f64> = report
+        .records()
+        .iter()
+        .map(|r| r.response_time().as_secs_f64())
+        .collect();
+    let summary = Summary::of(&responses);
+    writeln!(
+        out,
+        "{}: {} applications on {} slots\n  response time (s): mean {} | median {} | p95 {} | p99 {} | max {}",
+        report.scheduler(),
+        report.records().len(),
+        args.slots,
+        fmt3(summary.mean),
+        fmt3(summary.median),
+        fmt3(summary.p95),
+        fmt3(summary.p99),
+        fmt3(summary.max),
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    let preemptions: u32 = report.records().iter().map(|r| r.preemptions).sum();
+    writeln!(out, "  makespan: {} | preemptions: {preemptions}", report.finished_at())
+        .map_err(|e| CliError(e.to_string()))?;
+
+    if let Some(trace) = trace {
+        writeln!(out, "\n{}", trace.gantt(args.slots, 100)).map_err(|e| CliError(e.to_string()))?;
+    }
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError(format!("cannot serialize report: {e}")))?;
+        write_output(path, &json, out)?;
+    }
+    Ok(())
+}
+
+fn generate_command(args: &GenerateArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let events = make_sequence(&args.stimulus)?;
+    let json = serde_json::to_string_pretty(&events)
+        .map_err(|e| CliError(format!("cannot serialize stimulus: {e}")))?;
+    write_output(&args.output, &json, out)?;
+    if args.output != "-" {
+        writeln!(out, "wrote {} events to {}", events.len(), args.output)
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    Ok(())
+}
+
+fn compare_command(args: &CompareArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let events = make_sequence(&args.stimulus)?;
+    let config = DeviceConfig::zcu106().with_slot_count(args.slots);
+    let baseline = Testbed::new(SchedulerKind::NoSharing.build())
+        .with_device_config(config.clone())
+        .run(&events);
+    let mut table = TextTable::new(vec!["scheduler", "mean resp (s)", "reduction", "p95 (s)"]);
+    let roster = [
+        SchedulerKind::NoSharing,
+        SchedulerKind::Fcfs,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Prema,
+        SchedulerKind::Sjf,
+        SchedulerKind::Edf,
+        SchedulerKind::Nimblock,
+    ];
+    for kind in roster {
+        let report = if kind == SchedulerKind::NoSharing {
+            baseline.clone()
+        } else {
+            Testbed::new(kind.build())
+                .with_device_config(config.clone())
+                .run(&events)
+        };
+        let responses: Vec<f64> = report
+            .records()
+            .iter()
+            .map(|r| r.response_time().as_secs_f64())
+            .collect();
+        let summary = Summary::of(&responses);
+        table.row(vec![
+            report.scheduler().to_owned(),
+            fmt3(summary.mean),
+            format!("{}x", fmt3(harmonic_speedup(&baseline, &report))),
+            fmt3(summary.p95),
+        ]);
+    }
+    write!(out, "{table}").map_err(|e| CliError(e.to_string()))
+}
+
+fn faas_command(args: &FaasArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    use nimblock_faas::{FaasGateway, FunctionRegistry, InvocationWorkload};
+    let gateway = FaasGateway::new(FunctionRegistry::benchmark_suite());
+    let workload = InvocationWorkload::new(args.seed)
+        .invocations(args.invocations)
+        .mean_gap_millis(args.mean_gap_ms);
+    let summary = gateway.run(&workload, args.scheduler.build());
+    writeln!(
+        out,
+        "{}: {} invocations, overall SLO attainment {}",
+        summary.scheduler(),
+        summary.total_invocations(),
+        fmt3(summary.overall_attainment())
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    let mut table = TextTable::new(vec![
+        "function", "class", "invocations", "mean (s)", "p95 (s)", "SLO attainment",
+    ]);
+    for stats in summary.per_function() {
+        table.row(vec![
+            stats.function.clone(),
+            stats.slo.to_string(),
+            stats.invocations.to_string(),
+            fmt3(stats.mean_latency_secs),
+            fmt3(stats.p95_latency_secs),
+            fmt3(stats.slo_attainment),
+        ]);
+    }
+    write!(out, "{table}").map_err(|e| CliError(e.to_string()))
+}
+
+fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    use nimblock_cluster::{ClusterTestbed, DispatchPolicy};
+    let events = make_sequence(&args.stimulus)?;
+    let scheduler = args.scheduler;
+    let report = ClusterTestbed::new(args.boards, DispatchPolicy::FewestApps, move || {
+        scheduler.build()
+    })
+    .run(&events);
+    writeln!(
+        out,
+        "{}: mean response {}s over {} events; per-board loads {:?}",
+        report.merged().scheduler(),
+        fmt3(report.merged().mean_response_secs()),
+        report.merged().records().len(),
+        report.board_loads(),
+    )
+    .map_err(|e| CliError(e.to_string()))
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O, parse, and serialization failures as [`CliError`].
+pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{}", crate::USAGE).map_err(|e| CliError(e.to_string()))
+        }
+        Command::Generate(args) => generate_command(args, out),
+        Command::Run(args) => run_command(args, out),
+        Command::Compare(args) => compare_command(args, out),
+        Command::Faas(args) => faas_command(args, out),
+        Command::Cluster(args) => cluster_command(args, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn run_line(line: &str) -> String {
+        let command = parse(&argv(line)).unwrap();
+        let mut out = Vec::new();
+        execute(&command, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn run_prints_a_summary() {
+        let output = run_line("run --scheduler fcfs --events 3 --seed 1");
+        assert!(output.contains("FCFS: 3 applications"), "{output}");
+        assert!(output.contains("mean"), "{output}");
+    }
+
+    #[test]
+    fn generate_then_replay_roundtrips() {
+        let dir = std::env::temp_dir().join("nimblock-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stimulus.json");
+        let path = path.to_str().unwrap();
+        run_line(&format!("generate --batch 2 --delay-ms 100 --events 4 --output {path}"));
+        let loaded = load_sequence(path).unwrap();
+        assert_eq!(loaded.len(), 4);
+        // Replaying the file gives the same report as generating in-process.
+        let from_file = run_line(&format!("run --scheduler rr --input {path}"));
+        let generated = run_line("run --scheduler rr --batch 2 --delay-ms 100 --events 4");
+        assert_eq!(from_file, generated);
+    }
+
+    #[test]
+    fn json_report_is_valid() {
+        let output = run_line("run --scheduler nimblock --events 2 --seed 5 --json -");
+        let json_start = output.find('{').expect("json in output");
+        let value: serde_json::Value = serde_json::from_str(output[json_start..].trim()).unwrap();
+        assert!(value.get("records").is_some());
+    }
+
+    #[test]
+    fn gantt_renders_slot_rows() {
+        let output = run_line("run --scheduler nimblock --events 2 --seed 5 --slots 4 --gantt");
+        assert!(output.contains("slot#0"), "{output}");
+        assert!(output.contains("slot#3"), "{output}");
+    }
+
+    #[test]
+    fn compare_lists_all_schedulers() {
+        let output = run_line("compare --events 3 --seed 2 --batch 2 --delay-ms 200");
+        for name in ["NoSharing", "FCFS", "RR", "PREMA", "SJF", "EDF", "Nimblock"] {
+            assert!(output.contains(name), "missing {name} in\n{output}");
+        }
+    }
+
+    #[test]
+    fn faas_command_reports_attainment() {
+        let output = run_line("faas --invocations 10 --seed 4 --scheduler fcfs");
+        assert!(output.contains("SLO attainment"), "{output}");
+        assert!(output.contains("FCFS: 10 invocations"), "{output}");
+    }
+
+    #[test]
+    fn cluster_command_reports_loads() {
+        let output = run_line("cluster --boards 3 --events 6 --seed 8 --batch 2 --delay-ms 100");
+        assert!(output.contains("cluster(3x"), "{output}");
+        assert!(output.contains("per-board loads"), "{output}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let output = run_line("help");
+        assert!(output.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_input_file_is_a_clean_error() {
+        let command = parse(&argv("run --input /nonexistent/st.json")).unwrap();
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Library behind the `nimblock-cli` binary: argument parsing and command
+//! execution, separated so tests can drive it without spawning processes.
+//!
+//! Commands:
+//!
+//! * `generate` — write a stimulus (event sequence) as JSON,
+//! * `run` — run a scheduler on a generated or loaded stimulus, printing a
+//!   summary and optionally a JSON report or a Gantt chart,
+//! * `compare` — run several schedulers on the same stimulus and tabulate
+//!   the reductions versus the no-sharing baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse, CliError, ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs, SchedulerKind};
+pub use commands::{execute, load_sequence, make_sequence};
+
+/// The usage text printed for `--help` or argument errors.
+pub const USAGE: &str = "\
+nimblock-cli — Nimblock FPGA virtualization testbed
+
+USAGE:
+  nimblock-cli generate [--scenario S] [--seed N] [--events N]
+                        [--batch N --delay-ms N] --output FILE
+  nimblock-cli run      [--scheduler NAME] [stimulus options | --input FILE]
+                        [--slots N] [--json FILE] [--gantt]
+  nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
+  nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
+                        [--scheduler NAME]
+  nimblock-cli cluster  [--boards N] [--scheduler NAME] [stimulus options]
+
+STIMULUS OPTIONS (used by run/compare when no --input is given):
+  --scenario standard|stress|realtime   congestion condition [stress]
+  --seed N                              RNG seed [2023]
+  --events N                            events per sequence [20]
+  --batch N --delay-ms N                fixed batch/delay instead of a scenario
+
+SCHEDULERS (--scheduler):
+  nosharing fcfs rr prema prema-backfill sjf edf
+  nimblock nimblock-nopreempt nimblock-nopipe nimblock-nopreempt-nopipe
+
+OTHER:
+  --slots N      slots on the modelled device [10]
+  --json FILE    write the full report as JSON ('-' for stdout)
+  --gantt        print a slot-occupancy Gantt chart of the schedule
+  --output FILE  where generate writes the stimulus ('-' for stdout)
+  --input FILE   load a stimulus JSON instead of generating one
+";

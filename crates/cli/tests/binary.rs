@@ -1,0 +1,69 @@
+//! End-to-end tests of the `nimblock-cli` binary itself: real process,
+//! real exit codes, real stdout/stderr.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nimblock-cli"))
+}
+
+#[test]
+fn run_succeeds_and_prints_a_summary() {
+    let out = cli()
+        .args(["run", "--scheduler", "fcfs", "--events", "3", "--seed", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FCFS: 3 applications"), "{stdout}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_message_on_stderr() {
+    let out = cli()
+        .args(["run", "--scheduler", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown scheduler 'bogus'"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "usage shown on parse errors");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = cli().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn generate_then_run_roundtrip_through_the_filesystem() {
+    let dir = std::env::temp_dir().join(format!("nimblock-cli-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stim = dir.join("s.json");
+    let out = cli()
+        .args([
+            "generate", "--batch", "2", "--delay-ms", "100", "--events", "3",
+            "--output", stim.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cli()
+        .args(["run", "--input", stim.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("3 applications"));
+}
+
+#[test]
+fn missing_input_file_fails_cleanly() {
+    let out = cli()
+        .args(["run", "--input", "/definitely/not/here.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
+}

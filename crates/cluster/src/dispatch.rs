@@ -1,0 +1,67 @@
+//! Board-selection strategies.
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_core::{Hypervisor, Scheduler};
+use nimblock_sim::SimDuration;
+
+/// How the cluster assigns an arriving application to a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle through the boards regardless of load.
+    RoundRobin,
+    /// The board currently hosting the fewest live applications.
+    FewestApps,
+    /// The board with the least estimated outstanding compute
+    /// (Σ remaining batch work over its live applications).
+    LeastOutstanding,
+}
+
+impl DispatchPolicy {
+    /// All strategies, for sweeps.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::FewestApps,
+        DispatchPolicy::LeastOutstanding,
+    ];
+
+    /// Returns the strategy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::FewestApps => "fewest-apps",
+            DispatchPolicy::LeastOutstanding => "least-outstanding",
+        }
+    }
+
+    /// Picks the board for the next arrival. `cursor` is the round-robin
+    /// state, advanced by the caller on every dispatch.
+    pub(crate) fn choose<S: Scheduler>(
+        self,
+        boards: &[Hypervisor<S>],
+        cursor: usize,
+    ) -> usize {
+        match self {
+            DispatchPolicy::RoundRobin => cursor % boards.len(),
+            DispatchPolicy::FewestApps => boards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| (b.apps().len(), *i))
+                .map(|(i, _)| i)
+                .expect("cluster has at least one board"),
+            DispatchPolicy::LeastOutstanding => boards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| {
+                    let outstanding: SimDuration = b
+                        .apps()
+                        .values()
+                        .map(|app| app.remaining_compute())
+                        .sum();
+                    (outstanding, *i)
+                })
+                .map(|(i, _)| i)
+                .expect("cluster has at least one board"),
+        }
+    }
+}

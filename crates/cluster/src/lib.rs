@@ -1,0 +1,37 @@
+//! Multi-FPGA scale-out for the Nimblock virtualization stack.
+//!
+//! The paper's introduction lists three features a virtualized FPGA should
+//! support; the prototype demonstrates the first (fine-grained
+//! multi-tenancy) on a single ZCU106. This crate supplies the second —
+//! **scale-out** — as a library layer above `nimblock-core`: a cluster of
+//! modelled boards, each running its own hypervisor and scheduler, with a
+//! dispatcher that assigns arriving applications to boards.
+//!
+//! Dispatch happens at arrival time (applications do not migrate between
+//! boards; their partial bitstreams live on one board's storage), using one
+//! of the [`DispatchPolicy`] strategies.
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_cluster::{ClusterTestbed, DispatchPolicy};
+//! use nimblock_core::NimblockScheduler;
+//! use nimblock_workload::{generate, Scenario};
+//!
+//! let events = generate(1, 8, Scenario::Stress);
+//! let report = ClusterTestbed::new(2, DispatchPolicy::LeastOutstanding, || {
+//!     Box::new(NimblockScheduler::default())
+//! })
+//! .run(&events);
+//! assert_eq!(report.merged().records().len(), 8);
+//! assert_eq!(report.board_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dispatch;
+mod testbed;
+
+pub use dispatch::DispatchPolicy;
+pub use testbed::{ClusterReport, ClusterTestbed};

@@ -1,0 +1,305 @@
+//! The cluster testbed: a dispatcher over per-board hypervisors.
+
+use nimblock_core::{HvEvent, Hypervisor, Scheduler};
+use nimblock_fpga::{Device, DeviceConfig};
+use nimblock_metrics::Report;
+use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
+use nimblock_workload::EventSequence;
+
+use crate::DispatchPolicy;
+
+/// The result of a cluster run: the merged report plus per-board detail.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    merged: Report,
+    per_board: Vec<Report>,
+    assignments: Vec<usize>,
+}
+
+impl ClusterReport {
+    /// Returns the merged report over all boards (records keep their
+    /// stimulus event indices).
+    pub fn merged(&self) -> &Report {
+        &self.merged
+    }
+
+    /// Returns one report per board, containing only its own applications.
+    pub fn per_board(&self) -> &[Report] {
+        &self.per_board
+    }
+
+    /// Returns the number of boards.
+    pub fn board_count(&self) -> usize {
+        self.per_board.len()
+    }
+
+    /// Returns which board each stimulus event was dispatched to.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Returns how many events each board received.
+    pub fn board_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.per_board.len()];
+        for &board in &self.assignments {
+            loads[board] += 1;
+        }
+        loads
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterEvent {
+    /// Decide the board for stimulus event `index` and deliver its arrival.
+    Dispatch(usize),
+    /// A per-board hypervisor event.
+    Board(usize, HvEvent),
+    /// The shared scheduling tick, fanned out to every board.
+    Tick,
+}
+
+struct ClusterHandler<S> {
+    boards: Vec<Hypervisor<S>>,
+    dispatch: DispatchPolicy,
+    cursor: usize,
+    assignments: Vec<usize>,
+    dispatched: usize,
+    total_events: usize,
+    tick: SimDuration,
+}
+
+impl<S: Scheduler> ClusterHandler<S> {
+    fn finished(&self) -> bool {
+        self.dispatched == self.total_events && self.boards.iter().all(|b| b.apps().is_empty())
+    }
+
+    /// Delivers one hypervisor event to a board, re-homing any follow-up
+    /// events the board schedules into the cluster queue.
+    fn deliver(
+        &mut self,
+        board: usize,
+        event: HvEvent,
+        now: SimTime,
+        queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        let mut local = EventQueue::new();
+        self.boards[board].handle(now, event, &mut local);
+        while let Some((at, follow_up)) = local.pop() {
+            queue.push(at, ClusterEvent::Board(board, follow_up));
+        }
+    }
+}
+
+impl<S: Scheduler> Handler<ClusterEvent> for ClusterHandler<S> {
+    fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
+        match event {
+            ClusterEvent::Dispatch(index) => {
+                let board = self.dispatch.choose(&self.boards, self.cursor);
+                self.cursor += 1;
+                self.dispatched += 1;
+                self.assignments[index] = board;
+                self.deliver(board, HvEvent::Arrival(index), now, queue);
+            }
+            ClusterEvent::Board(board, inner) => self.deliver(board, inner, now, queue),
+            ClusterEvent::Tick => {
+                for board in 0..self.boards.len() {
+                    self.deliver(board, HvEvent::Tick, now, queue);
+                }
+                if !self.finished() {
+                    queue.push(now + self.tick, ClusterEvent::Tick);
+                }
+            }
+        }
+    }
+}
+
+/// Emulates real-time arrival on a cluster of identical boards: each event
+/// is dispatched to a board at its arrival time, then handled entirely by
+/// that board's hypervisor and scheduler.
+///
+/// See the crate-level example.
+pub struct ClusterTestbed<F> {
+    boards: usize,
+    dispatch: DispatchPolicy,
+    scheduler_factory: F,
+    device_config: DeviceConfig,
+    horizon: SimTime,
+}
+
+impl<S, F> ClusterTestbed<F>
+where
+    S: Scheduler,
+    F: Fn() -> S,
+{
+    /// Creates a cluster of `boards` identical ZCU106 overlays; every board
+    /// gets a fresh scheduler from `scheduler_factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boards` is zero.
+    pub fn new(boards: usize, dispatch: DispatchPolicy, scheduler_factory: F) -> Self {
+        assert!(boards > 0, "a cluster needs at least one board");
+        ClusterTestbed {
+            boards,
+            dispatch,
+            scheduler_factory,
+            device_config: DeviceConfig::zcu106(),
+            horizon: SimTime::from_secs(10_000_000),
+        }
+    }
+
+    /// Overrides the per-board device configuration.
+    pub fn with_device_config(mut self, device_config: DeviceConfig) -> Self {
+        self.device_config = device_config;
+        self
+    }
+
+    /// Runs `events` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any application fails to retire before the livelock
+    /// horizon.
+    pub fn run(self, events: &EventSequence) -> ClusterReport {
+        let tick = SimDuration::from_millis(nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS);
+        let boards: Vec<Hypervisor<S>> = (0..self.boards)
+            .map(|_| {
+                Hypervisor::new(
+                    Device::new(self.device_config.clone()),
+                    (self.scheduler_factory)(),
+                    events.events().to_vec(),
+                )
+                // The cluster fans ticks out itself.
+                .with_tick_interval(SimDuration::ZERO)
+            })
+            .collect();
+        let handler = ClusterHandler {
+            boards,
+            dispatch: self.dispatch,
+            cursor: 0,
+            assignments: vec![0; events.len()],
+            dispatched: 0,
+            total_events: events.len(),
+            tick,
+        };
+        let mut sim = Simulation::new(handler);
+        for (index, event) in events.iter().enumerate() {
+            sim.queue_mut()
+                .push(event.arrival(), ClusterEvent::Dispatch(index));
+        }
+        sim.queue_mut().push(SimTime::ZERO + tick, ClusterEvent::Tick);
+        sim.run_until(self.horizon);
+        assert!(
+            sim.handler().finished(),
+            "cluster hit the livelock horizon with applications outstanding"
+        );
+        let finished_at = sim.now();
+        let handler = sim.into_handler();
+        let assignments = handler.assignments;
+        let dispatch_name = handler.dispatch.name();
+        let per_board: Vec<Report> = handler
+            .boards
+            .into_iter()
+            .map(|b| b.into_report(finished_at))
+            .collect();
+        let scheduler_name = per_board
+            .first()
+            .map(|r| r.scheduler().to_owned())
+            .unwrap_or_default();
+        let merged_records = per_board
+            .iter()
+            .flat_map(|r| r.records().iter().cloned())
+            .collect();
+        let merged = Report::new(
+            format!(
+                "cluster({boards}x{scheduler_name}, {dispatch_name})",
+                boards = per_board.len()
+            ),
+            merged_records,
+            finished_at,
+        );
+        ClusterReport {
+            merged,
+            per_board,
+            assignments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_core::{NimblockScheduler, Testbed};
+    use nimblock_workload::{generate, Scenario};
+
+    fn cluster(
+        boards: usize,
+        dispatch: DispatchPolicy,
+    ) -> ClusterTestbed<impl Fn() -> NimblockScheduler> {
+        ClusterTestbed::new(boards, dispatch, NimblockScheduler::default)
+    }
+
+    #[test]
+    fn single_board_cluster_matches_the_plain_testbed() {
+        let events = generate(3, 8, Scenario::Stress);
+        let plain = Testbed::new(NimblockScheduler::default()).run(&events);
+        let clustered = cluster(1, DispatchPolicy::RoundRobin).run(&events);
+        assert_eq!(plain.records(), clustered.merged().records());
+    }
+
+    #[test]
+    fn every_event_is_assigned_and_retired() {
+        let events = generate(4, 12, Scenario::Stress);
+        for dispatch in DispatchPolicy::ALL {
+            let report = cluster(3, dispatch).run(&events);
+            assert_eq!(report.merged().records().len(), 12, "{}", dispatch.name());
+            assert_eq!(report.assignments().len(), 12);
+            assert!(report.assignments().iter().all(|&b| b < 3));
+            let loads = report.board_loads();
+            assert_eq!(loads.iter().sum::<usize>(), 12);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let events = generate(5, 12, Scenario::RealTime);
+        let report = cluster(4, DispatchPolicy::RoundRobin).run(&events);
+        assert_eq!(report.board_loads(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn more_boards_do_not_hurt_mean_response() {
+        let events = generate(6, 16, Scenario::Stress);
+        let one = cluster(1, DispatchPolicy::LeastOutstanding).run(&events);
+        let four = cluster(4, DispatchPolicy::LeastOutstanding).run(&events);
+        assert!(
+            four.merged().mean_response_secs() <= one.merged().mean_response_secs(),
+            "4 boards ({:.1}s) vs 1 board ({:.1}s)",
+            four.merged().mean_response_secs(),
+            one.merged().mean_response_secs()
+        );
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_loaded_board() {
+        use nimblock_app::{benchmarks, Priority};
+        use nimblock_workload::ArrivalEvent;
+        // A huge app lands first; the next arrivals must go to the other
+        // board under least-outstanding.
+        let events = EventSequence::new(vec![
+            ArrivalEvent::new(benchmarks::digit_recognition(), 10, Priority::Low, SimTime::ZERO),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::High, SimTime::from_millis(100)),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::High, SimTime::from_millis(200)),
+        ]);
+        let report = cluster(2, DispatchPolicy::LeastOutstanding).run(&events);
+        let assignments = report.assignments();
+        assert_ne!(assignments[1], assignments[0]);
+        assert_ne!(assignments[2], assignments[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn zero_boards_is_rejected() {
+        let _ = ClusterTestbed::new(0, DispatchPolicy::RoundRobin, NimblockScheduler::default);
+    }
+}

@@ -1,0 +1,772 @@
+//! The hypervisor mechanism.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use nimblock_fpga::{Device, SlotId};
+use nimblock_metrics::{Report, ResponseRecord};
+use nimblock_sim::{EventQueue, Handler, SimTime};
+use nimblock_app::TaskId;
+use nimblock_workload::ArrivalEvent;
+
+use crate::trace::{Trace, TraceEvent};
+use crate::{AppId, AppRuntime, Reconfig, SchedView, Scheduler, SlotBinding, TaskPhase};
+
+/// A hypervisor event, delivered by the simulation engine.
+///
+/// These are the occurrences the bare-metal hypervisor of the paper reacts
+/// to: an application arriving from the testbed, the periodic scheduling
+/// interval, the configuration port finishing a partial reconfiguration,
+/// and user logic finishing one batch item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HvEvent {
+    /// Arrival of stimulus event `index` (resolved against the stimulus the
+    /// hypervisor was constructed with).
+    Arrival(usize),
+    /// The periodic scheduling interval (400 ms on the evaluated system).
+    Tick,
+    /// The configuration port finished reconfiguring `slot`.
+    ReconfigDone {
+        /// The reconfigured slot.
+        slot: SlotId,
+    },
+    /// The task on `slot` finished one batch item.
+    ItemDone {
+        /// Application owning the task.
+        app: AppId,
+        /// The task that finished an item.
+        task: TaskId,
+        /// The slot it ran on.
+        slot: SlotId,
+        /// Launch generation of the slot; stale completions (the item was
+        /// aborted by a fine-grained preemption) are ignored.
+        gen: u64,
+    },
+}
+
+/// The Nimblock hypervisor: mechanism only, policy behind [`Scheduler`].
+///
+/// Owns the device model and all application runtime state. Driven as a
+/// [`Handler`] by `nimblock_sim::Simulation`; most users want the
+/// [`crate::Testbed`] wrapper instead of driving this directly.
+#[derive(Debug)]
+pub struct Hypervisor<S> {
+    device: Device,
+    scheduler: S,
+    stimulus: Vec<ArrivalEvent>,
+    apps: BTreeMap<AppId, AppRuntime>,
+    bindings: Vec<Option<(AppId, TaskId)>>,
+    records: Vec<ResponseRecord>,
+    next_app_raw: u64,
+    arrivals_seen: usize,
+    /// Launches skipped because the buffer pool was exhausted; they retry
+    /// at later scheduling points once memory frees up.
+    alloc_stalls: u64,
+    interconnect: nimblock_fpga::Interconnect,
+    tick_interval: nimblock_sim::SimDuration,
+    trace: Option<Trace>,
+    /// Per-slot launch generation; bumped on every launch and abort so
+    /// stale [`HvEvent::ItemDone`] events can be recognized.
+    launch_gen: Vec<u64>,
+    /// Checkpoint-save latency of fine-grained (mid-item) preemption;
+    /// `None` models the baseline overlay, which can only batch-preempt.
+    fine_checkpoint: Option<nimblock_sim::SimDuration>,
+    /// Partial bitstreams are per (application, task), not per arrival:
+    /// repeated invocations of the same application reuse the same files,
+    /// so their SD-card load cost is paid once (a warm start). The key
+    /// includes the bitstream size so same-named applications with
+    /// different footprints do not share entries.
+    bitstream_cache: HashMap<(String, usize, u64), nimblock_fpga::BitstreamId>,
+}
+
+impl<S: Scheduler> Hypervisor<S> {
+    /// Creates a hypervisor over `device` that will admit `stimulus` events
+    /// as the simulation delivers [`HvEvent::Arrival`]s.
+    pub fn new(device: Device, scheduler: S, stimulus: Vec<ArrivalEvent>) -> Self {
+        let slot_count = device.slot_count();
+        Hypervisor {
+            device,
+            scheduler,
+            stimulus,
+            apps: BTreeMap::new(),
+            bindings: vec![None; slot_count],
+            records: Vec::new(),
+            next_app_raw: 0,
+            arrivals_seen: 0,
+            alloc_stalls: 0,
+            interconnect: nimblock_fpga::Interconnect::zcu106_default(),
+            tick_interval: nimblock_sim::SimDuration::from_millis(
+                nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS,
+            ),
+            trace: None,
+            launch_gen: vec![0; slot_count],
+            fine_checkpoint: None,
+            bitstream_cache: HashMap::new(),
+        }
+    }
+
+    /// Enables fine-grained (mid-item) preemption with the given
+    /// checkpoint-save latency, modelling the checkpoint-capable overlay of
+    /// the paper's future work (§7). Schedulers may then preempt a
+    /// *running* task; its item progress is checkpointed and resumed later.
+    pub fn with_fine_preemption(mut self, checkpoint: nimblock_sim::SimDuration) -> Self {
+        self.fine_checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Overrides the periodic scheduling-tick interval.
+    pub fn with_tick_interval(mut self, interval: nimblock_sim::SimDuration) -> Self {
+        self.tick_interval = interval;
+        self
+    }
+
+    /// Enables schedule tracing (see [`Trace`]). Off by default: traces of
+    /// long runs are large.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// Returns the recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Removes and returns the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Overrides the per-item hypervisor overhead (task launch plus data
+    /// movement through the PS). Zero models an ideal zero-cost hypervisor.
+    /// Sugar for a position-independent [`nimblock_fpga::Interconnect::ThroughPs`].
+    pub fn with_per_item_overhead(self, overhead: nimblock_sim::SimDuration) -> Self {
+        self.with_interconnect(nimblock_fpga::Interconnect::ThroughPs {
+            per_transfer: overhead,
+        })
+    }
+
+    /// Overrides the inter-slot data-movement model (through-PS on the
+    /// evaluated overlay; a ring NoC is the paper's §7 future work).
+    pub fn with_interconnect(mut self, interconnect: nimblock_fpga::Interconnect) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Returns the device model.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Returns the scheduling policy.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Returns the live (admitted, unretired) applications.
+    pub fn apps(&self) -> &BTreeMap<AppId, AppRuntime> {
+        &self.apps
+    }
+
+    /// Returns the records of retired applications so far.
+    pub fn records(&self) -> &[ResponseRecord] {
+        &self.records
+    }
+
+    /// Returns how many launches were deferred for lack of buffer memory.
+    pub fn alloc_stalls(&self) -> u64 {
+        self.alloc_stalls
+    }
+
+    /// Returns `true` once every stimulus event has arrived and retired.
+    pub fn finished(&self) -> bool {
+        self.arrivals_seen == self.stimulus.len() && self.apps.is_empty()
+    }
+
+    /// Consumes the hypervisor into a metrics report.
+    pub fn into_report(self, finished_at: SimTime) -> Report {
+        Report::new(self.scheduler.name(), self.records, finished_at)
+    }
+
+    fn slot_snapshot(&self) -> Vec<SlotBinding> {
+        self.device
+            .slots()
+            .iter()
+            .map(|slot| SlotBinding {
+                slot: slot.id(),
+                state: slot.state(),
+                bound: self.bindings[slot.id().index()],
+                resources: *slot.resources(),
+            })
+            .collect()
+    }
+
+    /// Admits stimulus event `index`: registers its bitstreams, creates the
+    /// runtime, and notifies the policy (paper §2.2: bitstreams are placed
+    /// in the filesystem and the application enters the pending queue).
+    /// # Panics
+    ///
+    /// Panics if any task of the arriving application fits no slot on this
+    /// device: such an application could never be placed by any policy and
+    /// would livelock the run, so admission fails fast and names the task.
+    fn admit(&mut self, index: usize, now: SimTime) {
+        let event = self.stimulus[index].clone();
+        for (task, spec) in event.app().graph().tasks() {
+            assert!(
+                self.device
+                    .slots()
+                    .iter()
+                    .any(|slot| spec.resources().fits_within(slot.resources())),
+                "application '{}' cannot be admitted: {task} ('{}') fits no slot on this device",
+                event.app().name(),
+                spec.name(),
+            );
+        }
+        self.arrivals_seen += 1;
+        let id = AppId::new(self.next_app_raw);
+        self.next_app_raw += 1;
+        let bitstreams = (0..event.app().graph().task_count())
+            .map(|task| {
+                let key = (
+                    event.app().name().to_owned(),
+                    task,
+                    event.app().bitstream_bytes(),
+                );
+                *self.bitstream_cache.entry(key).or_insert_with(|| {
+                    self.device.store_mut().register(event.app().bitstream_bytes())
+                })
+            })
+            .collect();
+        let runtime = AppRuntime::new(
+            id,
+            index,
+            Arc::clone(event.app()),
+            event.batch_size(),
+            event.priority(),
+            now,
+            bitstreams,
+        );
+        self.apps.insert(id, runtime);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Arrival {
+                app: id,
+                name: event.app().name().to_owned(),
+                at: now,
+            });
+        }
+        let snapshot = self.slot_snapshot();
+        let view = SchedView {
+            now,
+            apps: &self.apps,
+            slots: &snapshot,
+            reconfig_latency: self.device.nominal_reconfig_latency(),
+            interconnect: self.interconnect,
+        };
+        self.scheduler.on_arrival(&view, id);
+    }
+
+    fn on_reconfig_done(&mut self, slot: SlotId, now: SimTime) {
+        let _ = now;
+        self.device.finish_reconfiguration(slot);
+        let (app, task) = self.bindings[slot.index()]
+            .expect("reconfiguration completed on an unbound slot");
+        let runtime = self.apps.get_mut(&app).expect("bound app is live");
+        debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Reconfiguring(slot));
+        runtime.phases[task.index()] = TaskPhase::Idle(slot);
+    }
+
+    fn on_item_done(&mut self, app: AppId, task: TaskId, slot: SlotId, now: SimTime, gen: u64) {
+        if gen != self.launch_gen[slot.index()] {
+            // The launch this completion belongs to was aborted by a
+            // fine-grained preemption; its progress is checkpointed.
+            return;
+        }
+        self.device.finish_execution(slot);
+        let runtime = self.apps.get_mut(&app).expect("running app is live");
+        debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Running(slot));
+        runtime.item_progress[task.index()] = nimblock_sim::SimDuration::ZERO;
+        runtime.item_started[task.index()] = None;
+        runtime.items_done[task.index()] += 1;
+        runtime.run_time += runtime.spec().graph().task(task).latency();
+        if runtime.items_done[task.index()] == runtime.batch_size() {
+            runtime.phases[task.index()] = TaskPhase::Done;
+            self.bindings[slot.index()] = None;
+            self.device
+                .release_slot(slot)
+                .expect("slot of a completed task is idle");
+        } else {
+            runtime.phases[task.index()] = TaskPhase::Idle(slot);
+        }
+        self.free_consumed_buffers(app);
+        if self.apps[&app].is_complete() {
+            self.retire(app, now);
+        }
+    }
+
+    /// Relinquishes output buffers whose data no consumer still needs
+    /// (paper §2.2: "the hypervisor relinquishes the unneeded data
+    /// buffers").
+    fn free_consumed_buffers(&mut self, app: AppId) {
+        let runtime = self.apps.get_mut(&app).expect("app is live");
+        let graph = Arc::clone(runtime.spec()).graph_arc();
+        for task in graph.task_ids() {
+            let producer_done = runtime.phases[task.index()] == TaskPhase::Done;
+            let consumers_done = graph
+                .successors(task)
+                .iter()
+                .all(|&s| runtime.phases[s.index()] == TaskPhase::Done);
+            if producer_done && consumers_done {
+                if let Some(buffer) = runtime.buffers[task.index()].take() {
+                    self.device
+                        .memory_mut()
+                        .free(buffer)
+                        .expect("buffer was live");
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, app: AppId, now: SimTime) {
+        let runtime = self.apps.remove(&app).expect("retiring app is live");
+        // Free any buffers the consumed-buffer sweep left behind.
+        for buffer in runtime.buffers.iter().flatten() {
+            self.device
+                .memory_mut()
+                .free(*buffer)
+                .expect("buffer was live");
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Retire { app, at: now });
+        }
+        self.records.push(ResponseRecord {
+            event_index: runtime.event_index(),
+            app_name: runtime.spec().name().to_owned(),
+            batch_size: runtime.batch_size(),
+            priority: runtime.priority(),
+            arrival: runtime.arrival(),
+            first_launch: runtime.first_launch,
+            retired: now,
+            run_time: runtime.run_time,
+            reconfig_time: runtime.reconfig_time,
+            preemptions: runtime.preemptions,
+        });
+        let snapshot = self.slot_snapshot();
+        let view = SchedView {
+            now,
+            apps: &self.apps,
+            slots: &snapshot,
+            reconfig_latency: self.device.nominal_reconfig_latency(),
+            interconnect: self.interconnect,
+        };
+        self.scheduler.on_retire(&view, app);
+    }
+
+    /// Validates and enacts one scheduling directive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directive violates the [`Scheduler`] contract: dead
+    /// application, non-unplaced task, busy slot, or preemption of a
+    /// non-idle victim. These are policy bugs.
+    fn enact(&mut self, directive: Reconfig, now: SimTime, queue: &mut EventQueue<HvEvent>) {
+        let Reconfig { app, task, slot } = directive;
+        assert!(
+            self.apps.contains_key(&app),
+            "directive names dead application {app}"
+        );
+        assert_eq!(
+            self.apps[&app].phase(task),
+            TaskPhase::Unplaced,
+            "directive places {task} of {app} which is not unplaced"
+        );
+        assert!(
+            self.apps[&app]
+                .spec()
+                .graph()
+                .task(task)
+                .resources()
+                .fits_within(
+                    self.device
+                        .slot(slot)
+                        .expect("directive names a real slot")
+                        .resources()
+                ),
+            "directive places {task} of {app} into {slot}, which it does not fit"
+        );
+        // Preempt the current occupant, if any.
+        let mut reconfig_start = now;
+        if let Some((victim_app, victim_task)) = self.bindings[slot.index()] {
+            assert!(
+                (victim_app, victim_task) != (app, task),
+                "directive reconfigures {task} of {app} onto its own slot"
+            );
+            let fine_checkpoint = self.fine_checkpoint;
+            let victim = self
+                .apps
+                .get_mut(&victim_app)
+                .expect("bound app is live");
+            match victim.phases[victim_task.index()] {
+                // Batch-preemption: batch state (items_done) is retained —
+                // that is the whole point of preempting at batch boundaries
+                // (paper §3.2).
+                TaskPhase::Idle(victim_slot) if victim_slot == slot => {}
+                // Fine-grained preemption: only legal on a checkpoint-capable
+                // overlay; the in-flight item's progress is saved and the
+                // checkpoint latency delays the reconfiguration.
+                TaskPhase::Running(victim_slot) if victim_slot == slot => {
+                    let checkpoint = fine_checkpoint.unwrap_or_else(|| {
+                        panic!(
+                            "mid-item preemption of {victim_task} of {victim_app} \
+                             without a checkpoint-capable overlay"
+                        )
+                    });
+                    let started = victim.item_started[victim_task.index()]
+                        .expect("running task has a start time");
+                    let latency = victim.spec().graph().task(victim_task).latency();
+                    // Elapsed time includes the item's input fetch, so a
+                    // preempted item may bank up to one fetch worth of
+                    // "progress" — a slightly optimistic checkpoint model.
+                    let progress = victim.item_progress[victim_task.index()]
+                        + now.saturating_since(started);
+                    victim.item_progress[victim_task.index()] =
+                        progress.min(latency);
+                    victim.item_started[victim_task.index()] = None;
+                    self.launch_gen[slot.index()] += 1; // in-flight ItemDone is stale
+                    self.device
+                        .abort_execution(slot)
+                        .expect("running slot can be aborted");
+                    reconfig_start = now + checkpoint;
+                }
+                other => panic!(
+                    "preemption of {victim_task} of {victim_app} in phase {other:?}"
+                ),
+            }
+            let victim = self.apps.get_mut(&victim_app).expect("bound app is live");
+            victim.phases[victim_task.index()] = TaskPhase::Unplaced;
+            victim.preemptions += 1;
+            self.bindings[slot.index()] = None;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Preempt {
+                    slot,
+                    app: victim_app,
+                    task: victim_task,
+                    at: now,
+                });
+            }
+        }
+        let bitstream = self.apps[&app].bitstream(task);
+        let done_at = self
+            .device
+            .begin_reconfiguration(slot, bitstream, reconfig_start)
+            .expect("directive validated against device state");
+        let runtime = self.apps.get_mut(&app).expect("checked above");
+        runtime.phases[task.index()] = TaskPhase::Reconfiguring(slot);
+        runtime.reconfig_time += done_at.saturating_since(now);
+        self.bindings[slot.index()] = Some((app, task));
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Reconfig {
+                slot,
+                app,
+                task,
+                at: now,
+                until: done_at,
+            });
+        }
+        queue.push(done_at, HvEvent::ReconfigDone { slot });
+    }
+
+    /// Feeds the next batch item to every idle task whose dependencies
+    /// allow it (under the policy's pipelining rule).
+    fn launch_items(&mut self, now: SimTime, queue: &mut EventQueue<HvEvent>) {
+        let pipelining = self.scheduler.pipelining();
+        for slot_index in 0..self.bindings.len() {
+            let Some((app, task)) = self.bindings[slot_index] else {
+                continue;
+            };
+            let slot = SlotId::new(slot_index as u32);
+            let runtime = self.apps.get_mut(&app).expect("bound app is live");
+            if runtime.phases[task.index()] != TaskPhase::Idle(slot) {
+                continue;
+            }
+            if !runtime.deps_allow_next_item(task, pipelining) {
+                continue;
+            }
+            // Allocate the task's output buffer on first launch.
+            if runtime.buffers[task.index()].is_none() {
+                let bytes = runtime.spec().graph().task(task).output_bytes();
+                match self.device.memory_mut().alloc(bytes) {
+                    Ok(buffer) => {
+                        let runtime = self.apps.get_mut(&app).expect("bound app is live");
+                        runtime.buffers[task.index()] = Some(buffer);
+                    }
+                    Err(_) => {
+                        // Retry at a later scheduling point, once buffers
+                        // have been relinquished.
+                        self.alloc_stalls += 1;
+                        continue;
+                    }
+                }
+            }
+            self.device
+                .begin_execution(slot)
+                .expect("idle bound slot is configured");
+            self.launch_gen[slot_index] += 1;
+            let gen = self.launch_gen[slot_index];
+            let runtime = self.apps.get_mut(&app).expect("bound app is live");
+            runtime.phases[task.index()] = TaskPhase::Running(slot);
+            runtime.first_launch.get_or_insert(now);
+            runtime.item_started[task.index()] = Some(now);
+            // Fetch the item's inputs: from predecessors' slots when they
+            // are resident, from PS memory otherwise (application inputs,
+            // or producers that already left the fabric).
+            let slot_count = self.bindings.len();
+            let preds = runtime.spec().graph().predecessors(task);
+            let fetch = if preds.is_empty() {
+                self.interconnect.fetch_latency(None, slot, slot_count)
+            } else {
+                preds
+                    .iter()
+                    .map(|&p| {
+                        let from = runtime.phases[p.index()].slot();
+                        self.interconnect.fetch_latency(from, slot, slot_count)
+                    })
+                    .max()
+                    .expect("non-empty predecessors")
+            };
+            // Resume a checkpointed item where it left off.
+            let full = runtime.spec().graph().task(task).latency();
+            let remaining = full - runtime.item_progress[task.index()].min(full);
+            let latency = remaining + fetch;
+            let item = runtime.items_done[task.index()];
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Item {
+                    slot,
+                    app,
+                    task,
+                    item,
+                    at: now,
+                    until: now + latency,
+                });
+            }
+            queue.push(now + latency, HvEvent::ItemDone { app, task, slot, gen });
+        }
+    }
+
+    /// The scheduling loop run after every event: policy directives while
+    /// the configuration port is idle, then item launches.
+    fn drive(&mut self, now: SimTime, queue: &mut EventQueue<HvEvent>) {
+        while self.device.cap().is_idle() {
+            let snapshot = self.slot_snapshot();
+            let directive = {
+                let view = SchedView {
+                    now,
+                    apps: &self.apps,
+                    slots: &snapshot,
+                    reconfig_latency: self.device.nominal_reconfig_latency(),
+                    interconnect: self.interconnect,
+                };
+                self.scheduler.next_reconfig(&view)
+            };
+            match directive {
+                Some(reconfig) => self.enact(reconfig, now, queue),
+                None => break,
+            }
+        }
+        self.launch_items(now, queue);
+    }
+}
+
+impl<S: Scheduler> Handler<HvEvent> for Hypervisor<S> {
+    fn handle(&mut self, now: SimTime, event: HvEvent, queue: &mut EventQueue<HvEvent>) {
+        match event {
+            HvEvent::Arrival(index) => self.admit(index, now),
+            HvEvent::Tick => {}
+            HvEvent::ReconfigDone { slot } => self.on_reconfig_done(slot, now),
+            HvEvent::ItemDone { app, task, slot, gen } => {
+                self.on_item_done(app, task, slot, now, gen)
+            }
+        }
+        self.drive(now, queue);
+        // A zero tick interval disables self re-arming: an outer driver
+        // (e.g. a multi-board cluster) supplies the ticks instead.
+        if matches!(event, HvEvent::Tick) && !self.finished() && !self.tick_interval.is_zero() {
+            queue.push(now + self.tick_interval, HvEvent::Tick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::VecDeque;
+    
+
+    use nimblock_app::{benchmarks, Priority, TaskId};
+    use nimblock_fpga::DeviceConfig;
+    use nimblock_sim::{SimDuration, Simulation};
+    use nimblock_workload::ArrivalEvent;
+
+    use super::*;
+    use crate::Reconfig;
+
+    /// A test policy that replays a fixed list of directives, one per
+    /// scheduling point, then stays silent.
+    #[derive(Debug, Default)]
+    struct Scripted {
+        directives: VecDeque<Reconfig>,
+        pipelining: bool,
+    }
+
+    impl Scheduler for Scripted {
+        fn name(&self) -> String {
+            "Scripted".to_owned()
+        }
+
+        fn pipelining(&self) -> bool {
+            self.pipelining
+        }
+
+        fn next_reconfig(&mut self, _view: &SchedView<'_>) -> Option<Reconfig> {
+            self.directives.pop_front()
+        }
+    }
+
+    fn start(scheduler: Scripted, batch: u32) -> Simulation<HvEvent, Hypervisor<Scripted>> {
+        let events = vec![ArrivalEvent::new(
+            benchmarks::lenet(),
+            batch,
+            Priority::Medium,
+            SimTime::ZERO,
+        )];
+        let hypervisor = Hypervisor::new(Device::new(DeviceConfig::zcu106()), scheduler, events);
+        let mut sim = Simulation::new(hypervisor);
+        sim.queue_mut().push(SimTime::ZERO, HvEvent::Arrival(0));
+        sim
+    }
+
+    fn app0() -> AppId {
+        AppId::new(0)
+    }
+
+    #[test]
+    #[should_panic(expected = "dead application")]
+    fn directive_for_unknown_app_panics() {
+        let scripted = Scripted {
+            directives: VecDeque::from(vec![Reconfig {
+                app: AppId::new(99),
+                task: TaskId::new(0),
+                slot: SlotId::new(0),
+            }]),
+            pipelining: false,
+        };
+        start(scripted, 1).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "not unplaced")]
+    fn directive_for_placed_task_panics() {
+        // Place task 0 twice on two different slots.
+        let scripted = Scripted {
+            directives: VecDeque::from(vec![
+                Reconfig { app: app0(), task: TaskId::new(0), slot: SlotId::new(0) },
+                Reconfig { app: app0(), task: TaskId::new(0), slot: SlotId::new(1) },
+            ]),
+            pipelining: false,
+        };
+        start(scripted, 1).run();
+    }
+
+    #[test]
+    fn scripted_single_app_completes_and_reports() {
+        // Place the three LeNet tasks on three slots in topological order.
+        let scripted = Scripted {
+            directives: VecDeque::from(vec![
+                Reconfig { app: app0(), task: TaskId::new(0), slot: SlotId::new(0) },
+                Reconfig { app: app0(), task: TaskId::new(1), slot: SlotId::new(1) },
+                Reconfig { app: app0(), task: TaskId::new(2), slot: SlotId::new(2) },
+            ]),
+            pipelining: true,
+        };
+        let mut sim = start(scripted, 2);
+        sim.run();
+        assert!(sim.handler().finished());
+        let records = sim.handler().records();
+        assert_eq!(records.len(), 1);
+        // 3 reconfigurations of 80 ms each were charged to the app.
+        assert_eq!(records[0].reconfig_time, SimDuration::from_millis(240));
+        assert_eq!(sim.handler().device().cap().completed(), 3);
+    }
+
+    #[test]
+    fn silent_scheduler_never_finishes() {
+        let mut sim = start(Scripted::default(), 1);
+        sim.run_until(SimTime::from_secs(10));
+        assert!(!sim.handler().finished());
+        assert!(sim.handler().records().is_empty());
+        assert_eq!(sim.handler().apps().len(), 1);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_on_when_enabled() {
+        let hypervisor = Hypervisor::new(
+            Device::new(DeviceConfig::zcu106()),
+            Scripted::default(),
+            Vec::new(),
+        );
+        assert!(hypervisor.trace().is_none());
+        let mut traced = Hypervisor::new(
+            Device::new(DeviceConfig::zcu106()),
+            Scripted::default(),
+            Vec::new(),
+        )
+        .with_tracing();
+        assert!(traced.trace().is_some());
+        assert!(traced.take_trace().is_some());
+        assert!(traced.trace().is_none());
+    }
+
+    #[test]
+    fn finished_requires_all_arrivals_and_retirements() {
+        let hypervisor = Hypervisor::new(
+            Device::new(DeviceConfig::zcu106()),
+            Scripted::default(),
+            vec![ArrivalEvent::new(
+                benchmarks::lenet(),
+                1,
+                Priority::Low,
+                SimTime::ZERO,
+            )],
+        );
+        // Nothing arrived yet: one stimulus event outstanding.
+        assert!(!hypervisor.finished());
+    }
+
+    #[test]
+    fn bulk_mode_waits_for_predecessor_batches() {
+        // With pipelining disabled, task 1 must not start until task 0 has
+        // finished both items; verify through the final timestamp.
+        let scripted_bulk = Scripted {
+            directives: VecDeque::from(vec![
+                Reconfig { app: app0(), task: TaskId::new(0), slot: SlotId::new(0) },
+                Reconfig { app: app0(), task: TaskId::new(1), slot: SlotId::new(1) },
+                Reconfig { app: app0(), task: TaskId::new(2), slot: SlotId::new(2) },
+            ]),
+            pipelining: false,
+        };
+        let scripted_pipe = Scripted {
+            directives: VecDeque::from(vec![
+                Reconfig { app: app0(), task: TaskId::new(0), slot: SlotId::new(0) },
+                Reconfig { app: app0(), task: TaskId::new(1), slot: SlotId::new(1) },
+                Reconfig { app: app0(), task: TaskId::new(2), slot: SlotId::new(2) },
+            ]),
+            pipelining: true,
+        };
+        let mut bulk = start(scripted_bulk, 3);
+        let mut pipe = start(scripted_pipe, 3);
+        let bulk_end = bulk.run();
+        let pipe_end = pipe.run();
+        assert!(
+            pipe_end < bulk_end,
+            "pipelined ({pipe_end}) must finish before bulk ({bulk_end})"
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Per-application runtime state.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::{AppSpec, Priority, TaskId};
+use nimblock_fpga::{BitstreamId, BufferId, SlotId};
+use nimblock_sim::{SimDuration, SimTime};
+
+/// Identifier of an application instance inside one hypervisor.
+///
+/// Assigned densely in arrival order, so sorting by `AppId` sorts by age —
+/// the ordering both PREMA's candidate selection and Nimblock's
+/// oldest-first allocation rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(u64);
+
+impl AppId {
+    pub(crate) const fn new(raw: u64) -> Self {
+        AppId(raw)
+    }
+
+    /// Returns the raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// Where one task of a running application currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Not configured on any slot (never placed, or batch-preempted).
+    Unplaced,
+    /// A partial bitstream is streaming into the slot.
+    Reconfiguring(SlotId),
+    /// Configured and idle at a batch boundary — the only state in which
+    /// the task may be preempted (paper §3.2).
+    Idle(SlotId),
+    /// Processing one batch item on the slot.
+    Running(SlotId),
+    /// The whole batch is processed; the slot has been surrendered.
+    Done,
+}
+
+impl TaskPhase {
+    /// Returns the slot the task occupies, if any.
+    pub fn slot(self) -> Option<SlotId> {
+        match self {
+            TaskPhase::Unplaced | TaskPhase::Done => None,
+            TaskPhase::Reconfiguring(s) | TaskPhase::Idle(s) | TaskPhase::Running(s) => Some(s),
+        }
+    }
+
+    /// Returns `true` if the task holds a slot (reconfiguring, idle, or
+    /// running).
+    pub fn is_placed(self) -> bool {
+        self.slot().is_some()
+    }
+}
+
+/// The hypervisor-side state of one admitted application.
+///
+/// Read-only to schedulers (through [`crate::SchedView`]); only the
+/// hypervisor mutates it.
+#[derive(Debug, Clone)]
+pub struct AppRuntime {
+    id: AppId,
+    event_index: usize,
+    spec: Arc<AppSpec>,
+    batch_size: u32,
+    priority: Priority,
+    arrival: SimTime,
+    pub(crate) bitstreams: Vec<BitstreamId>,
+    pub(crate) phases: Vec<TaskPhase>,
+    pub(crate) items_done: Vec<u32>,
+    pub(crate) buffers: Vec<Option<BufferId>>,
+    /// Checkpointed progress into the current item of each task (non-zero
+    /// only after a fine-grained preemption interrupted the item).
+    pub(crate) item_progress: Vec<SimDuration>,
+    /// When each task's in-flight item started, while running.
+    pub(crate) item_started: Vec<Option<SimTime>>,
+    pub(crate) first_launch: Option<SimTime>,
+    pub(crate) run_time: SimDuration,
+    pub(crate) reconfig_time: SimDuration,
+    pub(crate) preemptions: u32,
+}
+
+impl AppRuntime {
+    pub(crate) fn new(
+        id: AppId,
+        event_index: usize,
+        spec: Arc<AppSpec>,
+        batch_size: u32,
+        priority: Priority,
+        arrival: SimTime,
+        bitstreams: Vec<BitstreamId>,
+    ) -> Self {
+        let n = spec.graph().task_count();
+        assert_eq!(bitstreams.len(), n, "one bitstream per task");
+        AppRuntime {
+            id,
+            event_index,
+            spec,
+            batch_size,
+            priority,
+            arrival,
+            bitstreams,
+            phases: vec![TaskPhase::Unplaced; n],
+            items_done: vec![0; n],
+            buffers: vec![None; n],
+            item_progress: vec![SimDuration::ZERO; n],
+            item_started: vec![None; n],
+            first_launch: None,
+            run_time: SimDuration::ZERO,
+            reconfig_time: SimDuration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    /// Returns the application identifier.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// Returns the index of the arrival event that created this application.
+    pub fn event_index(&self) -> usize {
+        self.event_index
+    }
+
+    /// Returns the application specification.
+    pub fn spec(&self) -> &Arc<AppSpec> {
+        &self.spec
+    }
+
+    /// Returns the batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Returns the priority level.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Returns the arrival time.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Returns the phase of `task`.
+    pub fn phase(&self, task: TaskId) -> TaskPhase {
+        self.phases[task.index()]
+    }
+
+    /// Returns how many batch items `task` has completed.
+    pub fn items_done(&self, task: TaskId) -> u32 {
+        self.items_done[task.index()]
+    }
+
+    /// Returns how many preemptions this application has suffered.
+    pub fn preemptions(&self) -> u32 {
+        self.preemptions
+    }
+
+    /// Returns the checkpointed progress into `task`'s current item (zero
+    /// unless a fine-grained preemption interrupted it).
+    pub fn item_progress(&self, task: TaskId) -> SimDuration {
+        self.item_progress[task.index()]
+    }
+
+    /// Returns the number of slots the application currently occupies
+    /// (`a.slots_used` in the paper's Algorithm 2).
+    pub fn slots_used(&self) -> usize {
+        self.phases.iter().filter(|p| p.is_placed()).count()
+    }
+
+    /// Returns `true` once every task has processed the whole batch.
+    pub fn is_complete(&self) -> bool {
+        self.phases.iter().all(|&p| p == TaskPhase::Done)
+    }
+
+    /// Returns the number of tasks that have not yet finished their batch.
+    pub fn unfinished_tasks(&self) -> usize {
+        self.phases.iter().filter(|&&p| p != TaskPhase::Done).count()
+    }
+
+    /// Returns the estimated remaining compute: Σ over unfinished tasks of
+    /// `(batch - items_done) × latency`. PREMA's shortest-candidate-first
+    /// selection sorts by this.
+    pub fn remaining_compute(&self) -> SimDuration {
+        self.spec
+            .graph()
+            .tasks()
+            .map(|(id, task)| {
+                let left = u64::from(self.batch_size - self.items_done[id.index()]);
+                task.latency().saturating_mul(left)
+            })
+            .sum()
+    }
+
+    /// Returns `true` if every predecessor of `task` has completed enough
+    /// items for `task` to process its next one: one more than `task` under
+    /// pipelining, the whole batch under bulk processing.
+    pub fn deps_allow_next_item(&self, task: TaskId, pipelining: bool) -> bool {
+        let next_item = self.items_done[task.index()];
+        if next_item >= self.batch_size {
+            return false;
+        }
+        self.spec.graph().predecessors(task).iter().all(|&p| {
+            let done = self.items_done[p.index()];
+            if pipelining {
+                done > next_item
+            } else {
+                done == self.batch_size
+            }
+        })
+    }
+
+    /// Returns the first unplaced task (in topological order) whose
+    /// predecessors are all placed or done — eligible for *eager*
+    /// configuration so reconfiguration overlaps upstream compute.
+    pub fn next_unplaced_eager(&self) -> Option<TaskId> {
+        self.spec.graph().topological_order().iter().copied().find(|&t| {
+            self.phases[t.index()] == TaskPhase::Unplaced
+                && self
+                    .spec
+                    .graph()
+                    .predecessors(t)
+                    .iter()
+                    .all(|&p| self.phases[p.index()] != TaskPhase::Unplaced)
+        })
+    }
+
+    /// Returns the first unplaced task (in topological order) whose
+    /// predecessors have completed their *whole batch* — the bulk readiness
+    /// rule used by FCFS, PREMA, and round-robin.
+    pub fn next_unplaced_ready(&self) -> Option<TaskId> {
+        self.spec.graph().topological_order().iter().copied().find(|&t| {
+            self.phases[t.index()] == TaskPhase::Unplaced
+                && self
+                    .spec
+                    .graph()
+                    .predecessors(t)
+                    .iter()
+                    .all(|&p| self.phases[p.index()] == TaskPhase::Done)
+        })
+    }
+
+    /// Returns every unplaced task (in topological order) whose
+    /// predecessors have completed their whole batch. Round-robin issues
+    /// all of these to its per-slot queues at once.
+    pub fn unplaced_ready_tasks(&self) -> Vec<TaskId> {
+        self.spec
+            .graph()
+            .topological_order()
+            .iter()
+            .copied()
+            .filter(|&t| {
+                self.phases[t.index()] == TaskPhase::Unplaced
+                    && self
+                        .spec
+                        .graph()
+                        .predecessors(t)
+                        .iter()
+                        .all(|&p| self.phases[p.index()] == TaskPhase::Done)
+            })
+            .collect()
+    }
+
+    /// Returns the placed (reconfiguring, idle, or running) task that is
+    /// latest in topological order — the batch-preemption victim choice of
+    /// Algorithm 2, which "eliminates the chance of removing a task that is
+    /// acting as a pipelined dependency".
+    pub fn topologically_latest_placed(&self) -> Option<TaskId> {
+        self.spec
+            .graph()
+            .topological_order()
+            .iter()
+            .copied()
+            .rev()
+            .find(|&t| self.phases[t.index()].is_placed())
+    }
+
+    /// Returns the bitstream for `task`.
+    pub fn bitstream(&self, task: TaskId) -> BitstreamId {
+        self.bitstreams[task.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::benchmarks;
+
+    fn runtime() -> AppRuntime {
+        let spec = Arc::new(benchmarks::lenet());
+        let n = spec.graph().task_count();
+        AppRuntime::new(
+            AppId::new(0),
+            0,
+            spec,
+            4,
+            Priority::Medium,
+            SimTime::ZERO,
+            (0..n as u64).map(BitstreamId::new).collect(),
+        )
+    }
+
+    fn t(i: u32) -> TaskId {
+        TaskId::new(i)
+    }
+
+    #[test]
+    fn fresh_app_is_all_unplaced() {
+        let app = runtime();
+        assert_eq!(app.slots_used(), 0);
+        assert!(!app.is_complete());
+        assert_eq!(app.unfinished_tasks(), 3);
+        assert_eq!(app.next_unplaced_eager(), Some(t(0)));
+        assert_eq!(app.next_unplaced_ready(), Some(t(0)));
+    }
+
+    #[test]
+    fn eager_follows_placement_ready_follows_completion() {
+        let mut app = runtime();
+        app.phases[0] = TaskPhase::Reconfiguring(SlotId::new(0));
+        // Eager: task 1 may configure as soon as task 0 is placed.
+        assert_eq!(app.next_unplaced_eager(), Some(t(1)));
+        // Bulk-ready: task 1 must wait for task 0 to finish the batch.
+        assert_eq!(app.next_unplaced_ready(), None);
+        app.phases[0] = TaskPhase::Done;
+        app.items_done[0] = 4;
+        assert_eq!(app.next_unplaced_ready(), Some(t(1)));
+    }
+
+    #[test]
+    fn deps_allow_next_item_pipelined_vs_bulk() {
+        let mut app = runtime();
+        app.items_done[0] = 2;
+        // Task 1 has done 1 item; pred has done 2 > 1: pipelining allows.
+        app.items_done[1] = 1;
+        assert!(app.deps_allow_next_item(t(1), true));
+        // Bulk requires pred to have the whole batch (4) done.
+        assert!(!app.deps_allow_next_item(t(1), false));
+        app.items_done[0] = 4;
+        assert!(app.deps_allow_next_item(t(1), false));
+    }
+
+    #[test]
+    fn deps_never_allow_past_batch_end() {
+        let mut app = runtime();
+        app.items_done[0] = 4;
+        assert!(!app.deps_allow_next_item(t(0), true));
+        assert!(!app.deps_allow_next_item(t(0), false));
+    }
+
+    #[test]
+    fn sources_are_always_item_ready() {
+        let app = runtime();
+        assert!(app.deps_allow_next_item(t(0), true));
+        assert!(app.deps_allow_next_item(t(0), false));
+    }
+
+    #[test]
+    fn remaining_compute_shrinks_with_progress() {
+        let mut app = runtime();
+        let before = app.remaining_compute();
+        app.items_done[0] = 2;
+        let after = app.remaining_compute();
+        assert!(after < before);
+        // 2 items × 60 ms less.
+        assert_eq!(before - after, SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn completion_accounting() {
+        let mut app = runtime();
+        for i in 0..3 {
+            app.phases[i] = TaskPhase::Done;
+            app.items_done[i] = 4;
+        }
+        assert!(app.is_complete());
+        assert_eq!(app.unfinished_tasks(), 0);
+        assert_eq!(app.remaining_compute(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn topologically_latest_placed_picks_pipeline_tail() {
+        let mut app = runtime();
+        app.phases[0] = TaskPhase::Running(SlotId::new(0));
+        app.phases[1] = TaskPhase::Idle(SlotId::new(1));
+        assert_eq!(app.topologically_latest_placed(), Some(t(1)));
+        app.phases[2] = TaskPhase::Reconfiguring(SlotId::new(2));
+        assert_eq!(app.topologically_latest_placed(), Some(t(2)));
+    }
+
+    #[test]
+    fn phase_slot_extraction() {
+        assert_eq!(TaskPhase::Unplaced.slot(), None);
+        assert_eq!(TaskPhase::Done.slot(), None);
+        let s = SlotId::new(3);
+        assert_eq!(TaskPhase::Idle(s).slot(), Some(s));
+        assert!(TaskPhase::Running(s).is_placed());
+    }
+}

@@ -1,0 +1,84 @@
+//! The scheduling-policy interface and the five evaluated policies.
+
+mod dml;
+mod extras;
+mod fcfs;
+mod nimblock;
+mod no_sharing;
+mod prema;
+mod round_robin;
+mod tokens;
+
+pub use dml::DmlStaticScheduler;
+pub use extras::{EdfScheduler, SjfScheduler};
+pub use fcfs::FcfsScheduler;
+pub use nimblock::{NimblockConfig, NimblockScheduler};
+pub use no_sharing::NoSharingScheduler;
+pub use prema::PremaScheduler;
+pub use round_robin::RoundRobinScheduler;
+pub(crate) use tokens::TokenBank;
+
+use crate::{AppId, Reconfig, SchedView};
+
+/// A scheduling policy consulted by the [`crate::Hypervisor`].
+///
+/// The hypervisor calls [`Scheduler::next_reconfig`] at every scheduling
+/// point at which the configuration port is idle — application arrival,
+/// reconfiguration completion, batch-item completion, application
+/// retirement, and the periodic scheduling interval. The policy may answer
+/// with at most one [`Reconfig`] directive per call (the port reconfigures
+/// one slot at a time); directing a bound slot batch-preempts its idle
+/// occupant.
+///
+/// # Contract
+///
+/// A directive must name a live application, one of its
+/// [`crate::TaskPhase::Unplaced`] tasks, and a slot that is either free or
+/// occupied by an [`crate::TaskPhase::Idle`] task. The hypervisor panics on
+/// violations — they are policy bugs, not runtime conditions.
+pub trait Scheduler {
+    /// Human-readable policy name, used in reports.
+    fn name(&self) -> String;
+
+    /// Whether the hypervisor may pipeline batch items across dependent
+    /// tasks (Figure 2(c)). Bulk-processing policies return `false`.
+    fn pipelining(&self) -> bool {
+        false
+    }
+
+    /// Notification that `app` was admitted (it is present in `view`).
+    fn on_arrival(&mut self, view: &SchedView<'_>, app: AppId) {
+        let _ = (view, app);
+    }
+
+    /// Notification that `app` retired (it is already absent from `view`).
+    fn on_retire(&mut self, view: &SchedView<'_>, app: AppId) {
+        let _ = (view, app);
+    }
+
+    /// Returns the next reconfiguration to perform, or `None` to leave the
+    /// configuration port idle until the next scheduling point.
+    fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig>;
+}
+
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn pipelining(&self) -> bool {
+        (**self).pipelining()
+    }
+
+    fn on_arrival(&mut self, view: &SchedView<'_>, app: AppId) {
+        (**self).on_arrival(view, app);
+    }
+
+    fn on_retire(&mut self, view: &SchedView<'_>, app: AppId) {
+        (**self).on_retire(view, app);
+    }
+
+    fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
+        (**self).next_reconfig(view)
+    }
+}

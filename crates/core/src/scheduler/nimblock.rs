@@ -1,0 +1,453 @@
+//! The Nimblock scheduling algorithm (paper §4).
+
+use std::collections::{BTreeMap, HashMap};
+
+use nimblock_ilp::{saturation, EstimatorConfig, PipelineEstimator};
+
+use crate::scheduler::TokenBank;
+use crate::{AppId, Reconfig, SchedView, Scheduler, TaskPhase};
+
+/// Configuration of the [`NimblockScheduler`], including the ablation
+/// switches of the paper's §5.6 study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NimblockConfig {
+    /// Enable cross-batch pipelining (Figure 2(c)). Off = `NimblockNoPipe`.
+    pub pipelining: bool,
+    /// Enable batch-preemption (Algorithm 2). Off = `NimblockNoPreempt`.
+    pub preemption: bool,
+    /// Preempt mid-item as well (requires a checkpoint-capable overlay —
+    /// enable it on the testbed with `with_fine_preemption`). The paper's
+    /// §7 future work; off in the evaluated system.
+    pub fine_preemption: bool,
+    /// Token-accumulation scale factor α (Algorithm 1, line 6).
+    pub alpha: f64,
+    /// Knee threshold for the goal-number saturation analysis.
+    pub improvement_threshold: f64,
+}
+
+impl NimblockConfig {
+    /// The full algorithm: pipelining and preemption enabled.
+    pub fn full() -> Self {
+        NimblockConfig {
+            pipelining: true,
+            preemption: true,
+            fine_preemption: false,
+            alpha: 1.0,
+            improvement_threshold: saturation::DEFAULT_IMPROVEMENT_THRESHOLD,
+        }
+    }
+
+    /// The future-work variant: preemption also mid-item, on a
+    /// checkpoint-capable overlay.
+    pub fn fine_preemption() -> Self {
+        NimblockConfig {
+            fine_preemption: true,
+            ..NimblockConfig::full()
+        }
+    }
+
+    /// Ablation: preemption disabled (`NimblockNoPreempt` in Figure 9).
+    pub fn no_preemption() -> Self {
+        NimblockConfig {
+            preemption: false,
+            ..NimblockConfig::full()
+        }
+    }
+
+    /// Ablation: pipelining disabled (`NimblockNoPipe` in Figure 9).
+    pub fn no_pipelining() -> Self {
+        NimblockConfig {
+            pipelining: false,
+            ..NimblockConfig::full()
+        }
+    }
+
+    /// Ablation: both disabled (`NimblockNoPreemptNoPipe` in Figure 9).
+    pub fn no_preemption_no_pipelining() -> Self {
+        NimblockConfig {
+            pipelining: false,
+            preemption: false,
+            ..NimblockConfig::full()
+        }
+    }
+}
+
+impl Default for NimblockConfig {
+    fn default() -> Self {
+        NimblockConfig::full()
+    }
+}
+
+/// The Nimblock scheduler: PREMA-style token candidacy, goal-number slot
+/// allocation, oldest-first task selection, cross-batch pipelining, and
+/// batch-preemption of over-consumers.
+///
+/// Decision pipeline per scheduling point (Figure 3 of the paper):
+///
+/// 1. accumulate tokens, update the candidate pool (Algorithm 1),
+/// 2. reallocate slots: one slot per candidate (oldest first), then up to
+///    each candidate's *goal number* (from the saturation analysis run at
+///    admission), then surplus slots to whoever can use them, by age,
+/// 3. select a task: the oldest candidate below its allocation with a
+///    placeable task,
+/// 4. select a slot: a free slot if available, otherwise batch-preempt the
+///    worst over-consumer's topologically-latest idle task (Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use nimblock_core::{NimblockConfig, NimblockScheduler, Scheduler};
+///
+/// let full = NimblockScheduler::default();
+/// assert!(full.pipelining());
+/// let ablated = NimblockScheduler::with_config(NimblockConfig::no_pipelining());
+/// assert!(!ablated.pipelining());
+/// assert_eq!(ablated.name(), "NimblockNoPipe");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NimblockScheduler {
+    config: NimblockConfig,
+    bank: TokenBank,
+    goals: BTreeMap<AppId, usize>,
+    /// Saturation analyses are deterministic per (benchmark, batch, slots);
+    /// cache them as the paper caches its offline Gurobi results.
+    goal_cache: HashMap<(String, u32, usize), usize>,
+    preemptions_issued: u64,
+}
+
+impl NimblockScheduler {
+    /// Creates the full Nimblock scheduler.
+    pub fn new() -> Self {
+        NimblockScheduler::with_config(NimblockConfig::full())
+    }
+
+    /// Creates a Nimblock scheduler with explicit (possibly ablated)
+    /// configuration.
+    pub fn with_config(config: NimblockConfig) -> Self {
+        NimblockScheduler {
+            config,
+            bank: TokenBank::new(config.alpha),
+            goals: BTreeMap::new(),
+            goal_cache: HashMap::new(),
+            preemptions_issued: 0,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &NimblockConfig {
+        &self.config
+    }
+
+    /// Returns how many batch-preemption directives this scheduler issued.
+    pub fn preemptions_issued(&self) -> u64 {
+        self.preemptions_issued
+    }
+
+    /// Computes (or recalls) the goal number for an admitted application.
+    fn goal_number(&mut self, view: &SchedView<'_>, app: AppId) -> usize {
+        let runtime = view.app(app).expect("admitting app is live");
+        let key = (
+            runtime.spec().name().to_owned(),
+            runtime.batch_size(),
+            view.slot_count(),
+        );
+        if let Some(&goal) = self.goal_cache.get(&key) {
+            return goal;
+        }
+        let estimator = PipelineEstimator::new(EstimatorConfig {
+            reconfig: view.reconfig_latency,
+            pipelining: self.config.pipelining,
+        });
+        let goal = saturation::analyze_with(
+            &estimator,
+            runtime.spec(),
+            runtime.batch_size(),
+            view.slot_count(),
+            self.config.improvement_threshold,
+        )
+        .goal_number();
+        self.goal_cache.insert(key, goal);
+        goal
+    }
+
+    /// The most slots an application can put to work right now.
+    fn usable_cap(&self, view: &SchedView<'_>, app: AppId) -> usize {
+        let Some(runtime) = view.app(app) else { return 0 };
+        if self.config.pipelining {
+            // Every unfinished task can hold a pipeline stage.
+            runtime.unfinished_tasks()
+        } else {
+            // Without pipelining only parallel graph branches can coexist.
+            runtime
+                .spec()
+                .graph()
+                .max_width()
+                .min(runtime.unfinished_tasks())
+        }
+    }
+
+    /// Phase 2 of Figure 3: distribute slots among candidates.
+    fn allocate(&mut self, view: &SchedView<'_>, candidates: &[AppId]) -> BTreeMap<AppId, usize> {
+        let mut alloc: BTreeMap<AppId, usize> = candidates.iter().map(|&a| (a, 0)).collect();
+        let mut left = view.slot_count();
+        // One slot each, oldest candidate first, to guarantee forward
+        // progress for everyone.
+        for &app in candidates {
+            if left == 0 {
+                return alloc;
+            }
+            alloc.insert(app, 1);
+            left -= 1;
+        }
+        // Raise allocations to the goal number, oldest first.
+        for &app in candidates {
+            let goal = self.goals.get(&app).copied().unwrap_or(1);
+            while left > 0 && alloc[&app] < goal {
+                *alloc.get_mut(&app).expect("inserted above") += 1;
+                left -= 1;
+            }
+        }
+        // Surplus slots go to whoever can still use them, by age.
+        for &app in candidates {
+            let cap = self.usable_cap(view, app);
+            while left > 0 && alloc[&app] < cap {
+                *alloc.get_mut(&app).expect("inserted above") += 1;
+                left -= 1;
+            }
+        }
+        alloc
+    }
+
+    /// Algorithm 2: pick the slot to batch-preempt for `for_app`, if any.
+    fn preemption_victim(
+        &self,
+        view: &SchedView<'_>,
+        alloc: &BTreeMap<AppId, usize>,
+        for_app: AppId,
+        needs: &nimblock_fpga::Resources,
+    ) -> Option<nimblock_fpga::SlotId> {
+        let mut over_consumption = 0i64;
+        let mut over_consumer: Option<AppId> = None;
+        for binding in view.slots {
+            let Some((slot_app, slot_task)) = binding.bound else {
+                continue;
+            };
+            if slot_app == for_app {
+                continue;
+            }
+            let Some(runtime) = view.app(slot_app) else {
+                continue;
+            };
+            let consumption =
+                runtime.slots_used() as i64 - alloc.get(&slot_app).copied().unwrap_or(0) as i64;
+            let waiting = match runtime.phase(slot_task) {
+                TaskPhase::Idle(_) => true,
+                // A checkpoint-capable overlay can stop a running item too.
+                TaskPhase::Running(_) => self.config.fine_preemption,
+                _ => false,
+            };
+            if waiting && consumption > over_consumption {
+                over_consumption = consumption;
+                over_consumer = Some(slot_app);
+            }
+        }
+        // "If no application is an over-consumer, then no task will be
+        // preempted."
+        let victim_app = over_consumer?;
+        let runtime = view.app(victim_app).expect("selected above");
+        let victim_task = runtime.topologically_latest_placed()?;
+        // Preempt at a batch boundary, or mid-item when the overlay can
+        // checkpoint; otherwise delay until the task reaches a boundary
+        // (the hypervisor will ask again at that event).
+        let slot = match runtime.phase(victim_task) {
+            TaskPhase::Idle(slot) => slot,
+            TaskPhase::Running(slot) if self.config.fine_preemption => slot,
+            _ => return None,
+        };
+        // On heterogeneous overlays the reclaimed slot must fit the task.
+        needs
+            .fits_within(&view.slots[slot.index()].resources)
+            .then_some(slot)
+    }
+}
+
+impl Default for NimblockScheduler {
+    fn default() -> Self {
+        NimblockScheduler::new()
+    }
+}
+
+impl Scheduler for NimblockScheduler {
+    fn name(&self) -> String {
+        let base = match (self.config.pipelining, self.config.preemption) {
+            (true, true) => "Nimblock",
+            (true, false) => "NimblockNoPreempt",
+            (false, true) => "NimblockNoPipe",
+            (false, false) => "NimblockNoPreemptNoPipe",
+        };
+        if self.config.fine_preemption {
+            format!("{base}Fine")
+        } else {
+            base.to_owned()
+        }
+    }
+
+    fn pipelining(&self) -> bool {
+        self.config.pipelining
+    }
+
+    fn on_arrival(&mut self, view: &SchedView<'_>, app: AppId) {
+        let runtime = view.app(app).expect("arriving app is live");
+        self.bank.admit(runtime, view);
+        let goal = self.goal_number(view, app);
+        self.goals.insert(app, goal);
+    }
+
+    fn on_retire(&mut self, _view: &SchedView<'_>, app: AppId) {
+        self.bank.remove(app);
+        self.goals.remove(&app);
+    }
+
+    fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
+        self.bank.accumulate(view.now);
+        let mut candidates = self.bank.candidates(view.now);
+        candidates.retain(|c| view.app(*c).is_some());
+        if candidates.is_empty() {
+            return None;
+        }
+        let alloc = self.allocate(view, &candidates);
+        // Oldest candidate below its allocation with a placeable task.
+        for &app in &candidates {
+            let runtime = view.app(app).expect("retained above");
+            if runtime.slots_used() >= alloc[&app] {
+                continue;
+            }
+            let task = if self.config.pipelining {
+                runtime.next_unplaced_eager()
+            } else {
+                runtime.next_unplaced_ready()
+            };
+            let Some(task) = task else { continue };
+            // Prefer the free slot with the cheapest input path from the
+            // task's placed predecessors; on the through-PS interconnect
+            // every slot costs the same and this is the first free slot.
+            if let Some(slot) = view.best_free_slot_for(app, task) {
+                return Some(Reconfig { app, task, slot });
+            }
+            if self.config.preemption {
+                let needs = *view
+                    .app(app)
+                    .expect("retained above")
+                    .spec()
+                    .graph()
+                    .task(task)
+                    .resources();
+                if let Some(slot) = self.preemption_victim(view, &alloc, app, &needs) {
+                    self.preemptions_issued += 1;
+                    return Some(Reconfig { app, task, slot });
+                }
+            }
+            // No slot obtainable for the neediest candidate; wait for a
+            // batch boundary or a retirement rather than skipping ahead.
+            return None;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Testbed;
+    use nimblock_app::{benchmarks, Priority};
+    use nimblock_sim::SimTime;
+    use nimblock_workload::{ArrivalEvent, EventSequence};
+
+    #[test]
+    fn names_follow_ablation_config() {
+        assert_eq!(NimblockScheduler::new().name(), "Nimblock");
+        assert_eq!(
+            NimblockScheduler::with_config(NimblockConfig::no_preemption()).name(),
+            "NimblockNoPreempt"
+        );
+        assert_eq!(
+            NimblockScheduler::with_config(NimblockConfig::no_preemption_no_pipelining()).name(),
+            "NimblockNoPreemptNoPipe"
+        );
+    }
+
+    #[test]
+    fn pipelining_beats_bulk_for_a_lone_batched_app() {
+        let events = EventSequence::new(vec![ArrivalEvent::new(
+            benchmarks::optical_flow(),
+            10,
+            Priority::Medium,
+            SimTime::ZERO,
+        )]);
+        let full = Testbed::new(NimblockScheduler::new()).run(&events);
+        let no_pipe =
+            Testbed::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining())).run(&events);
+        assert!(
+            full.records()[0].response_time() < no_pipe.records()[0].response_time(),
+            "pipelining should shorten a batched chain"
+        );
+    }
+
+    #[test]
+    fn preemption_rescues_late_arrivals_from_monopolists() {
+        // A big pipelining AlexNet occupies many slots; nine short LeNets
+        // arrive later. With preemption they claw slots back.
+        let mut events = vec![ArrivalEvent::new(
+            benchmarks::alexnet(),
+            20,
+            Priority::Low,
+            SimTime::ZERO,
+        )];
+        for i in 0..9 {
+            events.push(ArrivalEvent::new(
+                benchmarks::lenet(),
+                2,
+                Priority::High,
+                SimTime::from_millis(2_000 + i * 100),
+            ));
+        }
+        let events = EventSequence::new(events);
+        let with = Testbed::new(NimblockScheduler::new()).run(&events);
+        let without =
+            Testbed::new(NimblockScheduler::with_config(NimblockConfig::no_preemption())).run(&events);
+        let mean_lenet = |r: &nimblock_metrics::Report| {
+            let times: Vec<f64> = r
+                .records()
+                .iter()
+                .filter(|rec| rec.app_name == "LeNet")
+                .map(|rec| rec.response_time().as_secs_f64())
+                .collect();
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        assert!(
+            mean_lenet(&with) <= mean_lenet(&without) * 1.05,
+            "preemption should not hurt the short high-priority apps: {} vs {}",
+            mean_lenet(&with),
+            mean_lenet(&without)
+        );
+    }
+
+    #[test]
+    fn all_apps_retire_under_every_ablation() {
+        let events = EventSequence::new(vec![
+            ArrivalEvent::new(benchmarks::lenet(), 5, Priority::Low, SimTime::ZERO),
+            ArrivalEvent::new(benchmarks::alexnet(), 3, Priority::Medium, SimTime::from_millis(100)),
+            ArrivalEvent::new(benchmarks::image_compression(), 8, Priority::High, SimTime::from_millis(200)),
+            ArrivalEvent::new(benchmarks::rendering_3d(), 2, Priority::Low, SimTime::from_millis(300)),
+        ]);
+        for config in [
+            NimblockConfig::full(),
+            NimblockConfig::no_preemption(),
+            NimblockConfig::no_pipelining(),
+            NimblockConfig::no_preemption_no_pipelining(),
+        ] {
+            let report = Testbed::new(NimblockScheduler::with_config(config)).run(&events);
+            assert_eq!(report.records().len(), 4, "{config:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! PREMA-style token accumulation (paper §4.1, Algorithm 1).
+//!
+//! Applications accumulate tokens proportional to their priority and their
+//! normalized performance degradation. The *threshold* is the maximum token
+//! count in the pending queue rounded down to the nearest priority level;
+//! applications at or above the threshold are scheduling *candidates*.
+
+use std::collections::BTreeMap;
+
+use nimblock_app::Priority;
+use nimblock_sim::SimTime;
+
+use crate::{AppId, AppRuntime, SchedView};
+
+/// The scheduling-interval length used as the token-accumulation epoch
+/// (the paper's 400 ms slot-reallocation interval, §5.1).
+const EPOCH_SECS: f64 = 0.4;
+
+#[derive(Debug, Clone)]
+struct TokenEntry {
+    tokens: f64,
+    weight: f64,
+    /// Single-slot latency estimate in seconds; normalizes degradation.
+    isolated_secs: f64,
+    admitted: SimTime,
+    last_update: SimTime,
+    candidate_since: Option<SimTime>,
+}
+
+/// Token bookkeeping shared by the PREMA and Nimblock policies.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenBank {
+    alpha: f64,
+    entries: BTreeMap<AppId, TokenEntry>,
+}
+
+impl TokenBank {
+    /// Creates a bank with degradation scale factor `alpha`.
+    pub(crate) fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        TokenBank {
+            alpha,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Admits an application: initial tokens equal its priority weight
+    /// (Algorithm 1, line 3).
+    pub(crate) fn admit(&mut self, app: &AppRuntime, view: &SchedView<'_>) {
+        let weight = f64::from(app.priority().weight());
+        let isolated = app
+            .spec()
+            .single_slot_latency(app.batch_size(), view.reconfig_latency)
+            .as_secs_f64()
+            .max(1e-6);
+        self.entries.insert(
+            app.id(),
+            TokenEntry {
+                tokens: weight,
+                weight,
+                isolated_secs: isolated,
+                admitted: view.now,
+                last_update: view.now,
+                candidate_since: None,
+            },
+        );
+    }
+
+    /// Forgets a retired application.
+    pub(crate) fn remove(&mut self, app: AppId) {
+        self.entries.remove(&app);
+    }
+
+    /// Accumulates tokens for every pending application. At each 400 ms
+    /// scheduling epoch an application earns `alpha × priority ×
+    /// degradation` tokens, where its degradation is the time it has spent
+    /// in the system normalized by its isolated (single-slot) latency
+    /// (Algorithm 1, line 6). Integrated over epochs this gives the closed
+    /// form `weight + alpha × weight × elapsed² / (2 × isolated × epoch)`,
+    /// which keeps the result independent of how often the hypervisor
+    /// happens to consult the scheduler.
+    pub(crate) fn accumulate(&mut self, now: SimTime) {
+        for entry in self.entries.values_mut() {
+            let elapsed = now.saturating_since(entry.admitted).as_secs_f64();
+            entry.tokens = entry.weight
+                + self.alpha * entry.weight * elapsed * elapsed
+                    / (2.0 * entry.isolated_secs * EPOCH_SECS);
+            entry.last_update = now;
+        }
+    }
+
+    /// Returns the candidate threshold: the maximum token count floored to
+    /// the nearest priority level (Algorithm 1, line 8).
+    pub(crate) fn threshold(&self) -> f64 {
+        self.entries
+            .values()
+            .map(|e| f64::from(Priority::floor_weight(e.tokens)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns the candidate pool — applications whose tokens meet the
+    /// threshold — ordered oldest candidate first (entry into the pool,
+    /// then age). Newly qualifying applications are stamped with `now`.
+    pub(crate) fn candidates(&mut self, now: SimTime) -> Vec<AppId> {
+        let threshold = self.threshold();
+        let mut pool: Vec<(SimTime, AppId)> = Vec::new();
+        for (&id, entry) in self.entries.iter_mut() {
+            if entry.tokens >= threshold {
+                let since = *entry.candidate_since.get_or_insert(now);
+                pool.push((since, id));
+            }
+        }
+        pool.sort();
+        pool.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Returns the token count of `app`, if admitted.
+    #[cfg(test)]
+    pub(crate) fn tokens(&self, app: AppId) -> Option<f64> {
+        self.entries.get(&app).map(|e| e.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::SlotBinding;
+    use nimblock_app::benchmarks;
+    use nimblock_sim::SimDuration;
+    use std::sync::Arc;
+
+    fn make_app(raw: u64, priority: Priority, batch: u32) -> AppRuntime {
+        let spec = Arc::new(benchmarks::lenet());
+        let n = spec.graph().task_count();
+        AppRuntime::new(
+            AppId::new(raw),
+            raw as usize,
+            spec,
+            batch,
+            priority,
+            SimTime::ZERO,
+            (0..n as u64).map(nimblock_fpga::BitstreamId::new).collect(),
+        )
+    }
+
+    fn view_at<'a>(
+        now: SimTime,
+        apps: &'a BTreeMap<AppId, AppRuntime>,
+        slots: &'a [SlotBinding],
+    ) -> SchedView<'a> {
+        SchedView {
+            now,
+            apps,
+            slots,
+            reconfig_latency: SimDuration::from_millis(80),
+            interconnect: nimblock_fpga::Interconnect::zcu106_default(),
+        }
+    }
+
+    #[test]
+    fn initial_tokens_equal_priority_weight() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let app = make_app(0, Priority::High, 2);
+        bank.admit(&app, &view_at(SimTime::ZERO, &apps, &[]));
+        assert_eq!(bank.tokens(app.id()), Some(9.0));
+    }
+
+    #[test]
+    fn tokens_grow_faster_for_higher_priority() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let low = make_app(0, Priority::Low, 2);
+        let high = make_app(1, Priority::High, 2);
+        bank.admit(&low, &view);
+        bank.admit(&high, &view);
+        bank.accumulate(SimTime::from_secs(10));
+        let low_gain = bank.tokens(low.id()).unwrap() - 1.0;
+        let high_gain = bank.tokens(high.id()).unwrap() - 9.0;
+        assert!((high_gain / low_gain - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_apps_degrade_faster() {
+        // Same priority, smaller batch => smaller isolated latency => faster
+        // normalized degradation.
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let small = make_app(0, Priority::Low, 1);
+        let big = make_app(1, Priority::Low, 30);
+        bank.admit(&small, &view);
+        bank.admit(&big, &view);
+        bank.accumulate(SimTime::from_secs(5));
+        assert!(bank.tokens(small.id()).unwrap() > bank.tokens(big.id()).unwrap());
+    }
+
+    #[test]
+    fn threshold_floors_to_priority_levels() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let medium = make_app(0, Priority::Medium, 2);
+        bank.admit(&medium, &view);
+        assert_eq!(bank.threshold(), 3.0);
+        // Push tokens to 8.9 — still floors to 3.
+        let app_entry = bank.entries.get_mut(&medium.id()).unwrap();
+        app_entry.tokens = 8.9;
+        assert_eq!(bank.threshold(), 3.0);
+        bank.entries.get_mut(&medium.id()).unwrap().tokens = 9.1;
+        assert_eq!(bank.threshold(), 9.0);
+    }
+
+    #[test]
+    fn high_priority_arrival_excludes_low_until_it_degrades() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let low = make_app(0, Priority::Low, 2);
+        let high = make_app(1, Priority::High, 2);
+        bank.admit(&low, &view);
+        bank.admit(&high, &view);
+        let cands = bank.candidates(SimTime::ZERO);
+        assert_eq!(cands, vec![high.id()]);
+    }
+
+    #[test]
+    fn candidates_ordered_by_pool_entry_time() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let a = make_app(0, Priority::High, 2);
+        bank.admit(&a, &view);
+        assert_eq!(bank.candidates(SimTime::ZERO), vec![a.id()]);
+        // b joins the pool later; a keeps its earlier candidate_since.
+        let b = make_app(1, Priority::High, 2);
+        bank.admit(&b, &view_at(SimTime::from_secs(1), &apps, &[]));
+        let cands = bank.candidates(SimTime::from_secs(1));
+        assert_eq!(cands, vec![a.id(), b.id()]);
+    }
+
+    #[test]
+    fn removed_apps_leave_the_pool() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let a = make_app(0, Priority::Low, 2);
+        bank.admit(&a, &view);
+        bank.remove(a.id());
+        assert!(bank.candidates(SimTime::ZERO).is_empty());
+        assert_eq!(bank.threshold(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        TokenBank::new(0.0);
+    }
+}

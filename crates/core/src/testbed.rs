@@ -1,0 +1,238 @@
+//! The testbed: stimulus in, report out (paper §5.1).
+
+use nimblock_fpga::{Device, DeviceConfig};
+use nimblock_metrics::Report;
+use nimblock_sim::{SimDuration, SimTime, Simulation};
+use nimblock_workload::EventSequence;
+
+use crate::{HvEvent, Hypervisor, Scheduler};
+
+/// Emulates real-time application arrival on a single FPGA: releases each
+/// stimulus event to the hypervisor at its arrival time, runs the system to
+/// completion, and collects per-application metadata into a
+/// [`Report`].
+///
+/// # Example
+///
+/// ```
+/// use nimblock_core::{PremaScheduler, Testbed};
+/// use nimblock_workload::{generate, Scenario};
+///
+/// let events = generate(3, 4, Scenario::Standard);
+/// let report = Testbed::new(PremaScheduler::new()).run(&events);
+/// assert_eq!(report.records().len(), 4);
+/// assert_eq!(report.scheduler(), "PREMA");
+/// ```
+#[derive(Debug)]
+pub struct Testbed<S> {
+    scheduler: S,
+    device_config: DeviceConfig,
+    horizon: SimTime,
+    per_item_overhead: Option<SimDuration>,
+    interconnect: Option<nimblock_fpga::Interconnect>,
+    scheduling_interval: SimDuration,
+    fine_checkpoint: Option<SimDuration>,
+}
+
+/// Default livelock horizon: far beyond any legitimate sequence length
+/// (the longest benchmark runs ~17 minutes per arrival).
+const DEFAULT_HORIZON: SimTime = SimTime::from_secs(10_000_000);
+
+impl<S: Scheduler> Testbed<S> {
+    /// Creates a testbed on the default ZCU106 overlay (ten slots, 80 ms
+    /// reconfiguration).
+    pub fn new(scheduler: S) -> Self {
+        Testbed {
+            scheduler,
+            device_config: DeviceConfig::zcu106(),
+            horizon: DEFAULT_HORIZON,
+            per_item_overhead: None,
+            interconnect: None,
+            scheduling_interval: SimDuration::from_millis(
+                nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS,
+            ),
+            fine_checkpoint: None,
+        }
+    }
+
+    /// Overrides the device configuration (slot count, port bandwidth, …).
+    pub fn with_device_config(mut self, device_config: DeviceConfig) -> Self {
+        self.device_config = device_config;
+        self
+    }
+
+    /// Overrides the livelock horizon after which [`Testbed::run`] panics.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Overrides the per-item hypervisor overhead (control plus data
+    /// movement through the PS between batch items; default 1 ms). A
+    /// NoC-equipped overlay — the paper's §7 future work — would shrink
+    /// this; zero models an ideal zero-cost hypervisor.
+    pub fn with_per_item_overhead(mut self, overhead: SimDuration) -> Self {
+        self.per_item_overhead = Some(overhead);
+        self
+    }
+
+    /// Overrides the inter-slot data-movement model: the evaluated
+    /// through-PS path, or the ring NoC of the paper's §7 future work.
+    pub fn with_interconnect(mut self, interconnect: nimblock_fpga::Interconnect) -> Self {
+        self.interconnect = Some(interconnect);
+        self
+    }
+
+    /// Models a checkpoint-capable overlay: schedulers may preempt
+    /// mid-item, paying `checkpoint` to save the item's state (paper §7
+    /// future work). Pair with a policy that exploits it, e.g.
+    /// `NimblockConfig::fine_preemption()`.
+    pub fn with_fine_preemption(mut self, checkpoint: SimDuration) -> Self {
+        self.fine_checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Overrides the periodic scheduling interval at which slot
+    /// reallocation is triggered (400 ms on the evaluated system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (the tick would spin forever).
+    pub fn with_scheduling_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "scheduling interval must be positive");
+        self.scheduling_interval = interval;
+        self
+    }
+
+    /// Runs `events` to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to retire every application before the
+    /// livelock horizon — a scheduler that stops making progress is a bug
+    /// worth failing loudly on.
+    /// Runs `events` to completion with schedule tracing enabled, returning
+    /// the report plus the full [`crate::Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Testbed::run`].
+    pub fn run_traced(self, events: &EventSequence) -> (Report, crate::Trace) {
+        let horizon = self.horizon;
+        let mut sim = self.into_simulation(events, true);
+        sim.run_until(horizon);
+        assert!(
+            sim.handler().finished(),
+            "testbed hit the livelock horizon with {} applications outstanding",
+            sim.handler().apps().len()
+        );
+        let finished_at = sim.now();
+        let mut hypervisor = sim.into_handler();
+        let trace = hypervisor.take_trace().expect("tracing was enabled");
+        (hypervisor.into_report(finished_at), trace)
+    }
+
+    fn into_simulation(
+        self,
+        events: &EventSequence,
+        tracing: bool,
+    ) -> Simulation<HvEvent, Hypervisor<S>> {
+        let device = Device::new(self.device_config);
+        let tick = self.scheduling_interval;
+        let mut hypervisor = Hypervisor::new(device, self.scheduler, events.events().to_vec())
+            .with_tick_interval(tick);
+        if let Some(overhead) = self.per_item_overhead {
+            hypervisor = hypervisor.with_per_item_overhead(overhead);
+        }
+        if let Some(interconnect) = self.interconnect {
+            hypervisor = hypervisor.with_interconnect(interconnect);
+        }
+        if let Some(checkpoint) = self.fine_checkpoint {
+            hypervisor = hypervisor.with_fine_preemption(checkpoint);
+        }
+        if tracing {
+            hypervisor = hypervisor.with_tracing();
+        }
+        let mut sim = Simulation::new(hypervisor);
+        for (index, event) in events.iter().enumerate() {
+            sim.queue_mut().push(event.arrival(), HvEvent::Arrival(index));
+        }
+        sim.queue_mut().push(SimTime::ZERO + tick, HvEvent::Tick);
+        sim
+    }
+
+    /// Runs `events` to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to retire every application before the
+    /// livelock horizon — a scheduler that stops making progress is a bug
+    /// worth failing loudly on.
+    pub fn run(self, events: &EventSequence) -> Report {
+        let horizon = self.horizon;
+        let mut sim = self.into_simulation(events, false);
+        sim.run_until(horizon);
+        assert!(
+            sim.handler().finished(),
+            "testbed hit the livelock horizon with {} applications outstanding",
+            sim.handler().apps().len()
+        );
+        let finished_at = sim.now();
+        sim.into_handler().into_report(finished_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FcfsScheduler, NimblockScheduler, NoSharingScheduler, PremaScheduler, RoundRobinScheduler};
+    use nimblock_workload::{generate, Scenario};
+
+    #[test]
+    fn every_policy_retires_every_app_on_the_same_stimulus() {
+        let events = generate(11, 8, Scenario::Stress);
+        let reports = [
+            Testbed::new(NoSharingScheduler::new()).run(&events),
+            Testbed::new(FcfsScheduler::new()).run(&events),
+            Testbed::new(PremaScheduler::new()).run(&events),
+            Testbed::new(RoundRobinScheduler::new()).run(&events),
+            Testbed::new(NimblockScheduler::new()).run(&events),
+        ];
+        for report in &reports {
+            assert_eq!(report.records().len(), 8, "{}", report.scheduler());
+            for record in report.records() {
+                assert!(record.retired >= record.arrival);
+                assert!(record.first_launch.is_some(), "{}", report.scheduler());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let events = generate(5, 6, Scenario::Standard);
+        let a = Testbed::new(NimblockScheduler::new()).run(&events);
+        let b = Testbed::new(NimblockScheduler::new()).run(&events);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.finished_at(), b.finished_at());
+    }
+
+    #[test]
+    fn smaller_devices_work() {
+        let events = generate(2, 4, Scenario::Standard);
+        let config = DeviceConfig::zcu106().with_slot_count(3);
+        let report = Testbed::new(NimblockScheduler::new())
+            .with_device_config(config)
+            .run(&events);
+        assert_eq!(report.records().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock horizon")]
+    fn horizon_catches_unfinished_runs() {
+        let events = generate(0, 4, Scenario::Standard);
+        // A horizon shorter than any execution forces the panic path.
+        Testbed::new(NoSharingScheduler::new())
+            .with_horizon(SimTime::from_millis(1))
+            .run(&events);
+    }
+}

@@ -1,0 +1,363 @@
+//! Schedule traces: a per-slot record of everything the hypervisor did.
+//!
+//! Traces serve three purposes: debugging a policy (render a Gantt chart of
+//! the schedule), validating hardware constraints after the fact (the
+//! configuration port never overlaps itself; a slot never runs two things
+//! at once), and feeding external analysis (serialize and post-process).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::TaskId;
+use nimblock_fpga::SlotId;
+use nimblock_sim::SimTime;
+
+use crate::AppId;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An application entered the pending queue.
+    Arrival {
+        /// The admitted application.
+        app: AppId,
+        /// Benchmark name.
+        name: String,
+        /// Admission time.
+        at: SimTime,
+    },
+    /// The configuration port started streaming a bitstream into a slot.
+    Reconfig {
+        /// Destination slot.
+        slot: SlotId,
+        /// Application whose task is being configured.
+        app: AppId,
+        /// The task being configured.
+        task: TaskId,
+        /// Stream start.
+        at: SimTime,
+        /// Stream completion.
+        until: SimTime,
+    },
+    /// A task processed one batch item on a slot.
+    Item {
+        /// The slot it ran on.
+        slot: SlotId,
+        /// Owning application.
+        app: AppId,
+        /// The task.
+        task: TaskId,
+        /// Zero-based index of the batch item.
+        item: u32,
+        /// Item start.
+        at: SimTime,
+        /// Item completion.
+        until: SimTime,
+    },
+    /// A task was batch-preempted off its slot.
+    Preempt {
+        /// The surrendered slot.
+        slot: SlotId,
+        /// The preempted application.
+        app: AppId,
+        /// The preempted task.
+        task: TaskId,
+        /// Preemption time.
+        at: SimTime,
+    },
+    /// An application retired.
+    Retire {
+        /// The retired application.
+        app: AppId,
+        /// Retirement time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// Returns the time the event occurred (its start, for spans).
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Reconfig { at, .. }
+            | TraceEvent::Item { at, .. }
+            | TraceEvent::Preempt { at, .. }
+            | TraceEvent::Retire { at, .. } => *at,
+        }
+    }
+}
+
+/// The full schedule record of one testbed run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Returns every traced event in emission order (non-decreasing time).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns the number of traced events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the busy spans `(start, end)` of one slot, in time order:
+    /// reconfigurations and item executions.
+    pub fn slot_spans(&self, slot: SlotId) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Reconfig { slot: s, at, until, .. }
+                | TraceEvent::Item { slot: s, at, until, .. }
+                    if *s == slot =>
+                {
+                    Some((*at, *until))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Returns the spans during which the configuration port was streaming.
+    pub fn cap_spans(&self) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Reconfig { at, until, .. } => Some((*at, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks the hardware constraints the schedule must respect.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found: overlapping
+    /// reconfigurations on the configuration port, or overlapping busy
+    /// spans on any slot.
+    pub fn validate(&self, slot_count: usize) -> Result<(), String> {
+        let mut cap = self.cap_spans();
+        cap.sort();
+        for pair in cap.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(format!(
+                    "configuration port overlap: [{}, {}) and [{}, {})",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                ));
+            }
+        }
+        for index in 0..slot_count {
+            let slot = SlotId::new(index as u32);
+            let mut spans = self.slot_spans(slot);
+            spans.sort();
+            for pair in spans.windows(2) {
+                if pair[1].0 < pair[0].1 {
+                    return Err(format!(
+                        "{slot} overlap: [{}, {}) and [{}, {})",
+                        pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns each slot's busy fraction (reconfiguration + execution time
+    /// over the trace's duration). The paper motivates fine-grained sharing
+    /// with resource efficiency; this is the number that quantifies it.
+    pub fn slot_utilization(&self, slot_count: usize) -> Vec<f64> {
+        let end = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Reconfig { until, .. } | TraceEvent::Item { until, .. } => *until,
+                other => other.at(),
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total = end.as_micros().max(1) as f64;
+        (0..slot_count)
+            .map(|i| {
+                let busy: u64 = self
+                    .slot_spans(SlotId::new(i as u32))
+                    .iter()
+                    .map(|&(a, b)| b.as_micros() - a.as_micros())
+                    .sum();
+                busy as f64 / total
+            })
+            .collect()
+    }
+
+    /// Renders a textual Gantt chart of the schedule: one row per slot,
+    /// `width` character columns spanning the trace duration. `#` marks
+    /// reconfiguration, letters mark executing applications (a = app 0,
+    /// b = app 1, …), `.` marks idle.
+    pub fn gantt(&self, slot_count: usize, width: usize) -> String {
+        let end = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Reconfig { until, .. } | TraceEvent::Item { until, .. } => *until,
+                other => other.at(),
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total = end.as_micros().max(1);
+        let col = |t: SimTime| ((t.as_micros() as u128 * width as u128) / total as u128) as usize;
+        let mut rows = vec![vec![b'.'; width]; slot_count];
+        for event in &self.events {
+            let (slot, at, until, mark) = match event {
+                TraceEvent::Reconfig { slot, at, until, .. } => (*slot, *at, *until, b'#'),
+                TraceEvent::Item { slot, app, at, until, .. } => {
+                    let letter = b'a' + (app.raw() % 26) as u8;
+                    (*slot, *at, *until, letter)
+                }
+                _ => continue,
+            };
+            let (from, to) = (col(at), col(until).max(col(at) + 1).min(width));
+            for cell in &mut rows[slot.index()][from..to] {
+                *cell = mark;
+            }
+        }
+        let mut out = String::new();
+        for (index, row) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "slot#{index:<2} |{}|",
+                String::from_utf8_lossy(row)
+            );
+        }
+        let _ = writeln!(out, "        0{:>width$}", end, width = width - 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_event(slot: u32, app: u64, from_ms: u64, to_ms: u64) -> TraceEvent {
+        TraceEvent::Item {
+            slot: SlotId::new(slot),
+            app: AppId::new(app),
+            task: TaskId::new(0),
+            item: 0,
+            at: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(to_ms),
+        }
+    }
+
+    fn reconfig_event(slot: u32, from_ms: u64, to_ms: u64) -> TraceEvent {
+        TraceEvent::Reconfig {
+            slot: SlotId::new(slot),
+            app: AppId::new(0),
+            task: TaskId::new(0),
+            at: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(to_ms),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_a_clean_schedule() {
+        let mut trace = Trace::new();
+        trace.push(reconfig_event(0, 0, 80));
+        trace.push(span_event(0, 0, 80, 130));
+        trace.push(reconfig_event(1, 80, 160));
+        trace.push(span_event(1, 1, 160, 200));
+        assert_eq!(trace.validate(2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_cap_overlap() {
+        let mut trace = Trace::new();
+        trace.push(reconfig_event(0, 0, 80));
+        trace.push(reconfig_event(1, 40, 120));
+        let err = trace.validate(2).unwrap_err();
+        assert!(err.contains("configuration port overlap"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_slot_overlap() {
+        let mut trace = Trace::new();
+        trace.push(span_event(0, 0, 0, 100));
+        trace.push(span_event(0, 1, 50, 150));
+        let err = trace.validate(1).unwrap_err();
+        assert!(err.contains("slot#0 overlap"), "{err}");
+    }
+
+    #[test]
+    fn slot_spans_filter_by_slot() {
+        let mut trace = Trace::new();
+        trace.push(span_event(0, 0, 0, 10));
+        trace.push(span_event(1, 0, 5, 15));
+        trace.push(reconfig_event(0, 20, 100));
+        assert_eq!(trace.slot_spans(SlotId::new(0)).len(), 2);
+        assert_eq!(trace.slot_spans(SlotId::new(1)).len(), 1);
+        assert_eq!(trace.cap_spans().len(), 1);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_marks() {
+        let mut trace = Trace::new();
+        trace.push(reconfig_event(0, 0, 500));
+        trace.push(span_event(0, 0, 500, 1_000));
+        trace.push(span_event(1, 1, 0, 1_000));
+        let chart = trace.gantt(2, 20);
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains('#'), "reconfiguration mark missing:\n{chart}");
+        assert!(chart.contains('a'), "app 0 mark missing:\n{chart}");
+        assert!(chart.contains('b'), "app 1 mark missing:\n{chart}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_renders() {
+        let trace = Trace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.validate(4), Ok(()));
+        assert_eq!(trace.gantt(2, 10).lines().count(), 3);
+    }
+
+    #[test]
+    fn slot_utilization_measures_busy_fractions() {
+        let mut trace = Trace::new();
+        trace.push(reconfig_event(0, 0, 250));
+        trace.push(span_event(0, 0, 250, 1_000));
+        trace.push(span_event(1, 1, 0, 500));
+        let util = trace.slot_utilization(3);
+        assert!((util[0] - 1.0).abs() < 1e-9);
+        assert!((util[1] - 0.5).abs() < 1e-9);
+        assert_eq!(util[2], 0.0);
+    }
+
+    #[test]
+    fn event_at_returns_start_times() {
+        assert_eq!(
+            span_event(0, 0, 7, 9).at(),
+            SimTime::from_millis(7)
+        );
+        let retire = TraceEvent::Retire {
+            app: AppId::new(3),
+            at: SimTime::from_millis(11),
+        };
+        assert_eq!(retire.at(), SimTime::from_millis(11));
+    }
+}

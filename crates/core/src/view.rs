@@ -1,0 +1,206 @@
+//! The read-only system view offered to schedulers, and their directives.
+
+use std::collections::BTreeMap;
+
+use nimblock_app::TaskId;
+use nimblock_fpga::{Interconnect, Resources, SlotId, SlotState};
+use nimblock_sim::{SimDuration, SimTime};
+
+use crate::{AppId, AppRuntime};
+
+/// One slot as a scheduler sees it: hardware state plus the hypervisor's
+/// binding of which task currently owns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBinding {
+    /// The slot.
+    pub slot: SlotId,
+    /// The hardware occupancy state.
+    pub state: SlotState,
+    /// The task bound to the slot, if any.
+    pub bound: Option<(AppId, TaskId)>,
+    /// The fabric resources the slot encloses (slots may be heterogeneous).
+    pub resources: Resources,
+}
+
+impl SlotBinding {
+    /// Returns `true` if the slot is unbound and hardware-reconfigurable —
+    /// free for a new task without preempting anyone.
+    pub fn is_free(&self) -> bool {
+        self.bound.is_none() && self.state.reconfigurable()
+    }
+}
+
+/// A scheduling directive: reconfigure `slot` with `task` of `app`.
+///
+/// If the slot is currently bound to a different task, enacting the
+/// directive batch-preempts that task: legal only while the victim is idle
+/// at a batch boundary ([`crate::TaskPhase::Idle`]); the hypervisor panics
+/// on violations because they are policy bugs, not runtime conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reconfig {
+    /// Application owning the task to configure.
+    pub app: AppId,
+    /// Task to configure.
+    pub task: TaskId,
+    /// Destination slot.
+    pub slot: SlotId,
+}
+
+/// A read-only snapshot of hypervisor state handed to [`crate::Scheduler`]
+/// at each scheduling point.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Live (admitted, unretired) applications, keyed by age: iterating the
+    /// map visits the oldest application first.
+    pub apps: &'a BTreeMap<AppId, AppRuntime>,
+    /// All slots with their bindings, in slot-index order.
+    pub slots: &'a [SlotBinding],
+    /// Latency of one partial reconfiguration on this device.
+    pub reconfig_latency: SimDuration,
+    /// The inter-slot data-movement model of the device.
+    pub interconnect: Interconnect,
+}
+
+impl SchedView<'_> {
+    /// Returns the free slots (unbound and reconfigurable), lowest index
+    /// first.
+    pub fn free_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots.iter().filter(|b| b.is_free()).map(|b| b.slot)
+    }
+
+    /// Returns the first free slot, if any.
+    pub fn first_free_slot(&self) -> Option<SlotId> {
+        self.free_slots().next()
+    }
+
+    /// Returns live application ids oldest first (arrival order).
+    pub fn apps_by_age(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.apps.keys().copied()
+    }
+
+    /// Returns the runtime of `app`, if it is still live.
+    pub fn app(&self, app: AppId) -> Option<&AppRuntime> {
+        self.apps.get(&app)
+    }
+
+    /// Returns the number of slots on the device.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns the free slots whose resources fit `task` of `app`, lowest
+    /// index first. On the uniform overlay of the paper every task fits
+    /// every slot; heterogeneous overlays (à la Hetero-ViTAL) restrict
+    /// placement.
+    pub fn free_slots_fitting(
+        &self,
+        app: AppId,
+        task: TaskId,
+    ) -> impl Iterator<Item = SlotId> + '_ {
+        let needs = self
+            .app(app)
+            .map(|rt| *rt.spec().graph().task(task).resources());
+        self.slots
+            .iter()
+            .filter(move |b| {
+                b.is_free()
+                    && needs
+                        .map(|needs| needs.fits_within(&b.resources))
+                        .unwrap_or(false)
+            })
+            .map(|b| b.slot)
+    }
+
+    /// Returns the first free slot that fits `task` of `app`, if any.
+    pub fn first_free_slot_fitting(&self, app: AppId, task: TaskId) -> Option<SlotId> {
+        self.free_slots_fitting(app, task).next()
+    }
+
+    /// Returns the free slot with the cheapest input path for `task` of
+    /// `app`: the one minimizing the worst fetch latency from the task's
+    /// currently placed predecessors (ties break to the lowest index, so
+    /// on the through-PS interconnect this equals
+    /// [`SchedView::first_free_slot`]).
+    pub fn best_free_slot_for(&self, app: AppId, task: TaskId) -> Option<SlotId> {
+        let runtime = self.app(app)?;
+        let preds = runtime.spec().graph().predecessors(task);
+        self.free_slots_fitting(app, task).min_by_key(|&candidate| {
+            let worst = preds
+                .iter()
+                .map(|&p| {
+                    let from = runtime.phase(p).slot();
+                    self.interconnect
+                        .fetch_latency(from, candidate, self.slots.len())
+                })
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            (worst, candidate)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_fpga::BitstreamId;
+
+    #[test]
+    fn free_requires_unbound_and_reconfigurable() {
+        let bs = BitstreamId::new(0);
+        let free = SlotBinding {
+            slot: SlotId::new(0),
+            state: SlotState::Empty,
+            bound: None,
+            resources: Resources::ZERO,
+        };
+        assert!(free.is_free());
+        let bound = SlotBinding {
+            bound: Some((AppId::new(1), TaskId::new(0))),
+            ..free
+        };
+        assert!(!bound.is_free());
+        let reconfiguring = SlotBinding {
+            state: SlotState::Reconfiguring(bs),
+            ..free
+        };
+        assert!(!reconfiguring.is_free());
+        // A slot still holding a finished task's logic is free.
+        let stale = SlotBinding {
+            state: SlotState::Configured(bs),
+            ..free
+        };
+        assert!(stale.is_free());
+    }
+
+    #[test]
+    fn view_helpers_iterate_in_order() {
+        let apps = BTreeMap::new();
+        let slots = vec![
+            SlotBinding {
+                slot: SlotId::new(0),
+                state: SlotState::Empty,
+                bound: Some((AppId::new(0), TaskId::new(0))),
+                resources: Resources::ZERO,
+            },
+            SlotBinding {
+                slot: SlotId::new(1),
+                state: SlotState::Empty,
+                bound: None,
+                resources: Resources::ZERO,
+            },
+        ];
+        let view = SchedView {
+            now: SimTime::ZERO,
+            apps: &apps,
+            slots: &slots,
+            reconfig_latency: SimDuration::from_millis(80),
+            interconnect: Interconnect::zcu106_default(),
+        };
+        assert_eq!(view.first_free_slot(), Some(SlotId::new(1)));
+        assert_eq!(view.slot_count(), 2);
+        assert_eq!(view.apps_by_age().count(), 0);
+        assert!(view.app(AppId::new(9)).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! The gateway: invocations in, per-function statistics out.
+
+use std::collections::BTreeMap;
+
+use nimblock_core::{Scheduler, Testbed};
+use nimblock_metrics::{percentile, Report};
+use nimblock_sim::SimDuration;
+use nimblock_workload::{ArrivalEvent, EventSequence};
+
+use crate::registry::FunctionRegistry;
+use crate::{FaasError, InvocationWorkload, SloClass};
+
+/// Statistics for one deployed function after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionStats {
+    /// Function name.
+    pub function: String,
+    /// Service class it is deployed under.
+    pub slo: SloClass,
+    /// Number of invocations served.
+    pub invocations: usize,
+    /// Mean end-to-end latency in seconds (arrival to retirement).
+    pub mean_latency_secs: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95_latency_secs: f64,
+    /// Fraction of invocations that met the class's deadline
+    /// (`deadline_factor × single-slot latency`).
+    pub slo_attainment: f64,
+}
+
+/// The aggregated result of one FaaS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaasSummary {
+    scheduler: String,
+    per_function: Vec<FunctionStats>,
+    report: Report,
+}
+
+impl FaasSummary {
+    /// Returns the scheduler that served the invocations.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// Returns per-function statistics, sorted by function name.
+    pub fn per_function(&self) -> &[FunctionStats] {
+        &self.per_function
+    }
+
+    /// Returns the statistics of one function, if it was invoked.
+    pub fn function(&self, name: &str) -> Option<&FunctionStats> {
+        self.per_function.iter().find(|f| f.function == name)
+    }
+
+    /// Returns the underlying hypervisor report.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Returns the total number of invocations served.
+    pub fn total_invocations(&self) -> usize {
+        self.per_function.iter().map(|f| f.invocations).sum()
+    }
+
+    /// Returns the overall SLO attainment across all invocations.
+    pub fn overall_attainment(&self) -> f64 {
+        let total = self.total_invocations();
+        if total == 0 {
+            return 1.0;
+        }
+        self.per_function
+            .iter()
+            .map(|f| f.slo_attainment * f.invocations as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Serves invocation workloads over a virtualized FPGA.
+#[derive(Debug, Clone)]
+pub struct FaasGateway {
+    registry: FunctionRegistry,
+    reconfig: SimDuration,
+}
+
+impl FaasGateway {
+    /// Creates a gateway over `registry` on the default ZCU106 overlay.
+    pub fn new(registry: FunctionRegistry) -> Self {
+        FaasGateway {
+            registry,
+            reconfig: SimDuration::from_millis(80),
+        }
+    }
+
+    /// Returns the registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Converts a workload into the hypervisor's arrival-event stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::EmptyRegistry`] or
+    /// [`FaasError::UnknownFunction`] for malformed workloads.
+    pub fn stimulus(&self, workload: &InvocationWorkload) -> Result<EventSequence, FaasError> {
+        let invocations = workload.generate(&self.registry)?;
+        let mut events = Vec::with_capacity(invocations.len());
+        for invocation in &invocations {
+            let function = self.registry.get(&invocation.function)?;
+            events.push(ArrivalEvent::new(
+                std::sync::Arc::clone(&function.app),
+                invocation.items,
+                function.slo.priority(),
+                invocation.at,
+            ));
+        }
+        Ok(EventSequence::new(events))
+    }
+
+    /// Runs `workload` under `scheduler` and aggregates per-function
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry or unknown functions (construct
+    /// workloads through this gateway's registry) and propagates testbed
+    /// panics (livelocked schedulers).
+    pub fn run(&self, workload: &InvocationWorkload, scheduler: impl Scheduler) -> FaasSummary {
+        let invocations = workload
+            .generate(&self.registry)
+            .expect("workload generation against this registry");
+        let events = self
+            .stimulus(workload)
+            .expect("stimulus generation against this registry");
+        let scheduler_name = scheduler.name();
+        let report = Testbed::new(scheduler).run(&events);
+
+        // Group records by function; events keep their stimulus order, and
+        // `invocations` is in the same (arrival-sorted) order because gaps
+        // are non-negative.
+        let mut grouped: BTreeMap<String, Vec<(f64, bool)>> = BTreeMap::new();
+        for (record, invocation) in report.records().iter().zip(&invocations) {
+            let function = self
+                .registry
+                .get(&invocation.function)
+                .expect("generated against this registry");
+            let latency = record.response_time().as_secs_f64();
+            let deadline = function.slo.deadline_factor()
+                * function
+                    .app
+                    .single_slot_latency(invocation.items, self.reconfig)
+                    .as_secs_f64();
+            grouped
+                .entry(invocation.function.clone())
+                .or_default()
+                .push((latency, latency <= deadline));
+        }
+
+        let per_function = grouped
+            .into_iter()
+            .map(|(function, samples)| {
+                let slo = self
+                    .registry
+                    .slo(&function)
+                    .expect("grouped from this registry");
+                let mut latencies: Vec<f64> = samples.iter().map(|&(l, _)| l).collect();
+                latencies.sort_by(f64::total_cmp);
+                let met = samples.iter().filter(|&&(_, ok)| ok).count();
+                FunctionStats {
+                    slo,
+                    invocations: samples.len(),
+                    mean_latency_secs: latencies.iter().sum::<f64>() / latencies.len() as f64,
+                    p95_latency_secs: percentile(&latencies, 95.0),
+                    slo_attainment: met as f64 / samples.len() as f64,
+                    function,
+                }
+            })
+            .collect();
+        FaasSummary {
+            scheduler: scheduler_name,
+            per_function,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_core::{FcfsScheduler, NimblockScheduler};
+
+    fn gateway() -> FaasGateway {
+        FaasGateway::new(FunctionRegistry::benchmark_suite())
+    }
+
+    fn workload() -> InvocationWorkload {
+        InvocationWorkload::new(9).invocations(25).mean_gap_millis(150)
+    }
+
+    #[test]
+    fn summary_accounts_for_every_invocation() {
+        let summary = gateway().run(&workload(), NimblockScheduler::default());
+        assert_eq!(summary.total_invocations(), 25);
+        for stats in summary.per_function() {
+            assert!(stats.invocations > 0);
+            assert!(stats.mean_latency_secs > 0.0);
+            assert!(stats.p95_latency_secs >= stats.mean_latency_secs * 0.1);
+            assert!((0.0..=1.0).contains(&stats.slo_attainment));
+        }
+    }
+
+    #[test]
+    fn stimulus_maps_slo_to_priority() {
+        let gateway = gateway();
+        let events = gateway.stimulus(&workload()).unwrap();
+        for event in &events {
+            let deployed: Vec<(&str, SloClass)> = gateway
+                .registry()
+                .names()
+                .into_iter()
+                .map(|n| (n, gateway.registry().slo(n).unwrap()))
+                .collect();
+            let matches = deployed
+                .iter()
+                .any(|&(_, slo)| slo.priority() == event.priority());
+            assert!(matches);
+        }
+    }
+
+    #[test]
+    fn attainment_is_between_zero_and_one() {
+        let summary = gateway().run(&workload(), FcfsScheduler::new());
+        let overall = summary.overall_attainment();
+        assert!((0.0..=1.0).contains(&overall), "{overall}");
+    }
+
+    #[test]
+    fn nimblock_attains_at_least_as_much_slo_as_fcfs() {
+        // Priority-aware scheduling should not lose to FCFS on SLO
+        // attainment under this skewed, latency-class-heavy workload.
+        let heavy = InvocationWorkload::new(21).invocations(40).mean_gap_millis(80);
+        let nimblock = gateway().run(&heavy, NimblockScheduler::default());
+        let fcfs = gateway().run(&heavy, FcfsScheduler::new());
+        assert!(
+            nimblock.overall_attainment() >= fcfs.overall_attainment() - 0.05,
+            "Nimblock {:.2} vs FCFS {:.2}",
+            nimblock.overall_attainment(),
+            fcfs.overall_attainment()
+        );
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let summary = gateway().run(&workload(), NimblockScheduler::default());
+        // The rank-0 function ("alexnet" alphabetically? no — registry
+        // names are sorted; rank-0 popularity is the first sorted name).
+        let first = gateway().registry().names()[0].to_owned();
+        assert!(summary.function(&first).is_some());
+        assert!(summary.function("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! A serverless (Function-as-a-Service) layer over the virtualized FPGA.
+//!
+//! The paper argues that "FPGA-supported serverless computing would need to
+//! rely on virtualizing FPGAs … combined with proper task scheduling and
+//! resource allocation, FPGA virtualization will become an essential
+//! enabler for serverless computing" (§1). This crate builds that layer on
+//! top of `nimblock-core`:
+//!
+//! * [`FunctionRegistry`] — deployed functions: an application (its task
+//!   graph and bitstreams) plus an SLO class,
+//! * [`SloClass`] — Latency / Standard / Batch service classes, mapped to
+//!   the hypervisor's priority levels and to deadline factors,
+//! * [`InvocationWorkload`] — seeded open-loop invocation streams with
+//!   Zipf-like function popularity (a few hot functions, a long cold tail),
+//! * [`FaasGateway`] — turns invocations into hypervisor arrivals, runs a
+//!   scheduler, and aggregates per-function statistics (including SLO
+//!   attainment and cold-start effects through the shared bitstream cache).
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_core::NimblockScheduler;
+//! use nimblock_faas::{FaasGateway, FunctionRegistry, InvocationWorkload, SloClass};
+//!
+//! let mut registry = FunctionRegistry::new();
+//! registry.deploy("thumbnail", nimblock_app::benchmarks::image_compression(), SloClass::Latency)?;
+//! registry.deploy("render", nimblock_app::benchmarks::rendering_3d(), SloClass::Standard)?;
+//!
+//! let workload = InvocationWorkload::new(7).invocations(30).mean_gap_millis(120);
+//! let summary = FaasGateway::new(registry).run(&workload, NimblockScheduler::default());
+//! assert_eq!(summary.total_invocations(), 30);
+//! # Ok::<(), nimblock_faas::FaasError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gateway;
+mod registry;
+mod workload;
+
+pub use gateway::{FaasGateway, FaasSummary, FunctionStats};
+pub use registry::{FaasError, FunctionRegistry, SloClass};
+pub use workload::InvocationWorkload;

@@ -1,0 +1,246 @@
+//! Deployed functions and service classes.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::{AppSpec, Priority};
+
+/// The service class a function is deployed under, mapped onto the
+/// hypervisor's three priority levels (paper §4.1) and onto deadline
+/// factors for SLO-attainment accounting (the `D_s` model of §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Interactive: highest priority, deadline 2× single-slot latency.
+    Latency,
+    /// Default: medium priority, deadline 6× single-slot latency.
+    Standard,
+    /// Throughput-oriented: low priority, deadline 20× single-slot latency.
+    Batch,
+}
+
+impl SloClass {
+    /// All classes, strictest first.
+    pub const ALL: [SloClass; 3] = [SloClass::Latency, SloClass::Standard, SloClass::Batch];
+
+    /// Returns the hypervisor priority this class maps to.
+    pub fn priority(self) -> Priority {
+        match self {
+            SloClass::Latency => Priority::High,
+            SloClass::Standard => Priority::Medium,
+            SloClass::Batch => Priority::Low,
+        }
+    }
+
+    /// Returns the deadline scaling factor (`D_s`) defining SLO attainment.
+    pub fn deadline_factor(self) -> f64 {
+        match self {
+            SloClass::Latency => 2.0,
+            SloClass::Standard => 6.0,
+            SloClass::Batch => 20.0,
+        }
+    }
+
+    /// Returns the class's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Latency => "latency",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An error raised by the FaaS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaasError {
+    /// A function with this name is already deployed.
+    AlreadyDeployed(String),
+    /// No function with this name is deployed.
+    UnknownFunction(String),
+    /// The registry is empty, so no workload can be generated.
+    EmptyRegistry,
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaasError::AlreadyDeployed(name) => write!(f, "function '{name}' already deployed"),
+            FaasError::UnknownFunction(name) => write!(f, "no function named '{name}'"),
+            FaasError::EmptyRegistry => write!(f, "no functions deployed"),
+        }
+    }
+}
+
+impl Error for FaasError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Function {
+    pub(crate) app: Arc<AppSpec>,
+    pub(crate) slo: SloClass,
+}
+
+/// The set of deployed functions.
+///
+/// Deployment corresponds to the paper's compilation product arriving at
+/// the hypervisor (§2.2): the application is partitioned, bitstreams are
+/// generated, and the result is registered under a name. Invocations then
+/// reference the name; the shared bitstream cache in the hypervisor makes
+/// repeat invocations warm.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionRegistry {
+    functions: BTreeMap<String, Function>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Deploys `app` under `name` with the given service class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::AlreadyDeployed`] if the name is taken.
+    pub fn deploy(
+        &mut self,
+        name: impl Into<String>,
+        app: AppSpec,
+        slo: SloClass,
+    ) -> Result<(), FaasError> {
+        let name = name.into();
+        if self.functions.contains_key(&name) {
+            return Err(FaasError::AlreadyDeployed(name));
+        }
+        self.functions.insert(
+            name,
+            Function {
+                app: Arc::new(app),
+                slo,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a deployed function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::UnknownFunction`] if nothing is deployed under
+    /// `name`.
+    pub fn undeploy(&mut self, name: &str) -> Result<(), FaasError> {
+        self.functions
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| FaasError::UnknownFunction(name.to_owned()))
+    }
+
+    /// Returns the number of deployed functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Returns `true` if nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Returns the deployed function names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.functions.keys().map(String::as_str).collect()
+    }
+
+    /// Returns the SLO class of `name`, if deployed.
+    pub fn slo(&self, name: &str) -> Option<SloClass> {
+        self.functions.get(name).map(|f| f.slo)
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Result<&Function, FaasError> {
+        self.functions
+            .get(name)
+            .ok_or_else(|| FaasError::UnknownFunction(name.to_owned()))
+    }
+
+    /// Deploys the paper's six benchmarks as a ready-made function set:
+    /// the short ones latency-class, the medium ones standard, the long
+    /// DigitRecognition batch-class.
+    pub fn benchmark_suite() -> Self {
+        use nimblock_app::benchmarks;
+        let mut registry = FunctionRegistry::new();
+        let deployments = [
+            ("lenet", benchmarks::lenet(), SloClass::Latency),
+            ("imgc", benchmarks::image_compression(), SloClass::Latency),
+            ("render3d", benchmarks::rendering_3d(), SloClass::Latency),
+            ("optflow", benchmarks::optical_flow(), SloClass::Standard),
+            ("alexnet", benchmarks::alexnet(), SloClass::Standard),
+            ("digits", benchmarks::digit_recognition(), SloClass::Batch),
+        ];
+        for (name, app, slo) in deployments {
+            registry
+                .deploy(name, app, slo)
+                .expect("fresh registry has no collisions");
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::benchmarks;
+
+    #[test]
+    fn deploy_and_undeploy_lifecycle() {
+        let mut registry = FunctionRegistry::new();
+        assert!(registry.is_empty());
+        registry
+            .deploy("f", benchmarks::lenet(), SloClass::Latency)
+            .unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.slo("f"), Some(SloClass::Latency));
+        assert_eq!(
+            registry.deploy("f", benchmarks::lenet(), SloClass::Batch),
+            Err(FaasError::AlreadyDeployed("f".into()))
+        );
+        registry.undeploy("f").unwrap();
+        assert_eq!(
+            registry.undeploy("f"),
+            Err(FaasError::UnknownFunction("f".into()))
+        );
+    }
+
+    #[test]
+    fn slo_classes_map_to_priorities_and_deadlines() {
+        assert_eq!(SloClass::Latency.priority(), Priority::High);
+        assert_eq!(SloClass::Standard.priority(), Priority::Medium);
+        assert_eq!(SloClass::Batch.priority(), Priority::Low);
+        assert!(SloClass::Latency.deadline_factor() < SloClass::Batch.deadline_factor());
+    }
+
+    #[test]
+    fn benchmark_suite_deploys_all_six() {
+        let registry = FunctionRegistry::benchmark_suite();
+        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.slo("digits"), Some(SloClass::Batch));
+        assert_eq!(registry.slo("lenet"), Some(SloClass::Latency));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(FaasError::EmptyRegistry.to_string().contains("no functions"));
+        assert!(FaasError::UnknownFunction("x".into())
+            .to_string()
+            .contains("'x'"));
+    }
+}

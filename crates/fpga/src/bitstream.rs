@@ -1,0 +1,213 @@
+//! Partial-bitstream registry and load-latency model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_sim::SimDuration;
+
+use crate::FpgaError;
+
+/// Identifier of a registered partial bitstream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BitstreamId(u64);
+
+impl BitstreamId {
+    /// Creates a bitstream identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        BitstreamId(raw)
+    }
+
+    /// Returns the raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BitstreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs#{}", self.0)
+    }
+}
+
+/// Metadata for one registered partial bitstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitstreamInfo {
+    /// Size of the bitstream file in bytes; drives reconfiguration latency.
+    pub size_bytes: u64,
+    /// Whether the bitstream is already resident in system memory.
+    pub cached: bool,
+}
+
+/// Registry of partial bitstreams with an SD-card load model.
+///
+/// On the evaluated system, bitstreams live on the SD card and are loaded
+/// into DRAM by the ARM core the first time the scheduler selects them;
+/// subsequent reconfigurations reuse the in-memory copy. [`BitstreamStore::load`]
+/// returns the modelled load latency (zero once cached).
+///
+/// # Example
+///
+/// ```
+/// use nimblock_fpga::BitstreamStore;
+///
+/// let mut store = BitstreamStore::new(100 << 20); // 100 MiB/s SD card
+/// let bs = store.register(25 << 20);
+/// let first = store.load(bs)?;
+/// let second = store.load(bs)?;
+/// assert!(first > second);
+/// assert!(second.is_zero());
+/// # Ok::<(), nimblock_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitstreamStore {
+    entries: HashMap<BitstreamId, BitstreamInfo>,
+    next_id: u64,
+    sd_bandwidth_bytes_per_sec: u64,
+}
+
+impl BitstreamStore {
+    /// Creates a store whose SD card sustains `sd_bandwidth_bytes_per_sec`.
+    ///
+    /// A bandwidth of zero models pre-loaded bitstreams (every load is free).
+    pub fn new(sd_bandwidth_bytes_per_sec: u64) -> Self {
+        BitstreamStore {
+            entries: HashMap::new(),
+            next_id: 0,
+            sd_bandwidth_bytes_per_sec,
+        }
+    }
+
+    /// Registers a bitstream of `size_bytes` and returns its identifier.
+    pub fn register(&mut self, size_bytes: u64) -> BitstreamId {
+        let id = BitstreamId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            BitstreamInfo {
+                size_bytes,
+                cached: false,
+            },
+        );
+        id
+    }
+
+    /// Returns the metadata for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::UnknownBitstream`] if `id` was never registered.
+    pub fn info(&self, id: BitstreamId) -> Result<BitstreamInfo, FpgaError> {
+        self.entries
+            .get(&id)
+            .copied()
+            .ok_or(FpgaError::UnknownBitstream(id))
+    }
+
+    /// Loads `id` into system memory, returning the modelled latency.
+    ///
+    /// The first load streams from the SD card; later loads hit the DRAM
+    /// cache and are free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::UnknownBitstream`] if `id` was never registered.
+    pub fn load(&mut self, id: BitstreamId) -> Result<SimDuration, FpgaError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(FpgaError::UnknownBitstream(id))?;
+        if entry.cached || self.sd_bandwidth_bytes_per_sec == 0 {
+            entry.cached = true;
+            return Ok(SimDuration::ZERO);
+        }
+        entry.cached = true;
+        let micros = entry
+            .size_bytes
+            .saturating_mul(1_000_000)
+            .div_euclid(self.sd_bandwidth_bytes_per_sec);
+        Ok(SimDuration::from_micros(micros))
+    }
+
+    /// Evicts `id` from the DRAM cache so the next load pays SD latency again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::UnknownBitstream`] if `id` was never registered.
+    pub fn evict(&mut self, id: BitstreamId) -> Result<(), FpgaError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(FpgaError::UnknownBitstream(id))?;
+        entry.cached = false;
+        Ok(())
+    }
+
+    /// Returns the number of registered bitstreams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no bitstreams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_distinct_ids() {
+        let mut store = BitstreamStore::new(0);
+        let a = store.register(1);
+        let b = store.register(2);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn load_latency_matches_bandwidth() {
+        let mut store = BitstreamStore::new(32 << 20); // 32 MiB/s
+        let bs = store.register(32 << 20); // 32 MiB file => 1 s
+        assert_eq!(store.load(bs).unwrap(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn second_load_is_cached() {
+        let mut store = BitstreamStore::new(1 << 20);
+        let bs = store.register(1 << 20);
+        assert!(!store.load(bs).unwrap().is_zero());
+        assert!(store.load(bs).unwrap().is_zero());
+        assert!(store.info(bs).unwrap().cached);
+    }
+
+    #[test]
+    fn evict_restores_load_cost() {
+        let mut store = BitstreamStore::new(1 << 20);
+        let bs = store.register(1 << 20);
+        store.load(bs).unwrap();
+        store.evict(bs).unwrap();
+        assert!(!store.load(bs).unwrap().is_zero());
+    }
+
+    #[test]
+    fn zero_bandwidth_means_preloaded() {
+        let mut store = BitstreamStore::new(0);
+        let bs = store.register(u64::MAX);
+        assert!(store.load(bs).unwrap().is_zero());
+    }
+
+    #[test]
+    fn unknown_bitstream_is_an_error() {
+        let mut store = BitstreamStore::new(1);
+        let ghost = BitstreamId::new(42);
+        assert_eq!(store.info(ghost), Err(FpgaError::UnknownBitstream(ghost)));
+        assert_eq!(store.load(ghost), Err(FpgaError::UnknownBitstream(ghost)));
+        assert_eq!(store.evict(ghost), Err(FpgaError::UnknownBitstream(ghost)));
+    }
+}

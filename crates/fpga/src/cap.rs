@@ -1,0 +1,193 @@
+//! Configuration access port (CAP) model.
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_sim::{SimDuration, SimTime};
+
+use crate::{FpgaError, SlotId};
+
+/// The configuration access port: the single channel through which partial
+/// bitstreams reach the fabric.
+///
+/// The defining property, and the central constraint the Nimblock scheduler
+/// works around, is that **at most one slot reconfigures at a time**. The
+/// port tracks the in-flight reconfiguration and refuses overlapping
+/// requests; latency is `size / bandwidth`.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_fpga::{ConfigPort, SlotId};
+/// use nimblock_sim::SimTime;
+///
+/// let mut cap = ConfigPort::new(nimblock_fpga::zcu106::CAP_BANDWIDTH_BYTES_PER_SEC);
+/// let done = cap.begin(SlotId::new(0), 32 << 20, SimTime::ZERO)?;
+/// assert_eq!(done.as_millis(), 80);
+/// // A second request while busy is refused.
+/// assert!(cap.begin(SlotId::new(1), 32 << 20, SimTime::from_millis(40)).is_err());
+/// cap.complete(SlotId::new(0));
+/// # Ok::<(), nimblock_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigPort {
+    bandwidth_bytes_per_sec: u64,
+    in_flight: Option<InFlight>,
+    completed: u64,
+    busy_time: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct InFlight {
+    slot: SlotId,
+    finish_at: SimTime,
+    started_at: SimTime,
+}
+
+impl ConfigPort {
+    /// Creates a port sustaining `bandwidth_bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn new(bandwidth_bytes_per_sec: u64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0, "CAP bandwidth must be positive");
+        ConfigPort {
+            bandwidth_bytes_per_sec,
+            in_flight: None,
+            completed: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Returns the latency of streaming `size_bytes` through the port.
+    pub fn latency(&self, size_bytes: u64) -> SimDuration {
+        SimDuration::from_micros(
+            size_bytes
+                .saturating_mul(1_000_000)
+                .div_euclid(self.bandwidth_bytes_per_sec),
+        )
+    }
+
+    /// Starts reconfiguring `slot` with a bitstream of `size_bytes` at `now`,
+    /// returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::CapBusy`] if another reconfiguration is in
+    /// flight.
+    pub fn begin(
+        &mut self,
+        slot: SlotId,
+        size_bytes: u64,
+        now: SimTime,
+    ) -> Result<SimTime, FpgaError> {
+        if let Some(in_flight) = self.in_flight {
+            return Err(FpgaError::CapBusy {
+                busy_with: in_flight.slot,
+            });
+        }
+        let finish_at = now + self.latency(size_bytes);
+        self.in_flight = Some(InFlight {
+            slot,
+            finish_at,
+            started_at: now,
+        });
+        Ok(finish_at)
+    }
+
+    /// Marks the in-flight reconfiguration of `slot` as complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reconfiguration is in flight or a different slot is in
+    /// flight — either indicates a hypervisor bookkeeping bug.
+    pub fn complete(&mut self, slot: SlotId) {
+        let in_flight = self
+            .in_flight
+            .take()
+            .unwrap_or_else(|| panic!("CAP completion for {slot} with no reconfiguration in flight"));
+        assert_eq!(
+            in_flight.slot, slot,
+            "CAP completion for {slot} while {in_flight_slot} is in flight",
+            in_flight_slot = in_flight.slot
+        );
+        self.completed += 1;
+        self.busy_time += in_flight.finish_at - in_flight.started_at;
+    }
+
+    /// Returns the slot currently being reconfigured, if any.
+    pub fn busy_with(&self) -> Option<SlotId> {
+        self.in_flight.map(|f| f.slot)
+    }
+
+    /// Returns `true` if no reconfiguration is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Returns the number of completed reconfigurations.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Returns the cumulative time the port has spent streaming bitstreams.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> ConfigPort {
+        ConfigPort::new(crate::zcu106::CAP_BANDWIDTH_BYTES_PER_SEC)
+    }
+
+    #[test]
+    fn latency_is_size_over_bandwidth() {
+        let cap = port();
+        assert_eq!(cap.latency(32 << 20).as_millis(), 80);
+        assert_eq!(cap.latency(16 << 20).as_millis(), 40);
+    }
+
+    #[test]
+    fn begin_rejects_overlap() {
+        let mut cap = port();
+        cap.begin(SlotId::new(0), 1 << 20, SimTime::ZERO).unwrap();
+        let err = cap.begin(SlotId::new(1), 1 << 20, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, FpgaError::CapBusy { busy_with: SlotId::new(0) });
+    }
+
+    #[test]
+    fn complete_frees_the_port_and_counts() {
+        let mut cap = port();
+        cap.begin(SlotId::new(2), 32 << 20, SimTime::ZERO).unwrap();
+        cap.complete(SlotId::new(2));
+        assert!(cap.is_idle());
+        assert_eq!(cap.completed(), 1);
+        assert_eq!(cap.busy_time().as_millis(), 80);
+        assert!(cap.begin(SlotId::new(3), 1, SimTime::from_millis(80)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no reconfiguration in flight")]
+    fn spurious_completion_panics() {
+        let mut cap = port();
+        cap.complete(SlotId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is in flight")]
+    fn mismatched_completion_panics() {
+        let mut cap = port();
+        cap.begin(SlotId::new(0), 1, SimTime::ZERO).unwrap();
+        cap.complete(SlotId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = ConfigPort::new(0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Assembled board model.
+
+use nimblock_sim::{SimDuration, SimTime};
+
+use crate::{
+    zcu106, BitstreamId, BitstreamStore, ConfigPort, FpgaError, MemoryPool, Resources, Slot,
+    SlotId, SlotState,
+};
+
+/// Configuration of a [`Device`].
+///
+/// The defaults model the ZCU106 overlay the paper evaluates; every
+/// parameter can be overridden to explore other boards (the paper argues the
+/// approach is device-agnostic, §7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Number of reconfigurable slots.
+    pub slot_count: usize,
+    /// Configuration-port bandwidth in bytes per second.
+    pub cap_bandwidth_bytes_per_sec: u64,
+    /// SD-card streaming bandwidth in bytes per second (0 = pre-loaded).
+    pub sd_bandwidth_bytes_per_sec: u64,
+    /// Shared-memory capacity for data buffers, in bytes.
+    pub memory_bytes: u64,
+    /// Resources of the static region.
+    pub static_region: Resources,
+    /// Explicit per-slot resources for heterogeneous overlays (the
+    /// Hetero-ViTAL direction the paper cites). `None` uses the ZCU106
+    /// interpolation; when set, its length overrides `slot_count`.
+    pub slot_resources: Option<Vec<Resources>>,
+}
+
+impl DeviceConfig {
+    /// The ZCU106 overlay of the paper: ten slots, ~80 ms reconfiguration,
+    /// pre-loaded bitstreams, 2 GiB of buffer memory.
+    pub fn zcu106() -> Self {
+        DeviceConfig {
+            slot_count: zcu106::SLOT_COUNT,
+            cap_bandwidth_bytes_per_sec: zcu106::CAP_BANDWIDTH_BYTES_PER_SEC,
+            sd_bandwidth_bytes_per_sec: 0,
+            memory_bytes: 2 << 30,
+            static_region: zcu106::STATIC_REGION,
+            slot_resources: None,
+        }
+    }
+
+    /// Same overlay with a different slot count (Nimblock is "flexible
+    /// across different numbers of slots", §2.1).
+    pub fn with_slot_count(mut self, slot_count: usize) -> Self {
+        self.slot_count = slot_count;
+        self.slot_resources = None;
+        self
+    }
+
+    /// A heterogeneous overlay with explicit per-slot resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_resources` is empty.
+    pub fn with_slot_resources(mut self, slot_resources: Vec<Resources>) -> Self {
+        assert!(!slot_resources.is_empty(), "need at least one slot");
+        self.slot_count = slot_resources.len();
+        self.slot_resources = Some(slot_resources);
+        self
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::zcu106()
+    }
+}
+
+/// The modelled board: slots, configuration port, bitstream store, memory.
+///
+/// `Device` owns all hardware-side state; the hypervisor (in
+/// `nimblock-core`) owns all software-side state and drives the device
+/// through these methods, receiving completion timestamps it turns into
+/// simulation events.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    slots: Vec<Slot>,
+    cap: ConfigPort,
+    store: BitstreamStore,
+    memory: MemoryPool,
+}
+
+impl Device {
+    /// Builds a device from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.slot_count` is zero.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.slot_count > 0, "a device needs at least one slot");
+        let slots = match &config.slot_resources {
+            Some(resources) => resources
+                .iter()
+                .enumerate()
+                .map(|(i, &res)| Slot::new(SlotId::new(i as u32), res))
+                .collect(),
+            None => (0..config.slot_count)
+                .map(|i| {
+                    // Reuse the ZCU106 interpolation for up to ten slots;
+                    // larger devices repeat the pattern.
+                    let res = zcu106::slot_resources(i % zcu106::SLOT_COUNT);
+                    Slot::new(SlotId::new(i as u32), res)
+                })
+                .collect(),
+        };
+        Device {
+            cap: ConfigPort::new(config.cap_bandwidth_bytes_per_sec),
+            store: BitstreamStore::new(config.sd_bandwidth_bytes_per_sec),
+            memory: MemoryPool::new(config.memory_bytes),
+            slots,
+            config,
+        }
+    }
+
+    /// Returns the device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Returns the number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns the slots.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Returns the slot with identifier `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::UnknownSlot`] for an out-of-range identifier.
+    pub fn slot(&self, id: SlotId) -> Result<&Slot, FpgaError> {
+        self.slots.get(id.index()).ok_or(FpgaError::UnknownSlot(id))
+    }
+
+    /// Returns the configuration port.
+    pub fn cap(&self) -> &ConfigPort {
+        &self.cap
+    }
+
+    /// Returns the bitstream store.
+    pub fn store(&self) -> &BitstreamStore {
+        &self.store
+    }
+
+    /// Returns the bitstream store for registration and eviction.
+    pub fn store_mut(&mut self) -> &mut BitstreamStore {
+        &mut self.store
+    }
+
+    /// Returns the buffer memory pool.
+    pub fn memory(&self) -> &MemoryPool {
+        &self.memory
+    }
+
+    /// Returns the buffer memory pool for allocation.
+    pub fn memory_mut(&mut self) -> &mut MemoryPool {
+        &mut self.memory
+    }
+
+    /// Returns the identifiers of slots currently accepting reconfiguration.
+    pub fn reconfigurable_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.state().reconfigurable())
+            .map(|s| s.id())
+    }
+
+    /// Starts reconfiguring `slot` with `bitstream` at time `now`.
+    ///
+    /// Loads the bitstream (SD latency on first use), claims the CAP, and
+    /// moves the slot to [`SlotState::Reconfiguring`]. Returns the time at
+    /// which the slot will be configured; the caller must invoke
+    /// [`Device::finish_reconfiguration`] at that time.
+    ///
+    /// # Errors
+    ///
+    /// * [`FpgaError::UnknownSlot`] / [`FpgaError::UnknownBitstream`] for bad
+    ///   identifiers,
+    /// * [`FpgaError::SlotBusy`] if the slot is executing or already
+    ///   reconfiguring,
+    /// * [`FpgaError::CapBusy`] if another reconfiguration is in flight.
+    pub fn begin_reconfiguration(
+        &mut self,
+        slot: SlotId,
+        bitstream: BitstreamId,
+        now: SimTime,
+    ) -> Result<SimTime, FpgaError> {
+        let info = self.store.info(bitstream)?;
+        let state = self.slot(slot)?.state();
+        if !state.reconfigurable() {
+            return Err(FpgaError::SlotBusy(slot));
+        }
+        if let Some(busy_with) = self.cap.busy_with() {
+            return Err(FpgaError::CapBusy { busy_with });
+        }
+        let load = self.store.load(bitstream)?;
+        let finish = self.cap.begin(slot, info.size_bytes, now + load)?;
+        self.slots[slot.index()].set_state(SlotState::Reconfiguring(bitstream));
+        Ok(finish)
+    }
+
+    /// Completes the in-flight reconfiguration of `slot`, moving it to
+    /// [`SlotState::Configured`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not the slot the CAP is reconfiguring — that is a
+    /// hypervisor bookkeeping bug, not a recoverable condition.
+    pub fn finish_reconfiguration(&mut self, slot: SlotId) {
+        let state = self.slots[slot.index()].state();
+        let SlotState::Reconfiguring(bitstream) = state else {
+            panic!("finish_reconfiguration on {slot} in state {state:?}");
+        };
+        self.cap.complete(slot);
+        self.slots[slot.index()].set_state(SlotState::Configured(bitstream));
+    }
+
+    /// Marks `slot` as executing a batch item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::SlotBusy`] unless the slot is
+    /// [`SlotState::Configured`].
+    pub fn begin_execution(&mut self, slot: SlotId) -> Result<(), FpgaError> {
+        let state = self.slot(slot)?.state();
+        let SlotState::Configured(bitstream) = state else {
+            return Err(FpgaError::SlotBusy(slot));
+        };
+        self.slots[slot.index()].set_state(SlotState::Executing(bitstream));
+        Ok(())
+    }
+
+    /// Marks `slot` as idle at a batch boundary after finishing an item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not executing.
+    pub fn finish_execution(&mut self, slot: SlotId) {
+        let state = self.slots[slot.index()].state();
+        let SlotState::Executing(bitstream) = state else {
+            panic!("finish_execution on {slot} in state {state:?}");
+        };
+        self.slots[slot.index()].set_state(SlotState::Configured(bitstream));
+    }
+
+    /// Aborts the item executing on `slot`, returning it to
+    /// [`SlotState::Configured`] mid-item.
+    ///
+    /// This models the checkpoint-capable hardware of the paper's future
+    /// work (§7: "architectural modifications which would enable preemption
+    /// at a finer granularity, such as increased on-chip memory and state
+    /// registers"); the baseline overlay cannot do this, which is why
+    /// Nimblock preempts only at batch boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::SlotBusy`] if the slot is mid-reconfiguration,
+    /// or is not executing anything.
+    pub fn abort_execution(&mut self, slot: SlotId) -> Result<(), FpgaError> {
+        let state = self.slot(slot)?.state();
+        let SlotState::Executing(bitstream) = state else {
+            return Err(FpgaError::SlotBusy(slot));
+        };
+        self.slots[slot.index()].set_state(SlotState::Configured(bitstream));
+        Ok(())
+    }
+
+    /// Clears `slot` back to [`SlotState::Empty`] (application retired or
+    /// task preempted and its slot surrendered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::SlotBusy`] if the slot is mid-reconfiguration or
+    /// mid-execution.
+    pub fn release_slot(&mut self, slot: SlotId) -> Result<(), FpgaError> {
+        let state = self.slot(slot)?.state();
+        if !state.reconfigurable() {
+            return Err(FpgaError::SlotBusy(slot));
+        }
+        self.slots[slot.index()].set_state(SlotState::Empty);
+        Ok(())
+    }
+
+    /// Returns the reconfiguration latency for a bitstream of the default
+    /// slot size.
+    pub fn nominal_reconfig_latency(&self) -> SimDuration {
+        self.cap.latency(zcu106::SLOT_BITSTREAM_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::zcu106())
+    }
+
+    #[test]
+    fn zcu106_has_ten_slots() {
+        assert_eq!(device().slot_count(), 10);
+    }
+
+    #[test]
+    fn reconfiguration_lifecycle() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(32 << 20);
+        let slot = SlotId::new(0);
+        let done = dev.begin_reconfiguration(slot, bs, SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::from_millis(80));
+        assert_eq!(dev.slot(slot).unwrap().state(), SlotState::Reconfiguring(bs));
+        dev.finish_reconfiguration(slot);
+        assert_eq!(dev.slot(slot).unwrap().state(), SlotState::Configured(bs));
+    }
+
+    #[test]
+    fn cap_serializes_across_slots() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(32 << 20);
+        dev.begin_reconfiguration(SlotId::new(0), bs, SimTime::ZERO)
+            .unwrap();
+        let err = dev
+            .begin_reconfiguration(SlotId::new(1), bs, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FpgaError::CapBusy { .. }));
+    }
+
+    #[test]
+    fn executing_slot_cannot_be_reconfigured() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(1);
+        let slot = SlotId::new(0);
+        dev.begin_reconfiguration(slot, bs, SimTime::ZERO).unwrap();
+        dev.finish_reconfiguration(slot);
+        dev.begin_execution(slot).unwrap();
+        assert_eq!(
+            dev.begin_reconfiguration(slot, bs, SimTime::from_secs(1)),
+            Err(FpgaError::SlotBusy(slot))
+        );
+        dev.finish_execution(slot);
+        assert!(dev
+            .begin_reconfiguration(slot, bs, SimTime::from_secs(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn release_requires_batch_boundary() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(1);
+        let slot = SlotId::new(4);
+        dev.begin_reconfiguration(slot, bs, SimTime::ZERO).unwrap();
+        assert_eq!(dev.release_slot(slot), Err(FpgaError::SlotBusy(slot)));
+        dev.finish_reconfiguration(slot);
+        dev.release_slot(slot).unwrap();
+        assert_eq!(dev.slot(slot).unwrap().state(), SlotState::Empty);
+    }
+
+    #[test]
+    fn sd_latency_delays_cap_start() {
+        let mut config = DeviceConfig::zcu106();
+        config.sd_bandwidth_bytes_per_sec = 32 << 20; // 1 s to load 32 MiB
+        let mut dev = Device::new(config);
+        let bs = dev.store_mut().register(32 << 20);
+        let done = dev
+            .begin_reconfiguration(SlotId::new(0), bs, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(done, SimTime::from_millis(1_080)); // 1 s load + 80 ms CAP
+    }
+
+    #[test]
+    fn unknown_slot_is_reported() {
+        let dev = device();
+        assert!(matches!(
+            dev.slot(SlotId::new(99)),
+            Err(FpgaError::UnknownSlot(_))
+        ));
+    }
+
+    #[test]
+    fn begin_execution_requires_configured() {
+        let mut dev = device();
+        assert_eq!(
+            dev.begin_execution(SlotId::new(0)),
+            Err(FpgaError::SlotBusy(SlotId::new(0)))
+        );
+    }
+
+    #[test]
+    fn nominal_latency_matches_paper() {
+        assert_eq!(device().nominal_reconfig_latency().as_millis(), 80);
+    }
+
+    #[test]
+    fn abort_execution_returns_slot_to_configured() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(1);
+        let slot = SlotId::new(2);
+        dev.begin_reconfiguration(slot, bs, SimTime::ZERO).unwrap();
+        dev.finish_reconfiguration(slot);
+        dev.begin_execution(slot).unwrap();
+        dev.abort_execution(slot).unwrap();
+        assert_eq!(dev.slot(slot).unwrap().state(), SlotState::Configured(bs));
+        // Aborted slots can immediately be reconfigured or relaunched.
+        assert!(dev.begin_execution(slot).is_ok());
+    }
+
+    #[test]
+    fn abort_execution_requires_a_running_item() {
+        let mut dev = device();
+        assert_eq!(
+            dev.abort_execution(SlotId::new(0)),
+            Err(FpgaError::SlotBusy(SlotId::new(0)))
+        );
+        let bs = dev.store_mut().register(1);
+        dev.begin_reconfiguration(SlotId::new(0), bs, SimTime::ZERO).unwrap();
+        assert!(dev.abort_execution(SlotId::new(0)).is_err());
+    }
+
+    #[test]
+    fn oversized_devices_repeat_the_slot_pattern() {
+        let dev = Device::new(DeviceConfig::zcu106().with_slot_count(25));
+        assert_eq!(dev.slot_count(), 25);
+        // Slot 10 repeats slot 0's resources, slot 19 repeats slot 9's.
+        assert_eq!(
+            dev.slots()[10].resources(),
+            dev.slots()[0].resources()
+        );
+        assert_eq!(
+            dev.slots()[19].resources(),
+            dev.slots()[9].resources()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_device_panics() {
+        let _ = Device::new(DeviceConfig::zcu106().with_slot_count(0));
+    }
+
+    #[test]
+    fn reconfigurable_slots_excludes_busy() {
+        let mut dev = device();
+        let bs = dev.store_mut().register(1);
+        dev.begin_reconfiguration(SlotId::new(0), bs, SimTime::ZERO)
+            .unwrap();
+        let free: Vec<SlotId> = dev.reconfigurable_slots().collect();
+        assert_eq!(free.len(), 9);
+        assert!(!free.contains(&SlotId::new(0)));
+    }
+}

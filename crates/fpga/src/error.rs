@@ -1,0 +1,92 @@
+//! Error type for device-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BitstreamId, SlotId};
+
+/// An error raised by the FPGA device model.
+///
+/// Every fallible operation on [`crate::Device`] and its components returns
+/// this type; the variants carry enough context to identify the offending
+/// slot or bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// The configuration access port is already reconfiguring another slot.
+    CapBusy {
+        /// The slot currently being reconfigured.
+        busy_with: SlotId,
+    },
+    /// The target slot is currently executing user logic and cannot be
+    /// reconfigured without first releasing it.
+    SlotBusy(SlotId),
+    /// The slot identifier does not exist on this device.
+    UnknownSlot(SlotId),
+    /// The bitstream identifier was never registered with the store.
+    UnknownBitstream(BitstreamId),
+    /// The memory pool cannot satisfy an allocation of the requested size.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: u64,
+        /// Bytes currently available in the pool.
+        available: u64,
+    },
+    /// The buffer identifier is not currently allocated.
+    UnknownBuffer(u64),
+    /// An injected reconfiguration failure (used by fault-injection tests).
+    ReconfigFault(SlotId),
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::CapBusy { busy_with } => {
+                write!(f, "configuration port busy reconfiguring {busy_with}")
+            }
+            FpgaError::SlotBusy(slot) => write!(f, "{slot} is executing and cannot be reconfigured"),
+            FpgaError::UnknownSlot(slot) => write!(f, "{slot} does not exist on this device"),
+            FpgaError::UnknownBitstream(bs) => write!(f, "bitstream {bs} was never registered"),
+            FpgaError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            FpgaError::UnknownBuffer(id) => write!(f, "buffer {id} is not allocated"),
+            FpgaError::ReconfigFault(slot) => {
+                write!(f, "injected reconfiguration fault on {slot}")
+            }
+        }
+    }
+}
+
+impl Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            FpgaError::CapBusy { busy_with: SlotId::new(1) },
+            FpgaError::SlotBusy(SlotId::new(2)),
+            FpgaError::UnknownSlot(SlotId::new(3)),
+            FpgaError::UnknownBitstream(BitstreamId::new(4)),
+            FpgaError::OutOfMemory { requested: 10, available: 5 },
+            FpgaError::UnknownBuffer(7),
+            FpgaError::ReconfigFault(SlotId::new(0)),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FpgaError>();
+    }
+}

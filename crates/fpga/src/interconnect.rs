@@ -1,0 +1,143 @@
+//! Inter-slot data-movement models.
+//!
+//! On the evaluated overlay "inter-slot communication is performed through
+//! the PS" (paper §2.1), and the conclusion names a NoC as the architectural
+//! improvement that "would allow for optimized data transfer between slots"
+//! (§7). This module models both, so the scheduling stack can quantify the
+//! difference and exploit placement locality when a NoC exists.
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_sim::SimDuration;
+
+use crate::SlotId;
+
+/// How data moves between producer and consumer tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// The evaluated overlay: every transfer is staged through the PS and
+    /// shared memory, costing the same regardless of slot positions.
+    ThroughPs {
+        /// Latency of one input transfer (control + DMA through the ARM
+        /// core) per batch item.
+        per_transfer: SimDuration,
+    },
+    /// A ring NoC connecting the slots (future work, §7): slot-to-slot
+    /// transfers cost `base + hops × per_hop`; data residing in PS memory
+    /// (application inputs, or outputs of already-retired producers) still
+    /// pays the PS cost.
+    RingNoc {
+        /// Fixed per-transfer latency (flit setup).
+        base: SimDuration,
+        /// Additional latency per ring hop.
+        per_hop: SimDuration,
+        /// Cost of moving data between PS memory and a slot.
+        ps_transfer: SimDuration,
+    },
+}
+
+impl Interconnect {
+    /// The evaluated system's default: 1 ms through-PS transfers (see
+    /// DESIGN.md §4 on the per-item overhead calibration).
+    pub fn zcu106_default() -> Self {
+        Interconnect::ThroughPs {
+            per_transfer: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A representative NoC: 50 µs setup, 10 µs per hop, 1 ms to/from PS.
+    pub fn ring_noc_default() -> Self {
+        Interconnect::RingNoc {
+            base: SimDuration::from_micros(50),
+            per_hop: SimDuration::from_micros(10),
+            ps_transfer: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Returns the number of ring hops between two slots on an
+    /// `slot_count`-slot device.
+    pub fn ring_hops(from: SlotId, to: SlotId, slot_count: usize) -> u64 {
+        let a = from.index();
+        let b = to.index();
+        let direct = a.abs_diff(b);
+        direct.min(slot_count - direct) as u64
+    }
+
+    /// Latency of fetching one item's input into `to`, produced on
+    /// `from` (`None` = the data lives in PS memory: an application input,
+    /// or the producer has left the fabric).
+    pub fn fetch_latency(&self, from: Option<SlotId>, to: SlotId, slot_count: usize) -> SimDuration {
+        match *self {
+            Interconnect::ThroughPs { per_transfer } => per_transfer,
+            Interconnect::RingNoc {
+                base,
+                per_hop,
+                ps_transfer,
+            } => match from {
+                Some(from) => base + per_hop.saturating_mul(Self::ring_hops(from, to, slot_count)),
+                None => ps_transfer,
+            },
+        }
+    }
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Interconnect::zcu106_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u32) -> SlotId {
+        SlotId::new(i)
+    }
+
+    #[test]
+    fn ring_hops_wrap_around() {
+        assert_eq!(Interconnect::ring_hops(slot(0), slot(0), 10), 0);
+        assert_eq!(Interconnect::ring_hops(slot(0), slot(3), 10), 3);
+        assert_eq!(Interconnect::ring_hops(slot(0), slot(9), 10), 1);
+        assert_eq!(Interconnect::ring_hops(slot(2), slot(7), 10), 5);
+        assert_eq!(Interconnect::ring_hops(slot(7), slot(2), 10), 5);
+    }
+
+    #[test]
+    fn through_ps_is_position_independent() {
+        let ic = Interconnect::zcu106_default();
+        let a = ic.fetch_latency(Some(slot(0)), slot(1), 10);
+        let b = ic.fetch_latency(Some(slot(0)), slot(5), 10);
+        let c = ic.fetch_latency(None, slot(9), 10);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn noc_scales_with_distance() {
+        let ic = Interconnect::ring_noc_default();
+        let adjacent = ic.fetch_latency(Some(slot(0)), slot(1), 10);
+        let far = ic.fetch_latency(Some(slot(0)), slot(5), 10);
+        assert!(adjacent < far);
+        assert_eq!(adjacent, SimDuration::from_micros(60));
+        assert_eq!(far, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn noc_ps_fallback_costs_the_ps_transfer() {
+        let ic = Interconnect::ring_noc_default();
+        assert_eq!(ic.fetch_latency(None, slot(3), 10), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn noc_beats_through_ps_for_neighbors() {
+        let ps = Interconnect::zcu106_default();
+        let noc = Interconnect::ring_noc_default();
+        assert!(
+            noc.fetch_latency(Some(slot(2)), slot(3), 10)
+                < ps.fetch_latency(Some(slot(2)), slot(3), 10)
+        );
+    }
+}

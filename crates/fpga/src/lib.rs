@@ -1,0 +1,62 @@
+//! Device model of a slot-based FPGA overlay.
+//!
+//! The Nimblock paper partitions a Xilinx ZCU106 into a *static region* plus
+//! ten uniform, independently reconfigurable *slots* (dynamic partial
+//! reconfiguration). This crate models everything the hypervisor observes
+//! about that hardware:
+//!
+//! * [`Resources`] and [`zcu106`] — the resource inventory of slots and the
+//!   static region (Table 1 of the paper),
+//! * [`Slot`] / [`SlotState`] — per-slot occupancy state machines,
+//! * [`ConfigPort`] — the configuration access port (CAP): at most one slot
+//!   reconfigures at a time, with a latency determined by bitstream size and
+//!   port bandwidth (~80 ms per slot on the ZCU106),
+//! * [`BitstreamStore`] — partial bitstreams resident on the SD card, loaded
+//!   into system memory on demand and cached thereafter,
+//! * [`MemoryPool`] — data-buffer allocation in shared system memory, and
+//! * [`Device`] — the assembled board.
+//!
+//! The model is *latency-faithful rather than gate-faithful*: schedulers never
+//! observe logic behaviour, only how long reconfiguration, loading, and
+//! execution take and which slots are busy. Those are exactly the quantities
+//! this crate models, which is what makes it a sound substitute for the
+//! physical board in the paper's evaluation (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_fpga::{Device, DeviceConfig};
+//! use nimblock_sim::SimTime;
+//!
+//! let mut device = Device::new(DeviceConfig::zcu106());
+//! assert_eq!(device.slot_count(), 10);
+//!
+//! // Reconfigure slot 0 with a 32 MiB partial bitstream.
+//! let slot = device.slots()[0].id();
+//! let bs = device.store_mut().register(32 << 20);
+//! let done = device.begin_reconfiguration(slot, bs, SimTime::ZERO)?;
+//! assert_eq!(done.as_millis(), 80);
+//! # Ok::<(), nimblock_fpga::FpgaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream;
+mod cap;
+mod device;
+mod error;
+mod interconnect;
+mod memory;
+mod resources;
+mod slot;
+pub mod zcu106;
+
+pub use bitstream::{BitstreamId, BitstreamInfo, BitstreamStore};
+pub use cap::ConfigPort;
+pub use device::{Device, DeviceConfig};
+pub use error::FpgaError;
+pub use interconnect::Interconnect;
+pub use memory::{BufferId, MemoryPool};
+pub use resources::Resources;
+pub use slot::{Slot, SlotId, SlotState};

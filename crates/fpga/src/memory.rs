@@ -1,0 +1,174 @@
+//! Shared system-memory buffer pool.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::FpgaError;
+
+/// Identifier of an allocated data buffer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BufferId(u64);
+
+impl BufferId {
+    /// Returns the raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// Allocator for the task I/O buffers the hypervisor places in shared DRAM.
+///
+/// On the evaluated system, tasks read inputs from and write outputs to
+/// buffers the hypervisor allocates in PS memory; completed tasks'
+/// unneeded buffers are relinquished (paper §2.2). The pool models
+/// capacity accounting so that buffer-lifetime bugs in a scheduler surface
+/// as [`FpgaError::OutOfMemory`] instead of passing silently.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_fpga::MemoryPool;
+///
+/// let mut pool = MemoryPool::new(1 << 20);
+/// let buf = pool.alloc(512 << 10)?;
+/// assert_eq!(pool.in_use(), 512 << 10);
+/// pool.free(buf)?;
+/// assert_eq!(pool.in_use(), 0);
+/// # Ok::<(), nimblock_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    live: HashMap<BufferId, u64>,
+    next_id: u64,
+}
+
+impl MemoryPool {
+    /// Creates a pool with `capacity` bytes of allocatable memory.
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            live: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Allocates `size` bytes, returning the buffer identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::OutOfMemory`] if less than `size` bytes remain.
+    pub fn alloc(&mut self, size: u64) -> Result<BufferId, FpgaError> {
+        let available = self.capacity - self.in_use;
+        if size > available {
+            return Err(FpgaError::OutOfMemory {
+                requested: size,
+                available,
+            });
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.in_use += size;
+        self.peak = self.peak.max(self.in_use);
+        self.live.insert(id, size);
+        Ok(id)
+    }
+
+    /// Releases the buffer `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::UnknownBuffer`] if `id` is not currently
+    /// allocated (double free or foreign identifier).
+    pub fn free(&mut self, id: BufferId) -> Result<(), FpgaError> {
+        let size = self
+            .live
+            .remove(&id)
+            .ok_or(FpgaError::UnknownBuffer(id.0))?;
+        self.in_use -= size;
+        Ok(())
+    }
+
+    /// Returns the pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Returns the bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Returns the high-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Returns the number of live buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(60).unwrap();
+        let b = pool.alloc(40).unwrap();
+        assert_eq!(pool.in_use(), 100);
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.peak(), 100);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails() {
+        let mut pool = MemoryPool::new(10);
+        pool.alloc(8).unwrap();
+        let err = pool.alloc(4).unwrap_err();
+        assert_eq!(err, FpgaError::OutOfMemory { requested: 4, available: 2 });
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut pool = MemoryPool::new(10);
+        let buf = pool.alloc(1).unwrap();
+        pool.free(buf).unwrap();
+        assert!(matches!(pool.free(buf), Err(FpgaError::UnknownBuffer(_))));
+    }
+
+    #[test]
+    fn freed_capacity_is_reusable() {
+        let mut pool = MemoryPool::new(10);
+        let buf = pool.alloc(10).unwrap();
+        pool.free(buf).unwrap();
+        assert!(pool.alloc(10).is_ok());
+    }
+
+    #[test]
+    fn zero_sized_allocations_are_fine() {
+        let mut pool = MemoryPool::new(0);
+        let buf = pool.alloc(0).unwrap();
+        assert_eq!(pool.live_buffers(), 1);
+        pool.free(buf).unwrap();
+    }
+}

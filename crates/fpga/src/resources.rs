@@ -1,0 +1,223 @@
+//! FPGA resource inventories.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An inventory of FPGA fabric resources.
+///
+/// The fields follow Table 1 of the Nimblock paper, which reports slot and
+/// static-region utilization on the ZCU106 in these seven categories.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_fpga::Resources;
+///
+/// let task = Resources { dsp: 40, lut: 9_000, ..Resources::ZERO };
+/// let slot = nimblock_fpga::zcu106::slot_resources(0);
+/// assert!(task.fits_within(&slot));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Resources {
+    /// DSP48 arithmetic blocks.
+    pub dsp: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Carry-chain elements.
+    pub carry: u32,
+    /// 18 Kib block RAMs.
+    pub ramb18: u32,
+    /// 36 Kib block RAMs.
+    pub ramb36: u32,
+    /// I/O buffers.
+    pub iobuf: u32,
+}
+
+impl Resources {
+    /// The empty inventory.
+    pub const ZERO: Resources = Resources {
+        dsp: 0,
+        lut: 0,
+        ff: 0,
+        carry: 0,
+        ramb18: 0,
+        ramb36: 0,
+        iobuf: 0,
+    };
+
+    /// Returns `true` if `self` fits within `budget` in every category.
+    pub fn fits_within(&self, budget: &Resources) -> bool {
+        self.dsp <= budget.dsp
+            && self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.carry <= budget.carry
+            && self.ramb18 <= budget.ramb18
+            && self.ramb36 <= budget.ramb36
+            && self.iobuf <= budget.iobuf
+    }
+
+    /// Returns the category-wise saturating difference `self - other`.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            dsp: self.dsp.saturating_sub(other.dsp),
+            lut: self.lut.saturating_sub(other.lut),
+            ff: self.ff.saturating_sub(other.ff),
+            carry: self.carry.saturating_sub(other.carry),
+            ramb18: self.ramb18.saturating_sub(other.ramb18),
+            ramb36: self.ramb36.saturating_sub(other.ramb36),
+            iobuf: self.iobuf.saturating_sub(other.iobuf),
+        }
+    }
+
+    /// Returns the utilization of `self` against `budget` as the maximum
+    /// fraction used across categories (1.0 = some category fully used).
+    ///
+    /// Categories with a zero budget are ignored.
+    pub fn utilization_of(&self, budget: &Resources) -> f64 {
+        let pairs = [
+            (self.dsp, budget.dsp),
+            (self.lut, budget.lut),
+            (self.ff, budget.ff),
+            (self.carry, budget.carry),
+            (self.ramb18, budget.ramb18),
+            (self.ramb36, budget.ramb36),
+            (self.iobuf, budget.iobuf),
+        ];
+        pairs
+            .into_iter()
+            .filter(|&(_, b)| b > 0)
+            .map(|(u, b)| u as f64 / b as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            dsp: self.dsp + rhs.dsp,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            carry: self.carry + rhs.carry,
+            ramb18: self.ramb18 + rhs.ramb18,
+            ramb36: self.ramb36 + rhs.ramb36,
+            iobuf: self.iobuf + rhs.iobuf,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+
+    /// Category-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Resources::saturating_sub`] when `rhs` may exceed `self`.
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            dsp: self.dsp - rhs.dsp,
+            lut: self.lut - rhs.lut,
+            ff: self.ff - rhs.ff,
+            carry: self.carry - rhs.carry,
+            ramb18: self.ramb18 - rhs.ramb18,
+            ramb36: self.ramb36 - rhs.ramb36,
+            iobuf: self.iobuf - rhs.iobuf,
+        }
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSP={} LUT={} FF={} Carry={} RAMB18={} RAMB36={} IOBuf={}",
+            self.dsp, self.lut, self.ff, self.carry, self.ramb18, self.ramb36, self.iobuf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Resources {
+        Resources {
+            dsp: 10,
+            lut: 100,
+            ff: 200,
+            carry: 12,
+            ramb18: 4,
+            ramb36: 2,
+            iobuf: 19,
+        }
+    }
+
+    #[test]
+    fn fits_within_is_category_wise() {
+        let small = sample();
+        let mut big = sample();
+        big.lut += 1;
+        assert!(small.fits_within(&big));
+        assert!(!big.fits_within(&small));
+        assert!(small.fits_within(&small), "fits within itself");
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips() {
+        let a = sample();
+        let b = Resources { dsp: 1, ..Resources::ZERO };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Resources { dsp: 1, ..Resources::ZERO };
+        let b = Resources { dsp: 5, ..Resources::ZERO };
+        assert_eq!(a.saturating_sub(&b), Resources::ZERO);
+    }
+
+    #[test]
+    fn utilization_takes_binding_category() {
+        let budget = Resources {
+            dsp: 100,
+            lut: 100,
+            ..Resources::ZERO
+        };
+        let used = Resources {
+            dsp: 50,
+            lut: 80,
+            ..Resources::ZERO
+        };
+        assert!((used.utilization_of(&budget) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_ignores_zero_budget_categories() {
+        let budget = Resources { dsp: 10, ..Resources::ZERO };
+        let used = Resources { dsp: 5, ff: 999, ..Resources::ZERO };
+        assert!((used.utilization_of(&budget) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_categories() {
+        let text = sample().to_string();
+        for token in ["DSP=10", "LUT=100", "IOBuf=19"] {
+            assert!(text.contains(token), "missing {token} in {text}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Reconfigurable slot state machines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitstreamId, Resources};
+
+/// Identifier of a reconfigurable slot on a device.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_fpga::SlotId;
+///
+/// let slot = SlotId::new(3);
+/// assert_eq!(slot.index(), 3);
+/// assert_eq!(slot.to_string(), "slot#3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SlotId(u32);
+
+impl SlotId {
+    /// Creates a slot identifier from its index on the device.
+    pub const fn new(index: u32) -> Self {
+        SlotId(index)
+    }
+
+    /// Returns the slot's index on the device.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+/// Occupancy state of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SlotState {
+    /// No user logic configured; the slot is available.
+    #[default]
+    Empty,
+    /// The configuration port is streaming a partial bitstream into the slot.
+    /// The slot is decoupled and cannot execute.
+    Reconfiguring(BitstreamId),
+    /// User logic is configured and idle (between batches, or never started).
+    Configured(BitstreamId),
+    /// User logic is configured and currently processing a batch item.
+    Executing(BitstreamId),
+}
+
+impl SlotState {
+    /// Returns the configured or in-flight bitstream, if any.
+    pub fn bitstream(self) -> Option<BitstreamId> {
+        match self {
+            SlotState::Empty => None,
+            SlotState::Reconfiguring(bs) | SlotState::Configured(bs) | SlotState::Executing(bs) => {
+                Some(bs)
+            }
+        }
+    }
+
+    /// Returns `true` if the slot can accept a new reconfiguration.
+    ///
+    /// A slot may be reconfigured when empty or when its logic is idle at a
+    /// batch boundary ([`SlotState::Configured`]); it may not be interrupted
+    /// mid-reconfiguration or mid-execution — exactly the batch-preemption
+    /// constraint of the paper (§3.2).
+    pub fn reconfigurable(self) -> bool {
+        matches!(self, SlotState::Empty | SlotState::Configured(_))
+    }
+}
+
+/// A reconfigurable slot: identifier, enclosed resources, and current state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    id: SlotId,
+    resources: Resources,
+    state: SlotState,
+}
+
+impl Slot {
+    /// Creates an empty slot with the given identifier and resources.
+    pub fn new(id: SlotId, resources: Resources) -> Self {
+        Slot {
+            id,
+            resources,
+            state: SlotState::Empty,
+        }
+    }
+
+    /// Returns the slot identifier.
+    pub fn id(&self) -> SlotId {
+        self.id
+    }
+
+    /// Returns the resources enclosed by the slot.
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+
+    /// Returns the current occupancy state.
+    pub fn state(&self) -> SlotState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: SlotState) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bitstream_extraction() {
+        let bs = BitstreamId::new(9);
+        assert_eq!(SlotState::Empty.bitstream(), None);
+        assert_eq!(SlotState::Reconfiguring(bs).bitstream(), Some(bs));
+        assert_eq!(SlotState::Configured(bs).bitstream(), Some(bs));
+        assert_eq!(SlotState::Executing(bs).bitstream(), Some(bs));
+    }
+
+    #[test]
+    fn reconfigurable_only_at_batch_boundaries() {
+        let bs = BitstreamId::new(1);
+        assert!(SlotState::Empty.reconfigurable());
+        assert!(SlotState::Configured(bs).reconfigurable());
+        assert!(!SlotState::Reconfiguring(bs).reconfigurable());
+        assert!(!SlotState::Executing(bs).reconfigurable());
+    }
+
+    #[test]
+    fn slot_starts_empty() {
+        let slot = Slot::new(SlotId::new(0), Resources::ZERO);
+        assert_eq!(slot.state(), SlotState::Empty);
+    }
+
+    #[test]
+    fn slot_id_display() {
+        assert_eq!(SlotId::new(7).to_string(), "slot#7");
+    }
+}

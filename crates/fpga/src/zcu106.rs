@@ -1,0 +1,122 @@
+//! ZCU106 overlay constants (Table 1 of the Nimblock paper).
+//!
+//! The paper partitions the ZCU106 into ten uniform slots plus a static
+//! region. Table 1 reports slot utilization as *ranges* because the ten
+//! floorplanned slots differ slightly in the resources they enclose; this
+//! module reproduces both the ranges and a deterministic per-slot
+//! interpolation between them.
+
+use crate::Resources;
+
+/// Number of reconfigurable slots in the evaluated overlay.
+pub const SLOT_COUNT: usize = 10;
+
+/// Minimum resources enclosed by any slot (lower bounds of Table 1).
+pub const SLOT_MIN: Resources = Resources {
+    dsp: 46,
+    lut: 9_680,
+    ff: 19_360,
+    carry: 1_210,
+    ramb18: 44,
+    ramb36: 22,
+    iobuf: 1_908,
+};
+
+/// Maximum resources enclosed by any slot (upper bounds of Table 1).
+pub const SLOT_MAX: Resources = Resources {
+    dsp: 92,
+    lut: 12_960,
+    ff: 22_880,
+    carry: 1_620,
+    ramb18: 46,
+    ramb36: 23,
+    iobuf: 2_343,
+};
+
+/// Resources consumed by the static region (interconnect, decoupling,
+/// PS-side plumbing).
+pub const STATIC_REGION: Resources = Resources {
+    dsp: 1_004,
+    lut: 122_560,
+    ff: 245_120,
+    carry: 15_320,
+    ramb18: 172,
+    ramb36: 86,
+    iobuf: 24_803,
+};
+
+/// Average partial-reconfiguration latency measured on the board, in
+/// milliseconds ("partial reconfiguration of a slot takes, on average,
+/// around 80 ms", paper §5.1).
+pub const RECONFIG_MILLIS: u64 = 80;
+
+/// Modelled partial-bitstream size for one slot, in bytes.
+///
+/// Chosen with [`CAP_BANDWIDTH_BYTES_PER_SEC`] so that size / bandwidth
+/// reproduces the measured 80 ms latency.
+pub const SLOT_BITSTREAM_BYTES: u64 = 32 << 20;
+
+/// Modelled configuration-access-port bandwidth in bytes per second.
+pub const CAP_BANDWIDTH_BYTES_PER_SEC: u64 = (32 << 20) * 1000 / RECONFIG_MILLIS;
+
+/// Scheduling interval at which slot reallocation is triggered, in
+/// milliseconds (paper §5.1).
+pub const SCHEDULING_INTERVAL_MILLIS: u64 = 400;
+
+/// Returns the resource inventory of slot `index`.
+///
+/// The ten slots interpolate deterministically between [`SLOT_MIN`] and
+/// [`SLOT_MAX`], matching the ranges of Table 1: slot 0 has the minimum,
+/// slot 9 the maximum.
+///
+/// # Panics
+///
+/// Panics if `index >= SLOT_COUNT`.
+pub fn slot_resources(index: usize) -> Resources {
+    assert!(index < SLOT_COUNT, "slot index {index} out of range");
+    let lerp = |lo: u32, hi: u32| lo + ((hi - lo) as u64 * index as u64 / (SLOT_COUNT - 1) as u64) as u32;
+    Resources {
+        dsp: lerp(SLOT_MIN.dsp, SLOT_MAX.dsp),
+        lut: lerp(SLOT_MIN.lut, SLOT_MAX.lut),
+        ff: lerp(SLOT_MIN.ff, SLOT_MAX.ff),
+        carry: lerp(SLOT_MIN.carry, SLOT_MAX.carry),
+        ramb18: lerp(SLOT_MIN.ramb18, SLOT_MAX.ramb18),
+        ramb36: lerp(SLOT_MIN.ramb36, SLOT_MAX.ramb36),
+        iobuf: lerp(SLOT_MIN.iobuf, SLOT_MAX.iobuf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_resources_span_table_ranges() {
+        assert_eq!(slot_resources(0), SLOT_MIN);
+        assert_eq!(slot_resources(SLOT_COUNT - 1), SLOT_MAX);
+        for i in 0..SLOT_COUNT {
+            let r = slot_resources(i);
+            assert!(SLOT_MIN.fits_within(&r));
+            assert!(r.fits_within(&SLOT_MAX));
+        }
+    }
+
+    #[test]
+    fn slot_resources_monotone_in_index() {
+        for i in 1..SLOT_COUNT {
+            assert!(slot_resources(i - 1).fits_within(&slot_resources(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_resources_rejects_out_of_range() {
+        let _ = slot_resources(SLOT_COUNT);
+    }
+
+    #[test]
+    fn cap_bandwidth_reproduces_80ms() {
+        let millis = SLOT_BITSTREAM_BYTES * 1000 / CAP_BANDWIDTH_BYTES_PER_SEC;
+        assert_eq!(millis, RECONFIG_MILLIS);
+    }
+}

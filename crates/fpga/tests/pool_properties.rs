@@ -1,0 +1,63 @@
+//! Property tests for resource arithmetic and the memory pool.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nimblock_fpga::{MemoryPool, Resources};
+
+fn arb_resources() -> impl Strategy<Value = Resources> {
+    (0u32..1_000, 0u32..100_000, 0u32..100_000, 0u32..10_000, 0u32..100, 0u32..100, 0u32..10_000)
+        .prop_map(|(dsp, lut, ff, carry, ramb18, ramb36, iobuf)| Resources {
+            dsp, lut, ff, carry, ramb18, ramb36, iobuf,
+        })
+}
+
+proptest! {
+    #[test]
+    fn add_sub_roundtrips(a in arb_resources(), b in arb_resources()) {
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!((a + b).saturating_sub(&a), b);
+    }
+
+    #[test]
+    fn fits_within_is_a_partial_order(a in arb_resources(), b in arb_resources()) {
+        // Reflexive; and a <= a+b always.
+        prop_assert!(a.fits_within(&a));
+        prop_assert!(a.fits_within(&(a + b)));
+        // Antisymmetric: mutual fit implies equality.
+        if a.fits_within(&b) && b.fits_within(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn utilization_is_at_most_one_when_fitting(a in arb_resources(), b in arb_resources()) {
+        let budget = a + b;
+        prop_assert!(a.utilization_of(&budget) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn pool_accounting_balances(ops in vec((1u64..1_000, any::<bool>()), 1..200)) {
+        let mut pool = MemoryPool::new(100_000);
+        let mut live = Vec::new();
+        let mut expected_in_use = 0u64;
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (id, size) = live.swap_remove(0);
+                pool.free(id).unwrap();
+                expected_in_use -= size;
+            } else if let Ok(id) = pool.alloc(size) {
+                live.push((id, size));
+                expected_in_use += size;
+            }
+            prop_assert_eq!(pool.in_use(), expected_in_use);
+            prop_assert!(pool.in_use() <= pool.capacity());
+            prop_assert!(pool.peak() >= pool.in_use());
+            prop_assert_eq!(pool.live_buffers(), live.len());
+        }
+        for (id, _) in live {
+            pool.free(id).unwrap();
+        }
+        prop_assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Fast list-scheduled makespan estimation.
+
+use std::collections::BTreeSet;
+
+use nimblock_app::{TaskGraph, TaskId};
+use nimblock_sim::{EventQueue, SimDuration, SimTime};
+
+/// Configuration of a [`PipelineEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatorConfig {
+    /// Latency of one partial reconfiguration.
+    pub reconfig: SimDuration,
+    /// Whether tasks pipeline across batch items (the fine-grained sharing
+    /// mode of Figure 2(c)); when `false`, a task waits for its predecessors
+    /// to finish the *whole* batch (bulk processing, Figure 2(a)/(b)).
+    pub pipelining: bool,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            reconfig: SimDuration::from_millis(nimblock_fpga_reconfig_millis()),
+            pipelining: true,
+        }
+    }
+}
+
+/// The ZCU106 reconfiguration latency without depending on `nimblock-fpga`.
+/// Kept in sync by the cross-crate integration tests.
+const fn nimblock_fpga_reconfig_millis() -> u64 {
+    80
+}
+
+/// Estimates the makespan of one application on `k` slots.
+///
+/// This is the reproduction's stand-in for the DML ILP formulation the paper
+/// solves with Gurobi (§4.2): a deterministic greedy list schedule that
+/// models the two effects the formulation captures — serialized partial
+/// reconfiguration and cross-batch pipelining. The saturation analysis only
+/// needs the *shape* of makespan versus slot count, for which a greedy
+/// schedule is accurate on these task graphs; `crate::saturation` tests
+/// cross-check it against the exact ILP on small instances.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_app::benchmarks;
+/// use nimblock_ilp::{EstimatorConfig, PipelineEstimator};
+///
+/// let estimator = PipelineEstimator::new(EstimatorConfig::default());
+/// let graph = benchmarks::optical_flow();
+/// let one = estimator.makespan(graph.graph(), 10, 1);
+/// let four = estimator.makespan(graph.graph(), 10, 4);
+/// assert!(four < one, "more slots should not slow an app down");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineEstimator {
+    config: EstimatorConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    ReconfigDone(TaskId),
+    ItemDone(TaskId),
+}
+
+impl PipelineEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        PipelineEstimator { config }
+    }
+
+    /// Returns the estimator configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimates the time to process `batch` items of `graph` on `slots`
+    /// slots, including all reconfigurations, starting from an empty device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `batch` is zero.
+    pub fn makespan(&self, graph: &TaskGraph, batch: u32, slots: usize) -> SimDuration {
+        assert!(slots > 0, "need at least one slot");
+        assert!(batch > 0, "need at least one batch item");
+        let n = graph.task_count();
+        let batch = batch as usize;
+
+        // Per-task progress.
+        let mut item_done_at: Vec<Vec<SimTime>> = vec![Vec::with_capacity(batch); n];
+        let mut configured = vec![false; n];
+        let mut running = vec![false; n]; // currently processing an item
+        let mut finished = vec![false; n]; // all items done, slot released
+        let mut reconfiguring = vec![false; n];
+
+        let mut free_slots = slots;
+        let mut cap_free_at = SimTime::ZERO;
+        // Tasks not yet configured, in topological order.
+        let mut unconfigured: Vec<TaskId> = graph.topological_order().to_vec();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut makespan = SimTime::ZERO;
+        // Deterministic set of tasks that might be able to launch an item.
+        let mut launch_candidates: BTreeSet<TaskId> = BTreeSet::new();
+
+        // Dispatch: start reconfigs and item launches that have become legal.
+        // Returns scheduled events through `queue`.
+        let dispatch = |now: SimTime,
+                        queue: &mut EventQueue<Event>,
+                        unconfigured: &mut Vec<TaskId>,
+                        free_slots: &mut usize,
+                        cap_free_at: &mut SimTime,
+                        configured: &[bool],
+                        reconfiguring: &mut [bool],
+                        running: &mut [bool],
+                        finished: &[bool],
+                        item_done_at: &[Vec<SimTime>],
+                        launch_candidates: &mut BTreeSet<TaskId>,
+                        graph: &TaskGraph,
+                        pipelining: bool,
+                        reconfig: SimDuration| {
+            // 1. Configure the next topo-order task whose predecessors are
+            //    all configured or finished (so reconfiguration overlaps
+            //    upstream compute), while slots and the CAP allow.
+            while *free_slots > 0 {
+                let next = unconfigured
+                    .iter()
+                    .position(|&t| {
+                        graph
+                            .predecessors(t)
+                            .iter()
+                            .all(|&p| configured[p.index()] || finished[p.index()] || reconfiguring[p.index()])
+                    });
+                let Some(pos) = next else { break };
+                let task = unconfigured.remove(pos);
+                *free_slots -= 1;
+                reconfiguring[task.index()] = true;
+                let start = now.max(*cap_free_at);
+                let done = start + reconfig;
+                *cap_free_at = done;
+                queue.push(done, Event::ReconfigDone(task));
+            }
+            // 2. Launch items on idle configured tasks whose dependency for
+            //    the next item is satisfied.
+            let candidates: Vec<TaskId> = launch_candidates.iter().copied().collect();
+            for task in candidates {
+                let t = task.index();
+                if !configured[t] || running[t] || finished[t] {
+                    launch_candidates.remove(&task);
+                    continue;
+                }
+                let next_item = item_done_at[t].len();
+                let deps_ok = graph.predecessors(task).iter().all(|&p| {
+                    let done = item_done_at[p.index()].len();
+                    if pipelining {
+                        done > next_item
+                    } else {
+                        done == batch
+                    }
+                });
+                if deps_ok {
+                    running[t] = true;
+                    let latency = graph.task(task).latency();
+                    queue.push(now + latency, Event::ItemDone(task));
+                    launch_candidates.remove(&task);
+                }
+            }
+        };
+
+        // Seed.
+        dispatch(
+            now,
+            &mut queue,
+            &mut unconfigured,
+            &mut free_slots,
+            &mut cap_free_at,
+            &configured,
+            &mut reconfiguring,
+            &mut running,
+            &finished,
+            &item_done_at,
+            &mut launch_candidates,
+            graph,
+            self.config.pipelining,
+            self.config.reconfig,
+        );
+
+        while let Some((at, event)) = queue.pop() {
+            now = at;
+            match event {
+                Event::ReconfigDone(task) => {
+                    let t = task.index();
+                    reconfiguring[t] = false;
+                    configured[t] = true;
+                    launch_candidates.insert(task);
+                }
+                Event::ItemDone(task) => {
+                    let t = task.index();
+                    running[t] = false;
+                    item_done_at[t].push(now);
+                    makespan = makespan.max(now);
+                    if item_done_at[t].len() == batch {
+                        finished[t] = true;
+                        configured[t] = false;
+                        free_slots += 1;
+                    } else {
+                        launch_candidates.insert(task);
+                    }
+                    // A completed item may unblock successors.
+                    for &succ in graph.successors(task) {
+                        launch_candidates.insert(succ);
+                    }
+                }
+            }
+            dispatch(
+                now,
+                &mut queue,
+                &mut unconfigured,
+                &mut free_slots,
+                &mut cap_free_at,
+                &configured,
+                &mut reconfiguring,
+                &mut running,
+                &finished,
+                &item_done_at,
+                &mut launch_candidates,
+                graph,
+                self.config.pipelining,
+                self.config.reconfig,
+            );
+        }
+
+        debug_assert!(
+            finished.iter().all(|&f| f),
+            "estimator drained its queue with unfinished tasks — scheduling deadlock"
+        );
+        makespan.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::{benchmarks, TaskGraphBuilder, TaskSpec};
+
+    fn config(pipelining: bool) -> EstimatorConfig {
+        EstimatorConfig {
+            reconfig: SimDuration::from_millis(80),
+            pipelining,
+        }
+    }
+
+    fn chain(latencies_ms: &[u64]) -> TaskGraph {
+        let mut builder = TaskGraphBuilder::new();
+        let ids: Vec<_> = latencies_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| builder.add_task(TaskSpec::new(format!("t{i}"), SimDuration::from_millis(ms))))
+            .collect();
+        builder.add_chain(&ids).unwrap();
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn single_task_single_slot() {
+        let graph = chain(&[100]);
+        let est = PipelineEstimator::new(config(true));
+        // 80 ms reconfig + 3 × 100 ms.
+        assert_eq!(
+            est.makespan(&graph, 3, 1),
+            SimDuration::from_millis(380)
+        );
+    }
+
+    #[test]
+    fn single_slot_chain_serializes_everything() {
+        let graph = chain(&[100, 100]);
+        let est = PipelineEstimator::new(config(true));
+        // reconfig t0 (80) + 2×100 + reconfig t1 (80) + 2×100 = 560 ms.
+        assert_eq!(est.makespan(&graph, 2, 1), SimDuration::from_millis(560));
+    }
+
+    #[test]
+    fn two_slots_pipeline_a_two_task_chain() {
+        let graph = chain(&[100, 100]);
+        let est = PipelineEstimator::new(config(true));
+        // t0 cfg at 80, items at 180, 280. t1 cfg at 160.
+        // t1 item0 starts at 180 -> 280; item1 at 280 -> 380.
+        assert_eq!(est.makespan(&graph, 2, 2), SimDuration::from_millis(380));
+    }
+
+    #[test]
+    fn bulk_mode_waits_for_whole_batch() {
+        let graph = chain(&[100, 100]);
+        let est = PipelineEstimator::new(config(false));
+        // t0 cfg 80, batch done at 280; t1 cfg'd long before, runs 280..480.
+        assert_eq!(est.makespan(&graph, 2, 2), SimDuration::from_millis(480));
+    }
+
+    #[test]
+    fn more_slots_never_hurt() {
+        let est = PipelineEstimator::new(config(true));
+        for app in benchmarks::all() {
+            let graph = app.graph();
+            let mut prev = est.makespan(graph, 6, 1);
+            for k in 2..=10 {
+                let m = est.makespan(graph, 6, k);
+                assert!(
+                    m <= prev,
+                    "{}: makespan({k}) = {m} > makespan({}) = {prev}",
+                    app.name(),
+                    k - 1
+                );
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_bulk_on_batched_chains() {
+        let pipe = PipelineEstimator::new(config(true));
+        let bulk = PipelineEstimator::new(config(false));
+        let graph = benchmarks::optical_flow();
+        assert!(
+            pipe.makespan(graph.graph(), 10, 4) < bulk.makespan(graph.graph(), 10, 4)
+        );
+    }
+
+    #[test]
+    fn batch_one_gains_nothing_from_pipelining() {
+        let pipe = PipelineEstimator::new(config(true));
+        let bulk = PipelineEstimator::new(config(false));
+        let graph = benchmarks::lenet();
+        assert_eq!(
+            pipe.makespan(graph.graph(), 1, 3),
+            bulk.makespan(graph.graph(), 1, 3)
+        );
+    }
+
+    #[test]
+    fn alexnet_completes_on_few_slots() {
+        let est = PipelineEstimator::new(config(true));
+        let graph = benchmarks::alexnet();
+        // 38 tasks on 2 slots must terminate (no deadlock) and beat 1 slot.
+        let two = est.makespan(graph.graph(), 2, 2);
+        let one = est.makespan(graph.graph(), 2, 1);
+        assert!(two < one);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let est = PipelineEstimator::default();
+        est.makespan(benchmarks::lenet().graph(), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch item")]
+    fn zero_batch_panics() {
+        let est = PipelineEstimator::default();
+        est.makespan(benchmarks::lenet().graph(), 0, 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Public ILP problem builder and branch & bound solver.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::simplex::{self, DenseConstraint, LpOutcome};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Maximize the objective.
+    #[default]
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    LessEq,
+    /// `expr >= rhs`
+    GreaterEq,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Identifier of a decision variable within one [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Returns the variable's index in the problem.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An error raised by [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Branch & bound exceeded its node budget without proving optimality.
+    NodeLimit {
+        /// The configured node budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Infeasible => write!(f, "problem is infeasible"),
+            IlpError::Unbounded => write!(f, "objective is unbounded"),
+            IlpError::NodeLimit { limit } => {
+                write!(f, "branch & bound exceeded its node budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for IlpError {}
+
+/// A sparse constraint: terms as `(variable index, coefficient)` pairs.
+type SparseConstraint = (Vec<(usize, f64)>, Relation, f64);
+
+#[derive(Debug, Clone)]
+struct Variable {
+    lower: f64,
+    upper: f64,
+    integer: bool,
+    objective: f64,
+}
+
+/// An optimal solution returned by [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+    nodes_explored: usize,
+}
+
+impl Solution {
+    /// Returns the optimal objective value (in the problem's own sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Returns the value of `var` at the optimum.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Returns all variable values in declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns how many branch & bound nodes were explored.
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+}
+
+/// A mixed-integer linear program.
+///
+/// Small and exact: the LP relaxation is solved with a dense two-phase
+/// simplex, and integrality is enforced by depth-first branch & bound with
+/// best-incumbent pruning. Intended for the saturation analysis and other
+/// off-critical-path formulations, mirroring the paper's use of Gurobi.
+///
+/// # Example
+///
+/// A tiny knapsack: two items of value 60/100 and weight 10/20, capacity 25.
+///
+/// ```
+/// use nimblock_ilp::{Problem, Relation, Sense};
+///
+/// let mut p = Problem::new(Sense::Maximize);
+/// let a = p.add_integer_var(0.0, 1.0, 60.0);
+/// let b = p.add_integer_var(0.0, 1.0, 100.0);
+/// p.add_constraint(&[(a, 10.0), (b, 20.0)], Relation::LessEq, 25.0);
+/// let solution = p.solve()?;
+/// assert_eq!(solution.objective(), 100.0);
+/// assert_eq!(solution.value(b), 1.0);
+/// # Ok::<(), nimblock_ilp::IlpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    sense: Sense,
+    variables: Vec<Variable>,
+    constraints: Vec<SparseConstraint>,
+    node_limit: usize,
+    integrality_tol: f64,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            node_limit: 100_000,
+            integrality_tol: 1e-6,
+        }
+    }
+
+    /// Sets the branch & bound node budget (default 100 000).
+    pub fn with_node_limit(mut self, node_limit: usize) -> Self {
+        self.node_limit = node_limit;
+        self
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and the given
+    /// objective coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or `lower < 0` (the solver works over the
+    /// non-negative orthant; shift variables if you need negative ranges).
+    pub fn add_var(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper}");
+        assert!(lower >= 0.0, "variables must be non-negative; shift the model");
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            lower,
+            upper,
+            integer: false,
+            objective,
+        });
+        id
+    }
+
+    /// Adds an integer variable with bounds `[lower, upper]` and the given
+    /// objective coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Problem::add_var`].
+    pub fn add_integer_var(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        let id = self.add_var(lower, upper, objective);
+        self.variables[id.0].integer = true;
+        id
+    }
+
+    /// Adds the constraint `Σ coeff · var (relation) rhs`.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], relation: Relation, rhs: f64) {
+        let dense_terms = terms.iter().map(|&(v, c)| (v.0, c)).collect();
+        self.constraints.push((dense_terms, relation, rhs));
+    }
+
+    /// Returns the number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Returns the number of declared constraints (bounds not included).
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Solves the problem to optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::Infeasible`] if no assignment satisfies the constraints,
+    /// * [`IlpError::Unbounded`] if the objective diverges,
+    /// * [`IlpError::NodeLimit`] if branch & bound exhausts its node budget.
+    pub fn solve(&self) -> Result<Solution, IlpError> {
+        let n = self.variables.len();
+        // Internally always maximize; negate coefficients for minimization.
+        let sign = match self.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        let objective: Vec<f64> = self.variables.iter().map(|v| sign * v.objective).collect();
+
+        let mut base: Vec<DenseConstraint> = Vec::new();
+        for (terms, relation, rhs) in &self.constraints {
+            let mut coeffs = vec![0.0; n];
+            for &(j, c) in terms {
+                coeffs[j] += c;
+            }
+            base.push(DenseConstraint {
+                coeffs,
+                relation: *relation,
+                rhs: *rhs,
+            });
+        }
+        for (j, v) in self.variables.iter().enumerate() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            if v.upper.is_finite() {
+                base.push(DenseConstraint {
+                    coeffs: coeffs.clone(),
+                    relation: Relation::LessEq,
+                    rhs: v.upper,
+                });
+            }
+            if v.lower > 0.0 {
+                base.push(DenseConstraint {
+                    coeffs,
+                    relation: Relation::GreaterEq,
+                    rhs: v.lower,
+                });
+            }
+        }
+
+        // Depth-first branch & bound over bound tightenings.
+        struct Node {
+            extra: Vec<DenseConstraint>,
+        }
+        let mut stack = vec![Node { extra: Vec::new() }];
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let mut nodes = 0usize;
+
+        while let Some(node) = stack.pop() {
+            nodes += 1;
+            if nodes > self.node_limit {
+                return Err(IlpError::NodeLimit {
+                    limit: self.node_limit,
+                });
+            }
+            let mut constraints = base.clone();
+            constraints.extend(node.extra.iter().cloned());
+            let outcome = simplex::maximize(n, &constraints, &objective);
+            let (values, bound) = match outcome {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+                LpOutcome::Optimal { values, objective } => (values, objective),
+            };
+            if let Some((best, _)) = &incumbent {
+                if bound <= *best + 1e-9 {
+                    continue; // cannot beat the incumbent
+                }
+            }
+            // Find the most fractional integer variable.
+            let fractional = self
+                .variables
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.integer)
+                .map(|(j, _)| (j, values[j], (values[j] - values[j].round()).abs()))
+                .filter(|&(_, _, frac)| frac > self.integrality_tol)
+                .max_by(|a, b| a.2.total_cmp(&b.2));
+            match fractional {
+                None => {
+                    // Integral: candidate incumbent.
+                    let better = incumbent
+                        .as_ref()
+                        .map(|(best, _)| bound > *best + 1e-9)
+                        .unwrap_or(true);
+                    if better {
+                        incumbent = Some((bound, values));
+                    }
+                }
+                Some((j, value, _)) => {
+                    let floor = value.floor();
+                    let mut coeffs = vec![0.0; n];
+                    coeffs[j] = 1.0;
+                    let mut down = node.extra.clone();
+                    down.push(DenseConstraint {
+                        coeffs: coeffs.clone(),
+                        relation: Relation::LessEq,
+                        rhs: floor,
+                    });
+                    let mut up = node.extra;
+                    up.push(DenseConstraint {
+                        coeffs,
+                        relation: Relation::GreaterEq,
+                        rhs: floor + 1.0,
+                    });
+                    stack.push(Node { extra: down });
+                    stack.push(Node { extra: up });
+                }
+            }
+        }
+
+        match incumbent {
+            Some((objective_value, values)) => Ok(Solution {
+                objective: sign * objective_value,
+                values,
+                nodes_explored: nodes,
+            }),
+            // No incumbent: either every relaxation was infeasible, or (when
+            // `saw_feasible_relaxation`) branching proved no integral point
+            // exists within the bounds. Both are integer-infeasibility.
+            None => Err(IlpError::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 4.0, 3.0);
+        let y = p.add_var(0.0, 6.0, 5.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-6);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_flips_sense() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::GreaterEq, 7.5);
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_requires_integrality() {
+        // LP relaxation would take fractional item; ILP must not.
+        let mut p = Problem::new(Sense::Maximize);
+        let items = [(10.0, 60.0), (20.0, 100.0), (30.0, 120.0)];
+        let vars: Vec<VarId> = items
+            .iter()
+            .map(|&(_, value)| p.add_integer_var(0.0, 1.0, value))
+            .collect();
+        let weights: Vec<(VarId, f64)> = vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)).collect();
+        p.add_constraint(&weights, Relation::LessEq, 50.0);
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 220.0).abs() < 1e-6); // items 2 + 3
+        assert!((s.value(vars[0]) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_down_matters() {
+        // max x, x integer, x <= 2.5  => 2.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer_var(0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::LessEq, 2.5);
+        assert_eq!(p.solve().unwrap().objective(), 2.0);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 0.4 <= x <= 0.6, x integer.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer_var(0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::GreaterEq, 0.4);
+        p.add_constraint(&[(x, 1.0)], Relation::LessEq, 0.6);
+        assert_eq!(p.solve().unwrap_err(), IlpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_var(0.0, f64::INFINITY, 1.0);
+        assert_eq!(p.solve().unwrap_err(), IlpError::Unbounded);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // x + y == 5, maximize 2x + y with x,y integer in [0,3] => x=3, y=2 => 8.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer_var(0.0, 3.0, 2.0);
+        let y = p.add_integer_var(0.0, 3.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), 8.0);
+        assert_eq!(s.value(x), 3.0);
+        assert_eq!(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut p = Problem::new(Sense::Maximize).with_node_limit(1);
+        // Needs branching: fractional relaxation.
+        let x = p.add_integer_var(0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 2.0)], Relation::LessEq, 5.0);
+        assert!(matches!(p.solve(), Err(IlpError::NodeLimit { limit: 1 })));
+    }
+
+    #[test]
+    fn lower_bounds_are_respected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0, 10.0, 1.0);
+        let s = p.solve().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        // (x + x) <= 4  =>  x <= 2.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 100.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (x, 1.0)], Relation::LessEq, 4.0);
+        assert!((p.solve().unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+}

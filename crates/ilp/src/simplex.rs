@@ -1,0 +1,344 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! Internal to the crate: [`crate::Problem`] is the public face. The solver
+//! handles small dense problems (tens of variables), which is all the
+//! saturation analysis and the tests require; Bland's rule guarantees
+//! termination.
+
+use crate::problem::Relation;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LpOutcome {
+    /// Optimal solution found: variable values and objective (maximization).
+    Optimal { values: Vec<f64>, objective: f64 },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// One linear constraint `coeffs · x (relation) rhs` over dense coefficients.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseConstraint {
+    pub coeffs: Vec<f64>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Maximizes `objective · x` subject to `constraints` and `x >= 0`.
+pub(crate) fn maximize(n_vars: usize, constraints: &[DenseConstraint], objective: &[f64]) -> LpOutcome {
+    assert_eq!(objective.len(), n_vars, "objective length must match variable count");
+
+    // Normalize to equality form with slack/surplus variables and b >= 0,
+    // adding artificial variables where no obvious basic column exists.
+    let m = constraints.len();
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(m);
+    let mut slack_cols = 0usize;
+    // First pass: count slack/surplus columns.
+    for c in constraints {
+        match c.relation {
+            Relation::LessEq | Relation::GreaterEq => slack_cols += 1,
+            Relation::Eq => {}
+        }
+    }
+    let total_structural = n_vars + slack_cols;
+    let mut slack_index = 0usize;
+    let mut needs_artificial = Vec::with_capacity(m);
+    for c in constraints {
+        assert_eq!(c.coeffs.len(), n_vars, "constraint length must match variable count");
+        let mut flip = false;
+        let mut rhs = c.rhs;
+        let mut relation = c.relation;
+        if rhs < 0.0 {
+            flip = true;
+            rhs = -rhs;
+            relation = match relation {
+                Relation::LessEq => Relation::GreaterEq,
+                Relation::GreaterEq => Relation::LessEq,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        let mut row = vec![0.0; total_structural];
+        for (j, &a) in c.coeffs.iter().enumerate() {
+            row[j] = if flip { -a } else { a };
+        }
+        match relation {
+            Relation::LessEq => {
+                row[n_vars + slack_index] = 1.0;
+                slack_index += 1;
+                needs_artificial.push(false);
+            }
+            Relation::GreaterEq => {
+                row[n_vars + slack_index] = -1.0;
+                slack_index += 1;
+                needs_artificial.push(true);
+            }
+            Relation::Eq => {
+                needs_artificial.push(true);
+            }
+        }
+        rows.push((row, rhs));
+    }
+
+    let n_artificial = needs_artificial.iter().filter(|&&b| b).count();
+    let total = total_structural + n_artificial;
+
+    // Tableau: m rows × (total + 1) columns, last column is rhs.
+    let mut tableau = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut art_index = 0usize;
+    for (i, (row, rhs)) in rows.into_iter().enumerate() {
+        tableau[i][..total_structural].copy_from_slice(&row);
+        tableau[i][total] = rhs;
+        if needs_artificial[i] {
+            let col = total_structural + art_index;
+            tableau[i][col] = 1.0;
+            basis[i] = col;
+            art_index += 1;
+        } else {
+            // The slack column added for this row is basic.
+            let col = (0..total_structural)
+                .rev()
+                .find(|&j| (tableau[i][j] - 1.0).abs() < EPS && j >= n_vars)
+                .expect("a <= row always has its slack column");
+            basis[i] = col;
+        }
+    }
+
+    if n_artificial > 0 {
+        // Phase 1: minimize the sum of artificials == maximize -(sum).
+        let mut phase1 = vec![0.0; total];
+        for weight in phase1.iter_mut().skip(total_structural) {
+            *weight = -1.0;
+        }
+        match run_simplex(&mut tableau, &mut basis, &phase1, total) {
+            SimplexEnd::Unbounded => return LpOutcome::Infeasible, // cannot happen, defensive
+            SimplexEnd::Optimal => {}
+        }
+        let phase1_obj: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b >= total_structural)
+            .map(|(i, _)| tableau[i][total])
+            .sum();
+        if phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= total_structural && tableau[i][total].abs() < EPS {
+                if let Some(j) = (0..total_structural).find(|&j| tableau[i][j].abs() > EPS) {
+                    pivot(&mut tableau, &mut basis, i, j, total);
+                }
+            }
+        }
+    }
+
+    // Phase 2: maximize the real objective (artificial columns pinned to 0).
+    let mut phase2 = vec![0.0; total];
+    phase2[..n_vars].copy_from_slice(objective);
+    // Forbid artificials from re-entering by treating their columns as absent.
+    for row in tableau.iter_mut() {
+        for col in row.iter_mut().take(total).skip(total_structural) {
+            *col = 0.0;
+        }
+    }
+    match run_simplex(&mut tableau, &mut basis, &phase2, total) {
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+        SimplexEnd::Optimal => {}
+    }
+
+    let mut values = vec![0.0; n_vars];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n_vars {
+            values[b] = tableau[i][total];
+        }
+    }
+    let objective_value: f64 = values.iter().zip(objective).map(|(x, c)| x * c).sum();
+    LpOutcome::Optimal {
+        values,
+        objective: objective_value,
+    }
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs primal simplex iterations (maximization) with Bland's rule.
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    objective: &[f64],
+    total: usize,
+) -> SimplexEnd {
+    let m = tableau.len();
+    loop {
+        // Reduced costs: c_j - c_B · B^-1 A_j, computed directly.
+        let mut entering = None;
+        for j in 0..total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut reduced = objective[j];
+            for i in 0..m {
+                reduced -= objective[basis[i]] * tableau[i][j];
+            }
+            if reduced > EPS {
+                entering = Some(j); // Bland: first improving column.
+                break;
+            }
+        }
+        let Some(enter) = entering else {
+            return SimplexEnd::Optimal;
+        };
+        // Ratio test with Bland's tie break (lowest basis index).
+        let mut leaving: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let a = tableau[i][enter];
+            if a > EPS {
+                let ratio = tableau[i][total] / a;
+                match leaving {
+                    None => leaving = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
+                            leaving = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((leave, _)) = leaving else {
+            return SimplexEnd::Unbounded;
+        };
+        pivot(tableau, basis, leave, enter, total);
+    }
+}
+
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = tableau[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on a (near-)zero element");
+    for v in tableau[row].iter_mut() {
+        *v /= p;
+    }
+    let pivot_row = tableau[row].clone();
+    for (i, r) in tableau.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let factor = r[col];
+        if factor.abs() > EPS {
+            for (v, pv) in r.iter_mut().zip(&pivot_row).take(total + 1) {
+                *v -= factor * pv;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: Vec<f64>, rhs: f64) -> DenseConstraint {
+        DenseConstraint { coeffs, relation: Relation::LessEq, rhs }
+    }
+
+    fn ge(coeffs: Vec<f64>, rhs: f64) -> DenseConstraint {
+        DenseConstraint { coeffs, relation: Relation::GreaterEq, rhs }
+    }
+
+    fn eq(coeffs: Vec<f64>, rhs: f64) -> DenseConstraint {
+        DenseConstraint { coeffs, relation: Relation::Eq, rhs }
+    }
+
+    fn assert_optimal(outcome: LpOutcome, expect_obj: f64, expect_x: &[f64]) {
+        let LpOutcome::Optimal { values, objective } = outcome else {
+            panic!("expected optimal, got {outcome:?}");
+        };
+        assert!((objective - expect_obj).abs() < 1e-6, "objective {objective} != {expect_obj}");
+        for (v, e) in values.iter().zip(expect_x) {
+            assert!((v - e).abs() < 1e-6, "values {values:?} != {expect_x:?}");
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), 36.
+        let outcome = maximize(
+            2,
+            &[
+                le(vec![1.0, 0.0], 4.0),
+                le(vec![0.0, 2.0], 12.0),
+                le(vec![3.0, 2.0], 18.0),
+            ],
+            &[3.0, 5.0],
+        );
+        assert_optimal(outcome, 36.0, &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn greater_equal_constraints_via_phase1() {
+        // max -x - y s.t. x + y >= 2, x <= 5, y <= 5 => obj -2 on the line x+y=2.
+        let outcome = maximize(
+            2,
+            &[ge(vec![1.0, 1.0], 2.0), le(vec![1.0, 0.0], 5.0), le(vec![0.0, 1.0], 5.0)],
+            &[-1.0, -1.0],
+        );
+        let LpOutcome::Optimal { values, objective } = outcome else {
+            panic!("expected optimal");
+        };
+        assert!((objective + 2.0).abs() < 1e-6);
+        assert!((values[0] + values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, x <= 2 => (0..=2; best y) -> x=0? obj: x+2y with y=3-x => 6-x, max at x=0 => 6.
+        let outcome = maximize(2, &[eq(vec![1.0, 1.0], 3.0), le(vec![1.0, 0.0], 2.0)], &[1.0, 2.0]);
+        assert_optimal(outcome, 6.0, &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let outcome = maximize(1, &[le(vec![1.0], 1.0), ge(vec![1.0], 2.0)], &[1.0]);
+        assert_eq!(outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only x >= 0.
+        let outcome = maximize(1, &[], &[1.0]);
+        assert_eq!(outcome, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x <= -2  <=>  x >= 2; max -x => x = 2.
+        let outcome = maximize(1, &[le(vec![-1.0], -2.0), le(vec![1.0], 10.0)], &[-1.0]);
+        assert_optimal(outcome, -2.0, &[2.0]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Degenerate vertex at origin; Bland's rule must not cycle.
+        let outcome = maximize(
+            2,
+            &[
+                le(vec![1.0, 1.0], 0.0),
+                le(vec![1.0, -1.0], 0.0),
+                le(vec![1.0, 0.0], 5.0),
+            ],
+            &[1.0, 0.0],
+        );
+        let LpOutcome::Optimal { objective, .. } = outcome else {
+            panic!("expected optimal");
+        };
+        assert!(objective.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Fuzz the ILP solver against brute-force enumeration (temporary review test).
+
+use nimblock_ilp::{IlpError, Problem, Relation, Sense};
+
+// Simple xorshift RNG for determinism without deps.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo + 1) as u64)) as i64
+    }
+}
+
+#[test]
+fn fuzz_integer_problems_against_bruteforce() {
+    let mut rng = Rng(0x12345678);
+    let mut mismatches = 0;
+    for trial in 0..2000 {
+        let n = rng.range(1, 4) as usize;
+        let m = rng.range(1, 4) as usize;
+        let ub: Vec<i64> = (0..n).map(|_| rng.range(1, 5)).collect();
+        let obj: Vec<i64> = (0..n).map(|_| rng.range(-5, 5)).collect();
+        let sense = if rng.range(0, 1) == 0 { Sense::Maximize } else { Sense::Minimize };
+
+        let mut p = Problem::new(sense);
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_integer_var(0.0, ub[j] as f64, obj[j] as f64))
+            .collect();
+        let mut cons: Vec<(Vec<i64>, Relation, i64)> = Vec::new();
+        for _ in 0..m {
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.range(-4, 4)).collect();
+            let rel = match rng.range(0, 2) {
+                0 => Relation::LessEq,
+                1 => Relation::GreaterEq,
+                _ => Relation::Eq,
+            };
+            let rhs = rng.range(-6, 12);
+            let terms: Vec<_> = vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c as f64)).collect();
+            p.add_constraint(&terms, rel, rhs as f64);
+            cons.push((coeffs, rel, rhs));
+        }
+
+        // Brute force over the integer box.
+        let mut best: Option<i64> = None;
+        let mut idx = vec![0i64; n];
+        loop {
+            let feasible = cons.iter().all(|(coeffs, rel, rhs)| {
+                let lhs: i64 = coeffs.iter().zip(&idx).map(|(c, x)| c * x).sum();
+                match rel {
+                    Relation::LessEq => lhs <= *rhs,
+                    Relation::GreaterEq => lhs >= *rhs,
+                    Relation::Eq => lhs == *rhs,
+                }
+            });
+            if feasible {
+                let val: i64 = obj.iter().zip(&idx).map(|(c, x)| c * x).sum();
+                best = Some(match (best, sense) {
+                    (None, _) => val,
+                    (Some(b), Sense::Maximize) => b.max(val),
+                    (Some(b), Sense::Minimize) => b.min(val),
+                });
+            }
+            // increment
+            let mut k = 0;
+            loop {
+                if k == n {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] <= ub[k] {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == n {
+                break;
+            }
+        }
+
+        let solved = p.solve();
+        match (best, solved) {
+            (Some(b), Ok(s)) => {
+                if (s.objective() - b as f64).abs() > 1e-6 {
+                    mismatches += 1;
+                    eprintln!(
+                        "trial {trial}: objective mismatch solver={} brute={b} sense={sense:?} ub={ub:?} obj={obj:?} cons={cons:?}",
+                        s.objective()
+                    );
+                }
+                // also check returned point is feasible & integral & matches objective
+                let vals = s.values();
+                for (coeffs, rel, rhs) in &cons {
+                    let lhs: f64 = coeffs.iter().zip(vals).map(|(c, x)| *c as f64 * x).sum();
+                    let ok = match rel {
+                        Relation::LessEq => lhs <= *rhs as f64 + 1e-6,
+                        Relation::GreaterEq => lhs >= *rhs as f64 - 1e-6,
+                        Relation::Eq => (lhs - *rhs as f64).abs() < 1e-6,
+                    };
+                    if !ok {
+                        mismatches += 1;
+                        eprintln!("trial {trial}: infeasible point returned vals={vals:?} cons={cons:?}");
+                    }
+                }
+            }
+            (None, Err(IlpError::Infeasible)) => {}
+            (None, Err(e)) => {
+                mismatches += 1;
+                eprintln!("trial {trial}: solver error {e:?} but brute force infeasible");
+            }
+            (None, Ok(s)) => {
+                mismatches += 1;
+                eprintln!(
+                    "trial {trial}: solver found {} but brute force says infeasible; ub={ub:?} obj={obj:?} cons={cons:?} vals={:?}",
+                    s.objective(), s.values()
+                );
+            }
+            (Some(b), Err(e)) => {
+                mismatches += 1;
+                eprintln!("trial {trial}: solver error {e:?} but brute force optimum {b}; sense={sense:?} ub={ub:?} obj={obj:?} cons={cons:?}");
+            }
+        }
+        if mismatches > 10 {
+            break;
+        }
+    }
+    assert_eq!(mismatches, 0, "{mismatches} mismatches");
+}

@@ -1,0 +1,176 @@
+//! Deadline violation analysis (paper §5.4).
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::Priority;
+use nimblock_sim::SimDuration;
+
+use crate::Report;
+
+/// Returns the fraction of records (optionally filtered to one priority)
+/// whose response time exceeds their deadline.
+///
+/// `deadline_of` maps an event index to that application's deadline — the
+/// deadline scaling factor `D_s` times its single-slot latency. Records
+/// without a deadline are skipped. Returns 0 when nothing qualifies.
+pub fn violation_rate<F>(report: &Report, priority: Option<Priority>, deadline_of: F) -> f64
+where
+    F: Fn(usize) -> Option<SimDuration>,
+{
+    let mut total = 0usize;
+    let mut violated = 0usize;
+    for record in report.records() {
+        if let Some(p) = priority {
+            if record.priority != p {
+                continue;
+            }
+        }
+        let Some(deadline) = deadline_of(record.event_index) else {
+            continue;
+        };
+        total += 1;
+        if record.response_time() > deadline {
+            violated += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        violated as f64 / total as f64
+    }
+}
+
+/// A deadline failure-rate curve over a sweep of `D_s` values, as plotted in
+/// Figure 7 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineCurve {
+    scheduler: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl DeadlineCurve {
+    /// Builds a curve from `(D_s, failure rate)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `D_s` values are not strictly increasing.
+    pub fn new(scheduler: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "D_s values must be strictly increasing"
+        );
+        DeadlineCurve {
+            scheduler: scheduler.into(),
+            points,
+        }
+    }
+
+    /// Returns the scheduler the curve belongs to.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// Returns the `(D_s, failure rate)` points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Returns the failure rate at the tightest swept deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn tightest_rate(&self) -> f64 {
+        self.points.first().expect("curve must not be empty").1
+    }
+
+    /// Returns the smallest `D_s` at which the failure rate drops to
+    /// `threshold` or below — the paper's "10% error point" for
+    /// `threshold = 0.10`. `None` if the curve never gets there.
+    pub fn error_point(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, rate)| rate <= threshold)
+            .map(|&(ds, _)| ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseRecord;
+    use nimblock_sim::SimTime;
+
+    fn record(event_index: usize, priority: Priority, response_ms: u64) -> ResponseRecord {
+        ResponseRecord {
+            event_index,
+            app_name: "X".into(),
+            batch_size: 1,
+            priority,
+            arrival: SimTime::ZERO,
+            first_launch: None,
+            retired: SimTime::from_millis(response_ms),
+            run_time: SimDuration::ZERO,
+            reconfig_time: SimDuration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    fn report() -> Report {
+        Report::new(
+            "t",
+            vec![
+                record(0, Priority::High, 100),
+                record(1, Priority::High, 300),
+                record(2, Priority::Low, 1_000),
+            ],
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn violation_rate_counts_misses() {
+        // Deadline 200 ms for everyone: events 1 and 2 miss.
+        let rate = violation_rate(&report(), None, |_| Some(SimDuration::from_millis(200)));
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rate_filters_priority() {
+        let rate = violation_rate(&report(), Some(Priority::High), |_| {
+            Some(SimDuration::from_millis(200))
+        });
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rate_skips_missing_deadlines() {
+        let rate = violation_rate(&report(), None, |i| {
+            (i == 2).then_some(SimDuration::from_millis(500))
+        });
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn violation_rate_empty_selection_is_zero() {
+        let rate = violation_rate(&report(), None, |_| None);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn curve_error_point() {
+        let curve = DeadlineCurve::new(
+            "nimblock",
+            vec![(1.0, 0.6), (1.25, 0.3), (1.5, 0.08), (1.75, 0.0)],
+        );
+        assert_eq!(curve.tightest_rate(), 0.6);
+        assert_eq!(curve.error_point(0.10), Some(1.5));
+        assert_eq!(curve.error_point(-0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn curve_requires_increasing_ds() {
+        DeadlineCurve::new("x", vec![(1.0, 0.5), (1.0, 0.4)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! CSV export for plot-ready data.
+//!
+//! The paper's figures are bar and line charts; these helpers emit the same
+//! series as CSV so any plotting tool can regenerate them from a run.
+
+use std::fmt::Write as _;
+
+use crate::{DeadlineCurve, Report};
+
+/// Escapes one CSV field (quotes fields containing commas, quotes, or
+/// newlines, doubling embedded quotes).
+fn field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+/// Renders a generic table as CSV.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn series_to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match header");
+        let _ = writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+    }
+    out
+}
+
+/// Renders a run report as CSV: one row per application record.
+pub fn report_to_csv(report: &Report) -> String {
+    let rows: Vec<Vec<String>> = report
+        .records()
+        .iter()
+        .map(|r| {
+            vec![
+                r.event_index.to_string(),
+                r.app_name.clone(),
+                r.batch_size.to_string(),
+                r.priority.to_string(),
+                format!("{:.6}", r.arrival.as_secs_f64()),
+                format!("{:.6}", r.response_time().as_secs_f64()),
+                format!("{:.6}", r.wait_time().as_secs_f64()),
+                format!("{:.6}", r.execution_time().as_secs_f64()),
+                format!("{:.6}", r.run_time.as_secs_f64()),
+                format!("{:.6}", r.reconfig_time.as_secs_f64()),
+                r.preemptions.to_string(),
+            ]
+        })
+        .collect();
+    series_to_csv(
+        &[
+            "event", "app", "batch", "priority", "arrival_s", "response_s", "wait_s",
+            "execution_s", "run_s", "reconfig_s", "preemptions",
+        ],
+        &rows,
+    )
+}
+
+/// Renders a deadline failure-rate curve as CSV (`ds,failure_rate`).
+pub fn curve_to_csv(curve: &DeadlineCurve) -> String {
+    let rows: Vec<Vec<String>> = curve
+        .points()
+        .iter()
+        .map(|&(ds, rate)| vec![format!("{ds}"), format!("{rate}")])
+        .collect();
+    series_to_csv(&["ds", "failure_rate"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseRecord;
+    use nimblock_app::Priority;
+    use nimblock_sim::{SimDuration, SimTime};
+
+    fn report() -> Report {
+        Report::new(
+            "test",
+            vec![ResponseRecord {
+                event_index: 0,
+                app_name: "LeNet, v2".into(), // comma forces quoting
+                batch_size: 4,
+                priority: Priority::High,
+                arrival: SimTime::from_millis(100),
+                first_launch: Some(SimTime::from_millis(180)),
+                retired: SimTime::from_millis(1_000),
+                run_time: SimDuration::from_millis(500),
+                reconfig_time: SimDuration::from_millis(160),
+                preemptions: 1,
+            }],
+            SimTime::from_secs(1),
+        )
+    }
+
+    #[test]
+    fn report_csv_has_header_and_rows() {
+        let csv = report_to_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("event,app,batch"));
+        assert!(lines[1].contains("\"LeNet, v2\""), "{csv}");
+        assert!(lines[1].contains("0.900000")); // response seconds
+    }
+
+    #[test]
+    fn fields_with_quotes_are_doubled() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn curve_csv_roundtrips_points() {
+        let curve = DeadlineCurve::new("x", vec![(1.0, 0.5), (1.25, 0.25)]);
+        let csv = curve_to_csv(&curve);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1.25,0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_series_row_panics() {
+        series_to_csv(&["a", "b"], &[vec!["only".into()]]);
+    }
+}

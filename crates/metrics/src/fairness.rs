@@ -1,0 +1,133 @@
+//! Fairness and slowdown analysis.
+//!
+//! Token-based candidacy is Nimblock's fairness mechanism: it trades some
+//! raw mean response time for bounded performance degradation per
+//! application. These helpers quantify that trade against starvation-prone
+//! policies like shortest-job-first.
+
+use nimblock_sim::SimDuration;
+
+use crate::Report;
+
+/// Jain's fairness index over a set of non-negative samples: 1 for a
+/// perfectly uniform allocation, `1/n` for a maximally skewed one.
+///
+/// Returns 1.0 for empty or all-zero samples (nothing to be unfair about).
+///
+/// # Example
+///
+/// ```
+/// use nimblock_metrics::jain_index;
+///
+/// assert_eq!(jain_index(&[1.0, 1.0, 1.0]), 1.0);
+/// assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(samples: &[f64]) -> f64 {
+    let sum: f64 = samples.iter().sum();
+    let squares: f64 = samples.iter().map(|x| x * x).sum();
+    if samples.is_empty() || squares == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (samples.len() as f64 * squares)
+}
+
+/// Per-application *slowdown*: response time divided by the application's
+/// isolated single-slot latency (the deadline unit of the paper's §5.4).
+/// A slowdown of 1 means the application ran as if alone on one slot.
+///
+/// `isolated_of` maps an event index to that single-slot latency; events it
+/// returns `None` for are skipped.
+pub fn slowdowns<F>(report: &Report, isolated_of: F) -> Vec<f64>
+where
+    F: Fn(usize) -> Option<SimDuration>,
+{
+    report
+        .records()
+        .iter()
+        .filter_map(|record| {
+            let isolated = isolated_of(record.event_index)?.as_secs_f64();
+            if isolated == 0.0 {
+                return None;
+            }
+            Some(record.response_time().as_secs_f64() / isolated)
+        })
+        .collect()
+}
+
+/// The fairness of a schedule: Jain's index over the per-application
+/// slowdowns. High values mean every application degraded about equally;
+/// low values mean some applications starved while others flew.
+pub fn slowdown_fairness<F>(report: &Report, isolated_of: F) -> f64
+where
+    F: Fn(usize) -> Option<SimDuration>,
+{
+    jain_index(&slowdowns(report, isolated_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseRecord;
+    use nimblock_app::Priority;
+    use nimblock_sim::SimTime;
+
+    fn record(event_index: usize, response_ms: u64) -> ResponseRecord {
+        ResponseRecord {
+            event_index,
+            app_name: "X".into(),
+            batch_size: 1,
+            priority: Priority::Low,
+            arrival: SimTime::ZERO,
+            first_launch: None,
+            retired: SimTime::from_millis(response_ms),
+            run_time: SimDuration::ZERO,
+            reconfig_time: SimDuration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[5.0]), 1.0);
+        assert_eq!(jain_index(&[2.0, 2.0, 2.0, 2.0]), 1.0);
+        let skewed = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        let mid = jain_index(&[1.0, 3.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn slowdowns_normalize_by_isolated_latency() {
+        let report = Report::new(
+            "t",
+            vec![record(0, 2_000), record(1, 1_000)],
+            SimTime::ZERO,
+        );
+        let s = slowdowns(&report, |i| {
+            Some(SimDuration::from_millis(if i == 0 { 1_000 } else { 250 }))
+        });
+        assert_eq!(s, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn slowdowns_skip_unknown_events() {
+        let report = Report::new("t", vec![record(0, 100), record(1, 100)], SimTime::ZERO);
+        let s = slowdowns(&report, |i| (i == 1).then(|| SimDuration::from_millis(100)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn uniform_slowdowns_are_perfectly_fair() {
+        let report = Report::new(
+            "t",
+            vec![record(0, 300), record(1, 600)],
+            SimTime::ZERO,
+        );
+        // Both events slowed down exactly 3x.
+        let fairness = slowdown_fairness(&report, |i| {
+            Some(SimDuration::from_millis(if i == 0 { 100 } else { 200 }))
+        });
+        assert!((fairness - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! Response-time statistics, deadline analysis, and report rendering.
+//!
+//! The paper's evaluation (§5) reports four families of metrics, all of
+//! which this crate computes from [`ResponseRecord`]s emitted by the
+//! hypervisor:
+//!
+//! * average **relative response-time reduction** versus the no-sharing
+//!   baseline (Figure 5),
+//! * **tail** (95th/99th percentile) response-time reduction (Figure 6),
+//! * **deadline violation rates** across a sweep of deadline scaling
+//!   factors (Figure 7),
+//! * **time breakdowns** — run time, partial-reconfiguration time, wait
+//!   time as shares of total application time (Figure 8).
+//!
+//! [`TextTable`] renders the same rows and series the paper's figures plot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deadline;
+mod export;
+mod fairness;
+mod record;
+mod stats;
+mod table;
+
+pub use deadline::{violation_rate, DeadlineCurve};
+pub use export::{curve_to_csv, report_to_csv, series_to_csv};
+pub use fairness::{jain_index, slowdown_fairness, slowdowns};
+pub use record::{Report, ResponseRecord};
+pub use stats::{harmonic_speedup, percentile, speedups, Summary};
+pub use table::{fmt3, TextTable};

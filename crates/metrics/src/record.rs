@@ -1,0 +1,186 @@
+//! Per-application response records and run reports.
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::Priority;
+use nimblock_sim::{SimDuration, SimTime};
+
+/// Everything the hypervisor measured about one application's life,
+/// mirroring the metadata the paper's testbed stores at completion (§5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseRecord {
+    /// Index of the arrival event in its sequence (stable across
+    /// schedulers, used to pair records for relative reductions).
+    pub event_index: usize,
+    /// Benchmark name.
+    pub app_name: String,
+    /// Batch size the application ran with.
+    pub batch_size: u32,
+    /// Priority level of the arrival.
+    pub priority: Priority,
+    /// Time the application entered the pending queue.
+    pub arrival: SimTime,
+    /// Time the first task started running on the fabric, if any ran.
+    pub first_launch: Option<SimTime>,
+    /// Time the application retired (all tasks finished the whole batch).
+    pub retired: SimTime,
+    /// Sum of all task item run times (Figure 8 "Run time").
+    pub run_time: SimDuration,
+    /// Sum of all partial reconfigurations performed for the application
+    /// (Figure 8 "PR time").
+    pub reconfig_time: SimDuration,
+    /// Number of batch-preemptions the application suffered.
+    pub preemptions: u32,
+}
+
+impl ResponseRecord {
+    /// The response time: arrival to retirement (paper §3.1).
+    pub fn response_time(&self) -> SimDuration {
+        self.retired.saturating_since(self.arrival)
+    }
+
+    /// Queueing delay before the first task ran (Figure 8 "Wait time").
+    /// Applications that never ran waited their whole life.
+    pub fn wait_time(&self) -> SimDuration {
+        match self.first_launch {
+            Some(first) => first.saturating_since(self.arrival),
+            None => self.response_time(),
+        }
+    }
+
+    /// Execution time: first task launch to retirement. Not the sum of task
+    /// run times, because tasks overlap (paper §5.5).
+    pub fn execution_time(&self) -> SimDuration {
+        match self.first_launch {
+            Some(first) => self.retired.saturating_since(first),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// The output of one testbed run: one record per arrival event, in event
+/// order, plus the scheduler that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    scheduler: String,
+    records: Vec<ResponseRecord>,
+    finished_at: SimTime,
+}
+
+impl Report {
+    /// Assembles a report.
+    pub fn new(scheduler: impl Into<String>, mut records: Vec<ResponseRecord>, finished_at: SimTime) -> Self {
+        records.sort_by_key(|r| r.event_index);
+        Report {
+            scheduler: scheduler.into(),
+            records,
+            finished_at,
+        }
+    }
+
+    /// Returns the scheduler name that produced this report.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// Returns the records in event order.
+    pub fn records(&self) -> &[ResponseRecord] {
+        &self.records
+    }
+
+    /// Returns the virtual time at which the whole sequence finished.
+    pub fn finished_at(&self) -> SimTime {
+        self.finished_at
+    }
+
+    /// Returns the response times in event order.
+    pub fn response_times(&self) -> Vec<SimDuration> {
+        self.records.iter().map(ResponseRecord::response_time).collect()
+    }
+
+    /// Returns the mean response time in seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.response_time().as_secs_f64())
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Returns the record for `event_index`, if the event retired.
+    pub fn record_for_event(&self, event_index: usize) -> Option<&ResponseRecord> {
+        self.records.iter().find(|r| r.event_index == event_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(event_index: usize, arrival_ms: u64, first_ms: Option<u64>, retired_ms: u64) -> ResponseRecord {
+        ResponseRecord {
+            event_index,
+            app_name: "X".into(),
+            batch_size: 1,
+            priority: Priority::Low,
+            arrival: SimTime::from_millis(arrival_ms),
+            first_launch: first_ms.map(SimTime::from_millis),
+            retired: SimTime::from_millis(retired_ms),
+            run_time: SimDuration::ZERO,
+            reconfig_time: SimDuration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn response_wait_and_execution_times() {
+        let r = record(0, 100, Some(150), 400);
+        assert_eq!(r.response_time(), SimDuration::from_millis(300));
+        assert_eq!(r.wait_time(), SimDuration::from_millis(50));
+        assert_eq!(r.execution_time(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn never_launched_app_waits_forever() {
+        let r = record(0, 100, None, 400);
+        assert_eq!(r.wait_time(), SimDuration::from_millis(300));
+        assert_eq!(r.execution_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn report_sorts_records_by_event_index() {
+        let report = Report::new(
+            "test",
+            vec![record(2, 0, None, 10), record(0, 0, None, 10), record(1, 0, None, 10)],
+            SimTime::from_millis(10),
+        );
+        let order: Vec<usize> = report.records().iter().map(|r| r.event_index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mean_response_over_records() {
+        let report = Report::new(
+            "test",
+            vec![record(0, 0, None, 1_000), record(1, 0, None, 3_000)],
+            SimTime::from_secs(3),
+        );
+        assert!((report.mean_response_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_mean_is_zero() {
+        let report = Report::new("test", Vec::new(), SimTime::ZERO);
+        assert_eq!(report.mean_response_secs(), 0.0);
+    }
+
+    #[test]
+    fn record_lookup_by_event() {
+        let report = Report::new("test", vec![record(3, 0, None, 10)], SimTime::ZERO);
+        assert!(report.record_for_event(3).is_some());
+        assert!(report.record_for_event(0).is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Summary statistics and relative reductions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Report;
+
+/// Mean / median / tail summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 95th percentile (the paper's first tail metric, Figure 6).
+    pub p95: f64,
+    /// 99th percentile (the paper's second tail metric, Figure 6).
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes `samples`. Returns the zero summary for an empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            count: sorted.len(),
+        }
+    }
+}
+
+/// Returns the `p`-th percentile of an ascending-sorted sample using linear
+/// interpolation between closest ranks.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Returns the per-event relative response-time reduction of `report` versus
+/// `baseline`: `T_baseline / T_report` for every event present in both
+/// (>1 means `report`'s scheduler was faster, as plotted in Figure 5).
+pub fn speedups(baseline: &Report, report: &Report) -> Vec<f64> {
+    baseline
+        .records()
+        .iter()
+        .filter_map(|b| {
+            let r = report.record_for_event(b.event_index)?;
+            let denom = r.response_time().as_secs_f64();
+            if denom == 0.0 {
+                return None;
+            }
+            Some(b.response_time().as_secs_f64() / denom)
+        })
+        .collect()
+}
+
+/// Returns the harmonic-mean response-time reduction of `report` versus
+/// `baseline` over paired events: `1 / mean(T_report / T_baseline)`.
+///
+/// This is the reproduction's reading of the paper's Figure 5 metric
+/// ("relative response time reduction, normalized to the baseline"): the
+/// per-event normalized distribution is averaged and inverted, which
+/// weights heavy events realistically — a simple mean of per-event speedups
+/// would be dominated by short applications that the baseline made wait
+/// behind long ones (Table 3 shows individual 200× gaps while Figure 5
+/// reports 4–6×). Returns 0 when no events pair up.
+pub fn harmonic_speedup(baseline: &Report, report: &Report) -> f64 {
+    let inverse: Vec<f64> = baseline
+        .records()
+        .iter()
+        .filter_map(|b| {
+            let r = report.record_for_event(b.event_index)?;
+            let denom = b.response_time().as_secs_f64();
+            if denom == 0.0 {
+                return None;
+            }
+            Some(r.response_time().as_secs_f64() / denom)
+        })
+        .collect();
+    if inverse.is_empty() {
+        return 0.0;
+    }
+    let mean = inverse.iter().sum::<f64>() / inverse.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        1.0 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseRecord;
+    use nimblock_app::Priority;
+    use nimblock_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 40.0);
+        assert_eq!(percentile(&sorted, 50.0), 25.0);
+        assert!((percentile(&sorted, 95.0) - 38.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_of_singleton() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    fn report_with(times_ms: &[(usize, u64)], name: &str) -> Report {
+        let records = times_ms
+            .iter()
+            .map(|&(event_index, ms)| ResponseRecord {
+                event_index,
+                app_name: "X".into(),
+                batch_size: 1,
+                priority: Priority::Low,
+                arrival: SimTime::ZERO,
+                first_launch: None,
+                retired: SimTime::from_millis(ms),
+                run_time: SimDuration::ZERO,
+                reconfig_time: SimDuration::ZERO,
+                preemptions: 0,
+            })
+            .collect();
+        Report::new(name, records, SimTime::ZERO)
+    }
+
+    #[test]
+    fn speedups_pair_by_event_index() {
+        let baseline = report_with(&[(0, 1_000), (1, 2_000)], "baseline");
+        let fast = report_with(&[(1, 500), (0, 500)], "fast");
+        let s = speedups(&baseline, &fast);
+        assert_eq!(s, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn harmonic_speedup_is_inverse_mean_of_ratios() {
+        let baseline = report_with(&[(0, 1_000), (1, 1_000)], "baseline");
+        // Ratios alg/base: 0.5 and 0.25 -> mean 0.375 -> harmonic 2.666…
+        let fast = report_with(&[(0, 500), (1, 250)], "fast");
+        let h = harmonic_speedup(&baseline, &fast);
+        assert!((h - 1.0 / 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_speedup_weighs_slow_events_heavily() {
+        let baseline = report_with(&[(0, 1_000), (1, 1_000)], "baseline");
+        // One event 100x faster, one unchanged: arithmetic mean of speedups
+        // would say 50.5x; harmonic says ~1.98x.
+        let mixed = report_with(&[(0, 10), (1, 1_000)], "mixed");
+        let h = harmonic_speedup(&baseline, &mixed);
+        assert!(h < 2.0 && h > 1.9, "harmonic speedup {h}");
+    }
+
+    #[test]
+    fn harmonic_speedup_of_empty_pairs_is_zero() {
+        let baseline = report_with(&[(0, 1_000)], "baseline");
+        let other = report_with(&[(7, 1_000)], "other");
+        assert_eq!(harmonic_speedup(&baseline, &other), 0.0);
+    }
+
+    #[test]
+    fn speedups_skip_missing_events() {
+        let baseline = report_with(&[(0, 1_000), (1, 2_000)], "baseline");
+        let partial = report_with(&[(1, 1_000)], "partial");
+        assert_eq!(speedups(&baseline, &partial), vec![2.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the event queue and simulation driver.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
+
+proptest! {
+    #[test]
+    fn queue_is_a_stable_priority_queue(entries in vec((0u64..500, 0u32..1_000), 0..300)) {
+        let mut queue = EventQueue::new();
+        for (seq, &(at, payload)) in entries.iter().enumerate() {
+            queue.push(SimTime::from_millis(at), (payload, seq));
+        }
+        // Expected order: sort by time, stable (original order for ties).
+        let mut expected: Vec<(u64, usize)> = entries
+            .iter()
+            .enumerate()
+            .map(|(seq, &(at, _))| (at, seq))
+            .collect();
+        expected.sort_by_key(|&(at, seq)| (at, seq));
+        let mut popped = Vec::new();
+        while let Some((at, (_, seq))) = queue.pop() {
+            popped.push((at.as_millis(), seq));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn run_until_is_prefix_of_run(delays in vec(1u64..50, 1..40)) {
+        struct Collect(Vec<u64>);
+        impl Handler<u64> for Collect {
+            fn handle(&mut self, now: SimTime, _e: u64, _q: &mut EventQueue<u64>) {
+                self.0.push(now.as_millis());
+            }
+        }
+        let build = || {
+            let mut sim = Simulation::new(Collect(Vec::new()));
+            let mut t = SimTime::ZERO;
+            for &d in &delays {
+                t += SimDuration::from_millis(d);
+                sim.queue_mut().push(t, 0);
+            }
+            sim
+        };
+        let mut full = build();
+        full.run();
+        let total: u64 = delays.iter().sum();
+        let horizon = total / 2;
+        let mut partial = build();
+        partial.run_until(SimTime::from_millis(horizon));
+        let seen = partial.handler().0.clone();
+        let all = full.handler().0.clone();
+        prop_assert!(seen.len() <= all.len());
+        prop_assert_eq!(&all[..seen.len()], &seen[..]);
+        prop_assert!(seen.iter().all(|&t| t <= horizon));
+        prop_assert!(all[seen.len()..].iter().all(|&t| t > horizon));
+    }
+}

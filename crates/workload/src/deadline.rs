@@ -1,0 +1,80 @@
+//! Deadline sweeps for the service-level analysis (paper §5.4).
+//!
+//! An application's deadline is `D_s` times its *single-slot latency* (its
+//! latency on one slot with no contention). The paper sweeps `D_s` from 1
+//! to 20 at 0.25 intervals and reports failure rates for high-priority
+//! applications.
+
+use nimblock_sim::SimDuration;
+
+use crate::ArrivalEvent;
+
+/// The lowest deadline scaling factor of the sweep (the tightest deadline).
+pub const DS_MIN: f64 = 1.0;
+
+/// The highest deadline scaling factor of the sweep.
+pub const DS_MAX: f64 = 20.0;
+
+/// The sweep step.
+pub const DS_STEP: f64 = 0.25;
+
+/// Returns the swept `D_s` values: 1.0, 1.25, … 20.0.
+pub fn ds_values() -> Vec<f64> {
+    let steps = ((DS_MAX - DS_MIN) / DS_STEP).round() as usize;
+    (0..=steps).map(|i| DS_MIN + DS_STEP * i as f64).collect()
+}
+
+/// Returns the deadline of `event` at scaling factor `ds`, given the
+/// system's reconfiguration latency: `ds × single_slot_latency`.
+///
+/// # Panics
+///
+/// Panics if `ds` is not finite and positive.
+pub fn deadline_for(event: &ArrivalEvent, ds: f64, reconfig: SimDuration) -> SimDuration {
+    assert!(ds.is_finite() && ds > 0.0, "D_s must be positive, got {ds}");
+    let single_slot = event
+        .app()
+        .single_slot_latency(event.batch_size(), reconfig)
+        .as_secs_f64();
+    SimDuration::from_secs_f64(ds * single_slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::{benchmarks, Priority};
+    use nimblock_sim::SimTime;
+
+    const R: SimDuration = SimDuration::from_millis(80);
+
+    #[test]
+    fn sweep_has_77_points() {
+        let values = ds_values();
+        assert_eq!(values.len(), 77);
+        assert_eq!(values[0], 1.0);
+        assert_eq!(values[1], 1.25);
+        assert_eq!(*values.last().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn deadline_scales_linearly_in_ds() {
+        let event = ArrivalEvent::new(benchmarks::lenet(), 5, Priority::High, SimTime::ZERO);
+        let d1 = deadline_for(&event, 1.0, R);
+        let d2 = deadline_for(&event, 2.0, R);
+        assert_eq!(d2.as_micros(), d1.as_micros() * 2);
+    }
+
+    #[test]
+    fn tightest_deadline_equals_single_slot_latency() {
+        let event = ArrivalEvent::new(benchmarks::rendering_3d(), 3, Priority::High, SimTime::ZERO);
+        let deadline = deadline_for(&event, 1.0, R);
+        assert_eq!(deadline, event.app().single_slot_latency(3, R));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_ds_panics() {
+        let event = ArrivalEvent::new(benchmarks::lenet(), 1, Priority::Low, SimTime::ZERO);
+        deadline_for(&event, 0.0, R);
+    }
+}

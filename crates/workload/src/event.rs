@@ -1,0 +1,173 @@
+//! Arrival events and sequences.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use nimblock_app::{AppSpec, Priority};
+use nimblock_sim::SimTime;
+
+/// The arrival of one application at the hypervisor: which benchmark, how
+/// many batch items, at what priority, and when (paper §5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalEvent {
+    app: Arc<AppSpec>,
+    batch_size: u32,
+    priority: Priority,
+    arrival: SimTime,
+}
+
+impl ArrivalEvent {
+    /// Creates an arrival event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero — an application with nothing to
+    /// compute never retires.
+    pub fn new(
+        app: impl Into<Arc<AppSpec>>,
+        batch_size: u32,
+        priority: Priority,
+        arrival: SimTime,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        ArrivalEvent {
+            app: app.into(),
+            batch_size,
+            priority,
+            arrival,
+        }
+    }
+
+    /// Returns the application specification.
+    pub fn app(&self) -> &Arc<AppSpec> {
+        &self.app
+    }
+
+    /// Returns the batch size requested by the user.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Returns the priority level.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Returns the arrival time.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+}
+
+/// An ordered sequence of arrival events — one test stimulus.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_app::{benchmarks, Priority};
+/// use nimblock_sim::SimTime;
+/// use nimblock_workload::{ArrivalEvent, EventSequence};
+///
+/// let seq = EventSequence::new(vec![
+///     ArrivalEvent::new(benchmarks::lenet(), 2, Priority::High, SimTime::from_millis(100)),
+///     ArrivalEvent::new(benchmarks::rendering_3d(), 1, Priority::Low, SimTime::ZERO),
+/// ]);
+/// // Sequences sort themselves by arrival time.
+/// assert_eq!(seq.events()[0].app().name(), "3DRendering");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSequence {
+    events: Vec<ArrivalEvent>,
+}
+
+impl EventSequence {
+    /// Creates a sequence, sorting events by arrival time (stable, so
+    /// same-instant events keep their given order).
+    pub fn new(mut events: Vec<ArrivalEvent>) -> Self {
+        events.sort_by_key(ArrivalEvent::arrival);
+        EventSequence { events }
+    }
+
+    /// Returns the events in arrival order.
+    pub fn events(&self) -> &[ArrivalEvent] {
+        &self.events
+    }
+
+    /// Returns the number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the sequence has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns an iterator over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, ArrivalEvent> {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<ArrivalEvent> for EventSequence {
+    fn from_iter<I: IntoIterator<Item = ArrivalEvent>>(iter: I) -> Self {
+        EventSequence::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventSequence {
+    type Item = &'a ArrivalEvent;
+    type IntoIter = std::slice::Iter<'a, ArrivalEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::benchmarks;
+
+    #[test]
+    fn sequence_sorts_by_arrival() {
+        let seq = EventSequence::new(vec![
+            ArrivalEvent::new(benchmarks::lenet(), 1, Priority::Low, SimTime::from_millis(50)),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::Low, SimTime::ZERO),
+        ]);
+        assert_eq!(seq.events()[0].batch_size(), 2);
+        assert_eq!(seq.len(), 2);
+    }
+
+    #[test]
+    fn stable_sort_keeps_simultaneous_order() {
+        let seq = EventSequence::new(vec![
+            ArrivalEvent::new(benchmarks::lenet(), 1, Priority::Low, SimTime::ZERO),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::Low, SimTime::ZERO),
+        ]);
+        assert_eq!(seq.events()[0].batch_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        ArrivalEvent::new(benchmarks::lenet(), 0, Priority::Low, SimTime::ZERO);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let seq: EventSequence = (0..3)
+            .map(|i| {
+                ArrivalEvent::new(
+                    benchmarks::lenet(),
+                    i + 1,
+                    Priority::Medium,
+                    SimTime::from_millis(u64::from(i) * 10),
+                )
+            })
+            .collect();
+        assert_eq!(seq.len(), 3);
+        assert!(!seq.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Arrival-event sequences and scenario generators.
+//!
+//! The paper's testbed (§5.1) reads a sequence of *events* — each the
+//! arrival of an application with a batch size, priority level, and arrival
+//! time — and releases them to the hypervisor as their arrival times pass.
+//! This crate reproduces that stimulus side of the evaluation:
+//!
+//! * [`ArrivalEvent`] / [`EventSequence`] — the event model,
+//! * [`Scenario`] — the three congestion conditions (standard, stress,
+//!   real-time) with the paper's inter-arrival delays,
+//! * [`generate`] / [`generate_suite`] — seeded random sequences of 20
+//!   events over the six-benchmark pool (10 sequences per test),
+//! * [`deadline`] — the `D_s` sweep of the deadline analysis (§5.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadline;
+mod event;
+mod generator;
+
+pub use event::{ArrivalEvent, EventSequence};
+pub use generator::{generate, generate_suite, fixed_batch_sequence, poisson_sequence, Scenario, MAX_BATCH_SIZE};

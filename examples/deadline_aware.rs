@@ -1,0 +1,89 @@
+//! Deadline-aware scheduling: a long, low-priority application monopolizes
+//! the board; high-priority applications with tight deadlines arrive later.
+//! Batch-preemption is what lets Nimblock meet their deadlines.
+//!
+//! ```sh
+//! cargo run --release --example deadline_aware
+//! ```
+
+use nimblock::app::{benchmarks, Priority};
+use nimblock::core::{NimblockConfig, NimblockScheduler, PremaScheduler, Scheduler, Testbed};
+use nimblock::metrics::{violation_rate, TextTable};
+use nimblock::sim::{SimDuration, SimTime};
+use nimblock::workload::{deadline, ArrivalEvent, EventSequence};
+
+const RECONFIG: SimDuration = SimDuration::from_millis(80);
+
+fn stimulus() -> EventSequence {
+    // A batch-25 AlexNet (low priority) pipelines aggressively across slots…
+    let mut events = vec![ArrivalEvent::new(
+        benchmarks::alexnet(),
+        25,
+        Priority::Low,
+        SimTime::ZERO,
+    )];
+    // …then eight high-priority, tight-deadline applications arrive.
+    for i in 0..8u64 {
+        let app = if i % 2 == 0 {
+            benchmarks::lenet()
+        } else {
+            benchmarks::rendering_3d()
+        };
+        events.push(ArrivalEvent::new(
+            app,
+            4,
+            Priority::High,
+            SimTime::from_millis(3_000 + i * 200),
+        ));
+    }
+    EventSequence::new(events)
+}
+
+fn evaluate(name: &str, scheduler: impl Scheduler, events: &EventSequence, table: &mut TextTable) {
+    let report = Testbed::new(scheduler).run(events);
+    let mut row = vec![name.to_owned()];
+    for ds in [1.5, 2.0, 3.0, 5.0] {
+        let rate = violation_rate(&report, Some(Priority::High), |i| {
+            Some(deadline::deadline_for(&events.events()[i], ds, RECONFIG))
+        });
+        row.push(format!("{:.0}%", rate * 100.0));
+    }
+    let preemptions: u32 = report.records().iter().map(|r| r.preemptions).sum();
+    row.push(preemptions.to_string());
+    let mean_high: f64 = {
+        let highs: Vec<f64> = report
+            .records()
+            .iter()
+            .filter(|r| r.priority == Priority::High)
+            .map(|r| r.response_time().as_secs_f64())
+            .collect();
+        highs.iter().sum::<f64>() / highs.len() as f64
+    };
+    row.push(format!("{mean_high:.2}s"));
+    table.row(row);
+}
+
+fn main() {
+    let events = stimulus();
+    let mut table = TextTable::new(vec![
+        "Scheduler",
+        "viol@1.5x",
+        "viol@2x",
+        "viol@3x",
+        "viol@5x",
+        "preemptions",
+        "mean high-prio resp",
+    ]);
+    evaluate("Nimblock", NimblockScheduler::default(), &events, &mut table);
+    evaluate(
+        "NimblockNoPreempt",
+        NimblockScheduler::with_config(NimblockConfig::no_preemption()),
+        &events,
+        &mut table,
+    );
+    evaluate("PREMA", PremaScheduler::new(), &events, &mut table);
+    print!("{table}");
+    println!(
+        "\nDeadlines are D_s x single-slot latency (paper §5.4). Batch-preemption claws\nslots back from the pipelining AlexNet at batch boundaries, so the full Nimblock\nmeets tight deadlines that the no-preemption ablation and PREMA miss."
+    );
+}

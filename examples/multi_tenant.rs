@@ -1,0 +1,64 @@
+//! Multi-tenant sharing: twenty applications from six benchmarks arrive in
+//! a burst; compare all five scheduling policies on the same stimulus.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use nimblock::core::{
+    FcfsScheduler, NimblockScheduler, NoSharingScheduler, PremaScheduler, RoundRobinScheduler,
+    Scheduler, Testbed,
+};
+use nimblock::metrics::{fmt3, harmonic_speedup, Report, TextTable};
+use nimblock::workload::{generate, Scenario};
+
+fn run(scheduler: impl Scheduler, events: &nimblock::workload::EventSequence) -> Report {
+    Testbed::new(scheduler).run(events)
+}
+
+fn main() {
+    // One stress-test sequence: 20 random events, 150-200 ms apart.
+    let events = generate(7, 20, Scenario::Stress);
+    println!(
+        "stimulus: {} events over {}",
+        events.len(),
+        events.events().last().map(|e| e.arrival()).unwrap_or_default()
+    );
+
+    let baseline = run(NoSharingScheduler::new(), &events);
+    let reports = vec![
+        run(FcfsScheduler::new(), &events),
+        run(RoundRobinScheduler::new(), &events),
+        run(PremaScheduler::new(), &events),
+        run(PremaScheduler::with_backfill(), &events),
+        run(NimblockScheduler::default(), &events),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "Scheduler",
+        "mean response (s)",
+        "reduction vs baseline",
+        "makespan (s)",
+        "preemptions",
+    ]);
+    table.row(vec![
+        baseline.scheduler().to_owned(),
+        fmt3(baseline.mean_response_secs()),
+        "1.000x".to_owned(),
+        fmt3(baseline.finished_at().as_secs_f64()),
+        "0".to_owned(),
+    ]);
+    for report in &reports {
+        let preemptions: u32 = report.records().iter().map(|r| r.preemptions).sum();
+        table.row(vec![
+            report.scheduler().to_owned(),
+            fmt3(report.mean_response_secs()),
+            format!("{}x", fmt3(harmonic_speedup(&baseline, report))),
+            fmt3(report.finished_at().as_secs_f64()),
+            preemptions.to_string(),
+        ]);
+    }
+    print!("\n{table}");
+    println!("\nNimblock pipelines batches across slots and batch-preempts over-consumers,");
+    println!("which is why it posts the lowest mean response time on a contended board.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: define an application, submit it to the Nimblock hypervisor,
+//! and read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nimblock::app::{AppSpec, Priority, TaskGraphBuilder, TaskSpec};
+use nimblock::core::{NimblockScheduler, Testbed};
+use nimblock::sim::{SimDuration, SimTime};
+use nimblock::workload::{ArrivalEvent, EventSequence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Partition your application into slot-sized tasks and compose them
+    //    into a task graph (a DAG). Here: a tiny four-stage vision pipeline
+    //    with two parallel feature extractors.
+    let mut builder = TaskGraphBuilder::new();
+    let decode = builder.add_task(TaskSpec::new("decode", SimDuration::from_millis(30)));
+    let edges = builder.add_task(TaskSpec::new("edge_features", SimDuration::from_millis(55)));
+    let colors = builder.add_task(TaskSpec::new("color_features", SimDuration::from_millis(40)));
+    let classify = builder.add_task(TaskSpec::new("classify", SimDuration::from_millis(25)));
+    builder.add_edge(decode, edges)?;
+    builder.add_edge(decode, colors)?;
+    builder.add_edge(edges, classify)?;
+    builder.add_edge(colors, classify)?;
+    let app = AppSpec::new("vision-pipeline", builder.build()?);
+
+    println!("application: {app}");
+    println!(
+        "  critical path {} / total latency {} per batch item",
+        app.graph().critical_path_latency(),
+        app.graph().total_latency()
+    );
+
+    // 2. Submit it to the hypervisor as an arrival event: batch of 12
+    //    inputs, high priority, arriving at t = 0.
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        app,
+        12,
+        Priority::High,
+        SimTime::ZERO,
+    )]);
+
+    // 3. Run on the modelled ZCU106 (ten slots, 80 ms partial
+    //    reconfiguration) under the Nimblock scheduling algorithm.
+    let report = Testbed::new(NimblockScheduler::default()).run(&events);
+
+    // 4. Inspect the result.
+    let record = &report.records()[0];
+    println!("\nscheduler: {}", report.scheduler());
+    println!("response time : {}", record.response_time());
+    println!("wait time     : {}", record.wait_time());
+    println!("execution time: {}", record.execution_time());
+    println!("run time (Σ)  : {}", record.run_time);
+    println!("PR time (Σ)   : {}", record.reconfig_time);
+    println!("preemptions   : {}", record.preemptions);
+    Ok(())
+}

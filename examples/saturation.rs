@@ -1,0 +1,56 @@
+//! Goal-number saturation analysis, and the exact ILP slot split.
+//!
+//! Nimblock's allocator needs to know how many slots each application can
+//! actually use (its *goal number*). This example sweeps the slot count for
+//! every benchmark with the pipelined makespan estimator, prints the
+//! saturation curves, and cross-checks the rule-based goal numbers against
+//! an exact ILP split of the board.
+//!
+//! ```sh
+//! cargo run --release --example saturation
+//! ```
+
+use nimblock::app::benchmarks;
+use nimblock::ilp::saturation;
+use nimblock::metrics::{fmt3, TextTable};
+use nimblock::sim::SimDuration;
+
+const RECONFIG: SimDuration = SimDuration::from_millis(80);
+const SLOTS: usize = 10;
+const BATCH: u32 = 10;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut header = vec!["Benchmark".to_owned()];
+    header.extend((1..=SLOTS).map(|k| format!("{k} slot{}", if k > 1 { "s" } else { "" })));
+    header.push("goal".to_owned());
+    let mut table = TextTable::new(header);
+
+    let mut curves = Vec::new();
+    for app in benchmarks::all() {
+        let analysis = saturation::analyze(&app, BATCH, SLOTS, RECONFIG);
+        let mut row = vec![app.name().to_owned()];
+        row.extend(
+            analysis
+                .makespans()
+                .iter()
+                .map(|m| fmt3(m.as_secs_f64())),
+        );
+        row.push(analysis.goal_number().to_string());
+        table.row(row);
+        curves.push(analysis.makespans().to_vec());
+    }
+    println!("Makespan (s) of each benchmark at batch {BATCH} versus slot count:\n");
+    print!("{table}");
+
+    // Exact ILP: split the ten slots among the six benchmarks to minimize
+    // the sum of their makespans (everyone gets at least one slot).
+    let split = saturation::optimal_slot_split(&curves, SLOTS)?;
+    println!("\nExact ILP split of {SLOTS} slots (minimizing total makespan):");
+    for (app, slots) in benchmarks::all().iter().zip(&split) {
+        println!("  {:18} -> {slots} slot(s)", app.name());
+    }
+    println!(
+        "\nThe sweep shows the paper's observation (§4.2): the second slot provides the\ngreatest benefit, and applications saturate near their pipeline depth."
+    );
+    Ok(())
+}

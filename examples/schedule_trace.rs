@@ -1,0 +1,44 @@
+//! Schedule tracing: run a small multi-tenant mix with tracing enabled,
+//! validate the hardware constraints from the trace, and render a Gantt
+//! chart of the slots.
+//!
+//! ```sh
+//! cargo run --release --example schedule_trace
+//! ```
+
+use nimblock::app::{benchmarks, Priority};
+use nimblock::core::{NimblockScheduler, Testbed, TraceEvent};
+use nimblock::sim::SimTime;
+use nimblock::workload::{ArrivalEvent, EventSequence};
+
+fn main() {
+    let events = EventSequence::new(vec![
+        ArrivalEvent::new(benchmarks::lenet(), 6, Priority::High, SimTime::ZERO),
+        ArrivalEvent::new(benchmarks::image_compression(), 8, Priority::Low, SimTime::from_millis(50)),
+        ArrivalEvent::new(benchmarks::rendering_3d(), 6, Priority::Medium, SimTime::from_millis(150)),
+        ArrivalEvent::new(benchmarks::optical_flow(), 4, Priority::High, SimTime::from_millis(300)),
+    ]);
+
+    let (report, trace) = Testbed::new(NimblockScheduler::default()).run_traced(&events);
+
+    println!("schedule for {} applications, {} traced events", report.records().len(), trace.len());
+    trace
+        .validate(10)
+        .expect("the hypervisor must respect CAP and slot exclusivity");
+    println!("hardware constraints validated: CAP serialized, no slot overlap\n");
+
+    // Count activity per kind.
+    let (mut reconfigs, mut items, mut preemptions) = (0, 0, 0);
+    for event in trace.events() {
+        match event {
+            TraceEvent::Reconfig { .. } => reconfigs += 1,
+            TraceEvent::Item { .. } => items += 1,
+            TraceEvent::Preempt { .. } => preemptions += 1,
+            _ => {}
+        }
+    }
+    println!("reconfigurations: {reconfigs}   item executions: {items}   preemptions: {preemptions}\n");
+
+    println!("Gantt ('#' = reconfiguration, letters = applications a..d, '.' = idle):");
+    print!("{}", trace.gantt(10, 100));
+}

@@ -1,0 +1,172 @@
+//! Failure injection: exhausted buffer memory, degraded configuration
+//! ports, tiny devices, and livelock detection.
+
+use nimblock::app::{benchmarks, Priority};
+use nimblock::core::{Hypervisor, HvEvent, NimblockScheduler, NoSharingScheduler, Testbed};
+use nimblock::fpga::{Device, DeviceConfig};
+use nimblock::sim::{SimDuration, SimTime, Simulation};
+use nimblock::workload::{generate, ArrivalEvent, EventSequence, Scenario};
+
+fn three_apps() -> EventSequence {
+    EventSequence::new(vec![
+        ArrivalEvent::new(benchmarks::lenet(), 3, Priority::High, SimTime::ZERO),
+        ArrivalEvent::new(benchmarks::image_compression(), 2, Priority::Low, SimTime::from_millis(100)),
+        ArrivalEvent::new(benchmarks::rendering_3d(), 2, Priority::Medium, SimTime::from_millis(200)),
+    ])
+}
+
+#[test]
+fn tight_memory_stalls_launches_but_completes() {
+    // Room for only two 1 MiB task buffers at a time: launches must stall
+    // and retry as buffers are relinquished, but everything retires.
+    let mut config = DeviceConfig::zcu106();
+    config.memory_bytes = 2 << 20;
+    let device = Device::new(config);
+    let events = three_apps();
+    let hypervisor = Hypervisor::new(
+        device,
+        NimblockScheduler::default(),
+        events.events().to_vec(),
+    );
+    let mut sim = Simulation::new(hypervisor);
+    for (index, event) in events.iter().enumerate() {
+        sim.queue_mut().push(event.arrival(), HvEvent::Arrival(index));
+    }
+    sim.queue_mut()
+        .push(SimTime::ZERO + SimDuration::from_millis(400), HvEvent::Tick);
+    sim.run();
+    assert!(sim.handler().finished(), "apps must retire despite stalls");
+    assert!(
+        sim.handler().alloc_stalls() > 0,
+        "a 2 MiB pool must cause allocation stalls"
+    );
+    assert_eq!(sim.handler().device().memory().in_use(), 0);
+}
+
+#[test]
+fn zero_memory_never_launches_and_the_horizon_catches_it() {
+    let mut config = DeviceConfig::zcu106();
+    config.memory_bytes = 0;
+    let result = std::panic::catch_unwind(|| {
+        Testbed::new(NimblockScheduler::default())
+            .with_device_config(config)
+            .with_horizon(SimTime::from_secs(100))
+            .run(&three_apps())
+    });
+    assert!(result.is_err(), "livelock horizon must fire");
+}
+
+#[test]
+fn slow_configuration_port_still_completes() {
+    // A CAP ten times slower (800 ms per slot) changes latencies, not
+    // correctness.
+    let mut config = DeviceConfig::zcu106();
+    config.cap_bandwidth_bytes_per_sec /= 10;
+    let events = three_apps();
+    let fast = Testbed::new(NimblockScheduler::default()).run(&events);
+    let slow = Testbed::new(NimblockScheduler::default())
+        .with_device_config(config)
+        .run(&events);
+    assert_eq!(slow.records().len(), 3);
+    for (s, f) in slow.records().iter().zip(fast.records()) {
+        assert!(
+            s.response_time() >= f.response_time(),
+            "slower reconfiguration cannot speed {} up",
+            s.app_name
+        );
+    }
+}
+
+#[test]
+fn sd_card_loading_adds_first_use_latency_only() {
+    let mut config = DeviceConfig::zcu106();
+    config.sd_bandwidth_bytes_per_sec = 100 << 20; // 100 MiB/s SD card
+    let events = three_apps();
+    let preloaded = Testbed::new(NimblockScheduler::default()).run(&events);
+    let sd = Testbed::new(NimblockScheduler::default())
+        .with_device_config(config)
+        .run(&events);
+    assert_eq!(sd.records().len(), 3);
+    // Loading 32 MiB bitstreams at 100 MiB/s adds latency overall.
+    assert!(sd.finished_at() >= preloaded.finished_at());
+}
+
+#[test]
+fn single_slot_device_serializes_everything_but_works() {
+    let config = DeviceConfig::zcu106().with_slot_count(1);
+    let events = generate(9, 5, Scenario::Standard);
+    for scheduler in [
+        "nosharing",
+        "nimblock",
+    ] {
+        let report = match scheduler {
+            "nosharing" => Testbed::new(Box::new(NoSharingScheduler::new()) as Box<dyn nimblock::core::Scheduler>)
+                .with_device_config(config.clone())
+                .run(&events),
+            _ => Testbed::new(Box::new(NimblockScheduler::default()) as Box<dyn nimblock::core::Scheduler>)
+                .with_device_config(config.clone())
+                .run(&events),
+        };
+        assert_eq!(report.records().len(), 5, "{scheduler}");
+    }
+}
+
+#[test]
+fn two_slot_device_allows_minimal_pipelining() {
+    let config = DeviceConfig::zcu106().with_slot_count(2);
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        benchmarks::optical_flow(),
+        10,
+        Priority::High,
+        SimTime::ZERO,
+    )]);
+    let one = Testbed::new(NimblockScheduler::default())
+        .with_device_config(DeviceConfig::zcu106().with_slot_count(1))
+        .run(&events);
+    let two = Testbed::new(NimblockScheduler::default())
+        .with_device_config(config)
+        .run(&events);
+    assert!(
+        two.records()[0].response_time() < one.records()[0].response_time(),
+        "a second slot must help a batched chain"
+    );
+}
+
+#[test]
+fn ring_noc_speeds_up_fine_grained_pipelines() {
+    use nimblock::fpga::Interconnect;
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        benchmarks::image_compression(),
+        30,
+        Priority::Medium,
+        SimTime::ZERO,
+    )]);
+    let slow_ps = Testbed::new(NimblockScheduler::default())
+        .with_interconnect(Interconnect::ThroughPs {
+            per_transfer: SimDuration::from_millis(20),
+        })
+        .run(&events);
+    let noc = Testbed::new(NimblockScheduler::default())
+        .with_interconnect(Interconnect::RingNoc {
+            base: SimDuration::from_micros(50),
+            per_hop: SimDuration::from_micros(10),
+            ps_transfer: SimDuration::from_millis(20),
+        })
+        .run(&events);
+    assert!(
+        noc.records()[0].response_time() < slow_ps.records()[0].response_time(),
+        "a NoC must beat staging every inter-stage transfer through a slow PS"
+    );
+}
+
+#[test]
+fn interconnect_default_matches_legacy_per_item_overhead() {
+    // The ThroughPs default must reproduce the flat 1 ms per-item model the
+    // calibration was built on.
+    let events = three_apps();
+    let default_run = Testbed::new(NimblockScheduler::default()).run(&events);
+    let explicit = Testbed::new(NimblockScheduler::default())
+        .with_per_item_overhead(SimDuration::from_millis(1))
+        .run(&events);
+    assert_eq!(default_run.records(), explicit.records());
+}

@@ -1,0 +1,116 @@
+//! Heterogeneous overlays (the Hetero-ViTAL direction the paper cites in
+//! §6.1): slots of different sizes, tasks that only fit some of them.
+
+use nimblock::app::{AppSpec, Priority, TaskGraphBuilder, TaskSpec};
+use nimblock::core::{FcfsScheduler, NimblockScheduler, Scheduler, Testbed};
+use nimblock::fpga::{zcu106, DeviceConfig, Resources};
+use nimblock::sim::{SimDuration, SimTime};
+use nimblock::workload::{ArrivalEvent, EventSequence};
+
+/// Four small slots and two large ones.
+fn hetero_config() -> DeviceConfig {
+    let small = zcu106::SLOT_MIN;
+    let large = Resources {
+        dsp: zcu106::SLOT_MAX.dsp * 2,
+        lut: zcu106::SLOT_MAX.lut * 2,
+        ff: zcu106::SLOT_MAX.ff * 2,
+        carry: zcu106::SLOT_MAX.carry * 2,
+        ramb18: zcu106::SLOT_MAX.ramb18 * 2,
+        ramb36: zcu106::SLOT_MAX.ramb36 * 2,
+        iobuf: zcu106::SLOT_MAX.iobuf * 2,
+    };
+    DeviceConfig::zcu106().with_slot_resources(vec![small, small, small, small, large, large])
+}
+
+/// An app whose middle task only fits the large slots.
+fn mixed_footprint_app() -> AppSpec {
+    let big_task = Resources {
+        dsp: zcu106::SLOT_MAX.dsp + 10,
+        ..zcu106::SLOT_MIN
+    };
+    let mut builder = TaskGraphBuilder::new();
+    let a = builder.add_task(TaskSpec::new("pre", SimDuration::from_millis(30)));
+    let b = builder.add_task(
+        TaskSpec::new("wide", SimDuration::from_millis(60)).with_resources(big_task),
+    );
+    let c = builder.add_task(TaskSpec::new("post", SimDuration::from_millis(20)));
+    builder.add_chain(&[a, b, c]).unwrap();
+    AppSpec::new("mixed", builder.build().unwrap())
+}
+
+fn stimulus() -> EventSequence {
+    EventSequence::new(vec![
+        ArrivalEvent::new(mixed_footprint_app(), 4, Priority::High, SimTime::ZERO),
+        ArrivalEvent::new(mixed_footprint_app(), 4, Priority::Low, SimTime::from_millis(100)),
+    ])
+}
+
+#[test]
+fn mixed_footprint_apps_complete_on_hetero_overlays() {
+    for scheduler in [
+        Box::new(NimblockScheduler::default()) as Box<dyn Scheduler>,
+        Box::new(FcfsScheduler::new()),
+    ] {
+        let name = scheduler.name();
+        let report = Testbed::new(scheduler)
+            .with_device_config(hetero_config())
+            .run(&stimulus());
+        assert_eq!(report.records().len(), 2, "{name}");
+    }
+}
+
+#[test]
+fn oversized_tasks_go_to_large_slots_only() {
+    let (_, trace) = Testbed::new(NimblockScheduler::default())
+        .with_device_config(hetero_config())
+        .run_traced(&stimulus());
+    use nimblock::core::TraceEvent;
+    for event in trace.events() {
+        if let TraceEvent::Reconfig { slot, task, .. } = event {
+            if task.index() == 1 {
+                assert!(
+                    slot.index() >= 4,
+                    "the wide task must land on a large slot, got {slot}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn task_too_big_for_every_slot_is_rejected_at_admission() {
+    let impossible = Resources {
+        dsp: 10_000,
+        ..zcu106::SLOT_MIN
+    };
+    let mut builder = TaskGraphBuilder::new();
+    builder.add_task(TaskSpec::new("huge", SimDuration::from_millis(10)).with_resources(impossible));
+    let app = AppSpec::new("huge", builder.build().unwrap());
+    let events = EventSequence::new(vec![ArrivalEvent::new(app, 1, Priority::High, SimTime::ZERO)]);
+    let result = std::panic::catch_unwind(|| {
+        Testbed::new(NimblockScheduler::default()).run(&events)
+    });
+    let err = result.expect_err("an unplaceable task must be rejected at admission");
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("fits no slot"),
+        "admission failure must name the problem, got: {message}"
+    );
+    assert!(message.contains("huge"), "must name the app/task: {message}");
+}
+
+#[test]
+fn uniform_overlay_behaviour_is_unchanged_by_fit_checks() {
+    // On the paper's uniform overlay all default-footprint tasks fit every
+    // slot, so fit-aware selection must match the historical results.
+    use nimblock::workload::{generate, Scenario};
+    let events = generate(55, 8, Scenario::Stress);
+    let report = Testbed::new(NimblockScheduler::default()).run(&events);
+    assert_eq!(report.records().len(), 8);
+    for record in report.records() {
+        assert!(record.first_launch.is_some());
+    }
+}

@@ -1,0 +1,222 @@
+//! Whole-system invariants, checked by driving the hypervisor directly so
+//! its final state is inspectable.
+
+use nimblock::core::{Hypervisor, HvEvent, Scheduler};
+use nimblock::fpga::{Device, DeviceConfig};
+use nimblock::sim::{SimDuration, SimTime, Simulation};
+use nimblock::workload::{generate, EventSequence, Scenario};
+
+/// Runs `scheduler` over `events` and returns the final hypervisor.
+fn run_to_completion(
+    scheduler: Box<dyn Scheduler>,
+    events: &EventSequence,
+) -> Hypervisor<Box<dyn Scheduler>> {
+    let device = Device::new(DeviceConfig::zcu106());
+    let hypervisor = Hypervisor::new(device, scheduler, events.events().to_vec());
+    let mut sim = Simulation::new(hypervisor);
+    for (index, event) in events.iter().enumerate() {
+        sim.queue_mut().push(event.arrival(), HvEvent::Arrival(index));
+    }
+    sim.queue_mut()
+        .push(SimTime::ZERO + SimDuration::from_millis(400), HvEvent::Tick);
+    sim.run();
+    assert!(sim.handler().finished(), "system must drain");
+    sim.into_handler()
+}
+
+fn policies() -> Vec<Box<dyn Scheduler>> {
+    use nimblock::core::*;
+    vec![
+        Box::new(NoSharingScheduler::new()),
+        Box::new(FcfsScheduler::new()),
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(PremaScheduler::new()),
+        Box::new(PremaScheduler::with_backfill()),
+        Box::new(NimblockScheduler::default()),
+        Box::new(NimblockScheduler::with_config(NimblockConfig::no_preemption())),
+        Box::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining())),
+    ]
+}
+
+#[test]
+fn all_buffers_are_relinquished_at_drain() {
+    let events = generate(31, 10, Scenario::Stress);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        assert_eq!(
+            hv.device().memory().in_use(),
+            0,
+            "{name}: leaked {} bytes of buffer memory",
+            hv.device().memory().in_use()
+        );
+        assert_eq!(hv.device().memory().live_buffers(), 0, "{name}");
+    }
+}
+
+#[test]
+fn cap_is_idle_and_all_slots_released_at_drain() {
+    let events = generate(32, 8, Scenario::RealTime);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        assert!(hv.device().cap().is_idle(), "{name}: CAP busy after drain");
+        for slot in hv.device().slots() {
+            assert!(
+                slot.state().reconfigurable(),
+                "{name}: {} stuck in {:?}",
+                slot.id(),
+                slot.state()
+            );
+        }
+    }
+}
+
+#[test]
+fn reconfiguration_accounting_is_conserved() {
+    // Per-application PR time sums to the CAP's total busy time.
+    let events = generate(33, 10, Scenario::Standard);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        let per_app: u64 = hv
+            .records()
+            .iter()
+            .map(|r| r.reconfig_time.as_micros())
+            .sum();
+        let cap_busy = hv.device().cap().busy_time().as_micros();
+        assert_eq!(per_app, cap_busy, "{name}: PR accounting mismatch");
+        // Each completed reconfiguration took the nominal 80 ms.
+        assert_eq!(
+            cap_busy,
+            hv.device().cap().completed() * 80_000,
+            "{name}: unexpected per-reconfiguration latency"
+        );
+    }
+}
+
+#[test]
+fn non_preemptive_policies_never_preempt() {
+    let events = generate(34, 12, Scenario::Stress);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        if name == "Nimblock" || name == "NimblockNoPipe" {
+            continue; // the preemption-enabled configurations
+        }
+        let hv = run_to_completion(scheduler, &events);
+        let preemptions: u32 = hv.records().iter().map(|r| r.preemptions).sum();
+        assert_eq!(preemptions, 0, "{name} must not preempt");
+    }
+}
+
+#[test]
+fn run_time_equals_batch_times_task_latencies() {
+    // Whatever the schedule, total run time of an application is exactly
+    // batch × Σ task latencies (work conservation: preemption at batch
+    // boundaries never discards completed items).
+    let events = generate(35, 10, Scenario::Stress);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        for record in hv.records() {
+            let app = nimblock::app::benchmarks::by_name(&record.app_name).unwrap();
+            let expected = app
+                .graph()
+                .total_latency()
+                .saturating_mul(u64::from(record.batch_size));
+            assert_eq!(
+                record.run_time, expected,
+                "{name}: {} run-time mismatch",
+                record.app_name
+            );
+        }
+    }
+}
+
+#[test]
+fn responses_are_causally_ordered() {
+    let events = generate(36, 10, Scenario::RealTime);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        for record in hv.records() {
+            let first = record.first_launch.expect("every app ran");
+            assert!(first >= record.arrival, "{name}: launch before arrival");
+            assert!(record.retired > first, "{name}: retire before launch");
+            // The first launch follows at least one reconfiguration.
+            assert!(
+                first >= record.arrival + SimDuration::from_millis(80),
+                "{name}: {} launched before its first bitstream could load",
+                record.app_name
+            );
+        }
+    }
+}
+
+#[test]
+fn preempted_work_is_never_lost() {
+    // Under heavy preemption pressure, per-app run time still matches the
+    // full batch (batch-preemption saves batch state, paper §3.2).
+    use nimblock::app::{benchmarks, Priority};
+    use nimblock::workload::ArrivalEvent;
+    let mut events = vec![ArrivalEvent::new(
+        benchmarks::alexnet(),
+        20,
+        Priority::Low,
+        SimTime::ZERO,
+    )];
+    for i in 0..12u64 {
+        events.push(ArrivalEvent::new(
+            benchmarks::lenet(),
+            3,
+            Priority::High,
+            SimTime::from_millis(1_000 + 150 * i),
+        ));
+    }
+    let events = EventSequence::new(events);
+    let hv = run_to_completion(
+        Box::new(nimblock::core::NimblockScheduler::default()),
+        &events,
+    );
+    let alexnet = hv
+        .records()
+        .iter()
+        .find(|r| r.app_name == "AlexNet")
+        .unwrap();
+    let expected = benchmarks::alexnet()
+        .graph()
+        .total_latency()
+        .saturating_mul(20);
+    assert_eq!(alexnet.run_time, expected, "preempted items must not rerun");
+}
+
+#[test]
+fn response_times_respect_information_theoretic_lower_bounds() {
+    // No schedule can beat: one reconfiguration, plus the critical path for
+    // one item, plus the bottleneck stage for the remaining items (a stage
+    // processes items serially on one slot).
+    let events = generate(37, 10, Scenario::Stress);
+    for scheduler in policies() {
+        let name = scheduler.name();
+        let hv = run_to_completion(scheduler, &events);
+        for record in hv.records() {
+            let app = nimblock::app::benchmarks::by_name(&record.app_name).unwrap();
+            let critical = app.graph().critical_path_latency();
+            let bottleneck = app
+                .graph()
+                .tasks()
+                .map(|(_, t)| t.latency())
+                .max()
+                .unwrap()
+                .saturating_mul(u64::from(record.batch_size - 1));
+            let bound = SimDuration::from_millis(80) + critical + bottleneck;
+            assert!(
+                record.response_time() >= bound,
+                "{name}: {} response {} beats the lower bound {}",
+                record.app_name,
+                record.response_time(),
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Shape assertions against the paper's headline results (scaled-down
+//! stimuli; the full-scale numbers come from the `nimblock-bench`
+//! binaries and are recorded in EXPERIMENTS.md).
+
+use nimblock::app::Priority;
+use nimblock::core::{
+    FcfsScheduler, NimblockConfig, NimblockScheduler, NoSharingScheduler, PremaScheduler,
+    RoundRobinScheduler, Testbed,
+};
+use nimblock::metrics::{harmonic_speedup, violation_rate, Report};
+use nimblock::sim::SimDuration;
+use nimblock::workload::{deadline, fixed_batch_sequence, generate_suite, Scenario};
+
+fn pooled_harmonic(bases: &[Report], reports: &[Report]) -> f64 {
+    let mut total_events = 0.0;
+    let mut sum_inverse = 0.0;
+    for (base, report) in bases.iter().zip(reports) {
+        let h = harmonic_speedup(base, report);
+        let n = report.records().len() as f64;
+        total_events += n;
+        sum_inverse += n / h;
+    }
+    total_events / sum_inverse
+}
+
+#[test]
+fn figure5_shape_nimblock_wins_the_standard_test() {
+    let suite = generate_suite(2023, 3, 20, Scenario::Standard);
+    let bases: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(NoSharingScheduler::new()).run(s))
+        .collect();
+    let nimblock: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(NimblockScheduler::default()).run(s))
+        .collect();
+    let prema: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(PremaScheduler::new()).run(s))
+        .collect();
+    let fcfs: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(FcfsScheduler::new()).run(s))
+        .collect();
+    let rr: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(RoundRobinScheduler::new()).run(s))
+        .collect();
+
+    let nb = pooled_harmonic(&bases, &nimblock);
+    let pr = pooled_harmonic(&bases, &prema);
+    let fc = pooled_harmonic(&bases, &fcfs);
+    let r = pooled_harmonic(&bases, &rr);
+    // Paper Figure 5 (standard): Nimblock ~4.7x, best of all; PREMA next.
+    assert!(nb > 2.0, "Nimblock reduction {nb} should be substantial");
+    assert!(nb > pr, "Nimblock {nb} must beat PREMA {pr}");
+    assert!(nb > fc, "Nimblock {nb} must beat FCFS {fc}");
+    assert!(nb > r, "Nimblock {nb} must beat RR {r}");
+}
+
+#[test]
+fn figure7_shape_nimblock_has_fewest_tight_deadline_violations() {
+    let reconfig = SimDuration::from_millis(80);
+    let suite = generate_suite(2023, 2, 20, Scenario::Stress);
+    let tight = |report: &Report, seq: &nimblock::workload::EventSequence| {
+        violation_rate(report, Some(Priority::High), |i| {
+            Some(deadline::deadline_for(&seq.events()[i], 1.0, reconfig))
+        })
+    };
+    let mut nimblock_rate = 0.0;
+    let mut others_min: f64 = 1.0;
+    for seq in &suite {
+        nimblock_rate += tight(&Testbed::new(NimblockScheduler::default()).run(seq), seq);
+        for rate in [
+            tight(&Testbed::new(PremaScheduler::new()).run(seq), seq),
+            tight(&Testbed::new(FcfsScheduler::new()).run(seq), seq),
+            tight(&Testbed::new(RoundRobinScheduler::new()).run(seq), seq),
+        ] {
+            others_min = others_min.min(rate);
+        }
+    }
+    nimblock_rate /= suite.len() as f64;
+    // Paper: ~44-49% fewer violations than every other algorithm at the
+    // tightest deadline.
+    assert!(
+        nimblock_rate < others_min,
+        "Nimblock tight-deadline rate {nimblock_rate} must undercut the best other {others_min}"
+    );
+}
+
+#[test]
+fn figure9_shape_ablations_cost_performance() {
+    let seq = fixed_batch_sequence(7, 20, 10, SimDuration::from_millis(175));
+    let full = Testbed::new(NimblockScheduler::default()).run(&seq);
+    let mean_ratio = |variant: &Report| {
+        let mut ratios = Vec::new();
+        for record in variant.records() {
+            let base = full.record_for_event(record.event_index).unwrap();
+            ratios.push(record.response_time().as_secs_f64() / base.response_time().as_secs_f64());
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    let no_preempt = mean_ratio(
+        &Testbed::new(NimblockScheduler::with_config(NimblockConfig::no_preemption())).run(&seq),
+    );
+    let no_pipe = mean_ratio(
+        &Testbed::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining())).run(&seq),
+    );
+    let neither = mean_ratio(
+        &Testbed::new(NimblockScheduler::with_config(
+            NimblockConfig::no_preemption_no_pipelining(),
+        ))
+        .run(&seq),
+    );
+    // Paper Figure 9: removing preemption costs 1.07-1.14x; removing
+    // pipelining ~1.2x; removing both overlaps removing pipelining.
+    assert!(no_preempt > 1.02, "preemption should matter, got {no_preempt}");
+    assert!(no_pipe > 1.1, "pipelining should matter, got {no_pipe}");
+    assert!(
+        (neither - no_pipe).abs() / no_pipe < 0.10,
+        "NoPreemptNoPipe ({neither}) should track NoPipe ({no_pipe})"
+    );
+}
+
+#[test]
+fn benchmark_characteristics_nimblock_best_for_long_apps() {
+    // Table 3 shape: Nimblock beats PREMA and RR on the long-running
+    // OpticalFlow benchmark.
+    let suite: Vec<_> = (0..2)
+        .map(|i| fixed_batch_sequence(2023 + i, 20, 5, SimDuration::from_millis(500)))
+        .collect();
+    let mean_of = |reports: &[Report]| {
+        let samples: Vec<f64> = reports
+            .iter()
+            .flat_map(|r| r.records().iter())
+            .filter(|r| r.app_name == "OpticalFlow")
+            .map(|r| r.response_time().as_secs_f64())
+            .collect();
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    let nimblock: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(NimblockScheduler::default()).run(s))
+        .collect();
+    let prema: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(PremaScheduler::new()).run(s))
+        .collect();
+    let rr: Vec<Report> = suite
+        .iter()
+        .map(|s| Testbed::new(RoundRobinScheduler::new()).run(s))
+        .collect();
+    assert!(mean_of(&nimblock) < mean_of(&prema));
+    assert!(mean_of(&nimblock) < mean_of(&rr));
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over the core data structures and the end-to-end
+//! system.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nimblock::app::{AppSpec, Priority, TaskGraph, TaskGraphBuilder, TaskId, TaskSpec};
+use nimblock::ilp::{EstimatorConfig, PipelineEstimator};
+use nimblock::sim::{EventQueue, SimDuration, SimTime};
+use nimblock::workload::{ArrivalEvent, EventSequence};
+
+/// Strategy: a random DAG with `n` tasks whose edges always point from a
+/// lower to a higher task index (guaranteeing acyclicity by construction).
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = vec((0usize..n - 1, 1usize..n), 0..(n * 2));
+        let latencies = vec(1u64..2_000, n..=n);
+        (edges, latencies).prop_map(move |(edges, latencies)| {
+            let mut builder = TaskGraphBuilder::new();
+            let ids: Vec<TaskId> = latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| {
+                    builder.add_task(TaskSpec::new(format!("t{i}"), SimDuration::from_millis(ms)))
+                })
+                .collect();
+            for (a, b) in edges {
+                let (from, to) = (a.min(b), a.max(b).max(a.min(b) + 1).min(ids.len() - 1));
+                if from != to {
+                    // Duplicate edges are rejected; ignore those.
+                    let _ = builder.add_edge(ids[from], ids[to]);
+                }
+            }
+            builder.build().expect("forward edges cannot form a cycle")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topological_order_is_a_valid_permutation(graph in arb_dag()) {
+        let topo = graph.topological_order();
+        prop_assert_eq!(topo.len(), graph.task_count());
+        let position = |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
+        for &(from, to) in graph.edges() {
+            prop_assert!(position(from) < position(to));
+        }
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_edges(graph in arb_dag()) {
+        for &(from, to) in graph.edges() {
+            prop_assert!(graph.level(from) < graph.level(to));
+        }
+        prop_assert_eq!(
+            graph.level_widths().iter().sum::<usize>(),
+            graph.task_count()
+        );
+    }
+
+    #[test]
+    fn critical_path_bounds(graph in arb_dag()) {
+        let critical = graph.critical_path_latency();
+        let total = graph.total_latency();
+        let longest_task = graph
+            .tasks()
+            .map(|(_, t)| t.latency())
+            .max()
+            .unwrap();
+        prop_assert!(critical <= total);
+        prop_assert!(critical >= longest_task);
+    }
+
+    #[test]
+    fn estimator_makespan_monotone_in_slots(graph in arb_dag(), batch in 1u32..8) {
+        let estimator = PipelineEstimator::new(EstimatorConfig {
+            reconfig: SimDuration::from_millis(80),
+            pipelining: true,
+        });
+        let mut previous = estimator.makespan(&graph, batch, 1);
+        for slots in 2..=6 {
+            let makespan = estimator.makespan(&graph, batch, slots);
+            prop_assert!(makespan <= previous, "slots {slots}: {makespan} > {previous}");
+            previous = makespan;
+        }
+    }
+
+    #[test]
+    fn estimator_pipelining_never_slower_than_bulk(graph in arb_dag(), batch in 1u32..8) {
+        let pipe = PipelineEstimator::new(EstimatorConfig {
+            reconfig: SimDuration::from_millis(80),
+            pipelining: true,
+        });
+        let bulk = PipelineEstimator::new(EstimatorConfig {
+            reconfig: SimDuration::from_millis(80),
+            pipelining: false,
+        });
+        let slots = 4;
+        prop_assert!(pipe.makespan(&graph, batch, slots) <= bulk.makespan(&graph, batch, slots));
+    }
+
+    #[test]
+    fn estimator_makespan_bounded_below_by_work_over_slots(graph in arb_dag(), batch in 1u32..6) {
+        // Total compute work / slot count is an unbeatable lower bound.
+        let estimator = PipelineEstimator::default();
+        let slots = 3;
+        let work = graph.total_latency().saturating_mul(u64::from(batch));
+        let makespan = estimator.makespan(&graph, batch, slots);
+        prop_assert!(makespan.as_micros() >= work.as_micros() / slots as u64);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(entries in vec((0u64..1_000, 0u32..100), 1..200)) {
+        let mut queue = EventQueue::new();
+        for &(at, payload) in &entries {
+            queue.push(SimTime::from_millis(at), payload);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = queue.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, entries.len());
+    }
+
+    #[test]
+    fn random_graph_applications_complete_under_nimblock(
+        graph in arb_dag(),
+        batch in 1u32..6,
+        priority_index in 0usize..3,
+    ) {
+        let app = AppSpec::new("random", graph);
+        let events = EventSequence::new(vec![ArrivalEvent::new(
+            app,
+            batch,
+            Priority::ALL[priority_index],
+            SimTime::ZERO,
+        )]);
+        let report = nimblock::core::Testbed::new(nimblock::core::NimblockScheduler::default())
+            .run(&events);
+        prop_assert_eq!(report.records().len(), 1);
+        // Response is at least one reconfiguration plus the critical path.
+        let record = &report.records()[0];
+        prop_assert!(
+            record.response_time() >= SimDuration::from_millis(80)
+        );
+    }
+
+    #[test]
+    fn single_slot_latency_scales_linearly_in_batch(graph in arb_dag(), batch in 1u32..20) {
+        let app = AppSpec::new("x", graph);
+        let r = SimDuration::from_millis(80);
+        let base = app.single_slot_latency(0, r);
+        let at_batch = app.single_slot_latency(batch, r);
+        let per_item = app.graph().total_latency();
+        prop_assert_eq!(at_batch - base, per_item.saturating_mul(u64::from(batch)));
+    }
+}
+
+// The ILP solver agrees with brute force on random 0/1 knapsacks.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ilp_matches_bruteforce_knapsack(
+        items in vec((1u32..40, 1u32..100), 1..10),
+        capacity in 10u32..120,
+    ) {
+        use nimblock::ilp::{Problem, Relation, Sense};
+
+        let mut problem = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = items
+            .iter()
+            .map(|&(_, value)| problem.add_integer_var(0.0, 1.0, f64::from(value)))
+            .collect();
+        let weights: Vec<_> = vars
+            .iter()
+            .zip(&items)
+            .map(|(&v, &(w, _))| (v, f64::from(w)))
+            .collect();
+        problem.add_constraint(&weights, Relation::LessEq, f64::from(capacity));
+        let solution = problem.solve().expect("knapsack is feasible (empty set)");
+
+        // Brute force over all subsets.
+        let mut best = 0u32;
+        for mask in 0u32..(1 << items.len()) {
+            let (mut weight, mut value) = (0u32, 0u32);
+            for (i, &(w, v)) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    weight += w;
+                    value += v;
+                }
+            }
+            if weight <= capacity {
+                best = best.max(value);
+            }
+        }
+        prop_assert!((solution.objective() - f64::from(best)).abs() < 1e-6,
+            "ILP {} vs brute force {best}", solution.objective());
+    }
+}

@@ -1,0 +1,79 @@
+//! Verifies the latency calibration of DESIGN.md §6: under the no-sharing
+//! baseline at batch size 5, each benchmark's execution time reproduces
+//! Table 3 of the paper.
+
+use nimblock::app::{benchmarks, Priority};
+use nimblock::core::{NoSharingScheduler, Testbed};
+use nimblock::sim::SimTime;
+use nimblock::workload::{ArrivalEvent, EventSequence};
+
+/// (benchmark, Table 3 baseline execution time in seconds)
+const TABLE3_EXEC: [(&str, f64); 6] = [
+    ("LeNet", 0.73),
+    ("AlexNet", 65.44),
+    ("ImageCompression", 0.56),
+    ("OpticalFlow", 22.91),
+    ("3DRendering", 1.55),
+    ("DigitRecognition", 984.23),
+];
+
+#[test]
+fn baseline_execution_times_match_table3() {
+    for (name, expected) in TABLE3_EXEC {
+        let app = benchmarks::by_name(name).expect("benchmark exists");
+        let events = EventSequence::new(vec![ArrivalEvent::new(
+            app,
+            5,
+            Priority::Medium,
+            SimTime::ZERO,
+        )]);
+        let report = Testbed::new(NoSharingScheduler::new()).run(&events);
+        let exec = report.records()[0].execution_time().as_secs_f64();
+        let error = (exec - expected).abs() / expected;
+        assert!(
+            error < 0.15,
+            "{name}: simulated execution {exec:.3}s vs Table 3 {expected}s ({:.1}% off)",
+            error * 100.0
+        );
+    }
+}
+
+#[test]
+fn response_time_exceeds_execution_time_by_initial_reconfig() {
+    // An uncontended application's response = wait (first reconfiguration)
+    // + execution.
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        benchmarks::lenet(),
+        5,
+        Priority::Low,
+        SimTime::ZERO,
+    )]);
+    let report = Testbed::new(NoSharingScheduler::new()).run(&events);
+    let record = &report.records()[0];
+    assert_eq!(record.wait_time().as_millis(), 80);
+    assert_eq!(
+        record.response_time(),
+        record.wait_time() + record.execution_time()
+    );
+}
+
+#[test]
+fn single_slot_latency_bounds_every_schedule_from_below_at_batch_one_chain() {
+    // For a chain at batch 1 nothing can pipeline, so no scheduler beats
+    // the single-slot latency minus reconfiguration overlap headroom.
+    let app = benchmarks::optical_flow();
+    let compute = app.graph().total_latency();
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        app,
+        1,
+        Priority::High,
+        SimTime::ZERO,
+    )]);
+    let report = Testbed::new(Box::new(nimblock::core::NimblockScheduler::default())
+        as Box<dyn nimblock::core::Scheduler>)
+    .run(&events);
+    assert!(
+        report.records()[0].response_time() >= compute,
+        "response cannot beat pure compute"
+    );
+}
