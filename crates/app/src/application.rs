@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::{impl_json_enum_units, impl_json_struct};
 
 use nimblock_sim::SimDuration;
 
@@ -23,9 +23,7 @@ use crate::TaskGraph;
 /// assert_eq!(Priority::High.weight(), 9);
 /// assert!(Priority::Low < Priority::High);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Weight 1.
     #[default]
@@ -35,6 +33,8 @@ pub enum Priority {
     /// Weight 9.
     High,
 }
+
+impl_json_enum_units!(Priority { Low, Medium, High });
 
 impl Priority {
     /// All levels, in increasing order.
@@ -94,12 +94,14 @@ impl fmt::Display for Priority {
 /// let single_slot = lenet.single_slot_latency(5, SimDuration::from_millis(80));
 /// assert!(single_slot > lenet.graph().total_latency());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     name: String,
     graph: Arc<TaskGraph>,
     bitstream_bytes: u64,
 }
+
+impl_json_struct!(AppSpec { name, graph, bitstream_bytes });
 
 impl AppSpec {
     /// Creates an application from its name and task graph, with the

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_sim::SimDuration;
 
@@ -206,7 +206,7 @@ impl TaskGraphBuilder {
 /// task, paper Algorithm 2), per-task levels and widths (parallelism
 /// available to slot allocation), and latency aggregates (token
 /// accumulation, deadlines).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGraph {
     tasks: Vec<TaskSpec>,
     edges: Vec<(TaskId, TaskId)>,
@@ -215,6 +215,8 @@ pub struct TaskGraph {
     topo: Vec<TaskId>,
     levels: Vec<u32>,
 }
+
+impl_json_struct!(TaskGraph { tasks, edges, preds, succs, topo, levels });
 
 impl TaskGraph {
     fn from_parts(

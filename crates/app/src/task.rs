@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::{impl_json_newtype, impl_json_struct};
 
 use nimblock_fpga::Resources;
 use nimblock_sim::SimDuration;
@@ -11,10 +11,10 @@ use nimblock_sim::SimDuration;
 ///
 /// Task identifiers are dense indices assigned by the graph builder in
 /// insertion order; they are meaningless across graphs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(u32);
+
+impl_json_newtype!(TaskId);
 
 impl TaskId {
     /// Creates a task identifier from its index in the graph.
@@ -52,13 +52,15 @@ impl fmt::Display for TaskId {
 /// assert_eq!(task.name(), "conv1");
 /// assert_eq!(task.latency().as_millis(), 48);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     name: String,
     latency: SimDuration,
     resources: Resources,
     output_bytes: u64,
 }
+
+impl_json_struct!(TaskSpec { name, latency, resources, output_bytes });
 
 /// Default modelled size of a task's output buffer (1 MiB).
 pub(crate) const DEFAULT_OUTPUT_BYTES: u64 = 1 << 20;

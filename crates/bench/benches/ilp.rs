@@ -1,10 +1,15 @@
 //! Micro-benchmarks of the ILP solver and the saturation analysis — the
 //! paper keeps this work off the scheduling critical path; these numbers
 //! show why that is the right call and how cheap the estimator is.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Run with `cargo bench --bench ilp` (add `--quick` for a smoke pass).
+//! Results land in `results/micro/ilp_solve.json`,
+//! `results/micro/estimator_makespan.json`,
+//! `results/micro/saturation_analyze.json`, and
+//! `results/micro/ilp_slot_split.json`.
 
 use nimblock_app::benchmarks;
+use nimblock_bench::micro::Runner;
 use nimblock_ilp::{saturation, EstimatorConfig, PipelineEstimator, Problem, Relation, Sense};
 use nimblock_sim::SimDuration;
 
@@ -22,43 +27,38 @@ fn knapsack(n: usize) -> Problem {
     p
 }
 
-fn ilp_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ilp_solve");
+fn ilp_solver() {
+    let mut runner = Runner::new("ilp_solve");
     for n in [8usize, 16, 24] {
         let problem = knapsack(n);
-        group.bench_function(format!("knapsack_{n}"), |b| {
-            b.iter(|| problem.solve().unwrap());
-        });
+        runner.bench(&format!("knapsack_{n}"), || problem.solve().unwrap());
     }
-    group.finish();
+    runner.finish();
 }
 
-fn estimator_makespan(c: &mut Criterion) {
+fn estimator_makespan() {
     let estimator = PipelineEstimator::new(EstimatorConfig {
         reconfig: SimDuration::from_millis(80),
         pipelining: true,
     });
-    let mut group = c.benchmark_group("estimator_makespan");
+    let mut runner = Runner::new("estimator_makespan");
     for app in benchmarks::all() {
-        group.bench_function(app.name(), |b| {
-            b.iter(|| estimator.makespan(app.graph(), 20, 10));
-        });
+        runner.bench(app.name(), || estimator.makespan(app.graph(), 20, 10));
     }
-    group.finish();
+    runner.finish();
 }
 
-fn saturation_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("saturation_analyze");
-    group.sample_size(20);
+fn saturation_sweep() {
+    let mut runner = Runner::new("saturation_analyze");
     for app in [benchmarks::lenet(), benchmarks::alexnet()] {
-        group.bench_function(app.name().to_owned(), |b| {
-            b.iter(|| saturation::analyze(&app, 20, 10, SimDuration::from_millis(80)));
+        runner.bench(app.name(), || {
+            saturation::analyze(&app, 20, 10, SimDuration::from_millis(80))
         });
     }
-    group.finish();
+    runner.finish();
 }
 
-fn optimal_split(c: &mut Criterion) {
+fn optimal_split() {
     // The exact ILP the rule-based allocator avoids at runtime.
     let curves: Vec<Vec<SimDuration>> = benchmarks::all()
         .iter()
@@ -68,19 +68,16 @@ fn optimal_split(c: &mut Criterion) {
                 .to_vec()
         })
         .collect();
-    let mut group = c.benchmark_group("ilp_slot_split");
-    group.sample_size(10);
-    group.bench_function("six_apps_ten_slots", |b| {
-        b.iter(|| saturation::optimal_slot_split(&curves, 10).unwrap());
+    let mut runner = Runner::new("ilp_slot_split");
+    runner.bench("six_apps_ten_slots", || {
+        saturation::optimal_slot_split(&curves, 10).unwrap()
     });
-    group.finish();
+    runner.finish();
 }
 
-criterion_group!(
-    benches,
-    ilp_solver,
-    estimator_makespan,
-    saturation_sweep,
-    optimal_split
-);
-criterion_main!(benches);
+fn main() {
+    ilp_solver();
+    estimator_makespan();
+    saturation_sweep();
+    optimal_split();
+}

@@ -3,16 +3,18 @@
 //! the "scheduler overhead" measure — the paper argues Nimblock must stay
 //! cheap enough to run on the embedded ARM core without an ILP solver on
 //! the critical path.
+//!
+//! Run with `cargo bench --bench schedulers` (add `--quick` for a smoke
+//! pass). Results land in `results/micro/testbed_run.json` and
+//! `results/micro/admission.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use nimblock_bench::micro::Runner;
 use nimblock_bench::Policy;
 use nimblock_workload::{generate, Scenario};
 
-fn policy_run_time(c: &mut Criterion) {
+fn policy_run_time() {
     let events = generate(1, 10, Scenario::Stress);
-    let mut group = c.benchmark_group("testbed_run");
-    group.sample_size(10);
+    let mut runner = Runner::new("testbed_run");
     for policy in [
         Policy::NoSharing,
         Policy::Fcfs,
@@ -21,32 +23,29 @@ fn policy_run_time(c: &mut Criterion) {
         Policy::Nimblock,
         Policy::NimblockNoPipe,
     ] {
-        group.bench_function(policy.name(), |b| {
-            b.iter(|| policy.run(&events));
-        });
+        runner.bench(policy.name(), || policy.run(&events));
     }
-    group.finish();
+    runner.finish();
 }
 
-fn nimblock_admission_cost(c: &mut Criterion) {
+fn nimblock_admission_cost() {
     // Admission runs the goal-number saturation analysis (cached per
     // benchmark/batch); measure a cold single-app run to capture it.
-    let mut group = c.benchmark_group("admission");
-    group.sample_size(10);
-    group.bench_function("single_alexnet_batch20", |b| {
-        use nimblock_app::{benchmarks, Priority};
-        use nimblock_sim::SimTime;
-        use nimblock_workload::{ArrivalEvent, EventSequence};
-        let events = EventSequence::new(vec![ArrivalEvent::new(
-            benchmarks::alexnet(),
-            20,
-            Priority::High,
-            SimTime::ZERO,
-        )]);
-        b.iter(|| Policy::Nimblock.run(&events));
-    });
-    group.finish();
+    use nimblock_app::{benchmarks, Priority};
+    use nimblock_sim::SimTime;
+    use nimblock_workload::{ArrivalEvent, EventSequence};
+    let events = EventSequence::new(vec![ArrivalEvent::new(
+        benchmarks::alexnet(),
+        20,
+        Priority::High,
+        SimTime::ZERO,
+    )]);
+    let mut runner = Runner::new("admission");
+    runner.bench("single_alexnet_batch20", || Policy::Nimblock.run(&events));
+    runner.finish();
 }
 
-criterion_group!(benches, policy_run_time, nimblock_admission_cost);
-criterion_main!(benches);
+fn main() {
+    policy_run_time();
+    nimblock_admission_cost();
+}

@@ -1,31 +1,28 @@
 //! Micro-benchmarks of the discrete-event engine: the hypervisor's
 //! scheduling overhead rides on this substrate, so its throughput bounds
 //! how fast whole experiments run.
+//!
+//! Run with `cargo bench --bench simulator` (add `--quick` for a smoke
+//! pass). Results land in `results/micro/event_queue.json` and
+//! `results/micro/simulation.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use nimblock_bench::micro::Runner;
 use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
 
-fn event_queue_push_pop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
+fn event_queue_push_pop() {
+    let mut runner = Runner::new("event_queue");
     for &n in &[1_000u64, 10_000] {
-        group.throughput(Throughput::Elements(n));
-        group.bench_function(format!("push_pop_{n}"), |b| {
-            b.iter_batched(
-                EventQueue::<u64>::new,
-                |mut queue| {
-                    // Reverse-ordered pushes are the worst case for a heap.
-                    for i in (0..n).rev() {
-                        queue.push(SimTime::from_micros(i), i);
-                    }
-                    while queue.pop().is_some() {}
-                    queue
-                },
-                BatchSize::SmallInput,
-            );
+        runner.bench_elements(&format!("push_pop_{n}"), n, || {
+            let mut queue = EventQueue::<u64>::new();
+            // Reverse-ordered pushes are the worst case for a heap.
+            for i in (0..n).rev() {
+                queue.push(SimTime::from_micros(i), i);
+            }
+            while queue.pop().is_some() {}
+            queue
         });
     }
-    group.finish();
+    runner.finish();
 }
 
 struct ChainHandler {
@@ -41,20 +38,19 @@ impl Handler<u64> for ChainHandler {
     }
 }
 
-fn simulation_event_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
+fn simulation_event_rate() {
+    let mut runner = Runner::new("simulation");
     let n = 100_000u64;
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("chained_events_100k", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(ChainHandler { remaining: n });
-            sim.queue_mut().push(SimTime::ZERO, 0);
-            sim.run();
-            sim.steps()
-        });
+    runner.bench_elements("chained_events_100k", n, || {
+        let mut sim = Simulation::new(ChainHandler { remaining: n });
+        sim.queue_mut().push(SimTime::ZERO, 0);
+        sim.run();
+        sim.steps()
     });
-    group.finish();
+    runner.finish();
 }
 
-criterion_group!(benches, event_queue_push_pop, simulation_event_rate);
-criterion_main!(benches);
+fn main() {
+    event_queue_push_pop();
+    simulation_event_rate();
+}

@@ -13,7 +13,7 @@
 //! Each section reports Nimblock's mean response time on a fixed stress
 //! stimulus; lower is better.
 
-use nimblock_bench::{sequences_from_args, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_core::{NimblockConfig, NimblockScheduler, Testbed};
 use nimblock_fpga::DeviceConfig;
 use nimblock_metrics::{fmt3, TextTable};
@@ -34,6 +34,7 @@ fn main() {
     println!(
         "Design-choice ablations on the stress test ({sequences} sequences x {EVENTS_PER_SEQUENCE} events); Nimblock mean response time (s)\n"
     );
+    let mut writer = ResultWriter::new("ablations", BASE_SEED, sequences);
 
     // 1. Scheduling interval. The hypervisor also reacts to events, so the
     //    tick mainly bounds how stale token counts can get.
@@ -48,6 +49,7 @@ fn main() {
         }
         println!("1. Scheduling interval (400 ms on the evaluated system):");
         print!("{table}");
+        writer.table("scheduling-interval sweep", &table);
     }
 
     // 2. Reconfiguration latency sensitivity: sweep the CAP bandwidth so a
@@ -67,6 +69,7 @@ fn main() {
         }
         println!("\n2. Reconfiguration-latency sensitivity:");
         print!("{table}");
+        writer.table("reconfiguration-latency sensitivity", &table);
     }
 
     // 3. Data movement: per-item overhead of through-PS transfers versus an
@@ -88,6 +91,7 @@ fn main() {
         }
         println!("\n3. Data-movement model (paper §7: a NoC would optimize inter-slot transfers):");
         print!("{table}");
+        writer.table("data-movement model sweep", &table);
     }
 
     // 4. Token scale factor alpha.
@@ -104,6 +108,7 @@ fn main() {
         }
         println!("\n4. Token-accumulation scale factor:");
         print!("{table}");
+        writer.table("token scale factor alpha sweep", &table);
     }
 
     // 5. Goal-number knee threshold.
@@ -120,5 +125,9 @@ fn main() {
         }
         println!("\n5. Goal-number knee threshold (higher => smaller goal numbers):");
         print!("{table}");
+        writer.table("goal-number knee threshold sweep", &table);
     }
+    writer
+        .note("Nimblock mean response time (s) on the stress test; lower is better")
+        .write();
 }

@@ -7,7 +7,7 @@
 //! neither. The paper's argument is that dynamic allocation competes
 //! without the oracle — this experiment measures by how much.
 
-use nimblock_bench::{sequences_from_args, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_core::{DmlStaticScheduler, NimblockScheduler, Testbed};
 use nimblock_metrics::{fmt3, harmonic_speedup, TextTable};
 use nimblock_sim::SimDuration;
@@ -50,4 +50,8 @@ fn main() {
     println!(
         "\nExpected: Nimblock matches or beats the static plan (>= ~1x) because static\nallocations cannot adapt when arrivals overlap unpredictably, and the planner\ncannot preempt; the oracle's only edge is avoiding reallocation churn."
     );
+    ResultWriter::new("dml_compare", BASE_SEED, sequences)
+        .table("Nimblock (no prior knowledge) vs DML-style static ILP planner", &table)
+        .note("the static planner sees the full stimulus in advance; Nimblock does not")
+        .write();
 }

@@ -2,7 +2,7 @@
 //! per-function latency when the six benchmarks are deployed as functions
 //! with Zipf-like popularity, compared across schedulers.
 
-use nimblock_bench::sequences_from_args;
+use nimblock_bench::{sequences_from_args, ResultWriter};
 use nimblock_core::{FcfsScheduler, NimblockScheduler, PremaScheduler, RoundRobinScheduler, Scheduler};
 use nimblock_faas::{FaasGateway, FaasSummary, FunctionRegistry, InvocationWorkload};
 use nimblock_metrics::{fmt3, TextTable};
@@ -14,8 +14,9 @@ fn run(gateway: &FaasGateway, workload: &InvocationWorkload, scheduler: impl Sch
 fn main() {
     let quick = sequences_from_args() < 10;
     let invocations = if quick { 40 } else { 120 };
+    const SEED: u64 = 2023;
     let gateway = FaasGateway::new(FunctionRegistry::benchmark_suite());
-    let workload = InvocationWorkload::new(2023)
+    let workload = InvocationWorkload::new(SEED)
         .invocations(invocations)
         .mean_gap_millis(150)
         .max_items(8);
@@ -77,4 +78,9 @@ fn main() {
     println!(
         "\nExpected: the priority-aware schedulers (Nimblock, PREMA) hold latency-class\nSLOs under load where FCFS/RR let hot short functions queue behind batch work."
     );
+    ResultWriter::new("faas", SEED, invocations)
+        .table("SLO attainment and latency per scheduler", &table)
+        .note("invocation count recorded in the sequences field")
+        .table("per-function detail under Nimblock", &detail)
+        .write();
 }

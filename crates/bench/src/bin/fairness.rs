@@ -6,7 +6,7 @@
 //! application; pure shortest-job-first maximizes mean performance by
 //! starving the long tail. This bench quantifies that trade.
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_core::{SjfScheduler, Testbed};
 use nimblock_metrics::{fmt3, slowdown_fairness, slowdowns, Report, Summary};
 use nimblock_sim::SimDuration;
@@ -65,4 +65,8 @@ fn main() {
     println!(
         "\nReading the table: slowdown normalizes waits by isolated latency, so SJF looks\nexcellent here — long applications absorb its delays invisibly in this unit\n(their isolated latencies are huge). The contrasts that matter: Nimblock posts\nFCFS-level fairness with the lowest preemption-enabled mean slowdown; RR\'s\nper-slot head-of-line blocking craters both; the baseline is uniformly slow\n(fair in misery, Jain over slowdowns still low because queue position skews)."
     );
+    ResultWriter::new("fairness", BASE_SEED, sequences)
+        .table("Jain's index over per-application slowdowns (stress test)", &table)
+        .note("slowdown = response time / isolated single-slot latency")
+        .write();
 }

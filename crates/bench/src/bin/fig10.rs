@@ -4,7 +4,7 @@
 //! Uses the Figure 9 stimulus (stress delays, fixed batch sizes) and
 //! reports the mean response time of the AlexNet events only.
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_metrics::{fmt3, Report, TextTable};
 use nimblock_sim::SimDuration;
 use nimblock_workload::fixed_batch_sequence;
@@ -57,4 +57,8 @@ fn main() {
     println!(
         "\nPaper: removing pipelining hurts AlexNet the most; NimblockNoPipe and\nNimblockNoPreemptNoPipe overlap; at batch 1 all variants coincide; response time\ngrows sublinearly in batch size thanks to multi-slot parallelism."
     );
+    ResultWriter::new("fig10", BASE_SEED, sequences)
+        .table("AlexNet mean response time (s) vs batch size under the ablations", &table)
+        .note("stress delays, fixed batch sizes")
+        .write();
 }

@@ -4,7 +4,7 @@
 //! Throughput is batch items retired per second of response time,
 //! averaged over the AlexNet events of the Figure 9 stimulus.
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_metrics::{fmt3, Report, TextTable};
 use nimblock_sim::SimDuration;
 use nimblock_workload::fixed_batch_sequence;
@@ -57,4 +57,8 @@ fn main() {
     println!(
         "\nPaper: the pipelining variants (Nimblock, NimblockNoPreempt) sustain the highest\nAlexNet throughput; gains flatten past batch ~5 — even small batches use the\navailable resources well."
     );
+    ResultWriter::new("fig11", BASE_SEED, sequences)
+        .table("AlexNet throughput (items/s) vs batch size under the ablations", &table)
+        .note("stress delays, fixed batch sizes")
+        .write();
 }

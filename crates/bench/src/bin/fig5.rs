@@ -6,7 +6,7 @@
 //! (see `nimblock_metrics::harmonic_speedup` for why), alongside the
 //! ratio of mean response times for reference.
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_metrics::{fmt3, harmonic_speedup, TextTable};
 use nimblock_workload::{generate_suite, Scenario};
 
@@ -65,4 +65,8 @@ fn main() {
         "\nPaper: standard Nimblock 4.7x (1.4x over PREMA); stress Nimblock 5.7x, PREMA 4.8x,\nRR 3.7x, FCFS 4.3x; real-time Nimblock 3.1x, PREMA 2.4x, RR/FCFS slightly below baseline."
     );
     println!("Expected shape: Nimblock best in every scenario; PREMA and FCFS next; RR behind.");
+    ResultWriter::new("fig5", BASE_SEED, sequences)
+        .table("relative response-time reduction vs no-sharing baseline", &table)
+        .note("paper: standard Nimblock 4.7x; stress Nimblock 5.7x; real-time Nimblock 3.1x")
+        .write();
 }

@@ -5,7 +5,10 @@
 //! distribution per scheduler; the tail reduction at percentile `p` is
 //! `p-th percentile of baseline / p-th percentile of the scheduler`.
 
-use nimblock_bench::{pooled_response_secs, sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{
+    pooled_response_secs, sequences_from_args, Policy, ResultWriter, BASE_SEED,
+    EVENTS_PER_SEQUENCE,
+};
 use nimblock_metrics::{fmt3, percentile, TextTable};
 use nimblock_workload::{generate_suite, Scenario};
 
@@ -41,4 +44,8 @@ fn main() {
     println!(
         "\nPaper: Nimblock best at the 95th percentile in every scenario; lowest 99th\npercentile under real-time (4.8x/6.6x better than RR/FCFS, 1.2x better than PREMA);\nin the stress test at p99, FCFS/PREMA edge out Nimblock/RR by ~1.1x."
     );
+    ResultWriter::new("fig6", BASE_SEED, sequences)
+        .table("tail response-time reduction vs baseline (p95/p99)", &table)
+        .note("paper: Nimblock best at p95 in every scenario")
+        .write();
 }

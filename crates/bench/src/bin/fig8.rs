@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_metrics::TextTable;
 use nimblock_workload::{generate_suite, Scenario};
 
@@ -48,4 +48,8 @@ fn main() {
     println!(
         "\nExpected shape (paper Figure 8): PR time is a large share for short benchmarks\n(LeNet, ImageCompression, 3DRendering) and negligible for DigitRecognition;\nlong-running benchmarks are dominated by run time; wait time varies with queueing."
     );
+    ResultWriter::new("fig8", BASE_SEED, sequences)
+        .table("run / PR / wait shares of total application time under Nimblock", &table)
+        .note("standard scenario; shares normalized by run+PR+wait")
+        .write();
 }

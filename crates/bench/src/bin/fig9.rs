@@ -7,7 +7,7 @@
 //! per-event response times are normalized to full Nimblock's and averaged
 //! (>1 means the variant is slower).
 
-use nimblock_bench::{sequences_from_args, Policy, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, Policy, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_metrics::{fmt3, Report};
 use nimblock_metrics::TextTable;
 use nimblock_sim::SimDuration;
@@ -73,4 +73,8 @@ fn main() {
     println!(
         "\nPaper: NoPreempt runs 1.07-1.14x worse across batch sizes; NoPipe ~1.2x worse;\nNoPreemptNoPipe overlaps NoPipe (without pipelining nobody monopolizes slots, so\npreemption has little left to reclaim)."
     );
+    ResultWriter::new("fig9", BASE_SEED, sequences)
+        .table("ablation: mean per-event response time normalized to full Nimblock", &table)
+        .note("stress delays, fixed batch sizes")
+        .write();
 }

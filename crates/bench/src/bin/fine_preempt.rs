@@ -4,7 +4,7 @@
 //! Sweeps the checkpoint-save cost and reports high-priority deadline
 //! violations and mean high-priority response time on a stress stimulus.
 
-use nimblock_bench::{sequences_from_args, BASE_SEED, EVENTS_PER_SEQUENCE};
+use nimblock_bench::{sequences_from_args, ResultWriter, BASE_SEED, EVENTS_PER_SEQUENCE};
 use nimblock_app::Priority;
 use nimblock_core::{NimblockConfig, NimblockScheduler, Testbed};
 use nimblock_metrics::{fmt3, violation_rate, Report, TextTable};
@@ -102,4 +102,8 @@ fn main() {
     println!(
         "\nExpected: fine-grained preemption lowers high-priority response times and tight-\ndeadline violations further than batch-preemption (the paper's motivation for the\nfuture-work overlay), with diminishing benefit as the checkpoint cost grows."
     );
+    ResultWriter::new("fine_preempt", BASE_SEED, sequences)
+        .table("fine-grained preemption vs batch-preemption (stress test)", &table)
+        .note("sweeps the checkpoint-save cost of a checkpoint-capable overlay")
+        .write();
 }

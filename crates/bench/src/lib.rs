@@ -5,6 +5,11 @@
 //! measured results). This library holds what they share: the policy
 //! roster, the standard stimulus parameters, and result aggregation.
 
+pub mod micro;
+pub mod results;
+
+pub use results::ResultWriter;
+
 use nimblock_core::{
     FcfsScheduler, NimblockConfig, NimblockScheduler, NoSharingScheduler, PremaScheduler,
     RoundRobinScheduler, Scheduler, Testbed,

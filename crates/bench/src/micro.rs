@@ -1,0 +1,284 @@
+//! Minimal micro-benchmark runner replacing `criterion` for the offline
+//! build.
+//!
+//! The protocol per benchmark:
+//!
+//! 1. **Calibrate**: double the batch size until one batch takes at least
+//!    [`MIN_BATCH_NANOS`], so timer resolution never dominates.
+//! 2. **Warm up**: run (and discard) a few calibrated batches to populate
+//!    caches and branch predictors.
+//! 3. **Sample**: time [`SAMPLES`] batches and report the **median** (plus
+//!    mean/min/max) per-iteration nanoseconds — the median is robust to the
+//!    scheduling noise a shared CI machine injects.
+//!
+//! [`Runner::finish`] prints a text table and writes
+//! `results/micro/<group>.json` (see DESIGN.md §7 for the schema), so runs
+//! are diffable and machine-readable without any plotting dependency.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use nimblock_metrics::TextTable;
+use nimblock_ser::{impl_json_struct, to_string_pretty};
+
+/// Samples taken per benchmark; the median of these is reported.
+pub const SAMPLES: usize = 15;
+
+/// Minimum wall time per measured batch, in nanoseconds (2 ms).
+pub const MIN_BATCH_NANOS: u128 = 2_000_000;
+
+/// Warmup batches run (and discarded) before sampling.
+pub const WARMUP_BATCHES: usize = 3;
+
+/// One benchmark's aggregated timing, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Median per-iteration time across samples.
+    pub median_ns: f64,
+    /// Mean per-iteration time across samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Elements processed per iteration (0 when not a throughput bench);
+    /// lets consumers derive elements/second.
+    pub elements: u64,
+}
+
+impl_json_struct!(BenchResult {
+    name,
+    iters_per_sample,
+    samples,
+    median_ns,
+    mean_ns,
+    min_ns,
+    max_ns,
+    elements,
+});
+
+/// The JSON document written per group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupReport {
+    /// Group name (one file per group).
+    pub group: String,
+    /// Protocol constants, recorded so old files stay interpretable.
+    pub samples_per_bench: u32,
+    /// Minimum batch time the calibration targets, in nanoseconds.
+    pub min_batch_nanos: u64,
+    /// The results, in registration order.
+    pub results: Vec<BenchResult>,
+}
+
+impl_json_struct!(GroupReport {
+    group,
+    samples_per_bench,
+    min_batch_nanos,
+    results,
+});
+
+/// A named group of micro-benchmarks (the criterion `benchmark_group`
+/// analogue).
+pub struct Runner {
+    group: String,
+    results: Vec<BenchResult>,
+    quick: bool,
+}
+
+impl Runner {
+    /// Creates a runner for `group`. Passing `--quick` on the command line
+    /// cuts sampling to 3 samples for smoke tests.
+    pub fn new(group: &str) -> Self {
+        Runner {
+            group: group.to_owned(),
+            results: Vec::new(),
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+
+    fn samples(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            SAMPLES
+        }
+    }
+
+    /// Benchmarks `f`, reporting per-iteration time.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &mut Self {
+        self.bench_elements(name, 0, f)
+    }
+
+    /// Benchmarks `f` which processes `elements` items per call, so the
+    /// JSON consumer can derive throughput.
+    pub fn bench_elements<R>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        mut f: impl FnMut() -> R,
+    ) -> &mut Self {
+        // Calibrate: find an iteration count whose batch is long enough to
+        // be timed reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= MIN_BATCH_NANOS || iters >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the target when we have signal, else double.
+            iters = if elapsed == 0 {
+                iters * 2
+            } else {
+                (iters * 2).max((iters as u128 * MIN_BATCH_NANOS / elapsed) as u64)
+            };
+        }
+
+        for _ in 0..WARMUP_BATCHES {
+            for _ in 0..iters {
+                black_box(f());
+            }
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples())
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+        self.results.push(BenchResult {
+            name: name.to_owned(),
+            iters_per_sample: iters,
+            samples: per_iter.len() as u32,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            elements,
+        });
+        self
+    }
+
+    /// Prints the group's table and writes `results/micro/<group>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written — a
+    /// benchmark run that cannot record its output should fail loudly.
+    pub fn finish(self) {
+        let mut table = TextTable::new(vec![
+            "benchmark",
+            "median",
+            "mean",
+            "min",
+            "max",
+            "throughput",
+        ]);
+        for r in &self.results {
+            let throughput = if r.elements > 0 && r.median_ns > 0.0 {
+                format!("{:.1} Melem/s", r.elements as f64 / r.median_ns * 1e3)
+            } else {
+                "-".to_owned()
+            };
+            table.row(vec![
+                r.name.clone(),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                throughput,
+            ]);
+        }
+        println!("group: {}\n{table}", self.group);
+
+        let report = GroupReport {
+            group: self.group.clone(),
+            samples_per_bench: self.samples() as u32,
+            min_batch_nanos: MIN_BATCH_NANOS as u64,
+            results: self.results,
+        };
+        let dir = workspace_root().join("results").join("micro");
+        std::fs::create_dir_all(&dir).expect("cannot create results/micro");
+        let path = dir.join(format!("{}.json", report.group));
+        std::fs::write(&path, to_string_pretty(&report))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {}\n", path.display());
+    }
+}
+
+/// Returns the workspace root: cargo runs bench binaries with the package
+/// directory as CWD, so ascend from the crate's manifest directory to the
+/// first ancestor holding a `Cargo.lock` (falling back to the manifest
+/// directory itself).
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// Formats a nanosecond quantity with a human-friendly unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_result_roundtrips_as_json() {
+        let report = GroupReport {
+            group: "g".into(),
+            samples_per_bench: 15,
+            min_batch_nanos: 2_000_000,
+            results: vec![BenchResult {
+                name: "b".into(),
+                iters_per_sample: 128,
+                samples: 15,
+                median_ns: 12.5,
+                mean_ns: 13.0,
+                min_ns: 11.0,
+                max_ns: 20.0,
+                elements: 1_000,
+            }],
+        };
+        let json = nimblock_ser::to_string(&report);
+        let back: GroupReport = nimblock_ser::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(5.0), "5.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000 s");
+    }
+}

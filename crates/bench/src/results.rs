@@ -1,0 +1,132 @@
+//! Machine-readable result emission for the figure/table binaries.
+//!
+//! Every experiment binary prints its human-readable tables to stdout *and*
+//! records the same data as `results/<experiment>.json` via
+//! [`ResultWriter`]. The JSON always carries the stimulus **seed**, so any
+//! figure can be regenerated bit-for-bit from its result file alone:
+//!
+//! ```json
+//! {
+//!   "experiment": "fig5",
+//!   "seed": 2023,
+//!   "sequences": 10,
+//!   "notes": ["..."],
+//!   "tables": [{"title": "...", "headers": [...], "rows": [[...]]}]
+//! }
+//! ```
+
+use std::path::PathBuf;
+
+use nimblock_metrics::TextTable;
+use nimblock_ser::{to_string_pretty, Json, ToJson};
+
+/// Collects an experiment's tables and writes `results/<experiment>.json`.
+pub struct ResultWriter {
+    experiment: String,
+    seed: u64,
+    sequences: usize,
+    notes: Vec<String>,
+    tables: Vec<(String, Json)>,
+}
+
+impl ResultWriter {
+    /// Creates a writer for `experiment` whose stimulus derives from
+    /// `seed` (recorded in the output) over `sequences` sequences.
+    pub fn new(experiment: &str, seed: u64, sequences: usize) -> Self {
+        ResultWriter {
+            experiment: experiment.to_owned(),
+            seed,
+            sequences,
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Records a table under `title` (headers and rows are copied from the
+    /// same [`TextTable`] the binary prints).
+    pub fn table(&mut self, title: &str, table: &TextTable) -> &mut Self {
+        let json = Json::Object(vec![
+            ("title".to_owned(), title.to_json()),
+            ("headers".to_owned(), table.headers().to_json()),
+            ("rows".to_owned(), table.rows().to_json()),
+        ]);
+        self.tables.push((title.to_owned(), json));
+        self
+    }
+
+    /// Records a free-form note (the paper-comparison commentary the
+    /// binaries print after their tables).
+    pub fn note(&mut self, note: &str) -> &mut Self {
+        self.notes.push(note.to_owned());
+        self
+    }
+
+    /// Writes `results/<experiment>.json` and returns the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written — an
+    /// experiment that cannot record its output should fail loudly.
+    pub fn write(&self) -> PathBuf {
+        self.write_to(std::path::Path::new("results"))
+    }
+
+    /// Writes `<dir>/<experiment>.json` and returns the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` cannot be created or the file cannot be written.
+    pub fn write_to(&self, dir: &std::path::Path) -> PathBuf {
+        let document = Json::Object(vec![
+            ("experiment".to_owned(), self.experiment.to_json()),
+            ("seed".to_owned(), self.seed.to_json()),
+            ("sequences".to_owned(), (self.sequences as u64).to_json()),
+            ("notes".to_owned(), self.notes.to_json()),
+            (
+                "tables".to_owned(),
+                Json::Array(self.tables.iter().map(|(_, t)| t.clone()).collect()),
+            ),
+        ]);
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        let path = dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, to_string_pretty(&document))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("\nwrote {}", path.display());
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn written_document_contains_seed_and_tables() {
+        let dir = std::env::temp_dir().join("nimblock-bench-results-test");
+
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.row(vec!["1".into(), "2".into()]);
+        let mut writer = ResultWriter::new("unit_test_experiment", 2023, 10);
+        writer.table("demo", &table).note("a note");
+        let path = writer.write_to(&dir);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = nimblock_ser::parse(&text).unwrap();
+        assert_eq!(value.get("seed").and_then(Json::as_u64), Some(2023));
+        assert_eq!(
+            value
+                .get("experiment")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .as_deref(),
+            Some("unit_test_experiment")
+        );
+        let tables = value.get("tables").and_then(Json::as_array).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].get("headers").and_then(Json::as_array).unwrap().len(),
+            2
+        );
+    }
+}

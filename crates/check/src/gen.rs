@@ -1,0 +1,173 @@
+//! The recorded-tape case generator.
+
+use std::ops::RangeInclusive;
+
+use nimblock_prng::Prng;
+
+/// Source of raw 64-bit draws: fresh randomness or a recorded tape.
+enum Source {
+    /// Seeded randomness; every draw is appended to the tape.
+    Random(Prng),
+    /// Replay of a (possibly mutated) tape; draws past the end yield 0.
+    Tape(Vec<u64>),
+}
+
+/// A property-test input generator.
+///
+/// All sampling funnels through [`Gen::raw`], which records the underlying
+/// 64-bit draws so the runner can shrink a failing case by mutating the
+/// tape and replaying. Smaller raw values map to smaller sampled values in
+/// every method, which is what makes halving-based shrinking move toward
+/// minimal counterexamples.
+pub struct Gen {
+    source: Source,
+    cursor: usize,
+    tape: Vec<u64>,
+}
+
+impl Gen {
+    /// Creates a generator drawing fresh randomness from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            source: Source::Random(Prng::seed_from_u64(seed)),
+            cursor: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// Creates a generator replaying `tape` (zeros past the end).
+    pub fn from_tape(tape: Vec<u64>) -> Self {
+        Gen {
+            source: Source::Tape(tape),
+            cursor: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// Returns the tape of raw draws made so far.
+    pub(crate) fn recorded(&self) -> &[u64] {
+        &self.tape
+    }
+
+    /// Draws the next raw 64-bit value and records it.
+    fn raw(&mut self) -> u64 {
+        let value = match &mut self.source {
+            Source::Random(rng) => rng.next_u64(),
+            Source::Tape(tape) => tape.get(self.cursor).copied().unwrap_or(0),
+        };
+        self.cursor += 1;
+        self.tape.push(value);
+        value
+    }
+
+    /// Uniform `u64` in the inclusive range; raw 0 maps to the range start.
+    pub fn u64(&mut self, range: RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.raw();
+        }
+        lo + self.raw() % (span + 1)
+    }
+
+    /// Uniform `u32` in the inclusive range.
+    pub fn u32(&mut self, range: RangeInclusive<u32>) -> u32 {
+        self.u64(u64::from(*range.start())..=u64::from(*range.end())) as u32
+    }
+
+    /// Uniform `usize` in the inclusive range.
+    pub fn usize(&mut self, range: RangeInclusive<usize>) -> usize {
+        self.u64(*range.start() as u64..=*range.end() as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`; raw 0 maps to `lo`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let unit = (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let sample = lo + unit * (hi - lo);
+        if sample < hi {
+            sample
+        } else {
+            lo
+        }
+    }
+
+    /// A boolean; raw 0 maps to `false`.
+    pub fn bool(&mut self) -> bool {
+        self.raw() & 1 == 1
+    }
+
+    /// A reference to a uniformly chosen element; raw 0 picks the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.usize(0..=items.len() - 1)]
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements come
+    /// from `element`; shrinking the length draw shortens the vector.
+    pub fn vec<T>(
+        &mut self,
+        len: RangeInclusive<usize>,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_recorded_on_the_tape() {
+        let mut g = Gen::from_seed(1);
+        let _ = g.u64(0..=10);
+        let _ = g.bool();
+        assert_eq!(g.recorded().len(), 2);
+    }
+
+    #[test]
+    fn tape_replay_reproduces_values() {
+        let mut g = Gen::from_seed(9);
+        let a = (g.u64(0..=1_000), g.f64(0.0, 1.0), g.bool());
+        let tape = g.recorded().to_vec();
+        let mut replay = Gen::from_tape(tape);
+        let b = (replay.u64(0..=1_000), replay.f64(0.0, 1.0), replay.bool());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_tape_yields_minimal_values() {
+        let mut g = Gen::from_tape(vec![]);
+        assert_eq!(g.u64(5..=100), 5);
+        assert_eq!(g.f64(2.0, 3.0), 2.0);
+        assert!(!g.bool());
+        assert_eq!(*g.pick(&[10, 20, 30]), 10);
+        assert!(g.vec(0..=4, |g| g.u64(0..=1)).is_empty());
+    }
+
+    #[test]
+    fn values_respect_ranges() {
+        let mut g = Gen::from_seed(3);
+        for _ in 0..500 {
+            assert!((3..=9).contains(&g.u64(3..=9)));
+            assert!((1..=4).contains(&g.u32(1..=4)));
+            let f = g.f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_span_the_range() {
+        let mut g = Gen::from_seed(4);
+        let lengths: Vec<usize> = (0..100).map(|_| g.vec(0..=5, |g| g.bool()).len()).collect();
+        assert!(lengths.iter().any(|&n| n == 0));
+        assert!(lengths.iter().any(|&n| n == 5));
+    }
+}

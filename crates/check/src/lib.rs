@@ -1,0 +1,137 @@
+//! In-repo property-based testing, replacing `proptest` for the offline
+//! build.
+//!
+//! A property is a closure over a [`Gen`] that draws random inputs and
+//! returns `Ok(())` when the property holds. [`check`] runs it for many
+//! seeded cases (256 by default); on failure it **shrinks by halving** the
+//! recorded draw tape and reports a **replayable seed**:
+//!
+//! ```text
+//! property `add_sub_roundtrips` failed (case 17 of 256, seed 0x8d1f...).
+//! replay with: NIMBLOCK_CHECK_SEED=0x8d1f... cargo test -q add_sub_roundtrips
+//! ```
+//!
+//! Environment variables:
+//!
+//! * `NIMBLOCK_CHECK_SEED=0x...` — run only that case seed (replay mode);
+//! * `NIMBLOCK_CHECK_CASES=N` — override the case count.
+//!
+//! # How shrinking works
+//!
+//! [`Gen`] records every raw 64-bit draw on a tape. When a case fails, the
+//! runner replays the property against mutated tapes — zeroing and halving
+//! entries, then halving the whole tape — keeping each mutation that still
+//! fails. Because range sampling maps smaller raws to smaller values,
+//! halving the tape walks inputs toward minimal counterexamples. Replaying
+//! past the end of the tape yields zeros (the minimal draw), so shrunken
+//! control flow stays deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_check::{check, prop_assert};
+//!
+//! check("addition_commutes", |g| {
+//!     let (a, b) = (g.u64(0..=1000), g.u64(0..=1000));
+//!     prop_assert!(a + b == b + a, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+
+mod gen;
+mod runner;
+
+pub use gen::Gen;
+pub use runner::{check, check_with, Config};
+
+/// The outcome of one property case: `Err` carries the failure message.
+pub type CaseResult = Result<(), String>;
+
+/// Asserts a condition inside a property, failing the case (with shrinking
+/// and seed reporting) instead of panicking.
+///
+/// Accepts an optional trailing format string like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format_args!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property, reporting both on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err(format!(
+                "assertion failed at {}:{}: {} == {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right), left, right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut cases = 0u32;
+        check_with(Config::new().cases(64), "always_true", |g| {
+            let _ = g.u64(0..=10);
+            cases += 1;
+            Ok(())
+        });
+        assert_eq!(cases, 64);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(Config::new().cases(64), "always_false", |g| {
+                let x = g.u64(0..=100);
+                prop_assert!(x > 1_000, "x = {x}");
+                Ok(())
+            });
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("NIMBLOCK_CHECK_SEED=0x"), "{message}");
+        assert!(message.contains("always_false"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_counterexample() {
+        // Fails whenever x >= 10; the minimal failing input is exactly 10.
+        let result = std::panic::catch_unwind(|| {
+            check_with(Config::new().cases(256), "ge_ten", |g| {
+                let x = g.u64(0..=1_000_000);
+                prop_assert!(x < 10, "x = {x}");
+                Ok(())
+            });
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("x = 10"), "expected shrink to 10, got: {message}");
+    }
+
+    #[test]
+    fn prop_assert_eq_reports_both_sides() {
+        let f = |g: &mut Gen| -> crate::CaseResult {
+            let x = g.u64(0..=3);
+            prop_assert_eq!(x, 99u64);
+            Ok(())
+        };
+        let err = f(&mut Gen::from_seed(1)).unwrap_err();
+        assert!(err.contains("right: 99"), "{err}");
+    }
+}

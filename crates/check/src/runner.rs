@@ -1,0 +1,270 @@
+//! The case runner and halving shrinker.
+
+use nimblock_prng::splitmix64;
+
+use crate::{CaseResult, Gen};
+
+/// Default number of cases per property (the acceptance bar for the ported
+/// suites is ≥ 256).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Upper bound on shrink replays per failure, so pathological properties
+/// cannot loop forever.
+const MAX_SHRINK_RUNS: u32 = 2_048;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    cases: u32,
+    seed: u64,
+}
+
+impl Config {
+    /// A config with the default case count and the fixed run seed
+    /// (overridable via `NIMBLOCK_CHECK_CASES` / `NIMBLOCK_CHECK_SEED`).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: 0x4E1B_B10C_2023_0001,
+        }
+    }
+
+    /// Sets the number of cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the run seed (per-case seeds derive from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Runs `property` for the configured number of cases with the default
+/// [`Config`].
+///
+/// # Panics
+///
+/// Panics with a replayable-seed report if any case fails.
+pub fn check(name: &str, property: impl FnMut(&mut Gen) -> CaseResult) {
+    check_with(Config::new(), name, property);
+}
+
+/// Runs `property` under an explicit [`Config`].
+///
+/// If `NIMBLOCK_CHECK_SEED` is set, only that case seed runs (replay mode).
+/// `NIMBLOCK_CHECK_CASES` overrides the case count.
+///
+/// # Panics
+///
+/// Panics with a replayable-seed report if any case fails.
+pub fn check_with(config: Config, name: &str, mut property: impl FnMut(&mut Gen) -> CaseResult) {
+    if let Some(case_seed) = env_seed() {
+        let mut gen = Gen::from_seed(case_seed);
+        if let Err(message) = property(&mut gen) {
+            let tape = gen.recorded().to_vec();
+            fail(name, case_seed, 0, 1, &mut property, tape, message);
+        }
+        return;
+    }
+    let cases = env_cases().unwrap_or(config.cases);
+    let mut state = config.seed;
+    for case in 0..cases {
+        // Per-case seeds derive from the run seed via SplitMix64, so every
+        // case is independently replayable from its own 64-bit seed.
+        let case_seed = splitmix64(&mut state);
+        let mut gen = Gen::from_seed(case_seed);
+        if let Err(message) = property(&mut gen) {
+            let tape = gen.recorded().to_vec();
+            fail(name, case_seed, case, cases, &mut property, tape, message);
+        }
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("NIMBLOCK_CHECK_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("cannot parse NIMBLOCK_CHECK_SEED `{raw}`")))
+}
+
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var("NIMBLOCK_CHECK_CASES").ok()?;
+    Some(
+        raw.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("cannot parse NIMBLOCK_CHECK_CASES `{raw}`")),
+    )
+}
+
+/// Shrinks the failing tape, then panics with the final report.
+fn fail(
+    name: &str,
+    case_seed: u64,
+    case: u32,
+    cases: u32,
+    property: &mut impl FnMut(&mut Gen) -> CaseResult,
+    original_tape: Vec<u64>,
+    original_message: String,
+) -> ! {
+    let (tape, message, shrink_runs) =
+        shrink(property, original_tape, original_message);
+    panic!(
+        "property `{name}` failed (case {case} of {cases}, seed {case_seed:#018x}, \
+         {shrink_runs} shrink runs).\n\
+         minimal failure: {message}\n\
+         minimal tape: {tape:?}\n\
+         replay with: NIMBLOCK_CHECK_SEED={case_seed:#x} cargo test -q {name}",
+        case = case + 1,
+    );
+}
+
+/// Replays `property` against mutated tapes, keeping mutations that still
+/// fail. Mutations, in order of aggressiveness: truncate the tail, zero one
+/// entry, binary-halve one entry down to the smallest failing value, halve
+/// every entry at once. Repeats until a full pass makes no progress or the
+/// run budget is exhausted.
+fn shrink(
+    property: &mut impl FnMut(&mut Gen) -> CaseResult,
+    mut tape: Vec<u64>,
+    mut message: String,
+) -> (Vec<u64>, String, u32) {
+    let mut runs = 0u32;
+    let mut still_fails = |candidate: &[u64], runs: &mut u32| -> Option<String> {
+        if *runs >= MAX_SHRINK_RUNS {
+            return None;
+        }
+        *runs += 1;
+        property(&mut Gen::from_tape(candidate.to_vec())).err()
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Drop trailing zeros (replay yields zeros past the end anyway).
+        while tape.last() == Some(&0) {
+            tape.pop();
+        }
+
+        // Truncate: try cutting the tape in half, then by one.
+        for cut in [tape.len() / 2, tape.len().saturating_sub(1)] {
+            if cut < tape.len() {
+                if let Some(msg) = still_fails(&tape[..cut], &mut runs) {
+                    tape.truncate(cut);
+                    message = msg;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Per-entry: zero it if possible, otherwise binary-halve down to
+        // the smallest value that still fails.
+        for i in 0..tape.len() {
+            if tape[i] == 0 {
+                continue;
+            }
+            let original = tape[i];
+            tape[i] = 0;
+            if let Some(msg) = still_fails(&tape, &mut runs) {
+                message = msg;
+                progressed = true;
+                continue;
+            }
+            // 0 passes, `original` fails: halve the gap until it closes.
+            let (mut lo, mut hi) = (0u64, original);
+            while hi - lo > 1 && runs < MAX_SHRINK_RUNS {
+                let mid = lo + (hi - lo) / 2;
+                tape[i] = mid;
+                match still_fails(&tape, &mut runs) {
+                    Some(msg) => {
+                        hi = mid;
+                        message = msg;
+                    }
+                    None => lo = mid,
+                }
+            }
+            tape[i] = hi;
+            if hi < original {
+                progressed = true;
+            }
+        }
+
+        // Whole-tape halving: drives every value down together.
+        if tape.iter().any(|&x| x > 0) {
+            let halved: Vec<u64> = tape.iter().map(|&x| x / 2).collect();
+            if let Some(msg) = still_fails(&halved, &mut runs) {
+                tape = halved;
+                message = msg;
+                progressed = true;
+            }
+        }
+
+        if !progressed || runs >= MAX_SHRINK_RUNS {
+            return (tape, message, runs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_minimizes_a_threshold_failure() {
+        // Property: fails iff x >= 1000 where x = raw % 1_000_001.
+        let mut property = |g: &mut Gen| -> CaseResult {
+            let x = g.u64(0..=1_000_000);
+            if x >= 1_000 {
+                Err(format!("x = {x}"))
+            } else {
+                Ok(())
+            }
+        };
+        let (tape, err) = (0u64..)
+            .find_map(|seed| {
+                let mut gen = Gen::from_seed(seed);
+                property(&mut gen).err().map(|e| (gen.recorded().to_vec(), e))
+            })
+            .expect("most draws exceed the threshold");
+        let (min_tape, min_message, _) = shrink(&mut property, tape, err);
+        // The minimal failing value is exactly the threshold.
+        assert_eq!(min_message, "x = 1000");
+        assert_eq!(min_tape, vec![1_000]);
+    }
+
+    #[test]
+    fn shrink_shortens_vectors() {
+        // Fails when the generated vec has length >= 3; minimal repro is
+        // exactly length 3 with all-zero elements.
+        let mut property = |g: &mut Gen| -> CaseResult {
+            let v = g.vec(0..=50, |g| g.u64(0..=9));
+            if v.len() >= 3 {
+                Err(format!("len = {}", v.len()))
+            } else {
+                Ok(())
+            }
+        };
+        let (tape, err) = (0u64..)
+            .find_map(|seed| {
+                let mut gen = Gen::from_seed(seed);
+                property(&mut gen).err().map(|e| (gen.recorded().to_vec(), e))
+            })
+            .expect("some seed draws a long vec");
+        let (min_tape, min_message, _) = shrink(&mut property, tape, err);
+        assert_eq!(min_message, "len = 3");
+        assert_eq!(min_tape, vec![3]);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic() {
+        let mut a = 1u64;
+        let mut b = 1u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+    }
+}

@@ -44,7 +44,7 @@ pub fn make_sequence(args: &StimulusArgs) -> Result<EventSequence, CliError> {
 pub fn load_sequence(path: &str) -> Result<EventSequence, CliError> {
     let text = fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    serde_json::from_str(&text).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+    nimblock_ser::from_str(&text).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
 }
 
 fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), CliError> {
@@ -93,8 +93,7 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "\n{}", trace.gantt(args.slots, 100)).map_err(|e| CliError(e.to_string()))?;
     }
     if let Some(path) = &args.json {
-        let json = serde_json::to_string_pretty(&report)
-            .map_err(|e| CliError(format!("cannot serialize report: {e}")))?;
+        let json = nimblock_ser::to_string_pretty(&report);
         write_output(path, &json, out)?;
     }
     Ok(())
@@ -102,8 +101,7 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn generate_command(args: &GenerateArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let events = make_sequence(&args.stimulus)?;
-    let json = serde_json::to_string_pretty(&events)
-        .map_err(|e| CliError(format!("cannot serialize stimulus: {e}")))?;
+    let json = nimblock_ser::to_string_pretty(&events);
     write_output(&args.output, &json, out)?;
     if args.output != "-" {
         writeln!(out, "wrote {} events to {}", events.len(), args.output)
@@ -262,7 +260,7 @@ mod tests {
     fn json_report_is_valid() {
         let output = run_line("run --scheduler nimblock --events 2 --seed 5 --json -");
         let json_start = output.find('{').expect("json in output");
-        let value: serde_json::Value = serde_json::from_str(output[json_start..].trim()).unwrap();
+        let value = nimblock_ser::parse(output[json_start..].trim()).unwrap();
         assert!(value.get("records").is_some());
     }
 

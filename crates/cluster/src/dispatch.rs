@@ -1,12 +1,12 @@
 //! Board-selection strategies.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_enum_units;
 
 use nimblock_core::{Hypervisor, Scheduler};
 use nimblock_sim::SimDuration;
 
 /// How the cluster assigns an arriving application to a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DispatchPolicy {
     /// Cycle through the boards regardless of load.
     RoundRobin,
@@ -16,6 +16,8 @@ pub enum DispatchPolicy {
     /// (Σ remaining batch work over its live applications).
     LeastOutstanding,
 }
+
+impl_json_enum_units!(DispatchPolicy { RoundRobin, FewestApps, LeastOutstanding });
 
 impl DispatchPolicy {
     /// All strategies, for sweeps.

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_newtype;
 
 use nimblock_app::{AppSpec, Priority, TaskId};
 use nimblock_fpga::{BitstreamId, BufferId, SlotId};
@@ -14,8 +14,10 @@ use nimblock_sim::{SimDuration, SimTime};
 /// Assigned densely in arrival order, so sorting by `AppId` sorts by age —
 /// the ordering both PREMA's candidate selection and Nimblock's
 /// oldest-first allocation rely on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(u64);
+
+impl_json_newtype!(AppId);
 
 impl AppId {
     pub(crate) const fn new(raw: u64) -> Self {

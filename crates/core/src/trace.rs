@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::{impl_json_enum_structs, impl_json_struct};
 
 use nimblock_app::TaskId;
 use nimblock_fpga::SlotId;
@@ -16,7 +16,7 @@ use nimblock_sim::SimTime;
 use crate::AppId;
 
 /// One traced occurrence.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// An application entered the pending queue.
     Arrival {
@@ -75,6 +75,14 @@ pub enum TraceEvent {
     },
 }
 
+impl_json_enum_structs!(TraceEvent {
+    Arrival { app, name, at },
+    Reconfig { slot, app, task, at, until },
+    Item { slot, app, task, item, at, until },
+    Preempt { slot, app, task, at },
+    Retire { app, at },
+});
+
 impl TraceEvent {
     /// Returns the time the event occurred (its start, for spans).
     pub fn at(&self) -> SimTime {
@@ -89,10 +97,12 @@ impl TraceEvent {
 }
 
 /// The full schedule record of one testbed run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
+
+impl_json_struct!(Trace { events });
 
 impl Trace {
     /// Creates an empty trace.

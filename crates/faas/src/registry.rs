@@ -5,14 +5,14 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_enum_units;
 
 use nimblock_app::{AppSpec, Priority};
 
 /// The service class a function is deployed under, mapped onto the
 /// hypervisor's three priority levels (paper §4.1) and onto deadline
 /// factors for SLO-attainment accounting (the `D_s` model of §5.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SloClass {
     /// Interactive: highest priority, deadline 2× single-slot latency.
     Latency,
@@ -21,6 +21,8 @@ pub enum SloClass {
     /// Throughput-oriented: low priority, deadline 20× single-slot latency.
     Batch,
 }
+
+impl_json_enum_units!(SloClass { Latency, Standard, Batch });
 
 impl SloClass {
     /// All classes, strictest first.

@@ -1,7 +1,6 @@
 //! Open-loop invocation workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nimblock_prng::Prng;
 
 use nimblock_sim::{SimDuration, SimTime};
 
@@ -89,7 +88,7 @@ impl InvocationWorkload {
         let weights: Vec<f64> = (0..names.len()).map(|r| 1.0 / (r + 1) as f64).collect();
         let total: f64 = weights.iter().sum();
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let mut now = SimTime::ZERO;
         let mut invocations = Vec::with_capacity(self.invocations);
         for _ in 0..self.invocations {

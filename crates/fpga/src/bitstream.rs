@@ -3,17 +3,17 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::{impl_json_newtype, impl_json_struct};
 
 use nimblock_sim::SimDuration;
 
 use crate::FpgaError;
 
 /// Identifier of a registered partial bitstream.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BitstreamId(u64);
+
+impl_json_newtype!(BitstreamId);
 
 impl BitstreamId {
     /// Creates a bitstream identifier from a raw value.
@@ -34,13 +34,15 @@ impl fmt::Display for BitstreamId {
 }
 
 /// Metadata for one registered partial bitstream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitstreamInfo {
     /// Size of the bitstream file in bytes; drives reconfiguration latency.
     pub size_bytes: u64,
     /// Whether the bitstream is already resident in system memory.
     pub cached: bool,
 }
+
+impl_json_struct!(BitstreamInfo { size_bytes, cached });
 
 /// Registry of partial bitstreams with an SD-card load model.
 ///

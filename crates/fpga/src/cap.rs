@@ -1,6 +1,6 @@
 //! Configuration access port (CAP) model.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_sim::{SimDuration, SimTime};
 
@@ -28,7 +28,7 @@ use crate::{FpgaError, SlotId};
 /// cap.complete(SlotId::new(0));
 /// # Ok::<(), nimblock_fpga::FpgaError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigPort {
     bandwidth_bytes_per_sec: u64,
     in_flight: Option<InFlight>,
@@ -36,12 +36,16 @@ pub struct ConfigPort {
     busy_time: SimDuration,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+impl_json_struct!(ConfigPort { bandwidth_bytes_per_sec, in_flight, completed, busy_time });
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct InFlight {
     slot: SlotId,
     finish_at: SimTime,
     started_at: SimTime,
 }
+
+impl_json_struct!(InFlight { slot, finish_at, started_at });
 
 impl ConfigPort {
     /// Creates a port sustaining `bandwidth_bytes_per_sec`.

@@ -6,14 +6,14 @@
 //! (§7). This module models both, so the scheduling stack can quantify the
 //! difference and exploit placement locality when a NoC exists.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_enum_structs;
 
 use nimblock_sim::SimDuration;
 
 use crate::SlotId;
 
 /// How data moves between producer and consumer tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Interconnect {
     /// The evaluated overlay: every transfer is staged through the PS and
     /// shared memory, costing the same regardless of slot positions.
@@ -35,6 +35,11 @@ pub enum Interconnect {
         ps_transfer: SimDuration,
     },
 }
+
+impl_json_enum_structs!(Interconnect {
+    ThroughPs { per_transfer },
+    RingNoc { base, per_hop, ps_transfer },
+});
 
 impl Interconnect {
     /// The evaluated system's default: 1 ms through-PS transfers (see

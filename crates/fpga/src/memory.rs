@@ -3,15 +3,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_newtype;
 
 use crate::FpgaError;
 
 /// Identifier of an allocated data buffer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufferId(u64);
+
+impl_json_newtype!(BufferId);
 
 impl BufferId {
     /// Returns the raw identifier value.

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 /// An inventory of FPGA fabric resources.
 ///
@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let slot = nimblock_fpga::zcu106::slot_resources(0);
 /// assert!(task.fits_within(&slot));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Resources {
     /// DSP48 arithmetic blocks.
     pub dsp: u32,
@@ -38,6 +36,8 @@ pub struct Resources {
     /// I/O buffers.
     pub iobuf: u32,
 }
+
+impl_json_struct!(Resources { dsp, lut, ff, carry, ramb18, ramb36, iobuf });
 
 impl Resources {
     /// The empty inventory.

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::{impl_json_newtype, impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 use crate::{BitstreamId, Resources};
 
@@ -17,10 +17,10 @@ use crate::{BitstreamId, Resources};
 /// assert_eq!(slot.index(), 3);
 /// assert_eq!(slot.to_string(), "slot#3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotId(u32);
+
+impl_json_newtype!(SlotId);
 
 impl SlotId {
     /// Creates a slot identifier from its index on the device.
@@ -41,7 +41,7 @@ impl fmt::Display for SlotId {
 }
 
 /// Occupancy state of a slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SlotState {
     /// No user logic configured; the slot is available.
     #[default]
@@ -53,6 +53,44 @@ pub enum SlotState {
     Configured(BitstreamId),
     /// User logic is configured and currently processing a batch item.
     Executing(BitstreamId),
+}
+
+/// `SlotState` mixes unit and data variants — the one enum shape the
+/// `nimblock_ser` derive macros do not cover — so its JSON impls are
+/// written out: `"Empty"` for the unit variant, `{"Variant": id}` for the
+/// data variants (matching serde's external tagging).
+impl ToJson for SlotState {
+    fn to_json(&self) -> Json {
+        let tagged = |tag: &str, bs: &BitstreamId| {
+            Json::Object(vec![(tag.to_owned(), bs.to_json())])
+        };
+        match self {
+            SlotState::Empty => Json::Str("Empty".to_owned()),
+            SlotState::Reconfiguring(bs) => tagged("Reconfiguring", bs),
+            SlotState::Configured(bs) => tagged("Configured", bs),
+            SlotState::Executing(bs) => tagged("Executing", bs),
+        }
+    }
+}
+
+impl FromJson for SlotState {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some("Empty") = v.as_str() {
+            return Ok(SlotState::Empty);
+        }
+        match v.as_object() {
+            Some([(tag, inner)]) => {
+                let bs = BitstreamId::from_json(inner)?;
+                match tag.as_str() {
+                    "Reconfiguring" => Ok(SlotState::Reconfiguring(bs)),
+                    "Configured" => Ok(SlotState::Configured(bs)),
+                    "Executing" => Ok(SlotState::Executing(bs)),
+                    other => Err(JsonError::new(format!("unknown SlotState variant `{other}`"))),
+                }
+            }
+            _ => Err(JsonError::expected("SlotState", v)),
+        }
+    }
 }
 
 impl SlotState {
@@ -78,12 +116,14 @@ impl SlotState {
 }
 
 /// A reconfigurable slot: identifier, enclosed resources, and current state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Slot {
     id: SlotId,
     resources: Resources,
     state: SlotState,
 }
+
+impl_json_struct!(Slot { id, resources, state });
 
 impl Slot {
     /// Creates an empty slot with the given identifier and resources.

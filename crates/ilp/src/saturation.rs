@@ -6,7 +6,7 @@
 //! yield little or no improvement. The Nimblock slot allocator uses the
 //! resulting *goal number* when distributing surplus slots.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_app::AppSpec;
 use nimblock_sim::SimDuration;
@@ -35,13 +35,15 @@ pub const DEFAULT_IMPROVEMENT_THRESHOLD: f64 = 0.05;
 /// assert_eq!(analysis.makespans().len(), 10);
 /// assert!(analysis.speedup(analysis.goal_number()) >= 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaturationAnalysis {
     app_name: String,
     batch_size: u32,
     makespans: Vec<SimDuration>,
     goal_number: usize,
 }
+
+impl_json_struct!(SaturationAnalysis { app_name, batch_size, makespans, goal_number });
 
 impl SaturationAnalysis {
     /// Returns the application name the analysis belongs to.

@@ -1,6 +1,6 @@
 //! Deadline violation analysis (paper §5.4).
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_app::Priority;
 use nimblock_sim::SimDuration;
@@ -42,11 +42,13 @@ where
 
 /// A deadline failure-rate curve over a sweep of `D_s` values, as plotted in
 /// Figure 7 of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeadlineCurve {
     scheduler: String,
     points: Vec<(f64, f64)>,
 }
+
+impl_json_struct!(DeadlineCurve { scheduler, points });
 
 impl DeadlineCurve {
     /// Builds a curve from `(D_s, failure rate)` points.

@@ -1,13 +1,13 @@
 //! Per-application response records and run reports.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_app::Priority;
 use nimblock_sim::{SimDuration, SimTime};
 
 /// Everything the hypervisor measured about one application's life,
 /// mirroring the metadata the paper's testbed stores at completion (§5.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseRecord {
     /// Index of the arrival event in its sequence (stable across
     /// schedulers, used to pair records for relative reductions).
@@ -32,6 +32,11 @@ pub struct ResponseRecord {
     /// Number of batch-preemptions the application suffered.
     pub preemptions: u32,
 }
+
+impl_json_struct!(ResponseRecord {
+    event_index, app_name, batch_size, priority, arrival,
+    first_launch, retired, run_time, reconfig_time, preemptions,
+});
 
 impl ResponseRecord {
     /// The response time: arrival to retirement (paper §3.1).
@@ -60,12 +65,14 @@ impl ResponseRecord {
 
 /// The output of one testbed run: one record per arrival event, in event
 /// order, plus the scheduler that produced them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     scheduler: String,
     records: Vec<ResponseRecord>,
     finished_at: SimTime,
 }
+
+impl_json_struct!(Report { scheduler, records, finished_at });
 
 impl Report {
     /// Assembles a report.

@@ -1,11 +1,11 @@
 //! Summary statistics and relative reductions.
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use crate::Report;
 
 /// Mean / median / tail summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Arithmetic mean.
     pub mean: f64,
@@ -22,6 +22,8 @@ pub struct Summary {
     /// Number of samples.
     pub count: usize,
 }
+
+impl_json_struct!(Summary { mean, median, p95, p99, min, max, count });
 
 impl Summary {
     /// Summarizes `samples`. Returns the zero summary for an empty slice.

@@ -58,6 +58,16 @@ impl TextTable {
         self.rows.len()
     }
 
+    /// Returns the column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Returns the data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {

@@ -1,0 +1,299 @@
+//! Seedable pseudo-random number generation for the Nimblock workspace.
+//!
+//! Replaces the `rand` crate (unavailable in the offline build) with the
+//! small surface the workload generators and tests actually use: a
+//! deterministic, seedable generator with uniform range sampling.
+//!
+//! The core generator is **xoshiro256\*\*** seeded through **SplitMix64**
+//! (the construction recommended by the xoshiro authors: SplitMix64
+//! decorrelates nearby seeds before they reach the main state). The same
+//! seed always yields the same stream on every platform — workload
+//! generation relies on this for the paper's "all algorithms are evaluated
+//! on the same set of stimuli" property.
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_prng::Prng;
+//!
+//! let mut a = Prng::seed_from_u64(7);
+//! let mut b = Prng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range(10u64..=20);
+//! assert!((10..=20).contains(&x));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// One step of the SplitMix64 generator; also usable as a standalone
+/// mixing function for deriving per-case seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { state }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        self.next_f64() < p
+    }
+
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`), like
+    /// `rand::Rng::gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns a reference to a uniformly chosen element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        &slice[self.gen_range(0..slice.len())]
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift rejection
+    /// method (unbiased, at most one extra draw in expectation).
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A range that [`Prng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Prng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample(self, rng: &mut Prng) -> $ty {
+                assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample(self, rng: &mut Prng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + rng.bounded_u64(span + 1) as $ty
+            }
+        }
+    )+};
+}
+impl_int_range!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+        let sample = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; clamp into range.
+        if sample < self.end {
+            sample
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut Prng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn reference_vector_is_stable() {
+        // Pinned first outputs for seed 0 — a cross-version regression guard:
+        // changing the generator breaks every golden trace in the repo.
+        let mut rng = Prng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!((10..20u64).contains(&rng.gen_range(10u64..20)));
+            assert!((1..=30u32).contains(&rng.gen_range(1u32..=30)));
+            assert!((0..7usize).contains(&rng.gen_range(0usize..7)));
+            let f = rng.gen_range(0.5..1.5f64);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = Prng::seed_from_u64(4);
+        let draws: Vec<u32> = (0..200).map(|_| rng.gen_range(0u32..=1)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&1));
+    }
+
+    #[test]
+    fn uniformity_is_roughly_flat() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "{hits}");
+        assert!(!Prng::seed_from_u64(0).gen_bool(0.0));
+        assert!(Prng::seed_from_u64(0).gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Prng::seed_from_u64(8);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Prng::seed_from_u64(0).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn splitmix_standalone_matches_reference() {
+        // Known SplitMix64 test vector for seed 1234567.
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6457827717110365317);
+        assert_eq!(splitmix64(&mut s), 3203168211198807973);
+    }
+}

@@ -1,0 +1,158 @@
+//! The JSON document tree and error type.
+
+use std::fmt;
+
+/// An owned JSON value.
+///
+/// Numbers keep their lexical class: unsigned and signed integers stay
+/// integers (full 64-bit fidelity — `SimTime::MAX` is `u64::MAX` and must
+/// survive a round-trip), floats stay floats. Objects are an ordered list
+/// of pairs so that re-encoding preserves field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Returns a one-word description of the value's type, for errors.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::U64(_) | Json::I64(_) | Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(n) => Some(n),
+            Json::I64(n) => u64::try_from(n).ok(),
+            Json::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(n) => Some(n),
+            Json::U64(n) => i64::try_from(n).ok(),
+            Json::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(n) => Some(n as f64),
+            Json::I64(n) => Some(n as f64),
+            Json::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value's elements if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the value's pairs if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A JSON parse or decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError(message.into())
+    }
+
+    /// Creates an "expected X, found Y" shape-mismatch error.
+    pub fn expected(what: &str, found: &Json) -> Self {
+        JsonError(format!("expected {what}, found {}", found.type_name()))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Json::U64(5).as_u64(), Some(5));
+        assert_eq!(Json::I64(-5).as_u64(), None);
+        assert_eq!(Json::I64(-5).as_i64(), Some(-5));
+        assert_eq!(Json::F64(2.0).as_u64(), Some(2));
+        assert_eq!(Json::F64(2.5).as_u64(), None);
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Json::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn get_finds_object_keys() {
+        let obj = Json::Object(vec![("a".into(), Json::U64(1))]);
+        assert_eq!(obj.get("a"), Some(&Json::U64(1)));
+        assert_eq!(obj.get("b"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+
+    #[test]
+    fn error_messages_name_types() {
+        let err = JsonError::expected("array", &Json::Bool(true));
+        assert_eq!(err.to_string(), "expected array, found bool");
+    }
+}

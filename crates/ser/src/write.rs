@@ -1,0 +1,161 @@
+//! Compact and pretty JSON writers.
+
+use std::fmt::Write as _;
+
+use crate::Json;
+
+impl Json {
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Renders the value as pretty JSON (two-space indent, one pair or
+    /// element per line), matching the layout `serde_json::to_string_pretty`
+    /// produced for the same documents.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, depth: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::F64(f) => write_f64(out, *f),
+        Json::Str(s) => write_string(out, s),
+        Json::Array(items) => write_seq(out, indent, depth, '[', ']', items.iter(), |out, item, depth| {
+            write_value(out, item, indent, depth);
+        }),
+        Json::Object(pairs) => {
+            write_seq(out, indent, depth, '{', '}', pairs.iter(), |out, (key, item), depth| {
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth);
+            });
+        }
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Writes a finite float so that re-parsing yields the same bits; whole
+/// floats keep a trailing `.0` so they stay floats across a round-trip.
+/// Non-finite values have no JSON representation and are written as `null`.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f.fract() == 0.0 && f.abs() < 1e15 {
+        let _ = write!(out, "{f:.1}");
+    } else {
+        // Rust's shortest round-trip formatting.
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str("a\"b".into())),
+            ("n".into(), Json::U64(3)),
+            ("xs".into(), Json::Array(vec![Json::U64(1), Json::Null])),
+            ("empty".into(), Json::Array(vec![])),
+        ])
+    }
+
+    #[test]
+    fn compact_has_no_whitespace() {
+        assert_eq!(
+            sample().to_compact(),
+            r#"{"name":"a\"b","n":3,"xs":[1,null],"empty":[]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let text = sample().to_pretty();
+        assert!(text.starts_with("{\n  \"name\": \"a\\\"b\",\n  \"n\": 3,"), "{text}");
+        assert!(text.contains("\"xs\": [\n    1,\n    null\n  ]"), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Json::F64(2.0).to_compact(), "2.0");
+        assert_eq!(Json::F64(-0.5).to_compact(), "-0.5");
+        assert_eq!(Json::F64(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(Json::Str("\u{1}".into()).to_compact(), "\"\\u0001\"");
+        assert_eq!(Json::Str("a\nb\tc".into()).to_compact(), "\"a\\nb\\tc\"");
+    }
+}

@@ -4,7 +4,7 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_newtype;
 
 /// A point in virtual time, measured in microseconds since simulation start.
 ///
@@ -23,8 +23,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(end - start, SimDuration::from_millis(80));
 /// assert_eq!(end.as_micros(), 480_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+
+impl_json_newtype!(SimTime);
 
 /// A span of virtual time, measured in microseconds.
 ///
@@ -37,8 +39,10 @@ pub struct SimTime(u64);
 /// assert_eq!(reconfig * 3, SimDuration::from_millis(240));
 /// assert_eq!(reconfig.as_secs_f64(), 0.08);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+impl_json_newtype!(SimDuration);
 
 impl SimTime {
     /// The simulation epoch (time zero).

@@ -1,13 +1,15 @@
-//! Property tests for the event queue and simulation driver.
+//! Property tests for the event queue and simulation driver, ported to the
+//! in-repo `nimblock-check` harness (256 cases per property, replayable via
+//! `NIMBLOCK_CHECK_SEED`).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use nimblock_check::{check, prop_assert, prop_assert_eq, Gen};
 
 use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
 
-proptest! {
-    #[test]
-    fn queue_is_a_stable_priority_queue(entries in vec((0u64..500, 0u32..1_000), 0..300)) {
+#[test]
+fn queue_is_a_stable_priority_queue() {
+    check("queue_is_a_stable_priority_queue", |g| {
+        let entries = g.vec(0..=299, |g| (g.u64(0..=499), g.u32(0..=999)));
         let mut queue = EventQueue::new();
         for (seq, &(at, payload)) in entries.iter().enumerate() {
             queue.push(SimTime::from_millis(at), (payload, seq));
@@ -24,10 +26,14 @@ proptest! {
             popped.push((at.as_millis(), seq));
         }
         prop_assert_eq!(popped, expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn run_until_is_prefix_of_run(delays in vec(1u64..50, 1..40)) {
+#[test]
+fn run_until_is_prefix_of_run() {
+    check("run_until_is_prefix_of_run", |g| {
+        let delays = g.vec(1..=39, |g| g.u64(1..=49));
         struct Collect(Vec<u64>);
         impl Handler<u64> for Collect {
             fn handle(&mut self, now: SimTime, _e: u64, _q: &mut EventQueue<u64>) {
@@ -55,5 +61,26 @@ proptest! {
         prop_assert_eq!(&all[..seen.len()], &seen[..]);
         prop_assert!(seen.iter().all(|&t| t <= horizon));
         prop_assert!(all[seen.len()..].iter().all(|&t| t > horizon));
+        Ok(())
+    });
+}
+
+/// Fixed-seed regression cases: replay concrete queue contents from pinned
+/// seeds so ordering regressions cannot hide behind an unlucky sweep.
+#[test]
+fn fixed_seed_regressions() {
+    for seed in [0u64, 7, 1234, 0x4E1B] {
+        let mut g = Gen::from_seed(seed);
+        let entries = g.vec(1..=50, |g| (g.u64(0..=20), g.u32(0..=9)));
+        let mut queue = EventQueue::new();
+        for (seq, &(at, payload)) in entries.iter().enumerate() {
+            queue.push(SimTime::from_millis(at), (payload, seq));
+        }
+        let mut last = (0u64, 0usize);
+        while let Some((at, (_, seq))) = queue.pop() {
+            let key = (at.as_millis(), seq);
+            assert!(key >= last, "seed {seed}: {key:?} after {last:?}");
+            last = key;
+        }
     }
 }

@@ -2,20 +2,22 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use nimblock_ser::impl_json_struct;
 
 use nimblock_app::{AppSpec, Priority};
 use nimblock_sim::SimTime;
 
 /// The arrival of one application at the hypervisor: which benchmark, how
 /// many batch items, at what priority, and when (paper §5.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalEvent {
     app: Arc<AppSpec>,
     batch_size: u32,
     priority: Priority,
     arrival: SimTime,
 }
+
+impl_json_struct!(ArrivalEvent { app, batch_size, priority, arrival });
 
 impl ArrivalEvent {
     /// Creates an arrival event.
@@ -76,10 +78,12 @@ impl ArrivalEvent {
 /// // Sequences sort themselves by arrival time.
 /// assert_eq!(seq.events()[0].app().name(), "3DRendering");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventSequence {
     events: Vec<ArrivalEvent>,
 }
+
+impl_json_struct!(EventSequence { events });
 
 impl EventSequence {
     /// Creates a sequence, sorting events by arrival time (stable, so

@@ -2,9 +2,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nimblock_prng::Prng;
+use nimblock_ser::impl_json_enum_units;
 
 use nimblock_app::{benchmarks, AppSpec, Priority};
 use nimblock_sim::{SimDuration, SimTime};
@@ -15,7 +14,7 @@ use crate::{ArrivalEvent, EventSequence};
 pub const MAX_BATCH_SIZE: u32 = 30;
 
 /// The three congestion conditions of the evaluation (paper §5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Moderate delay between events: 1500–2000 ms. "Low-demand behavior
     /// where tasks have great opportunity to leverage additional resources."
@@ -25,6 +24,8 @@ pub enum Scenario {
     /// Streaming input: a consistent 50 ms between events.
     RealTime,
 }
+
+impl_json_enum_units!(Scenario { Standard, Stress, RealTime });
 
 impl Scenario {
     /// All three scenarios in the order the paper presents them.
@@ -40,10 +41,10 @@ impl Scenario {
     }
 
     /// Draws one inter-arrival delay for this scenario.
-    fn inter_arrival(self, rng: &mut StdRng) -> SimDuration {
+    fn inter_arrival(self, rng: &mut Prng) -> SimDuration {
         let millis = match self {
-            Scenario::Standard => rng.gen_range(1_500..=2_000),
-            Scenario::Stress => rng.gen_range(150..=200),
+            Scenario::Standard => rng.gen_range(1_500u64..=2_000),
+            Scenario::Stress => rng.gen_range(150u64..=200),
             Scenario::RealTime => 50,
         };
         SimDuration::from_millis(millis)
@@ -71,7 +72,7 @@ impl Scenario {
 /// ```
 pub fn generate(seed: u64, n_events: usize, scenario: Scenario) -> EventSequence {
     let pool: Vec<Arc<AppSpec>> = benchmarks::all().into_iter().map(Arc::new).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut now = SimTime::ZERO;
     let mut events = Vec::with_capacity(n_events);
     for _ in 0..n_events {
@@ -110,7 +111,7 @@ pub fn fixed_batch_sequence(
     delay: SimDuration,
 ) -> EventSequence {
     let pool: Vec<Arc<AppSpec>> = benchmarks::all().into_iter().map(Arc::new).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut now = SimTime::ZERO;
     let mut events = Vec::with_capacity(n_events);
     for _ in 0..n_events {
@@ -136,7 +137,7 @@ pub fn poisson_sequence(seed: u64, n_events: usize, rate_per_sec: f64) -> EventS
         "arrival rate must be positive, got {rate_per_sec}"
     );
     let pool: Vec<Arc<AppSpec>> = benchmarks::all().into_iter().map(Arc::new).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut now = SimTime::ZERO;
     let mut events = Vec::with_capacity(n_events);
     for _ in 0..n_events {

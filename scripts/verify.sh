@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline.
+#
+# 1. Guards the dependency policy: every `[dependencies]` entry in every
+#    Cargo.toml must be a workspace `path` dependency, and Cargo.lock (when
+#    present) must not record any crates.io / registry source. The build
+#    container has no registry access, so a reintroduced external dep would
+#    only fail later and less legibly — fail fast here instead.
+# 2. Runs the tier-1 commands from ROADMAP.md with `--offline`, plus the
+#    workspace-wide test sweep (the root `cargo test` only covers the root
+#    package).
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency-policy guard =="
+
+fail=0
+
+# Any `version = ...`, `git = ...`, or bare `name = "x.y.z"` dependency line
+# points outside the workspace. Allowed forms:
+#   nimblock-ser = { path = "../ser" }         (root [workspace.dependencies])
+#   nimblock-ser.workspace = true              (member inheriting the above)
+while IFS= read -r manifest; do
+    # Extract the dependency sections ([dependencies], [dev-dependencies],
+    # [build-dependencies], [workspace.dependencies], and their target.*
+    # variants) and drop blanks/comments.
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) ; next }
+        in_deps && NF && $0 !~ /^#/ { print }
+    ' "$manifest")
+    [ -z "$deps" ] && continue
+    bad=$(printf '%s\n' "$deps" | grep -Ev 'path *=|(\.|\{ *)workspace *= *true' || true)
+    if [ -n "$bad" ]; then
+        echo "error: non-path dependency in $manifest:" >&2
+        printf '%s\n' "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+
+# Cargo.lock is generated (and gitignored) but if one exists it must agree:
+# registry/git packages carry a `source = ...` line; workspace members none.
+if [ -f Cargo.lock ] && grep -q '^source = ' Cargo.lock; then
+    echo "error: Cargo.lock records non-workspace package sources:" >&2
+    grep '^source = ' Cargo.lock | sort -u | sed 's/^/    /' >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "dependency-policy guard FAILED" >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace path deps"
+
+echo
+echo "== tier-1: cargo build --release --offline =="
+cargo build --release --offline
+
+echo
+echo "== tier-1: cargo test -q --offline =="
+cargo test -q --offline
+
+echo
+echo "== workspace tests: cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
+
+echo
+echo "verify: PASS"
