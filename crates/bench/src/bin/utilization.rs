@@ -29,7 +29,7 @@ fn main() {
             let mut util_sum = 0.0;
             for seq in &suite {
                 let (_, trace) = Testbed::new(policy.build()).run_traced(seq);
-                let per_slot = trace.slot_utilization(10);
+                let per_slot = trace.slot_utilization();
                 util_sum += per_slot.iter().sum::<f64>() / per_slot.len() as f64;
             }
             row.push(fmt3(util_sum / suite.len() as f64));

@@ -122,6 +122,29 @@ pub struct GenerateArgs {
     pub output: String,
 }
 
+/// Schedule-trace output format (`--trace-format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The native `Trace` JSON (round-trips through `nimblock-ser`).
+    Json,
+    /// Chrome trace-event JSON, loadable in Perfetto / `chrome://tracing`.
+    Chrome,
+    /// ASCII Gantt chart, one row per slot plus the configuration port.
+    Gantt,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` value.
+    pub fn parse(value: &str) -> Result<Self, CliError> {
+        Ok(match value {
+            "json" => TraceFormat::Json,
+            "chrome" => TraceFormat::Chrome,
+            "gantt" => TraceFormat::Gantt,
+            other => return Err(err(format!("unknown trace format '{other}'"))),
+        })
+    }
+}
+
 /// `run` command arguments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -133,8 +156,14 @@ pub struct RunArgs {
     pub slots: usize,
     /// Where to write the JSON report, if anywhere ('-' = stdout).
     pub json: Option<String>,
-    /// Print a Gantt chart of the schedule.
+    /// Print a Gantt chart of the schedule (same as `--trace-format gantt`).
     pub gantt: bool,
+    /// Where to write the run's metrics as Prometheus text ('-' = stdout).
+    pub metrics_out: Option<String>,
+    /// Schedule-trace export format, if tracing was requested.
+    pub trace_format: Option<TraceFormat>,
+    /// Where the trace goes ('-' = stdout; default stdout).
+    pub trace_out: Option<String>,
 }
 
 /// `compare` command arguments.
@@ -242,14 +271,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut slots = 10usize;
             let mut json = None;
             let mut gantt = false;
+            let mut metrics_out = None;
+            let mut trace_format = None;
+            let mut trace_out = None;
             while let Some(flag) = stream.next() {
                 match flag {
                     "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
                     "--slots" => slots = parse_number(flag, stream.value_for(flag)?)?,
                     "--json" => json = Some(stream.value_for(flag)?.to_owned()),
                     "--gantt" => gantt = true,
+                    "--metrics-out" => metrics_out = Some(stream.value_for(flag)?.to_owned()),
+                    "--trace-format" => {
+                        trace_format = Some(TraceFormat::parse(stream.value_for(flag)?)?)
+                    }
+                    "--trace-out" => trace_out = Some(stream.value_for(flag)?.to_owned()),
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
+            }
+            if trace_out.is_some() && trace_format.is_none() {
+                return Err(err("--trace-out requires --trace-format"));
             }
             Ok(Command::Run(RunArgs {
                 stimulus,
@@ -257,6 +297,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 slots,
                 json,
                 gantt,
+                metrics_out,
+                trace_format,
+                trace_out,
             }))
         }
         "faas" => {
@@ -421,6 +464,27 @@ mod tests {
         assert_eq!(c.boards, 4);
         assert_eq!(c.stimulus.events, 6);
         assert!(parse(&argv("cluster --boards 0")).is_err());
+    }
+
+    #[test]
+    fn run_telemetry_flags_parse() {
+        let line = "run --metrics-out - --trace-format chrome --trace-out t.json";
+        let Command::Run(run) = parse(&argv(line)).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.metrics_out.as_deref(), Some("-"));
+        assert_eq!(run.trace_format, Some(TraceFormat::Chrome));
+        assert_eq!(run.trace_out.as_deref(), Some("t.json"));
+        for (name, format) in [
+            ("json", TraceFormat::Json),
+            ("chrome", TraceFormat::Chrome),
+            ("gantt", TraceFormat::Gantt),
+        ] {
+            assert_eq!(TraceFormat::parse(name).unwrap(), format);
+        }
+        assert!(TraceFormat::parse("svg").is_err());
+        // --trace-out without a format is rejected.
+        assert!(parse(&argv("run --trace-out t.json")).is_err());
     }
 
     #[test]

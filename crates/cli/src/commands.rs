@@ -11,7 +11,7 @@ use nimblock_workload::{fixed_batch_sequence, generate, EventSequence};
 
 use crate::args::{
     ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs, SchedulerKind,
-    StimulusArgs,
+    StimulusArgs, TraceFormat,
 };
 use crate::CliError;
 
@@ -58,8 +58,15 @@ fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), C
 fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let events = make_sequence(&args.stimulus)?;
     let config = DeviceConfig::zcu106().with_slot_count(args.slots);
-    let testbed = Testbed::new(args.scheduler.build()).with_device_config(config);
-    let (report, trace) = if args.gantt {
+    let mut testbed = Testbed::new(args.scheduler.build()).with_device_config(config);
+    let registry = args.metrics_out.as_ref().map(|_| nimblock_obs::Registry::new());
+    if let Some(registry) = &registry {
+        testbed = testbed.with_metrics(registry.clone());
+    }
+    let trace_format = args
+        .trace_format
+        .or_else(|| args.gantt.then_some(TraceFormat::Gantt));
+    let (report, trace) = if trace_format.is_some() {
         let (report, trace) = testbed.run_traced(&events);
         (report, Some(trace))
     } else {
@@ -88,13 +95,36 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let preemptions: u32 = report.records().iter().map(|r| r.preemptions).sum();
     writeln!(out, "  makespan: {} | preemptions: {preemptions}", report.finished_at())
         .map_err(|e| CliError(e.to_string()))?;
+    let counters = report.counters();
+    let hit_rate = counters
+        .cache_hit_rate()
+        .map_or_else(|| "n/a".to_owned(), |r| fmt3(r));
+    writeln!(
+        out,
+        "  counters: reconfigurations {} | alloc stalls {} | bitstream cache hit rate {hit_rate}",
+        counters.reconfigurations, counters.alloc_stalls,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
 
-    if let Some(trace) = trace {
-        writeln!(out, "\n{}", trace.gantt(args.slots, 100)).map_err(|e| CliError(e.to_string()))?;
+    if let (Some(format), Some(trace)) = (trace_format, &trace) {
+        let rendered = match format {
+            TraceFormat::Json => nimblock_ser::to_string_pretty(trace),
+            TraceFormat::Chrome => trace.to_chrome(),
+            TraceFormat::Gantt => trace.gantt(100),
+        };
+        match args.trace_out.as_deref() {
+            None | Some("-") => {
+                writeln!(out, "\n{rendered}").map_err(|e| CliError(e.to_string()))?
+            }
+            Some(path) => write_output(path, &rendered, out)?,
+        }
     }
     if let Some(path) = &args.json {
         let json = nimblock_ser::to_string_pretty(&report);
         write_output(path, &json, out)?;
+    }
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        write_output(path, &registry.render_prometheus(), out)?;
     }
     Ok(())
 }
@@ -269,6 +299,40 @@ mod tests {
         let output = run_line("run --scheduler nimblock --events 2 --seed 5 --slots 4 --gantt");
         assert!(output.contains("slot#0"), "{output}");
         assert!(output.contains("slot#3"), "{output}");
+    }
+
+    #[test]
+    fn run_prints_counters_without_any_flags() {
+        let output = run_line("run --scheduler nimblock --events 3 --seed 1");
+        assert!(output.contains("counters: reconfigurations"), "{output}");
+        assert!(output.contains("bitstream cache hit rate"), "{output}");
+    }
+
+    #[test]
+    fn metrics_out_renders_valid_prometheus() {
+        let output = run_line("run --scheduler nimblock --events 3 --seed 1 --metrics-out -");
+        let start = output.find("# HELP").expect("prometheus text in output");
+        let count = nimblock_obs::validate_prometheus(&output[start..]).unwrap();
+        assert!(count > 5, "expected several series, got {count}");
+        assert!(output.contains("hv_arrivals_total 3"), "{output}");
+    }
+
+    #[test]
+    fn chrome_trace_export_is_valid() {
+        let output =
+            run_line("run --scheduler nimblock --events 2 --seed 5 --trace-format chrome");
+        let start = output.find('{').expect("chrome json in output");
+        nimblock_obs::validate_chrome_trace(output[start..].trim()).unwrap();
+    }
+
+    #[test]
+    fn trace_format_json_roundtrips() {
+        let output = run_line("run --scheduler fcfs --events 2 --seed 5 --trace-format json");
+        let start = output.find('{').expect("trace json in output");
+        let trace: nimblock_core::Trace =
+            nimblock_ser::from_str(output[start..].trim()).unwrap();
+        trace.validate().unwrap();
+        assert!(!trace.events().is_empty());
     }
 
     #[test]

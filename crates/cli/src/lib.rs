@@ -15,7 +15,10 @@
 mod args;
 mod commands;
 
-pub use args::{parse, CliError, ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs, SchedulerKind};
+pub use args::{
+    parse, CliError, ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs,
+    SchedulerKind, TraceFormat,
+};
 pub use commands::{execute, load_sequence, make_sequence};
 
 /// The usage text printed for `--help` or argument errors.
@@ -27,6 +30,7 @@ USAGE:
                         [--batch N --delay-ms N] --output FILE
   nimblock-cli run      [--scheduler NAME] [stimulus options | --input FILE]
                         [--slots N] [--json FILE] [--gantt]
+                        [--metrics-out FILE] [--trace-format FMT [--trace-out FILE]]
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
@@ -43,9 +47,16 @@ SCHEDULERS (--scheduler):
   nimblock nimblock-nopreempt nimblock-nopipe nimblock-nopreempt-nopipe
 
 OTHER:
-  --slots N      slots on the modelled device [10]
-  --json FILE    write the full report as JSON ('-' for stdout)
-  --gantt        print a slot-occupancy Gantt chart of the schedule
-  --output FILE  where generate writes the stimulus ('-' for stdout)
-  --input FILE   load a stimulus JSON instead of generating one
+  --slots N            slots on the modelled device [10]
+  --json FILE          write the full report as JSON ('-' for stdout)
+  --gantt              print a slot-occupancy Gantt chart of the schedule
+  --metrics-out FILE   write run telemetry as Prometheus text ('-' for stdout)
+  --trace-format FMT   export the schedule trace: json | chrome | gantt
+                       (chrome loads in Perfetto / chrome://tracing)
+  --trace-out FILE     where the trace goes ('-' for stdout) [stdout]
+  --output FILE        where generate writes the stimulus ('-' for stdout)
+  --input FILE         load a stimulus JSON instead of generating one
+
+Set NIMBLOCK_LOG=debug (or e.g. 'hv=debug,sched=info') for structured logs
+on stderr.
 ";

@@ -2,7 +2,8 @@
 
 use nimblock_core::{HvEvent, Hypervisor, Scheduler};
 use nimblock_fpga::{Device, DeviceConfig};
-use nimblock_metrics::Report;
+use nimblock_metrics::{Report, RunCounters};
+use nimblock_obs::nb_debug;
 use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
 use nimblock_workload::EventSequence;
 
@@ -66,6 +67,7 @@ struct ClusterHandler<S> {
     dispatched: usize,
     total_events: usize,
     tick: SimDuration,
+    dispatches: nimblock_obs::Counter,
 }
 
 impl<S: Scheduler> ClusterHandler<S> {
@@ -98,6 +100,8 @@ impl<S: Scheduler> Handler<ClusterEvent> for ClusterHandler<S> {
                 self.cursor += 1;
                 self.dispatched += 1;
                 self.assignments[index] = board;
+                self.dispatches.inc();
+                nb_debug!("cluster", "dispatch event {index} -> board {board}");
                 self.deliver(board, HvEvent::Arrival(index), now, queue);
             }
             ClusterEvent::Board(board, inner) => self.deliver(board, inner, now, queue),
@@ -124,6 +128,7 @@ pub struct ClusterTestbed<F> {
     scheduler_factory: F,
     device_config: DeviceConfig,
     horizon: SimTime,
+    metrics: Option<nimblock_obs::Registry>,
 }
 
 impl<S, F> ClusterTestbed<F>
@@ -145,12 +150,22 @@ where
             scheduler_factory,
             device_config: DeviceConfig::zcu106(),
             horizon: SimTime::from_secs(10_000_000),
+            metrics: None,
         }
     }
 
     /// Overrides the per-board device configuration.
     pub fn with_device_config(mut self, device_config: DeviceConfig) -> Self {
         self.device_config = device_config;
+        self
+    }
+
+    /// Publishes cluster-level telemetry in `registry`: the dispatcher's
+    /// `cluster_*` series. Per-board hypervisors keep private (detached)
+    /// instruments — a shared registry would conflate the boards — and
+    /// their counters surface merged in [`ClusterReport::merged`].
+    pub fn with_metrics(mut self, registry: nimblock_obs::Registry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -173,6 +188,18 @@ where
                 .with_tick_interval(SimDuration::ZERO)
             })
             .collect();
+        let dispatches = match &self.metrics {
+            Some(registry) => {
+                registry
+                    .gauge("cluster_boards", "Boards in the modelled cluster")
+                    .set(self.boards as i64);
+                registry.counter(
+                    "cluster_dispatches_total",
+                    "Applications dispatched to a board",
+                )
+            }
+            None => nimblock_obs::Counter::detached(),
+        };
         let handler = ClusterHandler {
             boards,
             dispatch: self.dispatch,
@@ -181,6 +208,7 @@ where
             dispatched: 0,
             total_events: events.len(),
             tick,
+            dispatches,
         };
         let mut sim = Simulation::new(handler);
         for (index, event) in events.iter().enumerate() {
@@ -210,6 +238,17 @@ where
             .iter()
             .flat_map(|r| r.records().iter().cloned())
             .collect();
+        let merged_counters = per_board
+            .iter()
+            .fold(RunCounters::default(), |acc, r| acc.merged(*r.counters()));
+        if let Some(registry) = &self.metrics {
+            registry
+                .counter("cluster_arrivals_total", "Arrivals across all boards")
+                .add(merged_counters.arrivals);
+            registry
+                .counter("cluster_retires_total", "Retirements across all boards")
+                .add(merged_counters.retires);
+        }
         let merged = Report::new(
             format!(
                 "cluster({boards}x{scheduler_name}, {dispatch_name})",
@@ -217,7 +256,8 @@ where
             ),
             merged_records,
             finished_at,
-        );
+        )
+        .with_counters(merged_counters);
         ClusterReport {
             merged,
             per_board,
@@ -295,6 +335,25 @@ mod tests {
         let assignments = report.assignments();
         assert_ne!(assignments[1], assignments[0]);
         assert_ne!(assignments[2], assignments[0]);
+    }
+
+    #[test]
+    fn cluster_metrics_and_merged_counters() {
+        let events = generate(7, 9, Scenario::Standard);
+        let registry = nimblock_obs::Registry::new();
+        let report = cluster(3, DispatchPolicy::RoundRobin)
+            .with_metrics(registry.clone())
+            .run(&events);
+        let text = registry.render_prometheus();
+        assert!(text.contains("cluster_dispatches_total 9"), "{text}");
+        assert!(text.contains("cluster_boards 3"), "{text}");
+        assert!(text.contains("cluster_arrivals_total 9"), "{text}");
+        assert!(text.contains("cluster_retires_total 9"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+        // The merged report aggregates the per-board counters.
+        assert_eq!(report.merged().counters().arrivals, 9);
+        let per_board_sum: u64 = report.per_board().iter().map(|r| r.counters().retires).sum();
+        assert_eq!(per_board_sum, 9);
     }
 
     #[test]

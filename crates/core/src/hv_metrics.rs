@@ -1,0 +1,133 @@
+//! Hypervisor instrumentation: one handle per measured quantity.
+//!
+//! `HvMetrics` bundles every instrument the [`crate::Hypervisor`] updates.
+//! By default the handles are *detached* — they record into their own
+//! atomics without any registry, so the hot path costs the same whether a
+//! collector is attached or not (one relaxed atomic op per update), and
+//! per-hypervisor counts stay correct even when several boards run in one
+//! process. [`HvMetrics::registered`] additionally publishes the handles
+//! under `hv_*` names so `Registry::render_prometheus` exposes them.
+
+use nimblock_metrics::RunCounters;
+use nimblock_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Every instrument the hypervisor maintains during a run.
+#[derive(Debug, Clone, Default)]
+pub struct HvMetrics {
+    /// True when a registry is attached; gates the (wall-clock) decision
+    /// latency measurement, which is the only instrument whose *collection*
+    /// has nontrivial cost and nondeterministic value.
+    pub(crate) timed: bool,
+    /// Applications admitted into the pending queue.
+    pub arrivals: Counter,
+    /// Applications retired.
+    pub retires: Counter,
+    /// Batch- or fine-grained preemptions enacted.
+    pub preemptions: Counter,
+    /// Partial reconfigurations started on the CAP.
+    pub reconfigurations: Counter,
+    /// Launches deferred for lack of buffer memory.
+    pub alloc_stalls: Counter,
+    /// Bitstream registrations served from the cache (warm starts).
+    pub bitstream_cache_hits: Counter,
+    /// Bitstream registrations that stored a new image (cold starts).
+    pub bitstream_cache_misses: Counter,
+    /// Batch items completed on the fabric.
+    pub items: Counter,
+    /// Item completions discarded as stale (aborted by fine preemption).
+    pub stale_completions: Counter,
+    /// Simulated microseconds the CAP spent streaming bitstreams.
+    pub cap_busy_micros: Counter,
+    /// Reconfigurations currently in flight on the (serial) CAP: 0 or 1.
+    pub reconfig_queue_depth: Gauge,
+    /// Per-application wait time (arrival to first launch), microseconds.
+    pub wait_micros: Histogram,
+    /// Per-application response time (arrival to retire), microseconds.
+    pub response_micros: Histogram,
+    /// Wall-clock nanoseconds per `next_reconfig` policy consultation.
+    /// Only observed when a registry is attached ([`HvMetrics::timed`]).
+    pub decision_latency_nanos: Histogram,
+}
+
+impl HvMetrics {
+    /// Detached instruments: always-on counting, no exposition.
+    pub fn detached() -> Self {
+        HvMetrics::default()
+    }
+
+    /// Instruments registered in `registry` under `hv_*` names. Two
+    /// hypervisors registered in the *same* registry share series (the
+    /// registry dedupes by name), which aggregates their counts — per-board
+    /// reports should keep detached metrics instead.
+    pub fn registered(registry: &Registry) -> Self {
+        HvMetrics {
+            timed: true,
+            arrivals: registry.counter("hv_arrivals_total", "Applications admitted into the pending queue"),
+            retires: registry.counter("hv_retires_total", "Applications retired (whole batch finished)"),
+            preemptions: registry.counter("hv_preemptions_total", "Preemptions enacted (batch or fine-grained)"),
+            reconfigurations: registry.counter("hv_reconfigurations_total", "Partial reconfigurations started on the CAP"),
+            alloc_stalls: registry.counter("hv_alloc_stalls_total", "Launches deferred for lack of buffer memory"),
+            bitstream_cache_hits: registry.counter("hv_bitstream_cache_hits_total", "Bitstream registrations served from the cache"),
+            bitstream_cache_misses: registry.counter("hv_bitstream_cache_misses_total", "Bitstream registrations that stored a new image"),
+            items: registry.counter("hv_items_total", "Batch items completed on the fabric"),
+            stale_completions: registry.counter("hv_stale_completions_total", "Item completions discarded as stale after a fine preemption"),
+            cap_busy_micros: registry.counter("hv_cap_busy_micros_total", "Simulated microseconds the CAP spent streaming bitstreams"),
+            reconfig_queue_depth: registry.gauge("hv_reconfig_queue_depth", "Reconfigurations in flight on the serial CAP"),
+            wait_micros: registry.histogram("hv_wait_micros", "Per-application wait time (arrival to first launch), simulated microseconds"),
+            response_micros: registry.histogram("hv_response_micros", "Per-application response time (arrival to retire), simulated microseconds"),
+            decision_latency_nanos: registry.histogram("hv_decision_latency_nanos", "Wall-clock nanoseconds per scheduler next_reconfig consultation"),
+        }
+    }
+
+    /// Snapshot of the whole-run counters for the end-of-run report.
+    pub fn run_counters(&self) -> RunCounters {
+        RunCounters {
+            arrivals: self.arrivals.get(),
+            retires: self.retires.get(),
+            preemptions: self.preemptions.get(),
+            reconfigurations: self.reconfigurations.get(),
+            alloc_stalls: self.alloc_stalls.get(),
+            bitstream_cache_hits: self.bitstream_cache_hits.get(),
+            bitstream_cache_misses: self.bitstream_cache_misses.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_metrics_count_without_a_registry() {
+        let m = HvMetrics::detached();
+        assert!(!m.timed);
+        m.arrivals.inc();
+        m.preemptions.add(2);
+        let counters = m.run_counters();
+        assert_eq!(counters.arrivals, 1);
+        assert_eq!(counters.preemptions, 2);
+    }
+
+    #[test]
+    fn registered_metrics_expose_hv_series() {
+        let registry = Registry::new();
+        let m = HvMetrics::registered(&registry);
+        assert!(m.timed);
+        m.arrivals.add(3);
+        m.wait_micros.observe(150);
+        let text = registry.render_prometheus();
+        assert!(text.contains("hv_arrivals_total 3"), "{text}");
+        assert!(text.contains("hv_wait_micros_count 1"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn two_hypervisors_in_one_registry_share_series() {
+        let registry = Registry::new();
+        let a = HvMetrics::registered(&registry);
+        let b = HvMetrics::registered(&registry);
+        a.arrivals.inc();
+        b.arrivals.inc();
+        assert_eq!(a.arrivals.get(), 2, "same name must mean same series");
+    }
+}

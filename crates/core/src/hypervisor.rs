@@ -9,8 +9,10 @@ use nimblock_sim::{EventQueue, Handler, SimTime};
 use nimblock_app::TaskId;
 use nimblock_workload::ArrivalEvent;
 
+use nimblock_obs::{nb_debug, nb_info, nb_trace};
+
 use crate::trace::{Trace, TraceEvent};
-use crate::{AppId, AppRuntime, Reconfig, SchedView, Scheduler, SlotBinding, TaskPhase};
+use crate::{AppId, AppRuntime, HvMetrics, Reconfig, SchedView, Scheduler, SlotBinding, TaskPhase};
 
 /// A hypervisor event, delivered by the simulation engine.
 ///
@@ -59,9 +61,9 @@ pub struct Hypervisor<S> {
     records: Vec<ResponseRecord>,
     next_app_raw: u64,
     arrivals_seen: usize,
-    /// Launches skipped because the buffer pool was exhausted; they retry
-    /// at later scheduling points once memory frees up.
-    alloc_stalls: u64,
+    /// Instrumentation: always-on detached handles, optionally published
+    /// through a registry via [`Hypervisor::with_metrics`].
+    metrics: HvMetrics,
     interconnect: nimblock_fpga::Interconnect,
     tick_interval: nimblock_sim::SimDuration,
     trace: Option<Trace>,
@@ -93,7 +95,7 @@ impl<S: Scheduler> Hypervisor<S> {
             records: Vec::new(),
             next_app_raw: 0,
             arrivals_seen: 0,
-            alloc_stalls: 0,
+            metrics: HvMetrics::detached(),
             interconnect: nimblock_fpga::Interconnect::zcu106_default(),
             tick_interval: nimblock_sim::SimDuration::from_millis(
                 nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS,
@@ -121,10 +123,26 @@ impl<S: Scheduler> Hypervisor<S> {
     }
 
     /// Enables schedule tracing (see [`Trace`]). Off by default: traces of
-    /// long runs are large.
+    /// long runs are large. The trace records the device's slot count so
+    /// downstream analysis (utilization, validation, Gantt/Chrome export)
+    /// needs no out-of-band configuration.
     pub fn with_tracing(mut self) -> Self {
-        self.trace = Some(Trace::new());
+        self.trace = Some(Trace::with_slots(self.device.slot_count()));
         self
+    }
+
+    /// Publishes this hypervisor's instruments in `registry` (as `hv_*`
+    /// series) and enables wall-clock scheduler decision-latency timing.
+    /// Without this the hypervisor still counts — into detached handles —
+    /// so the end-of-run report's counters are always populated.
+    pub fn with_metrics(mut self, registry: &nimblock_obs::Registry) -> Self {
+        self.metrics = HvMetrics::registered(registry);
+        self
+    }
+
+    /// Returns the hypervisor's instruments.
+    pub fn metrics(&self) -> &HvMetrics {
+        &self.metrics
     }
 
     /// Returns the recorded trace so far, if tracing is enabled.
@@ -175,7 +193,7 @@ impl<S: Scheduler> Hypervisor<S> {
 
     /// Returns how many launches were deferred for lack of buffer memory.
     pub fn alloc_stalls(&self) -> u64 {
-        self.alloc_stalls
+        self.metrics.alloc_stalls.get()
     }
 
     /// Returns `true` once every stimulus event has arrived and retired.
@@ -183,9 +201,12 @@ impl<S: Scheduler> Hypervisor<S> {
         self.arrivals_seen == self.stimulus.len() && self.apps.is_empty()
     }
 
-    /// Consumes the hypervisor into a metrics report.
+    /// Consumes the hypervisor into a metrics report, including the
+    /// whole-run counters (preemptions, reconfigurations, alloc stalls,
+    /// bitstream cache hits/misses).
     pub fn into_report(self, finished_at: SimTime) -> Report {
         Report::new(self.scheduler.name(), self.records, finished_at)
+            .with_counters(self.metrics.run_counters())
     }
 
     fn slot_snapshot(&self) -> Vec<SlotBinding> {
@@ -223,6 +244,7 @@ impl<S: Scheduler> Hypervisor<S> {
             );
         }
         self.arrivals_seen += 1;
+        self.metrics.arrivals.inc();
         let id = AppId::new(self.next_app_raw);
         self.next_app_raw += 1;
         let bitstreams = (0..event.app().graph().task_count())
@@ -232,11 +254,30 @@ impl<S: Scheduler> Hypervisor<S> {
                     task,
                     event.app().bitstream_bytes(),
                 );
-                *self.bitstream_cache.entry(key).or_insert_with(|| {
-                    self.device.store_mut().register(event.app().bitstream_bytes())
-                })
+                match self.bitstream_cache.get(&key) {
+                    Some(&bitstream) => {
+                        // Warm start: the partial bitstream files of a
+                        // repeat invocation are already on the card.
+                        self.metrics.bitstream_cache_hits.inc();
+                        bitstream
+                    }
+                    None => {
+                        self.metrics.bitstream_cache_misses.inc();
+                        let bitstream =
+                            self.device.store_mut().register(event.app().bitstream_bytes());
+                        self.bitstream_cache.insert(key, bitstream);
+                        bitstream
+                    }
+                }
             })
             .collect();
+        nb_info!(
+            "hv",
+            "msg=\"admitted\" app={id} name={} batch={} priority={:?} at={now}",
+            event.app().name(),
+            event.batch_size(),
+            event.priority(),
+        );
         let runtime = AppRuntime::new(
             id,
             index,
@@ -266,7 +307,8 @@ impl<S: Scheduler> Hypervisor<S> {
     }
 
     fn on_reconfig_done(&mut self, slot: SlotId, now: SimTime) {
-        let _ = now;
+        nb_trace!("cap", "msg=\"reconfig done\" slot={slot} at={now}");
+        self.metrics.reconfig_queue_depth.add(-1);
         self.device.finish_reconfiguration(slot);
         let (app, task) = self.bindings[slot.index()]
             .expect("reconfiguration completed on an unbound slot");
@@ -279,8 +321,10 @@ impl<S: Scheduler> Hypervisor<S> {
         if gen != self.launch_gen[slot.index()] {
             // The launch this completion belongs to was aborted by a
             // fine-grained preemption; its progress is checkpointed.
+            self.metrics.stale_completions.inc();
             return;
         }
+        self.metrics.items.inc();
         self.device.finish_execution(slot);
         let runtime = self.apps.get_mut(&app).expect("running app is live");
         debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Running(slot));
@@ -338,6 +382,21 @@ impl<S: Scheduler> Hypervisor<S> {
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Retire { app, at: now });
         }
+        self.metrics.retires.inc();
+        let wait = match runtime.first_launch {
+            Some(first) => first.saturating_since(runtime.arrival()),
+            None => now.saturating_since(runtime.arrival()),
+        };
+        self.metrics.wait_micros.observe(wait.as_micros());
+        self.metrics
+            .response_micros
+            .observe(now.saturating_since(runtime.arrival()).as_micros());
+        nb_info!(
+            "hv",
+            "msg=\"retired\" app={app} name={} at={now} preemptions={}",
+            runtime.spec().name(),
+            runtime.preemptions,
+        );
         self.records.push(ResponseRecord {
             event_index: runtime.event_index(),
             app_name: runtime.spec().name().to_owned(),
@@ -444,6 +503,11 @@ impl<S: Scheduler> Hypervisor<S> {
             let victim = self.apps.get_mut(&victim_app).expect("bound app is live");
             victim.phases[victim_task.index()] = TaskPhase::Unplaced;
             victim.preemptions += 1;
+            self.metrics.preemptions.inc();
+            nb_debug!(
+                "hv",
+                "msg=\"preempt\" slot={slot} victim={victim_app} task={victim_task} at={now}"
+            );
             self.bindings[slot.index()] = None;
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent::Preempt {
@@ -462,6 +526,15 @@ impl<S: Scheduler> Hypervisor<S> {
         let runtime = self.apps.get_mut(&app).expect("checked above");
         runtime.phases[task.index()] = TaskPhase::Reconfiguring(slot);
         runtime.reconfig_time += done_at.saturating_since(now);
+        self.metrics.reconfigurations.inc();
+        self.metrics.reconfig_queue_depth.add(1);
+        self.metrics
+            .cap_busy_micros
+            .add(done_at.saturating_since(reconfig_start).as_micros());
+        nb_debug!(
+            "cap",
+            "msg=\"reconfig\" slot={slot} app={app} task={task} start={reconfig_start} done={done_at}"
+        );
         self.bindings[slot.index()] = Some((app, task));
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Reconfig {
@@ -502,7 +575,11 @@ impl<S: Scheduler> Hypervisor<S> {
                     Err(_) => {
                         // Retry at a later scheduling point, once buffers
                         // have been relinquished.
-                        self.alloc_stalls += 1;
+                        self.metrics.alloc_stalls.inc();
+                        nb_debug!(
+                            "hv",
+                            "msg=\"alloc stall\" app={app} task={task} at={now}"
+                        );
                         continue;
                     }
                 }
@@ -565,7 +642,20 @@ impl<S: Scheduler> Hypervisor<S> {
                     reconfig_latency: self.device.nominal_reconfig_latency(),
                     interconnect: self.interconnect,
                 };
-                self.scheduler.next_reconfig(&view)
+                // Wall-clock decision latency is only measured when a
+                // registry is attached: the Instant pair is the one
+                // instrument with a real (syscall-level) cost, and its
+                // values are nondeterministic.
+                if self.metrics.timed {
+                    let started = std::time::Instant::now();
+                    let directive = self.scheduler.next_reconfig(&view);
+                    self.metrics
+                        .decision_latency_nanos
+                        .observe(started.elapsed().as_nanos() as u64);
+                    directive
+                } else {
+                    self.scheduler.next_reconfig(&view)
+                }
             };
             match directive {
                 Some(reconfig) => self.enact(reconfig, now, queue),

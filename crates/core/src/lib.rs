@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hv_metrics;
 mod hypervisor;
 mod runtime;
 mod scheduler;
@@ -55,6 +56,7 @@ mod testbed;
 pub mod trace;
 mod view;
 
+pub use hv_metrics::HvMetrics;
 pub use hypervisor::{Hypervisor, HvEvent};
 pub use runtime::{AppId, AppRuntime, TaskPhase};
 pub use scheduler::{

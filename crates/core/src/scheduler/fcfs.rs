@@ -3,7 +3,9 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use nimblock_app::TaskId;
+use nimblock_obs::nb_debug;
 
+use crate::scheduler::SchedMetrics;
 use crate::{AppId, Reconfig, SchedView, Scheduler, TaskPhase};
 
 /// The naive sharing scheduler: "all tasks that are ready to execute from
@@ -20,6 +22,7 @@ use crate::{AppId, Reconfig, SchedView, Scheduler, TaskPhase};
 pub struct FcfsScheduler {
     ready: VecDeque<(AppId, TaskId)>,
     enqueued: BTreeSet<(AppId, TaskId)>,
+    metrics: SchedMetrics,
 }
 
 impl FcfsScheduler {
@@ -44,7 +47,12 @@ impl Scheduler for FcfsScheduler {
         self.enqueued.retain(|&(a, _)| a != app);
     }
 
+    fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
+        self.metrics.register(registry);
+    }
+
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
+        self.metrics.decisions.inc();
         // Enqueue tasks that have just become ready. Tasks becoming ready
         // at the same scheduling point order by application age.
         for (&app, runtime) in view.apps {
@@ -54,6 +62,7 @@ impl Scheduler for FcfsScheduler {
                 }
             }
         }
+        self.metrics.ready_depth.set(self.ready.len() as i64);
         view.first_free_slot()?;
         while let Some(&(app, task)) = self.ready.front() {
             let placeable = view
@@ -64,6 +73,9 @@ impl Scheduler for FcfsScheduler {
                 let slot = view.first_free_slot_fitting(app, task)?;
                 self.ready.pop_front();
                 self.enqueued.remove(&(app, task));
+                self.metrics.directives.inc();
+                self.metrics.ready_depth.add(-1);
+                nb_debug!("sched.fcfs", "place {app} {task} -> {slot}");
                 return Some(Reconfig { app, task, slot });
             }
             self.ready.pop_front();

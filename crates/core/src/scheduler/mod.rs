@@ -3,6 +3,7 @@
 mod dml;
 mod extras;
 mod fcfs;
+mod metrics;
 mod nimblock;
 mod no_sharing;
 mod prema;
@@ -16,6 +17,7 @@ pub use nimblock::{NimblockConfig, NimblockScheduler};
 pub use no_sharing::NoSharingScheduler;
 pub use prema::PremaScheduler;
 pub use round_robin::RoundRobinScheduler;
+pub(crate) use metrics::SchedMetrics;
 pub(crate) use tokens::TokenBank;
 
 use crate::{AppId, Reconfig, SchedView};
@@ -59,6 +61,14 @@ pub trait Scheduler {
     /// Returns the next reconfiguration to perform, or `None` to leave the
     /// configuration port idle until the next scheduling point.
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig>;
+
+    /// Publishes the policy's instruments (candidate counts, token levels,
+    /// queue depths, …) in `registry` under `sched_*` names. The default
+    /// does nothing; policies without interesting internal state need not
+    /// implement it.
+    fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
+        let _ = registry;
+    }
 }
 
 impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
@@ -80,5 +90,9 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
         (**self).next_reconfig(view)
+    }
+
+    fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
+        (**self).attach_metrics(registry);
     }
 }

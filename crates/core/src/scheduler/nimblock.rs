@@ -3,8 +3,9 @@
 use std::collections::{BTreeMap, HashMap};
 
 use nimblock_ilp::{saturation, EstimatorConfig, PipelineEstimator};
+use nimblock_obs::nb_debug;
 
-use crate::scheduler::TokenBank;
+use crate::scheduler::{SchedMetrics, TokenBank};
 use crate::{AppId, Reconfig, SchedView, Scheduler, TaskPhase};
 
 /// Configuration of the [`NimblockScheduler`], including the ablation
@@ -113,6 +114,7 @@ pub struct NimblockScheduler {
     /// cache them as the paper caches its offline Gurobi results.
     goal_cache: HashMap<(String, u32, usize), usize>,
     preemptions_issued: u64,
+    metrics: SchedMetrics,
 }
 
 impl NimblockScheduler {
@@ -130,6 +132,7 @@ impl NimblockScheduler {
             goals: BTreeMap::new(),
             goal_cache: HashMap::new(),
             preemptions_issued: 0,
+            metrics: SchedMetrics::detached(),
         }
     }
 
@@ -308,10 +311,19 @@ impl Scheduler for NimblockScheduler {
         self.goals.remove(&app);
     }
 
+    fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
+        self.metrics.register(registry);
+    }
+
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
+        self.metrics.decisions.inc();
         self.bank.accumulate(view.now);
+        self.metrics
+            .max_tokens_milli
+            .set((self.bank.max_tokens() * 1000.0) as i64);
         let mut candidates = self.bank.candidates(view.now);
         candidates.retain(|c| view.app(*c).is_some());
+        self.metrics.candidates.observe(candidates.len() as u64);
         if candidates.is_empty() {
             return None;
         }
@@ -332,6 +344,8 @@ impl Scheduler for NimblockScheduler {
             // task's placed predecessors; on the through-PS interconnect
             // every slot costs the same and this is the first free slot.
             if let Some(slot) = view.best_free_slot_for(app, task) {
+                self.metrics.directives.inc();
+                nb_debug!("sched.nimblock", "place {app} {task} -> {slot}");
                 return Some(Reconfig { app, task, slot });
             }
             if self.config.preemption {
@@ -344,6 +358,9 @@ impl Scheduler for NimblockScheduler {
                     .resources();
                 if let Some(slot) = self.preemption_victim(view, &alloc, app, &needs) {
                     self.preemptions_issued += 1;
+                    self.metrics.directives.inc();
+                    self.metrics.preempt_directives.inc();
+                    nb_debug!("sched.nimblock", "preempt {slot} for {app} {task}");
                     return Some(Reconfig { app, task, slot });
                 }
             }

@@ -1,6 +1,8 @@
 //! Task-based PREMA scheduling (paper §5.1).
 
-use crate::scheduler::TokenBank;
+use nimblock_obs::nb_debug;
+
+use crate::scheduler::{SchedMetrics, TokenBank};
 use crate::{AppId, Reconfig, SchedView, Scheduler};
 
 /// The task-based PREMA comparison scheduler.
@@ -25,6 +27,7 @@ pub struct PremaScheduler {
     bank: TokenBank,
     current: Option<AppId>,
     backfill: bool,
+    metrics: SchedMetrics,
 }
 
 impl PremaScheduler {
@@ -35,6 +38,7 @@ impl PremaScheduler {
             bank: TokenBank::new(1.0),
             current: None,
             backfill: false,
+            metrics: SchedMetrics::detached(),
         }
     }
 
@@ -95,9 +99,23 @@ impl Scheduler for PremaScheduler {
         }
     }
 
+    fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
+        self.metrics.register(registry);
+    }
+
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
+        self.metrics.decisions.inc();
         view.first_free_slot()?;
         self.bank.accumulate(view.now);
+        self.metrics
+            .max_tokens_milli
+            .set((self.bank.max_tokens() * 1000.0) as i64);
+        let pool = {
+            let mut pool = self.bank.candidates(view.now);
+            pool.retain(|c| view.app(*c).is_some());
+            pool.len()
+        };
+        self.metrics.candidates.observe(pool as u64);
 
         // Pick the next application to execute when the board frees up:
         // the shortest candidate (estimated remaining compute).
@@ -115,6 +133,8 @@ impl Scheduler for PremaScheduler {
         // it effectively owns the board until it completes.
         if let Some(task) = runtime.next_unplaced_eager() {
             if let Some(slot) = view.first_free_slot_fitting(current, task) {
+                self.metrics.directives.inc();
+                nb_debug!("sched.prema", "place {current} {task} -> {slot}");
                 return Some(Reconfig { app: current, task, slot });
             }
         }
@@ -139,6 +159,8 @@ impl Scheduler for PremaScheduler {
             let runtime = view.app(app).expect("live app");
             if let Some(task) = runtime.next_unplaced_ready() {
                 if let Some(slot) = view.first_free_slot_fitting(app, task) {
+                    self.metrics.directives.inc();
+                    nb_debug!("sched.prema", "backfill {app} {task} -> {slot}");
                     return Some(Reconfig { app, task, slot });
                 }
             }

@@ -119,6 +119,13 @@ impl TokenBank {
     pub(crate) fn tokens(&self, app: AppId) -> Option<f64> {
         self.entries.get(&app).map(|e| e.tokens)
     }
+
+    /// Returns the highest token count in the bank (zero when empty) —
+    /// the raw value the candidate [`TokenBank::threshold`] is floored
+    /// from. Exposed as the `sched_max_tokens_milli` telemetry gauge.
+    pub(crate) fn max_tokens(&self) -> f64 {
+        self.entries.values().map(|e| e.tokens).fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]

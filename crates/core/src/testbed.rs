@@ -32,6 +32,7 @@ pub struct Testbed<S> {
     interconnect: Option<nimblock_fpga::Interconnect>,
     scheduling_interval: SimDuration,
     fine_checkpoint: Option<SimDuration>,
+    metrics: Option<nimblock_obs::Registry>,
 }
 
 /// Default livelock horizon: far beyond any legitimate sequence length
@@ -52,7 +53,18 @@ impl<S: Scheduler> Testbed<S> {
                 nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS,
             ),
             fine_checkpoint: None,
+            metrics: None,
         }
+    }
+
+    /// Publishes run telemetry in `registry`: the hypervisor's `hv_*`
+    /// series, the policy's `sched_*` series (via
+    /// [`Scheduler::attach_metrics`]), and the simulation engine's `sim_*`
+    /// series. The registry outlives the run — render it afterwards with
+    /// `registry.render_prometheus()` or serialize it as JSON.
+    pub fn with_metrics(mut self, registry: nimblock_obs::Registry) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Overrides the device configuration (slot count, port bandwidth, …).
@@ -119,6 +131,7 @@ impl<S: Scheduler> Testbed<S> {
     /// Panics under the same conditions as [`Testbed::run`].
     pub fn run_traced(self, events: &EventSequence) -> (Report, crate::Trace) {
         let horizon = self.horizon;
+        let registry = self.metrics.clone();
         let mut sim = self.into_simulation(events, true);
         sim.run_until(horizon);
         assert!(
@@ -126,10 +139,29 @@ impl<S: Scheduler> Testbed<S> {
             "testbed hit the livelock horizon with {} applications outstanding",
             sim.handler().apps().len()
         );
+        Self::export_sim_metrics(registry.as_ref(), &sim);
         let finished_at = sim.now();
         let mut hypervisor = sim.into_handler();
         let trace = hypervisor.take_trace().expect("tracing was enabled");
         (hypervisor.into_report(finished_at), trace)
+    }
+
+    /// Publishes the engine-level series after a run: events processed and
+    /// the event-queue high-water mark.
+    fn export_sim_metrics(
+        registry: Option<&nimblock_obs::Registry>,
+        sim: &Simulation<HvEvent, Hypervisor<S>>,
+    ) {
+        let Some(registry) = registry else { return };
+        registry
+            .counter("sim_events_total", "Simulation events processed")
+            .add(sim.steps());
+        registry
+            .gauge(
+                "sim_event_queue_depth_max",
+                "High-water mark of the simulation event-queue depth",
+            )
+            .set(sim.max_queue_depth() as i64);
     }
 
     fn into_simulation(
@@ -139,8 +171,15 @@ impl<S: Scheduler> Testbed<S> {
     ) -> Simulation<HvEvent, Hypervisor<S>> {
         let device = Device::new(self.device_config);
         let tick = self.scheduling_interval;
-        let mut hypervisor = Hypervisor::new(device, self.scheduler, events.events().to_vec())
+        let mut scheduler = self.scheduler;
+        if let Some(registry) = &self.metrics {
+            scheduler.attach_metrics(registry);
+        }
+        let mut hypervisor = Hypervisor::new(device, scheduler, events.events().to_vec())
             .with_tick_interval(tick);
+        if let Some(registry) = &self.metrics {
+            hypervisor = hypervisor.with_metrics(registry);
+        }
         if let Some(overhead) = self.per_item_overhead {
             hypervisor = hypervisor.with_per_item_overhead(overhead);
         }
@@ -170,6 +209,7 @@ impl<S: Scheduler> Testbed<S> {
     /// worth failing loudly on.
     pub fn run(self, events: &EventSequence) -> Report {
         let horizon = self.horizon;
+        let registry = self.metrics.clone();
         let mut sim = self.into_simulation(events, false);
         sim.run_until(horizon);
         assert!(
@@ -177,6 +217,7 @@ impl<S: Scheduler> Testbed<S> {
             "testbed hit the livelock horizon with {} applications outstanding",
             sim.handler().apps().len()
         );
+        Self::export_sim_metrics(registry.as_ref(), &sim);
         let finished_at = sim.now();
         sim.into_handler().into_report(finished_at)
     }
@@ -205,6 +246,38 @@ mod tests {
                 assert!(record.first_launch.is_some(), "{}", report.scheduler());
             }
         }
+    }
+
+    #[test]
+    fn metrics_registry_collects_run_telemetry() {
+        let events = generate(5, 6, Scenario::Standard);
+        let registry = nimblock_obs::Registry::new();
+        let report = Testbed::new(NimblockScheduler::new())
+            .with_metrics(registry.clone())
+            .run(&events);
+        let text = registry.render_prometheus();
+        assert!(text.contains("hv_arrivals_total 6"), "{text}");
+        assert!(text.contains("hv_retires_total 6"), "{text}");
+        assert!(text.contains("sim_events_total"), "{text}");
+        assert!(text.contains("sim_event_queue_depth_max"), "{text}");
+        assert!(text.contains("sched_decisions_total"), "{text}");
+        assert!(text.contains("sched_candidates_count"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+        // The same counters surface in the report without any registry.
+        assert_eq!(report.counters().arrivals, 6);
+        assert_eq!(report.counters().retires, 6);
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_the_schedule() {
+        let events = generate(9, 6, Scenario::Standard);
+        let plain = Testbed::new(NimblockScheduler::new()).run(&events);
+        let metered = Testbed::new(NimblockScheduler::new())
+            .with_metrics(nimblock_obs::Registry::new())
+            .run(&events);
+        assert_eq!(plain.records(), metered.records());
+        assert_eq!(plain.finished_at(), metered.finished_at());
+        assert_eq!(plain.counters(), metered.counters());
     }
 
     #[test]

@@ -5,9 +5,8 @@
 //! configuration port never overlaps itself; a slot never runs two things
 //! at once), and feeding external analysis (serialize and post-process).
 
-use std::fmt::Write as _;
-
-use nimblock_ser::{impl_json_enum_structs, impl_json_struct};
+use nimblock_obs::{render_gantt, ChromeTrace, GanttRow};
+use nimblock_ser::{impl_json_enum_structs, impl_json_struct, Json};
 
 use nimblock_app::TaskId;
 use nimblock_fpga::SlotId;
@@ -97,21 +96,64 @@ impl TraceEvent {
 }
 
 /// The full schedule record of one testbed run.
+///
+/// Carries the device's slot count, recorded at testbed level when tracing
+/// is enabled, so analysis ([`Trace::validate`],
+/// [`Trace::slot_utilization`], [`Trace::gantt`], [`Trace::to_chrome`])
+/// needs no out-of-band configuration — callers used to pass a slot count
+/// themselves, which silently truncated or padded results when wrong.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    slot_count: usize,
 }
 
-impl_json_struct!(Trace { events });
+impl_json_struct!(Trace { events, slot_count });
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace with no declared slots (the slot count is
+    /// then inferred from the highest slot any event names).
     pub fn new() -> Self {
         Trace::default()
     }
 
+    /// Creates an empty trace for a device with `slot_count` slots.
+    pub fn with_slots(slot_count: usize) -> Self {
+        Trace { events: Vec::new(), slot_count }
+    }
+
     pub(crate) fn push(&mut self, event: TraceEvent) {
         self.events.push(event);
+    }
+
+    /// The number of slots this trace describes: the device's slot count
+    /// when recorded through the hypervisor, never less than the highest
+    /// slot an event names (so hand-built traces still analyse correctly).
+    pub fn slots(&self) -> usize {
+        let named = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Reconfig { slot, .. }
+                | TraceEvent::Item { slot, .. }
+                | TraceEvent::Preempt { slot, .. } => Some(slot.index() + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.slot_count.max(named)
+    }
+
+    /// The end of the trace: the latest span end or event time.
+    pub fn end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Reconfig { until, .. } | TraceEvent::Item { until, .. } => *until,
+                other => other.at(),
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Returns every traced event in emission order (non-decreasing time).
@@ -164,7 +206,8 @@ impl Trace {
     /// Returns a description of the first violation found: overlapping
     /// reconfigurations on the configuration port, or overlapping busy
     /// spans on any slot.
-    pub fn validate(&self, slot_count: usize) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), String> {
+        let slot_count = self.slots();
         let mut cap = self.cap_spans();
         cap.sort();
         for pair in cap.windows(2) {
@@ -192,20 +235,12 @@ impl Trace {
     }
 
     /// Returns each slot's busy fraction (reconfiguration + execution time
-    /// over the trace's duration). The paper motivates fine-grained sharing
-    /// with resource efficiency; this is the number that quantifies it.
-    pub fn slot_utilization(&self, slot_count: usize) -> Vec<f64> {
-        let end = self
-            .events
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Reconfig { until, .. } | TraceEvent::Item { until, .. } => *until,
-                other => other.at(),
-            })
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let total = end.as_micros().max(1) as f64;
-        (0..slot_count)
+    /// over the trace's duration), one entry per device slot
+    /// ([`Trace::slots`]). The paper motivates fine-grained sharing with
+    /// resource efficiency; this is the number that quantifies it.
+    pub fn slot_utilization(&self) -> Vec<f64> {
+        let total = self.end().as_micros().max(1) as f64;
+        (0..self.slots())
             .map(|i| {
                 let busy: u64 = self
                     .slot_spans(SlotId::new(i as u32))
@@ -217,47 +252,114 @@ impl Trace {
             .collect()
     }
 
-    /// Renders a textual Gantt chart of the schedule: one row per slot,
-    /// `width` character columns spanning the trace duration. `#` marks
-    /// reconfiguration, letters mark executing applications (a = app 0,
-    /// b = app 1, …), `.` marks idle.
-    pub fn gantt(&self, slot_count: usize, width: usize) -> String {
-        let end = self
-            .events
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Reconfig { until, .. } | TraceEvent::Item { until, .. } => *until,
-                other => other.at(),
+    /// Renders a textual Gantt chart of the schedule via
+    /// `nimblock_obs::render_gantt`: one row per slot plus a `CAP` row for
+    /// the configuration port, `width` character columns spanning the trace
+    /// duration. `#` marks reconfiguration, letters mark executing
+    /// applications (a = app 0, b = app 1, …), `.` marks idle.
+    pub fn gantt(&self, width: usize) -> String {
+        let end = self.end();
+        let total = end.as_micros();
+        let mut rows: Vec<GanttRow> = (0..self.slots())
+            .map(|i| {
+                let mut row = GanttRow::new(format!("slot#{i}"));
+                // Idle background, overwritten by busy spans.
+                row.span(0, total, '.');
+                row
             })
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let total = end.as_micros().max(1);
-        let col = |t: SimTime| ((t.as_micros() as u128 * width as u128) / total as u128) as usize;
-        let mut rows = vec![vec![b'.'; width]; slot_count];
+            .collect();
+        let mut cap = GanttRow::new("CAP");
+        cap.span(0, total, '.');
         for event in &self.events {
-            let (slot, at, until, mark) = match event {
-                TraceEvent::Reconfig { slot, at, until, .. } => (*slot, *at, *until, b'#'),
-                TraceEvent::Item { slot, app, at, until, .. } => {
-                    let letter = b'a' + (app.raw() % 26) as u8;
-                    (*slot, *at, *until, letter)
+            match event {
+                TraceEvent::Reconfig { slot, at, until, .. } => {
+                    rows[slot.index()].span(at.as_micros(), until.as_micros(), '#');
+                    cap.span(at.as_micros(), until.as_micros(), 'R');
                 }
-                _ => continue,
-            };
-            let (from, to) = (col(at), col(until).max(col(at) + 1).min(width));
-            for cell in &mut rows[slot.index()][from..to] {
-                *cell = mark;
+                TraceEvent::Item { slot, app, at, until, .. } => {
+                    let letter = (b'a' + (app.raw() % 26) as u8) as char;
+                    rows[slot.index()].span(at.as_micros(), until.as_micros(), letter);
+                }
+                _ => {}
             }
         }
-        let mut out = String::new();
-        for (index, row) in rows.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "slot#{index:<2} |{}|",
-                String::from_utf8_lossy(row)
-            );
+        rows.push(cap);
+        render_gantt(&rows, width, total, &end.to_string())
+    }
+
+    /// Exports the schedule as Chrome trace-event JSON, loadable in
+    /// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
+    /// track per slot (task items and per-slot reconfiguration spans,
+    /// preemption markers) plus a `CAP` track showing configuration-port
+    /// occupancy and an `apps` track with arrival/retire markers. All
+    /// timestamps are simulated microseconds.
+    pub fn to_chrome(&self) -> String {
+        let slots = self.slots() as u64;
+        let cap_tid = slots;
+        let apps_tid = slots + 1;
+        let mut chrome = ChromeTrace::new();
+        for i in 0..slots {
+            chrome.thread_name(i, &format!("slot#{i}"));
         }
-        let _ = writeln!(out, "        0{:>width$}", end, width = width - 1);
-        out
+        chrome.thread_name(cap_tid, "CAP");
+        chrome.thread_name(apps_tid, "apps");
+        for event in &self.events {
+            match event {
+                TraceEvent::Arrival { app, name, at } => {
+                    chrome.instant(
+                        &format!("arrival {name} ({app})"),
+                        "lifecycle",
+                        apps_tid,
+                        at.as_micros(),
+                    );
+                }
+                TraceEvent::Retire { app, at } => {
+                    chrome.instant(
+                        &format!("retire {app}"),
+                        "lifecycle",
+                        apps_tid,
+                        at.as_micros(),
+                    );
+                }
+                TraceEvent::Reconfig { slot, app, task, at, until } => {
+                    let dur = until.saturating_since(*at).as_micros();
+                    chrome.complete_with_args(
+                        &format!("pr {app} {task}"),
+                        "reconfig",
+                        slot.index() as u64,
+                        at.as_micros(),
+                        dur,
+                        vec![("slot".to_owned(), Json::Str(slot.to_string()))],
+                    );
+                    chrome.complete(
+                        &format!("{slot} ← {app} {task}"),
+                        "reconfig",
+                        cap_tid,
+                        at.as_micros(),
+                        dur,
+                    );
+                }
+                TraceEvent::Item { slot, app, task, item, at, until } => {
+                    chrome.complete_with_args(
+                        &format!("{app} {task}"),
+                        "run",
+                        slot.index() as u64,
+                        at.as_micros(),
+                        until.saturating_since(*at).as_micros(),
+                        vec![("item".to_owned(), Json::U64(u64::from(*item)))],
+                    );
+                }
+                TraceEvent::Preempt { slot, app, task, at } => {
+                    chrome.instant(
+                        &format!("preempt {app} {task}"),
+                        "preempt",
+                        slot.index() as u64,
+                        at.as_micros(),
+                    );
+                }
+            }
+        }
+        chrome.render()
     }
 }
 
@@ -293,7 +395,19 @@ mod tests {
         trace.push(span_event(0, 0, 80, 130));
         trace.push(reconfig_event(1, 80, 160));
         trace.push(span_event(1, 1, 160, 200));
-        assert_eq!(trace.validate(2), Ok(()));
+        assert_eq!(trace.slots(), 2, "slot count inferred from events");
+        assert_eq!(trace.validate(), Ok(()));
+    }
+
+    #[test]
+    fn declared_slot_count_beats_inference() {
+        let mut trace = Trace::with_slots(4);
+        trace.push(span_event(0, 0, 0, 10));
+        assert_eq!(trace.slots(), 4);
+        // But a trace can never under-report a slot its events name.
+        let mut trace = Trace::with_slots(1);
+        trace.push(span_event(5, 0, 0, 10));
+        assert_eq!(trace.slots(), 6);
     }
 
     #[test]
@@ -301,7 +415,7 @@ mod tests {
         let mut trace = Trace::new();
         trace.push(reconfig_event(0, 0, 80));
         trace.push(reconfig_event(1, 40, 120));
-        let err = trace.validate(2).unwrap_err();
+        let err = trace.validate().unwrap_err();
         assert!(err.contains("configuration port overlap"), "{err}");
     }
 
@@ -310,7 +424,7 @@ mod tests {
         let mut trace = Trace::new();
         trace.push(span_event(0, 0, 0, 100));
         trace.push(span_event(0, 1, 50, 150));
-        let err = trace.validate(1).unwrap_err();
+        let err = trace.validate().unwrap_err();
         assert!(err.contains("slot#0 overlap"), "{err}");
     }
 
@@ -331,31 +445,64 @@ mod tests {
         trace.push(reconfig_event(0, 0, 500));
         trace.push(span_event(0, 0, 500, 1_000));
         trace.push(span_event(1, 1, 0, 1_000));
-        let chart = trace.gantt(2, 20);
-        assert_eq!(chart.lines().count(), 3);
+        let chart = trace.gantt(20);
+        // Two slot rows, the CAP row, and the axis.
+        assert_eq!(chart.lines().count(), 4);
+        assert!(chart.contains("slot#0"), "{chart}");
+        assert!(chart.contains("CAP"), "{chart}");
         assert!(chart.contains('#'), "reconfiguration mark missing:\n{chart}");
+        assert!(chart.contains('R'), "CAP busy mark missing:\n{chart}");
         assert!(chart.contains('a'), "app 0 mark missing:\n{chart}");
         assert!(chart.contains('b'), "app 1 mark missing:\n{chart}");
     }
 
     #[test]
     fn empty_trace_is_valid_and_renders() {
-        let trace = Trace::new();
+        let trace = Trace::with_slots(2);
         assert!(trace.is_empty());
-        assert_eq!(trace.validate(4), Ok(()));
-        assert_eq!(trace.gantt(2, 10).lines().count(), 3);
+        assert_eq!(trace.validate(), Ok(()));
+        // Two slot rows, the CAP row, and the axis.
+        assert_eq!(trace.gantt(10).lines().count(), 4);
     }
 
     #[test]
     fn slot_utilization_measures_busy_fractions() {
-        let mut trace = Trace::new();
+        let mut trace = Trace::with_slots(3);
         trace.push(reconfig_event(0, 0, 250));
         trace.push(span_event(0, 0, 250, 1_000));
         trace.push(span_event(1, 1, 0, 500));
-        let util = trace.slot_utilization(3);
+        let util = trace.slot_utilization();
+        assert_eq!(util.len(), 3, "one entry per device slot");
         assert!((util[0] - 1.0).abs() < 1e-9);
         assert!((util[1] - 0.5).abs() < 1e-9);
         assert_eq!(util[2], 0.0);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_has_all_tracks() {
+        let mut trace = Trace::with_slots(2);
+        trace.push(TraceEvent::Arrival {
+            app: AppId::new(0),
+            name: "lenet".into(),
+            at: SimTime::ZERO,
+        });
+        trace.push(reconfig_event(0, 0, 80));
+        trace.push(span_event(0, 0, 80, 130));
+        trace.push(TraceEvent::Preempt {
+            slot: SlotId::new(0),
+            app: AppId::new(0),
+            task: TaskId::new(0),
+            at: SimTime::from_millis(130),
+        });
+        trace.push(TraceEvent::Retire { app: AppId::new(0), at: SimTime::from_millis(130) });
+        let json = trace.to_chrome();
+        // 4 events render 6 trace events (reconfig spans both its slot and
+        // the CAP track) + 8 metadata (name + sort index for 4 tracks).
+        nimblock_obs::validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"slot#0\""), "{json}");
+        assert!(json.contains("\"CAP\""), "{json}");
+        assert!(json.contains("\"apps\""), "{json}");
+        assert!(json.contains("preempt app#0 task#0"), "{json}");
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl FaasSummary {
 pub struct FaasGateway {
     registry: FunctionRegistry,
     reconfig: SimDuration,
+    metrics: Option<nimblock_obs::Registry>,
 }
 
 impl FaasGateway {
@@ -89,7 +90,16 @@ impl FaasGateway {
         FaasGateway {
             registry,
             reconfig: SimDuration::from_millis(80),
+            metrics: None,
         }
+    }
+
+    /// Publishes gateway telemetry in `metrics`: the `faas_*` series
+    /// (invocations, SLO hits and misses, end-to-end latency histogram)
+    /// plus the underlying testbed's `hv_*`/`sched_*`/`sim_*` series.
+    pub fn with_metrics(mut self, metrics: nimblock_obs::Registry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Returns the registry.
@@ -134,7 +144,23 @@ impl FaasGateway {
             .stimulus(workload)
             .expect("stimulus generation against this registry");
         let scheduler_name = scheduler.name();
-        let report = Testbed::new(scheduler).run(&events);
+        let mut testbed = Testbed::new(scheduler);
+        if let Some(registry) = &self.metrics {
+            testbed = testbed.with_metrics(registry.clone());
+        }
+        let report = testbed.run(&events);
+
+        let faas = self.metrics.as_ref().map(|registry| {
+            (
+                registry.counter("faas_invocations_total", "Invocations served"),
+                registry.counter("faas_slo_met_total", "Invocations that met their deadline"),
+                registry.counter("faas_slo_missed_total", "Invocations that missed their deadline"),
+                registry.histogram(
+                    "faas_latency_micros",
+                    "End-to-end invocation latency in microseconds",
+                ),
+            )
+        });
 
         // Group records by function; events keep their stimulus order, and
         // `invocations` is in the same (arrival-sorted) order because gaps
@@ -151,10 +177,25 @@ impl FaasGateway {
                     .app
                     .single_slot_latency(invocation.items, self.reconfig)
                     .as_secs_f64();
+            let met = latency <= deadline;
+            if let Some((invocations_c, met_c, missed_c, latency_h)) = &faas {
+                invocations_c.inc();
+                if met {
+                    met_c.inc();
+                } else {
+                    missed_c.inc();
+                }
+                latency_h.observe(record.response_time().as_micros());
+            }
+            nimblock_obs::nb_debug!(
+                "faas",
+                "invocation {function} latency {latency:.3}s met_slo={met}",
+                function = invocation.function
+            );
             grouped
                 .entry(invocation.function.clone())
                 .or_default()
-                .push((latency, latency <= deadline));
+                .push((latency, met));
         }
 
         let per_function = grouped
@@ -247,6 +288,30 @@ mod tests {
             "Nimblock {:.2} vs FCFS {:.2}",
             nimblock.overall_attainment(),
             fcfs.overall_attainment()
+        );
+    }
+
+    #[test]
+    fn gateway_metrics_cover_every_invocation() {
+        let registry = nimblock_obs::Registry::new();
+        let summary = gateway()
+            .with_metrics(registry.clone())
+            .run(&workload(), NimblockScheduler::default());
+        let text = registry.render_prometheus();
+        assert!(text.contains("faas_invocations_total 25"), "{text}");
+        assert!(text.contains("hv_arrivals_total 25"), "{text}");
+        assert!(text.contains("faas_latency_micros_count 25"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+        // met + missed partitions the invocations.
+        let met = summary
+            .per_function()
+            .iter()
+            .map(|f| (f.slo_attainment * f.invocations as f64).round() as u64)
+            .sum::<u64>();
+        assert!(text.contains(&format!("faas_slo_met_total {met}")), "{text}");
+        assert!(
+            text.contains(&format!("faas_slo_missed_total {}", 25 - met)),
+            "{text}"
         );
     }
 

@@ -27,6 +27,6 @@ mod table;
 pub use deadline::{violation_rate, DeadlineCurve};
 pub use export::{curve_to_csv, report_to_csv, series_to_csv};
 pub use fairness::{jain_index, slowdown_fairness, slowdowns};
-pub use record::{Report, ResponseRecord};
+pub use record::{Report, ResponseRecord, RunCounters};
 pub use stats::{harmonic_speedup, percentile, speedups, Summary};
 pub use table::{fmt3, TextTable};

@@ -63,26 +63,93 @@ impl ResponseRecord {
     }
 }
 
+/// Whole-run event counters the hypervisor accumulates while executing a
+/// sequence — the §5 evaluation's aggregate side (preemption counts,
+/// reconfiguration-port pressure, bitstream cache behaviour), as opposed
+/// to the per-application [`ResponseRecord`]s.
+///
+/// Printed by `nimblock run` without `--trace`, and summed across boards
+/// by the cluster testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCounters {
+    /// Applications admitted into the pending queue.
+    pub arrivals: u64,
+    /// Applications that retired (finished their whole batch).
+    pub retires: u64,
+    /// Batch-preemptions enacted (a running app evicted from a slot).
+    pub preemptions: u64,
+    /// Partial reconfigurations enqueued on the CAP.
+    pub reconfigurations: u64,
+    /// Scheduler decisions that stalled waiting for the (serial) CAP.
+    pub alloc_stalls: u64,
+    /// Slot-bitstream lookups served from the cache.
+    pub bitstream_cache_hits: u64,
+    /// Slot-bitstream lookups that had to generate (compile) an image.
+    pub bitstream_cache_misses: u64,
+}
+
+impl_json_struct!(RunCounters {
+    arrivals, retires, preemptions, reconfigurations, alloc_stalls,
+    bitstream_cache_hits, bitstream_cache_misses,
+});
+
+impl RunCounters {
+    /// Bitstream cache hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.bitstream_cache_hits + self.bitstream_cache_misses;
+        (total > 0).then(|| self.bitstream_cache_hits as f64 / total as f64)
+    }
+
+    /// Component-wise sum (used by the cluster testbed to merge per-board
+    /// counters into one report).
+    pub fn merged(self, other: RunCounters) -> RunCounters {
+        RunCounters {
+            arrivals: self.arrivals + other.arrivals,
+            retires: self.retires + other.retires,
+            preemptions: self.preemptions + other.preemptions,
+            reconfigurations: self.reconfigurations + other.reconfigurations,
+            alloc_stalls: self.alloc_stalls + other.alloc_stalls,
+            bitstream_cache_hits: self.bitstream_cache_hits + other.bitstream_cache_hits,
+            bitstream_cache_misses: self.bitstream_cache_misses + other.bitstream_cache_misses,
+        }
+    }
+}
+
 /// The output of one testbed run: one record per arrival event, in event
-/// order, plus the scheduler that produced them.
+/// order, plus the scheduler that produced them and the whole-run
+/// [`RunCounters`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     scheduler: String,
     records: Vec<ResponseRecord>,
     finished_at: SimTime,
+    counters: RunCounters,
 }
 
-impl_json_struct!(Report { scheduler, records, finished_at });
+impl_json_struct!(Report { scheduler, records, finished_at, counters });
 
 impl Report {
-    /// Assembles a report.
+    /// Assembles a report (with zeroed counters; see
+    /// [`Report::with_counters`]).
     pub fn new(scheduler: impl Into<String>, mut records: Vec<ResponseRecord>, finished_at: SimTime) -> Self {
         records.sort_by_key(|r| r.event_index);
         Report {
             scheduler: scheduler.into(),
             records,
             finished_at,
+            counters: RunCounters::default(),
         }
+    }
+
+    /// Attaches whole-run counters.
+    pub fn with_counters(mut self, counters: RunCounters) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Returns the whole-run counters.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
     }
 
     /// Returns the scheduler name that produced this report.
@@ -182,6 +249,20 @@ mod tests {
     fn empty_report_mean_is_zero() {
         let report = Report::new("test", Vec::new(), SimTime::ZERO);
         assert_eq!(report.mean_response_secs(), 0.0);
+    }
+
+    #[test]
+    fn counters_attach_merge_and_report_hit_rate() {
+        let a = RunCounters { arrivals: 2, bitstream_cache_hits: 3, bitstream_cache_misses: 1, ..RunCounters::default() };
+        let b = RunCounters { arrivals: 1, preemptions: 4, ..RunCounters::default() };
+        let merged = a.merged(b);
+        assert_eq!(merged.arrivals, 3);
+        assert_eq!(merged.preemptions, 4);
+        assert_eq!(merged.cache_hit_rate(), Some(0.75));
+        assert_eq!(RunCounters::default().cache_hit_rate(), None);
+
+        let report = Report::new("test", Vec::new(), SimTime::ZERO).with_counters(merged);
+        assert_eq!(report.counters().arrivals, 3);
     }
 
     #[test]

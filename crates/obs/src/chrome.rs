@@ -1,0 +1,285 @@
+//! Chrome trace-event JSON builder.
+//!
+//! Produces the "JSON Array Format with metadata" flavour of the Trace
+//! Event Format — the object with a `traceEvents` array — which loads
+//! directly in Perfetto (<https://ui.perfetto.dev>) and the legacy
+//! `chrome://tracing` viewer.
+//!
+//! Only the event phases the schedule export needs are modelled:
+//!
+//! - `ph:"X"` *complete* events (a named span with `ts` + `dur`),
+//! - `ph:"i"` *instant* events (a point marker),
+//! - `ph:"M"` *metadata* events (used for `thread_name`, so slot tracks
+//!   render as `slot#0`, `slot#1`, … and the reconfiguration port as
+//!   `CAP`).
+//!
+//! All timestamps and durations are microseconds, matching the format's
+//! native unit and the simulator's `SimTime` resolution, so conversion
+//! is lossless.
+
+use nimblock_ser::{Json, ToJson};
+
+/// One trace event, pre-sorted into the builder's emission order.
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    cat: String,
+    phase: char,
+    tid: u64,
+    ts: u64,
+    dur: Option<u64>,
+    args: Vec<(String, Json)>,
+}
+
+impl Event {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("cat".into(), Json::Str(self.cat.clone())),
+            ("ph".into(), Json::Str(self.phase.to_string())),
+            ("pid".into(), Json::U64(1)),
+            ("tid".into(), Json::U64(self.tid)),
+            ("ts".into(), Json::U64(self.ts)),
+        ];
+        if let Some(dur) = self.dur {
+            fields.push(("dur".into(), Json::U64(dur)));
+        }
+        if self.phase == 'i' {
+            // Instant scope: thread-scoped, so the marker renders on its
+            // own track instead of a full-height line.
+            fields.push(("s".into(), Json::Str("t".into())));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".into(), Json::Object(self.args.clone())));
+        }
+        Json::Object(fields)
+    }
+}
+
+/// Builder for a Chrome trace-event file.
+///
+/// ```
+/// use nimblock_obs::ChromeTrace;
+/// let mut t = ChromeTrace::new();
+/// t.thread_name(0, "slot#0");
+/// t.complete("app#1", "run", 0, 1_000, 5_000);
+/// t.instant("preempt app#1", "preempt", 0, 6_000);
+/// let json = t.render();
+/// assert!(json.contains("\"traceEvents\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    metadata: Vec<Event>,
+    events: Vec<Event>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Names track `tid` (a `ph:"M"` `thread_name` metadata event).
+    /// Also sets `thread_sort_index` so viewers keep tracks in `tid`
+    /// order rather than first-event order.
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.metadata.push(Event {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            phase: 'M',
+            tid,
+            ts: 0,
+            dur: None,
+            args: vec![("name".into(), Json::Str(name.into()))],
+        });
+        self.metadata.push(Event {
+            name: "thread_sort_index".into(),
+            cat: "__metadata".into(),
+            phase: 'M',
+            tid,
+            ts: 0,
+            dur: None,
+            args: vec![("sort_index".into(), Json::U64(tid))],
+        });
+    }
+
+    /// Adds a complete (`ph:"X"`) span on track `tid`, `[ts_us, ts_us+dur_us)`.
+    pub fn complete(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64, dur_us: u64) {
+        self.complete_with_args(name, cat, tid, ts_us, dur_us, Vec::new());
+    }
+
+    /// [`ChromeTrace::complete`] with extra `args` key/value detail shown
+    /// in the viewer's selection panel.
+    pub fn complete_with_args(
+        &mut self,
+        name: &str,
+        cat: &str,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(String, Json)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: 'X',
+            tid,
+            ts: ts_us,
+            // chrome://tracing drops zero-duration complete events;
+            // clamp to 1 µs so instantaneous spans stay visible.
+            dur: Some(dur_us.max(1)),
+            args,
+        });
+    }
+
+    /// Adds a thread-scoped instant (`ph:"i"`) marker on track `tid`.
+    pub fn instant(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: 'i',
+            tid,
+            ts: ts_us,
+            dur: None,
+            args: Vec::new(),
+        });
+    }
+
+    /// Number of non-metadata events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no non-metadata events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn to_json_value(&self) -> Json {
+        // Metadata first, then events sorted (ts, tid) so output is
+        // deterministic and viewers never see out-of-order timestamps.
+        let mut sorted: Vec<&Event> = self.events.iter().collect();
+        sorted.sort_by_key(|e| (e.ts, e.tid));
+        let all: Vec<Json> = self
+            .metadata
+            .iter()
+            .chain(sorted.into_iter())
+            .map(Event::to_json)
+            .collect();
+        Json::Object(vec![
+            ("traceEvents".into(), Json::Array(all)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ])
+    }
+
+    /// Renders the pretty-printed trace file contents.
+    pub fn render(&self) -> String {
+        nimblock_ser::to_string_pretty(&self.to_json_value())
+    }
+}
+
+impl ToJson for ChromeTrace {
+    fn to_json(&self) -> Json {
+        self.to_json_value()
+    }
+}
+
+/// Structural validation for a rendered Chrome trace: parses the JSON,
+/// checks the `traceEvents` envelope, and verifies every event carries
+/// the mandatory `name`/`ph`/`pid`/`tid`/`ts` fields (plus `dur` for
+/// `ph:"X"`). Returns the number of events on success.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let json = nimblock_ser::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Json::Object(fields) = &json else {
+        return Err("top level is not an object".into());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents key")?;
+    let Json::Array(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Object(f) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        for key in ["name", "ph", "pid", "tid", "ts"] {
+            if get(key).is_none() {
+                return Err(format!("event {i} missing {key:?}"));
+            }
+        }
+        let Some(Json::Str(ph)) = get("ph") else {
+            return Err(format!("event {i}: ph is not a string"));
+        };
+        match ph.as_str() {
+            "X" => {
+                if get("dur").is_none() {
+                    return Err(format!("event {i}: complete event missing dur"));
+                }
+            }
+            "i" | "M" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_valid_trace() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(0, "slot#0");
+        t.thread_name(100, "CAP");
+        t.complete("app#1", "run", 0, 1_000, 5_000);
+        t.complete_with_args(
+            "reconfig slot#0 -> app#1",
+            "reconfig",
+            100,
+            0,
+            1_000,
+            vec![("slot".into(), Json::Str("slot#0".into()))],
+        );
+        t.instant("preempt app#1", "preempt", 0, 6_000);
+        assert_eq!(t.len(), 3);
+        let text = t.render();
+        // 3 events + 4 metadata (name + sort_index per track).
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 7);
+        assert!(text.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(text.contains("\"slot#0\""));
+        assert!(text.contains("\"CAP\""));
+    }
+
+    #[test]
+    fn events_are_sorted_by_timestamp() {
+        let mut t = ChromeTrace::new();
+        t.complete("late", "run", 0, 9_000, 100);
+        t.complete("early", "run", 0, 1_000, 100);
+        let text = t.render();
+        let late = text.find("\"late\"").unwrap();
+        let early = text.find("\"early\"").unwrap();
+        assert!(early < late, "events must be emitted in ts order");
+    }
+
+    #[test]
+    fn zero_duration_spans_are_clamped_visible() {
+        let mut t = ChromeTrace::new();
+        t.complete("blink", "run", 0, 0, 0);
+        assert!(t.render().contains("\"dur\": 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        // Complete event without dur.
+        let bad = r#"{"traceEvents":[{"name":"x","cat":"c","ph":"X","pid":1,"tid":0,"ts":0}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("dur"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Generic ASCII Gantt renderer.
+//!
+//! Renders labelled rows of time spans into a fixed-width terminal
+//! chart. `nimblock-core`'s `Trace::gantt` delegates here; the renderer
+//! itself knows nothing about slots or apps, just rows, spans, and an
+//! axis.
+//!
+//! ```text
+//! slot#0 |000000111   222|
+//! slot#1 |   11111       |
+//! CAP    |RR R    RR     |
+//! 0                1.500s
+//! ```
+
+/// One half-open span `[start, end)` drawn with a single mark character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GanttSpan {
+    /// Span start, in the caller's time unit.
+    pub start: u64,
+    /// Span end (exclusive), in the caller's time unit.
+    pub end: u64,
+    /// Character repeated across the span's cells.
+    pub mark: char,
+}
+
+/// One chart row: a label and its spans.
+#[derive(Debug, Clone)]
+pub struct GanttRow {
+    /// Row label, left-aligned in the gutter (e.g. `slot#0`, `CAP`).
+    pub label: String,
+    /// Spans drawn in order; later spans overwrite earlier cells.
+    pub spans: Vec<GanttSpan>,
+}
+
+impl GanttRow {
+    /// A row with no spans yet.
+    pub fn new(label: impl Into<String>) -> GanttRow {
+        GanttRow { label: label.into(), spans: Vec::new() }
+    }
+
+    /// Adds one span to the row.
+    pub fn span(&mut self, start: u64, end: u64, mark: char) {
+        self.spans.push(GanttSpan { start, end, mark });
+    }
+}
+
+/// Renders `rows` into a `width`-cell chart covering `[0, end)`, with an
+/// axis line underneath labelled `0` on the left and `end_label` on the
+/// right.
+///
+/// Each cell covers `end / width` time units (rounded up); a span marks
+/// every cell it overlaps, so even sub-cell spans stay visible. Labels
+/// are padded to the longest label so the `|` gutters align.
+pub fn render_gantt(rows: &[GanttRow], width: usize, end: u64, end_label: &str) -> String {
+    let width = width.max(1);
+    let label_width = rows.iter().map(|r| r.label.chars().count()).max().unwrap_or(0);
+    // Ceil division so the final span always lands inside the chart.
+    let cell = if end == 0 { 1 } else { end.div_ceil(width as u64).max(1) };
+
+    let mut out = String::new();
+    for row in rows {
+        let mut cells = vec![' '; width];
+        for span in &row.spans {
+            if span.end <= span.start {
+                continue;
+            }
+            let first = (span.start / cell) as usize;
+            // Inclusive last cell the half-open span touches.
+            let last = ((span.end - 1) / cell) as usize;
+            for c in cells.iter_mut().take(width.min(last + 1)).skip(first.min(width)) {
+                *c = span.mark;
+            }
+        }
+        let line: String = cells.into_iter().collect();
+        out.push_str(&format!("{:<label_width$} |{line}|\n", row.label));
+    }
+    // Axis: `0` under the left gutter edge, the end label right-aligned
+    // under the right edge.
+    out.push_str(&format!(
+        "{:<label_width$} 0{:>width$}\n",
+        "",
+        end_label,
+        width = width.saturating_sub(0),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_with_aligned_gutters() {
+        let mut slot0 = GanttRow::new("slot#0");
+        slot0.span(0, 500, '0');
+        slot0.span(500, 1000, '1');
+        let mut cap = GanttRow::new("CAP");
+        cap.span(0, 100, 'R');
+        let chart = render_gantt(&[slot0, cap], 10, 1000, "1.000s");
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "slot#0 |0000011111|");
+        assert_eq!(lines[1], "CAP    |R         |");
+        assert!(lines[2].starts_with("       0"));
+        assert!(lines[2].ends_with("1.000s"));
+    }
+
+    #[test]
+    fn sub_cell_spans_still_mark_a_cell() {
+        let mut row = GanttRow::new("s");
+        row.span(999, 1000, 'x'); // last microsecond only
+        let chart = render_gantt(&[row], 10, 1000, "1s");
+        assert!(chart.lines().next().unwrap().ends_with("x|"), "{chart}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_do_not_panic() {
+        assert!(render_gantt(&[], 10, 0, "0s").contains('0'));
+        let mut row = GanttRow::new("s");
+        row.span(5, 5, 'x'); // empty span ignored
+        let chart = render_gantt(&[row], 1, 0, "0s");
+        assert!(chart.contains("s | |"), "{chart}");
+    }
+
+    #[test]
+    fn spans_past_the_end_are_clipped() {
+        let mut row = GanttRow::new("s");
+        row.span(0, 10_000, 'x');
+        let chart = render_gantt(&[row], 5, 1000, "1s");
+        assert_eq!(chart.lines().next().unwrap(), "s |xxxxx|");
+    }
+}

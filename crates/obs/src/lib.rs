@@ -1,0 +1,40 @@
+//! # nimblock-obs — zero-dependency observability layer
+//!
+//! The telemetry substrate for the Nimblock repro (paper §5 evaluation):
+//! every later scaling or perf PR reports through this crate.
+//!
+//! Four pieces, all dependency-free (only `nimblock-ser` for JSON):
+//!
+//! - **[`registry`]** — a [`Registry`] of named [`Counter`]s,
+//!   [`Gauge`]s, and log₂-bucketed [`Histogram`]s. Handles are cheap
+//!   `Arc`-atomic clones; instruments created with
+//!   [`Counter::detached`] & co. record identically without any
+//!   registry, so instrumented code pays the same (near-zero) cost
+//!   whether or not metrics are being collected. Snapshots render as
+//!   Prometheus exposition text ([`Registry::render_prometheus`]) or
+//!   JSON (`ToJson`).
+//! - **[`log`]** — a leveled, structured logging facade controlled by
+//!   `NIMBLOCK_LOG` (`debug`, or `hv=debug,sched.nimblock=trace`) with
+//!   scoped targets (`hv`, `sched.*`, `cap`, `sim`, `cluster`, `faas`),
+//!   a one-atomic-load disabled path, and a test-capturable sink
+//!   ([`capture`]).
+//! - **[`chrome`]** — a [`ChromeTrace`] builder emitting trace-event
+//!   JSON loadable in Perfetto / `chrome://tracing`, one track per slot
+//!   plus a CAP (reconfiguration port) track.
+//! - **[`gantt`]** — a generic ASCII Gantt renderer for terminal
+//!   debugging ([`render_gantt`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod gantt;
+pub mod log;
+pub mod registry;
+
+pub use chrome::{validate_chrome_trace, ChromeTrace};
+pub use gantt::{render_gantt, GanttRow, GanttSpan};
+pub use log::{capture, log_emit, log_enabled, set_filter, CaptureGuard, Level};
+pub use registry::{
+    validate_prometheus, Counter, Gauge, Histogram, Registry, HISTOGRAM_FINITE_BUCKETS,
+};

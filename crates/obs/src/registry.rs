@@ -1,0 +1,596 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Instruments are cheap cloneable handles around atomics, so the
+//! instrumented hot path pays one relaxed atomic operation per update and
+//! never takes a lock. A [`Registry`] names instruments and renders them
+//! in Prometheus exposition text or as JSON (via `nimblock-ser`).
+//!
+//! Handles also work *detached* (not registered anywhere): the hypervisor
+//! always counts into detached handles so the cost of instrumentation is
+//! identical whether or not a registry is attached, and per-instance
+//! counts (e.g. one report per cluster board) stay correct.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nimblock_ser::{Json, ToJson};
+
+/// Number of finite log2 histogram buckets (upper bounds 2^0 .. 2^47);
+/// one overflow (+Inf) bucket follows. 2^47 µs ≈ 4.5 simulated years, far
+/// beyond any run this testbed produces.
+pub const HISTOGRAM_FINITE_BUCKETS: usize = 48;
+
+/// A monotonically increasing counter.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_obs::Counter;
+/// let c = Counter::detached();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter not attached to any registry.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge: a signed value that can go up and down.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+struct HistogramInner {
+    /// `HISTOGRAM_FINITE_BUCKETS` finite buckets plus a trailing +Inf one.
+    buckets: [AtomicU64; HISTOGRAM_FINITE_BUCKETS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over non-negative integer observations (typically
+/// microseconds of simulated time or nanoseconds of wall time) with fixed
+/// log-scale (power-of-two) buckets.
+///
+/// Bucket `i` (upper bound `2^i`) counts observations `v` with
+/// `prev < v <= 2^i`; zero and one land in bucket 0; anything above
+/// `2^(N-1)` lands in the overflow bucket. Fixed buckets keep rendering
+/// deterministic and the observe path allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_obs::Histogram;
+/// let h = Histogram::detached();
+/// h.observe(1);
+/// h.observe(3);
+/// h.observe(80_000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 80_004);
+/// ```
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Creates a histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Returns the bucket index for `value`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            // Smallest i with value <= 2^i, i.e. ceil(log2(value)).
+            let i = (64 - (value - 1).leading_zeros()) as usize;
+            i.min(HISTOGRAM_FINITE_BUCKETS)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns the sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Returns the non-cumulative per-bucket counts (finite buckets first,
+    /// the overflow bucket last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Returns `(upper_bound, cumulative_count)` pairs; the overflow
+    /// bucket's bound is `None` (rendered `+Inf`).
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut running = 0;
+        self.bucket_counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                running += c;
+                let bound = (i < HISTOGRAM_FINITE_BUCKETS).then(|| 1u64 << i);
+                (bound, running)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Instrument {
+    name: String,
+    help: String,
+    handle: Handle,
+}
+
+/// A named collection of instruments, renderable as Prometheus exposition
+/// text or JSON.
+///
+/// Registries are cheap to clone (instruments are shared), so one registry
+/// can be threaded through the hypervisor, scheduler, simulator, and CLI.
+/// Registering the same name twice returns the *same* underlying
+/// instrument, which is how independently instrumented components
+/// aggregate into one time series.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_obs::Registry;
+/// let registry = Registry::new();
+/// let arrivals = registry.counter("hv_arrivals_total", "Applications admitted");
+/// arrivals.add(3);
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("hv_arrivals_total 3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    instruments: Arc<Mutex<Vec<Instrument>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Handle) -> Handle {
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "invalid metric name '{name}'"
+        );
+        let mut instruments = self.instruments.lock().expect("registry poisoned");
+        if let Some(existing) = instruments.iter().find(|i| i.name == name) {
+            let handle = existing.handle.clone();
+            let made = make();
+            assert_eq!(
+                handle.kind(),
+                made.kind(),
+                "metric '{name}' registered as both {} and {}",
+                handle.kind(),
+                made.kind()
+            );
+            return handle;
+        }
+        let handle = make();
+        instruments.push(Instrument {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter. By Prometheus convention the
+    /// name should end in `_total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or if `name` is already registered
+    /// as a different instrument kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, || Handle::Counter(Counter::detached())) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or a kind conflict.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, || Handle::Gauge(Gauge::detached())) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or a kind conflict.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        match self.register(name, help, || Handle::Histogram(Histogram::detached())) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Returns the number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.instruments.lock().expect("registry poisoned").len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every instrument in Prometheus exposition text format
+    /// (`# HELP` / `# TYPE` comments, `_bucket`/`_sum`/`_count` series for
+    /// histograms), in registration order. Empty histogram buckets are
+    /// elided (except the mandatory `+Inf`) to keep the page readable.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let instruments = self.instruments.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for inst in instruments.iter() {
+            let _ = writeln!(out, "# HELP {} {}", inst.name, inst.help);
+            let _ = writeln!(out, "# TYPE {} {}", inst.name, inst.handle.kind());
+            match &inst.handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", inst.name, c.get());
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", inst.name, g.get());
+                }
+                Handle::Histogram(h) => {
+                    let mut previous = 0;
+                    for (bound, cumulative) in h.cumulative() {
+                        match bound {
+                            Some(le) => {
+                                // Elide runs of empty buckets: emit a bucket
+                                // when its cumulative count changed.
+                                if cumulative != previous {
+                                    let _ = writeln!(
+                                        out,
+                                        "{}_bucket{{le=\"{le}\"}} {cumulative}",
+                                        inst.name
+                                    );
+                                }
+                            }
+                            None => {
+                                let _ = writeln!(
+                                    out,
+                                    "{}_bucket{{le=\"+Inf\"}} {cumulative}",
+                                    inst.name
+                                );
+                            }
+                        }
+                        previous = cumulative;
+                    }
+                    let _ = writeln!(out, "{}_sum {}", inst.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", inst.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for Registry {
+    /// Snapshots every instrument as
+    /// `[{"name", "help", "kind", ...value fields}]`, in registration
+    /// order. Histograms carry `count`, `sum`, and non-empty
+    /// `[le, count]` bucket pairs (`le` is `null` for +Inf).
+    fn to_json(&self) -> Json {
+        let instruments = self.instruments.lock().expect("registry poisoned");
+        Json::Array(
+            instruments
+                .iter()
+                .map(|inst| {
+                    let mut pairs = vec![
+                        ("name".to_owned(), Json::Str(inst.name.clone())),
+                        ("help".to_owned(), Json::Str(inst.help.clone())),
+                        ("kind".to_owned(), Json::Str(inst.handle.kind().to_owned())),
+                    ];
+                    match &inst.handle {
+                        Handle::Counter(c) => pairs.push(("value".to_owned(), Json::U64(c.get()))),
+                        Handle::Gauge(g) => {
+                            let v = g.get();
+                            pairs.push((
+                                "value".to_owned(),
+                                if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) },
+                            ));
+                        }
+                        Handle::Histogram(h) => {
+                            pairs.push(("count".to_owned(), Json::U64(h.count())));
+                            pairs.push(("sum".to_owned(), Json::U64(h.sum())));
+                            let buckets: Vec<Json> = h
+                                .bucket_counts()
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &c)| c > 0)
+                                .map(|(i, &c)| {
+                                    let le = if i < HISTOGRAM_FINITE_BUCKETS {
+                                        Json::U64(1u64 << i)
+                                    } else {
+                                        Json::Null
+                                    };
+                                    Json::Array(vec![le, Json::U64(c)])
+                                })
+                                .collect();
+                            pairs.push(("buckets".to_owned(), Json::Array(buckets)));
+                        }
+                    }
+                    Json::Object(pairs)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Validates a Prometheus exposition page: every non-comment line must be
+/// `name[{labels}] value`, every `# TYPE` must precede its samples, and
+/// histogram `_count` must equal the `+Inf` bucket. Used by the smoke
+/// tests; returns the number of sample lines.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0;
+    let mut inf_buckets: Vec<(String, u64)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in '{line}'", lineno + 1))?;
+        let name = series.split('{').next().unwrap_or(series);
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name '{name}'", lineno + 1));
+        }
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value '{value}'", lineno + 1))?;
+        if let Some(base) = name.strip_suffix("_bucket") {
+            if series.contains("le=\"+Inf\"") {
+                inf_buckets.push((base.to_owned(), parsed as u64));
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.push((base.to_owned(), parsed as u64));
+        }
+        samples += 1;
+    }
+    for (base, count) in &counts {
+        if let Some((_, inf)) = inf_buckets.iter().find(|(b, _)| b == base) {
+            if inf != count {
+                return Err(format!(
+                    "histogram {base}: +Inf bucket {inf} != count {count}"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_render() {
+        let registry = Registry::new();
+        let c = registry.counter("x_total", "xs seen");
+        let g = registry.gauge("depth", "queue depth");
+        c.add(2);
+        g.set(-3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE x_total counter"), "{text}");
+        assert!(text.contains("x_total 2"), "{text}");
+        assert!(text.contains("depth -3"), "{text}");
+        assert_eq!(validate_prometheus(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let registry = Registry::new();
+        let a = registry.counter("shared_total", "a");
+        let b = registry.counter("shared_total", "b");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_conflict_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("dual", "a");
+        let _ = registry.gauge("dual", "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let _ = Registry::new().counter("has space", "x");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::detached();
+        for v in [0, 1, 2, 3, 4, 5, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 2); // 0, 1
+        assert_eq!(buckets[1], 1); // 2
+        assert_eq!(buckets[2], 2); // 3, 4
+        assert_eq!(buckets[3], 1); // 5
+        assert_eq!(buckets[10], 1); // 1024
+        assert_eq!(buckets[HISTOGRAM_FINITE_BUCKETS], 1); // overflow
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_and_validates() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_micros", "latencies");
+        h.observe(1);
+        h.observe(3);
+        h.observe(3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("lat_micros_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_micros_sum 7"), "{text}");
+        assert!(text.contains("lat_micros_count 3"), "{text}");
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus("no value here\n").is_err());
+        assert!(validate_prometheus("name notanumber\n").is_err());
+        assert!(validate_prometheus("ok 1\n").is_ok());
+    }
+
+    #[test]
+    fn json_snapshot_has_every_instrument() {
+        let registry = Registry::new();
+        registry.counter("a_total", "").add(1);
+        registry.gauge("b", "").set(2);
+        registry.histogram("c", "").observe(9);
+        let json = registry.to_json();
+        let items = json.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("value").unwrap().as_u64(), Some(1));
+        assert_eq!(items[2].get("count").unwrap().as_u64(), Some(1));
+        // Encodes without panicking and parses back.
+        let text = nimblock_ser::to_string_pretty(&registry);
+        nimblock_ser::parse(&text).unwrap();
+    }
+}

@@ -39,6 +39,7 @@ pub struct Simulation<E, H> {
     handler: H,
     now: SimTime,
     steps: u64,
+    max_queue_depth: usize,
 }
 
 impl<E, H: Handler<E>> Simulation<E, H> {
@@ -49,6 +50,7 @@ impl<E, H: Handler<E>> Simulation<E, H> {
             handler,
             now: SimTime::ZERO,
             steps: 0,
+            max_queue_depth: 0,
         }
     }
 
@@ -61,6 +63,13 @@ impl<E, H: Handler<E>> Simulation<E, H> {
     /// Returns the number of events processed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Returns the high-water mark of the event-queue depth, sampled at
+    /// every [`Simulation::step`] before the pop. A proxy for how much
+    /// concurrent future work the model keeps in flight.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
     }
 
     /// Returns a shared reference to the handler.
@@ -91,6 +100,7 @@ impl<E, H: Handler<E>> Simulation<E, H> {
     /// Panics if the next event is timestamped before the current virtual
     /// time, which would mean a handler scheduled an event in the past.
     pub fn step(&mut self) -> bool {
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
         let Some((at, event)) = self.queue.pop() else {
             return false;
         };
@@ -174,6 +184,20 @@ mod tests {
         assert_eq!(sim.handler().seen.len(), 4); // events at 0, 10, 20, 30 ms
         assert_eq!(sim.now(), SimTime::from_millis(30));
         assert_eq!(sim.queue().len(), 1); // the 40 ms event is still pending
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark_is_tracked() {
+        let mut sim = Simulation::new(Chain {
+            seen: Vec::new(),
+            spawn_until: 0,
+        });
+        // Three events pending at once: depth peaks at 3.
+        sim.queue_mut().push(SimTime::from_millis(1), 0);
+        sim.queue_mut().push(SimTime::from_millis(2), 0);
+        sim.queue_mut().push(SimTime::from_millis(3), 0);
+        sim.run();
+        assert_eq!(sim.max_queue_depth(), 3);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
 
     println!("schedule for {} applications, {} traced events", report.records().len(), trace.len());
     trace
-        .validate(10)
+        .validate()
         .expect("the hypervisor must respect CAP and slot exclusivity");
     println!("hardware constraints validated: CAP serialized, no slot overlap\n");
 
@@ -40,5 +40,5 @@ fn main() {
     println!("reconfigurations: {reconfigs}   item executions: {items}   preemptions: {preemptions}\n");
 
     println!("Gantt ('#' = reconfiguration, letters = applications a..d, '.' = idle):");
-    print!("{}", trace.gantt(10, 100));
+    print!("{}", trace.gantt(100));
 }

@@ -67,4 +67,34 @@ echo "== workspace tests: cargo test -q --offline --workspace =="
 cargo test -q --offline --workspace
 
 echo
+echo "== telemetry smoke: CLI metrics + chrome trace on a seeded stimulus =="
+# A tiny deterministic run must emit Prometheus text that the in-repo
+# validator accepts and a Chrome trace that parses as trace-event JSON.
+# (The root release build above covers only the facade package.)
+cargo build --release --offline -q -p nimblock-cli
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/nimblock-cli run \
+    --scheduler nimblock --batch 2 --delay-ms 100 --events 3 --seed 7 \
+    --metrics-out "$smoke_dir/metrics.prom" \
+    --trace-format chrome --trace-out "$smoke_dir/trace.chrome.json" \
+    > "$smoke_dir/run.out"
+grep -q "counters: reconfigurations" "$smoke_dir/run.out" \
+    || { echo "error: run summary lost its counters line" >&2; exit 1; }
+python3 - "$smoke_dir" <<'PY' 2>/dev/null || rust_validate=1
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+doc = json.loads((d / "trace.chrome.json").read_text())
+assert isinstance(doc["traceEvents"], list) and doc["traceEvents"], "empty traceEvents"
+text = (d / "metrics.prom").read_text()
+assert "hv_arrivals_total 3" in text, "metrics text missing hv_arrivals_total"
+print("ok: python validated telemetry outputs")
+PY
+if [ "${rust_validate:-0}" = "1" ]; then
+    # No python3: fall back to the in-repo validators via the test suite.
+    cargo test -q --offline --test golden_telemetry
+fi
+echo "ok: telemetry smoke passed"
+
+echo
 echo "verify: PASS"

@@ -15,7 +15,9 @@
 //! * [`faas`] — a serverless layer: function registry, SLO classes,
 //!   invocation workloads,
 //! * [`workload`] — arrival-event sequences and scenario generators,
-//! * [`metrics`] — response-time statistics, deadline analysis, reports.
+//! * [`metrics`] — response-time statistics, deadline analysis, reports,
+//! * [`obs`] — observability: metrics registry (Prometheus/JSON), leveled
+//!   logging facade, Chrome trace-event export, ASCII Gantt rendering.
 //!
 //! # Quickstart
 //!
@@ -47,5 +49,6 @@ pub use nimblock_core as core;
 pub use nimblock_fpga as fpga;
 pub use nimblock_ilp as ilp;
 pub use nimblock_metrics as metrics;
+pub use nimblock_obs as obs;
 pub use nimblock_sim as sim;
 pub use nimblock_workload as workload;

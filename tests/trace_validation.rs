@@ -25,7 +25,7 @@ fn every_policy_produces_a_hardware_legal_schedule() {
             let name = scheduler.name();
             let (_, trace) = Testbed::new(scheduler).run_traced(&events);
             trace
-                .validate(10)
+                .validate()
                 .unwrap_or_else(|err| panic!("{name} on {}: {err}", scenario.name()));
         }
     }
