@@ -1,0 +1,425 @@
+//! A minimal Rust tokenizer for the lint pass.
+//!
+//! This is deliberately *not* a full Rust lexer: the lint rules only need to
+//! recognise identifier/punctuation sequences (`.unwrap()`, `panic!`,
+//! `std::time`, `as u32`, …) while never being fooled by the same characters
+//! inside comments, string literals, or `#[cfg(test)]` modules. The scanner
+//! therefore handles exactly the constructs that would cause false positives:
+//!
+//! * line comments (and the `// nimblock: allow(<rule>)` suppression syntax),
+//! * nested block comments,
+//! * string, raw-string, byte-string, and char literals,
+//! * the char-literal vs. lifetime ambiguity (`'a'` vs. `'a`),
+//! * `#[cfg(test)] mod … { … }` regions, which are masked out so that test
+//!   code may use `unwrap()` freely.
+
+use std::collections::BTreeMap;
+
+/// Coarse token classification — the rules only dispatch on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier, keyword, or number (`unwrap`, `as`, `u32`, `1e6`).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `(`, `{`, …).
+    Punct,
+    /// A string, raw-string, byte, or char literal (content dropped).
+    Literal,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text. For [`TokenKind::Literal`] this is a placeholder —
+    /// rules never match on literal contents.
+    pub text: String,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// `// nimblock: allow(rule-a, rule-b)` suppressions. A comment on line
+    /// `L` suppresses the named rules on line `L` *and* `L + 1`, so both the
+    /// trailing-comment and preceding-line placements work:
+    ///
+    /// ```text
+    /// foo.unwrap() // nimblock: allow(no-unwrap-hot-path)
+    /// // nimblock: allow(no-wallclock-sim)
+    /// let t = std::time::Instant::now();
+    /// ```
+    pub allows: BTreeMap<u32, Vec<String>>,
+    /// `in_test[i]` is true when `tokens[i]` sits inside a
+    /// `#[cfg(test)] mod … { … }` region.
+    pub in_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// True when the given rule is suppressed on `line` by an inline allow.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .get(&line)
+            .map(|rules| rules.iter().any(|r| r == rule || r == "all"))
+            .unwrap_or(false)
+    }
+}
+
+/// Tokenize `source`, returning tokens, suppression map, and test mask.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                if let Some(rules) = parse_allow(&comment) {
+                    for l in [line, line + 1] {
+                        allows.entry(l).or_default().extend(rules.iter().cloned());
+                    }
+                }
+            }
+            '/' if next == Some('*') => {
+                // Nested block comments, as Rust allows.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    match (chars[i], chars.get(i + 1).copied()) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '"' => {
+                let consumed = skip_string(&chars[i..], &mut line);
+                tokens.push(Token { text: "\"…\"".into(), kind: TokenKind::Literal, line });
+                i += consumed;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&chars[i..]) => {
+                let start_line = line;
+                let consumed = skip_raw_or_byte(&chars[i..], &mut line);
+                tokens.push(Token {
+                    text: "\"…\"".into(),
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs. char literal (`'a'`, `'\n'`).
+                let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                    && chars.get(i + 2).copied() != Some('\'');
+                if is_lifetime {
+                    i += 1; // the quote
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token { text: "'…'".into(), kind: TokenKind::Literal, line });
+                    i += 1; // opening quote
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                // Unterminated char literal; bail at the line end.
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Keep float literals like `1.5e3` or `1e-6` in one token so a
+                // trailing `.` never pairs with a following identifier.
+                if c.is_ascii_digit() {
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric()
+                            || chars[i] == '_'
+                            || (chars[i] == '.'
+                                && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())))
+                    {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token { text, kind: TokenKind::Ident, line });
+            }
+            other => {
+                tokens.push(Token { text: other.to_string(), kind: TokenKind::Punct, line });
+                i += 1;
+            }
+        }
+    }
+
+    let in_test = mark_test_regions(&tokens);
+    Lexed { tokens, allows, in_test }
+}
+
+/// Parse `nimblock: allow(rule-a, rule-b)` out of a comment, if present.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let after = comment.split("nimblock:").nth(1)?;
+    let args = after.trim().strip_prefix("allow(")?;
+    let inner = args.split(')').next()?;
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Number of chars consumed by a `"…"` string starting at `chars[0]`.
+fn skip_string(chars: &[char], line: &mut u32) -> usize {
+    let mut i = 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does the slice start a raw string (`r"`, `r#"`), byte string (`b"`),
+/// raw byte string (`br#"`), or byte char (`b'`)?
+fn is_raw_or_byte_string(chars: &[char]) -> bool {
+    let mut i = 0;
+    if chars[0] == 'b' {
+        i = 1;
+    }
+    if chars.get(i).copied() == Some('r') {
+        i += 1;
+        while chars.get(i).copied() == Some('#') {
+            i += 1;
+        }
+        return chars.get(i).copied() == Some('"');
+    }
+    chars[0] == 'b' && matches!(chars.get(1).copied(), Some('"') | Some('\''))
+}
+
+/// Consume a raw/byte string (or byte char) and return the char count.
+fn skip_raw_or_byte(chars: &[char], line: &mut u32) -> usize {
+    let mut i = 0;
+    if chars[0] == 'b' {
+        i = 1;
+    }
+    if chars.get(i).copied() == Some('r') {
+        i += 1;
+        let mut hashes = 0;
+        while chars.get(i).copied() == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            match chars.get(i).copied() {
+                None => return i,
+                Some('\n') => {
+                    *line += 1;
+                    i += 1;
+                }
+                Some('"') => {
+                    let close = (1..=hashes).all(|k| chars.get(i + k).copied() == Some('#'));
+                    i += 1;
+                    if close {
+                        return i + hashes;
+                    }
+                }
+                Some(_) => i += 1,
+            }
+        }
+    }
+    // b"…" or b'…'
+    let quote = chars[1];
+    i = 2;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            c if c == quote => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Mask every token inside a `#[cfg(test)] mod … { … }` region.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    const ATTR: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let matches_attr = tokens.len() - i >= ATTR.len()
+            && ATTR.iter().enumerate().all(|(k, want)| tokens[i + k].text == *want);
+        if matches_attr {
+            // Accept `#[cfg(test)]` followed (possibly after more attributes
+            // or visibility) by `mod name {`.
+            let mut j = i + ATTR.len();
+            while j < tokens.len() && tokens[j].text != "mod" && tokens[j].text != "fn" {
+                // Skip further attributes / `pub` before the item keyword,
+                // but give up quickly on anything else.
+                if j - (i + ATTR.len()) > 12 {
+                    break;
+                }
+                j += 1;
+            }
+            if tokens.get(j).map(|t| t.text.as_str()) == Some("mod") {
+                while j < tokens.len() && tokens[j].text != "{" {
+                    j += 1;
+                }
+                let mut depth = 0usize;
+                let end = loop {
+                    if j >= tokens.len() {
+                        break tokens.len();
+                    }
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break j + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                for slot in mask.iter_mut().take(end).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // this .unwrap() is a comment
+            /* and /* this nested one */ too .unwrap() */
+            let s = ".unwrap()";
+            let r = r#".unwrap()"#;
+            let c = '"';
+            real.unwrap();
+        "##;
+        let lexed = lex(src);
+        let unwraps: Vec<&Token> =
+            lexed.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 1, "only the real call should tokenize");
+        assert_eq!(unwraps[0].line, 7);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let lexed = lex(src);
+        let literals =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(literals, 1, "only 'x' is a char literal");
+        assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn allow_comment_covers_its_line_and_the_next() {
+        let src = "\n// nimblock: allow(no-println)\nprintln!(\"x\");\n";
+        let lexed = lex(src);
+        assert!(lexed.allowed(2, "no-println"));
+        assert!(lexed.allowed(3, "no-println"));
+        assert!(!lexed.allowed(4, "no-println"));
+        assert!(!lexed.allowed(3, "no-unwrap-hot-path"));
+    }
+
+    #[test]
+    fn trailing_allow_comment_covers_its_own_line() {
+        let src = "foo.unwrap(); // nimblock: allow(no-unwrap-hot-path, no-println)\n";
+        let lexed = lex(src);
+        assert!(lexed.allowed(1, "no-unwrap-hot-path"));
+        assert!(lexed.allowed(1, "no-println"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\nfn tail() { c.unwrap(); }\n";
+        let lexed = lex(src);
+        let unmasked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&lexed.in_test)
+            .filter(|&(t, &m)| !m && t.text == "unwrap")
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert_eq!(unmasked.len(), 2, "live() and tail() unwraps stay visible");
+        let masked = lexed
+            .tokens
+            .iter()
+            .zip(&lexed.in_test)
+            .filter(|&(t, &m)| m && t.text == "unwrap")
+            .count();
+        assert_eq!(masked, 1, "the test-module unwrap is masked");
+    }
+
+    #[test]
+    fn float_literals_do_not_split() {
+        let lexed = lex("let x = 1.5e3 + self.0 as f64;");
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5e3"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "f64"));
+    }
+}

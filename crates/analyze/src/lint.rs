@@ -1,0 +1,161 @@
+//! The lint driver: walk a workspace tree, run every rule, apply inline
+//! suppressions, and produce a [`LintReport`].
+
+use crate::lex::{lex, Lexed};
+use crate::rules::{all_rules, FileCtx, LintDiag, Rule};
+use nimblock_ser::impl_json_struct;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting a tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived suppression, in (path, line) order.
+    pub diags: Vec<LintDiag>,
+    /// How many findings inline `// nimblock: allow(...)` comments silenced.
+    pub suppressed: usize,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+impl_json_struct!(LintReport { diags, suppressed, files_scanned });
+
+impl LintReport {
+    /// True when no finding survived suppression.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} finding(s), {} suppressed, {} file(s) scanned",
+            self.diags.len(),
+            self.suppressed,
+            self.files_scanned
+        )
+    }
+}
+
+/// Lint every `.rs`, `Cargo.toml`, and `Cargo.lock` file under `root`.
+///
+/// Hidden directories and `target/` are skipped. This crate's own sources
+/// are *not* exempt: the rule tests embed their violating fixtures in string
+/// literals, which the tokenizer never looks inside.
+pub fn lint_tree(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+    let rules = all_rules();
+    let mut report = LintReport::default();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        lint_one(&rel_str, &source, &rules, &mut report);
+    }
+    Ok(report)
+}
+
+/// Lint a single in-memory file against the full rule set.
+pub fn lint_source(rel_path: &str, source: &str) -> LintReport {
+    let mut report = LintReport::default();
+    lint_one(rel_path, source, &all_rules(), &mut report);
+    report
+}
+
+fn lint_one(rel_path: &str, source: &str, rules: &[Box<dyn Rule>], report: &mut LintReport) {
+    let lexed: Option<Lexed> = rel_path.ends_with(".rs").then(|| lex(source));
+    let ctx = FileCtx { rel_path, source, lexed: lexed.as_ref() };
+    report.files_scanned += 1;
+    for rule in rules {
+        if !rule.applies_to(rel_path) {
+            continue;
+        }
+        for finding in rule.check(&ctx) {
+            let allowed = lexed
+                .as_ref()
+                .map(|l| l.allowed(finding.line, rule.id()))
+                .unwrap_or(false);
+            if allowed {
+                report.suppressed += 1;
+            } else {
+                report.diags.push(finding);
+            }
+        }
+    }
+    report.diags.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect_files(root, &path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" || name == "Cargo.lock" {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_findings_are_counted_not_reported() {
+        let src = "fn f() {\n    // nimblock: allow(no-unwrap-hot-path)\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let report = lint_source("crates/sim/src/engine.rs", src);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.diags.len(), 1);
+        assert_eq!(report.diags[0].line, 4);
+    }
+
+    #[test]
+    fn clean_source_produces_a_clean_report() {
+        let src = "fn f() -> Result<u32, String> { Ok(1) }\n";
+        let report = lint_source("crates/core/src/scheduler/nimblock.rs", src);
+        assert!(report.is_clean());
+        assert_eq!(report.files_scanned, 1);
+    }
+
+    #[test]
+    fn report_serializes_and_displays() {
+        let report = lint_source("crates/sim/src/queue.rs", "fn f() { x.unwrap(); }");
+        let json = nimblock_ser::to_string(&report);
+        assert!(json.contains("\"files_scanned\":1"));
+        let text = report.to_string();
+        assert!(text.contains("crates/sim/src/queue.rs:1"));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn lint_tree_walks_a_temp_workspace() {
+        let dir = std::env::temp_dir().join(format!(
+            "nimblock-analyze-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let src_dir = dir.join("crates/sim/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[dependencies]\nserde = \"1.0\"\n").unwrap();
+        fs::write(src_dir.join("engine.rs"), "fn f() { x.unwrap(); }\n").unwrap();
+        let report = lint_tree(&dir).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        assert_eq!(report.files_scanned, 2);
+        let rules: Vec<&str> = report.diags.iter().map(|d| d.rule.as_str()).collect();
+        assert_eq!(rules, ["registry-deps", "no-unwrap-hot-path"]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The `nimblock-analyze` binary: static lint + schedule-trace verification.
+//!
+//! ```text
+//! nimblock-analyze lint  [--root <dir>] [--json]
+//! nimblock-analyze trace <file> [--json] [--mechanism-only]
+//!                        [--reconfig-latency-ms <ms>]
+//! nimblock-analyze rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when findings/violations were reported,
+//! 2 on usage or I/O errors.
+
+use nimblock_analyze::invariants::InvariantConfig;
+use nimblock_analyze::{all_rules, lint_tree, verify_trace};
+use nimblock_core::Trace;
+use nimblock_sim::SimDuration;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nimblock-analyze: static lint + schedule-trace invariant verification
+
+USAGE:
+    nimblock-analyze lint  [--root <dir>] [--json]
+    nimblock-analyze trace <file> [--json] [--mechanism-only]
+                           [--reconfig-latency-ms <ms>]
+    nimblock-analyze rules
+
+COMMANDS:
+    lint     Run every lint rule over a workspace tree (default: cwd).
+    trace    Verify a serialized schedule trace (JSON, as written by
+             `nimblock-cli run --trace-out`) against the paper's
+             hardware and policy invariants.
+    rules    Print the lint-rule catalog.
+
+OPTIONS:
+    --root <dir>               Workspace root to lint (default: .).
+    --json                     Emit a machine-readable JSON report.
+    --mechanism-only           Skip Nimblock-policy invariants (goal-number
+                               ceilings, preemption priority) for traces
+                               recorded under non-Nimblock schedulers that
+                               preempt.
+    --reconfig-latency-ms <ms> Expected reconfiguration latency; enables the
+                               exact cap-latency check (80 ms on the ZCU106
+                               device model).
+
+Findings can be suppressed per line with `// nimblock: allow(<rule>)`.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dispatch; `Ok(true)` means a clean run.
+fn run(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("rules") => {
+            cmd_rules();
+            Ok(true)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                );
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    let report = lint_tree(&root)
+        .map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
+    if json {
+        println!("{}", nimblock_ser::to_string_pretty(&report));
+    } else {
+        println!("{report}");
+    }
+    Ok(report.is_clean())
+}
+
+fn cmd_trace(args: &[String]) -> Result<bool, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut config = InvariantConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--mechanism-only" => config.nimblock_policy = false,
+            "--reconfig-latency-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--reconfig-latency-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --reconfig-latency-ms: {e}"))?;
+                config.reconfig_latency = Some(SimDuration::from_millis(ms));
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown trace option `{other}`")),
+        }
+    }
+    let path = path.ok_or("trace needs a <file> argument")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace: Trace = nimblock_ser::from_str(&text)
+        .map_err(|e| format!("{} is not a serialized trace: {e}", path.display()))?;
+    let report = verify_trace(&trace, &config);
+    if json {
+        println!("{}", nimblock_ser::to_string_pretty(&report));
+    } else if report.is_clean() {
+        println!(
+            "ok: {} event(s), {} application(s), all invariants hold",
+            report.events_checked, report.apps_seen
+        );
+    } else {
+        println!("{report}");
+    }
+    Ok(report.is_clean())
+}
+
+fn cmd_rules() {
+    println!("lint rules (suppress with `// nimblock: allow(<rule>)`):\n");
+    for rule in all_rules() {
+        println!("  {:<22} {}", rule.id(), rule.description());
+    }
+    println!("\ntrace invariants (paper section in parentheses):\n");
+    for rule in nimblock_analyze::InvariantRule::ALL {
+        println!("  {:<22} ({})", rule.id(), rule.paper_section());
+    }
+}

@@ -164,6 +164,9 @@ pub struct RunArgs {
     pub trace_format: Option<TraceFormat>,
     /// Where the trace goes ('-' = stdout; default stdout).
     pub trace_out: Option<String>,
+    /// Verify the recorded schedule against the paper's invariants after
+    /// the run; a violation fails the command.
+    pub check_invariants: bool,
 }
 
 /// `compare` command arguments.
@@ -199,6 +202,34 @@ pub struct ClusterArgs {
     pub scheduler: SchedulerKind,
 }
 
+/// What `analyze` should look at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeTarget {
+    /// Lint the source tree rooted at the given directory.
+    Lint {
+        /// Workspace root to lint.
+        root: String,
+    },
+    /// Verify a serialized schedule trace (as written by
+    /// `run --trace-format json --trace-out FILE`).
+    Trace {
+        /// Path of the trace JSON.
+        path: String,
+        /// Skip Nimblock-policy invariants (goal ceilings, preemption
+        /// priority order).
+        mechanism_only: bool,
+    },
+}
+
+/// `analyze` command arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeArgs {
+    /// Lint a tree or verify a trace.
+    pub target: AnalyzeTarget,
+    /// Emit a machine-readable JSON report instead of diagnostics.
+    pub json: bool,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)]
@@ -208,6 +239,7 @@ pub enum Command {
     Compare(CompareArgs),
     Faas(FaasArgs),
     Cluster(ClusterArgs),
+    Analyze(AnalyzeArgs),
     Help,
 }
 
@@ -274,6 +306,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut metrics_out = None;
             let mut trace_format = None;
             let mut trace_out = None;
+            let mut check_invariants = false;
             while let Some(flag) = stream.next() {
                 match flag {
                     "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
@@ -285,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         trace_format = Some(TraceFormat::parse(stream.value_for(flag)?)?)
                     }
                     "--trace-out" => trace_out = Some(stream.value_for(flag)?.to_owned()),
+                    "--check-invariants" => check_invariants = true,
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
@@ -300,7 +334,51 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_out,
                 trace_format,
                 trace_out,
+                check_invariants,
             }))
+        }
+        "analyze" => {
+            match stream.next() {
+                Some("lint") => {
+                    let mut root = ".".to_owned();
+                    let mut json = false;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--root" => root = stream.value_for(flag)?.to_owned(),
+                            "--json" => json = true,
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    return Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Lint { root },
+                        json,
+                    }));
+                }
+                Some("trace") => {
+                    let mut path = None;
+                    let mut json = false;
+                    let mut mechanism_only = false;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--json" => json = true,
+                            "--mechanism-only" => mechanism_only = true,
+                            other if !other.starts_with('-') && path.is_none() => {
+                                path = Some(other.to_owned())
+                            }
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    let path = path.ok_or_else(|| err("analyze trace needs a FILE"))?;
+                    Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Trace { path, mechanism_only },
+                        json,
+                    }))
+                }
+                Some(other) => Err(err(format!(
+                    "unknown analyze target '{other}' (expected lint or trace)"
+                ))),
+                None => Err(err("analyze needs a target: lint or trace")),
+            }
         }
         "faas" => {
             let mut args = FaasArgs {

@@ -10,8 +10,8 @@ use nimblock_sim::SimDuration;
 use nimblock_workload::{fixed_batch_sequence, generate, EventSequence};
 
 use crate::args::{
-    ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs, SchedulerKind,
-    StimulusArgs, TraceFormat,
+    AnalyzeArgs, AnalyzeTarget, ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs,
+    RunArgs, SchedulerKind, StimulusArgs, TraceFormat,
 };
 use crate::CliError;
 
@@ -58,6 +58,10 @@ fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), C
 fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let events = make_sequence(&args.stimulus)?;
     let config = DeviceConfig::zcu106().with_slot_count(args.slots);
+    // With pre-loaded bitstreams (SD bandwidth 0) every reconfiguration takes
+    // exactly the nominal CAP latency, so the invariant check can be exact.
+    let exact_reconfig_latency = (config.sd_bandwidth_bytes_per_sec == 0)
+        .then(|| nimblock_fpga::Device::new(config.clone()).nominal_reconfig_latency());
     let mut testbed = Testbed::new(args.scheduler.build()).with_device_config(config);
     let registry = args.metrics_out.as_ref().map(|_| nimblock_obs::Registry::new());
     if let Some(registry) = &registry {
@@ -66,7 +70,7 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let trace_format = args
         .trace_format
         .or_else(|| args.gantt.then_some(TraceFormat::Gantt));
-    let (report, trace) = if trace_format.is_some() {
+    let (report, trace) = if trace_format.is_some() || args.check_invariants {
         let (report, trace) = testbed.run_traced(&events);
         (report, Some(trace))
     } else {
@@ -105,6 +109,27 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
         counters.reconfigurations, counters.alloc_stalls,
     )
     .map_err(|e| CliError(e.to_string()))?;
+
+    if args.check_invariants {
+        let trace = trace.as_ref().expect("run was traced for invariant checking");
+        let mut invariant_config = nimblock_analyze::InvariantConfig::default();
+        invariant_config.reconfig_latency = exact_reconfig_latency;
+        let verdict = nimblock_analyze::verify_trace(trace, &invariant_config);
+        if verdict.is_clean() {
+            writeln!(
+                out,
+                "  invariants: ok ({} events, {} applications)",
+                verdict.events_checked, verdict.apps_seen
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+        } else {
+            writeln!(out, "{verdict}").map_err(|e| CliError(e.to_string()))?;
+            return Err(CliError(format!(
+                "schedule violates {} invariant(s)",
+                verdict.violations.len()
+            )));
+        }
+    }
 
     if let (Some(format), Some(trace)) = (trace_format, &trace) {
         let rendered = match format {
@@ -230,6 +255,59 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
     .map_err(|e| CliError(e.to_string()))
 }
 
+fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    match &args.target {
+        AnalyzeTarget::Lint { root } => {
+            let report = nimblock_analyze::lint_tree(std::path::Path::new(root))
+                .map_err(|e| CliError(format!("cannot lint {root}: {e}")))?;
+            if args.json {
+                writeln!(out, "{}", nimblock_ser::to_string_pretty(&report))
+                    .map_err(|e| CliError(e.to_string()))?;
+            } else {
+                writeln!(out, "{report}").map_err(|e| CliError(e.to_string()))?;
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(CliError(format!("lint reported {} finding(s)", report.diags.len())))
+            }
+        }
+        AnalyzeTarget::Trace { path, mechanism_only } => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let trace: nimblock_core::Trace = nimblock_ser::from_str(&text)
+                .map_err(|e| CliError(format!("{path} is not a serialized trace: {e}")))?;
+            let config = if *mechanism_only {
+                nimblock_analyze::InvariantConfig::mechanism_only()
+            } else {
+                nimblock_analyze::InvariantConfig::default()
+            };
+            let report = nimblock_analyze::verify_trace(&trace, &config);
+            if args.json {
+                writeln!(out, "{}", nimblock_ser::to_string_pretty(&report))
+                    .map_err(|e| CliError(e.to_string()))?;
+            } else if report.is_clean() {
+                writeln!(
+                    out,
+                    "ok: {} event(s), {} application(s), all invariants hold",
+                    report.events_checked, report.apps_seen
+                )
+                .map_err(|e| CliError(e.to_string()))?;
+            } else {
+                writeln!(out, "{report}").map_err(|e| CliError(e.to_string()))?;
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(CliError(format!(
+                    "trace violates {} invariant(s)",
+                    report.violations.len()
+                )))
+            }
+        }
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -245,6 +323,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Compare(args) => compare_command(args, out),
         Command::Faas(args) => faas_command(args, out),
         Command::Cluster(args) => cluster_command(args, out),
+        Command::Analyze(args) => analyze_command(args, out),
     }
 }
 
@@ -361,6 +440,95 @@ mod tests {
     fn help_prints_usage() {
         let output = run_line("help");
         assert!(output.contains("USAGE"));
+    }
+
+    #[test]
+    fn check_invariants_passes_for_every_paper_scheduler() {
+        // The acceptance bar: all five evaluated policies produce schedules
+        // that hold every invariant on a fig5-style stress workload.
+        for scheduler in ["nosharing", "fcfs", "rr", "prema", "nimblock"] {
+            let output = run_line(&format!(
+                "run --scheduler {scheduler} --scenario stress --events 8 --seed 23 \
+                 --check-invariants"
+            ));
+            assert!(
+                output.contains("invariants: ok"),
+                "{scheduler} failed the invariant check:\n{output}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_invariants_composes_with_telemetry_flags() {
+        let output = run_line(
+            "run --scheduler nimblock --batch 2 --delay-ms 100 --events 3 --seed 7 \
+             --check-invariants --trace-format gantt",
+        );
+        assert!(output.contains("invariants: ok"), "{output}");
+        assert!(output.contains("slot#0"), "{output}");
+    }
+
+    #[test]
+    fn analyze_trace_verifies_an_exported_trace() {
+        let dir = std::env::temp_dir().join("nimblock-cli-analyze-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path = path.to_str().unwrap();
+        run_line(&format!(
+            "run --scheduler nimblock --events 4 --seed 11 \
+             --trace-format json --trace-out {path}"
+        ));
+        let output = run_line(&format!("analyze trace {path}"));
+        assert!(output.contains("all invariants hold"), "{output}");
+        let json = run_line(&format!("analyze trace {path} --json"));
+        let start = json.find('{').expect("json in output");
+        let report: nimblock_analyze::InvariantReport =
+            nimblock_ser::from_str(json[start..].trim()).unwrap();
+        assert!(report.is_clean());
+        assert!(report.events_checked > 0);
+    }
+
+    #[test]
+    fn analyze_trace_rejects_garbage_and_missing_files() {
+        let command = parse(&argv("analyze trace /nonexistent/t.json")).unwrap();
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+
+        let dir = std::env::temp_dir().join("nimblock-cli-analyze-garbage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-trace.json");
+        fs::write(&path, "{\"events\": 42}").unwrap();
+        let command =
+            parse(&argv(&format!("analyze trace {}", path.display()))).unwrap();
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("not a serialized trace"), "{err}");
+    }
+
+    #[test]
+    fn analyze_command_lines_parse() {
+        use crate::args::{AnalyzeArgs, AnalyzeTarget};
+        assert_eq!(
+            parse(&argv("analyze lint --root sub/dir --json")).unwrap(),
+            Command::Analyze(AnalyzeArgs {
+                target: AnalyzeTarget::Lint { root: "sub/dir".into() },
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(&argv("analyze trace t.json --mechanism-only")).unwrap(),
+            Command::Analyze(AnalyzeArgs {
+                target: AnalyzeTarget::Trace {
+                    path: "t.json".into(),
+                    mechanism_only: true,
+                },
+                json: false,
+            })
+        );
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze frobnicate")).is_err());
+        assert!(parse(&argv("analyze trace")).is_err());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * `run` — run a scheduler on a generated or loaded stimulus, printing a
 //!   summary and optionally a JSON report or a Gantt chart,
 //! * `compare` — run several schedulers on the same stimulus and tabulate
-//!   the reductions versus the no-sharing baseline.
+//!   the reductions versus the no-sharing baseline,
+//! * `analyze` — correctness tooling: lint the source tree or verify a
+//!   recorded schedule trace against the paper's invariants (the same
+//!   engine `run --check-invariants` applies inline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,8 +19,8 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, CliError, ClusterArgs, Command, CompareArgs, FaasArgs, GenerateArgs, RunArgs,
-    SchedulerKind, TraceFormat,
+    parse, AnalyzeArgs, AnalyzeTarget, CliError, ClusterArgs, Command, CompareArgs, FaasArgs,
+    GenerateArgs, RunArgs, SchedulerKind, TraceFormat,
 };
 pub use commands::{execute, load_sequence, make_sequence};
 
@@ -31,7 +34,10 @@ USAGE:
   nimblock-cli run      [--scheduler NAME] [stimulus options | --input FILE]
                         [--slots N] [--json FILE] [--gantt]
                         [--metrics-out FILE] [--trace-format FMT [--trace-out FILE]]
+                        [--check-invariants]
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
+  nimblock-cli analyze  lint [--root DIR] [--json]
+  nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
   nimblock-cli cluster  [--boards N] [--scheduler NAME] [stimulus options]
@@ -54,8 +60,13 @@ OTHER:
   --trace-format FMT   export the schedule trace: json | chrome | gantt
                        (chrome loads in Perfetto / chrome://tracing)
   --trace-out FILE     where the trace goes ('-' for stdout) [stdout]
+  --check-invariants   verify the recorded schedule against the paper's
+                       invariants after the run (a violation fails the run)
   --output FILE        where generate writes the stimulus ('-' for stdout)
   --input FILE         load a stimulus JSON instead of generating one
+  --root DIR           workspace root for analyze lint [.]
+  --mechanism-only     analyze trace: skip Nimblock-policy invariants
+                       (use for traces from preempting non-Nimblock policies)
 
 Set NIMBLOCK_LOG=debug (or e.g. 'hv=debug,sched=info') for structured logs
 on stderr.

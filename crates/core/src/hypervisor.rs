@@ -289,9 +289,11 @@ impl<S: Scheduler> Hypervisor<S> {
         );
         self.apps.insert(id, runtime);
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Arrival {
+            trace.record(TraceEvent::Arrival {
                 app: id,
                 name: event.app().name().to_owned(),
+                batch: event.batch_size(),
+                priority: event.priority(),
                 at: now,
             });
         }
@@ -380,7 +382,7 @@ impl<S: Scheduler> Hypervisor<S> {
                 .expect("buffer was live");
         }
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Retire { app, at: now });
+            trace.record(TraceEvent::Retire { app, at: now });
         }
         self.metrics.retires.inc();
         let wait = match runtime.first_launch {
@@ -474,6 +476,10 @@ impl<S: Scheduler> Hypervisor<S> {
                 // checkpoint latency delays the reconfiguration.
                 TaskPhase::Running(victim_slot) if victim_slot == slot => {
                     let checkpoint = fine_checkpoint.unwrap_or_else(|| {
+                        // Scheduler-contract violation, documented under
+                        // "# Panics": a policy may only request mid-item
+                        // preemption when the overlay checkpoints.
+                        // nimblock: allow(no-unwrap-hot-path)
                         panic!(
                             "mid-item preemption of {victim_task} of {victim_app} \
                              without a checkpoint-capable overlay"
@@ -496,6 +502,10 @@ impl<S: Scheduler> Hypervisor<S> {
                         .expect("running slot can be aborted");
                     reconfig_start = now + checkpoint;
                 }
+                // Scheduler-contract violation ("# Panics"): only bound
+                // tasks (idle at a batch boundary, or running on a
+                // checkpointing overlay) are legal preemption victims.
+                // nimblock: allow(no-unwrap-hot-path)
                 other => panic!(
                     "preemption of {victim_task} of {victim_app} in phase {other:?}"
                 ),
@@ -510,7 +520,7 @@ impl<S: Scheduler> Hypervisor<S> {
             );
             self.bindings[slot.index()] = None;
             if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Preempt {
+                trace.record(TraceEvent::Preempt {
                     slot,
                     app: victim_app,
                     task: victim_task,
@@ -537,11 +547,15 @@ impl<S: Scheduler> Hypervisor<S> {
         );
         self.bindings[slot.index()] = Some((app, task));
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Reconfig {
+            // Traced at the stream start, not the decision instant: under
+            // fine-grained preemption the checkpoint save delays the
+            // stream, and the CAP span must cover port occupancy only so
+            // trace analysis can audit the serialization latency exactly.
+            trace.record(TraceEvent::Reconfig {
                 slot,
                 app,
                 task,
-                at: now,
+                at: reconfig_start,
                 until: done_at,
             });
         }
@@ -616,7 +630,7 @@ impl<S: Scheduler> Hypervisor<S> {
             let latency = remaining + fetch;
             let item = runtime.items_done[task.index()];
             if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Item {
+                trace.record(TraceEvent::Item {
                     slot,
                     app,
                     task,
@@ -647,10 +661,14 @@ impl<S: Scheduler> Hypervisor<S> {
                 // instrument with a real (syscall-level) cost, and its
                 // values are nondeterministic.
                 if self.metrics.timed {
+                    // nimblock: allow(no-wallclock-sim)
                     let started = std::time::Instant::now();
                     let directive = self.scheduler.next_reconfig(&view);
                     self.metrics
                         .decision_latency_nanos
+                        // Sub-nanosecond beyond u64 range (584 years) cannot
+                        // occur for a single decision.
+                        // nimblock: allow(no-lossy-cast)
                         .observe(started.elapsed().as_nanos() as u64);
                     directive
                 } else {

@@ -1,0 +1,1221 @@
+//! Dynamic schedule-invariant verification.
+//!
+//! Nimblock's correctness claims are invariants over the schedule the
+//! hypervisor actually produced: the configuration port serializes partial
+//! reconfigurations (paper §2.1), a slot never runs two things at once,
+//! batch-preemption fires only at batch boundaries and evicts the
+//! topologically-latest task first (§3.2, Algorithm 2), task-graph
+//! dependencies are respected even under cross-batch pipelining (§3.1), and
+//! every admitted batch item is processed exactly once. This module checks
+//! all of them against a recorded [`Trace`] and reports *every* violation as
+//! structured data — unlike the original `Trace::validate`, which stopped at
+//! the first problem with a bare `String`.
+//!
+//! The checks are deliberately trace-only: they re-derive legality from the
+//! event stream alone (plus the benchmark catalog for task graphs), so the
+//! verifier can audit traces produced by this simulator, deserialized from
+//! disk, or written by hand as adversarial fixtures.
+//!
+//! Entry points:
+//!
+//! * [`verify_trace`] — the full rule set, configured by [`InvariantConfig`].
+//! * [`verify_hardware`] — only the physical-resource rules (CAP
+//!   exclusivity, slot double-booking); this is what the legacy
+//!   [`Trace::validate`] shim delegates to.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use nimblock_app::{benchmarks, AppSpec, Priority, TaskId};
+use nimblock_fpga::SlotId;
+use nimblock_ser::{impl_json_struct, FromJson, Json, JsonError, ToJson};
+use nimblock_sim::{SimDuration, SimTime};
+
+use crate::trace::{Trace, TraceEvent};
+use crate::AppId;
+
+/// One checkable invariant of a Nimblock schedule.
+///
+/// Each rule has a stable kebab-case [`id`](InvariantRule::id) used in JSON
+/// output and fixture assertions, and a paper reference recording which
+/// claim it encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantRule {
+    /// At most one partial reconfiguration streams through the
+    /// configuration access port at any time (paper §2.1).
+    CapExclusive,
+    /// Every reconfiguration occupies the port for exactly the device's
+    /// serialization latency (paper §2.1: bitstream size over CAP
+    /// bandwidth). Only checked when [`InvariantConfig::reconfig_latency`]
+    /// is set.
+    CapLatency,
+    /// A slot is never double-booked: its reconfiguration and execution
+    /// spans do not overlap (paper §2.2).
+    SlotOverlap,
+    /// A task occupies at most one slot at a time (paper §2.2).
+    TaskSingleSlot,
+    /// No batch item starts before its task-graph predecessors have
+    /// produced the inputs it consumes — item `k` of a task needs item `k`
+    /// of every predecessor under pipelining (paper §3.1).
+    DagOrder,
+    /// Batch-preemption fires only at batch boundaries (the victim has no
+    /// item in flight and is not mid-reconfiguration) unless the overlay is
+    /// checkpoint-capable (paper §3.2, §7).
+    PreemptBoundary,
+    /// The preemption victim is the topologically-latest placed task of its
+    /// application (paper Algorithm 2).
+    PreemptTopoLatest,
+    /// A high-priority application holding its guaranteed single slot is
+    /// never evicted for a lower-priority one (paper §4.1: high-priority
+    /// applications are always candidates and the allocator grants every
+    /// candidate one slot when slots suffice).
+    PreemptPriority,
+    /// Work-token conservation: every admitted batch item of every task is
+    /// processed exactly once — none leaked, none duplicated (paper §3.1's
+    /// PREMA-style accounting).
+    TokenConservation,
+    /// An application never occupies more slots than it has unfinished
+    /// tasks — the ceiling the goal-number allocator enforces (paper §4.2).
+    GoalCeiling,
+    /// Lifecycle sanity: every event for an application falls between its
+    /// arrival and retirement, and every admitted application retires.
+    Lifecycle,
+}
+
+impl InvariantRule {
+    /// Every rule, in checking order.
+    pub const ALL: [InvariantRule; 11] = [
+        InvariantRule::CapExclusive,
+        InvariantRule::CapLatency,
+        InvariantRule::SlotOverlap,
+        InvariantRule::TaskSingleSlot,
+        InvariantRule::DagOrder,
+        InvariantRule::PreemptBoundary,
+        InvariantRule::PreemptTopoLatest,
+        InvariantRule::PreemptPriority,
+        InvariantRule::TokenConservation,
+        InvariantRule::GoalCeiling,
+        InvariantRule::Lifecycle,
+    ];
+
+    /// The stable machine-readable rule identifier.
+    pub const fn id(self) -> &'static str {
+        match self {
+            InvariantRule::CapExclusive => "cap-exclusive",
+            InvariantRule::CapLatency => "cap-latency",
+            InvariantRule::SlotOverlap => "slot-overlap",
+            InvariantRule::TaskSingleSlot => "task-single-slot",
+            InvariantRule::DagOrder => "dag-order",
+            InvariantRule::PreemptBoundary => "preempt-boundary",
+            InvariantRule::PreemptTopoLatest => "preempt-topo-latest",
+            InvariantRule::PreemptPriority => "preempt-priority",
+            InvariantRule::TokenConservation => "token-conservation",
+            InvariantRule::GoalCeiling => "goal-ceiling",
+            InvariantRule::Lifecycle => "lifecycle",
+        }
+    }
+
+    /// The paper section whose claim this rule encodes.
+    pub const fn paper_section(self) -> &'static str {
+        match self {
+            InvariantRule::CapExclusive | InvariantRule::CapLatency => "§2.1",
+            InvariantRule::SlotOverlap | InvariantRule::TaskSingleSlot => "§2.2",
+            InvariantRule::DagOrder | InvariantRule::TokenConservation => "§3.1",
+            InvariantRule::PreemptBoundary => "§3.2",
+            InvariantRule::PreemptTopoLatest => "Algorithm 2",
+            InvariantRule::PreemptPriority => "§4.1",
+            InvariantRule::GoalCeiling => "§4.2",
+            InvariantRule::Lifecycle => "§2.2",
+        }
+    }
+
+    /// Resolves a rule from its [`id`](InvariantRule::id).
+    pub fn from_id(id: &str) -> Option<InvariantRule> {
+        InvariantRule::ALL.into_iter().find(|rule| rule.id() == id)
+    }
+}
+
+impl fmt::Display for InvariantRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl ToJson for InvariantRule {
+    fn to_json(&self) -> Json {
+        Json::Str(self.id().to_owned())
+    }
+}
+
+impl FromJson for InvariantRule {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let id = v
+            .as_str()
+            .ok_or_else(|| JsonError::expected("invariant rule id string", v))?;
+        InvariantRule::from_id(id)
+            .ok_or_else(|| JsonError::new(format!("unknown invariant rule `{id}`")))
+    }
+}
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: InvariantRule,
+    /// When the violation manifested.
+    pub at: SimTime,
+    /// The slot involved, when slot-specific.
+    pub slot: Option<SlotId>,
+    /// The application involved, when app-specific.
+    pub app: Option<AppId>,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl_json_struct!(Violation { rule, at, slot, app, message });
+
+impl Violation {
+    fn new(rule: InvariantRule, at: SimTime, message: String) -> Self {
+        Violation { rule, at, slot: None, app: None, message }
+    }
+
+    fn on_slot(mut self, slot: SlotId) -> Self {
+        self.slot = Some(slot);
+        self
+    }
+
+    fn for_app(mut self, app: AppId) -> Self {
+        self.app = Some(app);
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.rule, self.at, self.message)
+    }
+}
+
+/// Configuration of [`verify_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantConfig {
+    /// Expected configuration-port occupancy per reconfiguration; when set,
+    /// every traced reconfiguration span must last exactly this long
+    /// ([`InvariantRule::CapLatency`]). Leave `None` for devices with
+    /// SD-card load costs or heterogeneous bitstream sizes.
+    pub reconfig_latency: Option<SimDuration>,
+    /// Accept mid-item preemption (a checkpoint-capable overlay, the
+    /// paper's §7 future work). Off for the evaluated batch-boundary-only
+    /// system.
+    pub allow_mid_item_preemption: bool,
+    /// Also check the Nimblock-policy rules ([`InvariantRule::GoalCeiling`],
+    /// [`InvariantRule::PreemptTopoLatest`],
+    /// [`InvariantRule::PreemptPriority`]). The shipped baseline policies
+    /// never preempt and respect the ceiling structurally, so this is safe
+    /// to leave on for all of them; disable it for hand-written policies
+    /// with different preemption contracts.
+    pub nimblock_policy: bool,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            reconfig_latency: None,
+            allow_mid_item_preemption: false,
+            nimblock_policy: true,
+        }
+    }
+}
+
+impl InvariantConfig {
+    /// Only the mechanism-level rules: hardware legality, DAG order, token
+    /// conservation, lifecycle — no policy-specific checks.
+    pub fn mechanism_only() -> Self {
+        InvariantConfig { nimblock_policy: false, ..InvariantConfig::default() }
+    }
+
+    /// Sets the expected per-reconfiguration port occupancy.
+    pub fn with_reconfig_latency(mut self, latency: SimDuration) -> Self {
+        self.reconfig_latency = Some(latency);
+        self
+    }
+
+    /// Accepts mid-item preemption (checkpoint-capable overlay).
+    pub fn with_mid_item_preemption(mut self) -> Self {
+        self.allow_mid_item_preemption = true;
+        self
+    }
+}
+
+/// The outcome of verifying one trace: all violations, plus how much was
+/// checked (so "clean" is distinguishable from "empty").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Every violation found, in time order.
+    pub violations: Vec<Violation>,
+    /// How many trace events were examined.
+    pub events_checked: usize,
+    /// How many applications the trace admitted.
+    pub apps_seen: usize,
+}
+
+impl_json_struct!(InvariantReport { violations, events_checked, apps_seen });
+
+impl InvariantReport {
+    /// Returns `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Returns the violations of one rule.
+    pub fn of_rule(&self, rule: InvariantRule) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.rule == rule).collect()
+    }
+
+    /// Returns the distinct rules that fired.
+    pub fn rules_fired(&self) -> BTreeSet<InvariantRule> {
+        self.violations.iter().map(|v| v.rule).collect()
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "invariants clean: {} events, {} applications, 0 violations",
+                self.events_checked, self.apps_seen
+            );
+        }
+        writeln!(
+            f,
+            "{} invariant violation(s) in {} events:",
+            self.violations.len(),
+            self.events_checked
+        )?;
+        for violation in &self.violations {
+            writeln!(f, "  {violation}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: span normalization.
+// ---------------------------------------------------------------------------
+
+/// Per-trace derived data shared by the rule checkers.
+///
+/// The hypervisor traces each item's *scheduled* completion at launch time;
+/// a fine-grained preemption aborts the in-flight item, so its traced span
+/// must be truncated at the preemption instant before any span math
+/// (otherwise the abandoned tail would double-book the slot against the
+/// reconfiguration that evicted it). Aborted items do not count as
+/// completions — the resumed launch completes the item.
+struct SpanData {
+    /// Item event index → truncated end (the preemption instant).
+    truncated: HashMap<usize, SimTime>,
+    /// Preempt event indices that interrupted an in-flight item.
+    mid_item: HashSet<usize>,
+    /// Preempt event indices that interrupted an in-flight reconfiguration.
+    during_reconfig: HashSet<usize>,
+    /// Preempt event index → the application the slot was next
+    /// reconfigured for (the preemptor).
+    preemptor: HashMap<usize, AppId>,
+    /// Completed (untruncated) items per (app, task): `(until, item)`,
+    /// sorted by completion time.
+    completions: HashMap<(AppId, TaskId), Vec<(SimTime, u32)>>,
+}
+
+impl SpanData {
+    fn collect(events: &[TraceEvent]) -> SpanData {
+        let mut data = SpanData {
+            truncated: HashMap::new(),
+            mid_item: HashSet::new(),
+            during_reconfig: HashSet::new(),
+            preemptor: HashMap::new(),
+            completions: HashMap::new(),
+        };
+        let mut inflight_item: HashMap<SlotId, usize> = HashMap::new();
+        let mut inflight_reconfig: HashMap<SlotId, usize> = HashMap::new();
+        let mut pending_preempts: HashMap<SlotId, Vec<usize>> = HashMap::new();
+        for (index, event) in events.iter().enumerate() {
+            match event {
+                TraceEvent::Item { slot, .. } => {
+                    inflight_item.insert(*slot, index);
+                }
+                TraceEvent::Reconfig { slot, app, .. } => {
+                    inflight_reconfig.insert(*slot, index);
+                    for preempt in pending_preempts.remove(slot).unwrap_or_default() {
+                        data.preemptor.insert(preempt, *app);
+                    }
+                }
+                TraceEvent::Preempt { slot, app, task, at } => {
+                    if let Some(&item_index) = inflight_item.get(slot) {
+                        if let TraceEvent::Item {
+                            app: item_app, task: item_task, at: started, until, ..
+                        } = &events[item_index]
+                        {
+                            if item_app == app && item_task == task && started <= at && at < until
+                            {
+                                data.truncated.insert(item_index, *at);
+                                data.mid_item.insert(index);
+                            }
+                        }
+                    }
+                    if let Some(&reconfig_index) = inflight_reconfig.get(slot) {
+                        if let TraceEvent::Reconfig {
+                            app: r_app, task: r_task, at: started, until, ..
+                        } = &events[reconfig_index]
+                        {
+                            if r_app == app && r_task == task && started <= at && at < until {
+                                data.during_reconfig.insert(index);
+                            }
+                        }
+                    }
+                    pending_preempts.entry(*slot).or_default().push(index);
+                }
+                _ => {}
+            }
+        }
+        for (index, event) in events.iter().enumerate() {
+            if let TraceEvent::Item { app, task, item, until, .. } = event {
+                if !data.truncated.contains_key(&index) {
+                    data.completions
+                        .entry((*app, *task))
+                        .or_default()
+                        .push((*until, *item));
+                }
+            }
+        }
+        for list in data.completions.values_mut() {
+            list.sort();
+        }
+        data
+    }
+
+    /// How many items of `(app, task)` had completed by time `t`
+    /// (inclusive).
+    fn completed_before(&self, app: AppId, task: TaskId, t: SimTime) -> u32 {
+        match self.completions.get(&(app, task)) {
+            Some(list) => list.partition_point(|&(until, _)| until <= t) as u32,
+            None => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware rules (shared with the legacy `Trace::validate` shim).
+// ---------------------------------------------------------------------------
+
+fn hardware_violations(trace: &Trace, data: &SpanData) -> Vec<Violation> {
+    let events = trace.events();
+    let mut violations = Vec::new();
+    // Configuration-port exclusivity: reconfiguration spans are disjoint.
+    let mut cap: Vec<(SimTime, SimTime, SlotId)> = events
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::Reconfig { slot, at, until, .. } => Some((*at, *until, *slot)),
+            _ => None,
+        })
+        .collect();
+    cap.sort();
+    for pair in cap.windows(2) {
+        if pair[1].0 < pair[0].1 {
+            violations.push(
+                Violation::new(
+                    InvariantRule::CapExclusive,
+                    pair[1].0,
+                    format!(
+                        "configuration port overlap: [{}, {}) and [{}, {})",
+                        pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                    ),
+                )
+                .on_slot(pair[1].2),
+            );
+        }
+    }
+    // Slot exclusivity: per slot, reconfiguration and (truncated) item
+    // spans are disjoint.
+    for index in 0..trace.slots() {
+        let slot = SlotId::new(index as u32);
+        let mut spans: Vec<(SimTime, SimTime)> = events
+            .iter()
+            .enumerate()
+            .filter_map(|(event_index, event)| match event {
+                TraceEvent::Reconfig { slot: s, at, until, .. } if *s == slot => {
+                    Some((*at, *until))
+                }
+                TraceEvent::Item { slot: s, at, until, .. } if *s == slot => {
+                    let until = data
+                        .truncated
+                        .get(&event_index)
+                        .copied()
+                        .unwrap_or(*until);
+                    Some((*at, until))
+                }
+                _ => None,
+            })
+            .collect();
+        spans.sort();
+        for pair in spans.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                violations.push(
+                    Violation::new(
+                        InvariantRule::SlotOverlap,
+                        pair[1].0,
+                        format!(
+                            "{slot} overlap: [{}, {}) and [{}, {})",
+                            pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                        ),
+                    )
+                    .on_slot(slot),
+                );
+            }
+        }
+    }
+    violations
+}
+
+/// Checks only the physical-resource invariants: configuration-port
+/// exclusivity and slot double-booking. Fine-preemption-aware: an item span
+/// aborted by a traced mid-item preemption is truncated at the preemption
+/// instant before overlap checking.
+///
+/// This is the rule subset the legacy [`Trace::validate`] delegates to; use
+/// [`verify_trace`] for the full invariant set.
+pub fn verify_hardware(trace: &Trace) -> Vec<Violation> {
+    let data = SpanData::collect(trace.events());
+    hardware_violations(trace, &data)
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: event-ordered replay for the stateful rules.
+// ---------------------------------------------------------------------------
+
+struct AppState {
+    name: String,
+    batch: u32,
+    priority: Priority,
+    arrival: SimTime,
+    retired: Option<SimTime>,
+    /// Benchmark spec, when the traced name resolves in the catalog;
+    /// graph-dependent rules are skipped otherwise.
+    spec: Option<AppSpec>,
+    /// Task → position in topological order (empty when `spec` is `None`).
+    topo_pos: HashMap<TaskId, usize>,
+    /// Tasks observed in any Reconfig/Item event (the task universe for
+    /// token conservation when the graph is unknown).
+    seen_tasks: BTreeSet<TaskId>,
+}
+
+struct Replay<'a> {
+    config: &'a InvariantConfig,
+    data: &'a SpanData,
+    slot_count: usize,
+    apps: BTreeMap<AppId, AppState>,
+    bindings: BTreeMap<SlotId, (AppId, TaskId)>,
+}
+
+impl<'a> Replay<'a> {
+    fn new(trace: &Trace, config: &'a InvariantConfig, data: &'a SpanData) -> Self {
+        Replay {
+            config,
+            data,
+            slot_count: trace.slots(),
+            apps: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+        }
+    }
+
+    /// A bound task releases its slot the instant its whole batch is done;
+    /// the binding table is cleaned lazily, so liveness is time-qualified.
+    fn released(&self, app: AppId, task: TaskId, t: SimTime) -> bool {
+        match self.apps.get(&app) {
+            Some(state) => self.data.completed_before(app, task, t) >= state.batch,
+            None => false,
+        }
+    }
+
+    /// Slots `app` occupies at time `t` (live bindings only).
+    fn occupancy(&self, app: AppId, t: SimTime) -> usize {
+        self.bindings
+            .values()
+            .filter(|&&(a, task)| a == app && !self.released(a, task, t))
+            .count()
+    }
+
+    fn check_lifecycle(
+        &self,
+        app: AppId,
+        at: SimTime,
+        what: &str,
+        out: &mut Vec<Violation>,
+    ) -> bool {
+        match self.apps.get(&app) {
+            None => {
+                out.push(
+                    Violation::new(
+                        InvariantRule::Lifecycle,
+                        at,
+                        format!("{what} for {app}, which never arrived"),
+                    )
+                    .for_app(app),
+                );
+                false
+            }
+            Some(state) => match state.retired {
+                Some(retired) if retired < at => {
+                    out.push(
+                        Violation::new(
+                            InvariantRule::Lifecycle,
+                            at,
+                            format!("{what} for {app}, which retired at {retired}"),
+                        )
+                        .for_app(app),
+                    );
+                    false
+                }
+                _ => true,
+            },
+        }
+    }
+
+    fn on_arrival(
+        &mut self,
+        app: AppId,
+        name: &str,
+        batch: u32,
+        priority: Priority,
+        at: SimTime,
+        out: &mut Vec<Violation>,
+    ) {
+        if self.apps.contains_key(&app) {
+            out.push(
+                Violation::new(
+                    InvariantRule::Lifecycle,
+                    at,
+                    format!("duplicate arrival for {app}"),
+                )
+                .for_app(app),
+            );
+            return;
+        }
+        let spec = benchmarks::by_name(name);
+        let topo_pos = spec
+            .as_ref()
+            .map(|s| {
+                s.graph()
+                    .topological_order()
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &task)| (task, pos))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.apps.insert(
+            app,
+            AppState {
+                name: name.to_owned(),
+                batch,
+                priority,
+                arrival: at,
+                retired: None,
+                spec,
+                topo_pos,
+                seen_tasks: BTreeSet::new(),
+            },
+        );
+    }
+
+    fn on_reconfig(
+        &mut self,
+        slot: SlotId,
+        app: AppId,
+        task: TaskId,
+        at: SimTime,
+        out: &mut Vec<Violation>,
+    ) {
+        let known = self.check_lifecycle(app, at, "reconfiguration", out);
+        // The slot must be free: unoccupied, or its previous tenant
+        // finished its batch, or a preemption was traced (which removed the
+        // binding before this event).
+        if let Some(&(prev_app, prev_task)) = self.bindings.get(&slot) {
+            if !self.released(prev_app, prev_task, at) {
+                out.push(
+                    Violation::new(
+                        InvariantRule::SlotOverlap,
+                        at,
+                        format!(
+                            "{slot} reconfigured for {task} of {app} while {prev_task} of \
+                             {prev_app} still occupies it (no preemption traced)"
+                        ),
+                    )
+                    .on_slot(slot)
+                    .for_app(app),
+                );
+            }
+        }
+        // A task holds at most one slot.
+        for (&other_slot, &(bound_app, bound_task)) in &self.bindings {
+            if other_slot != slot
+                && (bound_app, bound_task) == (app, task)
+                && !self.released(app, task, at)
+            {
+                out.push(
+                    Violation::new(
+                        InvariantRule::TaskSingleSlot,
+                        at,
+                        format!(
+                            "{task} of {app} reconfigured onto {slot} while still holding \
+                             {other_slot}"
+                        ),
+                    )
+                    .on_slot(slot)
+                    .for_app(app),
+                );
+            }
+        }
+        self.bindings.insert(slot, (app, task));
+        if let Some(state) = self.apps.get_mut(&app) {
+            state.seen_tasks.insert(task);
+        }
+        // Goal-number ceiling: occupancy never exceeds unfinished tasks.
+        if known && self.config.nimblock_policy {
+            let (task_count, batch) = match self.apps.get(&app) {
+                Some(state) => match &state.spec {
+                    Some(spec) => (spec.graph().task_count(), state.batch),
+                    None => return,
+                },
+                None => return,
+            };
+            let done_tasks = (0..task_count)
+                .filter(|&t| {
+                    self.data.completed_before(app, TaskId::new(t as u32), at) >= batch
+                })
+                .count();
+            let unfinished = task_count - done_tasks;
+            let occupancy = self.occupancy(app, at);
+            if occupancy > unfinished {
+                out.push(
+                    Violation::new(
+                        InvariantRule::GoalCeiling,
+                        at,
+                        format!(
+                            "{app} occupies {occupancy} slots but has only {unfinished} \
+                             unfinished tasks"
+                        ),
+                    )
+                    .on_slot(slot)
+                    .for_app(app),
+                );
+            }
+        }
+    }
+
+    fn on_item(
+        &mut self,
+        slot: SlotId,
+        app: AppId,
+        task: TaskId,
+        item: u32,
+        at: SimTime,
+        out: &mut Vec<Violation>,
+    ) {
+        let known = self.check_lifecycle(app, at, "item execution", out);
+        if self.bindings.get(&slot) != Some(&(app, task)) {
+            out.push(
+                Violation::new(
+                    InvariantRule::Lifecycle,
+                    at,
+                    format!("item {item} of {task} of {app} ran on {slot}, which is not \
+                             configured for it"),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+        if let Some(state) = self.apps.get_mut(&app) {
+            state.seen_tasks.insert(task);
+        }
+        if !known {
+            return;
+        }
+        let state = &self.apps[&app];
+        if item >= state.batch {
+            out.push(
+                Violation::new(
+                    InvariantRule::TokenConservation,
+                    at,
+                    format!(
+                        "{task} of {app} ran item {item}, beyond its batch of {}",
+                        state.batch
+                    ),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+        // DAG order: item k needs item k of every predecessor finished.
+        let Some(spec) = &state.spec else { return };
+        for &pred in spec.graph().predecessors(task) {
+            let done = self.data.completed_before(app, pred, at);
+            if done < item + 1 {
+                out.push(
+                    Violation::new(
+                        InvariantRule::DagOrder,
+                        at,
+                        format!(
+                            "item {item} of {task} of {app} started with predecessor {pred} \
+                             at only {done} completed item(s) (needs {})",
+                            item + 1
+                        ),
+                    )
+                    .on_slot(slot)
+                    .for_app(app),
+                );
+            }
+        }
+    }
+
+    fn on_preempt(
+        &mut self,
+        index: usize,
+        slot: SlotId,
+        app: AppId,
+        task: TaskId,
+        at: SimTime,
+        out: &mut Vec<Violation>,
+    ) {
+        let known = self.check_lifecycle(app, at, "preemption", out);
+        if self.bindings.get(&slot) != Some(&(app, task)) {
+            out.push(
+                Violation::new(
+                    InvariantRule::Lifecycle,
+                    at,
+                    format!("preemption of {task} of {app} on {slot}, which it does not hold"),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+        // Boundary-only: no item in flight (unless checkpoint-capable),
+        // never mid-reconfiguration.
+        if self.data.mid_item.contains(&index) && !self.config.allow_mid_item_preemption {
+            out.push(
+                Violation::new(
+                    InvariantRule::PreemptBoundary,
+                    at,
+                    format!(
+                        "{task} of {app} preempted mid-item on {slot} without a \
+                         checkpoint-capable overlay"
+                    ),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+        if self.data.during_reconfig.contains(&index) {
+            out.push(
+                Violation::new(
+                    InvariantRule::PreemptBoundary,
+                    at,
+                    format!("{task} of {app} preempted while still reconfiguring on {slot}"),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+        if known && self.config.nimblock_policy {
+            self.check_preempt_policy(index, slot, app, task, at, out);
+        }
+        self.bindings.remove(&slot);
+    }
+
+    fn check_preempt_policy(
+        &self,
+        index: usize,
+        slot: SlotId,
+        app: AppId,
+        task: TaskId,
+        at: SimTime,
+        out: &mut Vec<Violation>,
+    ) {
+        let state = &self.apps[&app];
+        // Topologically-latest-first (Algorithm 2): no placed task of the
+        // victim application sits later in topological order.
+        if let Some(&victim_pos) = state.topo_pos.get(&task) {
+            for (&other_slot, &(bound_app, bound_task)) in &self.bindings {
+                if bound_app != app || other_slot == slot {
+                    continue;
+                }
+                if self.released(app, bound_task, at) {
+                    continue;
+                }
+                if let Some(&other_pos) = state.topo_pos.get(&bound_task) {
+                    if other_pos > victim_pos {
+                        out.push(
+                            Violation::new(
+                                InvariantRule::PreemptTopoLatest,
+                                at,
+                                format!(
+                                    "preempted {task} of {app} while the topologically later \
+                                     {bound_task} was still placed on {other_slot}"
+                                ),
+                            )
+                            .on_slot(slot)
+                            .for_app(app),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        // Priority ordering, conservatively: a High-priority application is
+        // always a candidate (its token threshold is floored at its own
+        // weight, paper §4.1), and when live applications fit the board the
+        // allocator grants every candidate at least one slot — so a High
+        // victim on its last slot can never be an over-consumer and must
+        // not lose it to a lower-priority preemptor.
+        if state.priority != Priority::High {
+            return;
+        }
+        let Some(&preemptor) = self.data.preemptor.get(&index) else { return };
+        let preemptor_priority = match self.apps.get(&preemptor) {
+            Some(p) => p.priority,
+            None => return,
+        };
+        if preemptor_priority >= Priority::High {
+            return;
+        }
+        if self.occupancy(app, at) != 1 {
+            return;
+        }
+        let live_apps = self
+            .apps
+            .values()
+            .filter(|a| a.arrival <= at && a.retired.map_or(true, |r| r >= at))
+            .count();
+        if live_apps <= self.slot_count {
+            out.push(
+                Violation::new(
+                    InvariantRule::PreemptPriority,
+                    at,
+                    format!(
+                        "high-priority {app} lost its only slot ({slot}) to {}-priority \
+                         {preemptor} with {live_apps} live application(s) on {} slots",
+                        preemptor_priority, self.slot_count
+                    ),
+                )
+                .on_slot(slot)
+                .for_app(app),
+            );
+        }
+    }
+
+    fn on_retire(&mut self, app: AppId, at: SimTime, out: &mut Vec<Violation>) {
+        let Some(state) = self.apps.get_mut(&app) else {
+            out.push(
+                Violation::new(
+                    InvariantRule::Lifecycle,
+                    at,
+                    format!("retirement of {app}, which never arrived"),
+                )
+                .for_app(app),
+            );
+            return;
+        };
+        if let Some(earlier) = state.retired {
+            out.push(
+                Violation::new(
+                    InvariantRule::Lifecycle,
+                    at,
+                    format!("duplicate retirement of {app} (already retired at {earlier})"),
+                )
+                .for_app(app),
+            );
+            return;
+        }
+        state.retired = Some(at);
+        // Token conservation at retirement: every batch item of every task
+        // processed exactly once.
+        let batch = state.batch;
+        let tasks: Vec<TaskId> = match &state.spec {
+            Some(spec) => spec.graph().task_ids().collect(),
+            None => state.seen_tasks.iter().copied().collect(),
+        };
+        for task in tasks {
+            let mut counts = vec![0u32; batch as usize];
+            if let Some(list) = self.data.completions.get(&(app, task)) {
+                for &(_, item) in list {
+                    if (item as usize) < counts.len() {
+                        counts[item as usize] += 1;
+                    }
+                }
+            }
+            if counts.iter().all(|&c| c == 0) && batch > 0 {
+                out.push(
+                    Violation::new(
+                        InvariantRule::TokenConservation,
+                        at,
+                        format!(
+                            "{app} retired with {task} having completed 0 of {batch} items"
+                        ),
+                    )
+                    .for_app(app),
+                );
+                continue;
+            }
+            for (item, &count) in counts.iter().enumerate() {
+                if count != 1 {
+                    out.push(
+                        Violation::new(
+                            InvariantRule::TokenConservation,
+                            at,
+                            format!(
+                                "work token for item {item} of {task} of {app} was consumed \
+                                 {count} times (expected exactly once)"
+                            ),
+                        )
+                        .for_app(app),
+                    );
+                }
+            }
+        }
+        self.bindings.retain(|_, &mut (bound_app, _)| bound_app != app);
+    }
+
+    fn finish(&self, out: &mut Vec<Violation>, end: SimTime) {
+        for (&app, state) in &self.apps {
+            if state.retired.is_none() {
+                out.push(
+                    Violation::new(
+                        InvariantRule::Lifecycle,
+                        end,
+                        format!(
+                            "{app} ('{}') arrived at {} but never retired",
+                            state.name, state.arrival
+                        ),
+                    )
+                    .for_app(app),
+                );
+            }
+        }
+    }
+}
+
+/// Verifies every schedule invariant against `trace`, returning all
+/// violations found (never just the first).
+///
+/// Rules needing the application's task graph (DAG order, preemption
+/// topological ordering, full token conservation) resolve the traced
+/// benchmark name through [`nimblock_app::benchmarks::by_name`]; traces of
+/// unknown applications are still checked against the graph-free rules.
+pub fn verify_trace(trace: &Trace, config: &InvariantConfig) -> InvariantReport {
+    let events = trace.events();
+    let data = SpanData::collect(events);
+    let mut violations = hardware_violations(trace, &data);
+    if let Some(expected) = config.reconfig_latency {
+        for event in events {
+            if let TraceEvent::Reconfig { slot, app, task, at, until } = event {
+                let took = until.saturating_since(*at);
+                if took != expected {
+                    violations.push(
+                        Violation::new(
+                            InvariantRule::CapLatency,
+                            *at,
+                            format!(
+                                "reconfiguration of {task} of {app} on {slot} occupied the \
+                                 port for {took}, expected {expected}"
+                            ),
+                        )
+                        .on_slot(*slot)
+                        .for_app(*app),
+                    );
+                }
+            }
+        }
+    }
+    let mut replay = Replay::new(trace, config, &data);
+    for (index, event) in events.iter().enumerate() {
+        match event {
+            TraceEvent::Arrival { app, name, batch, priority, at } => {
+                replay.on_arrival(*app, name, *batch, *priority, *at, &mut violations);
+            }
+            TraceEvent::Reconfig { slot, app, task, at, .. } => {
+                replay.on_reconfig(*slot, *app, *task, *at, &mut violations);
+            }
+            TraceEvent::Item { slot, app, task, item, at, .. } => {
+                replay.on_item(*slot, *app, *task, *item, *at, &mut violations);
+            }
+            TraceEvent::Preempt { slot, app, task, at } => {
+                replay.on_preempt(index, *slot, *app, *task, *at, &mut violations);
+            }
+            TraceEvent::Retire { app, at } => {
+                replay.on_retire(*app, *at, &mut violations);
+            }
+        }
+    }
+    let apps_seen = replay.apps.len();
+    replay.finish(&mut violations, trace.end());
+    violations.sort_by_key(|v| v.at);
+    InvariantReport { violations, events_checked: events.len(), apps_seen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn arrival(app: u64, name: &str, batch: u32, priority: Priority, at: u64) -> TraceEvent {
+        TraceEvent::Arrival {
+            app: AppId::new(app),
+            name: name.to_owned(),
+            batch,
+            priority,
+            at: ms(at),
+        }
+    }
+
+    fn reconfig(slot: u32, app: u64, task: u32, from: u64, to: u64) -> TraceEvent {
+        TraceEvent::Reconfig {
+            slot: SlotId::new(slot),
+            app: AppId::new(app),
+            task: TaskId::new(task),
+            at: ms(from),
+            until: ms(to),
+        }
+    }
+
+    fn item(slot: u32, app: u64, task: u32, item: u32, from: u64, to: u64) -> TraceEvent {
+        TraceEvent::Item {
+            slot: SlotId::new(slot),
+            app: AppId::new(app),
+            task: TaskId::new(task),
+            item,
+            at: ms(from),
+            until: ms(to),
+        }
+    }
+
+    fn retire(app: u64, at: u64) -> TraceEvent {
+        TraceEvent::Retire { app: AppId::new(app), at: ms(at) }
+    }
+
+    /// A complete, legal one-item LeNet run on three slots.
+    fn clean_lenet_trace() -> Trace {
+        let mut trace = Trace::with_slots(3);
+        trace.record(arrival(0, "LeNet", 1, Priority::Medium, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(item(0, 0, 0, 0, 80, 140));
+        trace.record(reconfig(1, 0, 1, 80, 160));
+        trace.record(item(1, 0, 1, 0, 160, 200));
+        trace.record(reconfig(2, 0, 2, 160, 240));
+        trace.record(item(2, 0, 2, 0, 240, 260));
+        trace.record(retire(0, 260));
+        trace
+    }
+
+    #[test]
+    fn clean_trace_verifies_clean() {
+        let report = verify_trace(&clean_lenet_trace(), &InvariantConfig::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.apps_seen, 1);
+    }
+
+    #[test]
+    fn cap_latency_rule_fires_on_short_reconfig() {
+        let mut trace = clean_lenet_trace();
+        // Rebuild with a 40 ms reconfiguration where 80 ms is expected.
+        trace = {
+            let mut t = Trace::with_slots(3);
+            for event in trace.events() {
+                t.record(event.clone());
+            }
+            t.record(reconfig(0, 0, 0, 300, 340));
+            t
+        };
+        let config = InvariantConfig::default()
+            .with_reconfig_latency(SimDuration::from_millis(80));
+        let report = verify_trace(&trace, &config);
+        assert!(report.rules_fired().contains(&InvariantRule::CapLatency), "{report}");
+    }
+
+    #[test]
+    fn dag_order_rule_fires_when_consumer_outruns_producer() {
+        let mut trace = Trace::with_slots(3);
+        trace.record(arrival(0, "LeNet", 1, Priority::Low, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(reconfig(1, 0, 1, 80, 160));
+        // Task 1 runs its item before task 0 produced anything.
+        trace.record(item(1, 0, 1, 0, 160, 200));
+        trace.record(item(0, 0, 0, 0, 200, 260));
+        let report = verify_trace(&trace, &InvariantConfig::mechanism_only());
+        assert!(report.rules_fired().contains(&InvariantRule::DagOrder), "{report}");
+    }
+
+    #[test]
+    fn unretired_app_is_a_lifecycle_violation() {
+        let mut trace = Trace::with_slots(3);
+        trace.record(arrival(0, "LeNet", 1, Priority::Low, 0));
+        let report = verify_trace(&trace, &InvariantConfig::default());
+        let fired = report.rules_fired();
+        assert!(fired.contains(&InvariantRule::Lifecycle), "{report}");
+        // And the incomplete batch is not (yet) a token violation: tokens
+        // are only audited at retirement.
+        assert!(!fired.contains(&InvariantRule::TokenConservation), "{report}");
+    }
+
+    #[test]
+    fn token_rule_fires_on_duplicate_and_missing_items() {
+        let mut trace = Trace::with_slots(1);
+        trace.record(arrival(0, "LeNet", 2, Priority::Low, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        // Item 0 twice, item 1 never.
+        trace.record(item(0, 0, 0, 0, 80, 140));
+        trace.record(item(0, 0, 0, 0, 140, 200));
+        trace.record(retire(0, 200));
+        let report = verify_trace(&trace, &InvariantConfig::mechanism_only());
+        let tokens = report.of_rule(InvariantRule::TokenConservation);
+        assert!(tokens.len() >= 2, "{report}");
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_resolvable() {
+        for rule in InvariantRule::ALL {
+            assert_eq!(InvariantRule::from_id(rule.id()), Some(rule));
+            assert!(!rule.paper_section().is_empty());
+        }
+        assert_eq!(InvariantRule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn violations_serialize_with_rule_ids() {
+        let violation = Violation::new(
+            InvariantRule::SlotOverlap,
+            ms(5),
+            "synthetic".to_owned(),
+        )
+        .on_slot(SlotId::new(1));
+        let text = nimblock_ser::to_string(&violation);
+        assert!(text.contains("\"slot-overlap\""), "{text}");
+        let back: Violation = nimblock_ser::from_str(&text).unwrap();
+        assert_eq!(back, violation);
+    }
+
+    #[test]
+    fn report_display_lists_every_violation() {
+        let mut trace = Trace::with_slots(1);
+        trace.record(arrival(0, "LeNet", 1, Priority::Low, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(reconfig(0, 0, 1, 40, 120));
+        let report = verify_trace(&trace, &InvariantConfig::mechanism_only());
+        let rendered = report.to_string();
+        assert!(rendered.contains("cap-exclusive"), "{rendered}");
+        assert!(rendered.contains("slot-overlap"), "{rendered}");
+    }
+}

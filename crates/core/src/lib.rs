@@ -50,6 +50,7 @@
 
 mod hv_metrics;
 mod hypervisor;
+pub mod invariants;
 mod runtime;
 mod scheduler;
 mod testbed;
@@ -58,6 +59,9 @@ mod view;
 
 pub use hv_metrics::HvMetrics;
 pub use hypervisor::{Hypervisor, HvEvent};
+pub use invariants::{
+    verify_hardware, verify_trace, InvariantConfig, InvariantReport, InvariantRule, Violation,
+};
 pub use runtime::{AppId, AppRuntime, TaskPhase};
 pub use scheduler::{
     DmlStaticScheduler, EdfScheduler, FcfsScheduler, NimblockConfig, NimblockScheduler,

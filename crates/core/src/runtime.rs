@@ -20,7 +20,10 @@ pub struct AppId(u64);
 impl_json_newtype!(AppId);
 
 impl AppId {
-    pub(crate) const fn new(raw: u64) -> Self {
+    /// Creates an identifier from its raw value. The hypervisor assigns
+    /// ids densely in arrival order; this constructor exists so tests and
+    /// trace tooling can build fixture traces by hand.
+    pub const fn new(raw: u64) -> Self {
         AppId(raw)
     }
 

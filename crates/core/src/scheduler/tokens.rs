@@ -264,4 +264,111 @@ mod tests {
     fn zero_alpha_rejected() {
         TokenBank::new(0.0);
     }
+
+    /// Saturation edge case: after an extreme wait (days of simulated
+    /// time), token counts for all three priority weights (1/3/9) stay
+    /// finite, keep their strict priority ordering, and the candidate
+    /// threshold saturates at the top priority level — it never climbs
+    /// past 9 no matter how large the raw maximum grows.
+    #[test]
+    fn extreme_wait_keeps_tokens_finite_and_threshold_saturated() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let low = make_app(0, Priority::Low, 2);
+        let medium = make_app(1, Priority::Medium, 2);
+        let high = make_app(2, Priority::High, 2);
+        bank.admit(&low, &view);
+        bank.admit(&medium, &view);
+        bank.admit(&high, &view);
+        // ~11.6 simulated days of waiting.
+        bank.accumulate(SimTime::from_secs(1_000_000));
+        let t_low = bank.tokens(low.id()).unwrap();
+        let t_medium = bank.tokens(medium.id()).unwrap();
+        let t_high = bank.tokens(high.id()).unwrap();
+        for t in [t_low, t_medium, t_high] {
+            assert!(t.is_finite(), "token count overflowed to non-finite: {t}");
+            assert!(t > 9.0, "after an extreme wait every app passed the top weight");
+        }
+        assert!(t_low < t_medium && t_medium < t_high);
+        // The floor quantizes to priority levels {0, 1, 3, 9}: the
+        // threshold saturates at 9 even though raw maxima are astronomical.
+        assert_eq!(bank.threshold(), 9.0);
+        assert!(bank.max_tokens() > 1e6);
+        // With everyone past the top level, all three are candidates —
+        // saturation restores FCFS-among-equals rather than starving Low.
+        let cands = bank.candidates(SimTime::from_secs(1_000_000));
+        assert_eq!(cands.len(), 3);
+    }
+
+    /// Boundary behaviour at the exact 1/3/9 weight levels: a token count
+    /// sitting exactly on a level floors to that level, one ulp-ish below
+    /// floors to the level beneath.
+    #[test]
+    fn threshold_boundaries_at_each_priority_weight() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let app = make_app(0, Priority::Low, 2);
+        bank.admit(&app, &view);
+        for (tokens, floored) in [
+            (0.999_999, 0.0),
+            (1.0, 1.0),
+            (2.999_999, 1.0),
+            (3.0, 3.0),
+            (8.999_999, 3.0),
+            (9.0, 9.0),
+            (1e12, 9.0),
+        ] {
+            bank.entries.get_mut(&app.id()).unwrap().tokens = tokens;
+            assert_eq!(
+                bank.threshold(),
+                floored,
+                "tokens={tokens} must floor to {floored}"
+            );
+        }
+    }
+
+    /// Accumulating "backwards" (a view timestamp earlier than admission,
+    /// which a scheduler consulted mid-epoch can produce) saturates to zero
+    /// elapsed time instead of underflowing: tokens never drop below the
+    /// admission weight.
+    #[test]
+    fn accumulation_before_admission_saturates_to_weight() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let app = make_app(0, Priority::High, 2);
+        bank.admit(&app, &view_at(SimTime::from_secs(100), &apps, &[]));
+        bank.accumulate(SimTime::from_secs(50));
+        assert_eq!(bank.tokens(app.id()), Some(9.0));
+    }
+
+    /// A Low-priority application left waiting long enough crosses the
+    /// High level and becomes a candidate alongside a fresh High arrival —
+    /// the anti-starvation property the 1/3/9 weights exist to provide.
+    #[test]
+    fn low_priority_eventually_crosses_the_high_level() {
+        let mut bank = TokenBank::new(1.0);
+        let apps = BTreeMap::new();
+        let view = view_at(SimTime::ZERO, &apps, &[]);
+        let low = make_app(0, Priority::Low, 2);
+        bank.admit(&low, &view);
+        // Find the first epoch multiple where Low passes weight 9.
+        let mut crossed = None;
+        for secs in 1..100_000 {
+            bank.accumulate(SimTime::from_secs(secs));
+            if bank.tokens(low.id()).unwrap() >= 9.0 {
+                crossed = Some(secs);
+                break;
+            }
+        }
+        let crossed = crossed.expect("Low never crossed the High level");
+        let high = make_app(1, Priority::High, 2);
+        bank.admit(&high, &view_at(SimTime::from_secs(crossed), &apps, &[]));
+        let cands = bank.candidates(SimTime::from_secs(crossed));
+        assert!(
+            cands.contains(&low.id()) && cands.contains(&high.id()),
+            "both must be candidates once Low degrades past the top weight"
+        );
+    }
 }

@@ -8,7 +8,7 @@
 use nimblock_obs::{render_gantt, ChromeTrace, GanttRow};
 use nimblock_ser::{impl_json_enum_structs, impl_json_struct, Json};
 
-use nimblock_app::TaskId;
+use nimblock_app::{Priority, TaskId};
 use nimblock_fpga::SlotId;
 use nimblock_sim::SimTime;
 
@@ -23,6 +23,11 @@ pub enum TraceEvent {
         app: AppId,
         /// Benchmark name.
         name: String,
+        /// Batch size (items each task must process). Recorded so trace
+        /// analysis can audit work conservation without the stimulus file.
+        batch: u32,
+        /// Priority level, for auditing preemption ordering.
+        priority: Priority,
         /// Admission time.
         at: SimTime,
     },
@@ -75,7 +80,7 @@ pub enum TraceEvent {
 }
 
 impl_json_enum_structs!(TraceEvent {
-    Arrival { app, name, at },
+    Arrival { app, name, batch, priority, at },
     Reconfig { slot, app, task, at, until },
     Item { slot, app, task, item, at, until },
     Preempt { slot, app, task, at },
@@ -122,7 +127,10 @@ impl Trace {
         Trace { events: Vec::new(), slot_count }
     }
 
-    pub(crate) fn push(&mut self, event: TraceEvent) {
+    /// Appends one event. The hypervisor records real runs itself; this is
+    /// public so tests and external tooling can build fixture traces (e.g.
+    /// adversarial schedules for the invariant verifier) by hand.
+    pub fn record(&mut self, event: TraceEvent) {
         self.events.push(event);
     }
 
@@ -201,37 +209,36 @@ impl Trace {
 
     /// Checks the hardware constraints the schedule must respect.
     ///
+    /// A compatibility shim over [`crate::invariants::verify_hardware`]:
+    /// only the physical-resource rules (configuration-port exclusivity,
+    /// slot double-booking), joined into one string. Prefer
+    /// [`Trace::verify`] — it checks the full invariant set and returns
+    /// *all* violations as structured data.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first violation found: overlapping
-    /// reconfigurations on the configuration port, or overlapping busy
-    /// spans on any slot.
+    /// Returns the descriptions of every hardware violation found,
+    /// `; `-joined: overlapping reconfigurations on the configuration
+    /// port, or overlapping busy spans on any slot.
     pub fn validate(&self) -> Result<(), String> {
-        let slot_count = self.slots();
-        let mut cap = self.cap_spans();
-        cap.sort();
-        for pair in cap.windows(2) {
-            if pair[1].0 < pair[0].1 {
-                return Err(format!(
-                    "configuration port overlap: [{}, {}) and [{}, {})",
-                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
-                ));
-            }
+        let violations = crate::invariants::verify_hardware(self);
+        if violations.is_empty() {
+            return Ok(());
         }
-        for index in 0..slot_count {
-            let slot = SlotId::new(index as u32);
-            let mut spans = self.slot_spans(slot);
-            spans.sort();
-            for pair in spans.windows(2) {
-                if pair[1].0 < pair[0].1 {
-                    return Err(format!(
-                        "{slot} overlap: [{}, {}) and [{}, {})",
-                        pair[0].0, pair[0].1, pair[1].0, pair[1].1
-                    ));
-                }
-            }
-        }
-        Ok(())
+        Err(violations
+            .iter()
+            .map(|v| v.message.clone())
+            .collect::<Vec<_>>()
+            .join("; "))
+    }
+
+    /// Verifies the full schedule-invariant set against this trace (see
+    /// [`crate::invariants`]), returning every violation found.
+    pub fn verify(
+        &self,
+        config: &crate::invariants::InvariantConfig,
+    ) -> crate::invariants::InvariantReport {
+        crate::invariants::verify_trace(self, config)
     }
 
     /// Returns each slot's busy fraction (reconfiguration + execution time
@@ -305,7 +312,7 @@ impl Trace {
         chrome.thread_name(apps_tid, "apps");
         for event in &self.events {
             match event {
-                TraceEvent::Arrival { app, name, at } => {
+                TraceEvent::Arrival { app, name, at, .. } => {
                     chrome.instant(
                         &format!("arrival {name} ({app})"),
                         "lifecycle",
@@ -391,10 +398,10 @@ mod tests {
     #[test]
     fn validate_accepts_a_clean_schedule() {
         let mut trace = Trace::new();
-        trace.push(reconfig_event(0, 0, 80));
-        trace.push(span_event(0, 0, 80, 130));
-        trace.push(reconfig_event(1, 80, 160));
-        trace.push(span_event(1, 1, 160, 200));
+        trace.record(reconfig_event(0, 0, 80));
+        trace.record(span_event(0, 0, 80, 130));
+        trace.record(reconfig_event(1, 80, 160));
+        trace.record(span_event(1, 1, 160, 200));
         assert_eq!(trace.slots(), 2, "slot count inferred from events");
         assert_eq!(trace.validate(), Ok(()));
     }
@@ -402,19 +409,19 @@ mod tests {
     #[test]
     fn declared_slot_count_beats_inference() {
         let mut trace = Trace::with_slots(4);
-        trace.push(span_event(0, 0, 0, 10));
+        trace.record(span_event(0, 0, 0, 10));
         assert_eq!(trace.slots(), 4);
         // But a trace can never under-report a slot its events name.
         let mut trace = Trace::with_slots(1);
-        trace.push(span_event(5, 0, 0, 10));
+        trace.record(span_event(5, 0, 0, 10));
         assert_eq!(trace.slots(), 6);
     }
 
     #[test]
     fn validate_rejects_cap_overlap() {
         let mut trace = Trace::new();
-        trace.push(reconfig_event(0, 0, 80));
-        trace.push(reconfig_event(1, 40, 120));
+        trace.record(reconfig_event(0, 0, 80));
+        trace.record(reconfig_event(1, 40, 120));
         let err = trace.validate().unwrap_err();
         assert!(err.contains("configuration port overlap"), "{err}");
     }
@@ -422,8 +429,8 @@ mod tests {
     #[test]
     fn validate_rejects_slot_overlap() {
         let mut trace = Trace::new();
-        trace.push(span_event(0, 0, 0, 100));
-        trace.push(span_event(0, 1, 50, 150));
+        trace.record(span_event(0, 0, 0, 100));
+        trace.record(span_event(0, 1, 50, 150));
         let err = trace.validate().unwrap_err();
         assert!(err.contains("slot#0 overlap"), "{err}");
     }
@@ -431,9 +438,9 @@ mod tests {
     #[test]
     fn slot_spans_filter_by_slot() {
         let mut trace = Trace::new();
-        trace.push(span_event(0, 0, 0, 10));
-        trace.push(span_event(1, 0, 5, 15));
-        trace.push(reconfig_event(0, 20, 100));
+        trace.record(span_event(0, 0, 0, 10));
+        trace.record(span_event(1, 0, 5, 15));
+        trace.record(reconfig_event(0, 20, 100));
         assert_eq!(trace.slot_spans(SlotId::new(0)).len(), 2);
         assert_eq!(trace.slot_spans(SlotId::new(1)).len(), 1);
         assert_eq!(trace.cap_spans().len(), 1);
@@ -442,9 +449,9 @@ mod tests {
     #[test]
     fn gantt_renders_rows_and_marks() {
         let mut trace = Trace::new();
-        trace.push(reconfig_event(0, 0, 500));
-        trace.push(span_event(0, 0, 500, 1_000));
-        trace.push(span_event(1, 1, 0, 1_000));
+        trace.record(reconfig_event(0, 0, 500));
+        trace.record(span_event(0, 0, 500, 1_000));
+        trace.record(span_event(1, 1, 0, 1_000));
         let chart = trace.gantt(20);
         // Two slot rows, the CAP row, and the axis.
         assert_eq!(chart.lines().count(), 4);
@@ -468,9 +475,9 @@ mod tests {
     #[test]
     fn slot_utilization_measures_busy_fractions() {
         let mut trace = Trace::with_slots(3);
-        trace.push(reconfig_event(0, 0, 250));
-        trace.push(span_event(0, 0, 250, 1_000));
-        trace.push(span_event(1, 1, 0, 500));
+        trace.record(reconfig_event(0, 0, 250));
+        trace.record(span_event(0, 0, 250, 1_000));
+        trace.record(span_event(1, 1, 0, 500));
         let util = trace.slot_utilization();
         assert_eq!(util.len(), 3, "one entry per device slot");
         assert!((util[0] - 1.0).abs() < 1e-9);
@@ -481,20 +488,22 @@ mod tests {
     #[test]
     fn chrome_export_is_valid_and_has_all_tracks() {
         let mut trace = Trace::with_slots(2);
-        trace.push(TraceEvent::Arrival {
+        trace.record(TraceEvent::Arrival {
             app: AppId::new(0),
             name: "lenet".into(),
+            batch: 1,
+            priority: Priority::Medium,
             at: SimTime::ZERO,
         });
-        trace.push(reconfig_event(0, 0, 80));
-        trace.push(span_event(0, 0, 80, 130));
-        trace.push(TraceEvent::Preempt {
+        trace.record(reconfig_event(0, 0, 80));
+        trace.record(span_event(0, 0, 80, 130));
+        trace.record(TraceEvent::Preempt {
             slot: SlotId::new(0),
             app: AppId::new(0),
             task: TaskId::new(0),
             at: SimTime::from_millis(130),
         });
-        trace.push(TraceEvent::Retire { app: AppId::new(0), at: SimTime::from_millis(130) });
+        trace.record(TraceEvent::Retire { app: AppId::new(0), at: SimTime::from_millis(130) });
         let json = trace.to_chrome();
         // 4 events render 6 trace events (reconfig spans both its slot and
         // the CAP track) + 8 metadata (name + sort index for 4 tracks).

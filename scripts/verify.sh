@@ -1,58 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 verification, run fully offline.
 #
-# 1. Guards the dependency policy: every `[dependencies]` entry in every
-#    Cargo.toml must be a workspace `path` dependency, and Cargo.lock (when
-#    present) must not record any crates.io / registry source. The build
-#    container has no registry access, so a reintroduced external dep would
-#    only fail later and less legibly — fail fast here instead.
-# 2. Runs the tier-1 commands from ROADMAP.md with `--offline`, plus the
-#    workspace-wide test sweep (the root `cargo test` only covers the root
-#    package).
+# 1. Lints the tree with the in-repo static analyzer: every Cargo.toml
+#    dependency must stay a workspace path dep (the guard that used to live
+#    here as an awk script — the build container has no registry access, so
+#    a reintroduced external dep would only fail later and less legibly),
+#    no bare unwrap/panic in hypervisor/scheduler/sim/cli hot paths, no
+#    wall-clock reads inside the simulator, no lossy time/token casts, no
+#    stray println. See DESIGN.md §11 for the rule catalog.
+# 2. Runs the tier-1 commands from ROADMAP.md with `--offline` and warnings
+#    promoted to errors, plus the workspace-wide test sweep (the root
+#    `cargo test` only covers the root package).
+# 3. Smoke-tests the CLI end to end: telemetry outputs parse, and a real
+#    schedule passes the dynamic invariant verifier both inline
+#    (`run --check-invariants`) and from its exported trace
+#    (`analyze trace`).
 #
 # Usage: scripts/verify.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dependency-policy guard =="
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-fail=0
-
-# Any `version = ...`, `git = ...`, or bare `name = "x.y.z"` dependency line
-# points outside the workspace. Allowed forms:
-#   nimblock-ser = { path = "../ser" }         (root [workspace.dependencies])
-#   nimblock-ser.workspace = true              (member inheriting the above)
-while IFS= read -r manifest; do
-    # Extract the dependency sections ([dependencies], [dev-dependencies],
-    # [build-dependencies], [workspace.dependencies], and their target.*
-    # variants) and drop blanks/comments.
-    deps=$(awk '
-        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) ; next }
-        in_deps && NF && $0 !~ /^#/ { print }
-    ' "$manifest")
-    [ -z "$deps" ] && continue
-    bad=$(printf '%s\n' "$deps" | grep -Ev 'path *=|(\.|\{ *)workspace *= *true' || true)
-    if [ -n "$bad" ]; then
-        echo "error: non-path dependency in $manifest:" >&2
-        printf '%s\n' "$bad" | sed 's/^/    /' >&2
-        fail=1
-    fi
-done < <(find . -name Cargo.toml -not -path './target/*')
-
-# Cargo.lock is generated (and gitignored) but if one exists it must agree:
-# registry/git packages carry a `source = ...` line; workspace members none.
-if [ -f Cargo.lock ] && grep -q '^source = ' Cargo.lock; then
-    echo "error: Cargo.lock records non-workspace package sources:" >&2
-    grep '^source = ' Cargo.lock | sort -u | sed 's/^/    /' >&2
-    fail=1
-fi
-
-if [ "$fail" -ne 0 ]; then
-    echo "dependency-policy guard FAILED" >&2
-    exit 1
-fi
-echo "ok: all dependencies are workspace path deps"
+echo "== lint: dependency policy + source hygiene (nimblock-analyze) =="
+cargo build --release --offline -q -p nimblock-analyze
+./target/release/nimblock-analyze lint
 
 echo
 echo "== tier-1: cargo build --release --offline =="
@@ -95,6 +68,21 @@ if [ "${rust_validate:-0}" = "1" ]; then
     cargo test -q --offline --test golden_telemetry
 fi
 echo "ok: telemetry smoke passed"
+
+echo
+echo "== invariant smoke: checked run + trace re-verification =="
+# A congested stimulus under a preempting policy must uphold every schedule
+# invariant, both checked inline during the run and re-derived from the
+# exported trace by the standalone verifier.
+./target/release/nimblock-cli run \
+    --scheduler nimblock --scenario stress --events 6 --seed 23 \
+    --check-invariants \
+    --trace-format json --trace-out "$smoke_dir/trace.json" \
+    > "$smoke_dir/invariants.out"
+grep -q "invariants: ok" "$smoke_dir/invariants.out" \
+    || { echo "error: run --check-invariants did not report a clean schedule" >&2; exit 1; }
+./target/release/nimblock-cli analyze trace "$smoke_dir/trace.json"
+echo "ok: invariant smoke passed"
 
 echo
 echo "verify: PASS"

@@ -17,7 +17,9 @@
 //! * [`workload`] — arrival-event sequences and scenario generators,
 //! * [`metrics`] — response-time statistics, deadline analysis, reports,
 //! * [`obs`] — observability: metrics registry (Prometheus/JSON), leveled
-//!   logging facade, Chrome trace-event export, ASCII Gantt rendering.
+//!   logging facade, Chrome trace-event export, ASCII Gantt rendering,
+//! * [`analyze`] — correctness tooling: in-repo source lint and the
+//!   schedule-trace invariant verifier (see `DESIGN.md` §11).
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use nimblock_analyze as analyze;
 pub use nimblock_app as app;
 pub use nimblock_cluster as cluster;
 pub use nimblock_faas as faas;

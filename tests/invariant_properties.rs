@@ -1,0 +1,161 @@
+//! Property tests wiring the invariant verifier into the paper's five
+//! scheduling policies: on randomized workloads every policy must produce a
+//! schedule the verifier certifies clean — including the exact 80 ms
+//! configuration-port serialization latency and, because the shipped
+//! baselines are structurally well-behaved, the Nimblock-policy rules too.
+//!
+//! The second half checks the verifier's *sensitivity*: corrupting a clean
+//! trace (duplicating an executed item, dropping a retirement) must always
+//! be caught, so a clean report means something.
+
+use nimblock_check::{check, check_with, prop_assert, Config, Gen};
+
+use nimblock::analyze::invariants::{verify_trace, InvariantConfig, InvariantReport};
+use nimblock::core::{
+    FcfsScheduler, NimblockConfig, NimblockScheduler, NoSharingScheduler, PremaScheduler,
+    RoundRobinScheduler, Scheduler, Testbed, Trace, TraceEvent,
+};
+use nimblock::fpga::DeviceConfig;
+use nimblock::sim::SimDuration;
+use nimblock::workload::{generate, Scenario};
+
+/// The five policies the paper evaluates (Fig. 5), plus the Nimblock
+/// ablation without pipelining — every one must uphold every invariant.
+fn policies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(NoSharingScheduler::new()),
+        Box::new(FcfsScheduler::new()),
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(PremaScheduler::new()),
+        Box::new(NimblockScheduler::default()),
+        Box::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining())),
+    ]
+}
+
+/// Full-strength verification: every rule on, plus the exact nominal
+/// reconfiguration latency of the modelled ZCU106 (bitstreams are
+/// pre-loaded, so every port occupancy is exactly 80 ms).
+fn full_config() -> InvariantConfig {
+    InvariantConfig::default().with_reconfig_latency(SimDuration::from_millis(80))
+}
+
+fn arb_stimulus(g: &mut Gen) -> (u64, usize, Scenario) {
+    let seed = g.u64(0..=u64::MAX);
+    let n_events = g.usize(1..=8);
+    let scenario = Scenario::ALL[g.usize(0..=Scenario::ALL.len() - 1)];
+    (seed, n_events, scenario)
+}
+
+#[test]
+fn every_policy_upholds_every_invariant_on_random_workloads() {
+    // 64 cases × 6 policies keeps the sweep broad without dominating the
+    // suite's wall clock; NIMBLOCK_CHECK_CASES still overrides.
+    check_with(Config::new().cases(64), "every_policy_upholds_every_invariant_on_random_workloads", |g| {
+        let (seed, n_events, scenario) = arb_stimulus(g);
+        let events = generate(seed, n_events, scenario);
+        for scheduler in policies() {
+            let name = scheduler.name();
+            let (_, trace) = Testbed::new(scheduler).run_traced(&events);
+            let report = verify_trace(&trace, &full_config());
+            prop_assert!(
+                report.is_clean(),
+                "{name} on {} (seed {seed}, {n_events} events):\n{report}",
+                scenario.name()
+            );
+            prop_assert!(report.events_checked > 0);
+        }
+        Ok(())
+    });
+}
+
+/// Invariants hold on smaller boards too, where contention (and hence
+/// preemption under the sharing policies) is much more frequent.
+#[test]
+fn invariants_hold_under_slot_pressure() {
+    check_with(Config::new().cases(64), "invariants_hold_under_slot_pressure", |g| {
+        let (seed, n_events, scenario) = arb_stimulus(g);
+        let slots = g.usize(2..=4);
+        let events = generate(seed, n_events, scenario);
+        for scheduler in policies() {
+            let name = scheduler.name();
+            let (_, trace) = Testbed::new(scheduler)
+                .with_device_config(DeviceConfig::zcu106().with_slot_count(slots))
+                .run_traced(&events);
+            let report = verify_trace(&trace, &full_config());
+            prop_assert!(
+                report.is_clean(),
+                "{name} on {} with {slots} slots (seed {seed}):\n{report}",
+                scenario.name()
+            );
+        }
+        Ok(())
+    });
+}
+
+fn reverify(events: Vec<TraceEvent>, slots: usize) -> InvariantReport {
+    let mut mutated = Trace::with_slots(slots);
+    for event in events {
+        mutated.record(event);
+    }
+    verify_trace(&mutated, &full_config())
+}
+
+/// Sensitivity: duplicating any executed batch item in an otherwise clean
+/// trace must be detected (token conservation and/or slot exclusivity).
+#[test]
+fn duplicated_items_never_verify_clean() {
+    check("duplicated_items_never_verify_clean", |g| {
+        let (seed, n_events, scenario) = arb_stimulus(g);
+        let events = generate(seed, n_events, scenario);
+        let (_, trace) = Testbed::new(NimblockScheduler::default()).run_traced(&events);
+        let slots = trace.slots();
+        let items: Vec<usize> = trace
+            .events()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, TraceEvent::Item { .. }).then_some(i))
+            .collect();
+        if items.is_empty() {
+            return Ok(());
+        }
+        let victim = items[g.usize(0..=items.len() - 1)];
+        let mut mutated: Vec<TraceEvent> = trace.events().to_vec();
+        mutated.insert(victim, trace.events()[victim].clone());
+        let report = reverify(mutated, slots);
+        prop_assert!(
+            !report.is_clean(),
+            "duplicating item event #{victim} went undetected (seed {seed})"
+        );
+        Ok(())
+    });
+}
+
+/// Sensitivity: dropping any retirement from a clean trace must be flagged
+/// as a lifecycle violation — no application silently vanishes.
+#[test]
+fn dropped_retirements_never_verify_clean() {
+    check("dropped_retirements_never_verify_clean", |g| {
+        let (seed, n_events, scenario) = arb_stimulus(g);
+        let events = generate(seed, n_events, scenario);
+        let (_, trace) = Testbed::new(NimblockScheduler::default()).run_traced(&events);
+        let slots = trace.slots();
+        let retires: Vec<usize> = trace
+            .events()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, TraceEvent::Retire { .. }).then_some(i))
+            .collect();
+        if retires.is_empty() {
+            return Ok(());
+        }
+        let victim = retires[g.usize(0..=retires.len() - 1)];
+        let mut mutated: Vec<TraceEvent> = trace.events().to_vec();
+        mutated.remove(victim);
+        let report = reverify(mutated, slots);
+        prop_assert!(
+            !report.is_clean(),
+            "dropping retire event #{victim} went undetected (seed {seed})"
+        );
+        Ok(())
+    });
+}
