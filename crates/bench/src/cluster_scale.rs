@@ -1,0 +1,404 @@
+//! Cluster scaling benchmark: boards × threads wall-clock, plus the
+//! regression gate CI runs against the committed baseline.
+//!
+//! The `cluster_scale` binary measures how long the parallel
+//! [`nimblock_cluster::ClusterTestbed`] takes to run a fixed suite of
+//! stimulus sequences at several worker-thread counts, verifies along the
+//! way that every thread count produces a byte-identical merged report
+//! (the determinism guarantee of DESIGN.md §12), and writes the numbers as
+//! seed-stamped JSON (`results/BENCH_cluster.json`).
+//!
+//! The gate half ([`gate_compare`]) is deliberately a pure function over
+//! two decoded [`BenchReport`]s so `scripts/bench_gate.sh` never parses
+//! JSON in shell: a fresh measurement passes if its events/sec is within
+//! `tolerance` of the committed baseline (default 15%), per
+//! (boards, threads) row. Improvements always pass.
+//!
+//! Wall-clock numbers are honest about the host: `host_cpus` records what
+//! `std::thread::available_parallelism` reported when the baseline was
+//! captured. On a single-CPU container the speedup column will hover
+//! around 1.0 — the determinism check, not the speedup, is the portable
+//! claim.
+
+use std::time::Instant;
+
+use nimblock_cluster::{ClusterTestbed, DispatchPolicy};
+use nimblock_core::NimblockScheduler;
+use nimblock_ser::impl_json_struct;
+use nimblock_workload::{generate, EventSequence, Scenario};
+
+/// One (boards, threads) wall-clock sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Boards in the modelled cluster.
+    pub boards: usize,
+    /// Worker threads the cluster engine was given (1 = sequential oracle).
+    pub threads: usize,
+    /// Best-of-repeats wall-clock for the whole suite, seconds.
+    pub wall_secs: f64,
+    /// Events retired per second of wall-clock.
+    pub events_per_sec: f64,
+    /// Wall-clock of the threads=1 row divided by this row's wall-clock.
+    pub speedup: f64,
+}
+impl_json_struct!(Measurement {
+    boards,
+    threads,
+    wall_secs,
+    events_per_sec,
+    speedup
+});
+
+/// The seed-stamped benchmark report (`results/BENCH_cluster.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Always `"cluster_scale"`.
+    pub experiment: String,
+    /// Base RNG seed; sequence `i` uses `seed + i`.
+    pub seed: u64,
+    /// Events per stimulus sequence.
+    pub events: usize,
+    /// Sequences in the measured suite.
+    pub sequences: usize,
+    /// Logical CPUs the host reported when this was measured. Speedups are
+    /// only meaningful relative to this.
+    pub host_cpus: usize,
+    /// Whether every thread count produced a byte-identical merged report.
+    pub deterministic: bool,
+    /// One row per measured thread count.
+    pub measurements: Vec<Measurement>,
+}
+impl_json_struct!(BenchReport {
+    experiment,
+    seed,
+    events,
+    sequences,
+    host_cpus,
+    deterministic,
+    measurements
+});
+
+/// Parameters for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Boards in the modelled cluster.
+    pub boards: usize,
+    /// Thread counts to measure, in order.
+    pub threads: Vec<usize>,
+    /// Events per stimulus sequence.
+    pub events: usize,
+    /// Sequences per suite.
+    pub sequences: usize,
+    /// Passes per thread count; the minimum wall-clock is kept.
+    pub repeats: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            boards: 8,
+            threads: vec![1, 2, 8],
+            events: 200,
+            sequences: 5,
+            repeats: 3,
+            seed: crate::BASE_SEED,
+        }
+    }
+}
+
+fn suite(config: &ScaleConfig) -> Vec<EventSequence> {
+    (0..config.sequences)
+        .map(|i| generate(config.seed + i as u64, config.events, Scenario::Stress))
+        .collect()
+}
+
+fn run_suite_once(config: &ScaleConfig, suite: &[EventSequence], threads: usize) -> f64 {
+    let start = Instant::now();
+    for events in suite {
+        let report = ClusterTestbed::new(config.boards, DispatchPolicy::FewestApps, || {
+            NimblockScheduler::new()
+        })
+        .with_threads(threads)
+        .run(events);
+        // Keep the run from being optimised away and sanity-check it retired
+        // every event.
+        assert_eq!(report.merged().records().len(), events.len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Serializes the merged outcome of one run for the determinism check.
+fn merged_fingerprint(config: &ScaleConfig, events: &EventSequence, threads: usize) -> String {
+    let report = ClusterTestbed::new(config.boards, DispatchPolicy::FewestApps, || {
+        NimblockScheduler::new()
+    })
+    .with_threads(threads)
+    .with_tracing()
+    .run(events);
+    let mut text = nimblock_ser::to_string_pretty(report.merged());
+    text.push_str(&format!("\nassignments={:?}", report.assignments()));
+    for trace in report.per_board_traces() {
+        text.push('\n');
+        text.push_str(&nimblock_ser::to_string(trace));
+    }
+    text
+}
+
+/// Runs the full measurement: determinism verification first, then the
+/// timed boards × threads sweep.
+///
+/// # Panics
+///
+/// Panics if any thread count's merged report diverges from the
+/// sequential (threads = 1) oracle — that is a correctness bug, not a
+/// performance regression, and must never be recorded as a baseline.
+pub fn measure(config: &ScaleConfig) -> BenchReport {
+    let suite = suite(config);
+    let total_events: usize = suite.iter().map(EventSequence::len).sum();
+
+    // Determinism check on the first sequence before timing anything.
+    let deterministic = if let Some(first) = suite.first() {
+        let oracle = merged_fingerprint(config, first, 1);
+        for &threads in &config.threads {
+            let fresh = merged_fingerprint(config, first, threads);
+            assert_eq!(
+                fresh, oracle,
+                "cluster run with {threads} threads diverged from the sequential oracle"
+            );
+        }
+        true
+    } else {
+        true
+    };
+
+    let mut measurements = Vec::with_capacity(config.threads.len());
+    let mut base_wall = None;
+    for &threads in &config.threads {
+        let wall_secs = (0..config.repeats.max(1))
+            .map(|_| run_suite_once(config, &suite, threads))
+            .fold(f64::INFINITY, f64::min);
+        if threads == 1 || base_wall.is_none() {
+            base_wall = Some(wall_secs);
+        }
+        let base = base_wall.expect("base wall-clock recorded");
+        measurements.push(Measurement {
+            boards: config.boards,
+            threads,
+            wall_secs,
+            events_per_sec: total_events as f64 / wall_secs,
+            speedup: base / wall_secs,
+        });
+    }
+
+    BenchReport {
+        experiment: "cluster_scale".to_owned(),
+        seed: config.seed,
+        events: config.events,
+        sequences: config.sequences,
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        deterministic,
+        measurements,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+/// One row of the gate's delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Boards of the compared row.
+    pub boards: usize,
+    /// Threads of the compared row.
+    pub threads: usize,
+    /// Baseline events/sec.
+    pub baseline_eps: f64,
+    /// Freshly measured events/sec (`None` if the row vanished).
+    pub fresh_eps: Option<f64>,
+    /// Relative change, percent (+ is faster).
+    pub delta_pct: f64,
+    /// Whether this row is within tolerance.
+    pub pass: bool,
+}
+
+/// The gate verdict: per-row deltas plus the overall pass flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// One entry per baseline row.
+    pub rows: Vec<GateRow>,
+    /// True iff every row passed and the fresh run was deterministic.
+    pub pass: bool,
+}
+
+/// Compares a fresh measurement against the committed baseline.
+///
+/// A row passes when `fresh_eps >= (1 - tolerance) * baseline_eps`;
+/// `tolerance` is a fraction (0.15 = 15%). A baseline row missing from the
+/// fresh report fails; extra fresh rows are ignored. A non-deterministic
+/// fresh report fails regardless of timing.
+pub fn gate_compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut rows = Vec::with_capacity(baseline.measurements.len());
+    let mut pass = fresh.deterministic;
+    for base in &baseline.measurements {
+        let matched = fresh
+            .measurements
+            .iter()
+            .find(|m| m.boards == base.boards && m.threads == base.threads);
+        let row = match matched {
+            Some(m) => {
+                let delta_pct = (m.events_per_sec / base.events_per_sec - 1.0) * 100.0;
+                let ok = m.events_per_sec >= (1.0 - tolerance) * base.events_per_sec;
+                GateRow {
+                    boards: base.boards,
+                    threads: base.threads,
+                    baseline_eps: base.events_per_sec,
+                    fresh_eps: Some(m.events_per_sec),
+                    delta_pct,
+                    pass: ok,
+                }
+            }
+            None => GateRow {
+                boards: base.boards,
+                threads: base.threads,
+                baseline_eps: base.events_per_sec,
+                fresh_eps: None,
+                delta_pct: -100.0,
+                pass: false,
+            },
+        };
+        pass &= row.pass;
+        rows.push(row);
+    }
+    GateOutcome { rows, pass }
+}
+
+/// Renders the gate's delta table as fixed-width text.
+pub fn render_gate_table(outcome: &GateOutcome, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6} {:>7} {:>14} {:>14} {:>9}  verdict (tolerance {:.0}%)\n",
+        "boards",
+        "threads",
+        "base ev/s",
+        "fresh ev/s",
+        "delta",
+        tolerance * 100.0
+    ));
+    for row in &outcome.rows {
+        let fresh = row
+            .fresh_eps
+            .map_or_else(|| "missing".to_owned(), |eps| format!("{eps:.1}"));
+        out.push_str(&format!(
+            "{:>6} {:>7} {:>14.1} {:>14} {:>+8.1}%  {}\n",
+            row.boards,
+            row.threads,
+            row.baseline_eps,
+            fresh,
+            row.delta_pct,
+            if row.pass { "ok" } else { "REGRESSION" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(usize, usize, f64)]) -> BenchReport {
+        BenchReport {
+            experiment: "cluster_scale".to_owned(),
+            seed: 1,
+            events: 10,
+            sequences: 1,
+            host_cpus: 1,
+            deterministic: true,
+            measurements: rows
+                .iter()
+                .map(|&(boards, threads, eps)| Measurement {
+                    boards,
+                    threads,
+                    wall_secs: 1.0,
+                    events_per_sec: eps,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bench_report_roundtrips_through_json() {
+        let original = report(&[(8, 1, 100.0), (8, 2, 120.0)]);
+        let text = nimblock_ser::to_string_pretty(&original);
+        let parsed: BenchReport = nimblock_ser::from_str(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_improvement() {
+        let baseline = report(&[(8, 1, 100.0), (8, 2, 100.0)]);
+        let fresh = report(&[(8, 1, 90.0), (8, 2, 250.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        assert!(outcome.pass, "{outcome:?}");
+        assert!(outcome.rows.iter().all(|r| r.pass));
+        assert!(outcome.rows[1].delta_pct > 100.0);
+    }
+
+    #[test]
+    fn gate_fails_on_regression_beyond_tolerance() {
+        let baseline = report(&[(8, 1, 100.0)]);
+        let fresh = report(&[(8, 1, 80.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        assert!(!outcome.pass);
+        assert!(!outcome.rows[0].pass);
+        assert!((outcome.rows[0].delta_pct - -20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_fails_when_a_baseline_row_vanishes() {
+        let baseline = report(&[(8, 1, 100.0), (8, 8, 100.0)]);
+        let fresh = report(&[(8, 1, 100.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        assert!(!outcome.pass);
+        assert_eq!(outcome.rows[1].fresh_eps, None);
+    }
+
+    #[test]
+    fn gate_fails_on_nondeterministic_fresh_run() {
+        let baseline = report(&[(8, 1, 100.0)]);
+        let mut fresh = report(&[(8, 1, 100.0)]);
+        fresh.deterministic = false;
+        assert!(!gate_compare(&baseline, &fresh, 0.15).pass);
+    }
+
+    #[test]
+    fn measure_produces_one_row_per_thread_count_and_is_deterministic() {
+        let config = ScaleConfig {
+            boards: 3,
+            threads: vec![1, 2],
+            events: 8,
+            sequences: 1,
+            repeats: 1,
+            seed: crate::BASE_SEED,
+        };
+        let report = measure(&config);
+        assert!(report.deterministic);
+        assert_eq!(report.measurements.len(), 2);
+        assert_eq!(report.measurements[0].threads, 1);
+        assert!((report.measurements[0].speedup - 1.0).abs() < 1e-9);
+        assert!(report.measurements.iter().all(|m| m.events_per_sec > 0.0));
+    }
+
+    #[test]
+    fn render_gate_table_marks_regressions() {
+        let baseline = report(&[(8, 1, 100.0)]);
+        let fresh = report(&[(8, 1, 50.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        let table = render_gate_table(&outcome, 0.15);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("tolerance 15%"), "{table}");
+    }
+}

@@ -5,6 +5,7 @@
 //! measured results). This library holds what they share: the policy
 //! roster, the standard stimulus parameters, and result aggregation.
 
+pub mod cluster_scale;
 pub mod micro;
 pub mod results;
 

@@ -58,8 +58,9 @@ impl SchedulerKind {
         })
     }
 
-    /// Builds the scheduler.
-    pub fn build(self) -> Box<dyn nimblock_core::Scheduler> {
+    /// Builds the scheduler. The box is `Send` so cluster board workers
+    /// can construct policies on their own threads.
+    pub fn build(self) -> Box<dyn nimblock_core::Scheduler + Send> {
         use nimblock_core::*;
         match self {
             SchedulerKind::NoSharing => Box::new(NoSharingScheduler::new()),
@@ -200,6 +201,13 @@ pub struct ClusterArgs {
     pub boards: usize,
     /// Policy on every board.
     pub scheduler: SchedulerKind,
+    /// Worker threads simulating boards (`1` = sequential oracle,
+    /// `0` = auto). The result is byte-identical for every value.
+    pub threads: usize,
+    /// How arrivals are assigned to boards.
+    pub dispatch: nimblock_cluster::DispatchPolicy,
+    /// Board counts to sweep instead of a single run.
+    pub sweep_boards: Option<Vec<usize>>,
 }
 
 /// What `analyze` should look at.
@@ -408,10 +416,41 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut stimulus = StimulusArgs::default();
             let mut boards = 2usize;
             let mut scheduler = SchedulerKind::Nimblock;
+            let mut threads = 1usize;
+            let mut dispatch = nimblock_cluster::DispatchPolicy::FewestApps;
+            let mut sweep_boards = None;
             while let Some(flag) = stream.next() {
                 match flag {
                     "--boards" => boards = parse_number(flag, stream.value_for(flag)?)?,
                     "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
+                    "--cluster-threads" | "--threads" => {
+                        threads = parse_number(flag, stream.value_for(flag)?)?
+                    }
+                    "--dispatch" => {
+                        let value = stream.value_for(flag)?;
+                        dispatch = nimblock_cluster::DispatchPolicy::parse(value)
+                            .ok_or_else(|| {
+                                err(format!(
+                                    "unknown dispatch policy '{value}' \
+                                     (expected rr, fewest-apps, or least-outstanding)"
+                                ))
+                            })?;
+                    }
+                    "--sweep-boards" => {
+                        let list = stream.value_for(flag)?;
+                        let mut counts = Vec::new();
+                        for part in list.split(',') {
+                            let count: usize = parse_number(flag, part)?;
+                            if count == 0 {
+                                return Err(err("--sweep-boards entries must be at least 1"));
+                            }
+                            counts.push(count);
+                        }
+                        if counts.is_empty() {
+                            return Err(err("--sweep-boards needs at least one count"));
+                        }
+                        sweep_boards = Some(counts);
+                    }
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
@@ -422,6 +461,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 stimulus,
                 boards,
                 scheduler,
+                threads,
+                dispatch,
+                sweep_boards,
             }))
         }
         "compare" => {
@@ -541,7 +583,41 @@ mod tests {
         };
         assert_eq!(c.boards, 4);
         assert_eq!(c.stimulus.events, 6);
+        assert_eq!(c.threads, 1, "sequential oracle by default");
+        assert_eq!(c.dispatch, nimblock_cluster::DispatchPolicy::FewestApps);
+        assert_eq!(c.sweep_boards, None);
         assert!(parse(&argv("cluster --boards 0")).is_err());
+    }
+
+    #[test]
+    fn cluster_parallelism_flags_parse() {
+        let line = "cluster --boards 8 --cluster-threads 4 --dispatch least-outstanding";
+        let Command::Cluster(c) = parse(&argv(line)).unwrap() else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.boards, 8);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.dispatch, nimblock_cluster::DispatchPolicy::LeastOutstanding);
+        // --threads is an accepted alias; 0 means auto.
+        let Command::Cluster(c) = parse(&argv("cluster --threads 0 --dispatch rr")).unwrap()
+        else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.dispatch, nimblock_cluster::DispatchPolicy::RoundRobin);
+        assert!(parse(&argv("cluster --dispatch hashring")).is_err());
+    }
+
+    #[test]
+    fn cluster_sweep_flag_parses_lists() {
+        let Command::Cluster(c) =
+            parse(&argv("cluster --sweep-boards 1,2,4,8 --events 6")).unwrap()
+        else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.sweep_boards, Some(vec![1, 2, 4, 8]));
+        assert!(parse(&argv("cluster --sweep-boards 1,0,4")).is_err());
+        assert!(parse(&argv("cluster --sweep-boards nope")).is_err());
     }
 
     #[test]

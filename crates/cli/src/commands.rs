@@ -237,13 +237,47 @@ fn faas_command(args: &FaasArgs, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    use nimblock_cluster::{ClusterTestbed, DispatchPolicy};
+    use nimblock_cluster::ClusterTestbed;
     let events = make_sequence(&args.stimulus)?;
     let scheduler = args.scheduler;
-    let report = ClusterTestbed::new(args.boards, DispatchPolicy::FewestApps, move || {
-        scheduler.build()
-    })
-    .run(&events);
+    let factory = move || scheduler.build();
+    if let Some(sweep) = &args.sweep_boards {
+        let mut table = TextTable::new(vec![
+            "boards", "mean resp (s)", "p95 (s)", "makespan", "loads",
+        ]);
+        for &boards in sweep {
+            let report = ClusterTestbed::new(boards, args.dispatch, factory)
+                .with_threads(args.threads)
+                .run(&events);
+            let responses: Vec<f64> = report
+                .merged()
+                .records()
+                .iter()
+                .map(|r| r.response_time().as_secs_f64())
+                .collect();
+            let summary = Summary::of(&responses);
+            table.row(vec![
+                boards.to_string(),
+                fmt3(summary.mean),
+                fmt3(summary.p95),
+                report.merged().finished_at().to_string(),
+                format!("{:?}", report.board_loads()),
+            ]);
+        }
+        writeln!(
+            out,
+            "cluster sweep ({scheduler:?}, {dispatch}, {events} events, threads {threads})",
+            scheduler = args.scheduler,
+            dispatch = args.dispatch.name(),
+            events = events.len(),
+            threads = args.threads,
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        return write!(out, "{table}").map_err(|e| CliError(e.to_string()));
+    }
+    let report = ClusterTestbed::new(args.boards, args.dispatch, factory)
+        .with_threads(args.threads)
+        .run(&events);
     writeln!(
         out,
         "{}: mean response {}s over {} events; per-board loads {:?}",
@@ -434,6 +468,31 @@ mod tests {
         let output = run_line("cluster --boards 3 --events 6 --seed 8 --batch 2 --delay-ms 100");
         assert!(output.contains("cluster(3x"), "{output}");
         assert!(output.contains("per-board loads"), "{output}");
+    }
+
+    #[test]
+    fn cluster_output_is_thread_count_invariant() {
+        // The CLI-level determinism oracle: any --cluster-threads value
+        // prints the same bytes.
+        let base = "cluster --boards 4 --events 8 --seed 13 --dispatch least-outstanding";
+        let sequential = run_line(&format!("{base} --cluster-threads 1"));
+        for threads in [2, 8, 0] {
+            let parallel = run_line(&format!("{base} --cluster-threads {threads}"));
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cluster_sweep_tabulates_board_counts() {
+        let output = run_line(
+            "cluster --sweep-boards 1,2,4 --events 6 --seed 8 --batch 2 --delay-ms 100 \
+             --cluster-threads 2 --dispatch rr",
+        );
+        assert!(output.contains("cluster sweep"), "{output}");
+        assert!(output.contains("boards"), "{output}");
+        for count in ["1", "2", "4"] {
+            assert!(output.contains(count), "missing boards={count}:\n{output}");
+        }
     }
 
     #[test]

@@ -40,7 +40,9 @@ USAGE:
   nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
-  nimblock-cli cluster  [--boards N] [--scheduler NAME] [stimulus options]
+  nimblock-cli cluster  [--boards N | --sweep-boards N,N,...] [--scheduler NAME]
+                        [--dispatch POLICY] [--cluster-threads N]
+                        [stimulus options]
 
 STIMULUS OPTIONS (used by run/compare when no --input is given):
   --scenario standard|stress|realtime   congestion condition [stress]
@@ -64,6 +66,14 @@ OTHER:
                        invariants after the run (a violation fails the run)
   --output FILE        where generate writes the stimulus ('-' for stdout)
   --input FILE         load a stimulus JSON instead of generating one
+  --boards N           boards in the modelled cluster [2]
+  --sweep-boards LIST  run the cluster for each board count (e.g. 1,2,4,8)
+                       and tabulate the results
+  --dispatch POLICY    board assignment: rr | fewest-apps | least-outstanding
+                       [fewest-apps]
+  --cluster-threads N  worker threads simulating boards (1 = sequential
+                       oracle, 0 = auto); results are byte-identical for
+                       every value [1]
   --root DIR           workspace root for analyze lint [.]
   --mechanism-only     analyze trace: skip Nimblock-policy invariants
                        (use for traces from preempting non-Nimblock policies)

@@ -1,19 +1,40 @@
-//! Board-selection strategies.
+//! Board-selection strategies and the deterministic dispatcher.
+//!
+//! Dispatch decisions are made by a [`Dispatcher`] that maintains its
+//! **own** load model of every board — a single-server backlog estimate fed
+//! only by the arrival stream — instead of peeking into live hypervisor
+//! state. Two consequences:
+//!
+//! 1. **Realism.** A front-end load balancer does not have oracle access to
+//!    each board's scheduler internals; it estimates backlog from what it
+//!    has dispatched, exactly as modelled here.
+//! 2. **Parallelism with a determinism guarantee.** Because the assignment
+//!    of every arrival is a pure function of the arrival sequence (and the
+//!    policy), the per-board simulations are independent once assignment is
+//!    done, so boards can run on worker threads and still merge to a result
+//!    byte-identical to the sequential path (see `ClusterTestbed`).
+//!
+//! The round-robin cursor is explicit [`Dispatcher`] state and advances at
+//! **dispatch-decision time** — never at board-completion time — so the
+//! assignment order is identical no matter how board executions interleave.
 
 use nimblock_ser::impl_json_enum_units;
 
-use nimblock_core::{Hypervisor, Scheduler};
-use nimblock_sim::SimDuration;
+use nimblock_sim::{SimDuration, SimTime};
+use nimblock_workload::{ArrivalEvent, EventSequence};
 
 /// How the cluster assigns an arriving application to a board.
+///
+/// All policies work off the dispatcher's deterministic load model (see the
+/// module docs); none inspects live board state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DispatchPolicy {
     /// Cycle through the boards regardless of load.
     RoundRobin,
-    /// The board currently hosting the fewest live applications.
+    /// The board estimated to host the fewest live applications.
     FewestApps,
     /// The board with the least estimated outstanding compute
-    /// (Σ remaining batch work over its live applications).
+    /// (single-server backlog of everything dispatched to it so far).
     LeastOutstanding,
 }
 
@@ -36,34 +57,260 @@ impl DispatchPolicy {
         }
     }
 
-    /// Picks the board for the next arrival. `cursor` is the round-robin
-    /// state, advanced by the caller on every dispatch.
-    pub(crate) fn choose<S: Scheduler>(
-        self,
-        boards: &[Hypervisor<S>],
-        cursor: usize,
-    ) -> usize {
-        match self {
-            DispatchPolicy::RoundRobin => cursor % boards.len(),
-            DispatchPolicy::FewestApps => boards
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, b)| (b.apps().len(), *i))
-                .map(|(i, _)| i)
-                .expect("cluster has at least one board"),
-            DispatchPolicy::LeastOutstanding => boards
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, b)| {
-                    let outstanding: SimDuration = b
-                        .apps()
-                        .values()
-                        .map(|app| app.remaining_compute())
-                        .sum();
-                    (outstanding, *i)
-                })
-                .map(|(i, _)| i)
-                .expect("cluster has at least one board"),
+    /// Parses a display name (as printed by [`DispatchPolicy::name`]), plus
+    /// the short alias `rr`.
+    pub fn parse(value: &str) -> Option<DispatchPolicy> {
+        Some(match value {
+            "rr" | "round-robin" => DispatchPolicy::RoundRobin,
+            "fewest-apps" => DispatchPolicy::FewestApps,
+            "least-outstanding" => DispatchPolicy::LeastOutstanding,
+            _ => return None,
+        })
+    }
+}
+
+/// The dispatcher's estimate of one board's backlog: a single-server queue
+/// fed by everything assigned to the board so far.
+#[derive(Debug, Clone, Default)]
+struct BoardLoad {
+    /// When the board's backlog, served one application at a time, drains.
+    busy_until: SimTime,
+    /// Estimated completion time of each still-outstanding application.
+    finishes: Vec<SimTime>,
+}
+
+impl BoardLoad {
+    /// Applications estimated still live at `now`.
+    fn live_apps(&self, now: SimTime) -> usize {
+        self.finishes.iter().filter(|&&f| f > now).count()
+    }
+
+    /// Estimated outstanding compute at `now`.
+    fn outstanding(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Drops completed entries (estimates, so this is pure bookkeeping).
+    fn prune(&mut self, now: SimTime) {
+        self.finishes.retain(|&f| f > now);
+    }
+
+    /// Accounts a newly assigned application of estimated cost `work`
+    /// arriving at `now`.
+    fn assign(&mut self, now: SimTime, work: SimDuration) {
+        let start = self.busy_until.max(now);
+        let finish = start + work;
+        self.busy_until = finish;
+        self.finishes.push(finish);
+    }
+}
+
+/// Assigns arrivals to boards deterministically.
+///
+/// Feed events in arrival order (an [`EventSequence`] is already sorted);
+/// the decision for each event depends only on the events seen before it.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_cluster::{Dispatcher, DispatchPolicy};
+/// use nimblock_sim::SimDuration;
+/// use nimblock_workload::{generate, Scenario};
+///
+/// let events = generate(1, 6, Scenario::Standard);
+/// let plan = Dispatcher::plan(
+///     DispatchPolicy::RoundRobin,
+///     3,
+///     SimDuration::from_millis(80),
+///     &events,
+/// );
+/// assert_eq!(plan, vec![0, 1, 2, 0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+    /// Nominal per-task reconfiguration latency used in the cost estimate.
+    reconfig: SimDuration,
+    /// Explicit round-robin state, advanced at dispatch-decision time only.
+    cursor: usize,
+    boards: Vec<BoardLoad>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher over `boards` boards.
+    ///
+    /// `reconfig` is the nominal reconfiguration latency of the boards'
+    /// device model; it prices each task of an arriving application into
+    /// the backlog estimate via `AppSpec::single_slot_latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boards` is zero.
+    pub fn new(policy: DispatchPolicy, boards: usize, reconfig: SimDuration) -> Self {
+        assert!(boards > 0, "a cluster needs at least one board");
+        Dispatcher {
+            policy,
+            reconfig,
+            cursor: 0,
+            boards: vec![BoardLoad::default(); boards],
         }
+    }
+
+    /// Returns the policy this dispatcher applies.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Returns the current round-robin cursor (the number of dispatch
+    /// decisions taken so far under [`DispatchPolicy::RoundRobin`]).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Decides the board for `event` and updates the load model.
+    ///
+    /// The round-robin cursor advances here — at decision time — so the
+    /// assignment sequence is a pure function of the arrival order and can
+    /// never be perturbed by board completion order (the historical bug was
+    /// threading scheduler progress back into the cursor).
+    pub fn assign(&mut self, event: &ArrivalEvent) -> usize {
+        let now = event.arrival();
+        for board in &mut self.boards {
+            board.prune(now);
+        }
+        let board = match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let board = self.cursor % self.boards.len();
+                self.cursor += 1;
+                board
+            }
+            DispatchPolicy::FewestApps => self
+                .boards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| (b.live_apps(now), *i))
+                .map(|(i, _)| i)
+                .expect("cluster has at least one board"),
+            DispatchPolicy::LeastOutstanding => self
+                .boards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| (b.outstanding(now), *i))
+                .map(|(i, _)| i)
+                .expect("cluster has at least one board"),
+        };
+        let work = event
+            .app()
+            .single_slot_latency(event.batch_size(), self.reconfig);
+        self.boards[board].assign(now, work);
+        board
+    }
+
+    /// Plans a whole sequence: one board index per event, in event order.
+    pub fn plan(
+        policy: DispatchPolicy,
+        boards: usize,
+        reconfig: SimDuration,
+        events: &EventSequence,
+    ) -> Vec<usize> {
+        let mut dispatcher = Dispatcher::new(policy, boards, reconfig);
+        events.iter().map(|e| dispatcher.assign(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::{benchmarks, Priority};
+    use nimblock_workload::generate;
+    use nimblock_workload::Scenario;
+
+    const RECONFIG: SimDuration = SimDuration::from_millis(80);
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for policy in DispatchPolicy::ALL {
+            assert_eq!(DispatchPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(DispatchPolicy::parse("rr"), Some(DispatchPolicy::RoundRobin));
+        assert_eq!(DispatchPolicy::parse("hashring"), None);
+    }
+
+    /// The satellite regression test: the round-robin cursor advances at
+    /// dispatch-decision time, so assignment order is pinned to arrival
+    /// order — including simultaneous arrivals — regardless of how long
+    /// each application runs on its board.
+    #[test]
+    fn round_robin_assignment_order_is_pinned() {
+        let mut events = Vec::new();
+        // Wildly uneven costs and two simultaneous arrivals: completion
+        // order would scramble any cursor keyed to board progress.
+        for (i, (app, batch)) in [
+            (benchmarks::digit_recognition(), 10u32),
+            (benchmarks::lenet(), 1),
+            (benchmarks::lenet(), 1),
+            (benchmarks::rendering_3d(), 2),
+            (benchmarks::digit_recognition(), 5),
+            (benchmarks::lenet(), 3),
+            (benchmarks::lenet(), 1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // Events 1 and 2 arrive at the same instant.
+            let at = SimTime::from_millis(if i == 2 { 100 } else { i as u64 * 100 });
+            events.push(ArrivalEvent::new(app, batch, Priority::Medium, at));
+        }
+        let events = EventSequence::new(events);
+        let plan = Dispatcher::plan(DispatchPolicy::RoundRobin, 3, RECONFIG, &events);
+        assert_eq!(plan, vec![0, 1, 2, 0, 1, 2, 0]);
+        // And the cursor itself counted every decision.
+        let mut dispatcher = Dispatcher::new(DispatchPolicy::RoundRobin, 3, RECONFIG);
+        for event in &events {
+            dispatcher.assign(event);
+        }
+        assert_eq!(dispatcher.cursor(), 7);
+    }
+
+    #[test]
+    fn least_outstanding_spreads_a_heavy_head() {
+        let events = EventSequence::new(vec![
+            ArrivalEvent::new(benchmarks::digit_recognition(), 10, Priority::Low, SimTime::ZERO),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::High, SimTime::from_millis(100)),
+            ArrivalEvent::new(benchmarks::lenet(), 2, Priority::High, SimTime::from_millis(200)),
+        ]);
+        let plan = Dispatcher::plan(DispatchPolicy::LeastOutstanding, 2, RECONFIG, &events);
+        assert_eq!(plan[0], 0);
+        assert_ne!(plan[1], 0, "the loaded board must be avoided");
+        assert_ne!(plan[2], 0, "the loaded board must still be avoided");
+    }
+
+    #[test]
+    fn fewest_apps_counts_live_estimates_only() {
+        let mut dispatcher = Dispatcher::new(DispatchPolicy::FewestApps, 2, RECONFIG);
+        // Two tiny apps land on boards 0 and 1.
+        let tiny = |at| ArrivalEvent::new(benchmarks::lenet(), 1, Priority::Low, at);
+        assert_eq!(dispatcher.assign(&tiny(SimTime::ZERO)), 0);
+        assert_eq!(dispatcher.assign(&tiny(SimTime::ZERO)), 1);
+        // Long after both estimates drained, the model is empty again, so
+        // the lowest index wins once more.
+        assert_eq!(dispatcher.assign(&tiny(SimTime::from_secs(10_000))), 0);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let events = generate(17, 24, Scenario::Stress);
+        for policy in DispatchPolicy::ALL {
+            let a = Dispatcher::plan(policy, 4, RECONFIG, &events);
+            let b = Dispatcher::plan(policy, 4, RECONFIG, &events);
+            assert_eq!(a, b, "{}", policy.name());
+            assert!(a.iter().all(|&board| board < 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn zero_boards_is_rejected() {
+        let _ = Dispatcher::new(DispatchPolicy::RoundRobin, 0, RECONFIG);
     }
 }

@@ -9,7 +9,11 @@
 //!
 //! Dispatch happens at arrival time (applications do not migrate between
 //! boards; their partial bitstreams live on one board's storage), using one
-//! of the [`DispatchPolicy`] strategies.
+//! of the [`DispatchPolicy`] strategies — applied by a [`Dispatcher`] whose
+//! load model is deterministic, so assignment is a pure function of the
+//! arrival stream and the per-board simulations can run on worker threads
+//! ([`ClusterTestbed::with_threads`]) while merging to a byte-identical
+//! result.
 //!
 //! # Example
 //!
@@ -22,6 +26,7 @@
 //! let report = ClusterTestbed::new(2, DispatchPolicy::LeastOutstanding, || {
 //!     Box::new(NimblockScheduler::default())
 //! })
+//! .with_threads(2)
 //! .run(&events);
 //! assert_eq!(report.merged().records().len(), 8);
 //! assert_eq!(report.board_count(), 2);
@@ -31,7 +36,8 @@
 #![warn(missing_docs)]
 
 mod dispatch;
+pub mod pool;
 mod testbed;
 
-pub use dispatch::DispatchPolicy;
+pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use testbed::{ClusterReport, ClusterTestbed};

@@ -1,0 +1,131 @@
+//! A minimal scoped worker pool for per-board simulation jobs.
+//!
+//! This is the only concurrency primitive in the workspace, and it is
+//! deliberately tiny: a work queue of indexed jobs drained by
+//! [`std::thread::scope`] workers. Determinism does not come from the pool
+//! (workers race for jobs) but from the fact that every job is independent
+//! and its result is stored at its **own index** — callers then merge
+//! results in index order, which is identical no matter which worker ran
+//! which job.
+//!
+//! With `threads <= 1` the jobs run inline on the caller's thread, in index
+//! order, with no worker machinery at all. That path is the sequential
+//! oracle used by the differential tests: the parallel path must produce
+//! byte-identical results.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "auto" (the host's
+/// available parallelism, or 1 if unknown), anything else is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Runs `jobs` and returns their results in job order.
+///
+/// * `threads <= 1`: jobs run inline, sequentially, in index order.
+/// * `threads > 1`: up to `min(threads, jobs.len())` scoped workers drain a
+///   shared queue; each result lands at its job's index, so the returned
+///   `Vec` order is independent of worker interleaving.
+///
+/// A panicking job propagates its panic to the caller when the scope joins.
+pub fn run_indexed<T, J>(threads: usize, jobs: Vec<J>) -> Vec<T>
+where
+    T: Send,
+    J: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let job_count = jobs.len();
+    let workers = threads.min(job_count);
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..job_count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue
+                    .lock()
+                    .expect("pool queue lock poisoned")
+                    .pop_front();
+                match next {
+                    Some((index, job)) => {
+                        let value = job();
+                        results
+                            .lock()
+                            .expect("pool results lock poisoned")
+                            [index] = Some(value);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("pool results lock poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every job stores its result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_path_preserves_order() {
+        let jobs: Vec<_> = (0..8).map(|i| move || i * 10).collect();
+        assert_eq!(run_indexed(1, jobs), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn parallel_path_preserves_order() {
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Uneven work so workers finish out of order.
+                    let mut acc = 0u64;
+                    for k in 0..((32 - i) * 1000) {
+                        acc = acc.wrapping_add(k);
+                    }
+                    (i, acc > 0 || acc == 0)
+                }
+            })
+            .collect();
+        let results = run_indexed(4, jobs);
+        for (i, (got, ok)) in results.into_iter().enumerate() {
+            assert_eq!(got, i as u64);
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_inline() {
+        let make = || (0..16).map(|i: u64| move || i * i + 7).collect::<Vec<_>>();
+        assert_eq!(run_indexed(1, make()), run_indexed(8, make()));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_indexed(16, vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_jobs_yield_empty_results() {
+        let jobs: Vec<fn() -> u8> = Vec::new();
+        assert!(run_indexed(4, jobs).is_empty());
+    }
+
+    #[test]
+    fn zero_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

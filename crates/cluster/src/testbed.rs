@@ -1,13 +1,33 @@
-//! The cluster testbed: a dispatcher over per-board hypervisors.
+//! The cluster testbed: plan, fan out, merge — in parallel if asked.
+//!
+//! A run has three phases:
+//!
+//! 1. **Plan** (sequential): a [`Dispatcher`] assigns every arrival to a
+//!    board using its own deterministic load model. No board state is
+//!    consulted, so the plan is a pure function of the arrival sequence.
+//! 2. **Execute** (parallel): each board runs its own `Hypervisor` + sim
+//!    engine over *only its* arrivals, on a worker from the scoped pool in
+//!    [`crate::pool`]. Boards share nothing — scheduler, device model,
+//!    metrics shard, and trace are all per-board.
+//! 3. **Merge** (sequential, board-index order): per-board records are
+//!    remapped to their global stimulus indices and folded into one
+//!    [`ClusterReport`]; metrics shards are merged into the cluster
+//!    registry in board order.
+//!
+//! Because phase 1 is sequential, phase 2 is embarrassingly parallel, and
+//! phase 3 merges in a fixed order, the result is **byte-identical** no
+//! matter how many worker threads run phase 2 — `with_threads(1)` is the
+//! oracle the differential tests compare against.
 
-use nimblock_core::{HvEvent, Hypervisor, Scheduler};
+use nimblock_core::{HvEvent, Hypervisor, Scheduler, Trace};
 use nimblock_fpga::{Device, DeviceConfig};
 use nimblock_metrics::{Report, RunCounters};
 use nimblock_obs::nb_debug;
-use nimblock_sim::{EventQueue, Handler, SimDuration, SimTime, Simulation};
-use nimblock_workload::EventSequence;
+use nimblock_sim::{SimDuration, SimTime, Simulation};
+use nimblock_workload::{ArrivalEvent, EventSequence};
 
-use crate::DispatchPolicy;
+use crate::pool;
+use crate::{DispatchPolicy, Dispatcher};
 
 /// The result of a cluster run: the merged report plus per-board detail.
 #[derive(Debug, Clone)]
@@ -15,18 +35,26 @@ pub struct ClusterReport {
     merged: Report,
     per_board: Vec<Report>,
     assignments: Vec<usize>,
+    per_board_traces: Vec<Trace>,
 }
 
 impl ClusterReport {
     /// Returns the merged report over all boards (records keep their
-    /// stimulus event indices).
+    /// stimulus event indices; `finished_at` is the latest board finish).
     pub fn merged(&self) -> &Report {
         &self.merged
     }
 
-    /// Returns one report per board, containing only its own applications.
+    /// Returns one report per board, containing only its own applications
+    /// (with their *global* stimulus event indices).
     pub fn per_board(&self) -> &[Report] {
         &self.per_board
+    }
+
+    /// Returns one schedule trace per board, when the run was traced (see
+    /// [`ClusterTestbed::with_tracing`]); empty otherwise.
+    pub fn per_board_traces(&self) -> &[Trace] {
+        &self.per_board_traces
     }
 
     /// Returns the number of boards.
@@ -49,77 +77,18 @@ impl ClusterReport {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ClusterEvent {
-    /// Decide the board for stimulus event `index` and deliver its arrival.
-    Dispatch(usize),
-    /// A per-board hypervisor event.
-    Board(usize, HvEvent),
-    /// The shared scheduling tick, fanned out to every board.
-    Tick,
+/// Everything one board's worker produces; merged in board-index order.
+struct BoardOutcome {
+    report: Report,
+    trace: Option<Trace>,
+    shard: Option<nimblock_obs::Registry>,
 }
 
-struct ClusterHandler<S> {
-    boards: Vec<Hypervisor<S>>,
-    dispatch: DispatchPolicy,
-    cursor: usize,
-    assignments: Vec<usize>,
-    dispatched: usize,
-    total_events: usize,
-    tick: SimDuration,
-    dispatches: nimblock_obs::Counter,
-}
-
-impl<S: Scheduler> ClusterHandler<S> {
-    fn finished(&self) -> bool {
-        self.dispatched == self.total_events && self.boards.iter().all(|b| b.apps().is_empty())
-    }
-
-    /// Delivers one hypervisor event to a board, re-homing any follow-up
-    /// events the board schedules into the cluster queue.
-    fn deliver(
-        &mut self,
-        board: usize,
-        event: HvEvent,
-        now: SimTime,
-        queue: &mut EventQueue<ClusterEvent>,
-    ) {
-        let mut local = EventQueue::new();
-        self.boards[board].handle(now, event, &mut local);
-        while let Some((at, follow_up)) = local.pop() {
-            queue.push(at, ClusterEvent::Board(board, follow_up));
-        }
-    }
-}
-
-impl<S: Scheduler> Handler<ClusterEvent> for ClusterHandler<S> {
-    fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
-        match event {
-            ClusterEvent::Dispatch(index) => {
-                let board = self.dispatch.choose(&self.boards, self.cursor);
-                self.cursor += 1;
-                self.dispatched += 1;
-                self.assignments[index] = board;
-                self.dispatches.inc();
-                nb_debug!("cluster", "dispatch event {index} -> board {board}");
-                self.deliver(board, HvEvent::Arrival(index), now, queue);
-            }
-            ClusterEvent::Board(board, inner) => self.deliver(board, inner, now, queue),
-            ClusterEvent::Tick => {
-                for board in 0..self.boards.len() {
-                    self.deliver(board, HvEvent::Tick, now, queue);
-                }
-                if !self.finished() {
-                    queue.push(now + self.tick, ClusterEvent::Tick);
-                }
-            }
-        }
-    }
-}
-
-/// Emulates real-time arrival on a cluster of identical boards: each event
-/// is dispatched to a board at its arrival time, then handled entirely by
-/// that board's hypervisor and scheduler.
+/// Emulates real-time application arrival on a cluster of identical boards:
+/// arrivals are planned onto boards by a deterministic [`Dispatcher`], each
+/// board simulates its own share (in parallel under
+/// [`ClusterTestbed::with_threads`]), and the per-board results merge into
+/// one report — byte-identical to the sequential run for the same seed.
 ///
 /// See the crate-level example.
 pub struct ClusterTestbed<F> {
@@ -128,16 +97,22 @@ pub struct ClusterTestbed<F> {
     scheduler_factory: F,
     device_config: DeviceConfig,
     horizon: SimTime,
+    threads: usize,
+    tracing: bool,
     metrics: Option<nimblock_obs::Registry>,
 }
 
 impl<S, F> ClusterTestbed<F>
 where
     S: Scheduler,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     /// Creates a cluster of `boards` identical ZCU106 overlays; every board
-    /// gets a fresh scheduler from `scheduler_factory`.
+    /// gets a fresh scheduler from `scheduler_factory`. The factory is
+    /// shared by reference with the worker threads, hence the `Sync` bound;
+    /// the schedulers it builds never cross threads.
+    ///
+    /// Runs sequentially by default ([`ClusterTestbed::with_threads`]).
     ///
     /// # Panics
     ///
@@ -150,8 +125,28 @@ where
             scheduler_factory,
             device_config: DeviceConfig::zcu106(),
             horizon: SimTime::from_secs(10_000_000),
+            threads: 1,
+            tracing: false,
             metrics: None,
         }
+    }
+
+    /// Sets how many worker threads simulate boards in parallel.
+    ///
+    /// `1` (the default) runs every board inline on the calling thread —
+    /// the sequential oracle. `0` means auto (the host's available
+    /// parallelism). Any value yields the same bytes; threads only change
+    /// wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = pool::resolve_threads(threads);
+        self
+    }
+
+    /// Enables per-board schedule tracing; the traces come back in
+    /// [`ClusterReport::per_board_traces`], in board order.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Overrides the per-board device configuration.
@@ -160,10 +155,11 @@ where
         self
     }
 
-    /// Publishes cluster-level telemetry in `registry`: the dispatcher's
-    /// `cluster_*` series. Per-board hypervisors keep private (detached)
-    /// instruments — a shared registry would conflate the boards — and
-    /// their counters surface merged in [`ClusterReport::merged`].
+    /// Publishes cluster telemetry in `registry`: the dispatcher's
+    /// `cluster_*` series plus — merged from per-board shards in board
+    /// order — the boards' `hv_*`, `sched_*`, and `sim_*` series. Shards
+    /// use untimed hypervisor metrics (no wall-clock samples), so the
+    /// merged export is deterministic across runs and thread counts.
     pub fn with_metrics(mut self, registry: nimblock_obs::Registry) -> Self {
         self.metrics = Some(registry);
         self
@@ -177,17 +173,10 @@ where
     /// horizon.
     pub fn run(self, events: &EventSequence) -> ClusterReport {
         let tick = SimDuration::from_millis(nimblock_fpga::zcu106::SCHEDULING_INTERVAL_MILLIS);
-        let boards: Vec<Hypervisor<S>> = (0..self.boards)
-            .map(|_| {
-                Hypervisor::new(
-                    Device::new(self.device_config.clone()),
-                    (self.scheduler_factory)(),
-                    events.events().to_vec(),
-                )
-                // The cluster fans ticks out itself.
-                .with_tick_interval(SimDuration::ZERO)
-            })
-            .collect();
+        let reconfig = Device::new(self.device_config.clone()).nominal_reconfig_latency();
+
+        // Phase 1: plan. Sequential over the arrival stream; the only
+        // shared mutable state of the whole run lives here.
         let dispatches = match &self.metrics {
             Some(registry) => {
                 registry
@@ -200,36 +189,62 @@ where
             }
             None => nimblock_obs::Counter::detached(),
         };
-        let handler = ClusterHandler {
-            boards,
-            dispatch: self.dispatch,
-            cursor: 0,
-            assignments: vec![0; events.len()],
-            dispatched: 0,
-            total_events: events.len(),
-            tick,
-            dispatches,
-        };
-        let mut sim = Simulation::new(handler);
+        let mut dispatcher = Dispatcher::new(self.dispatch, self.boards, reconfig);
+        let mut assignments = Vec::with_capacity(events.len());
+        let mut board_events: Vec<(Vec<ArrivalEvent>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); self.boards];
         for (index, event) in events.iter().enumerate() {
-            sim.queue_mut()
-                .push(event.arrival(), ClusterEvent::Dispatch(index));
+            let board = dispatcher.assign(event);
+            nb_debug!("cluster", "dispatch event {index} -> board {board}");
+            dispatches.inc();
+            assignments.push(board);
+            board_events[board].0.push(event.clone());
+            board_events[board].1.push(index);
         }
-        sim.queue_mut().push(SimTime::ZERO + tick, ClusterEvent::Tick);
-        sim.run_until(self.horizon);
-        assert!(
-            sim.handler().finished(),
-            "cluster hit the livelock horizon with applications outstanding"
-        );
-        let finished_at = sim.now();
-        let handler = sim.into_handler();
-        let assignments = handler.assignments;
-        let dispatch_name = handler.dispatch.name();
-        let per_board: Vec<Report> = handler
-            .boards
+
+        // Phase 2: execute. One independent job per board; nothing below
+        // touches shared state, so the pool may run them in any order.
+        let factory = &self.scheduler_factory;
+        let device_config = &self.device_config;
+        let horizon = self.horizon;
+        let tracing = self.tracing;
+        let sharded = self.metrics.is_some();
+        let jobs: Vec<_> = board_events
             .into_iter()
-            .map(|b| b.into_report(finished_at))
+            .map(|(stimulus, globals)| {
+                move || {
+                    run_board(
+                        factory(),
+                        device_config.clone(),
+                        stimulus,
+                        globals,
+                        tick,
+                        horizon,
+                        tracing,
+                        sharded,
+                    )
+                }
+            })
             .collect();
+        let outcomes = pool::run_indexed(self.threads, jobs);
+
+        // Phase 3: merge, strictly in board-index order.
+        let mut per_board = Vec::with_capacity(outcomes.len());
+        let mut per_board_traces = Vec::new();
+        for outcome in outcomes {
+            if let (Some(registry), Some(shard)) = (&self.metrics, &outcome.shard) {
+                registry.merge_from(shard);
+            }
+            if let Some(trace) = outcome.trace {
+                per_board_traces.push(trace);
+            }
+            per_board.push(outcome.report);
+        }
+        let finished_at = per_board
+            .iter()
+            .map(|r| r.finished_at())
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let scheduler_name = per_board
             .first()
             .map(|r| r.scheduler().to_owned())
@@ -252,7 +267,8 @@ where
         let merged = Report::new(
             format!(
                 "cluster({boards}x{scheduler_name}, {dispatch_name})",
-                boards = per_board.len()
+                boards = per_board.len(),
+                dispatch_name = self.dispatch.name(),
             ),
             merged_records,
             finished_at,
@@ -262,7 +278,86 @@ where
             merged,
             per_board,
             assignments,
+            per_board_traces,
         }
+    }
+}
+
+/// Simulates one board over its share of the stimulus. Runs on a pool
+/// worker; everything it touches is owned by this call.
+#[allow(clippy::too_many_arguments)]
+fn run_board<S: Scheduler>(
+    mut scheduler: S,
+    device_config: DeviceConfig,
+    stimulus: Vec<ArrivalEvent>,
+    globals: Vec<usize>,
+    tick: SimDuration,
+    horizon: SimTime,
+    tracing: bool,
+    sharded: bool,
+) -> BoardOutcome {
+    let shard = sharded.then(nimblock_obs::Registry::new);
+    if let Some(shard) = &shard {
+        scheduler.attach_metrics(shard);
+    }
+    let arrivals: Vec<SimTime> = stimulus.iter().map(|e| e.arrival()).collect();
+    let mut hypervisor =
+        Hypervisor::new(Device::new(device_config), scheduler, stimulus).with_tick_interval(tick);
+    if let Some(shard) = &shard {
+        // Untimed: no wall-clock samples, so the shard (and therefore the
+        // merged cluster registry) is a function of simulated time only.
+        hypervisor = hypervisor.with_untimed_metrics(shard);
+    }
+    if tracing {
+        hypervisor = hypervisor.with_tracing();
+    }
+    let mut sim = Simulation::new(hypervisor);
+    for (local, at) in arrivals.iter().enumerate() {
+        sim.queue_mut().push(*at, HvEvent::Arrival(local));
+    }
+    // An idle board never ticks: its sim ends at t=0 instead of spinning,
+    // and it cannot inflate the merged finish time.
+    if !arrivals.is_empty() {
+        sim.queue_mut().push(SimTime::ZERO + tick, HvEvent::Tick);
+    }
+    sim.run_until(horizon);
+    assert!(
+        sim.handler().finished(),
+        "cluster board hit the livelock horizon with applications outstanding"
+    );
+    if let Some(shard) = &shard {
+        shard
+            .counter("sim_events_total", "Simulation events processed")
+            .add(sim.steps());
+        shard
+            .gauge(
+                "sim_event_queue_depth_max",
+                "High-water mark of the simulation event-queue depth",
+            )
+            .set(sim.max_queue_depth() as i64);
+    }
+    let finished_at = sim.now();
+    let mut hypervisor = sim.into_handler();
+    let trace = hypervisor.take_trace();
+    let report = hypervisor.into_report(finished_at);
+    // Remap board-local stimulus indices back to the global event order the
+    // caller dispatched. Local order is a subsequence of global order, so
+    // the report's index-sorted invariant survives the remap.
+    let records = report
+        .records()
+        .iter()
+        .cloned()
+        .map(|mut record| {
+            record.event_index = globals[record.event_index];
+            record
+        })
+        .collect();
+    let report = Report::new(report.scheduler().to_owned(), records, finished_at)
+        .with_counters(*report.counters());
+    BoardOutcome {
+        report,
+        trace,
+        shard,
     }
 }
 
@@ -323,7 +418,6 @@ mod tests {
     #[test]
     fn least_outstanding_avoids_the_loaded_board() {
         use nimblock_app::{benchmarks, Priority};
-        use nimblock_workload::ArrivalEvent;
         // A huge app lands first; the next arrivals must go to the other
         // board under least-outstanding.
         let events = EventSequence::new(vec![
@@ -349,11 +443,85 @@ mod tests {
         assert!(text.contains("cluster_boards 3"), "{text}");
         assert!(text.contains("cluster_arrivals_total 9"), "{text}");
         assert!(text.contains("cluster_retires_total 9"), "{text}");
+        // Board shards surface merged in the same registry.
+        assert!(text.contains("hv_arrivals_total 9"), "{text}");
+        assert!(text.contains("sim_events_total"), "{text}");
+        // The untimed shards never take wall-clock samples.
+        assert!(text.contains("hv_decision_latency_nanos_count 0"), "{text}");
         nimblock_obs::validate_prometheus(&text).unwrap();
         // The merged report aggregates the per-board counters.
         assert_eq!(report.merged().counters().arrivals, 9);
         let per_board_sum: u64 = report.per_board().iter().map(|r| r.counters().retires).sum();
         assert_eq!(per_board_sum, 9);
+    }
+
+    /// The determinism oracle in miniature: every thread count yields the
+    /// same bytes — records, assignments, per-board reports, traces, and
+    /// the rendered metrics page. The full randomized version lives in
+    /// `tests/cluster_differential.rs`.
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let events = generate(21, 14, Scenario::Stress);
+        let run = |threads: usize| {
+            let registry = nimblock_obs::Registry::new();
+            let report = cluster(3, DispatchPolicy::LeastOutstanding)
+                .with_threads(threads)
+                .with_tracing()
+                .with_metrics(registry.clone())
+                .run(&events);
+            (report, registry.render_prometheus())
+        };
+        let (sequential, seq_metrics) = run(1);
+        for threads in [2, 8] {
+            let (parallel, par_metrics) = run(threads);
+            assert_eq!(sequential.assignments(), parallel.assignments());
+            assert_eq!(sequential.merged().records(), parallel.merged().records());
+            assert_eq!(sequential.merged().finished_at(), parallel.merged().finished_at());
+            assert_eq!(sequential.merged().counters(), parallel.merged().counters());
+            for (a, b) in sequential.per_board().iter().zip(parallel.per_board()) {
+                assert_eq!(a.records(), b.records());
+                assert_eq!(a.finished_at(), b.finished_at());
+            }
+            assert_eq!(
+                sequential.per_board_traces().len(),
+                parallel.per_board_traces().len()
+            );
+            for (a, b) in sequential
+                .per_board_traces()
+                .iter()
+                .zip(parallel.per_board_traces())
+            {
+                assert_eq!(
+                    nimblock_ser::to_string_pretty(a),
+                    nimblock_ser::to_string_pretty(b)
+                );
+            }
+            assert_eq!(seq_metrics, par_metrics, "metrics page must not depend on threads");
+        }
+    }
+
+    #[test]
+    fn traced_cluster_returns_one_trace_per_board() {
+        let events = generate(9, 6, Scenario::Standard);
+        let report = cluster(3, DispatchPolicy::RoundRobin)
+            .with_tracing()
+            .run(&events);
+        assert_eq!(report.per_board_traces().len(), 3);
+        // Untraced runs return no traces.
+        let untraced = cluster(3, DispatchPolicy::RoundRobin).run(&events);
+        assert!(untraced.per_board_traces().is_empty());
+    }
+
+    #[test]
+    fn idle_boards_do_not_inflate_the_merged_finish() {
+        // Eight boards, two events: six boards stay idle at t=0.
+        let events = generate(13, 2, Scenario::Standard);
+        let few = cluster(1, DispatchPolicy::RoundRobin).run(&events);
+        let many = cluster(8, DispatchPolicy::RoundRobin)
+            .with_threads(4)
+            .run(&events);
+        assert!(many.merged().finished_at() <= few.merged().finished_at());
+        assert_eq!(many.merged().records().len(), 2);
     }
 
     #[test]

@@ -60,8 +60,22 @@ impl HvMetrics {
     /// registry dedupes by name), which aggregates their counts — per-board
     /// reports should keep detached metrics instead.
     pub fn registered(registry: &Registry) -> Self {
+        Self::registered_with(registry, true)
+    }
+
+    /// Like [`HvMetrics::registered`], but with wall-clock decision-latency
+    /// timing disabled: the `hv_decision_latency_nanos` series is registered
+    /// (so exports keep a stable shape) but never observed. This is what
+    /// cluster board shards use — every remaining instrument is driven by
+    /// simulated time only, so the merged registry renders byte-identically
+    /// across runs and thread counts.
+    pub fn registered_untimed(registry: &Registry) -> Self {
+        Self::registered_with(registry, false)
+    }
+
+    fn registered_with(registry: &Registry, timed: bool) -> Self {
         HvMetrics {
-            timed: true,
+            timed,
             arrivals: registry.counter("hv_arrivals_total", "Applications admitted into the pending queue"),
             retires: registry.counter("hv_retires_total", "Applications retired (whole batch finished)"),
             preemptions: registry.counter("hv_preemptions_total", "Preemptions enacted (batch or fine-grained)"),
@@ -118,6 +132,19 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("hv_arrivals_total 3"), "{text}");
         assert!(text.contains("hv_wait_micros_count 1"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn untimed_registration_exposes_series_without_timing() {
+        let registry = Registry::new();
+        let m = HvMetrics::registered_untimed(&registry);
+        assert!(!m.timed, "untimed shards must not take wall-clock samples");
+        m.retires.add(2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("hv_retires_total 2"), "{text}");
+        // The latency series exists (stable export shape) but is empty.
+        assert!(text.contains("hv_decision_latency_nanos_count 0"), "{text}");
         nimblock_obs::validate_prometheus(&text).unwrap();
     }
 

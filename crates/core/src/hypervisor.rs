@@ -140,6 +140,16 @@ impl<S: Scheduler> Hypervisor<S> {
         self
     }
 
+    /// Publishes this hypervisor's instruments in `registry` like
+    /// [`Hypervisor::with_metrics`], but *without* wall-clock
+    /// decision-latency timing, so everything the registry observes is a
+    /// function of simulated time only. Cluster board shards use this to
+    /// keep the merged metrics export deterministic.
+    pub fn with_untimed_metrics(mut self, registry: &nimblock_obs::Registry) -> Self {
+        self.metrics = HvMetrics::registered_untimed(registry);
+        self
+    }
+
     /// Returns the hypervisor's instruments.
     pub fn metrics(&self) -> &HvMetrics {
         &self.metrics

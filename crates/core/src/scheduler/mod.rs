@@ -38,6 +38,16 @@ use crate::{AppId, Reconfig, SchedView};
 /// [`crate::TaskPhase::Unplaced`] tasks, and a slot that is either free or
 /// occupied by an [`crate::TaskPhase::Idle`] task. The hypervisor panics on
 /// violations — they are policy bugs, not runtime conditions.
+///
+/// # Threading
+///
+/// The trait itself does not require `Send`, but the parallel cluster
+/// testbed builds one scheduler *per board worker thread* from a shared
+/// `Fn() -> S + Sync` factory, and callers that move boxed policies across
+/// threads (the CLI, the faas gateway) use `Box<dyn Scheduler + Send>`.
+/// Every policy in this crate is plain owned data and therefore `Send`;
+/// keep it that way (no `Rc`, no thread-local captures) — the
+/// `schedulers_are_send` test pins this.
 pub trait Scheduler {
     /// Human-readable policy name, used in reports.
     fn name(&self) -> String;
@@ -94,5 +104,27 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn attach_metrics(&mut self, registry: &nimblock_obs::Registry) {
         (**self).attach_metrics(registry);
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    /// Compile-time pin: every policy can cross a thread boundary, which is
+    /// what lets the cluster testbed run one board per worker. If a future
+    /// policy gains an `Rc` or other non-`Send` state, this stops building.
+    #[test]
+    fn schedulers_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<NoSharingScheduler>();
+        assert_send::<FcfsScheduler>();
+        assert_send::<PremaScheduler>();
+        assert_send::<RoundRobinScheduler>();
+        assert_send::<NimblockScheduler>();
+        assert_send::<DmlStaticScheduler>();
+        assert_send::<EdfScheduler>();
+        assert_send::<SjfScheduler>();
+        assert_send::<Box<dyn Scheduler + Send>>();
     }
 }

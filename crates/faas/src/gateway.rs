@@ -149,7 +149,61 @@ impl FaasGateway {
             testbed = testbed.with_metrics(registry.clone());
         }
         let report = testbed.run(&events);
+        self.summarize(&invocations, report, scheduler_name)
+    }
 
+    /// Runs `workload` across a cluster of `boards` identical FPGAs behind
+    /// one gateway — the scale-out deployment shape: a front-end dispatcher
+    /// fanning invocations out to boards, each board running its own
+    /// hypervisor with a fresh scheduler from `scheduler_factory`.
+    ///
+    /// `threads` controls how many boards simulate in parallel (`1` =
+    /// sequential oracle, `0` = auto); the summary is byte-identical for
+    /// every thread count. With one board, the summary's statistics match
+    /// [`FaasGateway::run`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FaasGateway::run`], or if
+    /// `boards` is zero.
+    pub fn run_cluster<S, F>(
+        &self,
+        workload: &InvocationWorkload,
+        boards: usize,
+        threads: usize,
+        dispatch: nimblock_cluster::DispatchPolicy,
+        scheduler_factory: F,
+    ) -> FaasSummary
+    where
+        S: Scheduler,
+        F: Fn() -> S + Sync,
+    {
+        let invocations = workload
+            .generate(&self.registry)
+            .expect("workload generation against this registry");
+        let events = self
+            .stimulus(workload)
+            .expect("stimulus generation against this registry");
+        let mut cluster = nimblock_cluster::ClusterTestbed::new(boards, dispatch, scheduler_factory)
+            .with_threads(threads);
+        if let Some(registry) = &self.metrics {
+            cluster = cluster.with_metrics(registry.clone());
+        }
+        let report = cluster.run(&events);
+        let scheduler_name = report.merged().scheduler().to_owned();
+        self.summarize(&invocations, report.merged().clone(), scheduler_name)
+    }
+
+    /// Aggregates per-function statistics from a finished run. Records are
+    /// matched to invocations through their stimulus `event_index`, so this
+    /// works for both the single-board report (records in arrival order)
+    /// and the cluster-merged report (records re-sorted after the merge).
+    fn summarize(
+        &self,
+        invocations: &[crate::workload::Invocation],
+        report: Report,
+        scheduler_name: String,
+    ) -> FaasSummary {
         let faas = self.metrics.as_ref().map(|registry| {
             (
                 registry.counter("faas_invocations_total", "Invocations served"),
@@ -162,11 +216,13 @@ impl FaasGateway {
             )
         });
 
-        // Group records by function; events keep their stimulus order, and
-        // `invocations` is in the same (arrival-sorted) order because gaps
-        // are non-negative.
+        // Group records by function. Each record names its stimulus event,
+        // and events were generated 1:1 (and in order) from `invocations`,
+        // so the record's `event_index` indexes straight into them — robust
+        // even when records were merged back from several boards.
         let mut grouped: BTreeMap<String, Vec<(f64, bool)>> = BTreeMap::new();
-        for (record, invocation) in report.records().iter().zip(&invocations) {
+        for record in report.records() {
+            let invocation = &invocations[record.event_index];
             let function = self
                 .registry
                 .get(&invocation.function)
@@ -223,6 +279,98 @@ impl FaasGateway {
             per_function,
             report,
         }
+    }
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use nimblock_cluster::DispatchPolicy;
+    use nimblock_core::NimblockScheduler;
+
+    fn gateway() -> FaasGateway {
+        FaasGateway::new(FunctionRegistry::benchmark_suite())
+    }
+
+    fn workload() -> InvocationWorkload {
+        InvocationWorkload::new(33).invocations(20).mean_gap_millis(120)
+    }
+
+    #[test]
+    fn one_board_cluster_matches_the_single_fpga_run() {
+        let single = gateway().run(&workload(), NimblockScheduler::default());
+        let cluster = gateway().run_cluster(
+            &workload(),
+            1,
+            1,
+            DispatchPolicy::RoundRobin,
+            NimblockScheduler::default,
+        );
+        assert_eq!(single.per_function(), cluster.per_function());
+        assert_eq!(single.total_invocations(), cluster.total_invocations());
+    }
+
+    #[test]
+    fn cluster_fan_out_is_thread_count_invariant() {
+        let sequential = gateway().run_cluster(
+            &workload(),
+            3,
+            1,
+            DispatchPolicy::LeastOutstanding,
+            NimblockScheduler::default,
+        );
+        let parallel = gateway().run_cluster(
+            &workload(),
+            3,
+            4,
+            DispatchPolicy::LeastOutstanding,
+            NimblockScheduler::default,
+        );
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.total_invocations(), 20);
+    }
+
+    #[test]
+    fn cluster_metrics_cover_every_invocation() {
+        let registry = nimblock_obs::Registry::new();
+        let summary = gateway().with_metrics(registry.clone()).run_cluster(
+            &workload(),
+            2,
+            2,
+            DispatchPolicy::FewestApps,
+            NimblockScheduler::default,
+        );
+        assert_eq!(summary.total_invocations(), 20);
+        let text = registry.render_prometheus();
+        assert!(text.contains("faas_invocations_total 20"), "{text}");
+        assert!(text.contains("cluster_dispatches_total 20"), "{text}");
+        assert!(text.contains("cluster_boards 2"), "{text}");
+        nimblock_obs::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn more_boards_do_not_hurt_attainment() {
+        let heavy = InvocationWorkload::new(5).invocations(30).mean_gap_millis(60);
+        let one = gateway().run_cluster(
+            &heavy,
+            1,
+            1,
+            DispatchPolicy::LeastOutstanding,
+            NimblockScheduler::default,
+        );
+        let four = gateway().run_cluster(
+            &heavy,
+            4,
+            2,
+            DispatchPolicy::LeastOutstanding,
+            NimblockScheduler::default,
+        );
+        assert!(
+            four.overall_attainment() >= one.overall_attainment() - 1e-9,
+            "4 boards {:.2} vs 1 board {:.2}",
+            four.overall_attainment(),
+            one.overall_attainment()
+        );
     }
 }
 

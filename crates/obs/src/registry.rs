@@ -57,6 +57,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Adds `other`'s current value into this counter (shard merge).
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
 }
 
 impl fmt::Debug for Counter {
@@ -90,6 +95,13 @@ impl Gauge {
     /// Returns the current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises this gauge to `other`'s value if that is higher (shard
+    /// merge). Gauges in this workspace are high-water marks (queue
+    /// depths), so the cluster-wide value is the maximum over shards.
+    pub fn merge_max(&self, other: &Gauge) {
+        self.0.fetch_max(other.get(), Ordering::Relaxed);
     }
 }
 
@@ -183,6 +195,16 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Adds `other`'s buckets, sum, and count into this histogram (shard
+    /// merge). Exact because both sides share the same fixed log2 buckets.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
     }
 
     /// Returns `(upper_bound, cumulative_count)` pairs; the overflow
@@ -327,6 +349,36 @@ impl Registry {
         match self.register(name, help, || Handle::Histogram(Histogram::detached())) {
             Handle::Histogram(h) => h,
             _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Merges every instrument of `shard` into this registry, in `shard`'s
+    /// registration order: counters add, histograms add bucket-wise, gauges
+    /// take the maximum (high-water semantics). Instruments missing here
+    /// are registered first with the shard's help text, so merging shards
+    /// in a fixed order yields a fixed registration order — the basis of
+    /// the cluster's deterministic metrics export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard instrument's name is already registered here as a
+    /// different kind.
+    pub fn merge_from(&self, shard: &Registry) {
+        // Snapshot the shard first so merging a registry into itself (or
+        // two clones of the same Arc) cannot deadlock.
+        let shard_instruments: Vec<(String, String, Handle)> = {
+            let instruments = shard.instruments.lock().expect("registry poisoned");
+            instruments
+                .iter()
+                .map(|i| (i.name.clone(), i.help.clone(), i.handle.clone()))
+                .collect()
+        };
+        for (name, help, handle) in shard_instruments {
+            match handle {
+                Handle::Counter(theirs) => self.counter(&name, &help).merge_from(&theirs),
+                Handle::Gauge(theirs) => self.gauge(&name, &help).merge_max(&theirs),
+                Handle::Histogram(theirs) => self.histogram(&name, &help).merge_from(&theirs),
+            }
         }
     }
 
@@ -576,6 +628,74 @@ mod tests {
         assert!(validate_prometheus("no value here\n").is_err());
         assert!(validate_prometheus("name notanumber\n").is_err());
         assert!(validate_prometheus("ok 1\n").is_ok());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_and_maxes_gauges() {
+        let target = Registry::new();
+        target.counter("events_total", "events").add(5);
+        target.gauge("depth_max", "high water").set(7);
+        let shard = Registry::new();
+        shard.counter("events_total", "events").add(3);
+        shard.gauge("depth_max", "high water").set(4);
+        let h = shard.histogram("lat_micros", "latency");
+        h.observe(2);
+        h.observe(100);
+        target.merge_from(&shard);
+        assert_eq!(target.counter("events_total", "").get(), 8);
+        assert_eq!(target.gauge("depth_max", "").get(), 7, "max, not sum");
+        let merged = target.histogram("lat_micros", "");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 102);
+        // A second shard with a higher gauge raises the high-water mark.
+        let later = Registry::new();
+        later.gauge("depth_max", "high water").set(11);
+        target.merge_from(&later);
+        assert_eq!(target.gauge("depth_max", "").get(), 11);
+    }
+
+    #[test]
+    fn merge_order_fixes_registration_order() {
+        let build_shard = |c: u64| {
+            let shard = Registry::new();
+            shard.counter("a_total", "a").add(c);
+            shard.histogram("b_micros", "b").observe(c);
+            shard.gauge("c_depth", "c").set(c as i64);
+            shard
+        };
+        let merge = |shards: &[Registry]| {
+            let target = Registry::new();
+            for shard in shards {
+                target.merge_from(shard);
+            }
+            target.render_prometheus()
+        };
+        // Byte-identical render no matter how shard *contents* were
+        // produced, because merges happen in a fixed order.
+        let a = merge(&[build_shard(1), build_shard(2)]);
+        let b = merge(&[build_shard(1), build_shard(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucket_exact() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        let whole = Histogram::detached();
+        for v in [0u64, 1, 3, 900, 70_000] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [2u64, 5, 4096, u64::MAX] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        let merged = Histogram::detached();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.bucket_counts(), whole.bucket_counts());
+        assert_eq!(merged.sum(), whole.sum());
+        assert_eq!(merged.count(), whole.count());
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Multi-FPGA scale-out: run the same burst on one, two, and four modelled
 //! ZCU106 boards and watch response times fall.
 //!
+//! The cluster engine simulates the boards on a worker pool
+//! (`with_threads`); results are byte-identical for every thread count, so
+//! this example also demonstrates the determinism guarantee by re-running
+//! the largest configuration in parallel and comparing it to the
+//! sequential oracle.
+//!
 //! ```sh
 //! cargo run --release --example cluster_scale_out
 //! ```
@@ -26,7 +32,10 @@ fn main() {
     ]);
     for boards in [1usize, 2, 4] {
         for dispatch in DispatchPolicy::ALL {
+            // `with_threads(0)` sizes the worker pool to the host; the
+            // result is defined to match `with_threads(1)` byte for byte.
             let report = ClusterTestbed::new(boards, dispatch, NimblockScheduler::default)
+                .with_threads(0)
                 .run(&events);
             let loads: Vec<String> = report.board_loads().iter().map(usize::to_string).collect();
             table.row(vec![
@@ -39,6 +48,20 @@ fn main() {
         }
     }
     print!("{table}");
+
+    // The determinism guarantee, demonstrated: a parallel run of the
+    // 4-board cluster is indistinguishable from the sequential oracle.
+    let run = |threads: usize| {
+        ClusterTestbed::new(4, DispatchPolicy::FewestApps, NimblockScheduler::default)
+            .with_threads(threads)
+            .run(&events)
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(sequential.merged().records(), parallel.merged().records());
+    assert_eq!(sequential.assignments(), parallel.assignments());
+    println!("\n1-thread and 8-thread runs of the 4-board cluster are byte-identical.");
+
     println!(
         "\nEach board runs its own hypervisor and Nimblock scheduler; the dispatcher\nassigns applications at arrival time. Response times fall with board count\nuntil the longest applications' own execution dominates."
     );

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench regression gate: fresh cluster-scaling numbers versus the committed
+# baseline (`results/BENCH_cluster.json`).
+#
+# The heavy lifting lives in Rust (`cargo run --bin cluster_scale -- --gate`):
+# it re-measures with the baseline's exact workload (seed, events,
+# sequences, boards, threads), re-verifies that every thread count is
+# byte-identical to the sequential oracle, prints a per-row delta table,
+# and exits nonzero if any row's events/sec regresses beyond the tolerance.
+# This script only wires it into CI — no JSON parsing happens in shell.
+#
+# Environment:
+#   NIMBLOCK_SKIP_BENCH_GATE=1   skip entirely (noisy/shared hosts)
+#   NIMBLOCK_BENCH_TOLERANCE     allowed slowdown, percent [15]
+#   NIMBLOCK_BENCH_REPEATS       passes per thread count, best-of [3]
+#
+# Usage: scripts/bench_gate.sh [baseline.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-results/BENCH_cluster.json}"
+tolerance="${NIMBLOCK_BENCH_TOLERANCE:-15}"
+repeats="${NIMBLOCK_BENCH_REPEATS:-3}"
+
+if [ "${NIMBLOCK_SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "bench gate: skipped (NIMBLOCK_SKIP_BENCH_GATE=1)"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "bench gate: no baseline at $baseline" >&2
+    echo "record one with: cargo run --release --offline --bin cluster_scale" >&2
+    exit 1
+fi
+
+cargo build --release --offline -q -p nimblock-bench --bin cluster_scale
+exec ./target/release/cluster_scale \
+    --repeats "$repeats" \
+    --gate "$baseline" \
+    --tolerance "$tolerance"

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Staged, fully-offline CI pipeline for the Nimblock workspace.
+#
+# Each stage is named and individually runnable; the default run executes
+# all of them in order, fail-fast, with per-stage wall-clock timing and a
+# summary table at the end. `.github/workflows/ci.yml` runs exactly this
+# script, so CI and a developer laptop can never disagree.
+#
+# Stages (in order):
+#
+#   lint            in-repo static analyzer: workspace-path-only deps,
+#                   source hygiene (DESIGN.md §11)
+#   build           tier-1: cargo build --release --offline
+#   test            tier-1: cargo test -q --offline (root package)
+#   workspace-test  cargo test -q --offline --workspace
+#   telemetry       CLI smoke: metrics text + chrome trace parse
+#   invariants      checked run + standalone trace re-verification
+#   goldens         golden-drift: regenerate goldens, fail if they differ
+#                   from the committed files
+#   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json
+#                   (skippable with NIMBLOCK_SKIP_BENCH_GATE=1)
+#
+# Usage:
+#   scripts/ci.sh                 # every stage
+#   scripts/ci.sh lint build      # just those stages, in the given order
+#   scripts/ci.sh --list          # print stage names and exit
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+ALL_STAGES=(lint build test workspace-test telemetry invariants goldens bench-gate)
+
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+
+stage_lint() {
+    cargo build --release --offline -q -p nimblock-analyze
+    ./target/release/nimblock-analyze lint
+}
+
+stage_build() {
+    cargo build --release --offline
+}
+
+stage_test() {
+    cargo test -q --offline
+}
+
+stage_workspace_test() {
+    cargo test -q --offline --workspace
+}
+
+ensure_smoke_cli() {
+    cargo build --release --offline -q -p nimblock-cli
+}
+
+stage_telemetry() {
+    # A tiny deterministic run must emit Prometheus text that the in-repo
+    # validator accepts and a Chrome trace that parses as trace-event JSON.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli run \
+        --scheduler nimblock --batch 2 --delay-ms 100 --events 3 --seed 7 \
+        --metrics-out "$smoke_dir/metrics.prom" \
+        --trace-format chrome --trace-out "$smoke_dir/trace.chrome.json" \
+        > "$smoke_dir/run.out"
+    grep -q "counters: reconfigurations" "$smoke_dir/run.out" \
+        || { echo "error: run summary lost its counters line" >&2; return 1; }
+    local rust_validate=0
+    python3 - "$smoke_dir" <<'PY' 2>/dev/null || rust_validate=1
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+doc = json.loads((d / "trace.chrome.json").read_text())
+assert isinstance(doc["traceEvents"], list) and doc["traceEvents"], "empty traceEvents"
+text = (d / "metrics.prom").read_text()
+assert "hv_arrivals_total 3" in text, "metrics text missing hv_arrivals_total"
+print("ok: python validated telemetry outputs")
+PY
+    if [ "$rust_validate" = "1" ]; then
+        # No python3: fall back to the in-repo validators via the test suite.
+        cargo test -q --offline --test golden_telemetry
+    fi
+}
+
+stage_invariants() {
+    # A congested stimulus under a preempting policy must uphold every
+    # schedule invariant, both checked inline during the run and re-derived
+    # from the exported trace by the standalone verifier.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli run \
+        --scheduler nimblock --scenario stress --events 6 --seed 23 \
+        --check-invariants \
+        --trace-format json --trace-out "$smoke_dir/trace.json" \
+        > "$smoke_dir/invariants.out"
+    grep -q "invariants: ok" "$smoke_dir/invariants.out" \
+        || { echo "error: run --check-invariants did not report a clean schedule" >&2; return 1; }
+    ./target/release/nimblock-cli analyze trace "$smoke_dir/trace.json"
+}
+
+stage_goldens() {
+    # Regenerate every golden in place, then require the tree to be clean:
+    # a diff means an encoding change landed without its golden refresh.
+    if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+        echo "skip: not a git checkout, cannot detect golden drift"
+        return 0
+    fi
+    if ! git diff --quiet -- tests/goldens; then
+        echo "error: tests/goldens already dirty before regeneration;" \
+             "commit or restore it first" >&2
+        return 1
+    fi
+    NIMBLOCK_REGEN_GOLDENS=1 cargo test -q --offline \
+        --test golden_roundtrip --test golden_telemetry
+    if ! git diff --exit-code -- tests/goldens; then
+        git checkout -- tests/goldens
+        echo "error: regenerated goldens differ from the committed files" \
+             "(diff above; refresh with NIMBLOCK_REGEN_GOLDENS=1 and commit)" >&2
+        return 1
+    fi
+    echo "ok: goldens are drift-free"
+}
+
+stage_bench_gate() {
+    scripts/bench_gate.sh
+}
+
+run_stage() {
+    case "$1" in
+        lint) stage_lint ;;
+        build) stage_build ;;
+        test) stage_test ;;
+        workspace-test) stage_workspace_test ;;
+        telemetry) stage_telemetry ;;
+        invariants) stage_invariants ;;
+        goldens) stage_goldens ;;
+        bench-gate) stage_bench_gate ;;
+        *)
+            echo "ci.sh: unknown stage '$1' (known: ${ALL_STAGES[*]})" >&2
+            return 2
+            ;;
+    esac
+}
+
+if [ "${1:-}" = "--list" ]; then
+    printf '%s\n' "${ALL_STAGES[@]}"
+    exit 0
+fi
+
+stages=("$@")
+[ ${#stages[@]} -gt 0 ] || stages=("${ALL_STAGES[@]}")
+
+summary=()
+total_start=$SECONDS
+for stage in "${stages[@]}"; do
+    echo
+    echo "== stage: $stage =="
+    start=$SECONDS
+    # Run the stage in a subshell with errexit active (a plain
+    # `if run_stage`, by POSIX rules, would suspend `set -e` inside the
+    # stage and let a mid-stage failure slip through).
+    set +e
+    (
+        set -e
+        run_stage "$stage"
+    )
+    status=$?
+    set -e
+    if [ "$status" -eq 0 ]; then
+        took=$((SECONDS - start))
+        summary+=("$(printf '%-15s %4ss  ok' "$stage" "$took")")
+        echo "-- $stage: ok (${took}s)"
+    else
+        took=$((SECONDS - start))
+        summary+=("$(printf '%-15s %4ss  FAIL' "$stage" "$took")")
+        echo
+        echo "== ci summary =="
+        printf '%s\n' "${summary[@]}"
+        echo "ci: FAIL at stage '$stage' after $((SECONDS - total_start))s"
+        exit 1
+    fi
+done
+
+echo
+echo "== ci summary =="
+printf '%s\n' "${summary[@]}"
+echo "ci: PASS (${#stages[@]} stages, $((SECONDS - total_start))s)"

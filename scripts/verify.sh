@@ -1,88 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification, run fully offline.
 #
-# 1. Lints the tree with the in-repo static analyzer: every Cargo.toml
-#    dependency must stay a workspace path dep (the guard that used to live
-#    here as an awk script — the build container has no registry access, so
-#    a reintroduced external dep would only fail later and less legibly),
-#    no bare unwrap/panic in hypervisor/scheduler/sim/cli hot paths, no
-#    wall-clock reads inside the simulator, no lossy time/token casts, no
-#    stray println. See DESIGN.md §11 for the rule catalog.
-# 2. Runs the tier-1 commands from ROADMAP.md with `--offline` and warnings
-#    promoted to errors, plus the workspace-wide test sweep (the root
-#    `cargo test` only covers the root package).
-# 3. Smoke-tests the CLI end to end: telemetry outputs parse, and a real
-#    schedule passes the dynamic invariant verifier both inline
-#    (`run --check-invariants`) and from its exported trace
-#    (`analyze trace`).
+# Thin wrapper: the stages themselves live in scripts/ci.sh so CI and local
+# verification can never diverge. This runs the tier-1 subset (lint, both
+# tier-1 cargo commands, the workspace sweep, and the telemetry/invariant
+# smokes). The full pipeline — these plus the golden-drift check and the
+# bench regression gate — is `scripts/ci.sh` with no arguments.
 #
 # Usage: scripts/verify.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
-
-echo "== lint: dependency policy + source hygiene (nimblock-analyze) =="
-cargo build --release --offline -q -p nimblock-analyze
-./target/release/nimblock-analyze lint
-
-echo
-echo "== tier-1: cargo build --release --offline =="
-cargo build --release --offline
-
-echo
-echo "== tier-1: cargo test -q --offline =="
-cargo test -q --offline
-
-echo
-echo "== workspace tests: cargo test -q --offline --workspace =="
-cargo test -q --offline --workspace
-
-echo
-echo "== telemetry smoke: CLI metrics + chrome trace on a seeded stimulus =="
-# A tiny deterministic run must emit Prometheus text that the in-repo
-# validator accepts and a Chrome trace that parses as trace-event JSON.
-# (The root release build above covers only the facade package.)
-cargo build --release --offline -q -p nimblock-cli
-smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
-./target/release/nimblock-cli run \
-    --scheduler nimblock --batch 2 --delay-ms 100 --events 3 --seed 7 \
-    --metrics-out "$smoke_dir/metrics.prom" \
-    --trace-format chrome --trace-out "$smoke_dir/trace.chrome.json" \
-    > "$smoke_dir/run.out"
-grep -q "counters: reconfigurations" "$smoke_dir/run.out" \
-    || { echo "error: run summary lost its counters line" >&2; exit 1; }
-python3 - "$smoke_dir" <<'PY' 2>/dev/null || rust_validate=1
-import json, sys, pathlib
-d = pathlib.Path(sys.argv[1])
-doc = json.loads((d / "trace.chrome.json").read_text())
-assert isinstance(doc["traceEvents"], list) and doc["traceEvents"], "empty traceEvents"
-text = (d / "metrics.prom").read_text()
-assert "hv_arrivals_total 3" in text, "metrics text missing hv_arrivals_total"
-print("ok: python validated telemetry outputs")
-PY
-if [ "${rust_validate:-0}" = "1" ]; then
-    # No python3: fall back to the in-repo validators via the test suite.
-    cargo test -q --offline --test golden_telemetry
-fi
-echo "ok: telemetry smoke passed"
-
-echo
-echo "== invariant smoke: checked run + trace re-verification =="
-# A congested stimulus under a preempting policy must uphold every schedule
-# invariant, both checked inline during the run and re-derived from the
-# exported trace by the standalone verifier.
-./target/release/nimblock-cli run \
-    --scheduler nimblock --scenario stress --events 6 --seed 23 \
-    --check-invariants \
-    --trace-format json --trace-out "$smoke_dir/trace.json" \
-    > "$smoke_dir/invariants.out"
-grep -q "invariants: ok" "$smoke_dir/invariants.out" \
-    || { echo "error: run --check-invariants did not report a clean schedule" >&2; exit 1; }
-./target/release/nimblock-cli analyze trace "$smoke_dir/trace.json"
-echo "ok: invariant smoke passed"
-
+scripts/ci.sh lint build test workspace-test telemetry invariants
 echo
 echo "verify: PASS"

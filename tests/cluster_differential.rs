@@ -1,0 +1,127 @@
+//! Differential tests for the parallel cluster engine.
+//!
+//! The sequential cluster run (`--cluster-threads 1`) is the oracle: the
+//! plan → execute → merge pipeline is defined to produce byte-identical
+//! output for every thread count (DESIGN.md §12). These tests hold the
+//! parallel engine to that definition across randomized workloads,
+//! dispatch policies, scheduler policies, and board counts, and then run
+//! the schedule-invariant verifier over the per-board traces of a
+//! parallel run — parallelism must not be able to manufacture a schedule
+//! the sequential verifier would reject.
+
+use nimblock::cluster::{ClusterTestbed, DispatchPolicy};
+use nimblock::core::{
+    FcfsScheduler, NimblockScheduler, PremaScheduler, RoundRobinScheduler, Scheduler,
+};
+use nimblock::obs::Registry;
+use nimblock::workload::{generate, EventSequence, Scenario};
+use nimblock_check::{check, prop_assert, prop_assert_eq, Gen};
+
+/// Everything observable about a cluster run, serialized for byte-compare.
+fn fingerprint(
+    events: &EventSequence,
+    boards: usize,
+    dispatch: DispatchPolicy,
+    threads: usize,
+    factory: impl Fn() -> Box<dyn Scheduler + Send> + Sync,
+) -> String {
+    let registry = Registry::new();
+    let report = ClusterTestbed::new(boards, dispatch, factory)
+        .with_threads(threads)
+        .with_tracing()
+        .with_metrics(registry.clone())
+        .run(events);
+    let mut out = nimblock_ser::to_string_pretty(report.merged());
+    out.push_str(&format!("\nassignments: {:?}", report.assignments()));
+    out.push_str(&format!("\nboard_loads: {:?}", report.board_loads()));
+    for per_board in report.per_board() {
+        out.push('\n');
+        out.push_str(&nimblock_ser::to_string(per_board));
+    }
+    for trace in report.per_board_traces() {
+        out.push('\n');
+        out.push_str(&nimblock_ser::to_string(trace));
+    }
+    out.push('\n');
+    out.push_str(&registry.render_prometheus());
+    out
+}
+
+fn scheduler_factory(name: &str) -> impl Fn() -> Box<dyn Scheduler + Send> + Sync + '_ {
+    move || -> Box<dyn Scheduler + Send> {
+        match name {
+            "fcfs" => Box::new(FcfsScheduler::new()),
+            "rr" => Box::new(RoundRobinScheduler::new()),
+            "prema" => Box::new(PremaScheduler::new()),
+            "nimblock" => Box::new(NimblockScheduler::new()),
+            other => panic!("unknown scheduler {other}"),
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_cluster_runs_are_identical_for_one_two_and_eight_threads() {
+    // The acceptance-criterion triple (N ∈ {1, 2, 8}) on a congested
+    // stimulus, for every dispatch policy.
+    let events = generate(2023, 16, Scenario::Stress);
+    for dispatch in DispatchPolicy::ALL {
+        let oracle = fingerprint(&events, 4, dispatch, 1, scheduler_factory("nimblock"));
+        for threads in [2, 8] {
+            let parallel = fingerprint(&events, 4, dispatch, threads, scheduler_factory("nimblock"));
+            assert_eq!(oracle, parallel, "{dispatch:?} with {threads} threads diverged");
+        }
+    }
+}
+
+#[test]
+fn random_cluster_runs_match_the_sequential_oracle() {
+    check("random_cluster_runs_match_the_sequential_oracle", |g: &mut Gen| {
+        let seed = g.u64(0..=10_000);
+        let events = generate(
+            seed,
+            g.usize(1..=14),
+            *g.pick(&[Scenario::Standard, Scenario::Stress, Scenario::RealTime]),
+        );
+        let boards = g.usize(1..=5);
+        let dispatch = *g.pick(&DispatchPolicy::ALL);
+        let scheduler = *g.pick(&["fcfs", "rr", "prema", "nimblock"]);
+        let threads = g.usize(2..=8);
+
+        let oracle = fingerprint(&events, boards, dispatch, 1, scheduler_factory(scheduler));
+        let parallel = fingerprint(&events, boards, dispatch, threads, scheduler_factory(scheduler));
+        prop_assert_eq!(oracle, parallel);
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_per_board_traces_uphold_the_schedule_invariants() {
+    check("parallel_per_board_traces_uphold_the_schedule_invariants", |g: &mut Gen| {
+        let seed = g.u64(0..=10_000);
+        let events = generate(
+            seed,
+            g.usize(2..=12),
+            *g.pick(&[Scenario::Stress, Scenario::RealTime]),
+        );
+        let boards = g.usize(1..=4);
+        let report = ClusterTestbed::new(boards, DispatchPolicy::FewestApps, || {
+            NimblockScheduler::new()
+        })
+        .with_threads(g.usize(2..=8))
+        .with_tracing()
+        .run(&events);
+
+        prop_assert_eq!(report.per_board_traces().len(), boards);
+        let config = nimblock::analyze::InvariantConfig::default();
+        for (board, trace) in report.per_board_traces().iter().enumerate() {
+            let verdict = nimblock::analyze::verify_trace(trace, &config);
+            prop_assert!(
+                verdict.is_clean(),
+                "board {} schedule violates invariants: {}",
+                board,
+                verdict
+            );
+        }
+        Ok(())
+    });
+}
