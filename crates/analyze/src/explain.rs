@@ -1,0 +1,367 @@
+//! The `explain` pass: turn a recorded schedule trace into a
+//! response-time attribution report.
+//!
+//! This is the read-side of `nimblock-core::attribution`: given any
+//! serialized [`Trace`] (as written by `nimblock-cli run --trace-out`),
+//! derive the six-component critical-path decomposition per
+//! application, aggregate it per priority class, and render the result
+//! as a text table, a markdown report, or machine-readable JSON. The
+//! top-N slowest applications additionally get their full span trees
+//! printed, critical-path spans starred.
+//!
+//! # Example
+//!
+//! ```
+//! use nimblock_analyze::explain_trace;
+//! use nimblock_core::{NimblockScheduler, Testbed};
+//! use nimblock_workload::{generate, Scenario};
+//!
+//! let events = generate(7, 4, Scenario::Standard);
+//! let (_report, trace) = Testbed::new(NimblockScheduler::new()).run_traced(&events);
+//! let explain = explain_trace(&trace);
+//! assert!(explain.is_exact());
+//! assert_eq!(explain.summary.apps.len(), 4);
+//! ```
+
+use nimblock_core::Trace;
+use nimblock_metrics::{
+    component_shares, AppAttribution, AttributionSummary, TextTable,
+};
+use nimblock_obs::{format_micros, Span};
+use nimblock_ser::{Json, ToJson};
+
+/// Output format for an explain report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainFormat {
+    /// Fixed-width text tables plus span trees (default).
+    #[default]
+    Text,
+    /// GitHub-flavoured markdown.
+    Markdown,
+    /// Machine-readable JSON (summary + span trees + exactness flag).
+    Json,
+}
+
+impl ExplainFormat {
+    /// Parses `text`/`md`/`markdown`/`json`.
+    pub fn parse(s: &str) -> Option<ExplainFormat> {
+        match s {
+            "text" => Some(ExplainFormat::Text),
+            "md" | "markdown" => Some(ExplainFormat::Markdown),
+            "json" => Some(ExplainFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-derived explain report: attribution summary plus span trees,
+/// ready to render in any [`ExplainFormat`].
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// Per-app and aggregate six-component decomposition.
+    pub summary: AttributionSummary,
+    /// One span tree per retired application, arrival order.
+    pub trees: Vec<Span>,
+}
+
+/// Derives the attribution summary and span trees from `trace`.
+pub fn explain_trace(trace: &Trace) -> Explain {
+    Explain {
+        summary: nimblock_core::attribute_trace(trace),
+        trees: nimblock_core::span_trees(trace),
+    }
+}
+
+impl Explain {
+    /// `true` iff every app's components sum exactly to its response
+    /// time (the module's core invariant).
+    pub fn is_exact(&self) -> bool {
+        self.summary.is_exact()
+    }
+
+    /// Renders in `format`, showing the `top` slowest apps' span trees.
+    pub fn render(&self, format: ExplainFormat, top: usize) -> String {
+        match format {
+            ExplainFormat::Text => self.render_text(top),
+            ExplainFormat::Markdown => self.render_md(top),
+            ExplainFormat::Json => self.render_json(),
+        }
+    }
+
+    /// The span tree for `app` (matched by arrival/event index).
+    fn tree_for(&self, app: &AppAttribution) -> Option<&Span> {
+        // Trees are emitted in arrival order; summary apps are sorted
+        // by event index over the same retired set, so position in the
+        // summary *is* the position in the tree list.
+        self.summary
+            .apps
+            .iter()
+            .position(|a| a.event_index == app.event_index)
+            .and_then(|i| self.trees.get(i))
+    }
+
+    fn totals_table(&self) -> TextTable {
+        let mut table = TextTable::new(vec!["component", "total", "share"]);
+        for (label, value, share) in
+            component_shares(&self.summary.totals, self.summary.response_micros)
+        {
+            table.row(vec![
+                label,
+                signed_micros(value),
+                format!("{:.1}%", share * 100.0),
+            ]);
+        }
+        table
+    }
+
+    fn priority_table(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "weight", "apps", "response", "queue", "cap", "reconfig", "compute",
+            "preempt", "overlap",
+        ]);
+        for bucket in &self.summary.per_priority {
+            let c = &bucket.components;
+            table.row(vec![
+                bucket.weight.to_string(),
+                bucket.apps.to_string(),
+                format_micros(bucket.response_micros),
+                format_micros(c.queue_wait),
+                format_micros(c.cap_serialization),
+                format_micros(c.reconfig),
+                format_micros(c.compute),
+                format_micros(c.preemption_loss),
+                signed_micros(c.pipeline_overlap_gain),
+            ]);
+        }
+        table
+    }
+
+    fn slowest_table(&self, top: usize) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "#", "app", "prio", "response", "queue", "cap", "reconfig",
+            "compute", "preempt", "overlap",
+        ]);
+        for app in self.summary.slowest(top) {
+            let c = &app.components;
+            table.row(vec![
+                app.event_index.to_string(),
+                app.app_name.clone(),
+                app.priority.weight().to_string(),
+                format_micros(app.response_micros),
+                format_micros(c.queue_wait),
+                format_micros(c.cap_serialization),
+                format_micros(c.reconfig),
+                format_micros(c.compute),
+                format_micros(c.preemption_loss),
+                signed_micros(c.pipeline_overlap_gain),
+            ]);
+        }
+        table
+    }
+
+    /// Fixed-width text report: component totals, per-priority
+    /// aggregates, the `top` slowest apps, and their span trees.
+    pub fn render_text(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "response-time attribution: {} application(s), total response {}\n",
+            self.summary.apps.len(),
+            format_micros(self.summary.response_micros),
+        ));
+        out.push_str(&format!(
+            "exact decomposition: {}\n\n",
+            if self.is_exact() { "yes" } else { "NO (bug)" }
+        ));
+        out.push_str("component totals\n");
+        out.push_str(&self.totals_table().to_string());
+        out.push_str("\nper priority class\n");
+        out.push_str(&self.priority_table().to_string());
+        out.push_str(&format!("\n{top} slowest application(s)\n"));
+        out.push_str(&self.slowest_table(top).to_string());
+        for app in self.summary.slowest(top) {
+            if let Some(tree) = self.tree_for(app) {
+                out.push_str(&format!(
+                    "\ncritical path of {} (event #{}) — `*` marks the critical path:\n",
+                    app.app_name, app.event_index
+                ));
+                out.push_str(&tree.render());
+            }
+        }
+        out
+    }
+
+    /// Markdown report with the same sections as [`Explain::render_text`].
+    pub fn render_md(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str("# Response-time attribution\n\n");
+        out.push_str(&format!(
+            "{} application(s), total response {}, exact decomposition: **{}**\n\n",
+            self.summary.apps.len(),
+            format_micros(self.summary.response_micros),
+            if self.is_exact() { "yes" } else { "NO (bug)" }
+        ));
+        out.push_str("## Component totals\n\n");
+        out.push_str("| component | total | share |\n|---|---:|---:|\n");
+        for (label, value, share) in
+            component_shares(&self.summary.totals, self.summary.response_micros)
+        {
+            out.push_str(&format!(
+                "| {label} | {} | {:.1}% |\n",
+                signed_micros(value),
+                share * 100.0
+            ));
+        }
+        out.push_str("\n## Per priority class\n\n");
+        out.push_str(
+            "| weight | apps | response | queue | cap | reconfig | compute | preempt | overlap |\n\
+             |---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for bucket in &self.summary.per_priority {
+            let c = &bucket.components;
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                bucket.weight,
+                bucket.apps,
+                format_micros(bucket.response_micros),
+                format_micros(c.queue_wait),
+                format_micros(c.cap_serialization),
+                format_micros(c.reconfig),
+                format_micros(c.compute),
+                format_micros(c.preemption_loss),
+                signed_micros(c.pipeline_overlap_gain),
+            ));
+        }
+        out.push_str(&format!("\n## {top} slowest application(s)\n\n"));
+        out.push_str(
+            "| # | app | prio | response | queue | cap | reconfig | compute | preempt | overlap |\n\
+             |---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for app in self.summary.slowest(top) {
+            let c = &app.components;
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                app.event_index,
+                app.app_name,
+                app.priority.weight(),
+                format_micros(app.response_micros),
+                format_micros(c.queue_wait),
+                format_micros(c.cap_serialization),
+                format_micros(c.reconfig),
+                format_micros(c.compute),
+                format_micros(c.preemption_loss),
+                signed_micros(c.pipeline_overlap_gain),
+            ));
+        }
+        for app in self.summary.slowest(top) {
+            if let Some(tree) = self.tree_for(app) {
+                out.push_str(&format!(
+                    "\n### Critical path: {} (event #{})\n\n```text\n{}```\n",
+                    app.app_name, app.event_index,
+                    tree.render()
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON report: the full [`AttributionSummary`], every span tree,
+    /// and a top-level `exact` flag CI can assert on.
+    pub fn render_json(&self) -> String {
+        let json = Json::Object(vec![
+            ("exact".to_owned(), Json::Bool(self.is_exact())),
+            ("summary".to_owned(), self.summary.to_json()),
+            (
+                "spans".to_owned(),
+                Json::Array(self.trees.iter().map(Span::to_json).collect()),
+            ),
+        ]);
+        nimblock_ser::to_string_pretty(&json)
+    }
+}
+
+/// `format_micros` with an explicit sign for the (negative) overlap
+/// credit.
+fn signed_micros(value: i64) -> String {
+    if value < 0 {
+        format!("-{}", format_micros(value.unsigned_abs()))
+    } else {
+        format_micros(value as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_core::{FcfsScheduler, NimblockScheduler, Testbed};
+    use nimblock_workload::{generate, Scenario};
+
+    fn sample() -> Explain {
+        let events = generate(3, 5, Scenario::Stress);
+        let (_report, trace) =
+            Testbed::new(NimblockScheduler::new()).run_traced(&events);
+        explain_trace(&trace)
+    }
+
+    #[test]
+    fn explain_is_exact_on_a_real_run() {
+        let explain = sample();
+        assert!(explain.is_exact());
+        assert_eq!(explain.summary.apps.len(), 5);
+        assert_eq!(explain.trees.len(), 5);
+    }
+
+    #[test]
+    fn text_report_names_every_component() {
+        let text = sample().render(ExplainFormat::Text, 3);
+        for label in [
+            "queue_wait", "cap_serialization", "reconfig", "compute",
+            "preemption_loss", "pipeline_overlap_gain",
+        ] {
+            assert!(text.contains(label), "missing {label}:\n{text}");
+        }
+        assert!(text.contains("exact decomposition: yes"), "{text}");
+        assert!(text.contains("critical path of"), "{text}");
+    }
+
+    #[test]
+    fn markdown_report_has_tables_and_trees() {
+        let md = sample().render(ExplainFormat::Markdown, 2);
+        assert!(md.starts_with("# Response-time attribution"), "{md}");
+        assert!(md.contains("| component | total | share |"), "{md}");
+        assert!(md.contains("### Critical path:"), "{md}");
+        assert!(md.contains("```text"), "{md}");
+    }
+
+    #[test]
+    fn json_report_parses_and_asserts_exactness() {
+        let json = sample().render(ExplainFormat::Json, 0);
+        let value = nimblock_ser::parse(&json).unwrap();
+        let Json::Object(fields) = &value else { panic!("not an object") };
+        let exact = fields.iter().find(|(k, _)| k == "exact").unwrap();
+        assert_eq!(exact.1, Json::Bool(true));
+        let summary = fields.iter().find(|(k, _)| k == "summary").unwrap();
+        let parsed: AttributionSummary =
+            nimblock_ser::FromJson::from_json(&summary.1).unwrap();
+        assert!(parsed.is_exact());
+        assert!(fields.iter().any(|(k, _)| k == "spans"));
+    }
+
+    #[test]
+    fn format_parsing_accepts_aliases() {
+        assert_eq!(ExplainFormat::parse("text"), Some(ExplainFormat::Text));
+        assert_eq!(ExplainFormat::parse("md"), Some(ExplainFormat::Markdown));
+        assert_eq!(ExplainFormat::parse("markdown"), Some(ExplainFormat::Markdown));
+        assert_eq!(ExplainFormat::parse("json"), Some(ExplainFormat::Json));
+        assert_eq!(ExplainFormat::parse("yaml"), None);
+    }
+
+    #[test]
+    fn reports_are_deterministic_across_runs() {
+        let events = generate(6, 6, Scenario::Standard);
+        let (_, t1) = Testbed::new(FcfsScheduler::new()).run_traced(&events);
+        let (_, t2) = Testbed::new(FcfsScheduler::new()).run_traced(&events);
+        let a = explain_trace(&t1).render(ExplainFormat::Markdown, 4);
+        let b = explain_trace(&t2).render(ExplainFormat::Markdown, 4);
+        assert_eq!(a, b);
+    }
+}

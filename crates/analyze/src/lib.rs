@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod lex;
 pub mod lint;
 pub mod rules;
@@ -46,6 +47,7 @@ pub mod rules;
 /// same engine this crate's CLI does).
 pub use nimblock_core::invariants;
 
+pub use explain::{explain_trace, Explain, ExplainFormat};
 pub use lint::{lint_source, lint_tree, LintReport};
 pub use nimblock_core::invariants::{
     verify_trace, InvariantConfig, InvariantReport, InvariantRule, Violation,

@@ -11,7 +11,7 @@
 //! 2 on usage or I/O errors.
 
 use nimblock_analyze::invariants::InvariantConfig;
-use nimblock_analyze::{all_rules, lint_tree, verify_trace};
+use nimblock_analyze::{all_rules, explain_trace, lint_tree, verify_trace, ExplainFormat};
 use nimblock_core::Trace;
 use nimblock_sim::SimDuration;
 use std::path::PathBuf;
@@ -24,6 +24,7 @@ USAGE:
     nimblock-analyze lint  [--root <dir>] [--json]
     nimblock-analyze trace <file> [--json] [--mechanism-only]
                            [--reconfig-latency-ms <ms>]
+    nimblock-analyze explain <file> [--format text|md|json] [--top <n>]
     nimblock-analyze rules
 
 COMMANDS:
@@ -31,6 +32,9 @@ COMMANDS:
     trace    Verify a serialized schedule trace (JSON, as written by
              `nimblock-cli run --trace-out`) against the paper's
              hardware and policy invariants.
+    explain  Decompose every application's response time in a trace
+             into six exactly-summing attribution components, with
+             critical-path span trees for the slowest applications.
     rules    Print the lint-rule catalog.
 
 OPTIONS:
@@ -43,6 +47,10 @@ OPTIONS:
     --reconfig-latency-ms <ms> Expected reconfiguration latency; enables the
                                exact cap-latency check (80 ms on the ZCU106
                                device model).
+    --format <fmt>             Explain report format: text | md | json
+                               (default text).
+    --top <n>                  Explain: how many of the slowest applications
+                               get their span trees printed (default 5).
 
 Findings can be suppressed per line with `// nimblock: allow(<rule>)`.
 ";
@@ -69,6 +77,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("rules") => {
             cmd_rules();
             Ok(true)
@@ -146,6 +155,41 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
         println!("{report}");
     }
     Ok(report.is_clean())
+}
+
+fn cmd_explain(args: &[String]) -> Result<bool, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut format = ExplainFormat::Text;
+    let mut top = 5usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                format = ExplainFormat::parse(value)
+                    .ok_or_else(|| format!("unknown explain format `{value}`"))?;
+            }
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown explain option `{other}`")),
+        }
+    }
+    let path = path.ok_or("explain needs a <file> argument")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace: Trace = nimblock_ser::from_str(&text)
+        .map_err(|e| format!("{} is not a serialized trace: {e}", path.display()))?;
+    let explain = explain_trace(&trace);
+    print!("{}", explain.render(format, top));
+    Ok(explain.is_exact())
 }
 
 fn cmd_rules() {

@@ -10,6 +10,7 @@
 //! | `no-wallclock-sim` | simulation determinism: no `std::time` inside `sim`/`core` |
 //! | `no-lossy-cast` | no precision-losing `as` casts on `SimTime`/token arithmetic |
 //! | `no-println` | library crates never write to stdout/stderr directly |
+//! | `no-unbounded-span-buffer` | per-event recording buffers are capacity-bounded |
 //!
 //! A finding may be suppressed with an inline `// nimblock: allow(<rule>)`
 //! comment on the same line or on the line above (see [`crate::lex::Lexed`]).
@@ -69,6 +70,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoWallclockSim),
         Box::new(NoLossyCast),
         Box::new(NoPrintln),
+        Box::new(NoUnboundedSpanBuffer),
     ]
 }
 
@@ -411,6 +413,84 @@ impl Rule for NoPrintln {
     }
 }
 
+// ---------------------------------------------------------------------------
+// no-unbounded-span-buffer
+// ---------------------------------------------------------------------------
+
+/// Per-event recording buffers must be capacity-bounded.
+///
+/// Span and trace recording runs inside the hypervisor's event loop; a
+/// buffer that grows one entry per simulated event with no ceiling trades
+/// scheduler latency (and memory) for observability — the wrong direction.
+/// The sanctioned pattern is `nimblock_obs::SpanBuffer`: a hard capacity
+/// fixed at construction, overflow counted in `dropped()` instead of
+/// stored. The rule fires on `self.spans.push(…)` / `self.events.push(…)`
+/// in recording code unless a capacity check guards the push nearby
+/// (`capacity` within the lookback window, as in `SpanBuffer::push`).
+///
+/// Post-run exporters (`chrome.rs`, `gantt.rs`) are out of scope: they
+/// transform a trace that already retired, so their output is O(input)
+/// by construction. `Trace::record` itself carries the one inline allow —
+/// the trace is the primary artifact, recorded only when a run opts in
+/// via `run_traced`/`--trace-out`, and everything downstream (attribution,
+/// invariants, exports) needs it complete, not sampled.
+pub struct NoUnboundedSpanBuffer;
+
+/// How many tokens before the `push` a bound check may sit (the
+/// `self.spans.len() < self.capacity` guard in `SpanBuffer::push` is
+/// well inside this window).
+const BUFFER_LOOKBACK: usize = 25;
+
+impl Rule for NoUnboundedSpanBuffer {
+    fn id(&self) -> &'static str {
+        "no-unbounded-span-buffer"
+    }
+    fn description(&self) -> &'static str {
+        "per-event span/trace buffers are capacity-bounded (SpanBuffer) or carry an explicit allow"
+    }
+    fn applies_to(&self, rel_path: &str) -> bool {
+        (rel_path.starts_with("crates/obs/src/") || rel_path.starts_with("crates/core/src/"))
+            && rel_path != "crates/obs/src/chrome.rs"
+            && rel_path != "crates/obs/src/gantt.rs"
+    }
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<LintDiag> {
+        let Some(lexed) = ctx.lexed else { return Vec::new() };
+        let toks = &lexed.tokens;
+        let mut out = Vec::new();
+        for (i, tok) in live_tokens(lexed) {
+            // Match the receiver chain `self . <spans|events> . push (`.
+            if tok.kind != TokenKind::Ident || tok.text != "push" {
+                continue;
+            }
+            let called = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+            let chain = i >= 4
+                && toks[i - 1].text == "."
+                && matches!(toks[i - 2].text.as_str(), "spans" | "events")
+                && toks[i - 3].text == "."
+                && toks[i - 4].text == "self";
+            if !called || !chain {
+                continue;
+            }
+            let window = &toks[i.saturating_sub(BUFFER_LOOKBACK)..i];
+            let bounded = window.iter().any(|t| t.text == "capacity");
+            if !bounded {
+                out.push(diag(
+                    self,
+                    ctx,
+                    tok.line,
+                    format!(
+                        "unbounded `self.{}.push(…)` in recording code — use \
+                         `nimblock_obs::SpanBuffer` (hard capacity, counted drops) or \
+                         justify with an inline allow",
+                        toks[i - 2].text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +609,50 @@ mod tests {
         assert!(!NoPrintln.applies_to("crates/cli/src/commands.rs"));
         assert!(!NoPrintln.applies_to("crates/bench/src/main.rs"));
         assert!(!NoPrintln.applies_to("tests/trace_validation.rs"));
+    }
+
+    #[test]
+    fn span_buffer_rule_flags_unguarded_recording_pushes() {
+        let src = "impl Trace { fn record(&mut self, e: Event) { self.events.push(e); } }";
+        let diags = run_rust(&NoUnboundedSpanBuffer, "crates/core/src/trace.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("self.events.push"));
+    }
+
+    #[test]
+    fn span_buffer_rule_blesses_capacity_guarded_pushes() {
+        let src = "impl SpanBuffer { fn push(&mut self, s: Span) -> bool {\n\
+                   if self.spans.len() < self.capacity { self.spans.push(s); true }\n\
+                   else { self.dropped += 1; false } } }";
+        let diags = run_rust(&NoUnboundedSpanBuffer, "crates/obs/src/spans.rs", src);
+        assert!(diags.is_empty(), "capacity-guarded push is the blessed pattern: {diags:?}");
+    }
+
+    #[test]
+    fn span_buffer_rule_skips_locals_and_exporters() {
+        // Pushes onto locals (JSON assembly, scratch vectors) are not
+        // recording buffers.
+        let src = "fn f() { let mut pairs = Vec::new(); pairs.push(1); }";
+        let diags = run_rust(&NoUnboundedSpanBuffer, "crates/obs/src/registry.rs", src);
+        assert!(diags.is_empty());
+        // Post-run exporters transform an already-bounded trace.
+        assert!(!NoUnboundedSpanBuffer.applies_to("crates/obs/src/chrome.rs"));
+        assert!(!NoUnboundedSpanBuffer.applies_to("crates/obs/src/gantt.rs"));
+        assert!(!NoUnboundedSpanBuffer.applies_to("crates/cli/src/commands.rs"));
+    }
+
+    #[test]
+    fn span_buffer_rule_respects_inline_allow() {
+        let src = "// nimblock: allow(no-unbounded-span-buffer)\nself.events.push(event);";
+        let lexed = lex(src);
+        let diags = NoUnboundedSpanBuffer.check(&FileCtx {
+            rel_path: "crates/core/src/trace.rs",
+            source: src,
+            lexed: Some(&lexed),
+        });
+        // The rule itself still reports; suppression is the driver's job.
+        assert_eq!(diags.len(), 1);
+        assert!(lexed.allowed(diags[0].line, "no-unbounded-span-buffer"));
     }
 
     #[test]

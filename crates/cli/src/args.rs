@@ -227,6 +227,27 @@ pub enum AnalyzeTarget {
         /// priority order).
         mechanism_only: bool,
     },
+    /// Explain a serialized schedule trace: response-time attribution
+    /// (six exactly-summing components) plus critical-path span trees.
+    Explain {
+        /// Path of the trace JSON.
+        path: String,
+        /// Report format: `text` (default), `md`, or `json`.
+        format: ExplainFormat,
+        /// How many of the slowest applications to detail.
+        top: usize,
+    },
+}
+
+/// `analyze explain` report format (shared with `nimblock-analyze`).
+pub use nimblock_analyze::ExplainFormat;
+
+fn parse_explain_format(value: &str) -> Result<ExplainFormat, CliError> {
+    ExplainFormat::parse(value).ok_or_else(|| {
+        err(format!(
+            "unknown explain format '{value}' (expected text, md, or json)"
+        ))
+    })
 }
 
 /// `analyze` command arguments.
@@ -382,10 +403,30 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         json,
                     }))
                 }
+                Some("explain") => {
+                    let mut path = None;
+                    let mut format = ExplainFormat::Text;
+                    let mut top = 5usize;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--format" => format = parse_explain_format(stream.value_for(flag)?)?,
+                            "--top" => top = parse_number(flag, stream.value_for(flag)?)?,
+                            other if !other.starts_with('-') && path.is_none() => {
+                                path = Some(other.to_owned())
+                            }
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    let path = path.ok_or_else(|| err("analyze explain needs a FILE"))?;
+                    Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Explain { path, format, top },
+                        json: format == ExplainFormat::Json,
+                    }))
+                }
                 Some(other) => Err(err(format!(
-                    "unknown analyze target '{other}' (expected lint or trace)"
+                    "unknown analyze target '{other}' (expected lint, trace, or explain)"
                 ))),
-                None => Err(err("analyze needs a target: lint or trace")),
+                None => Err(err("analyze needs a target: lint, trace, or explain")),
             }
         }
         "faas" => {
@@ -639,6 +680,44 @@ mod tests {
         assert!(TraceFormat::parse("svg").is_err());
         // --trace-out without a format is rejected.
         assert!(parse(&argv("run --trace-out t.json")).is_err());
+    }
+
+    #[test]
+    fn analyze_explain_parses() {
+        let Command::Analyze(a) =
+            parse(&argv("analyze explain t.json --format md --top 3")).unwrap()
+        else {
+            panic!("expected analyze");
+        };
+        assert_eq!(
+            a.target,
+            AnalyzeTarget::Explain {
+                path: "t.json".into(),
+                format: ExplainFormat::Markdown,
+                top: 3,
+            }
+        );
+        // Defaults: text format, top 5; JSON format sets the json flag.
+        let Command::Analyze(a) = parse(&argv("analyze explain t.json")).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(
+            a.target,
+            AnalyzeTarget::Explain {
+                path: "t.json".into(),
+                format: ExplainFormat::Text,
+                top: 5,
+            }
+        );
+        assert!(!a.json);
+        let Command::Analyze(a) =
+            parse(&argv("analyze explain t.json --format json")).unwrap()
+        else {
+            panic!("expected analyze");
+        };
+        assert!(a.json);
+        assert!(parse(&argv("analyze explain")).is_err());
+        assert!(parse(&argv("analyze explain t.json --format svg")).is_err());
     }
 
     #[test]

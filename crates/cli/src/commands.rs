@@ -339,6 +339,23 @@ fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliErr
                 )))
             }
         }
+        AnalyzeTarget::Explain { path, format, top } => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let trace: nimblock_core::Trace = nimblock_ser::from_str(&text)
+                .map_err(|e| CliError(format!("{path} is not a serialized trace: {e}")))?;
+            let explain = nimblock_analyze::explain_trace(&trace);
+            write!(out, "{}", explain.render(*format, *top))
+                .map_err(|e| CliError(e.to_string()))?;
+            if explain.is_exact() {
+                Ok(())
+            } else {
+                Err(CliError(
+                    "attribution components do not sum to the measured response times"
+                        .to_owned(),
+                ))
+            }
+        }
     }
 }
 
@@ -545,6 +562,31 @@ mod tests {
             nimblock_ser::from_str(json[start..].trim()).unwrap();
         assert!(report.is_clean());
         assert!(report.events_checked > 0);
+    }
+
+    #[test]
+    fn analyze_explain_attributes_an_exported_trace() {
+        let dir = std::env::temp_dir().join("nimblock-cli-explain-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path = path.to_str().unwrap();
+        run_line(&format!(
+            "run --scheduler nimblock --scenario stress --events 6 --seed 3 \
+             --trace-format json --trace-out {path}"
+        ));
+        let text = run_line(&format!("analyze explain {path} --top 2"));
+        assert!(text.contains("exact decomposition: yes"), "{text}");
+        assert!(text.contains("queue_wait"), "{text}");
+        assert!(text.contains("critical path of"), "{text}");
+        let md = run_line(&format!("analyze explain {path} --format md"));
+        assert!(md.starts_with("# Response-time attribution"), "{md}");
+        let json = run_line(&format!("analyze explain {path} --format json"));
+        let value = nimblock_ser::parse(json.trim()).unwrap();
+        assert_eq!(value.get("exact"), Some(&nimblock_ser::Json::Bool(true)));
+        let summary: nimblock_metrics::AttributionSummary =
+            nimblock_ser::FromJson::from_json(value.get("summary").unwrap()).unwrap();
+        assert!(summary.is_exact());
+        assert_eq!(summary.apps.len(), 6);
     }
 
     #[test]

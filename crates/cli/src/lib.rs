@@ -8,9 +8,12 @@
 //!   summary and optionally a JSON report or a Gantt chart,
 //! * `compare` — run several schedulers on the same stimulus and tabulate
 //!   the reductions versus the no-sharing baseline,
-//! * `analyze` — correctness tooling: lint the source tree or verify a
-//!   recorded schedule trace against the paper's invariants (the same
-//!   engine `run --check-invariants` applies inline).
+//! * `analyze` — correctness and observability tooling: lint the source
+//!   tree, verify a recorded schedule trace against the paper's invariants
+//!   (the same engine `run --check-invariants` applies inline), or
+//!   `explain` a trace — decompose every application's response time into
+//!   six exactly-summing attribution components with critical-path span
+//!   trees.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +22,8 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, AnalyzeArgs, AnalyzeTarget, CliError, ClusterArgs, Command, CompareArgs, FaasArgs,
-    GenerateArgs, RunArgs, SchedulerKind, TraceFormat,
+    parse, AnalyzeArgs, AnalyzeTarget, CliError, ClusterArgs, Command, CompareArgs,
+    ExplainFormat, FaasArgs, GenerateArgs, RunArgs, SchedulerKind, TraceFormat,
 };
 pub use commands::{execute, load_sequence, make_sequence};
 
@@ -38,6 +41,7 @@ USAGE:
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
   nimblock-cli analyze  lint [--root DIR] [--json]
   nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
+  nimblock-cli analyze  explain FILE [--format text|md|json] [--top N]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
   nimblock-cli cluster  [--boards N | --sweep-boards N,N,...] [--scheduler NAME]
@@ -77,6 +81,9 @@ OTHER:
   --root DIR           workspace root for analyze lint [.]
   --mechanism-only     analyze trace: skip Nimblock-policy invariants
                        (use for traces from preempting non-Nimblock policies)
+  --format FMT         analyze explain report format: text | md | json [text]
+  --top N              analyze explain: how many of the slowest applications
+                       get their critical-path span trees printed [5]
 
 Set NIMBLOCK_LOG=debug (or e.g. 'hv=debug,sched=info') for structured logs
 on stderr.

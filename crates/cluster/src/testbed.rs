@@ -264,7 +264,7 @@ where
                 .counter("cluster_retires_total", "Retirements across all boards")
                 .add(merged_counters.retires);
         }
-        let merged = Report::new(
+        let mut merged = Report::new(
             format!(
                 "cluster({boards}x{scheduler_name}, {dispatch_name})",
                 boards = per_board.len(),
@@ -274,6 +274,15 @@ where
             finished_at,
         )
         .with_counters(merged_counters);
+        // Traced runs carry per-board attribution; the merge re-sorts by
+        // global event index, so it is invariant to board and fold order.
+        if let Some(attribution) = per_board
+            .iter()
+            .filter_map(|r| r.attribution().cloned())
+            .reduce(nimblock_metrics::AttributionSummary::merged)
+        {
+            merged = merged.with_attribution(attribution);
+        }
         ClusterReport {
             merged,
             per_board,
@@ -352,8 +361,21 @@ fn run_board<S: Scheduler>(
             record
         })
         .collect();
-    let report = Report::new(report.scheduler().to_owned(), records, finished_at)
+    let mut report = Report::new(report.scheduler().to_owned(), records, finished_at)
         .with_counters(*report.counters());
+    if let Some(trace) = &trace {
+        // Attribution uses per-board arrival order as its index; remap to
+        // global stimulus indices the same way the records were. The
+        // summary is a pure function of the (deterministic) trace, so it
+        // cannot depend on the worker-thread count.
+        let mut attribution = nimblock_core::attribute_trace(trace);
+        for app in &mut attribution.apps {
+            app.event_index = globals[app.event_index];
+        }
+        let attribution =
+            nimblock_metrics::AttributionSummary::from_apps(attribution.apps);
+        report = report.with_attribution(attribution);
+    }
     BoardOutcome {
         report,
         trace,
@@ -497,7 +519,44 @@ mod tests {
                 );
             }
             assert_eq!(seq_metrics, par_metrics, "metrics page must not depend on threads");
+            assert_eq!(
+                sequential.merged().attribution(),
+                parallel.merged().attribution(),
+                "merged attribution must not depend on threads"
+            );
         }
+    }
+
+    #[test]
+    fn traced_cluster_carries_exact_attribution() {
+        let events = generate(17, 10, Scenario::Stress);
+        let report = cluster(3, DispatchPolicy::LeastOutstanding)
+            .with_tracing()
+            .run(&events);
+        let merged = report.merged().attribution().expect("traced run attributes");
+        assert!(merged.is_exact());
+        assert_eq!(merged.apps.len(), 10, "every retired app is attributed");
+        // Per-app event indices are the *global* stimulus indices.
+        let indices: Vec<usize> = merged.apps.iter().map(|a| a.event_index).collect();
+        assert_eq!(indices, (0..10).collect::<Vec<_>>());
+        for board in report.per_board() {
+            let attribution = board.attribution().expect("per-board attribution");
+            assert!(attribution.is_exact());
+        }
+        // Untraced runs carry no attribution.
+        let untraced = cluster(3, DispatchPolicy::LeastOutstanding).run(&events);
+        assert!(untraced.merged().attribution().is_none());
+    }
+
+    #[test]
+    fn single_board_attribution_matches_the_plain_testbed_oracle() {
+        let events = generate(29, 8, Scenario::Stress);
+        let (plain, _trace) =
+            Testbed::new(NimblockScheduler::default()).run_traced(&events);
+        let clustered = cluster(1, DispatchPolicy::RoundRobin)
+            .with_tracing()
+            .run(&events);
+        assert_eq!(plain.attribution(), clustered.merged().attribution());
     }
 
     #[test]

@@ -1,0 +1,596 @@
+//! Response-time attribution: critical-path decomposition of every
+//! application's life from a recorded [`Trace`].
+//!
+//! The paper's evaluation (Figs. 6–9) is an argument about *where
+//! response time goes* under each policy — queue wait, CAP-serialized
+//! reconfiguration, compute, preemption loss, and the wall-clock time
+//! cross-batch pipelining claws back. This module turns any trace into
+//! that argument, mechanically:
+//!
+//! 1. [`attribute_trace`] walks each retired application's `[arrival,
+//!    retire)` window and classifies every elementary interval by the
+//!    cause that was *driving (or blocking) progress* at that instant,
+//!    with a fixed precedence — own execution > own reconfiguration >
+//!    preemption loss > CAP serialization > queue wait. The resulting
+//!    six components sum **exactly** (integer microseconds, no drift)
+//!    to the measured response time; `pipeline_overlap_gain` is the
+//!    negative term crediting overlapped execution across slots.
+//! 2. [`span_trees`] derives a Dapper-style span tree per application
+//!    (app → task → batch item, with reconfig / preemption / queue
+//!    children, causal links to the CAP and the blocking predecessor
+//!    task) and flags the spans on the critical path.
+//!
+//! Both run on the bare trace — no hypervisor state needed — so
+//! `nimblock analyze explain` can post-process any `trace.json`.
+//!
+//! ## Why the decomposition is exact
+//!
+//! For one app, partition `[arrival, retire)` at every span boundary.
+//! Each elementary interval gets exactly one label, so the labelled
+//! interval lengths sum to the response time by construction. The
+//! *busy* label (some own task item running) is then rewritten as
+//! `compute + pipeline_overlap_gain`, where `compute` is the sum of
+//! clamped item durations (double-counting parallel items) and the
+//! gain is `busy_union − compute ≤ 0` — an identity, so exactness is
+//! preserved.
+
+use std::collections::BTreeMap;
+
+use nimblock_metrics::{AppAttribution, AttributionComponents, AttributionSummary};
+use nimblock_obs::{Span, SpanKind};
+
+use nimblock_app::Priority;
+
+use crate::trace::{Trace, TraceEvent};
+use crate::AppId;
+
+/// Everything one application's trace events say about its life.
+struct AppTimeline {
+    /// Position of this app's `Arrival` among all arrivals (equals the
+    /// stimulus event index for time-sorted sequences — the simulator
+    /// pops same-time events FIFO).
+    arrival_order: usize,
+    name: String,
+    priority: Priority,
+    arrival_us: u64,
+    retire_us: Option<u64>,
+    /// `(task, item, start, end)` in record order.
+    items: Vec<(usize, u32, u64, u64)>,
+    /// `(task, slot, start, end)` own reconfigurations.
+    reconfigs: Vec<(usize, usize, u64, u64)>,
+    /// `(task, at)` preemptions suffered.
+    preempts: Vec<(usize, u64)>,
+}
+
+/// Collects per-app timelines plus the global CAP busy spans.
+fn timelines(trace: &Trace) -> (Vec<(AppId, AppTimeline)>, Vec<(u64, u64)>) {
+    let mut apps: BTreeMap<AppId, AppTimeline> = BTreeMap::new();
+    let mut order: Vec<AppId> = Vec::new();
+    let mut cap: Vec<(u64, u64)> = Vec::new();
+    for event in trace.events() {
+        match event {
+            TraceEvent::Arrival { app, name, priority, at, .. } => {
+                order.push(*app);
+                apps.insert(
+                    *app,
+                    AppTimeline {
+                        arrival_order: order.len() - 1,
+                        name: name.clone(),
+                        priority: *priority,
+                        arrival_us: at.as_micros(),
+                        retire_us: None,
+                        items: Vec::new(),
+                        reconfigs: Vec::new(),
+                        preempts: Vec::new(),
+                    },
+                );
+            }
+            TraceEvent::Retire { app, at } => {
+                if let Some(tl) = apps.get_mut(app) {
+                    tl.retire_us = Some(at.as_micros());
+                }
+            }
+            TraceEvent::Item { app, task, item, at, until, .. } => {
+                if let Some(tl) = apps.get_mut(app) {
+                    tl.items.push((task.index(), *item, at.as_micros(), until.as_micros()));
+                }
+            }
+            TraceEvent::Reconfig { slot, app, task, at, until } => {
+                cap.push((at.as_micros(), until.as_micros()));
+                if let Some(tl) = apps.get_mut(app) {
+                    tl.reconfigs.push((
+                        task.index(),
+                        slot.index(),
+                        at.as_micros(),
+                        until.as_micros(),
+                    ));
+                }
+            }
+            TraceEvent::Preempt { app, task, at, .. } => {
+                if let Some(tl) = apps.get_mut(app) {
+                    tl.preempts.push((task.index(), at.as_micros()));
+                }
+            }
+        }
+    }
+    cap.sort_unstable();
+    let ordered = order
+        .into_iter()
+        .filter_map(|id| apps.remove(&id).map(|tl| (id, tl)))
+        .collect();
+    (ordered, cap)
+}
+
+/// Clamps `(start, end)` to `[lo, hi]`; `None` if the result is empty.
+fn clamp(start: u64, end: u64, lo: u64, hi: u64) -> Option<(u64, u64)> {
+    let s = start.max(lo);
+    let e = end.min(hi);
+    (s < e).then_some((s, e))
+}
+
+/// Merges possibly-overlapping spans into a sorted disjoint union.
+fn union(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// `true` if `t` lies inside the sorted disjoint `spans`.
+fn covered(spans: &[(u64, u64)], t: u64) -> bool {
+    let i = spans.partition_point(|&(s, _)| s <= t);
+    i > 0 && t < spans[i - 1].1
+}
+
+/// The label an elementary interval receives, in precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    Busy,
+    Reconfig,
+    PreemptionLoss,
+    CapSerialization,
+    QueueWait,
+}
+
+/// Per-app classified timeline: each elementary interval of
+/// `[arrival, retire)` with its winning cause, plus the derived
+/// components. Internal scaffolding shared by [`attribute_trace`] and
+/// [`span_trees`].
+struct Classified {
+    segments: Vec<(u64, u64, Cause)>,
+    components: AttributionComponents,
+}
+
+fn classify(tl: &AppTimeline, cap: &[(u64, u64)]) -> Option<Classified> {
+    let a = tl.arrival_us;
+    let r = tl.retire_us?;
+    if r <= a {
+        return Some(Classified {
+            segments: Vec::new(),
+            components: AttributionComponents::default(),
+        });
+    }
+    let own_items: Vec<(u64, u64)> = tl
+        .items
+        .iter()
+        .filter_map(|&(_, _, s, e)| clamp(s, e, a, r))
+        .collect();
+    let compute: u64 = own_items.iter().map(|&(s, e)| e - s).sum();
+    let busy = union(own_items);
+    let rec = union(
+        tl.reconfigs
+            .iter()
+            .filter_map(|&(_, _, s, e)| clamp(s, e, a, r))
+            .collect(),
+    );
+    // A preemption's pending window ends when the task next gets a
+    // reconfiguration stream (normal path) or, defensively, when it
+    // next runs an item; otherwise it pends until retirement.
+    let pend = union(
+        tl.preempts
+            .iter()
+            .filter_map(|&(task, at)| {
+                let next_rec = tl
+                    .reconfigs
+                    .iter()
+                    .filter(|&&(t, _, s, _)| t == task && s >= at)
+                    .map(|&(_, _, s, _)| s)
+                    .min();
+                let next_item = tl
+                    .items
+                    .iter()
+                    .filter(|&&(t, _, s, _)| t == task && s >= at)
+                    .map(|&(_, _, s, _)| s)
+                    .min();
+                let end = match (next_rec, next_item) {
+                    (Some(x), Some(y)) => x.min(y),
+                    (Some(x), None) | (None, Some(x)) => x,
+                    (None, None) => r,
+                };
+                clamp(at, end.max(at), a, r)
+            })
+            .collect(),
+    );
+    let cap_busy = union(
+        cap.iter()
+            .filter_map(|&(s, e)| clamp(s, e, a, r))
+            .collect(),
+    );
+
+    let mut bounds: Vec<u64> = vec![a, r];
+    for set in [&busy, &rec, &pend, &cap_busy] {
+        for &(s, e) in set.iter() {
+            bounds.push(s);
+            bounds.push(e);
+        }
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut components = AttributionComponents {
+        compute,
+        ..AttributionComponents::default()
+    };
+    let mut busy_union_len = 0u64;
+    let mut segments = Vec::with_capacity(bounds.len().saturating_sub(1));
+    for pair in bounds.windows(2) {
+        let (t0, t1) = (pair[0], pair[1]);
+        let len = t1 - t0;
+        let cause = if covered(&busy, t0) {
+            busy_union_len += len;
+            Cause::Busy
+        } else if covered(&rec, t0) {
+            components.reconfig += len;
+            Cause::Reconfig
+        } else if covered(&pend, t0) {
+            components.preemption_loss += len;
+            Cause::PreemptionLoss
+        } else if covered(&cap_busy, t0) {
+            components.cap_serialization += len;
+            Cause::CapSerialization
+        } else {
+            components.queue_wait += len;
+            Cause::QueueWait
+        };
+        segments.push((t0, t1, cause));
+    }
+    // busy = compute + gain, an identity: the sum stays exact.
+    components.pipeline_overlap_gain = busy_union_len as i64 - compute as i64;
+    Some(Classified { segments, components })
+}
+
+/// Decomposes every retired application's response time into the six
+/// attribution components (see the module docs for the exactness
+/// argument). Apps are indexed by arrival order, which matches the
+/// stimulus event index for time-sorted sequences.
+pub fn attribute_trace(trace: &Trace) -> AttributionSummary {
+    let (apps, cap) = timelines(trace);
+    let attributions = apps
+        .iter()
+        .filter_map(|(_, tl)| {
+            let classified = classify(tl, &cap)?;
+            let response = tl.retire_us?.saturating_sub(tl.arrival_us);
+            debug_assert!(
+                classified.components.sums_to(response),
+                "attribution drift for {}: {:?} != {response}",
+                tl.name,
+                classified.components,
+            );
+            Some(AppAttribution {
+                event_index: tl.arrival_order,
+                app_name: tl.name.clone(),
+                priority: tl.priority,
+                response_micros: response,
+                components: classified.components,
+            })
+        })
+        .collect();
+    AttributionSummary::from_apps(attributions)
+}
+
+/// Derives one span tree per retired application, in arrival order:
+/// an `App` root with `Task` children (each holding its `Reconfig`
+/// and `BatchItem` spans plus post-preemption `Preempt` pending
+/// windows), interleaved with synthesized `Queue` ("queue wait") and
+/// `Requeue` ("cap wait") spans for the intervals where the app was
+/// purely blocked. Spans on the critical path — the chain of
+/// intervals that actually determined the retire time — are flagged
+/// [`Span::critical`]; reconfig and cap-wait spans carry a `cap`
+/// causal link, tasks link their blocking predecessor.
+pub fn span_trees(trace: &Trace) -> Vec<Span> {
+    let (apps, cap) = timelines(trace);
+    let mut trees = Vec::new();
+    for (id, tl) in &apps {
+        let Some(retire) = tl.retire_us else { continue };
+        let Some(classified) = classify(tl, &cap) else { continue };
+        let mut root = Span::new(
+            format!("{} {}", tl.name, id),
+            SpanKind::App,
+            tl.arrival_us,
+            retire,
+        );
+        root.critical = true;
+
+        // Which own item drives each busy interval: the one ending last.
+        let mut item_critical = vec![false; tl.items.len()];
+        for &(t0, _, cause) in &classified.segments {
+            if cause != Cause::Busy {
+                continue;
+            }
+            let driver = tl
+                .items
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, _, s, e))| s <= t0 && t0 < e)
+                .max_by_key(|&(i, &(_, _, _, e))| (e, i))
+                .map(|(i, _)| i);
+            if let Some(i) = driver {
+                item_critical[i] = true;
+            }
+        }
+
+        // Task spans with their children.
+        let mut tasks: BTreeMap<usize, Span> = BTreeMap::new();
+        let task_span = |tasks: &mut BTreeMap<usize, Span>, task: usize| {
+            tasks.entry(task).or_insert_with(|| {
+                let mut span =
+                    Span::new(format!("task#{task}"), SpanKind::Task, u64::MAX, 0);
+                if task > 0 {
+                    span.links.push(format!("pred:task#{}", task - 1));
+                }
+                span
+            });
+        };
+        for &(task, slot, s, e) in &tl.reconfigs {
+            task_span(&mut tasks, task);
+            let parent = tasks.get_mut(&task).expect("just inserted");
+            parent.start_us = parent.start_us.min(s);
+            parent.end_us = parent.end_us.max(e);
+            let mut span =
+                Span::new(format!("reconfig slot#{slot}"), SpanKind::Reconfig, s, e);
+            span.links.push("cap".to_owned());
+            span.critical = true;
+            parent.children.push(span);
+        }
+        for (i, &(task, item, s, e)) in tl.items.iter().enumerate() {
+            task_span(&mut tasks, task);
+            let parent = tasks.get_mut(&task).expect("just inserted");
+            parent.start_us = parent.start_us.min(s);
+            parent.end_us = parent.end_us.max(e);
+            let mut span = Span::new(format!("item{item}"), SpanKind::BatchItem, s, e);
+            span.critical = item_critical[i];
+            if span.critical {
+                parent.critical = true;
+            }
+            parent.children.push(span);
+        }
+        for &(task, at) in &tl.preempts {
+            if let Some(parent) = tasks.get_mut(&task) {
+                let resume = tl
+                    .reconfigs
+                    .iter()
+                    .filter(|&&(t, _, s, _)| t == task && s >= at)
+                    .map(|&(_, _, s, _)| s)
+                    .min()
+                    .unwrap_or(retire);
+                parent.end_us = parent.end_us.max(resume);
+                let mut span =
+                    Span::new("preempted".to_owned(), SpanKind::Preempt, at, resume);
+                span.critical = true;
+                parent.children.push(span);
+            }
+        }
+        for task in tasks.values_mut() {
+            task.children.sort_by_key(|c| (c.start_us, c.end_us));
+        }
+
+        // Synthesized blocked-interval spans on the root, coalescing
+        // adjacent segments with the same cause.
+        let mut gaps: Vec<Span> = Vec::new();
+        for &(t0, t1, cause) in &classified.segments {
+            let (kind, name, link) = match cause {
+                Cause::QueueWait => (SpanKind::Queue, "queue wait", None),
+                Cause::CapSerialization => (SpanKind::Requeue, "cap wait", Some("cap")),
+                _ => continue,
+            };
+            match gaps.last_mut() {
+                Some(last) if last.end_us == t0 && last.kind == kind => last.end_us = t1,
+                _ => {
+                    let mut span = Span::new(name.to_owned(), kind, t0, t1);
+                    span.critical = true;
+                    if let Some(link) = link {
+                        span.links.push(link.to_owned());
+                    }
+                    gaps.push(span);
+                }
+            }
+        }
+
+        let mut children: Vec<Span> = tasks.into_values().collect();
+        children.extend(gaps);
+        children.sort_by_key(|c| (c.start_us, c.end_us));
+        root.children = children;
+        trees.push(root);
+    }
+    trees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimblock_app::TaskId;
+    use nimblock_fpga::SlotId;
+    use nimblock_sim::SimTime;
+
+    fn arrival(app: u64, name: &str, priority: Priority, at_ms: u64) -> TraceEvent {
+        TraceEvent::Arrival {
+            app: AppId::new(app),
+            name: name.into(),
+            batch: 2,
+            priority,
+            at: SimTime::from_millis(at_ms),
+        }
+    }
+
+    fn reconfig(slot: u32, app: u64, task: u32, from_ms: u64, to_ms: u64) -> TraceEvent {
+        TraceEvent::Reconfig {
+            slot: SlotId::new(slot),
+            app: AppId::new(app),
+            task: TaskId::new(task),
+            at: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(to_ms),
+        }
+    }
+
+    fn item(slot: u32, app: u64, task: u32, item: u32, from_ms: u64, to_ms: u64) -> TraceEvent {
+        TraceEvent::Item {
+            slot: SlotId::new(slot),
+            app: AppId::new(app),
+            task: TaskId::new(task),
+            item,
+            at: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(to_ms),
+        }
+    }
+
+    fn retire(app: u64, at_ms: u64) -> TraceEvent {
+        TraceEvent::Retire { app: AppId::new(app), at: SimTime::from_millis(at_ms) }
+    }
+
+    /// app0: arrival 0, reconfig 0..80, items 80..130 and 130..180,
+    /// retire 180. No contention.
+    fn simple_trace() -> Trace {
+        let mut trace = Trace::with_slots(2);
+        trace.record(arrival(0, "lenet", Priority::Medium, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(item(0, 0, 0, 0, 80, 130));
+        trace.record(item(0, 0, 0, 1, 130, 180));
+        trace.record(retire(0, 180));
+        trace
+    }
+
+    #[test]
+    fn uncontended_app_attributes_reconfig_and_compute() {
+        let summary = attribute_trace(&simple_trace());
+        assert_eq!(summary.apps.len(), 1);
+        let app = &summary.apps[0];
+        assert_eq!(app.response_micros, 180_000);
+        assert_eq!(app.components.reconfig, 80_000);
+        assert_eq!(app.components.compute, 100_000);
+        assert_eq!(app.components.queue_wait, 0);
+        assert_eq!(app.components.cap_serialization, 0);
+        assert_eq!(app.components.preemption_loss, 0);
+        assert_eq!(app.components.pipeline_overlap_gain, 0);
+        assert!(summary.is_exact());
+    }
+
+    #[test]
+    fn cap_serialization_is_charged_while_anothers_reconfig_blocks() {
+        let mut trace = Trace::with_slots(2);
+        // app0 hogs the CAP 0..80; app1 arrives at 0, waits, then
+        // reconfigures 80..160, runs 160..200.
+        trace.record(arrival(0, "a", Priority::Low, 0));
+        trace.record(arrival(1, "b", Priority::Low, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(item(0, 0, 0, 0, 80, 300));
+        trace.record(reconfig(1, 1, 0, 80, 160));
+        trace.record(item(1, 1, 0, 0, 160, 200));
+        trace.record(retire(1, 200));
+        trace.record(retire(0, 300));
+        let summary = attribute_trace(&trace);
+        let b = summary.apps.iter().find(|a| a.app_name == "b").unwrap();
+        assert_eq!(b.components.cap_serialization, 80_000, "{:?}", b.components);
+        assert_eq!(b.components.reconfig, 80_000);
+        assert_eq!(b.components.compute, 40_000);
+        assert_eq!(b.components.queue_wait, 0);
+        assert!(summary.is_exact());
+    }
+
+    #[test]
+    fn preemption_loss_covers_the_evicted_window() {
+        let mut trace = Trace::with_slots(1);
+        trace.record(arrival(0, "victim", Priority::Low, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(item(0, 0, 0, 0, 80, 120));
+        trace.record(TraceEvent::Preempt {
+            slot: SlotId::new(0),
+            app: AppId::new(0),
+            task: TaskId::new(0),
+            at: SimTime::from_millis(120),
+        });
+        // Re-admitted: reconfig 200..280, final item 280..320.
+        trace.record(reconfig(0, 0, 0, 200, 280));
+        trace.record(item(0, 0, 0, 1, 280, 320));
+        trace.record(retire(0, 320));
+        let summary = attribute_trace(&trace);
+        let app = &summary.apps[0];
+        assert_eq!(app.components.preemption_loss, 80_000, "{:?}", app.components);
+        assert_eq!(app.components.reconfig, 160_000);
+        assert_eq!(app.components.compute, 80_000);
+        assert!(summary.is_exact());
+    }
+
+    #[test]
+    fn pipeline_overlap_gain_is_negative_for_parallel_tasks() {
+        let mut trace = Trace::with_slots(2);
+        trace.record(arrival(0, "pipe", Priority::High, 0));
+        trace.record(reconfig(0, 0, 0, 0, 80));
+        trace.record(item(0, 0, 0, 0, 80, 180));
+        trace.record(reconfig(1, 0, 1, 80, 160));
+        // task#1 overlaps task#0's second item 180..280.
+        trace.record(item(0, 0, 0, 1, 180, 280));
+        trace.record(item(1, 0, 1, 0, 180, 280));
+        trace.record(item(1, 0, 1, 1, 280, 380));
+        trace.record(retire(0, 380));
+        let summary = attribute_trace(&trace);
+        let app = &summary.apps[0];
+        assert_eq!(app.components.compute, 400_000);
+        assert_eq!(app.components.pipeline_overlap_gain, -100_000);
+        assert!(summary.is_exact());
+        // busy union is 80..380 = 300ms; reconfig interval 0..80 own.
+        assert_eq!(app.components.reconfig, 80_000);
+        assert_eq!(app.components.queue_wait, 0);
+    }
+
+    #[test]
+    fn span_tree_marks_critical_path_and_links() {
+        let trees = span_trees(&simple_trace());
+        assert_eq!(trees.len(), 1);
+        let root = &trees[0];
+        assert!(root.critical);
+        assert_eq!(root.kind, SpanKind::App);
+        let task = root
+            .children
+            .iter()
+            .find(|c| c.kind == SpanKind::Task)
+            .expect("task span");
+        let rendered = root.render();
+        assert!(rendered.contains("reconfig slot#0"), "{rendered}");
+        assert!(rendered.contains("<- cap"), "{rendered}");
+        assert!(task.children.iter().any(|c| c.critical && c.kind == SpanKind::BatchItem));
+    }
+
+    #[test]
+    fn never_retired_apps_are_skipped() {
+        let mut trace = Trace::with_slots(1);
+        trace.record(arrival(0, "zombie", Priority::Low, 0));
+        assert!(attribute_trace(&trace).apps.is_empty());
+        assert!(span_trees(&trace).is_empty());
+    }
+
+    #[test]
+    fn interval_union_and_coverage() {
+        let u = union(vec![(5, 10), (0, 3), (9, 12), (20, 25)]);
+        assert_eq!(u, vec![(0, 3), (5, 12), (20, 25)]);
+        assert!(covered(&u, 0));
+        assert!(covered(&u, 11));
+        assert!(!covered(&u, 3));
+        assert!(!covered(&u, 12));
+        assert!(!covered(&u, 4));
+    }
+}

@@ -8,8 +8,9 @@
 //! process. [`HvMetrics::registered`] additionally publishes the handles
 //! under `hv_*` names so `Registry::render_prometheus` exposes them.
 
+use nimblock_app::Priority;
 use nimblock_metrics::RunCounters;
-use nimblock_obs::{Counter, Gauge, Histogram, Registry};
+use nimblock_obs::{Counter, Gauge, Histogram, QuantileDigest, Registry};
 
 /// Every instrument the hypervisor maintains during a run.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +48,25 @@ pub struct HvMetrics {
     /// Wall-clock nanoseconds per `next_reconfig` policy consultation.
     /// Only observed when a registry is attached ([`HvMetrics::timed`]).
     pub decision_latency_nanos: Histogram,
+    /// Response time of priority-weight-1 (Low) apps, microseconds.
+    pub response_time_p1: Histogram,
+    /// Response time of priority-weight-3 (Medium) apps, microseconds.
+    pub response_time_p3: Histogram,
+    /// Response time of priority-weight-9 (High) apps, microseconds.
+    pub response_time_p9: Histogram,
+    /// Slowdown (response / ideal service time, ×1000) of weight-1 apps.
+    pub slowdown_p1: Histogram,
+    /// Slowdown (×1000) of weight-3 apps.
+    pub slowdown_p3: Histogram,
+    /// Slowdown (×1000) of weight-9 apps.
+    pub slowdown_p9: Histogram,
+    /// Streaming P50/P95/P99 sketch over all response times, microseconds.
+    pub response_quantiles: QuantileDigest,
+    /// Streaming P50/P95/P99 sketch over all slowdowns (×1000).
+    pub slowdown_quantiles: QuantileDigest,
+    /// Streaming P50/P95/P99 sketch over wall-clock decision latency,
+    /// nanoseconds. Only observed when [`HvMetrics::timed`].
+    pub decision_latency_quantiles: QuantileDigest,
 }
 
 impl HvMetrics {
@@ -90,6 +110,35 @@ impl HvMetrics {
             wait_micros: registry.histogram("hv_wait_micros", "Per-application wait time (arrival to first launch), simulated microseconds"),
             response_micros: registry.histogram("hv_response_micros", "Per-application response time (arrival to retire), simulated microseconds"),
             decision_latency_nanos: registry.histogram("hv_decision_latency_nanos", "Wall-clock nanoseconds per scheduler next_reconfig consultation"),
+            // Per-priority series in fixed weight order (1, 3, 9) so a
+            // cluster shard-merge renders byte-identically.
+            response_time_p1: registry.histogram("hv_response_time_p1", "Response time of priority-weight-1 (Low) applications, simulated microseconds"),
+            response_time_p3: registry.histogram("hv_response_time_p3", "Response time of priority-weight-3 (Medium) applications, simulated microseconds"),
+            response_time_p9: registry.histogram("hv_response_time_p9", "Response time of priority-weight-9 (High) applications, simulated microseconds"),
+            slowdown_p1: registry.histogram("hv_slowdown_p1", "Slowdown (response over ideal service time, x1000) of priority-weight-1 applications"),
+            slowdown_p3: registry.histogram("hv_slowdown_p3", "Slowdown (x1000) of priority-weight-3 applications"),
+            slowdown_p9: registry.histogram("hv_slowdown_p9", "Slowdown (x1000) of priority-weight-9 applications"),
+            response_quantiles: registry.digest("hv_response_micros_quantiles", "P50/P95/P99 sketch of per-application response time, simulated microseconds"),
+            slowdown_quantiles: registry.digest("hv_slowdown_milli_quantiles", "P50/P95/P99 sketch of per-application slowdown (x1000)"),
+            decision_latency_quantiles: registry.digest("hv_decision_latency_nanos_quantiles", "P50/P95/P99 sketch of wall-clock scheduler decision latency, nanoseconds"),
+        }
+    }
+
+    /// The per-priority response-time histogram for `priority`.
+    pub fn response_time_for(&self, priority: Priority) -> &Histogram {
+        match priority {
+            Priority::Low => &self.response_time_p1,
+            Priority::Medium => &self.response_time_p3,
+            Priority::High => &self.response_time_p9,
+        }
+    }
+
+    /// The per-priority slowdown histogram for `priority`.
+    pub fn slowdown_for(&self, priority: Priority) -> &Histogram {
+        match priority {
+            Priority::Low => &self.slowdown_p1,
+            Priority::Medium => &self.slowdown_p3,
+            Priority::High => &self.slowdown_p9,
         }
     }
 
@@ -146,6 +195,32 @@ mod tests {
         // The latency series exists (stable export shape) but is empty.
         assert!(text.contains("hv_decision_latency_nanos_count 0"), "{text}");
         nimblock_obs::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn per_priority_series_register_in_fixed_weight_order() {
+        let registry = Registry::new();
+        let m = HvMetrics::registered(&registry);
+        m.response_time_for(Priority::Low).observe(10);
+        m.response_time_for(Priority::High).observe(30);
+        m.slowdown_for(Priority::Medium).observe(2_000);
+        m.response_quantiles.observe(10);
+        let text = registry.render_prometheus();
+        let p1 = text.find("hv_response_time_p1").expect("p1 registered");
+        let p3 = text.find("hv_response_time_p3").expect("p3 registered");
+        let p9 = text.find("hv_response_time_p9").expect("p9 registered");
+        assert!(p1 < p3 && p3 < p9, "weight order must be 1 < 3 < 9");
+        assert!(text.contains("hv_response_time_p1_count 1"), "{text}");
+        assert!(text.contains("hv_slowdown_p3_count 1"), "{text}");
+        assert!(
+            text.contains("hv_response_micros_quantiles{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        nimblock_obs::validate_prometheus(&text).unwrap();
+        // Two registrations render byte-identically after a shard merge.
+        let target = Registry::new();
+        target.merge_from(&registry);
+        assert_eq!(target.render_prometheus(), text);
     }
 
     #[test]

@@ -400,9 +400,17 @@ impl<S: Scheduler> Hypervisor<S> {
             None => now.saturating_since(runtime.arrival()),
         };
         self.metrics.wait_micros.observe(wait.as_micros());
-        self.metrics
-            .response_micros
-            .observe(now.saturating_since(runtime.arrival()).as_micros());
+        let response = now.saturating_since(runtime.arrival()).as_micros();
+        self.metrics.response_micros.observe(response);
+        // Per-priority class series plus the streaming quantile sketches.
+        // Slowdown = response over ideal service time (own compute plus
+        // own reconfiguration), scaled ×1000 to keep integer buckets.
+        let ideal = (runtime.run_time + runtime.reconfig_time).as_micros().max(1);
+        let slowdown_milli = response.saturating_mul(1000) / ideal;
+        self.metrics.response_time_for(runtime.priority()).observe(response);
+        self.metrics.slowdown_for(runtime.priority()).observe(slowdown_milli);
+        self.metrics.response_quantiles.observe(response);
+        self.metrics.slowdown_quantiles.observe(slowdown_milli);
         nb_info!(
             "hv",
             "msg=\"retired\" app={app} name={} at={now} preemptions={}",
@@ -674,12 +682,12 @@ impl<S: Scheduler> Hypervisor<S> {
                     // nimblock: allow(no-wallclock-sim)
                     let started = std::time::Instant::now();
                     let directive = self.scheduler.next_reconfig(&view);
-                    self.metrics
-                        .decision_latency_nanos
-                        // Sub-nanosecond beyond u64 range (584 years) cannot
-                        // occur for a single decision.
-                        // nimblock: allow(no-lossy-cast)
-                        .observe(started.elapsed().as_nanos() as u64);
+                    // Sub-nanosecond beyond u64 range (584 years) cannot
+                    // occur for a single decision.
+                    // nimblock: allow(no-lossy-cast)
+                    let elapsed = started.elapsed().as_nanos() as u64;
+                    self.metrics.decision_latency_nanos.observe(elapsed);
+                    self.metrics.decision_latency_quantiles.observe(elapsed);
                     directive
                 } else {
                     self.scheduler.next_reconfig(&view)

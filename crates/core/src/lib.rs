@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 mod hv_metrics;
 mod hypervisor;
 pub mod invariants;
@@ -57,6 +58,7 @@ mod testbed;
 pub mod trace;
 mod view;
 
+pub use attribution::{attribute_trace, span_trees};
 pub use hv_metrics::HvMetrics;
 pub use hypervisor::{Hypervisor, HvEvent};
 pub use invariants::{

@@ -143,7 +143,10 @@ impl<S: Scheduler> Testbed<S> {
         let finished_at = sim.now();
         let mut hypervisor = sim.into_handler();
         let trace = hypervisor.take_trace().expect("tracing was enabled");
-        (hypervisor.into_report(finished_at), trace)
+        let report = hypervisor
+            .into_report(finished_at)
+            .with_attribution(crate::attribution::attribute_trace(&trace));
+        (report, trace)
     }
 
     /// Publishes the engine-level series after a run: events processed and

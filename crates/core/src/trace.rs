@@ -131,6 +131,10 @@ impl Trace {
     /// public so tests and external tooling can build fixture traces (e.g.
     /// adversarial schedules for the invariant verifier) by hand.
     pub fn record(&mut self, event: TraceEvent) {
+        // The trace is the run's primary artifact: recorded only when a run
+        // opts in (`run_traced`/`--trace-out`), and attribution, invariant
+        // verification, and the exporters all need it complete, not sampled.
+        // nimblock: allow(no-unbounded-span-buffer)
         self.events.push(event);
     }
 
@@ -298,8 +302,10 @@ impl Trace {
     /// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
     /// track per slot (task items and per-slot reconfiguration spans,
     /// preemption markers) plus a `CAP` track showing configuration-port
-    /// occupancy and an `apps` track with arrival/retire markers. All
-    /// timestamps are simulated microseconds.
+    /// occupancy and an `apps` track with arrival/retire markers. Flow
+    /// (`ph:"s"`/`ph:"f"`) arrows tie each CAP reconfiguration to the
+    /// first task item it enables — the causal edges of the critical
+    /// path. All timestamps are simulated microseconds.
     pub fn to_chrome(&self) -> String {
         let slots = self.slots() as u64;
         let cap_tid = slots;
@@ -310,6 +316,7 @@ impl Trace {
         }
         chrome.thread_name(cap_tid, "CAP");
         chrome.thread_name(apps_tid, "apps");
+        let mut flow_id = 0u64;
         for event in &self.events {
             match event {
                 TraceEvent::Arrival { app, name, at, .. } => {
@@ -345,6 +352,38 @@ impl Trace {
                         at.as_micros(),
                         dur,
                     );
+                    // Flow arrow: this reconfiguration *enables* the first
+                    // item the configured task runs at or after stream
+                    // completion — the reconfig→task-start causal edge of
+                    // the app's critical path.
+                    let enabled = self.events.iter().find_map(|e| match e {
+                        TraceEvent::Item { slot: s, app: a, task: t, at: item_at, .. }
+                            if a == app && t == task && *item_at >= *until =>
+                        {
+                            Some((*s, *item_at))
+                        }
+                        _ => None,
+                    });
+                    if let Some((item_slot, item_at)) = enabled {
+                        flow_id += 1;
+                        let name = format!("pr {app} {task} enables");
+                        // Tail inside the CAP slice (slices are clamped to
+                        // at least 1 µs wide, so until-1 is in range).
+                        chrome.flow_start(
+                            &name,
+                            "flow",
+                            cap_tid,
+                            until.as_micros().saturating_sub(1).max(at.as_micros()),
+                            flow_id,
+                        );
+                        chrome.flow_finish(
+                            &name,
+                            "flow",
+                            item_slot.index() as u64,
+                            item_at.as_micros(),
+                            flow_id,
+                        );
+                    }
                 }
                 TraceEvent::Item { slot, app, task, item, at, until } => {
                     chrome.complete_with_args(
@@ -506,12 +545,31 @@ mod tests {
         trace.record(TraceEvent::Retire { app: AppId::new(0), at: SimTime::from_millis(130) });
         let json = trace.to_chrome();
         // 4 events render 6 trace events (reconfig spans both its slot and
-        // the CAP track) + 8 metadata (name + sort index for 4 tracks).
+        // the CAP track) + 2 flow events + 8 metadata (name + sort index
+        // for 4 tracks).
         nimblock_obs::validate_chrome_trace(&json).unwrap();
         assert!(json.contains("\"slot#0\""), "{json}");
         assert!(json.contains("\"CAP\""), "{json}");
         assert!(json.contains("\"apps\""), "{json}");
         assert!(json.contains("preempt app#0 task#0"), "{json}");
+    }
+
+    #[test]
+    fn chrome_export_ties_reconfig_to_enabled_task_with_flow_events() {
+        let mut trace = Trace::with_slots(2);
+        trace.record(reconfig_event(0, 0, 80));
+        trace.record(span_event(0, 0, 80, 130));
+        let json = trace.to_chrome();
+        nimblock_obs::validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"ph\": \"s\""), "flow start missing: {json}");
+        assert!(json.contains("\"ph\": \"f\""), "flow finish missing: {json}");
+        assert!(json.contains("pr app#0 task#0 enables"), "{json}");
+        assert!(json.contains("\"bp\": \"e\""), "{json}");
+        // A reconfiguration that never enables an item emits no flow.
+        let mut lone = Trace::with_slots(1);
+        lone.record(reconfig_event(0, 0, 80));
+        let json = lone.to_chrome();
+        assert!(!json.contains("\"ph\": \"s\""), "{json}");
     }
 
     #[test]

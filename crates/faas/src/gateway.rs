@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use nimblock_core::{Scheduler, Testbed};
-use nimblock_metrics::{percentile, Report};
+use nimblock_metrics::{percentile, AttributionComponents, AttributionSummary, Report};
 use nimblock_sim::SimDuration;
 use nimblock_workload::{ArrivalEvent, EventSequence};
 
@@ -34,6 +34,10 @@ pub struct FaasSummary {
     scheduler: String,
     per_function: Vec<FunctionStats>,
     report: Report,
+    /// Attribution components aggregated per function, sorted by function
+    /// name; empty unless the gateway ran with
+    /// [`FaasGateway::with_attribution`].
+    attribution_by_function: Vec<(String, AttributionComponents)>,
 }
 
 impl FaasSummary {
@@ -62,6 +66,19 @@ impl FaasSummary {
         self.per_function.iter().map(|f| f.invocations).sum()
     }
 
+    /// Returns the whole-run response-time attribution, when the gateway
+    /// ran with [`FaasGateway::with_attribution`].
+    pub fn attribution(&self) -> Option<&AttributionSummary> {
+        self.report.attribution()
+    }
+
+    /// Returns attribution components aggregated per function (sorted by
+    /// function name); empty unless the gateway ran with
+    /// [`FaasGateway::with_attribution`].
+    pub fn attribution_by_function(&self) -> &[(String, AttributionComponents)] {
+        &self.attribution_by_function
+    }
+
     /// Returns the overall SLO attainment across all invocations.
     pub fn overall_attainment(&self) -> f64 {
         let total = self.total_invocations();
@@ -82,6 +99,7 @@ pub struct FaasGateway {
     registry: FunctionRegistry,
     reconfig: SimDuration,
     metrics: Option<nimblock_obs::Registry>,
+    attribution: bool,
 }
 
 impl FaasGateway {
@@ -91,7 +109,18 @@ impl FaasGateway {
             registry,
             reconfig: SimDuration::from_millis(80),
             metrics: None,
+            attribution: false,
         }
+    }
+
+    /// Enables response-time attribution: the run is traced and the
+    /// summary carries the six-component decomposition for every
+    /// invocation ([`FaasSummary::attribution`]) plus per-function
+    /// aggregates ([`FaasSummary::attribution_by_function`]). Tracing
+    /// never perturbs the schedule; it only costs memory.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
     }
 
     /// Publishes gateway telemetry in `metrics`: the `faas_*` series
@@ -148,7 +177,11 @@ impl FaasGateway {
         if let Some(registry) = &self.metrics {
             testbed = testbed.with_metrics(registry.clone());
         }
-        let report = testbed.run(&events);
+        let report = if self.attribution {
+            testbed.run_traced(&events).0
+        } else {
+            testbed.run(&events)
+        };
         self.summarize(&invocations, report, scheduler_name)
     }
 
@@ -188,6 +221,9 @@ impl FaasGateway {
             .with_threads(threads);
         if let Some(registry) = &self.metrics {
             cluster = cluster.with_metrics(registry.clone());
+        }
+        if self.attribution {
+            cluster = cluster.with_tracing();
         }
         let report = cluster.run(&events);
         let scheduler_name = report.merged().scheduler().to_owned();
@@ -274,10 +310,22 @@ impl FaasGateway {
                 }
             })
             .collect();
+        // Per-function attribution: fold each invocation's components into
+        // its function's bucket (attribution apps are indexed by stimulus
+        // event, which maps 1:1 onto `invocations`).
+        let mut by_function: BTreeMap<String, AttributionComponents> = BTreeMap::new();
+        if let Some(attribution) = report.attribution() {
+            for app in &attribution.apps {
+                let function = invocations[app.event_index].function.clone();
+                let entry = by_function.entry(function).or_default();
+                *entry = entry.merged(app.components);
+            }
+        }
         FaasSummary {
             scheduler: scheduler_name,
             per_function,
             report,
+            attribution_by_function: by_function.into_iter().collect(),
         }
     }
 }
@@ -461,6 +509,51 @@ mod tests {
             text.contains(&format!("faas_slo_missed_total {}", 25 - met)),
             "{text}"
         );
+    }
+
+    #[test]
+    fn attribution_decomposes_every_invocation_exactly() {
+        let summary = gateway()
+            .with_attribution()
+            .run(&workload(), NimblockScheduler::default());
+        let attribution = summary.attribution().expect("gateway ran attributed");
+        assert!(attribution.is_exact());
+        assert_eq!(attribution.apps.len(), 25);
+        // Per-function aggregates cover every function that was invoked
+        // and sum (component-wise) to the whole-run totals.
+        let by_function = summary.attribution_by_function();
+        assert_eq!(by_function.len(), summary.per_function().len());
+        let mut folded = nimblock_metrics::AttributionComponents::default();
+        for (_, components) in by_function {
+            folded = folded.merged(*components);
+        }
+        assert_eq!(folded, attribution.totals);
+        // Without the flag there is no attribution.
+        let plain = gateway().run(&workload(), NimblockScheduler::default());
+        assert!(plain.attribution().is_none());
+        assert!(plain.attribution_by_function().is_empty());
+        // Attribution never perturbs the observable statistics.
+        assert_eq!(plain.per_function(), summary.per_function());
+    }
+
+    #[test]
+    fn cluster_attribution_is_thread_count_invariant() {
+        use nimblock_cluster::DispatchPolicy;
+        let run = |threads| {
+            gateway().with_attribution().run_cluster(
+                &workload(),
+                3,
+                threads,
+                DispatchPolicy::LeastOutstanding,
+                NimblockScheduler::default,
+            )
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel);
+        let attribution = sequential.attribution().expect("attributed cluster run");
+        assert!(attribution.is_exact());
+        assert_eq!(attribution.apps.len(), 25);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod deadline;
 mod export;
 mod fairness;
@@ -24,6 +25,10 @@ mod record;
 mod stats;
 mod table;
 
+pub use attribution::{
+    component_shares, AppAttribution, AttributionComponents, AttributionSummary,
+    PriorityAttribution,
+};
 pub use deadline::{violation_rate, DeadlineCurve};
 pub use export::{curve_to_csv, report_to_csv, series_to_csv};
 pub use fairness::{jain_index, slowdown_fairness, slowdowns};

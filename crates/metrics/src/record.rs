@@ -5,6 +5,8 @@ use nimblock_ser::impl_json_struct;
 use nimblock_app::Priority;
 use nimblock_sim::{SimDuration, SimTime};
 
+use crate::attribution::AttributionSummary;
+
 /// Everything the hypervisor measured about one application's life,
 /// mirroring the metadata the paper's testbed stores at completion (§5.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -124,9 +126,10 @@ pub struct Report {
     records: Vec<ResponseRecord>,
     finished_at: SimTime,
     counters: RunCounters,
+    attribution: Option<AttributionSummary>,
 }
 
-impl_json_struct!(Report { scheduler, records, finished_at, counters });
+impl_json_struct!(Report { scheduler, records, finished_at, counters, attribution });
 
 impl Report {
     /// Assembles a report (with zeroed counters; see
@@ -138,6 +141,7 @@ impl Report {
             records,
             finished_at,
             counters: RunCounters::default(),
+            attribution: None,
         }
     }
 
@@ -145,6 +149,18 @@ impl Report {
     pub fn with_counters(mut self, counters: RunCounters) -> Self {
         self.counters = counters;
         self
+    }
+
+    /// Attaches a response-time attribution summary (derived from the
+    /// run's trace by `nimblock-core::attribution`).
+    pub fn with_attribution(mut self, attribution: AttributionSummary) -> Self {
+        self.attribution = Some(attribution);
+        self
+    }
+
+    /// Returns the attribution summary, if one was derived.
+    pub fn attribution(&self) -> Option<&AttributionSummary> {
+        self.attribution.as_ref()
     }
 
     /// Returns the whole-run counters.

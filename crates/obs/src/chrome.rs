@@ -11,7 +11,11 @@
 //! - `ph:"i"` *instant* events (a point marker),
 //! - `ph:"M"` *metadata* events (used for `thread_name`, so slot tracks
 //!   render as `slot#0`, `slot#1`, … and the reconfiguration port as
-//!   `CAP`).
+//!   `CAP`),
+//! - `ph:"s"` / `ph:"f"` *flow* events (an arrow between two slices on
+//!   different tracks — used to tie each CAP reconfiguration to the
+//!   task execution it enables; the finish end binds to the enclosing
+//!   slice via `bp:"e"`).
 //!
 //! All timestamps and durations are microseconds, matching the format's
 //! native unit and the simulator's `SimTime` resolution, so conversion
@@ -28,6 +32,8 @@ struct Event {
     tid: u64,
     ts: u64,
     dur: Option<u64>,
+    /// Flow id tying a `ph:"s"` start to its `ph:"f"` finish.
+    id: Option<u64>,
     args: Vec<(String, Json)>,
 }
 
@@ -44,15 +50,34 @@ impl Event {
         if let Some(dur) = self.dur {
             fields.push(("dur".into(), Json::U64(dur)));
         }
+        if let Some(id) = self.id {
+            fields.push(("id".into(), Json::U64(id)));
+        }
         if self.phase == 'i' {
             // Instant scope: thread-scoped, so the marker renders on its
             // own track instead of a full-height line.
             fields.push(("s".into(), Json::Str("t".into())));
         }
+        if self.phase == 'f' {
+            // Bind the arrow head to the slice *enclosing* the finish
+            // timestamp (the enabled task's slice), not the next slice.
+            fields.push(("bp".into(), Json::Str("e".into())));
+        }
         if !self.args.is_empty() {
             fields.push(("args".into(), Json::Object(self.args.clone())));
         }
         Json::Object(fields)
+    }
+
+    /// Same-timestamp ordering rank: slices and markers first, then flow
+    /// starts (which bind to the slice already emitted), then flow
+    /// finishes. Keeps the export deterministic and viewers happy.
+    fn phase_rank(&self) -> u8 {
+        match self.phase {
+            's' => 1,
+            'f' => 2,
+            _ => 0,
+        }
     }
 }
 
@@ -90,6 +115,7 @@ impl ChromeTrace {
             tid,
             ts: 0,
             dur: None,
+            id: None,
             args: vec![("name".into(), Json::Str(name.into()))],
         });
         self.metadata.push(Event {
@@ -99,6 +125,7 @@ impl ChromeTrace {
             tid,
             ts: 0,
             dur: None,
+            id: None,
             args: vec![("sort_index".into(), Json::U64(tid))],
         });
     }
@@ -128,6 +155,7 @@ impl ChromeTrace {
             // chrome://tracing drops zero-duration complete events;
             // clamp to 1 µs so instantaneous spans stay visible.
             dur: Some(dur_us.max(1)),
+            id: None,
             args,
         });
     }
@@ -141,6 +169,37 @@ impl ChromeTrace {
             tid,
             ts: ts_us,
             dur: None,
+            id: None,
+            args: Vec::new(),
+        });
+    }
+
+    /// Starts a flow (`ph:"s"`) with identifier `id` on track `tid`. The
+    /// arrow tail binds to the slice enclosing `ts_us` on that track.
+    pub fn flow_start(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64, id: u64) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: 's',
+            tid,
+            ts: ts_us,
+            dur: None,
+            id: Some(id),
+            args: Vec::new(),
+        });
+    }
+
+    /// Finishes flow `id` (`ph:"f"`, `bp:"e"`) on track `tid`: the arrow
+    /// head binds to the slice enclosing `ts_us`.
+    pub fn flow_finish(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64, id: u64) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: 'f',
+            tid,
+            ts: ts_us,
+            dur: None,
+            id: Some(id),
             args: Vec::new(),
         });
     }
@@ -156,10 +215,11 @@ impl ChromeTrace {
     }
 
     fn to_json_value(&self) -> Json {
-        // Metadata first, then events sorted (ts, tid) so output is
-        // deterministic and viewers never see out-of-order timestamps.
+        // Metadata first, then events sorted (ts, phase rank, tid) so
+        // output is deterministic, viewers never see out-of-order
+        // timestamps, and a flow start follows the slice it binds to.
         let mut sorted: Vec<&Event> = self.events.iter().collect();
-        sorted.sort_by_key(|e| (e.ts, e.tid));
+        sorted.sort_by_key(|e| (e.ts, e.phase_rank(), e.tid));
         let all: Vec<Json> = self
             .metadata
             .iter()
@@ -220,6 +280,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                     return Err(format!("event {i}: complete event missing dur"));
                 }
             }
+            "s" | "f" => {
+                if get("id").is_none() {
+                    return Err(format!("event {i}: flow event missing id"));
+                }
+            }
             "i" | "M" => {}
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
         }
@@ -271,6 +336,31 @@ mod tests {
         let mut t = ChromeTrace::new();
         t.complete("blink", "run", 0, 0, 0);
         assert!(t.render().contains("\"dur\": 1"));
+    }
+
+    #[test]
+    fn flow_events_render_with_id_and_binding_point() {
+        let mut t = ChromeTrace::new();
+        t.complete("pr app#0 task#0", "reconfig", 2, 0, 80_000);
+        t.complete("app#0 task#0", "run", 0, 80_000, 50_000);
+        t.flow_start("enables", "flow", 2, 79_999, 7);
+        t.flow_finish("enables", "flow", 0, 80_000, 7);
+        let text = t.render();
+        assert!(text.contains("\"ph\": \"s\""), "{text}");
+        assert!(text.contains("\"ph\": \"f\""), "{text}");
+        assert!(text.contains("\"id\": 7"), "{text}");
+        assert!(text.contains("\"bp\": \"e\""), "{text}");
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 4);
+        // At the shared timestamp the slice precedes the flow finish.
+        let slice = text.find("\"cat\": \"run\"").unwrap();
+        let finish = text.find("\"ph\": \"f\"").unwrap();
+        assert!(slice < finish, "{text}");
+    }
+
+    #[test]
+    fn validator_requires_flow_id() {
+        let bad = r#"{"traceEvents":[{"name":"x","cat":"c","ph":"s","pid":1,"tid":0,"ts":0}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("id"));
     }
 
     #[test]

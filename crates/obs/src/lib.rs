@@ -23,6 +23,10 @@
 //!   plus a CAP (reconfiguration port) track.
 //! - **[`gantt`]** — a generic ASCII Gantt renderer for terminal
 //!   debugging ([`render_gantt`]).
+//! - **[`spans`]** — Dapper-style [`Span`] trees (app → batch item →
+//!   task with reconfig/preempt/requeue children and causal links), the
+//!   data model behind `nimblock analyze explain`, plus the bounded
+//!   [`SpanBuffer`] required in span-recording hot paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +35,13 @@ pub mod chrome;
 pub mod gantt;
 pub mod log;
 pub mod registry;
+pub mod spans;
 
 pub use chrome::{validate_chrome_trace, ChromeTrace};
 pub use gantt::{render_gantt, GanttRow, GanttSpan};
 pub use log::{capture, log_emit, log_enabled, set_filter, CaptureGuard, Level};
 pub use registry::{
-    validate_prometheus, Counter, Gauge, Histogram, Registry, HISTOGRAM_FINITE_BUCKETS,
+    validate_prometheus, Counter, Gauge, Histogram, QuantileDigest, Registry, DIGEST_BUCKETS,
+    DIGEST_SUB_BUCKETS, HISTOGRAM_FINITE_BUCKETS,
 };
+pub use spans::{format_micros, Span, SpanBuffer, SpanKind};

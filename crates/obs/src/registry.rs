@@ -21,6 +21,15 @@ use nimblock_ser::{Json, ToJson};
 /// beyond any run this testbed produces.
 pub const HISTOGRAM_FINITE_BUCKETS: usize = 48;
 
+/// Sub-buckets per power-of-two octave in a [`QuantileDigest`]. With 32
+/// sub-buckets the worst-case relative error of any reported quantile is
+/// `1/32 = 3.125%`; values below 32 are stored exactly.
+pub const DIGEST_SUB_BUCKETS: usize = 32;
+
+/// Total fixed bucket count of a [`QuantileDigest`]: 32 exact small-value
+/// buckets plus 32 sub-buckets for each of the 59 octaves `2^5 .. 2^63`.
+pub const DIGEST_BUCKETS: usize = DIGEST_SUB_BUCKETS + (64 - 5) * DIGEST_SUB_BUCKETS;
+
 /// A monotonically increasing counter.
 ///
 /// # Example
@@ -229,11 +238,154 @@ impl fmt::Debug for Histogram {
     }
 }
 
+struct DigestInner {
+    /// `DIGEST_BUCKETS` fixed sub-logarithmic buckets; see
+    /// [`QuantileDigest::bucket_index`].
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for DigestInner {
+    fn default() -> Self {
+        DigestInner {
+            buckets: (0..DIGEST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-memory streaming quantile sketch (HDR-histogram style) over
+/// non-negative integer observations.
+///
+/// Values below [`DIGEST_SUB_BUCKETS`] are counted exactly; larger values
+/// fall into one of 32 sub-buckets per power-of-two octave, bounding the
+/// relative error of any reported quantile by `1/32 = 3.125%`. Memory is a
+/// fixed [`DIGEST_BUCKETS`]-entry array (~15 KiB), independent of the
+/// number of observations, and [`QuantileDigest::merge_from`] is exact
+/// bucket-wise addition — so digests recorded on independent cluster
+/// shards merge into the same sketch the single-threaded oracle produces.
+///
+/// Reported quantiles are always a bucket *upper bound*, making the output
+/// deterministic: the same multiset of observations yields byte-identical
+/// renderings regardless of arrival order or shard assignment.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_obs::QuantileDigest;
+/// let d = QuantileDigest::detached();
+/// for v in 1..=100 {
+///     d.observe(v);
+/// }
+/// assert_eq!(d.quantile(0.5), 50);
+/// assert_eq!(d.count(), 100);
+/// ```
+#[derive(Clone, Default)]
+pub struct QuantileDigest(Arc<DigestInner>);
+
+impl QuantileDigest {
+    /// Creates a digest not attached to any registry.
+    pub fn detached() -> Self {
+        QuantileDigest::default()
+    }
+
+    /// Returns the bucket index for `value`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < DIGEST_SUB_BUCKETS as u64 {
+            value as usize
+        } else {
+            // Leading bit position (floor log2); >= 5 here.
+            let exp = 63 - value.leading_zeros() as usize;
+            // Top 5 bits below the leading bit select the sub-bucket.
+            let sub = ((value >> (exp - 5)) as usize) & (DIGEST_SUB_BUCKETS - 1);
+            DIGEST_SUB_BUCKETS + (exp - 5) * DIGEST_SUB_BUCKETS + sub
+        }
+    }
+
+    /// Returns the largest value mapping to bucket `index` (the value the
+    /// sketch reports for any quantile landing in that bucket).
+    fn bucket_upper_bound(index: usize) -> u64 {
+        if index < DIGEST_SUB_BUCKETS {
+            index as u64
+        } else {
+            let exp = (index - DIGEST_SUB_BUCKETS) / DIGEST_SUB_BUCKETS + 5;
+            let sub = ((index - DIGEST_SUB_BUCKETS) % DIGEST_SUB_BUCKETS) as u64;
+            let step = 1u64 << (exp - 5);
+            // Saturating keeps the topmost bucket (`2^64 - 1`) exact
+            // without overflowing the intermediate.
+            ((1u64 << exp) - 1).saturating_add((sub + 1) * step)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns the sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Returns the value at quantile `q` in `[0, 1]` — the upper bound of
+    /// the bucket containing the observation of rank `ceil(q * count)`.
+    /// Returns 0 for an empty digest. Within 3.125% of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut running = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            running += bucket.load(Ordering::Relaxed);
+            if running >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(DIGEST_BUCKETS - 1)
+    }
+
+    /// Adds `other`'s buckets, sum, and count into this digest (shard
+    /// merge). Exact because both sides share the same fixed buckets.
+    pub fn merge_from(&self, other: &QuantileDigest) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for QuantileDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantileDigest(count={}, p50={}, p99={})",
+            self.count(),
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Handle {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Digest(QuantileDigest),
 }
 
 impl Handle {
@@ -242,6 +394,7 @@ impl Handle {
             Handle::Counter(_) => "counter",
             Handle::Gauge(_) => "gauge",
             Handle::Histogram(_) => "histogram",
+            Handle::Digest(_) => "summary",
         }
     }
 }
@@ -352,6 +505,19 @@ impl Registry {
         }
     }
 
+    /// Registers (or retrieves) a [`QuantileDigest`], rendered as a
+    /// Prometheus `summary` (P50/P95/P99 plus `_sum`/`_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or a kind conflict.
+    pub fn digest(&self, name: &str, help: &str) -> QuantileDigest {
+        match self.register(name, help, || Handle::Digest(QuantileDigest::detached())) {
+            Handle::Digest(d) => d,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
     /// Merges every instrument of `shard` into this registry, in `shard`'s
     /// registration order: counters add, histograms add bucket-wise, gauges
     /// take the maximum (high-water semantics). Instruments missing here
@@ -378,6 +544,7 @@ impl Registry {
                 Handle::Counter(theirs) => self.counter(&name, &help).merge_from(&theirs),
                 Handle::Gauge(theirs) => self.gauge(&name, &help).merge_max(&theirs),
                 Handle::Histogram(theirs) => self.histogram(&name, &help).merge_from(&theirs),
+                Handle::Digest(theirs) => self.digest(&name, &help).merge_from(&theirs),
             }
         }
     }
@@ -438,6 +605,18 @@ impl Registry {
                     let _ = writeln!(out, "{}_sum {}", inst.name, h.sum());
                     let _ = writeln!(out, "{}_count {}", inst.name, h.count());
                 }
+                Handle::Digest(d) => {
+                    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                        let _ = writeln!(
+                            out,
+                            "{}{{quantile=\"{label}\"}} {}",
+                            inst.name,
+                            d.quantile(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum {}", inst.name, d.sum());
+                    let _ = writeln!(out, "{}_count {}", inst.name, d.count());
+                }
             }
         }
         out
@@ -487,6 +666,13 @@ impl ToJson for Registry {
                                 })
                                 .collect();
                             pairs.push(("buckets".to_owned(), Json::Array(buckets)));
+                        }
+                        Handle::Digest(d) => {
+                            pairs.push(("count".to_owned(), Json::U64(d.count())));
+                            pairs.push(("sum".to_owned(), Json::U64(d.sum())));
+                            pairs.push(("p50".to_owned(), Json::U64(d.quantile(0.5))));
+                            pairs.push(("p95".to_owned(), Json::U64(d.quantile(0.95))));
+                            pairs.push(("p99".to_owned(), Json::U64(d.quantile(0.99))));
                         }
                     }
                     Json::Object(pairs)
@@ -696,6 +882,78 @@ mod tests {
         assert_eq!(merged.bucket_counts(), whole.bucket_counts());
         assert_eq!(merged.sum(), whole.sum());
         assert_eq!(merged.count(), whole.count());
+    }
+
+    #[test]
+    fn digest_is_exact_for_small_values() {
+        let d = QuantileDigest::detached();
+        for v in 0..32u64 {
+            d.observe(v);
+        }
+        assert_eq!(d.quantile(0.0), 0);
+        assert_eq!(d.quantile(0.5), 15);
+        assert_eq!(d.quantile(1.0), 31);
+        assert_eq!(d.sum(), (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn digest_relative_error_is_bounded() {
+        let d = QuantileDigest::detached();
+        for v in 1..=100_000u64 {
+            d.observe(v);
+        }
+        for q in [0.5f64, 0.9, 0.95, 0.99, 0.999] {
+            let exact = (q * 100_000.0).ceil() as u64;
+            let got = d.quantile(q);
+            assert!(
+                got >= exact,
+                "q={q}: reported {got} below exact {exact} (upper bound broken)"
+            );
+            let err = (got - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 32.0, "q={q}: relative error {err} > 1/32");
+        }
+    }
+
+    #[test]
+    fn digest_merge_matches_whole() {
+        let a = QuantileDigest::detached();
+        let b = QuantileDigest::detached();
+        let whole = QuantileDigest::detached();
+        for v in [0u64, 7, 31, 32, 1_000, 80_000, u64::MAX] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [5u64, 64, 12_345, 1 << 40] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        let merged = QuantileDigest::detached();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.sum(), whole.sum());
+        for q in [0.1, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn digest_renders_summary_and_validates() {
+        let registry = Registry::new();
+        let d = registry.digest("resp_micros", "response times");
+        for v in 1..=1000u64 {
+            d.observe(v);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE resp_micros summary"), "{text}");
+        assert!(text.contains("resp_micros{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("resp_micros{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("resp_micros_count 1000"), "{text}");
+        validate_prometheus(&text).unwrap();
+        // Merge into a fresh registry reproduces the page byte-for-byte.
+        let target = Registry::new();
+        target.merge_from(&registry);
+        assert_eq!(target.render_prometheus(), text);
     }
 
     #[test]

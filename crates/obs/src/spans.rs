@@ -1,0 +1,300 @@
+//! Span trees: the hierarchical time model behind response-time
+//! attribution.
+//!
+//! A [`Span`] is a named `[start_us, end_us)` interval with children and
+//! causal links, Dapper-style: an application span owns batch-item spans,
+//! batch-item spans own task spans, and tasks own reconfig / preempt /
+//! requeue child spans. `nimblock-core::attribution` derives these trees
+//! from a recorded `Trace`; this module only defines the data model, a
+//! bounded [`SpanBuffer`] for span-recording hot paths, and the indented
+//! text renderer used by `nimblock analyze explain`.
+//!
+//! Spans on the critical path (the chain of intervals that actually
+//! determined when the application retired) are flagged `critical` and
+//! rendered with a `*` marker.
+
+use std::fmt;
+
+use nimblock_ser::{Json, ToJson};
+
+/// What a [`Span`] represents in the scheduling hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Whole-application span: arrival to retire.
+    App,
+    /// One batch item (a pipeline stage instance) of a task.
+    BatchItem,
+    /// One task (kernel) of an application.
+    Task,
+    /// A CAP reconfiguration serving this application.
+    Reconfig,
+    /// Time lost to a preemption (preempt event to re-admission).
+    Preempt,
+    /// Time spent requeued and waiting after losing a slot.
+    Requeue,
+    /// Initial queue wait before first launch.
+    Queue,
+}
+
+impl SpanKind {
+    /// Stable lowercase label used in renderings and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::App => "app",
+            SpanKind::BatchItem => "item",
+            SpanKind::Task => "task",
+            SpanKind::Reconfig => "reconfig",
+            SpanKind::Preempt => "preempt",
+            SpanKind::Requeue => "requeue",
+            SpanKind::Queue => "queue",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One node of a span tree: a named half-open interval
+/// `[start_us, end_us)` in simulated microseconds, with child spans and
+/// causal links to the events that *enabled* it (e.g. the CAP
+/// reconfiguration a task start waited on, or the blocking predecessor
+/// task in the application DAG).
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Human-readable name, e.g. `app17`, `task2`, `reconfig slot1`.
+    pub name: String,
+    /// Position in the scheduling hierarchy.
+    pub kind: SpanKind,
+    /// Start, simulated microseconds.
+    pub start_us: u64,
+    /// End, simulated microseconds (`>= start_us`).
+    pub end_us: u64,
+    /// `true` if this span lies on the app's critical path.
+    pub critical: bool,
+    /// Causal links: names of spans/resources that gated this one
+    /// (`cap`, `pred:taskN`, ...).
+    pub links: Vec<String>,
+    /// Child spans, ordered by `start_us`.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Creates a leaf span.
+    pub fn new(name: impl Into<String>, kind: SpanKind, start_us: u64, end_us: u64) -> Self {
+        Span {
+            name: name.into(),
+            kind,
+            start_us,
+            end_us,
+            critical: false,
+            links: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Span length in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Total node count of this subtree (including `self`).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(Span::node_count).sum::<usize>()
+    }
+
+    /// Renders this subtree as an indented text block, two spaces per
+    /// level, `*`-marking critical-path spans:
+    ///
+    /// ```text
+    /// * app app17 [0 .. 400000] 400.0ms
+    ///     queue wait [0 .. 80000] 80.0ms
+    ///   * task task0 [80000 .. 400000] 320.0ms <- cap
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let marker = if self.critical { "*" } else { " " };
+        let links = if self.links.is_empty() {
+            String::new()
+        } else {
+            format!(" <- {}", self.links.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "{}{} {} {} [{} .. {}] {}{}",
+            "  ".repeat(depth),
+            marker,
+            self.kind,
+            self.name,
+            self.start_us,
+            self.end_us,
+            format_micros(self.duration_us()),
+            links,
+        );
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("kind".to_owned(), Json::Str(self.kind.label().to_owned())),
+            ("start_us".to_owned(), Json::U64(self.start_us)),
+            ("end_us".to_owned(), Json::U64(self.end_us)),
+            ("critical".to_owned(), Json::Bool(self.critical)),
+            (
+                "links".to_owned(),
+                Json::Array(self.links.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "children".to_owned(),
+                Json::Array(self.children.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Formats microseconds as a human-readable duration (`80.0ms`, `1.500s`).
+pub fn format_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{}.{:03}s", us / 1_000_000, (us % 1_000_000) / 1_000)
+    } else if us >= 1_000 {
+        format!("{}.{}ms", us / 1_000, (us % 1_000) / 100)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// A bounded span buffer for recording hot paths.
+///
+/// Span recording must never grow without bound inside the scheduling
+/// loop (that would trade scheduler latency for observability — the
+/// wrong direction), so this buffer has a hard capacity fixed at
+/// construction: pushes beyond it are counted in
+/// [`SpanBuffer::dropped`] instead of stored. The repo lint rule
+/// `no-unbounded-span-buffer` enforces that span hot paths go through
+/// this type (or explicitly justify why not).
+#[derive(Debug, Clone)]
+pub struct SpanBuffer {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanBuffer {
+    /// Creates a buffer holding at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanBuffer {
+            spans: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `span` if the buffer has room; otherwise counts it as
+    /// dropped. Returns `true` if stored.
+    pub fn push(&mut self, span: Span) -> bool {
+        if self.spans.len() < self.capacity {
+            // Bounded by the capacity check above.
+            self.spans.push(span);
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Stored spans, in push order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of stored spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Maximum number of spans this buffer will store.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of spans rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the buffer, returning the stored spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_marks_critical_and_indents_children() {
+        let mut app = Span::new("app17", SpanKind::App, 0, 400_000);
+        app.critical = true;
+        let mut task = Span::new("task0", SpanKind::Task, 80_000, 400_000);
+        task.critical = true;
+        task.links.push("cap".to_owned());
+        app.children.push(Span::new("wait", SpanKind::Queue, 0, 80_000));
+        app.children.push(task);
+        let text = app.render();
+        assert!(text.contains("* app app17 [0 .. 400000] 400.0ms"), "{text}");
+        assert!(text.contains("  * task task0"), "{text}");
+        assert!(text.contains("<- cap"), "{text}");
+        assert!(text.contains("  queue wait"), "{text}");
+        assert_eq!(app.node_count(), 3);
+    }
+
+    #[test]
+    fn span_buffer_is_bounded() {
+        let mut buffer = SpanBuffer::with_capacity(2);
+        assert!(buffer.push(Span::new("a", SpanKind::Task, 0, 1)));
+        assert!(buffer.push(Span::new("b", SpanKind::Task, 1, 2)));
+        assert!(!buffer.push(Span::new("c", SpanKind::Task, 2, 3)));
+        assert_eq!(buffer.len(), 2);
+        assert_eq!(buffer.dropped(), 1);
+        assert_eq!(buffer.capacity(), 2);
+    }
+
+    #[test]
+    fn span_json_roundtrips() {
+        let mut span = Span::new("app0", SpanKind::App, 10, 20);
+        span.children.push(Span::new("t", SpanKind::Task, 12, 20));
+        let text = nimblock_ser::to_string_pretty(&span);
+        let parsed = nimblock_ser::parse(&text).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("app"));
+        assert_eq!(
+            parsed.get("children").unwrap().as_array().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn format_micros_scales_units() {
+        assert_eq!(format_micros(999), "999us");
+        assert_eq!(format_micros(80_000), "80.0ms");
+        assert_eq!(format_micros(1_500_000), "1.500s");
+    }
+}

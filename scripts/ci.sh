@@ -15,6 +15,8 @@
 #   workspace-test  cargo test -q --offline --workspace
 #   telemetry       CLI smoke: metrics text + chrome trace parse
 #   invariants      checked run + standalone trace re-verification
+#   explain         response-time attribution: `analyze explain` on a
+#                   congested trace must decompose exactly in every format
 #   goldens         golden-drift: regenerate goldens, fail if they differ
 #                   from the committed files
 #   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json
@@ -30,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-ALL_STAGES=(lint build test workspace-test telemetry invariants goldens bench-gate)
+ALL_STAGES=(lint build test workspace-test telemetry invariants explain goldens bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -98,6 +100,30 @@ stage_invariants() {
     ./target/release/nimblock-cli analyze trace "$smoke_dir/trace.json"
 }
 
+stage_explain() {
+    # The attribution engine must decompose every application's response
+    # time exactly (the CLI exits nonzero otherwise), in all three report
+    # formats, on a congested preempting trace.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli run \
+        --scheduler nimblock --scenario stress --events 8 --seed 41 \
+        --trace-format json --trace-out "$smoke_dir/explain-trace.json" \
+        > /dev/null
+    ./target/release/nimblock-cli analyze explain "$smoke_dir/explain-trace.json" \
+        > "$smoke_dir/explain.txt"
+    grep -q "exact decomposition: yes" "$smoke_dir/explain.txt" \
+        || { echo "error: explain lost its exactness line" >&2; return 1; }
+    ./target/release/nimblock-cli analyze explain "$smoke_dir/explain-trace.json" \
+        --format md > "$smoke_dir/explain.md"
+    grep -q "^# Response-time attribution" "$smoke_dir/explain.md" \
+        || { echo "error: markdown explain lost its heading" >&2; return 1; }
+    ./target/release/nimblock-cli analyze explain "$smoke_dir/explain-trace.json" \
+        --format json > "$smoke_dir/explain.json"
+    grep -q '"exact": *true' "$smoke_dir/explain.json" \
+        || { echo "error: JSON explain does not attest exactness" >&2; return 1; }
+    echo "ok: attribution is exact in text, md, and json"
+}
+
 stage_goldens() {
     # Regenerate every golden in place, then require the tree to be clean:
     # a diff means an encoding change landed without its golden refresh.
@@ -133,6 +159,7 @@ run_stage() {
         workspace-test) stage_workspace_test ;;
         telemetry) stage_telemetry ;;
         invariants) stage_invariants ;;
+        explain) stage_explain ;;
         goldens) stage_goldens ;;
         bench-gate) stage_bench_gate ;;
         *)

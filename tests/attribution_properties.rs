@@ -1,0 +1,212 @@
+//! Property tests for the response-time attribution engine: the six
+//! components must sum *exactly* (integer microseconds) to every
+//! application's measured response time, for every policy the paper
+//! evaluates, on randomized contended workloads — plus an adversarial
+//! preemption fixture where the victim's `preemption_loss` must be
+//! visible, and structural checks on the derived span trees.
+
+use nimblock_check::{check, prop_assert, prop_assert_eq, Gen};
+
+use nimblock::app::{benchmarks, Priority};
+use nimblock::core::{
+    attribute_trace, span_trees, FcfsScheduler, NimblockConfig, NimblockScheduler,
+    NoSharingScheduler, PremaScheduler, RoundRobinScheduler, Scheduler, Testbed,
+    TraceEvent,
+};
+use nimblock::fpga::DeviceConfig;
+use nimblock::obs::SpanKind;
+use nimblock::sim::SimTime;
+use nimblock::workload::{generate, ArrivalEvent, EventSequence, Scenario};
+
+/// The five policies of the paper's evaluation (Fig. 5) plus the Nimblock
+/// ablation without pipelining: attribution must be exact on all of them.
+fn policies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(NoSharingScheduler::new()),
+        Box::new(FcfsScheduler::new()),
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(PremaScheduler::new()),
+        Box::new(NimblockScheduler::default()),
+        Box::new(NimblockScheduler::with_config(NimblockConfig::no_pipelining())),
+    ]
+}
+
+/// A randomized contended workload: few slots, stress/realtime arrival
+/// bursts — the regime where queueing, CAP serialization, and preemption
+/// all show up in the decomposition.
+fn arb_stimulus(g: &mut Gen) -> (EventSequence, usize) {
+    let seed = g.u64(0..=u64::MAX);
+    let events = g.usize(3..=9);
+    let scenario = match g.usize(0..=2) {
+        0 => Scenario::Standard,
+        1 => Scenario::Stress,
+        _ => Scenario::RealTime,
+    };
+    let slots = g.usize(3..=10);
+    (generate(seed, events, scenario), slots)
+}
+
+#[test]
+fn components_sum_exactly_for_every_policy_on_random_workloads() {
+    check("components_sum_exactly_for_every_policy", |g| {
+        let (events, slots) = arb_stimulus(g);
+        let config = DeviceConfig::zcu106().with_slot_count(slots);
+        for policy in policies() {
+            let name = policy.name().to_owned();
+            let (report, trace) = Testbed::new(policy)
+                .with_device_config(config.clone())
+                .run_traced(&events);
+            let summary = attribute_trace(&trace);
+            prop_assert_eq!(summary.apps.len(), events.len());
+            prop_assert!(summary.is_exact(), "inexact decomposition under {name}");
+            // Each app's attributed response equals the report's measured
+            // response, and the integer identity holds app by app.
+            for (app, record) in summary.apps.iter().zip(report.records()) {
+                prop_assert_eq!(app.event_index, record.event_index);
+                prop_assert_eq!(app.response_micros, record.response_time().as_micros());
+                prop_assert!(
+                    app.components.sums_to(app.response_micros),
+                    "components of {app_name} do not sum under {name}",
+                    app_name = app.app_name
+                );
+            }
+            // The testbed wires the same summary into the report.
+            prop_assert_eq!(report.attribution(), Some(&summary));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn per_priority_buckets_partition_the_totals() {
+    check("per_priority_buckets_partition_the_totals", |g| {
+        let (events, slots) = arb_stimulus(g);
+        let (_, trace) = Testbed::new(NimblockScheduler::default())
+            .with_device_config(DeviceConfig::zcu106().with_slot_count(slots))
+            .run_traced(&events);
+        let summary = attribute_trace(&trace);
+        let weights: Vec<u32> = summary.per_priority.iter().map(|b| b.weight).collect();
+        prop_assert_eq!(weights, vec![1, 3, 9]);
+        let bucket_apps: u64 = summary.per_priority.iter().map(|b| b.apps).sum();
+        prop_assert_eq!(bucket_apps as usize, summary.apps.len());
+        let bucket_response: u64 = summary
+            .per_priority
+            .iter()
+            .map(|b| b.response_micros)
+            .sum();
+        prop_assert_eq!(bucket_response, summary.response_micros);
+        let folded = summary
+            .per_priority
+            .iter()
+            .fold(nimblock::metrics::AttributionComponents::default(), |acc, b| {
+                acc.merged(b.components)
+            });
+        prop_assert_eq!(folded, summary.totals);
+        Ok(())
+    });
+}
+
+#[test]
+fn span_trees_cover_every_retired_app_within_its_lifetime() {
+    check("span_trees_cover_every_retired_app", |g| {
+        let (events, slots) = arb_stimulus(g);
+        let (report, trace) = Testbed::new(NimblockScheduler::default())
+            .with_device_config(DeviceConfig::zcu106().with_slot_count(slots))
+            .run_traced(&events);
+        let trees = span_trees(&trace);
+        prop_assert_eq!(trees.len(), report.records().len());
+        for (root, record) in trees.iter().zip(report.records()) {
+            prop_assert!(root.critical, "the app root is always on the critical path");
+            prop_assert_eq!(root.kind, SpanKind::App);
+            prop_assert_eq!(root.duration_us(), record.response_time().as_micros());
+            // Children nest inside the root and are sorted by start time.
+            let mut last_start = 0u64;
+            for child in &root.children {
+                prop_assert!(child.start_us >= root.start_us);
+                prop_assert!(child.end_us <= root.end_us);
+                prop_assert!(child.start_us >= last_start, "children sorted by start");
+                last_start = child.start_us;
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Adversarial fixture: a low-priority app occupies a two-slot device when
+/// high-priority arrivals force the Nimblock policy to batch-preempt *all*
+/// of its slots. Unlike a wide pipelined monopolist (whose surviving tasks
+/// keep it busy through the eviction), a fully evicted victim sits idle —
+/// the decomposition must make that window visible as nonzero
+/// `preemption_loss`.
+#[test]
+fn preempted_monopolist_shows_nonzero_preemption_loss() {
+    let events = EventSequence::new(vec![
+        ArrivalEvent::new(benchmarks::lenet(), 30, Priority::Low, SimTime::ZERO),
+        ArrivalEvent::new(
+            benchmarks::lenet(),
+            2,
+            Priority::High,
+            SimTime::from_millis(1_000),
+        ),
+        ArrivalEvent::new(
+            benchmarks::lenet(),
+            2,
+            Priority::High,
+            SimTime::from_millis(1_300),
+        ),
+    ]);
+    let config = DeviceConfig::zcu106().with_slot_count(2);
+    let (report, trace) = Testbed::new(NimblockScheduler::default())
+        .with_device_config(config)
+        .run_traced(&events);
+    let preempts = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Preempt { .. }))
+        .count();
+    assert!(preempts > 0, "the fixture must actually force a preemption");
+    let summary = attribute_trace(&trace);
+    assert!(summary.is_exact());
+    let victim = summary
+        .apps
+        .iter()
+        .find(|a| a.event_index == 0)
+        .expect("monopolist retired");
+    assert!(
+        victim.components.preemption_loss > 0,
+        "the evicted window must be attributed: {:?}",
+        victim.components
+    );
+    // The corresponding report record counts the same preemptions.
+    let record = report
+        .records()
+        .iter()
+        .find(|r| r.event_index == 0)
+        .unwrap();
+    assert!(record.preemptions > 0);
+    // And the victim's span tree carries an explicit preemption span.
+    let trees = span_trees(&trace);
+    let root = &trees[victim.event_index];
+    fn has_preempt(span: &nimblock::obs::Span) -> bool {
+        span.kind == SpanKind::Preempt || span.children.iter().any(has_preempt)
+    }
+    assert!(has_preempt(root), "missing Preempt span:\n{}", root.render());
+}
+
+#[test]
+fn attribution_is_deterministic_and_instrumentation_free() {
+    // Same stimulus, same policy: byte-identical attribution; and running
+    // with a metrics registry attached must not change the decomposition.
+    let events = generate(41, 8, Scenario::Stress);
+    let (r1, t1) = Testbed::new(PremaScheduler::new()).run_traced(&events);
+    let registry = nimblock::obs::Registry::new();
+    let (r2, t2) = Testbed::new(PremaScheduler::new())
+        .with_metrics(registry)
+        .run_traced(&events);
+    assert_eq!(attribute_trace(&t1), attribute_trace(&t2));
+    assert_eq!(r1.attribution(), r2.attribution());
+    assert_eq!(
+        nimblock_ser::to_string_pretty(&attribute_trace(&t1)),
+        nimblock_ser::to_string_pretty(&attribute_trace(&t2))
+    );
+}
