@@ -358,6 +358,18 @@ mod tests {
     }
 
     #[test]
+    fn gate_tolerance_boundary_is_inclusive() {
+        // The pass rule is `fresh >= (1 - tolerance) * baseline`: a row
+        // exactly at the edge passes, an epsilon below it fails, and a
+        // zero tolerance admits only non-regressions.
+        let baseline = report(&[(8, 1, 1000.0)]);
+        assert!(gate_compare(&baseline, &report(&[(8, 1, 850.0)]), 0.15).pass);
+        assert!(!gate_compare(&baseline, &report(&[(8, 1, 849.9)]), 0.15).pass);
+        assert!(gate_compare(&baseline, &report(&[(8, 1, 1000.0)]), 0.0).pass);
+        assert!(!gate_compare(&baseline, &report(&[(8, 1, 999.9)]), 0.0).pass);
+    }
+
+    #[test]
     fn gate_fails_when_a_baseline_row_vanishes() {
         let baseline = report(&[(8, 1, 100.0), (8, 8, 100.0)]);
         let fresh = report(&[(8, 1, 100.0)]);

@@ -6,6 +6,7 @@
 //! roster, the standard stimulus parameters, and result aggregation.
 
 pub mod cluster_scale;
+pub mod engine_hot_path;
 pub mod micro;
 pub mod results;
 

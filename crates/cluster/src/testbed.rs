@@ -100,6 +100,7 @@ pub struct ClusterTestbed<F> {
     threads: usize,
     tracing: bool,
     metrics: Option<nimblock_obs::Registry>,
+    legacy_queue: bool,
 }
 
 impl<S, F> ClusterTestbed<F>
@@ -128,7 +129,17 @@ where
             threads: 1,
             tracing: false,
             metrics: None,
+            legacy_queue: false,
         }
+    }
+
+    /// Runs every board on the retired binary-heap event queue instead of
+    /// the calendar queue; differential-suite use only (see the
+    /// `legacy-queue` feature).
+    #[cfg(feature = "legacy-queue")]
+    pub fn with_legacy_queue(mut self) -> Self {
+        self.legacy_queue = true;
+        self
     }
 
     /// Sets how many worker threads simulate boards in parallel.
@@ -209,6 +220,7 @@ where
         let horizon = self.horizon;
         let tracing = self.tracing;
         let sharded = self.metrics.is_some();
+        let legacy_queue = self.legacy_queue;
         let jobs: Vec<_> = board_events
             .into_iter()
             .map(|(stimulus, globals)| {
@@ -222,6 +234,7 @@ where
                         horizon,
                         tracing,
                         sharded,
+                        legacy_queue,
                     )
                 }
             })
@@ -304,6 +317,7 @@ fn run_board<S: Scheduler>(
     horizon: SimTime,
     tracing: bool,
     sharded: bool,
+    legacy_queue: bool,
 ) -> BoardOutcome {
     let shard = sharded.then(nimblock_obs::Registry::new);
     if let Some(shard) = &shard {
@@ -320,7 +334,12 @@ fn run_board<S: Scheduler>(
     if tracing {
         hypervisor = hypervisor.with_tracing();
     }
-    let mut sim = Simulation::new(hypervisor);
+    let queue = if legacy_queue {
+        nimblock_sim::EventQueue::legacy_heap()
+    } else {
+        nimblock_sim::EventQueue::new()
+    };
+    let mut sim = Simulation::with_queue(hypervisor, queue);
     for (local, at) in arrivals.iter().enumerate() {
         sim.queue_mut().push(*at, HvEvent::Arrival(local));
     }

@@ -1,0 +1,238 @@
+//! Dense arena of live application runtimes, indexed by [`AppId`].
+//!
+//! [`AppId`]s are handed out densely in arrival order, so the live set at
+//! any instant is a contiguous id range with holes where applications
+//! already retired. The arena exploits that: a `VecDeque` of `Option`
+//! slots addressed by `id − base`, giving O(1) lookup, insert, and remove
+//! on the hypervisor's per-event path with no tree rebalancing and no
+//! per-entry allocation. Retired slots at the front are reclaimed by
+//! advancing `base`, so memory tracks the live window rather than the
+//! whole run history.
+//!
+//! Iteration order is ascending [`AppId`] — identical to the `BTreeMap`
+//! this structure replaced, which the schedulers' oldest-first age
+//! ordering (PREMA, Nimblock) and byte-identical reports rely on.
+
+use std::collections::VecDeque;
+
+use crate::{AppId, AppRuntime};
+
+/// Arena of live [`AppRuntime`]s with O(1) id-indexed access and
+/// ascending-id iteration. See the module docs for the layout.
+#[derive(Debug, Clone, Default)]
+pub struct AppArena {
+    /// Id of `slots[0]`, once any slot exists.
+    base: u64,
+    /// One slot per id in `[base, base + slots.len())`; `None` = retired.
+    slots: VecDeque<Option<AppRuntime>>,
+    /// Number of `Some` slots.
+    live: usize,
+}
+
+impl AppArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        AppArena::default()
+    }
+
+    /// Returns the number of live applications.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if no applications are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Returns `true` if `id` is live.
+    pub fn contains(&self, id: AppId) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn index_of(&self, id: AppId) -> Option<usize> {
+        id.raw().checked_sub(self.base).map(|offset| offset as usize)
+    }
+
+    /// Returns the runtime of `id`, if live.
+    pub fn get(&self, id: AppId) -> Option<&AppRuntime> {
+        let index = self.index_of(id)?;
+        self.slots.get(index)?.as_ref()
+    }
+
+    /// Returns the runtime of `id` mutably, if live.
+    pub fn get_mut(&mut self, id: AppId) -> Option<&mut AppRuntime> {
+        let index = self.index_of(id)?;
+        self.slots.get_mut(index)?.as_mut()
+    }
+
+    /// Inserts `runtime` under its own id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already live or falls below the arena's
+    /// reclaimed front — ids must be assigned in non-decreasing order, the
+    /// hypervisor's arrival-order contract.
+    pub fn insert(&mut self, runtime: AppRuntime) {
+        let raw = runtime.id().raw();
+        if self.slots.is_empty() {
+            self.base = raw;
+        }
+        let offset = raw.checked_sub(self.base).unwrap_or_else(|| {
+            panic!("app id {raw} inserted below the arena base {}", self.base)
+        });
+        let index = offset as usize;
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.slots[index];
+        assert!(slot.is_none(), "app id {raw} inserted twice");
+        *slot = Some(runtime);
+        self.live += 1;
+    }
+
+    /// Removes and returns the runtime of `id`, reclaiming any retired
+    /// prefix so the arena's footprint tracks the live id window.
+    pub fn remove(&mut self, id: AppId) -> Option<AppRuntime> {
+        let index = self.index_of(id)?;
+        let runtime = self.slots.get_mut(index)?.take()?;
+        self.live -= 1;
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() {
+            self.base = 0;
+        }
+        Some(runtime)
+    }
+
+    /// Iterates live applications in ascending id (= arrival age) order.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, &AppRuntime)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .map(|runtime| (runtime.id(), runtime))
+    }
+
+    /// Iterates live application ids, oldest (lowest) first.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+}
+
+impl std::ops::Index<AppId> for AppArena {
+    type Output = AppRuntime;
+
+    fn index(&self, id: AppId) -> &AppRuntime {
+        self.get(id).unwrap_or_else(|| {
+            // Indexing a retired id is a caller bug, same as `BTreeMap`'s
+            // panicking `Index`. nimblock: allow(no-unwrap-hot-path)
+            panic!("no live application {id}")
+        })
+    }
+}
+
+impl FromIterator<AppRuntime> for AppArena {
+    fn from_iter<I: IntoIterator<Item = AppRuntime>>(iter: I) -> Self {
+        let mut arena = AppArena::new();
+        for runtime in iter {
+            arena.insert(runtime);
+        }
+        arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use nimblock_app::{benchmarks, Priority};
+    use nimblock_fpga::BitstreamId;
+    use nimblock_sim::SimTime;
+
+    use super::*;
+
+    fn runtime(raw: u64) -> AppRuntime {
+        let spec = Arc::new(benchmarks::lenet());
+        let n = spec.graph().task_count();
+        AppRuntime::new(
+            AppId::new(raw),
+            raw as usize,
+            spec,
+            2,
+            Priority::Medium,
+            SimTime::ZERO,
+            (0..n as u64).map(BitstreamId::new).collect(),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut arena = AppArena::new();
+        assert!(arena.is_empty());
+        arena.insert(runtime(0));
+        arena.insert(runtime(1));
+        arena.insert(runtime(2));
+        assert_eq!(arena.len(), 3);
+        assert!(arena.contains(AppId::new(1)));
+        assert_eq!(arena.get(AppId::new(2)).map(|r| r.id()), Some(AppId::new(2)));
+        assert!(arena.get(AppId::new(3)).is_none());
+        let removed = arena.remove(AppId::new(1)).expect("live");
+        assert_eq!(removed.id(), AppId::new(1));
+        assert!(arena.remove(AppId::new(1)).is_none());
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn iterates_in_ascending_id_order_with_holes() {
+        let mut arena = AppArena::new();
+        for raw in 0..6 {
+            arena.insert(runtime(raw));
+        }
+        arena.remove(AppId::new(0));
+        arena.remove(AppId::new(3));
+        let ids: Vec<u64> = arena.ids().map(AppId::raw).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn front_reclamation_bounds_memory() {
+        let mut arena = AppArena::new();
+        for raw in 0..100 {
+            arena.insert(runtime(raw));
+            if raw >= 2 {
+                arena.remove(AppId::new(raw - 2));
+            }
+        }
+        // Only the trailing live window is retained.
+        assert_eq!(arena.len(), 2);
+        assert!(arena.slots.len() <= 3, "retired prefix not reclaimed");
+        assert_eq!(arena.ids().map(AppId::raw).collect::<Vec<_>>(), vec![98, 99]);
+    }
+
+    #[test]
+    fn reuse_after_full_drain() {
+        let mut arena = AppArena::new();
+        arena.insert(runtime(5));
+        arena.remove(AppId::new(5));
+        assert!(arena.is_empty());
+        arena.insert(runtime(9));
+        assert_eq!(arena.ids().map(AppId::raw).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut arena = AppArena::new();
+        arena.insert(runtime(1));
+        arena.insert(runtime(1));
+    }
+
+    #[test]
+    fn index_returns_live_runtime() {
+        let mut arena = AppArena::new();
+        arena.insert(runtime(4));
+        assert_eq!(arena[AppId::new(4)].id(), AppId::new(4));
+    }
+}

@@ -1,6 +1,6 @@
 //! The hypervisor mechanism.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use nimblock_fpga::{Device, SlotId};
@@ -12,7 +12,9 @@ use nimblock_workload::ArrivalEvent;
 use nimblock_obs::{nb_debug, nb_info, nb_trace};
 
 use crate::trace::{Trace, TraceEvent};
-use crate::{AppId, AppRuntime, HvMetrics, Reconfig, SchedView, Scheduler, SlotBinding, TaskPhase};
+use crate::{
+    AppArena, AppId, AppRuntime, HvMetrics, Reconfig, SchedView, Scheduler, SlotBinding, TaskPhase,
+};
 
 /// A hypervisor event, delivered by the simulation engine.
 ///
@@ -56,8 +58,11 @@ pub struct Hypervisor<S> {
     device: Device,
     scheduler: S,
     stimulus: Vec<ArrivalEvent>,
-    apps: BTreeMap<AppId, AppRuntime>,
+    apps: AppArena,
     bindings: Vec<Option<(AppId, TaskId)>>,
+    /// Reusable slot-snapshot buffer for [`SchedView`]s, refreshed in place
+    /// at every scheduling point so the per-event path allocates nothing.
+    snapshot_buf: Vec<SlotBinding>,
     records: Vec<ResponseRecord>,
     next_app_raw: u64,
     arrivals_seen: usize,
@@ -90,8 +95,9 @@ impl<S: Scheduler> Hypervisor<S> {
             device,
             scheduler,
             stimulus,
-            apps: BTreeMap::new(),
+            apps: AppArena::new(),
             bindings: vec![None; slot_count],
+            snapshot_buf: Vec::with_capacity(slot_count),
             records: Vec::new(),
             next_app_raw: 0,
             arrivals_seen: 0,
@@ -192,7 +198,7 @@ impl<S: Scheduler> Hypervisor<S> {
     }
 
     /// Returns the live (admitted, unretired) applications.
-    pub fn apps(&self) -> &BTreeMap<AppId, AppRuntime> {
+    pub fn apps(&self) -> &AppArena {
         &self.apps
     }
 
@@ -219,17 +225,19 @@ impl<S: Scheduler> Hypervisor<S> {
             .with_counters(self.metrics.run_counters())
     }
 
-    fn slot_snapshot(&self) -> Vec<SlotBinding> {
-        self.device
-            .slots()
-            .iter()
-            .map(|slot| SlotBinding {
+    /// Refreshes the reusable slot snapshot in place. [`SchedView`]s are
+    /// then built from `&self.snapshot_buf` and `&self.apps` directly —
+    /// disjoint field borrows, so the scheduler (another field) can still
+    /// be called mutably while the view is alive.
+    fn refresh_snapshot(&mut self) {
+        self.snapshot_buf.clear();
+        self.snapshot_buf
+            .extend(self.device.slots().iter().map(|slot| SlotBinding {
                 slot: slot.id(),
                 state: slot.state(),
                 bound: self.bindings[slot.id().index()],
                 resources: *slot.resources(),
-            })
-            .collect()
+            }));
     }
 
     /// Admits stimulus event `index`: registers its bitstreams, creates the
@@ -297,7 +305,7 @@ impl<S: Scheduler> Hypervisor<S> {
             now,
             bitstreams,
         );
-        self.apps.insert(id, runtime);
+        self.apps.insert(runtime);
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent::Arrival {
                 app: id,
@@ -307,11 +315,11 @@ impl<S: Scheduler> Hypervisor<S> {
                 at: now,
             });
         }
-        let snapshot = self.slot_snapshot();
+        self.refresh_snapshot();
         let view = SchedView {
             now,
             apps: &self.apps,
-            slots: &snapshot,
+            slots: &self.snapshot_buf,
             reconfig_latency: self.device.nominal_reconfig_latency(),
             interconnect: self.interconnect,
         };
@@ -324,7 +332,7 @@ impl<S: Scheduler> Hypervisor<S> {
         self.device.finish_reconfiguration(slot);
         let (app, task) = self.bindings[slot.index()]
             .expect("reconfiguration completed on an unbound slot");
-        let runtime = self.apps.get_mut(&app).expect("bound app is live");
+        let runtime = self.apps.get_mut(app).expect("bound app is live");
         debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Reconfiguring(slot));
         runtime.phases[task.index()] = TaskPhase::Idle(slot);
     }
@@ -338,7 +346,7 @@ impl<S: Scheduler> Hypervisor<S> {
         }
         self.metrics.items.inc();
         self.device.finish_execution(slot);
-        let runtime = self.apps.get_mut(&app).expect("running app is live");
+        let runtime = self.apps.get_mut(app).expect("running app is live");
         debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Running(slot));
         runtime.item_progress[task.index()] = nimblock_sim::SimDuration::ZERO;
         runtime.item_started[task.index()] = None;
@@ -354,7 +362,7 @@ impl<S: Scheduler> Hypervisor<S> {
             runtime.phases[task.index()] = TaskPhase::Idle(slot);
         }
         self.free_consumed_buffers(app);
-        if self.apps[&app].is_complete() {
+        if self.apps[app].is_complete() {
             self.retire(app, now);
         }
     }
@@ -363,7 +371,7 @@ impl<S: Scheduler> Hypervisor<S> {
     /// (paper §2.2: "the hypervisor relinquishes the unneeded data
     /// buffers").
     fn free_consumed_buffers(&mut self, app: AppId) {
-        let runtime = self.apps.get_mut(&app).expect("app is live");
+        let runtime = self.apps.get_mut(app).expect("app is live");
         let graph = Arc::clone(runtime.spec()).graph_arc();
         for task in graph.task_ids() {
             let producer_done = runtime.phases[task.index()] == TaskPhase::Done;
@@ -383,7 +391,7 @@ impl<S: Scheduler> Hypervisor<S> {
     }
 
     fn retire(&mut self, app: AppId, now: SimTime) {
-        let runtime = self.apps.remove(&app).expect("retiring app is live");
+        let runtime = self.apps.remove(app).expect("retiring app is live");
         // Free any buffers the consumed-buffer sweep left behind.
         for buffer in runtime.buffers.iter().flatten() {
             self.device
@@ -429,11 +437,11 @@ impl<S: Scheduler> Hypervisor<S> {
             reconfig_time: runtime.reconfig_time,
             preemptions: runtime.preemptions,
         });
-        let snapshot = self.slot_snapshot();
+        self.refresh_snapshot();
         let view = SchedView {
             now,
             apps: &self.apps,
-            slots: &snapshot,
+            slots: &self.snapshot_buf,
             reconfig_latency: self.device.nominal_reconfig_latency(),
             interconnect: self.interconnect,
         };
@@ -450,16 +458,16 @@ impl<S: Scheduler> Hypervisor<S> {
     fn enact(&mut self, directive: Reconfig, now: SimTime, queue: &mut EventQueue<HvEvent>) {
         let Reconfig { app, task, slot } = directive;
         assert!(
-            self.apps.contains_key(&app),
+            self.apps.contains(app),
             "directive names dead application {app}"
         );
         assert_eq!(
-            self.apps[&app].phase(task),
+            self.apps[app].phase(task),
             TaskPhase::Unplaced,
             "directive places {task} of {app} which is not unplaced"
         );
         assert!(
-            self.apps[&app]
+            self.apps[app]
                 .spec()
                 .graph()
                 .task(task)
@@ -482,7 +490,7 @@ impl<S: Scheduler> Hypervisor<S> {
             let fine_checkpoint = self.fine_checkpoint;
             let victim = self
                 .apps
-                .get_mut(&victim_app)
+                .get_mut(victim_app)
                 .expect("bound app is live");
             match victim.phases[victim_task.index()] {
                 // Batch-preemption: batch state (items_done) is retained —
@@ -528,7 +536,7 @@ impl<S: Scheduler> Hypervisor<S> {
                     "preemption of {victim_task} of {victim_app} in phase {other:?}"
                 ),
             }
-            let victim = self.apps.get_mut(&victim_app).expect("bound app is live");
+            let victim = self.apps.get_mut(victim_app).expect("bound app is live");
             victim.phases[victim_task.index()] = TaskPhase::Unplaced;
             victim.preemptions += 1;
             self.metrics.preemptions.inc();
@@ -546,12 +554,12 @@ impl<S: Scheduler> Hypervisor<S> {
                 });
             }
         }
-        let bitstream = self.apps[&app].bitstream(task);
+        let bitstream = self.apps[app].bitstream(task);
         let done_at = self
             .device
             .begin_reconfiguration(slot, bitstream, reconfig_start)
             .expect("directive validated against device state");
-        let runtime = self.apps.get_mut(&app).expect("checked above");
+        let runtime = self.apps.get_mut(app).expect("checked above");
         runtime.phases[task.index()] = TaskPhase::Reconfiguring(slot);
         runtime.reconfig_time += done_at.saturating_since(now);
         self.metrics.reconfigurations.inc();
@@ -589,7 +597,7 @@ impl<S: Scheduler> Hypervisor<S> {
                 continue;
             };
             let slot = SlotId::new(slot_index as u32);
-            let runtime = self.apps.get_mut(&app).expect("bound app is live");
+            let runtime = self.apps.get_mut(app).expect("bound app is live");
             if runtime.phases[task.index()] != TaskPhase::Idle(slot) {
                 continue;
             }
@@ -601,7 +609,7 @@ impl<S: Scheduler> Hypervisor<S> {
                 let bytes = runtime.spec().graph().task(task).output_bytes();
                 match self.device.memory_mut().alloc(bytes) {
                     Ok(buffer) => {
-                        let runtime = self.apps.get_mut(&app).expect("bound app is live");
+                        let runtime = self.apps.get_mut(app).expect("bound app is live");
                         runtime.buffers[task.index()] = Some(buffer);
                     }
                     Err(_) => {
@@ -621,7 +629,7 @@ impl<S: Scheduler> Hypervisor<S> {
                 .expect("idle bound slot is configured");
             self.launch_gen[slot_index] += 1;
             let gen = self.launch_gen[slot_index];
-            let runtime = self.apps.get_mut(&app).expect("bound app is live");
+            let runtime = self.apps.get_mut(app).expect("bound app is live");
             runtime.phases[task.index()] = TaskPhase::Running(slot);
             runtime.first_launch.get_or_insert(now);
             runtime.item_started[task.index()] = Some(now);
@@ -665,12 +673,12 @@ impl<S: Scheduler> Hypervisor<S> {
     /// the configuration port is idle, then item launches.
     fn drive(&mut self, now: SimTime, queue: &mut EventQueue<HvEvent>) {
         while self.device.cap().is_idle() {
-            let snapshot = self.slot_snapshot();
+            self.refresh_snapshot();
             let directive = {
                 let view = SchedView {
                     now,
                     apps: &self.apps,
-                    slots: &snapshot,
+                    slots: &self.snapshot_buf,
                     reconfig_latency: self.device.nominal_reconfig_latency(),
                     interconnect: self.interconnect,
                 };

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod attribution;
 mod hv_metrics;
 mod hypervisor;
@@ -58,6 +59,7 @@ mod testbed;
 pub mod trace;
 mod view;
 
+pub use arena::AppArena;
 pub use attribution::{attribute_trace, span_trees};
 pub use hv_metrics::HvMetrics;
 pub use hypervisor::{Hypervisor, HvEvent};

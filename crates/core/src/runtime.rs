@@ -259,25 +259,26 @@ impl AppRuntime {
         })
     }
 
+    /// Iterates every unplaced task (in topological order) whose
+    /// predecessors have completed their whole batch, without allocating.
+    /// FCFS and round-robin walk this at every scheduling point, so the
+    /// hot path must not build a `Vec` per application per decision.
+    pub fn unplaced_ready_iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.spec.graph().topological_order().iter().copied().filter(|&t| {
+            self.phases[t.index()] == TaskPhase::Unplaced
+                && self
+                    .spec
+                    .graph()
+                    .predecessors(t)
+                    .iter()
+                    .all(|&p| self.phases[p.index()] == TaskPhase::Done)
+        })
+    }
+
     /// Returns every unplaced task (in topological order) whose
-    /// predecessors have completed their whole batch. Round-robin issues
-    /// all of these to its per-slot queues at once.
+    /// predecessors have completed their whole batch, as an owned list.
     pub fn unplaced_ready_tasks(&self) -> Vec<TaskId> {
-        self.spec
-            .graph()
-            .topological_order()
-            .iter()
-            .copied()
-            .filter(|&t| {
-                self.phases[t.index()] == TaskPhase::Unplaced
-                    && self
-                        .spec
-                        .graph()
-                        .predecessors(t)
-                        .iter()
-                        .all(|&p| self.phases[p.index()] == TaskPhase::Done)
-            })
-            .collect()
+        self.unplaced_ready_iter().collect()
     }
 
     /// Returns the placed (reconfiguring, idle, or running) task that is

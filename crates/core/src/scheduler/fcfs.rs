@@ -55,8 +55,8 @@ impl Scheduler for FcfsScheduler {
         self.metrics.decisions.inc();
         // Enqueue tasks that have just become ready. Tasks becoming ready
         // at the same scheduling point order by application age.
-        for (&app, runtime) in view.apps {
-            for task in runtime.unplaced_ready_tasks() {
+        for (app, runtime) in view.apps.iter() {
+            for task in runtime.unplaced_ready_iter() {
                 if self.enqueued.insert((app, task)) {
                     self.ready.push_back((app, task));
                 }

@@ -115,6 +115,17 @@ pub struct NimblockScheduler {
     goal_cache: HashMap<(String, u32, usize), usize>,
     preemptions_issued: u64,
     metrics: SchedMetrics,
+    /// Reusable per-decision buffers: the candidate pool and the slot
+    /// allocation table (parallel to it, oldest candidate first), so the
+    /// per-event decision path allocates nothing once warm.
+    candidate_buf: Vec<AppId>,
+    alloc_buf: Vec<(AppId, usize)>,
+}
+
+/// Looks up `app`'s allocation in the flat table. Candidate pools are a
+/// handful of entries, so a linear scan beats a tree here.
+fn alloc_of(alloc: &[(AppId, usize)], app: AppId) -> Option<usize> {
+    alloc.iter().find(|&&(a, _)| a == app).map(|&(_, n)| n)
 }
 
 impl NimblockScheduler {
@@ -133,6 +144,8 @@ impl NimblockScheduler {
             goal_cache: HashMap::new(),
             preemptions_issued: 0,
             metrics: SchedMetrics::detached(),
+            candidate_buf: Vec::new(),
+            alloc_buf: Vec::new(),
         }
     }
 
@@ -189,43 +202,47 @@ impl NimblockScheduler {
         }
     }
 
-    /// Phase 2 of Figure 3: distribute slots among candidates.
-    fn allocate(&mut self, view: &SchedView<'_>, candidates: &[AppId]) -> BTreeMap<AppId, usize> {
-        let mut alloc: BTreeMap<AppId, usize> = candidates.iter().map(|&a| (a, 0)).collect();
+    /// Phase 2 of Figure 3: distribute slots among the current candidate
+    /// pool (`candidate_buf`), filling the parallel `alloc_buf` table.
+    fn allocate(&mut self, view: &SchedView<'_>) {
+        self.alloc_buf.clear();
+        self.alloc_buf
+            .extend(self.candidate_buf.iter().map(|&a| (a, 0usize)));
         let mut left = view.slot_count();
         // One slot each, oldest candidate first, to guarantee forward
         // progress for everyone.
-        for &app in candidates {
+        for i in 0..self.alloc_buf.len() {
             if left == 0 {
-                return alloc;
+                return;
             }
-            alloc.insert(app, 1);
+            self.alloc_buf[i].1 = 1;
             left -= 1;
         }
         // Raise allocations to the goal number, oldest first.
-        for &app in candidates {
+        for i in 0..self.alloc_buf.len() {
+            let app = self.alloc_buf[i].0;
             let goal = self.goals.get(&app).copied().unwrap_or(1);
-            while left > 0 && alloc[&app] < goal {
-                *alloc.get_mut(&app).expect("inserted above") += 1;
+            while left > 0 && self.alloc_buf[i].1 < goal {
+                self.alloc_buf[i].1 += 1;
                 left -= 1;
             }
         }
         // Surplus slots go to whoever can still use them, by age.
-        for &app in candidates {
+        for i in 0..self.alloc_buf.len() {
+            let app = self.alloc_buf[i].0;
             let cap = self.usable_cap(view, app);
-            while left > 0 && alloc[&app] < cap {
-                *alloc.get_mut(&app).expect("inserted above") += 1;
+            while left > 0 && self.alloc_buf[i].1 < cap {
+                self.alloc_buf[i].1 += 1;
                 left -= 1;
             }
         }
-        alloc
     }
 
     /// Algorithm 2: pick the slot to batch-preempt for `for_app`, if any.
     fn preemption_victim(
         &self,
         view: &SchedView<'_>,
-        alloc: &BTreeMap<AppId, usize>,
+        alloc: &[(AppId, usize)],
         for_app: AppId,
         needs: &nimblock_fpga::Resources,
     ) -> Option<nimblock_fpga::SlotId> {
@@ -242,7 +259,7 @@ impl NimblockScheduler {
                 continue;
             };
             let consumption =
-                runtime.slots_used() as i64 - alloc.get(&slot_app).copied().unwrap_or(0) as i64;
+                runtime.slots_used() as i64 - alloc_of(alloc, slot_app).unwrap_or(0) as i64;
             let waiting = match runtime.phase(slot_task) {
                 TaskPhase::Idle(_) => true,
                 // A checkpoint-capable overlay can stop a running item too.
@@ -321,17 +338,21 @@ impl Scheduler for NimblockScheduler {
         self.metrics
             .max_tokens_milli
             .set((self.bank.max_tokens() * 1000.0) as i64);
-        let mut candidates = self.bank.candidates(view.now);
-        candidates.retain(|c| view.app(*c).is_some());
-        self.metrics.candidates.observe(candidates.len() as u64);
-        if candidates.is_empty() {
+        // One candidate query serves the whole decision: repeat queries at
+        // the same `now` are idempotent (threshold and candidate stamps do
+        // not move between them), so reusing the buffer changes nothing.
+        self.bank.candidates_into(view.now, &mut self.candidate_buf);
+        self.candidate_buf.retain(|c| view.app(*c).is_some());
+        self.metrics.candidates.observe(self.candidate_buf.len() as u64);
+        if self.candidate_buf.is_empty() {
             return None;
         }
-        let alloc = self.allocate(view, &candidates);
+        self.allocate(view);
         // Oldest candidate below its allocation with a placeable task.
-        for &app in &candidates {
+        for i in 0..self.candidate_buf.len() {
+            let app = self.candidate_buf[i];
             let runtime = view.app(app).expect("retained above");
-            if runtime.slots_used() >= alloc[&app] {
+            if runtime.slots_used() >= self.alloc_buf[i].1 {
                 continue;
             }
             let task = if self.config.pipelining {
@@ -356,7 +377,7 @@ impl Scheduler for NimblockScheduler {
                     .graph()
                     .task(task)
                     .resources();
-                if let Some(slot) = self.preemption_victim(view, &alloc, app, &needs) {
+                if let Some(slot) = self.preemption_victim(view, &self.alloc_buf, app, &needs) {
                     self.preemptions_issued += 1;
                     self.metrics.directives.inc();
                     self.metrics.preempt_directives.inc();

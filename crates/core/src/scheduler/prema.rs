@@ -28,6 +28,10 @@ pub struct PremaScheduler {
     current: Option<AppId>,
     backfill: bool,
     metrics: SchedMetrics,
+    /// Reusable per-decision buffers (candidate pool, backfill order) so
+    /// steady-state decisions allocate nothing.
+    candidate_buf: Vec<AppId>,
+    rest_buf: Vec<AppId>,
 }
 
 impl PremaScheduler {
@@ -39,6 +43,8 @@ impl PremaScheduler {
             current: None,
             backfill: false,
             metrics: SchedMetrics::detached(),
+            candidate_buf: Vec::new(),
+            rest_buf: Vec::new(),
         }
     }
 
@@ -110,19 +116,17 @@ impl Scheduler for PremaScheduler {
         self.metrics
             .max_tokens_milli
             .set((self.bank.max_tokens() * 1000.0) as i64);
-        let pool = {
-            let mut pool = self.bank.candidates(view.now);
-            pool.retain(|c| view.app(*c).is_some());
-            pool.len()
-        };
-        self.metrics.candidates.observe(pool as u64);
+        // One candidate query serves the whole decision: repeat queries at
+        // the same `now` are idempotent (threshold and candidate stamps do
+        // not move between them), so reusing the buffer changes nothing.
+        self.bank.candidates_into(view.now, &mut self.candidate_buf);
+        self.candidate_buf.retain(|c| view.app(*c).is_some());
+        self.metrics.candidates.observe(self.candidate_buf.len() as u64);
 
         // Pick the next application to execute when the board frees up:
         // the shortest candidate (estimated remaining compute).
         if self.current.is_none_or(|c| view.app(c).is_none()) {
-            let mut candidates = self.bank.candidates(view.now);
-            candidates.retain(|c| view.app(*c).is_some());
-            self.current = candidates.into_iter().min_by_key(|&c| {
+            self.current = self.candidate_buf.iter().copied().min_by_key(|&c| {
                 let runtime = view.app(c).expect("retained above");
                 (runtime.remaining_compute(), c)
             });
@@ -142,20 +146,21 @@ impl Scheduler for PremaScheduler {
         // *candidates*, shortest first — the board is not left idle when
         // the executing application is a narrow chain. Non-candidates stay
         // gated behind the token threshold unless backfill is enabled.
-        let mut rest: Vec<AppId> = self.bank.candidates(view.now);
-        rest.retain(|&a| a != current && view.app(a).is_some());
+        self.rest_buf.clear();
+        self.rest_buf
+            .extend(self.candidate_buf.iter().copied().filter(|&a| a != current));
         if self.backfill {
-            let extras: Vec<AppId> = view
-                .apps_by_age()
-                .filter(|&a| a != current && !rest.contains(&a))
-                .collect();
-            rest.extend(extras);
+            for a in view.apps_by_age() {
+                if a != current && !self.rest_buf.contains(&a) {
+                    self.rest_buf.push(a);
+                }
+            }
         }
-        rest.sort_by_key(|&a| {
+        self.rest_buf.sort_by_key(|&a| {
             let runtime = view.app(a).expect("live app");
             (runtime.remaining_compute(), a)
         });
-        for app in rest {
+        for &app in &self.rest_buf {
             let runtime = view.app(app).expect("live app");
             if let Some(task) = runtime.next_unplaced_ready() {
                 if let Some(slot) = view.first_free_slot_fitting(app, task) {

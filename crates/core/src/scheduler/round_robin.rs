@@ -41,8 +41,8 @@ impl RoundRobinScheduler {
     /// preferred), keeping each queue sorted by priority (stable for equal
     /// priorities).
     fn issue_ready_tasks(&mut self, view: &SchedView<'_>) {
-        for (&app, runtime) in view.apps {
-            for task in runtime.unplaced_ready_tasks() {
+        for (app, runtime) in view.apps.iter() {
+            for task in runtime.unplaced_ready_iter() {
                 if !self.enqueued.insert((app, task)) {
                     continue;
                 }

@@ -32,6 +32,9 @@ struct TokenEntry {
 pub(crate) struct TokenBank {
     alpha: f64,
     entries: BTreeMap<AppId, TokenEntry>,
+    /// Reusable scratch for candidate selection, so the per-decision path
+    /// allocates nothing once warm.
+    pool: Vec<(SimTime, AppId)>,
 }
 
 impl TokenBank {
@@ -41,6 +44,7 @@ impl TokenBank {
         TokenBank {
             alpha,
             entries: BTreeMap::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -98,20 +102,32 @@ impl TokenBank {
             .fold(0.0, f64::max)
     }
 
-    /// Returns the candidate pool — applications whose tokens meet the
-    /// threshold — ordered oldest candidate first (entry into the pool,
+    /// Fills `out` with the candidate pool — applications whose tokens meet
+    /// the threshold — ordered oldest candidate first (entry into the pool,
     /// then age). Newly qualifying applications are stamped with `now`.
-    pub(crate) fn candidates(&mut self, now: SimTime) -> Vec<AppId> {
+    /// Writes into the caller's buffer so steady-state decisions allocate
+    /// nothing.
+    pub(crate) fn candidates_into(&mut self, now: SimTime, out: &mut Vec<AppId>) {
+        out.clear();
         let threshold = self.threshold();
-        let mut pool: Vec<(SimTime, AppId)> = Vec::new();
+        self.pool.clear();
         for (&id, entry) in self.entries.iter_mut() {
             if entry.tokens >= threshold {
                 let since = *entry.candidate_since.get_or_insert(now);
-                pool.push((since, id));
+                self.pool.push((since, id));
             }
         }
-        pool.sort();
-        pool.into_iter().map(|(_, id)| id).collect()
+        self.pool.sort();
+        out.extend(self.pool.iter().map(|&(_, id)| id));
+    }
+
+    /// Returns the candidate pool as an owned list; see
+    /// [`TokenBank::candidates_into`].
+    #[cfg(test)]
+    pub(crate) fn candidates(&mut self, now: SimTime) -> Vec<AppId> {
+        let mut out = Vec::new();
+        self.candidates_into(now, &mut out);
+        out
     }
 
     /// Returns the token count of `app`, if admitted.
@@ -152,7 +168,7 @@ mod tests {
 
     fn view_at<'a>(
         now: SimTime,
-        apps: &'a BTreeMap<AppId, AppRuntime>,
+        apps: &'a crate::AppArena,
         slots: &'a [SlotBinding],
     ) -> SchedView<'a> {
         SchedView {
@@ -167,7 +183,7 @@ mod tests {
     #[test]
     fn initial_tokens_equal_priority_weight() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let app = make_app(0, Priority::High, 2);
         bank.admit(&app, &view_at(SimTime::ZERO, &apps, &[]));
         assert_eq!(bank.tokens(app.id()), Some(9.0));
@@ -176,7 +192,7 @@ mod tests {
     #[test]
     fn tokens_grow_faster_for_higher_priority() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let low = make_app(0, Priority::Low, 2);
         let high = make_app(1, Priority::High, 2);
@@ -193,7 +209,7 @@ mod tests {
         // Same priority, smaller batch => smaller isolated latency => faster
         // normalized degradation.
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let small = make_app(0, Priority::Low, 1);
         let big = make_app(1, Priority::Low, 30);
@@ -206,7 +222,7 @@ mod tests {
     #[test]
     fn threshold_floors_to_priority_levels() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let medium = make_app(0, Priority::Medium, 2);
         bank.admit(&medium, &view);
@@ -222,7 +238,7 @@ mod tests {
     #[test]
     fn high_priority_arrival_excludes_low_until_it_degrades() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let low = make_app(0, Priority::Low, 2);
         let high = make_app(1, Priority::High, 2);
@@ -235,7 +251,7 @@ mod tests {
     #[test]
     fn candidates_ordered_by_pool_entry_time() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let a = make_app(0, Priority::High, 2);
         bank.admit(&a, &view);
@@ -250,7 +266,7 @@ mod tests {
     #[test]
     fn removed_apps_leave_the_pool() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let a = make_app(0, Priority::Low, 2);
         bank.admit(&a, &view);
@@ -273,7 +289,7 @@ mod tests {
     #[test]
     fn extreme_wait_keeps_tokens_finite_and_threshold_saturated() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let low = make_app(0, Priority::Low, 2);
         let medium = make_app(1, Priority::Medium, 2);
@@ -307,7 +323,7 @@ mod tests {
     #[test]
     fn threshold_boundaries_at_each_priority_weight() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let app = make_app(0, Priority::Low, 2);
         bank.admit(&app, &view);
@@ -336,7 +352,7 @@ mod tests {
     #[test]
     fn accumulation_before_admission_saturates_to_weight() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let app = make_app(0, Priority::High, 2);
         bank.admit(&app, &view_at(SimTime::from_secs(100), &apps, &[]));
         bank.accumulate(SimTime::from_secs(50));
@@ -349,7 +365,7 @@ mod tests {
     #[test]
     fn low_priority_eventually_crosses_the_high_level() {
         let mut bank = TokenBank::new(1.0);
-        let apps = BTreeMap::new();
+        let apps = crate::AppArena::new();
         let view = view_at(SimTime::ZERO, &apps, &[]);
         let low = make_app(0, Priority::Low, 2);
         bank.admit(&low, &view);

@@ -33,6 +33,7 @@ pub struct Testbed<S> {
     scheduling_interval: SimDuration,
     fine_checkpoint: Option<SimDuration>,
     metrics: Option<nimblock_obs::Registry>,
+    legacy_queue: bool,
 }
 
 /// Default livelock horizon: far beyond any legitimate sequence length
@@ -54,7 +55,18 @@ impl<S: Scheduler> Testbed<S> {
             ),
             fine_checkpoint: None,
             metrics: None,
+            legacy_queue: false,
         }
+    }
+
+    /// Runs the simulation on the retired binary-heap event queue instead
+    /// of the calendar queue. Exists solely so the differential suites can
+    /// assert both backends produce byte-identical reports; a run's outcome
+    /// never depends on the backend.
+    #[cfg(feature = "legacy-queue")]
+    pub fn with_legacy_queue(mut self) -> Self {
+        self.legacy_queue = true;
+        self
     }
 
     /// Publishes run telemetry in `registry`: the hypervisor's `hv_*`
@@ -195,7 +207,12 @@ impl<S: Scheduler> Testbed<S> {
         if tracing {
             hypervisor = hypervisor.with_tracing();
         }
-        let mut sim = Simulation::new(hypervisor);
+        let queue = if self.legacy_queue {
+            nimblock_sim::EventQueue::legacy_heap()
+        } else {
+            nimblock_sim::EventQueue::new()
+        };
+        let mut sim = Simulation::with_queue(hypervisor, queue);
         for (index, event) in events.iter().enumerate() {
             sim.queue_mut().push(event.arrival(), HvEvent::Arrival(index));
         }

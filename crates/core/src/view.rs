@@ -1,12 +1,10 @@
 //! The read-only system view offered to schedulers, and their directives.
 
-use std::collections::BTreeMap;
-
 use nimblock_app::TaskId;
 use nimblock_fpga::{Interconnect, Resources, SlotId, SlotState};
 use nimblock_sim::{SimDuration, SimTime};
 
-use crate::{AppId, AppRuntime};
+use crate::{AppArena, AppId, AppRuntime};
 
 /// One slot as a scheduler sees it: hardware state plus the hypervisor's
 /// binding of which task currently owns it.
@@ -53,8 +51,8 @@ pub struct SchedView<'a> {
     /// Current virtual time.
     pub now: SimTime,
     /// Live (admitted, unretired) applications, keyed by age: iterating the
-    /// map visits the oldest application first.
-    pub apps: &'a BTreeMap<AppId, AppRuntime>,
+    /// arena visits the oldest application first.
+    pub apps: &'a AppArena,
     /// All slots with their bindings, in slot-index order.
     pub slots: &'a [SlotBinding],
     /// Latency of one partial reconfiguration on this device.
@@ -77,12 +75,12 @@ impl SchedView<'_> {
 
     /// Returns live application ids oldest first (arrival order).
     pub fn apps_by_age(&self) -> impl Iterator<Item = AppId> + '_ {
-        self.apps.keys().copied()
+        self.apps.ids()
     }
 
     /// Returns the runtime of `app`, if it is still live.
     pub fn app(&self, app: AppId) -> Option<&AppRuntime> {
-        self.apps.get(&app)
+        self.apps.get(app)
     }
 
     /// Returns the number of slots on the device.
@@ -176,7 +174,7 @@ mod tests {
 
     #[test]
     fn view_helpers_iterate_in_order() {
-        let apps = BTreeMap::new();
+        let apps = AppArena::new();
         let slots = vec![
             SlotBinding {
                 slot: SlotId::new(0),

@@ -1,0 +1,218 @@
+//! The two-level calendar backend of [`crate::EventQueue`].
+//!
+//! Events in the *near window* — a ring of [`BUCKET_COUNT`] flat, unsorted
+//! buckets of [`BUCKET_WIDTH_MICROS`] µs each — are pushed by integer
+//! virtual time into their bucket in O(1). The earliest pending event is
+//! always in the first non-empty bucket at or after the window start, so a
+//! pop scans forward to that bucket and takes its (time, seq) minimum with
+//! a `swap_remove`; FIFO order among same-timestamp events is encoded in
+//! the sequence number, not in bucket position, so the swap is safe.
+//!
+//! Events beyond the window (and the rare event pushed *behind* it, which
+//! the [`crate::EventQueue`] contract permits) live in a *far* overflow
+//! heap ordered like the legacy queue. When the near window drains, the
+//! window jumps straight to the far minimum's bucket and every far event
+//! that now fits the window migrates into the ring — so a sparse far
+//! future costs one migration, not one ring lap per empty bucket.
+//!
+//! The window is sized to cover the hypervisor's densest horizon (the
+//! 400 ms scheduling tick plus typical item latencies), keeping the far
+//! heap nearly empty in steady state: pushes and pops are then O(bucket)
+//! with buckets holding a handful of events each.
+
+use std::collections::BinaryHeap;
+
+use crate::queue::Entry;
+use crate::SimTime;
+
+/// log2 of the bucket width: each bucket covers 1024 µs of virtual time.
+pub(crate) const BUCKET_BITS: u32 = 10;
+
+/// Buckets in the near ring. With [`BUCKET_BITS`] = 10 the ring spans
+/// ~524 ms — comfortably past the 400 ms scheduling tick, so steady-state
+/// hypervisor traffic never touches the far heap.
+pub(crate) const BUCKET_COUNT: usize = 512;
+
+/// Width of one bucket in microseconds.
+pub(crate) const BUCKET_WIDTH_MICROS: u64 = 1 << BUCKET_BITS;
+
+/// Virtual-time span of the whole near ring in microseconds.
+pub(crate) const SPAN_MICROS: u64 = (BUCKET_COUNT as u64) << BUCKET_BITS;
+
+/// One near-ring entry: (time in µs, push sequence, event).
+type Slot<E> = (u64, u64, E);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Calendar<E> {
+    /// The near ring. Bucket `(t >> BUCKET_BITS) % BUCKET_COUNT` holds the
+    /// events of `[t_floor, t_floor + width)`; unsorted within a bucket.
+    buckets: Vec<Vec<Slot<E>>>,
+    /// Total events across all near buckets.
+    near_len: usize,
+    /// Bucket-aligned lower edge of the near window. Every near event's
+    /// time is in `[window_start, window_start + SPAN_MICROS)`.
+    window_start: u64,
+    /// Overflow heap for events outside the near window, ordered earliest
+    /// (time, seq) first like the legacy queue.
+    far: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Calendar<E> {
+    pub(crate) fn new() -> Self {
+        Calendar {
+            buckets: std::iter::repeat_with(Vec::new).take(BUCKET_COUNT).collect(),
+            near_len: 0,
+            window_start: 0,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.near_len + self.far.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.near_len == 0 && self.far.is_empty()
+    }
+
+    /// Returns (near-ring events, far-heap events) for observability.
+    pub(crate) fn depths(&self) -> (usize, usize) {
+        (self.near_len, self.far.len())
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.near_len = 0;
+        self.far.clear();
+    }
+
+    fn window_end(&self) -> u64 {
+        self.window_start.saturating_add(SPAN_MICROS)
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        ((micros >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1)
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        let micros = at.as_micros();
+        if micros >= self.window_start && micros < self.window_end() {
+            self.buckets[Self::bucket_index(micros)].push((micros, seq, event));
+            self.near_len += 1;
+        } else {
+            // Beyond the window, or behind it (legal per the queue
+            // contract, e.g. interleaved push/pop below the last pop).
+            self.far.push(Entry { at, seq, event });
+        }
+    }
+
+    /// Removes and returns the earliest event whose time is at or before
+    /// `deadline`; `None` if none qualifies.
+    pub(crate) fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.near_len == 0 {
+            if self.far.is_empty() {
+                return None;
+            }
+            self.jump_to_far_min();
+        }
+        let (bucket, pos) = self.near_min();
+        let (at, seq) = {
+            let slot = &self.buckets[bucket][pos];
+            (slot.0, slot.1)
+        };
+        // The far root is the only event outside the ring that can beat
+        // the near minimum (an out-of-window push, or a migration the
+        // window has since caught up to).
+        let far_wins = self
+            .far
+            .peek()
+            .is_some_and(|front| (front.at.as_micros(), front.seq) < (at, seq));
+        if far_wins {
+            let front = self.far.peek().expect("far root compared above");
+            if front.at > deadline {
+                return None;
+            }
+            let front = self.far.pop().expect("far root compared above");
+            return Some((front.at, front.event));
+        }
+        if at > deadline.as_micros() {
+            return None;
+        }
+        let (_, _, event) = self.buckets[bucket].swap_remove(pos);
+        self.near_len -= 1;
+        Some((SimTime::from_micros(at), event))
+    }
+
+    /// Returns the earliest pending timestamp without removing anything.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        let mut best: Option<(u64, u64)> = None;
+        if self.near_len > 0 {
+            let mut edge = self.window_start;
+            for _ in 0..BUCKET_COUNT {
+                let bucket = &self.buckets[Self::bucket_index(edge)];
+                if let Some(min) = bucket.iter().map(|slot| (slot.0, slot.1)).min() {
+                    best = Some(min);
+                    break;
+                }
+                edge = edge.saturating_add(BUCKET_WIDTH_MICROS);
+            }
+        }
+        if let Some(front) = self.far.peek() {
+            let key = (front.at.as_micros(), front.seq);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(micros, _)| SimTime::from_micros(micros))
+    }
+
+    /// Finds the (bucket, position) of the near minimum, advancing the
+    /// window start over empty buckets so later calls resume there.
+    ///
+    /// Requires `near_len > 0`.
+    fn near_min(&mut self) -> (usize, usize) {
+        debug_assert!(self.near_len > 0, "near_min on an empty ring");
+        loop {
+            let bucket = Self::bucket_index(self.window_start);
+            if !self.buckets[bucket].is_empty() {
+                let slots = &self.buckets[bucket];
+                let mut best = 0;
+                for i in 1..slots.len() {
+                    if (slots[i].0, slots[i].1) < (slots[best].0, slots[best].1) {
+                        best = i;
+                    }
+                }
+                return (bucket, best);
+            }
+            self.window_start += BUCKET_WIDTH_MICROS;
+        }
+    }
+
+    /// The near ring is empty: jump the window to the far minimum's bucket
+    /// and migrate every far event that fits the new window into the ring.
+    ///
+    /// Requires a non-empty far heap. Jumping backwards (after a push
+    /// behind the window) is safe precisely because the ring is empty.
+    fn jump_to_far_min(&mut self) {
+        let target = self
+            .far
+            .peek()
+            .expect("jump_to_far_min with far entries")
+            .at
+            .as_micros();
+        self.window_start = target & !(BUCKET_WIDTH_MICROS - 1);
+        let window_end = self.window_end();
+        while let Some(front) = self.far.peek() {
+            if front.at.as_micros() >= window_end {
+                break;
+            }
+            let Entry { at, seq, event } = self.far.pop().expect("peeked above");
+            let micros = at.as_micros();
+            self.buckets[Self::bucket_index(micros)].push((micros, seq, event));
+            self.near_len += 1;
+        }
+        debug_assert!(self.near_len > 0, "migration left the ring empty");
+    }
+}

@@ -45,8 +45,15 @@ pub struct Simulation<E, H> {
 impl<E, H: Handler<E>> Simulation<E, H> {
     /// Creates a simulation at time zero with an empty event queue.
     pub fn new(handler: H) -> Self {
+        Simulation::with_queue(handler, EventQueue::new())
+    }
+
+    /// Creates a simulation at time zero over a caller-supplied queue —
+    /// typically [`EventQueue::legacy_heap`] when differential-testing the
+    /// calendar backend against the original heap.
+    pub fn with_queue(handler: H, queue: EventQueue<E>) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue,
             handler,
             now: SimTime::ZERO,
             steps: 0,
@@ -125,11 +132,18 @@ impl<E, H: Handler<E>> Simulation<E, H> {
     /// `deadline`, returning the final virtual time. Events at exactly
     /// `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            self.step();
+        // One queue scan per event instead of peek + step's pop. Depth is
+        // sampled as len-after-pop + 1, which equals step's pre-pop sample.
+        while let Some((at, event)) = self.queue.pop_at_or_before(deadline) {
+            self.max_queue_depth = self.max_queue_depth.max(self.queue.len() + 1);
+            assert!(
+                at >= self.now,
+                "event scheduled in the past: {at} < {now}",
+                now = self.now
+            );
+            self.now = at;
+            self.steps += 1;
+            self.handler.handle(at, event, &mut self.queue);
         }
         self.now
     }

@@ -30,7 +30,7 @@ impl Scheduler for PriorityGreedy {
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
         let slot = view.first_free_slot()?;
         for level in [Priority::High, Priority::Medium, Priority::Low] {
-            for (&app, runtime) in view.apps {
+            for (app, runtime) in view.apps.iter() {
                 if runtime.priority() != level {
                     continue;
                 }

@@ -1,25 +1,28 @@
 #!/usr/bin/env bash
-# Bench regression gate: fresh cluster-scaling numbers versus the committed
-# baseline (`results/BENCH_cluster.json`).
+# Bench regression gate: fresh numbers versus the committed baselines —
+# cluster scaling (`results/BENCH_cluster.json`) and the engine hot path
+# (`results/BENCH_engine.json`).
 #
-# The heavy lifting lives in Rust (`cargo run --bin cluster_scale -- --gate`):
-# it re-measures with the baseline's exact workload (seed, events,
-# sequences, boards, threads), re-verifies that every thread count is
-# byte-identical to the sequential oracle, prints a per-row delta table,
-# and exits nonzero if any row's events/sec regresses beyond the tolerance.
-# This script only wires it into CI — no JSON parsing happens in shell.
+# The heavy lifting lives in Rust (`cluster_scale -- --gate` and
+# `engine_hot_path -- --gate`): each re-measures with its baseline's exact
+# workload, prints a per-row delta table, and exits nonzero if any row's
+# events/sec regresses beyond the tolerance. The cluster gate additionally
+# re-verifies that every thread count is byte-identical to the sequential
+# oracle. This script only wires them into CI — no JSON parsing happens in
+# shell.
 #
 # Environment:
 #   NIMBLOCK_SKIP_BENCH_GATE=1   skip entirely (noisy/shared hosts)
 #   NIMBLOCK_BENCH_TOLERANCE     allowed slowdown, percent [15]
-#   NIMBLOCK_BENCH_REPEATS       passes per thread count, best-of [3]
+#   NIMBLOCK_BENCH_REPEATS       passes per measurement, best-of [3]
 #
-# Usage: scripts/bench_gate.sh [baseline.json]
+# Usage: scripts/bench_gate.sh [cluster-baseline.json [engine-baseline.json]]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-results/BENCH_cluster.json}"
+cluster_baseline="${1:-results/BENCH_cluster.json}"
+engine_baseline="${2:-results/BENCH_engine.json}"
 tolerance="${NIMBLOCK_BENCH_TOLERANCE:-15}"
 repeats="${NIMBLOCK_BENCH_REPEATS:-3}"
 
@@ -28,14 +31,42 @@ if [ "${NIMBLOCK_SKIP_BENCH_GATE:-0}" = "1" ]; then
     exit 0
 fi
 
-if [ ! -f "$baseline" ]; then
-    echo "bench gate: no baseline at $baseline" >&2
+if [ ! -f "$cluster_baseline" ]; then
+    echo "bench gate: no baseline at $cluster_baseline" >&2
     echo "record one with: cargo run --release --offline --bin cluster_scale" >&2
     exit 1
 fi
 
-cargo build --release --offline -q -p nimblock-bench --bin cluster_scale
-exec ./target/release/cluster_scale \
+cargo build --release --offline -q -p nimblock-bench \
+    --bin cluster_scale --bin engine_hot_path
+
+fail=0
+if ! ./target/release/cluster_scale \
     --repeats "$repeats" \
-    --gate "$baseline" \
-    --tolerance "$tolerance"
+    --gate "$cluster_baseline" \
+    --tolerance "$tolerance"; then
+    fail=1
+fi
+
+if [ -f "$engine_baseline" ]; then
+    if ! ./target/release/engine_hot_path \
+        --repeats "$repeats" \
+        --gate "$engine_baseline" \
+        --tolerance "$tolerance"; then
+        fail=1
+    fi
+else
+    echo "bench gate: no engine baseline at $engine_baseline (skipping)" >&2
+    echo "record one with: cargo run --release --offline --bin engine_hot_path" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench gate: FAIL — events/sec regressed more than ${tolerance}% below" \
+         "the committed baseline (delta tables above)." >&2
+    echo "bench gate: on a noisy or slower host, widen the allowance with" \
+         "NIMBLOCK_BENCH_TOLERANCE=<percent> (current: ${tolerance}), or skip" \
+         "with NIMBLOCK_SKIP_BENCH_GATE=1; a real regression needs fixing," \
+         "and an intentional slowdown needs a re-recorded baseline." >&2
+    exit 1
+fi
+echo "bench gate: ok (tolerance ${tolerance}%)"

@@ -19,7 +19,11 @@
 #                   congested trace must decompose exactly in every format
 #   goldens         golden-drift: regenerate goldens, fail if they differ
 #                   from the committed files
+#   engine-diff     fixed-seed differential oracle: legacy heap vs calendar
+#                   event queue must be byte-identical (reports, traces,
+#                   telemetry) across policies, boards, and thread counts
 #   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json
+#                   and results/BENCH_engine.json
 #                   (skippable with NIMBLOCK_SKIP_BENCH_GATE=1)
 #
 # Usage:
@@ -32,7 +36,7 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-ALL_STAGES=(lint build test workspace-test telemetry invariants explain goldens bench-gate)
+ALL_STAGES=(lint build test workspace-test telemetry invariants explain goldens engine-diff bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -147,6 +151,19 @@ stage_goldens() {
     echo "ok: goldens are drift-free"
 }
 
+stage_engine_diff() {
+    # The calendar-queue engine must be byte-identical to the retired
+    # binary-heap backend. The randomized sweeps run in workspace-test
+    # (replay a failure with the NIMBLOCK_CHECK_SEED they print); the
+    # fixed-seed panels re-run here so this stage is reproducible in
+    # isolation.
+    cargo test -q --offline \
+        --test engine_differential -- \
+        every_policy_matches_the_legacy_engine_on_fixed_seeds \
+        cluster_runs_match_the_legacy_engine_for_one_two_and_eight_threads
+    echo "ok: legacy and calendar engines are byte-identical"
+}
+
 stage_bench_gate() {
     scripts/bench_gate.sh
 }
@@ -161,6 +178,7 @@ run_stage() {
         invariants) stage_invariants ;;
         explain) stage_explain ;;
         goldens) stage_goldens ;;
+        engine-diff) stage_engine_diff ;;
         bench-gate) stage_bench_gate ;;
         *)
             echo "ci.sh: unknown stage '$1' (known: ${ALL_STAGES[*]})" >&2

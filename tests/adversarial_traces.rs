@@ -328,3 +328,112 @@ fn fixture_path(name: &str) -> std::path::PathBuf {
         .join("fixtures")
         .join(format!("{name}.json"))
 }
+
+// ---------------------------------------------------------------------------
+// Calendar-queue rollover tie (microsecond-precision fixture).
+// ---------------------------------------------------------------------------
+
+fn us(v: u64) -> SimTime {
+    SimTime::from_micros(v)
+}
+
+fn reconfig_us(slot: u32, app: u64, task: u32, from: u64, to: u64) -> TraceEvent {
+    TraceEvent::Reconfig {
+        slot: SlotId::new(slot),
+        app: AppId::new(app),
+        task: TaskId::new(task),
+        at: us(from),
+        until: us(to),
+    }
+}
+
+fn item_us(slot: u32, app: u64, task: u32, item: u32, from: u64, to: u64) -> TraceEvent {
+    TraceEvent::Item {
+        slot: SlotId::new(slot),
+        app: AppId::new(app),
+        task: TaskId::new(task),
+        item,
+        at: us(from),
+        until: us(to),
+    }
+}
+
+/// Builds the rollover timeline: application 0's last item ends — and its
+/// retirement fires — at exactly `tie` µs, where application 1's
+/// reconfiguration of the *same slot* begins in the same instant. With
+/// half-open spans the schedule is legal iff the retirement orders before
+/// the reconfiguration; `skew` pulls the reconfiguration earlier to model
+/// the misordering a broken tie-break would produce.
+fn rollover_trace(tie: u64, skew: u64) -> Trace {
+    const RECONFIG: u64 = 80_000; // the ZCU106's 80 ms, in µs
+    let grab = tie - skew;
+    trace_of(
+        2,
+        vec![
+            TraceEvent::Arrival {
+                app: AppId::new(0),
+                name: "LeNet".to_owned(),
+                batch: 1,
+                priority: Priority::Medium,
+                at: us(0),
+            },
+            TraceEvent::Arrival {
+                app: AppId::new(1),
+                name: "LeNet".to_owned(),
+                batch: 1,
+                priority: Priority::Medium,
+                at: us(100_000),
+            },
+            // Application 0: a legal three-task chain whose final item is
+            // stretched to end exactly on the calendar rollover boundary.
+            reconfig_us(0, 0, 0, 0, 80_000),
+            item_us(0, 0, 0, 0, 80_000, 200_000),
+            reconfig_us(1, 0, 1, 80_000, 160_000),
+            item_us(1, 0, 1, 0, 200_000, 300_000),
+            reconfig_us(0, 0, 2, 200_000, 280_000),
+            item_us(0, 0, 2, 0, 300_000, tie),
+            TraceEvent::Retire { app: AppId::new(0), at: us(tie) },
+            // Application 1 claims the just-vacated slot 0 in the same
+            // microsecond (or `skew` µs too early).
+            reconfig_us(0, 1, 0, grab, grab + RECONFIG),
+            item_us(0, 1, 0, 0, 604_288, 700_000),
+            reconfig_us(1, 1, 1, 604_288, 684_288),
+            item_us(1, 1, 1, 0, 700_000, 800_000),
+            reconfig_us(0, 1, 2, 700_000, 780_000),
+            item_us(0, 1, 2, 0, 800_000, 900_000),
+            TraceEvent::Retire { app: AppId::new(1), at: us(900_000) },
+        ],
+    )
+}
+
+/// Two events share a timestamp exactly at the calendar queue's rollover
+/// boundary: application 0 retires — freeing slot 0 — at t = 524,288 µs,
+/// the first tick past the near window (a bucket boundary *and* the full
+/// window-span rollover), and application 1's reconfiguration of that slot
+/// starts in the same microsecond. The engine must pop the tie in push
+/// (FIFO) order for the schedule to be legal; all eleven invariant rules
+/// agree the committed trace is clean.
+#[test]
+fn same_timestamp_events_across_the_rollover_boundary_stay_ordered() {
+    let tie = nimblock::sim::EventQueue::<u64>::CALENDAR_SPAN_MICROS;
+    assert_eq!(tie, 524_288, "fixture timeline is written against this span");
+    assert_eq!(tie % nimblock::sim::EventQueue::<u64>::CALENDAR_BUCKET_MICROS, 0);
+    let parsed = fixture("rollover_tie", &rollover_trace(tie, 0));
+    assert_eq!(InvariantRule::ALL.len(), 11);
+    let report = verify_trace(&parsed, &InvariantConfig::default());
+    assert!(report.is_clean(), "rollover tie misordered: {report}");
+    assert_eq!(report.apps_seen, 2);
+}
+
+/// The same timeline with the tie broken the wrong way by a single
+/// microsecond double-books slot 0 — proving the clean verdict above
+/// certifies ordering, not verifier leniency.
+#[test]
+fn a_misordered_rollover_tie_is_caught() {
+    let tie = nimblock::sim::EventQueue::<u64>::CALENDAR_SPAN_MICROS;
+    let report = verify_trace(&rollover_trace(tie, 1), &InvariantConfig::default());
+    assert!(
+        report.rules_fired().contains(&InvariantRule::SlotOverlap),
+        "expected slot-overlap, got: {report}"
+    );
+}

@@ -1,0 +1,168 @@
+//! Differential oracle for the calendar event-queue engine (DESIGN.md §14).
+//!
+//! The simulator's binary-heap event queue was replaced by a two-level
+//! calendar queue, and the hypervisor's application table by an arena.
+//! Neither is allowed to be observable: a run's report, trace, attribution,
+//! and telemetry are defined to be byte-identical regardless of the engine
+//! backend. These suites replay randomized seeded workloads — every
+//! scheduling policy, full and contended boards, sequential and parallel
+//! cluster runs — on both backends (the retired heap stays constructible
+//! behind the test-only `legacy-queue` feature) and byte-compare everything
+//! observable. They are the retirement procedure for the legacy backend:
+//! the day it is deleted, these tests shrink to self-comparisons and the
+//! calendar queue becomes its own oracle.
+
+use nimblock::cluster::{ClusterTestbed, DispatchPolicy};
+use nimblock::core::{
+    FcfsScheduler, NimblockScheduler, NoSharingScheduler, PremaScheduler, RoundRobinScheduler,
+    Scheduler, Testbed,
+};
+use nimblock::fpga::DeviceConfig;
+use nimblock::obs::Registry;
+use nimblock::workload::{generate, EventSequence, Scenario};
+use nimblock_check::{check, check_with, Config, Gen};
+
+/// The five policies of the paper's evaluation (§5.1).
+const POLICIES: [&str; 5] = ["nosharing", "fcfs", "rr", "prema", "nimblock"];
+
+fn policy(name: &str) -> Box<dyn Scheduler + Send> {
+    match name {
+        "nosharing" => Box::new(NoSharingScheduler::new()),
+        "fcfs" => Box::new(FcfsScheduler::new()),
+        "rr" => Box::new(RoundRobinScheduler::new()),
+        "prema" => Box::new(PremaScheduler::new()),
+        "nimblock" => Box::new(NimblockScheduler::new()),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// A full board (the evaluated ZCU106 overlay) and a contended three-slot
+/// cut of it, which forces queueing, preemption, and far richer event
+/// interleavings per slot.
+fn board(slots: usize) -> DeviceConfig {
+    DeviceConfig::zcu106().with_slot_count(slots)
+}
+
+/// Everything observable about a single-board run: the report (records,
+/// counters, attribution) and the full schedule trace, serialized.
+///
+/// The Prometheus page is deliberately compared on the cluster path only:
+/// single-board registries include wall-clock decision-latency samples,
+/// which no two runs share on *any* backend.
+fn board_fingerprint(events: &EventSequence, slots: usize, name: &str, legacy: bool) -> String {
+    let mut testbed = Testbed::new(policy(name)).with_device_config(board(slots));
+    if legacy {
+        testbed = testbed.with_legacy_queue();
+    }
+    let (report, trace) = testbed.run_traced(events);
+    let mut out = nimblock_ser::to_string_pretty(&report);
+    out.push('\n');
+    out.push_str(&nimblock_ser::to_string(&trace));
+    out
+}
+
+/// Everything observable about a cluster run, including the merged
+/// Prometheus page (cluster shards are untimed, hence deterministic).
+fn cluster_fingerprint(
+    events: &EventSequence,
+    boards: usize,
+    threads: usize,
+    name: &str,
+    legacy: bool,
+) -> String {
+    let registry = Registry::new();
+    let mut testbed = ClusterTestbed::new(boards, DispatchPolicy::FewestApps, || policy(name))
+        .with_threads(threads)
+        .with_tracing()
+        .with_metrics(registry.clone());
+    if legacy {
+        testbed = testbed.with_legacy_queue();
+    }
+    let report = testbed.run(events);
+    let mut out = nimblock_ser::to_string_pretty(report.merged());
+    out.push_str(&format!("\nassignments: {:?}", report.assignments()));
+    for per_board in report.per_board() {
+        out.push('\n');
+        out.push_str(&nimblock_ser::to_string(per_board));
+    }
+    for trace in report.per_board_traces() {
+        out.push('\n');
+        out.push_str(&nimblock_ser::to_string(trace));
+    }
+    out.push('\n');
+    out.push_str(&registry.render_prometheus());
+    out
+}
+
+#[test]
+fn every_policy_matches_the_legacy_engine_on_fixed_seeds() {
+    // A congested fixed-seed stimulus through all five policies on both the
+    // full and the contended board — the smoke panel of the oracle.
+    let events = generate(1217, 10, Scenario::Stress);
+    for name in POLICIES {
+        for slots in [10, 3] {
+            let legacy = board_fingerprint(&events, slots, name, true);
+            let calendar = board_fingerprint(&events, slots, name, false);
+            assert_eq!(legacy, calendar, "{name} on {slots} slots diverged");
+        }
+    }
+}
+
+#[test]
+fn random_workloads_match_the_legacy_engine() {
+    // The main differential sweep: 256 randomized seeded workloads across
+    // every policy, all three scenarios, and both board sizes.
+    check("random_workloads_match_the_legacy_engine", |g: &mut Gen| {
+        let seed = g.u64(0..=100_000);
+        let events = generate(
+            seed,
+            g.usize(1..=8),
+            *g.pick(&[Scenario::Standard, Scenario::Stress, Scenario::RealTime]),
+        );
+        let slots = *g.pick(&[10usize, 3]);
+        let name = *g.pick(&POLICIES);
+        let legacy = board_fingerprint(&events, slots, name, true);
+        let calendar = board_fingerprint(&events, slots, name, false);
+        nimblock_check::prop_assert!(
+            legacy == calendar,
+            "policy {name} on {slots} slots, seed {seed}: backends diverged"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn cluster_runs_match_the_legacy_engine_for_one_two_and_eight_threads() {
+    // The acceptance triple (threads ∈ {1, 2, 8}): for each thread count
+    // the parallel cluster run must produce the same bytes on both
+    // backends — including the merged Prometheus page.
+    let events = generate(2023, 14, Scenario::Stress);
+    for name in ["nimblock", "prema"] {
+        for threads in [1, 2, 8] {
+            let legacy = cluster_fingerprint(&events, 3, threads, name, true);
+            let calendar = cluster_fingerprint(&events, 3, threads, name, false);
+            assert_eq!(legacy, calendar, "{name} with {threads} threads diverged");
+        }
+    }
+}
+
+#[test]
+fn random_cluster_runs_match_the_legacy_engine() {
+    // Randomized cross-product of the cluster knobs; fewer cases than the
+    // single-board sweep because each case runs two whole clusters.
+    let config = Config::new().cases(48);
+    check_with(config, "random_cluster_runs_match_the_legacy_engine", |g: &mut Gen| {
+        let seed = g.u64(0..=100_000);
+        let events = generate(seed, g.usize(1..=10), *g.pick(&[Scenario::Standard, Scenario::Stress]));
+        let boards = g.usize(1..=4);
+        let threads = *g.pick(&[1usize, 2, 8]);
+        let name = *g.pick(&POLICIES);
+        let legacy = cluster_fingerprint(&events, boards, threads, name, true);
+        let calendar = cluster_fingerprint(&events, boards, threads, name, false);
+        nimblock_check::prop_assert!(
+            legacy == calendar,
+            "policy {name}, {boards} boards, {threads} threads, seed {seed}: backends diverged"
+        );
+        Ok(())
+    });
+}
