@@ -38,6 +38,7 @@
 pub mod explain;
 pub mod lex;
 pub mod lint;
+pub mod monitor;
 pub mod rules;
 
 /// The dynamic pass: schedule-trace invariant verification.
@@ -49,6 +50,7 @@ pub use nimblock_core::invariants;
 
 pub use explain::{explain_trace, Explain, ExplainFormat};
 pub use lint::{lint_source, lint_tree, LintReport};
+pub use monitor::render_monitor;
 pub use nimblock_core::invariants::{
     verify_trace, InvariantConfig, InvariantReport, InvariantRule, Violation,
 };

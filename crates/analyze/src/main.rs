@@ -4,6 +4,7 @@
 //! nimblock-analyze lint  [--root <dir>] [--json]
 //! nimblock-analyze trace <file> [--json] [--mechanism-only]
 //!                        [--reconfig-latency-ms <ms>]
+//! nimblock-analyze monitor <file> [--format text|md|json]
 //! nimblock-analyze rules
 //! ```
 //!
@@ -25,6 +26,7 @@ USAGE:
     nimblock-analyze trace <file> [--json] [--mechanism-only]
                            [--reconfig-latency-ms <ms>]
     nimblock-analyze explain <file> [--format text|md|json] [--top <n>]
+    nimblock-analyze monitor <file> [--format text|md|json]
     nimblock-analyze rules
 
 COMMANDS:
@@ -35,6 +37,9 @@ COMMANDS:
     explain  Decompose every application's response time in a trace
              into six exactly-summing attribution components, with
              critical-path span trees for the slowest applications.
+    monitor  Render a continuous-monitoring document (JSON, as written
+             by `nimblock-cli run --timeseries-out` or a post-mortem
+             dump): windowed series, SLO alerts, flight recorder.
     rules    Print the lint-rule catalog.
 
 OPTIONS:
@@ -78,6 +83,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some("lint") => cmd_lint(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
         Some("rules") => {
             cmd_rules();
             Ok(true)
@@ -190,6 +196,34 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
     let explain = explain_trace(&trace);
     print!("{}", explain.render(format, top));
     Ok(explain.is_exact())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<bool, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut format = ExplainFormat::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                format = ExplainFormat::parse(value)
+                    .ok_or_else(|| format!("unknown monitor format `{value}`"))?;
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown monitor option `{other}`")),
+        }
+    }
+    let path = path.ok_or("monitor needs a <file> argument")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc: nimblock_obs::MonitorDoc = nimblock_ser::from_str(&text)
+        .map_err(|e| format!("{} is not a monitoring document: {e}", path.display()))?;
+    print!("{}", nimblock_analyze::render_monitor(&doc, format));
+    // Fired alerts are a property of the run, not a failure of this
+    // command: rendering an alert-bearing document is still a clean exit.
+    Ok(true)
 }
 
 fn cmd_rules() {

@@ -424,9 +424,13 @@ impl Rule for NoPrintln {
 /// scheduler latency (and memory) for observability — the wrong direction.
 /// The sanctioned pattern is `nimblock_obs::SpanBuffer`: a hard capacity
 /// fixed at construction, overflow counted in `dropped()` instead of
-/// stored. The rule fires on `self.spans.push(…)` / `self.events.push(…)`
-/// in recording code unless a capacity check guards the push nearby
-/// (`capacity` within the lookback window, as in `SpanBuffer::push`).
+/// stored. The continuous monitor follows the same discipline: its
+/// tumbling-window series (`windows`), flight-recorder ring (`entries`),
+/// and alert sink (`alerts`) all bound growth by a `*_capacity` field.
+/// The rule fires on `self.<spans|events|entries|windows|alerts>.push(…)`
+/// (or `push_back`) in recording code unless a capacity check guards the
+/// push nearby (`capacity` within the lookback window, as in
+/// `SpanBuffer::push`).
 ///
 /// Post-run exporters (`chrome.rs`, `gantt.rs`) are out of scope: they
 /// transform a trace that already retired, so their output is O(input)
@@ -446,7 +450,7 @@ impl Rule for NoUnboundedSpanBuffer {
         "no-unbounded-span-buffer"
     }
     fn description(&self) -> &'static str {
-        "per-event span/trace buffers are capacity-bounded (SpanBuffer) or carry an explicit allow"
+        "per-event span/trace/monitor buffers are capacity-bounded or carry an explicit allow"
     }
     fn applies_to(&self, rel_path: &str) -> bool {
         (rel_path.starts_with("crates/obs/src/") || rel_path.starts_with("crates/core/src/"))
@@ -458,31 +462,38 @@ impl Rule for NoUnboundedSpanBuffer {
         let toks = &lexed.tokens;
         let mut out = Vec::new();
         for (i, tok) in live_tokens(lexed) {
-            // Match the receiver chain `self . <spans|events> . push (`.
-            if tok.kind != TokenKind::Ident || tok.text != "push" {
+            // Match `self . <buffer-field> . <push|push_back> (`.
+            if tok.kind != TokenKind::Ident
+                || !matches!(tok.text.as_str(), "push" | "push_back")
+            {
                 continue;
             }
             let called = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
             let chain = i >= 4
                 && toks[i - 1].text == "."
-                && matches!(toks[i - 2].text.as_str(), "spans" | "events")
+                && matches!(
+                    toks[i - 2].text.as_str(),
+                    "spans" | "events" | "entries" | "windows" | "alerts"
+                )
                 && toks[i - 3].text == "."
                 && toks[i - 4].text == "self";
             if !called || !chain {
                 continue;
             }
+            // Substring match so `self.capacity`, `window_capacity`, and
+            // `ring_capacity` guards all count as bounds.
             let window = &toks[i.saturating_sub(BUFFER_LOOKBACK)..i];
-            let bounded = window.iter().any(|t| t.text == "capacity");
+            let bounded = window.iter().any(|t| t.text.contains("capacity"));
             if !bounded {
                 out.push(diag(
                     self,
                     ctx,
                     tok.line,
                     format!(
-                        "unbounded `self.{}.push(…)` in recording code — use \
+                        "unbounded `self.{}.{}(…)` in recording code — use \
                          `nimblock_obs::SpanBuffer` (hard capacity, counted drops) or \
                          justify with an inline allow",
-                        toks[i - 2].text
+                        toks[i - 2].text, tok.text
                     ),
                 ));
             }
@@ -639,6 +650,32 @@ mod tests {
         assert!(!NoUnboundedSpanBuffer.applies_to("crates/obs/src/chrome.rs"));
         assert!(!NoUnboundedSpanBuffer.applies_to("crates/obs/src/gantt.rs"));
         assert!(!NoUnboundedSpanBuffer.applies_to("crates/cli/src/commands.rs"));
+    }
+
+    #[test]
+    fn span_buffer_rule_covers_monitor_rings_and_windows() {
+        // The monitor's window series, flight-recorder ring, and alert
+        // sink are recording buffers too.
+        for field in ["entries", "windows", "alerts"] {
+            let src = format!(
+                "impl MonitorState {{ fn record(&mut self, w: W) {{ self.{field}.push(w); }} }}"
+            );
+            let diags =
+                run_rust(&NoUnboundedSpanBuffer, "crates/obs/src/timeseries.rs", &src);
+            assert_eq!(diags.len(), 1, "self.{field}.push must be flagged");
+            assert!(diags[0].message.contains(&format!("self.{field}.push")));
+        }
+        // push_back (VecDeque rings) is the same hazard...
+        let src = "fn record(&mut self, e: E) { self.entries.push_back(e); }";
+        let diags = run_rust(&NoUnboundedSpanBuffer, "crates/obs/src/timeseries.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("self.entries.push_back"));
+        // ...and a ring_capacity eviction guard blesses it.
+        let src = "fn record(&mut self, e: E) {\n\
+                   if self.entries.len() == self.ring_capacity { self.entries.pop_front(); }\n\
+                   self.entries.push_back(e); }";
+        let diags = run_rust(&NoUnboundedSpanBuffer, "crates/obs/src/timeseries.rs", src);
+        assert!(diags.is_empty(), "capacity-evicting ring is the blessed pattern: {diags:?}");
     }
 
     #[test]

@@ -168,6 +168,68 @@ pub struct RunArgs {
     /// Verify the recorded schedule against the paper's invariants after
     /// the run; a violation fails the command.
     pub check_invariants: bool,
+    /// Continuous-monitoring options.
+    pub monitor: MonitorArgs,
+}
+
+/// Continuous-monitoring flags shared by `run` and `cluster`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorArgs {
+    /// Where to write the windowed time-series document ('-' = stdout).
+    pub timeseries_out: Option<String>,
+    /// Tumbling-window length in simulated milliseconds.
+    pub window_ms: u64,
+    /// SLO rules to evaluate as windows close (repeatable `--slo`).
+    pub slo: Vec<String>,
+    /// Where a post-mortem bundle goes when the run fails ('-' = stdout).
+    pub postmortem_out: Option<String>,
+}
+
+impl Default for MonitorArgs {
+    fn default() -> Self {
+        MonitorArgs {
+            timeseries_out: None,
+            window_ms: 10,
+            slo: Vec::new(),
+            postmortem_out: None,
+        }
+    }
+}
+
+impl MonitorArgs {
+    /// Whether any monitoring flag was given — the monitor only attaches
+    /// (and only then costs anything) when asked for.
+    pub fn enabled(&self) -> bool {
+        self.timeseries_out.is_some() || !self.slo.is_empty() || self.postmortem_out.is_some()
+    }
+
+    /// Builds the monitor configuration from the parsed flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for a zero window or a malformed SLO rule.
+    pub fn config(&self) -> Result<nimblock_obs::MonitorConfig, CliError> {
+        if self.window_ms == 0 {
+            return Err(err("--window-ms must be at least 1"));
+        }
+        let rules = nimblock_obs::parse_rules(&self.slo).map_err(err)?;
+        Ok(nimblock_obs::MonitorConfig::with_window_micros(self.window_ms * 1_000).rules(rules))
+    }
+
+    fn parse_flag(
+        &mut self,
+        flag: &str,
+        stream: &mut ArgStream<'_>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--timeseries-out" => self.timeseries_out = Some(stream.value_for(flag)?.to_owned()),
+            "--window-ms" => self.window_ms = parse_number(flag, stream.value_for(flag)?)?,
+            "--slo" => self.slo.push(stream.value_for(flag)?.to_owned()),
+            "--postmortem-out" => self.postmortem_out = Some(stream.value_for(flag)?.to_owned()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
 }
 
 /// `compare` command arguments.
@@ -208,6 +270,8 @@ pub struct ClusterArgs {
     pub dispatch: nimblock_cluster::DispatchPolicy,
     /// Board counts to sweep instead of a single run.
     pub sweep_boards: Option<Vec<usize>>,
+    /// Continuous-monitoring options (series merged across boards).
+    pub monitor: MonitorArgs,
 }
 
 /// What `analyze` should look at.
@@ -236,6 +300,14 @@ pub enum AnalyzeTarget {
         format: ExplainFormat,
         /// How many of the slowest applications to detail.
         top: usize,
+    },
+    /// Render a monitoring document (as written by `--timeseries-out` or
+    /// a post-mortem dump): windowed series, alerts, flight recorder.
+    Monitor {
+        /// Path of the monitoring JSON.
+        path: String,
+        /// Report format: `text` (default), `md`, or `json`.
+        format: ExplainFormat,
     },
 }
 
@@ -336,6 +408,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut trace_format = None;
             let mut trace_out = None;
             let mut check_invariants = false;
+            let mut monitor = MonitorArgs::default();
             while let Some(flag) = stream.next() {
                 match flag {
                     "--scheduler" => scheduler = SchedulerKind::parse(stream.value_for(flag)?)?,
@@ -348,12 +421,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--trace-out" => trace_out = Some(stream.value_for(flag)?.to_owned()),
                     "--check-invariants" => check_invariants = true,
+                    other if monitor.parse_flag(other, &mut stream)? => {}
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
             if trace_out.is_some() && trace_format.is_none() {
                 return Err(err("--trace-out requires --trace-format"));
             }
+            monitor.config()?; // validate rules and window at parse time
             Ok(Command::Run(RunArgs {
                 stimulus,
                 scheduler,
@@ -364,6 +439,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 trace_format,
                 trace_out,
                 check_invariants,
+                monitor,
             }))
         }
         "analyze" => {
@@ -423,10 +499,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         json: format == ExplainFormat::Json,
                     }))
                 }
+                Some("monitor") => {
+                    let mut path = None;
+                    let mut format = ExplainFormat::Text;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--format" => format = parse_explain_format(stream.value_for(flag)?)?,
+                            other if !other.starts_with('-') && path.is_none() => {
+                                path = Some(other.to_owned())
+                            }
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    let path = path.ok_or_else(|| err("analyze monitor needs a FILE"))?;
+                    Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Monitor { path, format },
+                        json: format == ExplainFormat::Json,
+                    }))
+                }
                 Some(other) => Err(err(format!(
-                    "unknown analyze target '{other}' (expected lint, trace, or explain)"
+                    "unknown analyze target '{other}' (expected lint, trace, explain, or monitor)"
                 ))),
-                None => Err(err("analyze needs a target: lint, trace, or explain")),
+                None => Err(err("analyze needs a target: lint, trace, explain, or monitor")),
             }
         }
         "faas" => {
@@ -460,6 +554,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 1usize;
             let mut dispatch = nimblock_cluster::DispatchPolicy::FewestApps;
             let mut sweep_boards = None;
+            let mut monitor = MonitorArgs::default();
             while let Some(flag) = stream.next() {
                 match flag {
                     "--boards" => boards = parse_number(flag, stream.value_for(flag)?)?,
@@ -492,12 +587,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         }
                         sweep_boards = Some(counts);
                     }
+                    other if monitor.parse_flag(other, &mut stream)? => {}
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
             if boards == 0 {
                 return Err(err("--boards must be at least 1"));
             }
+            monitor.config()?; // validate rules and window at parse time
             Ok(Command::Cluster(ClusterArgs {
                 stimulus,
                 boards,
@@ -505,6 +602,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 dispatch,
                 sweep_boards,
+                monitor,
             }))
         }
         "compare" => {
@@ -718,6 +816,61 @@ mod tests {
         assert!(a.json);
         assert!(parse(&argv("analyze explain")).is_err());
         assert!(parse(&argv("analyze explain t.json --format svg")).is_err());
+    }
+
+    #[test]
+    fn monitor_flags_parse_on_run_and_cluster() {
+        let line = "run --timeseries-out ts.json --window-ms 50 \
+                    --slo resp:high:p95<=200ms --slo util>=30% --postmortem-out pm.json";
+        let Command::Run(run) = parse(&argv(line)).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.monitor.timeseries_out.as_deref(), Some("ts.json"));
+        assert_eq!(run.monitor.window_ms, 50);
+        assert_eq!(run.monitor.slo, vec!["resp:high:p95<=200ms", "util>=30%"]);
+        assert_eq!(run.monitor.postmortem_out.as_deref(), Some("pm.json"));
+        assert!(run.monitor.enabled());
+        let config = run.monitor.config().unwrap();
+        assert_eq!(config.window_micros, 50_000);
+        assert_eq!(config.rules.len(), 2);
+
+        let Command::Cluster(c) =
+            parse(&argv("cluster --boards 2 --timeseries-out - --slo queue<=4")).unwrap()
+        else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.monitor.timeseries_out.as_deref(), Some("-"));
+        assert_eq!(c.monitor.window_ms, 10, "default window");
+        assert!(c.monitor.enabled());
+
+        // Defaults: monitoring off, nothing attached.
+        let Command::Run(run) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!run.monitor.enabled());
+        // Malformed rules and zero windows are rejected at parse time.
+        assert!(parse(&argv("run --slo nonsense")).is_err());
+        assert!(parse(&argv("run --window-ms 0 --timeseries-out -")).is_err());
+    }
+
+    #[test]
+    fn analyze_monitor_parses() {
+        let Command::Analyze(a) = parse(&argv("analyze monitor ts.json --format md")).unwrap()
+        else {
+            panic!("expected analyze");
+        };
+        assert_eq!(
+            a.target,
+            AnalyzeTarget::Monitor { path: "ts.json".into(), format: ExplainFormat::Markdown }
+        );
+        assert!(!a.json);
+        let Command::Analyze(a) = parse(&argv("analyze monitor ts.json --format json")).unwrap()
+        else {
+            panic!("expected analyze");
+        };
+        assert!(a.json);
+        assert!(parse(&argv("analyze monitor")).is_err());
+        assert!(parse(&argv("analyze monitor ts.json --format svg")).is_err());
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub fn load_sequence(path: &str) -> Result<EventSequence, CliError> {
     nimblock_ser::from_str(&text).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
 }
 
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}
+
 fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), CliError> {
     if path == "-" {
         writeln!(out, "{contents}").map_err(|e| CliError(e.to_string()))
@@ -67,14 +78,46 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(registry) = &registry {
         testbed = testbed.with_metrics(registry.clone());
     }
+    let monitor_config = if args.monitor.enabled() {
+        Some(args.monitor.config()?)
+    } else {
+        None
+    };
+    let monitor = monitor_config
+        .clone()
+        .map(|config| nimblock_obs::MonitorHandle::new(config, 0));
+    if let Some(monitor) = &monitor {
+        testbed = testbed.with_monitor(monitor.clone());
+    }
     let trace_format = args
         .trace_format
         .or_else(|| args.gantt.then_some(TraceFormat::Gantt));
-    let (report, trace) = if trace_format.is_some() || args.check_invariants {
-        let (report, trace) = testbed.run_traced(&events);
-        (report, Some(trace))
+    let run_it = move || {
+        if trace_format.is_some() || args.check_invariants {
+            let (report, trace) = testbed.run_traced(&events);
+            (report, Some(trace))
+        } else {
+            (testbed.run(&events), None)
+        }
+    };
+    // A monitored run survives a sim panic long enough to dump the
+    // flight recorder: the handle's state is shared, so whatever was
+    // aggregated before the panic is still there.
+    let (report, trace) = if monitor.is_some() {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_it)) {
+            Ok(result) => result,
+            Err(payload) => {
+                let reason = panic_message(payload.as_ref());
+                if let Some(path) = args.monitor.postmortem_out.as_deref() {
+                    let mut doc = monitor.as_ref().expect("monitored run").to_doc();
+                    doc.trigger = Some(format!("panic: {reason}"));
+                    write_output(path, &nimblock_ser::to_string_pretty(&doc), out)?;
+                }
+                return Err(CliError(format!("simulation panicked: {reason}")));
+            }
+        }
     } else {
-        (testbed.run(&events), None)
+        run_it()
     };
 
     let responses: Vec<f64> = report
@@ -124,10 +167,46 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError(e.to_string()))?;
         } else {
             writeln!(out, "{verdict}").map_err(|e| CliError(e.to_string()))?;
+            // The flight-recorder payoff: the bundle carries the recent
+            // windows, the event ring, and the failing app's span tree.
+            if let Some(path) = args.monitor.postmortem_out.as_deref() {
+                let first = verdict.violations.first();
+                let trigger = first
+                    .map(|v| format!("invariant: {} — {}", v.rule, v.message))
+                    .unwrap_or_else(|| "invariant violation".to_owned());
+                // Not every violation names an application (a bare slot
+                // overlap doesn't); implicate the first one that does.
+                let doc = nimblock_core::post_mortem(
+                    trace,
+                    monitor_config.clone().unwrap_or_default(),
+                    &trigger,
+                    verdict.violations.iter().find_map(|v| v.app),
+                );
+                write_output(path, &nimblock_ser::to_string_pretty(&doc), out)?;
+                writeln!(out, "  post-mortem bundle written to {path}")
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
             return Err(CliError(format!(
                 "schedule violates {} invariant(s)",
                 verdict.violations.len()
             )));
+        }
+    }
+
+    if let Some(monitor) = &monitor {
+        let doc = monitor.to_doc();
+        if !doc.rules.is_empty() {
+            writeln!(
+                out,
+                "  slo: {} rule(s) evaluated over {} window(s), {} alert(s) fired",
+                doc.rules.len(),
+                doc.windows.len(),
+                doc.alerts.len(),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+        }
+        if let Some(path) = &args.monitor.timeseries_out {
+            write_output(path, &nimblock_ser::to_string_pretty(&doc), out)?;
         }
     }
 
@@ -241,6 +320,13 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
     let events = make_sequence(&args.stimulus)?;
     let scheduler = args.scheduler;
     let factory = move || scheduler.build();
+    if args.sweep_boards.is_some() && args.monitor.enabled() {
+        return Err(CliError(
+            "monitoring flags are not supported with --sweep-boards \
+             (one document per run; sweep runs many)"
+                .to_owned(),
+        ));
+    }
     if let Some(sweep) = &args.sweep_boards {
         let mut table = TextTable::new(vec![
             "boards", "mean resp (s)", "p95 (s)", "makespan", "loads",
@@ -275,9 +361,12 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
         .map_err(|e| CliError(e.to_string()))?;
         return write!(out, "{table}").map_err(|e| CliError(e.to_string()));
     }
-    let report = ClusterTestbed::new(args.boards, args.dispatch, factory)
-        .with_threads(args.threads)
-        .run(&events);
+    let mut cluster = ClusterTestbed::new(args.boards, args.dispatch, factory)
+        .with_threads(args.threads);
+    if args.monitor.enabled() {
+        cluster = cluster.with_monitor(args.monitor.config()?);
+    }
+    let report = cluster.run(&events);
     writeln!(
         out,
         "{}: mean response {}s over {} events; per-board loads {:?}",
@@ -286,7 +375,23 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
         report.merged().records().len(),
         report.board_loads(),
     )
-    .map_err(|e| CliError(e.to_string()))
+    .map_err(|e| CliError(e.to_string()))?;
+    if let Some(doc) = report.monitor() {
+        if !doc.rules.is_empty() {
+            writeln!(
+                out,
+                "  slo: {} rule(s) evaluated over {} merged window(s), {} alert(s) fired",
+                doc.rules.len(),
+                doc.windows.len(),
+                doc.alerts.len(),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+        }
+        if let Some(path) = &args.monitor.timeseries_out {
+            write_output(path, &nimblock_ser::to_string_pretty(doc), out)?;
+        }
+    }
+    Ok(())
 }
 
 fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliError> {
@@ -338,6 +443,16 @@ fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliErr
                     report.violations.len()
                 )))
             }
+        }
+        AnalyzeTarget::Monitor { path, format } => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let doc: nimblock_obs::MonitorDoc = nimblock_ser::from_str(&text)
+                .map_err(|e| CliError(format!("{path} is not a monitoring document: {e}")))?;
+            write!(out, "{}", nimblock_analyze::render_monitor(&doc, *format))
+                .map_err(|e| CliError(e.to_string()))
+            // Fired alerts describe the run, not this command: rendering
+            // an alert-bearing document is still a clean exit.
         }
         AnalyzeTarget::Explain { path, format, top } => {
             let text = fs::read_to_string(path)
@@ -638,5 +753,74 @@ mod tests {
         let mut out = Vec::new();
         let err = execute(&command, &mut out).unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn monitored_run_writes_a_timeseries_and_fires_a_tight_slo() {
+        let dir = std::env::temp_dir().join("nimblock-cli-monitor-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.json");
+        let path = path.to_str().unwrap();
+        // util>=100% cannot hold in every window (reconfiguration stalls
+        // alone guarantee sub-full windows), so the rule reliably fires.
+        let output = run_line(&format!(
+            "run --scheduler nimblock --scenario stress --events 6 --seed 3 \
+             --window-ms 1000 --slo util>=100% --timeseries-out {path}"
+        ));
+        assert!(output.contains("slo: 1 rule(s) evaluated"), "{output}");
+        assert!(output.contains("alert(s) fired"), "{output}");
+
+        let text = fs::read_to_string(path).unwrap();
+        let doc: nimblock_obs::MonitorDoc = nimblock_ser::from_str(&text).unwrap();
+        assert!(!doc.windows.is_empty());
+        assert!(!doc.alerts.is_empty(), "tight rule should fire");
+        assert_eq!(doc.rules, vec!["util>=100%".to_string()]);
+
+        // The exported document round-trips through `analyze monitor` in
+        // every format, and an alert-bearing document is still a clean exit.
+        let rendered = run_line(&format!("analyze monitor {path}"));
+        assert!(rendered.contains("continuous monitor:"), "{rendered}");
+        assert!(rendered.contains("SLO rules:"), "{rendered}");
+        let md = run_line(&format!("analyze monitor {path} --format md"));
+        assert!(md.starts_with("# Continuous monitor"), "{md}");
+        let json = run_line(&format!("analyze monitor {path} --format json"));
+        let value = nimblock_ser::parse(json.trim()).unwrap();
+        assert_eq!(value.get("clean"), Some(&nimblock_ser::Json::Bool(false)));
+    }
+
+    #[test]
+    fn monitored_cluster_run_merges_boards_and_is_thread_invariant() {
+        let dir = std::env::temp_dir().join("nimblock-cli-monitor-cluster");
+        fs::create_dir_all(&dir).unwrap();
+        let base = "cluster --boards 3 --events 6 --seed 8 --batch 2 --delay-ms 100 \
+                    --window-ms 1000 --slo queue<=0";
+        let mut docs = Vec::new();
+        for threads in [1, 2, 8] {
+            let path = dir.join(format!("series-{threads}.json"));
+            let path = path.to_str().unwrap();
+            let output = run_line(&format!(
+                "{base} --cluster-threads {threads} --timeseries-out {path}"
+            ));
+            assert!(output.contains("merged window(s)"), "{output}");
+            docs.push(fs::read_to_string(path).unwrap());
+        }
+        assert_eq!(docs[0], docs[1], "threads 1 vs 2");
+        assert_eq!(docs[0], docs[2], "threads 1 vs 8");
+        let doc: nimblock_obs::MonitorDoc = nimblock_ser::from_str(&docs[0]).unwrap();
+        assert_eq!(doc.slots, 30, "3 boards x 10 slots");
+    }
+
+    #[test]
+    fn monitor_flags_reject_sweeps_and_bad_rules() {
+        let command = parse(&argv(
+            "cluster --sweep-boards 1,2 --events 4 --slo util>=50%",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--sweep-boards"), "{err}");
+
+        let err = parse(&argv("run --events 2 --slo nonsense<=3")).unwrap_err();
+        assert!(err.to_string().contains("rule"), "{err}");
     }
 }

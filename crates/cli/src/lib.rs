@@ -13,7 +13,13 @@
 //!   (the same engine `run --check-invariants` applies inline), or
 //!   `explain` a trace — decompose every application's response time into
 //!   six exactly-summing attribution components with critical-path span
-//!   trees.
+//!   trees — or render a continuous-monitoring document (`monitor`),
+//! * `faas` / `cluster` — the scale-out deployment shapes.
+//!
+//! `run` and `cluster` optionally attach a continuous monitor
+//! (`--timeseries-out`, `--slo`, `--postmortem-out`): tumbling-window
+//! time-series in virtual time, a flight recorder, and SLO burn-rate
+//! alerts, all byte-identical for any `--cluster-threads` value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +29,7 @@ mod commands;
 
 pub use args::{
     parse, AnalyzeArgs, AnalyzeTarget, CliError, ClusterArgs, Command, CompareArgs,
-    ExplainFormat, FaasArgs, GenerateArgs, RunArgs, SchedulerKind, TraceFormat,
+    ExplainFormat, FaasArgs, GenerateArgs, MonitorArgs, RunArgs, SchedulerKind, TraceFormat,
 };
 pub use commands::{execute, load_sequence, make_sequence};
 
@@ -37,16 +43,17 @@ USAGE:
   nimblock-cli run      [--scheduler NAME] [stimulus options | --input FILE]
                         [--slots N] [--json FILE] [--gantt]
                         [--metrics-out FILE] [--trace-format FMT [--trace-out FILE]]
-                        [--check-invariants]
+                        [--check-invariants] [monitor options]
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
   nimblock-cli analyze  lint [--root DIR] [--json]
   nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
   nimblock-cli analyze  explain FILE [--format text|md|json] [--top N]
+  nimblock-cli analyze  monitor FILE [--format text|md|json]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
   nimblock-cli cluster  [--boards N | --sweep-boards N,N,...] [--scheduler NAME]
                         [--dispatch POLICY] [--cluster-threads N]
-                        [stimulus options]
+                        [stimulus options] [monitor options]
 
 STIMULUS OPTIONS (used by run/compare when no --input is given):
   --scenario standard|stress|realtime   congestion condition [stress]
@@ -81,9 +88,26 @@ OTHER:
   --root DIR           workspace root for analyze lint [.]
   --mechanism-only     analyze trace: skip Nimblock-policy invariants
                        (use for traces from preempting non-Nimblock policies)
-  --format FMT         analyze explain report format: text | md | json [text]
+  --format FMT         analyze explain/monitor report format: text | md | json
+                       [text]
   --top N              analyze explain: how many of the slowest applications
                        get their critical-path span trees printed [5]
+
+MONITOR OPTIONS (run/cluster; attach a continuous monitor in virtual time):
+  --timeseries-out FILE  write the windowed time-series + alerts document as
+                         JSON ('-' for stdout); render with `analyze monitor`
+  --window-ms N          tumbling-window width in simulated milliseconds [10]
+  --slo RULE             declarative SLO rule, repeatable. Grammar:
+                           resp:CLASS:pN<=DUR   (CLASS: low|med|high;
+                                                 DUR like 250us, 80ms, 2s)
+                           util>=N%             per-window slot-utilization floor
+                           queue<=N             per-window queue-depth ceiling
+                           burn:CLASS:pN<=DUR@n/m  burn rate: fires when the
+                                                 ceiling is breached in >= n of
+                                                 the last m windows
+  --postmortem-out FILE  on an invariant failure or simulation panic, dump a
+                         post-mortem bundle (recent windows, flight recorder,
+                         implicated span tree) to FILE
 
 Set NIMBLOCK_LOG=debug (or e.g. 'hv=debug,sched=info') for structured logs
 on stderr.

@@ -36,6 +36,7 @@ pub struct ClusterReport {
     per_board: Vec<Report>,
     assignments: Vec<usize>,
     per_board_traces: Vec<Trace>,
+    monitor: Option<nimblock_obs::MonitorDoc>,
 }
 
 impl ClusterReport {
@@ -67,6 +68,16 @@ impl ClusterReport {
         &self.assignments
     }
 
+    /// Returns the merged monitoring document when the run was monitored
+    /// (see [`ClusterTestbed::with_monitor`]); `None` otherwise. Windows
+    /// are summed index-wise across boards in board order, SLO rules are
+    /// evaluated once over the merged series, and the flight recorders
+    /// are concatenated in board order — so the document is byte-identical
+    /// for any worker-thread count.
+    pub fn monitor(&self) -> Option<&nimblock_obs::MonitorDoc> {
+        self.monitor.as_ref()
+    }
+
     /// Returns how many events each board received.
     pub fn board_loads(&self) -> Vec<usize> {
         let mut loads = vec![0usize; self.per_board.len()];
@@ -82,6 +93,7 @@ struct BoardOutcome {
     report: Report,
     trace: Option<Trace>,
     shard: Option<nimblock_obs::Registry>,
+    monitor: Option<nimblock_obs::MonitorState>,
 }
 
 /// Emulates real-time application arrival on a cluster of identical boards:
@@ -100,6 +112,7 @@ pub struct ClusterTestbed<F> {
     threads: usize,
     tracing: bool,
     metrics: Option<nimblock_obs::Registry>,
+    monitor: Option<nimblock_obs::MonitorConfig>,
     legacy_queue: bool,
 }
 
@@ -129,6 +142,7 @@ where
             threads: 1,
             tracing: false,
             metrics: None,
+            monitor: None,
             legacy_queue: false,
         }
     }
@@ -176,6 +190,17 @@ where
         self
     }
 
+    /// Attaches a continuous monitor to every board. Each board
+    /// aggregates its own windowed series (with the rule set stripped —
+    /// running per-board rules on partial series would mis-fire); the
+    /// merge phase folds the boards together in board-index order and
+    /// evaluates `config`'s SLO rules once, over the merged series. The
+    /// result lands in [`ClusterReport::monitor`].
+    pub fn with_monitor(mut self, config: nimblock_obs::MonitorConfig) -> Self {
+        self.monitor = Some(config);
+        self
+    }
+
     /// Runs `events` to completion.
     ///
     /// # Panics
@@ -220,20 +245,24 @@ where
         let horizon = self.horizon;
         let tracing = self.tracing;
         let sharded = self.metrics.is_some();
+        let monitor_config = &self.monitor;
         let legacy_queue = self.legacy_queue;
         let jobs: Vec<_> = board_events
             .into_iter()
-            .map(|(stimulus, globals)| {
+            .enumerate()
+            .map(|(board, (stimulus, globals))| {
                 move || {
                     run_board(
                         factory(),
                         device_config.clone(),
                         stimulus,
                         globals,
+                        board,
                         tick,
                         horizon,
                         tracing,
                         sharded,
+                        monitor_config.clone(),
                         legacy_queue,
                     )
                 }
@@ -244,15 +273,27 @@ where
         // Phase 3: merge, strictly in board-index order.
         let mut per_board = Vec::with_capacity(outcomes.len());
         let mut per_board_traces = Vec::new();
+        let mut merged_monitor = self
+            .monitor
+            .as_ref()
+            .map(|config| nimblock_obs::MonitorState::new(config.clone(), 0));
         for outcome in outcomes {
             if let (Some(registry), Some(shard)) = (&self.metrics, &outcome.shard) {
                 registry.merge_from(shard);
+            }
+            if let (Some(merged), Some(board)) = (&mut merged_monitor, &outcome.monitor) {
+                merged.merge_from(board);
             }
             if let Some(trace) = outcome.trace {
                 per_board_traces.push(trace);
             }
             per_board.push(outcome.report);
         }
+        // SLO rules run exactly once, over the cluster-wide series.
+        let monitor_doc = merged_monitor.map(|mut merged| {
+            merged.evaluate_merged();
+            merged.to_doc()
+        });
         let finished_at = per_board
             .iter()
             .map(|r| r.finished_at())
@@ -301,6 +342,7 @@ where
             per_board,
             assignments,
             per_board_traces,
+            monitor: monitor_doc,
         }
     }
 }
@@ -313,16 +355,25 @@ fn run_board<S: Scheduler>(
     device_config: DeviceConfig,
     stimulus: Vec<ArrivalEvent>,
     globals: Vec<usize>,
+    board: usize,
     tick: SimDuration,
     horizon: SimTime,
     tracing: bool,
     sharded: bool,
+    monitor_config: Option<nimblock_obs::MonitorConfig>,
     legacy_queue: bool,
 ) -> BoardOutcome {
     let shard = sharded.then(nimblock_obs::Registry::new);
     if let Some(shard) = &shard {
         scheduler.attach_metrics(shard);
     }
+    // Board monitors aggregate only: the rule set is stripped so no SLO
+    // fires on a partial (single-board) series; rules run on the merge.
+    let monitor = monitor_config.map(|config| {
+        let handle = nimblock_obs::MonitorHandle::new(config.without_rules(), 0);
+        handle.with(|m| m.set_board(board as u64));
+        handle
+    });
     let arrivals: Vec<SimTime> = stimulus.iter().map(|e| e.arrival()).collect();
     let mut hypervisor =
         Hypervisor::new(Device::new(device_config), scheduler, stimulus).with_tick_interval(tick);
@@ -330,6 +381,9 @@ fn run_board<S: Scheduler>(
         // Untimed: no wall-clock samples, so the shard (and therefore the
         // merged cluster registry) is a function of simulated time only.
         hypervisor = hypervisor.with_untimed_metrics(shard);
+    }
+    if let Some(monitor) = &monitor {
+        hypervisor = hypervisor.with_monitor(monitor.clone());
     }
     if tracing {
         hypervisor = hypervisor.with_tracing();
@@ -365,6 +419,12 @@ fn run_board<S: Scheduler>(
             .set(sim.max_queue_depth() as i64);
     }
     let finished_at = sim.now();
+    let monitor_state = monitor.map(|handle| {
+        handle.with(|m| {
+            m.finalize(finished_at.as_micros());
+            m.clone()
+        })
+    });
     let mut hypervisor = sim.into_handler();
     let trace = hypervisor.take_trace();
     let report = hypervisor.into_report(finished_at);
@@ -399,6 +459,7 @@ fn run_board<S: Scheduler>(
         report,
         trace,
         shard,
+        monitor: monitor_state,
     }
 }
 
@@ -505,10 +566,13 @@ mod tests {
         let events = generate(21, 14, Scenario::Stress);
         let run = |threads: usize| {
             let registry = nimblock_obs::Registry::new();
+            let monitor = nimblock_obs::MonitorConfig::with_window_micros(1_000_000)
+                .rules(nimblock_obs::parse_rules(&["resp:low:p50<=1us".into()]).unwrap());
             let report = cluster(3, DispatchPolicy::LeastOutstanding)
                 .with_threads(threads)
                 .with_tracing()
                 .with_metrics(registry.clone())
+                .with_monitor(monitor)
                 .run(&events);
             (report, registry.render_prometheus())
         };
@@ -543,7 +607,42 @@ mod tests {
                 parallel.merged().attribution(),
                 "merged attribution must not depend on threads"
             );
+            // The merged monitoring document — windows, alerts, and the
+            // concatenated flight recorder — down to its serialized bytes.
+            assert_eq!(sequential.monitor(), parallel.monitor());
+            assert_eq!(
+                nimblock_ser::to_string_pretty(sequential.monitor().unwrap()),
+                nimblock_ser::to_string_pretty(parallel.monitor().unwrap()),
+                "monitor doc must not depend on threads"
+            );
         }
+    }
+
+    #[test]
+    fn cluster_monitor_merges_boards_and_fires_rules_once() {
+        let events = generate(9, 6, Scenario::Standard);
+        // A 100% utilization floor is unmeetable, so the merged
+        // evaluation must fire; per-board evaluation is stripped, so
+        // every alert can only come from the merged series.
+        let config = nimblock_obs::MonitorConfig::with_window_micros(1_000_000)
+            .rules(nimblock_obs::parse_rules(&["util>=100%".into()]).unwrap());
+        let report = cluster(3, DispatchPolicy::RoundRobin)
+            .with_monitor(config)
+            .run(&events);
+        let doc = report.monitor().expect("monitored run carries a doc");
+        assert_eq!(doc.slots, 30, "3 boards x 10 slots");
+        let arrivals: u64 = doc.windows.iter().map(|w| w.arrivals).sum();
+        let retires: u64 = doc.windows.iter().map(|w| w.retires).sum();
+        assert_eq!((arrivals, retires), (6, 6));
+        assert!(!doc.alerts.is_empty(), "unmeetable SLO must fire on the merge");
+        assert_eq!(doc.rules, vec!["util>=100%".to_owned()]);
+        // Flight-recorder entries carry their board tags, concatenated in
+        // board-index order.
+        let boards: Vec<u64> = doc.recorder.iter().map(|e| e.board).collect();
+        assert!(boards.windows(2).all(|pair| pair[0] <= pair[1]), "{boards:?}");
+        assert!(boards.iter().any(|&b| b > 0), "multiple boards recorded");
+        // Unmonitored runs carry no doc.
+        assert!(cluster(3, DispatchPolicy::RoundRobin).run(&events).monitor().is_none());
     }
 
     #[test]

@@ -84,6 +84,19 @@ pub struct Hypervisor<S> {
     /// includes the bitstream size so same-named applications with
     /// different footprints do not share entries.
     bitstream_cache: HashMap<(String, usize, u64), nimblock_fpga::BitstreamId>,
+    /// Continuous-observability sink (windowed time-series + flight
+    /// recorder + SLO engine). `None` (the default) keeps the hot path
+    /// free of monitoring work beyond one branch per emission point.
+    monitor: Option<nimblock_obs::MonitorHandle>,
+    /// Set whenever an event may have changed the scheduling state, so
+    /// the post-event occupancy sample (an O(apps × tasks) scan) is
+    /// skipped on no-op ticks. The monitor carries the previous sample
+    /// through unsampled windows, so skipping is observationally free.
+    monitor_dirty: bool,
+    /// `false` when the attached monitor retains no windows (a sink-less
+    /// configuration): occupancy samples would be discarded on arrival,
+    /// so the post-event scan is skipped entirely.
+    monitor_samples: bool,
 }
 
 impl<S: Scheduler> Hypervisor<S> {
@@ -110,7 +123,26 @@ impl<S: Scheduler> Hypervisor<S> {
             launch_gen: vec![0; slot_count],
             fine_checkpoint: None,
             bitstream_cache: HashMap::new(),
+            monitor: None,
+            monitor_dirty: false,
+            monitor_samples: false,
         }
+    }
+
+    /// Attaches a continuous-observability monitor: every admission,
+    /// reconfiguration, preemption, item launch/abort, and retirement is
+    /// mirrored into its virtual-time tumbling windows and flight
+    /// recorder, and the scheduling state (queue depth, waiting/running
+    /// apps) is sampled after every event. Detached hypervisors skip all
+    /// of this behind a single `Option` branch.
+    pub fn with_monitor(mut self, monitor: nimblock_obs::MonitorHandle) -> Self {
+        // Bind the monitor to this device so its utilization denominator
+        // and per-slot abort tracking match regardless of how the handle
+        // was constructed.
+        monitor.with(|m| m.set_slots(self.device.slot_count()));
+        self.monitor_samples = monitor.with(|m| m.config().window_capacity > 0);
+        self.monitor = Some(monitor);
+        self
     }
 
     /// Enables fine-grained (mid-item) preemption with the given
@@ -265,6 +297,8 @@ impl<S: Scheduler> Hypervisor<S> {
         self.metrics.arrivals.inc();
         let id = AppId::new(self.next_app_raw);
         self.next_app_raw += 1;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
         let bitstreams = (0..event.app().graph().task_count())
             .map(|task| {
                 let key = (
@@ -277,10 +311,12 @@ impl<S: Scheduler> Hypervisor<S> {
                         // Warm start: the partial bitstream files of a
                         // repeat invocation are already on the card.
                         self.metrics.bitstream_cache_hits.inc();
+                        cache_hits += 1;
                         bitstream
                     }
                     None => {
                         self.metrics.bitstream_cache_misses.inc();
+                        cache_misses += 1;
                         let bitstream =
                             self.device.store_mut().register(event.app().bitstream_bytes());
                         self.bitstream_cache.insert(key, bitstream);
@@ -289,6 +325,28 @@ impl<S: Scheduler> Hypervisor<S> {
                 }
             })
             .collect();
+        if let Some(monitor) = &self.monitor {
+            let at = now.as_micros();
+            monitor.with(|m| {
+                m.on_arrival(at);
+                for _ in 0..cache_hits {
+                    m.on_cache(at, true);
+                }
+                for _ in 0..cache_misses {
+                    m.on_cache(at, false);
+                }
+                m.record(
+                    at,
+                    "arrival",
+                    || format!(
+                        "{id} {} batch={} priority={:?}",
+                        event.app().name(),
+                        event.batch_size(),
+                        event.priority(),
+                    ),
+                );
+            });
+        }
         nb_info!(
             "hv",
             "msg=\"admitted\" app={id} name={} batch={} priority={:?} at={now}",
@@ -346,6 +404,9 @@ impl<S: Scheduler> Hypervisor<S> {
         }
         self.metrics.items.inc();
         self.device.finish_execution(slot);
+        if let Some(monitor) = &self.monitor {
+            monitor.with(|m| m.on_item_done(slot.index()));
+        }
         let runtime = self.apps.get_mut(app).expect("running app is live");
         debug_assert_eq!(runtime.phases[task.index()], TaskPhase::Running(slot));
         runtime.item_progress[task.index()] = nimblock_sim::SimDuration::ZERO;
@@ -419,6 +480,21 @@ impl<S: Scheduler> Hypervisor<S> {
         self.metrics.slowdown_for(runtime.priority()).observe(slowdown_milli);
         self.metrics.response_quantiles.observe(response);
         self.metrics.slowdown_quantiles.observe(slowdown_milli);
+        if let Some(monitor) = &self.monitor {
+            let at = now.as_micros();
+            let weight = u64::from(runtime.priority().weight());
+            monitor.with(|m| {
+                m.on_retire(at, weight, response, slowdown_milli);
+                m.record(
+                    at,
+                    "retire",
+                    || format!(
+                        "{app} {} response={response}us slowdown_milli={slowdown_milli}",
+                        runtime.spec().name(),
+                    ),
+                );
+            });
+        }
         nb_info!(
             "hv",
             "msg=\"retired\" app={app} name={} at={now} preemptions={}",
@@ -456,6 +532,7 @@ impl<S: Scheduler> Hypervisor<S> {
     /// application, non-unplaced task, busy slot, or preemption of a
     /// non-idle victim. These are policy bugs.
     fn enact(&mut self, directive: Reconfig, now: SimTime, queue: &mut EventQueue<HvEvent>) {
+        self.monitor_dirty = true;
         let Reconfig { app, task, slot } = directive;
         assert!(
             self.apps.contains(app),
@@ -526,6 +603,11 @@ impl<S: Scheduler> Hypervisor<S> {
                     self.device
                         .abort_execution(slot)
                         .expect("running slot can be aborted");
+                    if let Some(monitor) = &self.monitor {
+                        // The aborted item's un-executed remainder leaves
+                        // the busy series.
+                        monitor.with(|m| m.on_item_abort(slot.index(), now.as_micros()));
+                    }
                     reconfig_start = now + checkpoint;
                 }
                 // Scheduler-contract violation ("# Panics"): only bound
@@ -540,6 +622,17 @@ impl<S: Scheduler> Hypervisor<S> {
             victim.phases[victim_task.index()] = TaskPhase::Unplaced;
             victim.preemptions += 1;
             self.metrics.preemptions.inc();
+            if let Some(monitor) = &self.monitor {
+                let at = now.as_micros();
+                monitor.with(|m| {
+                    m.on_preempt(at);
+                    m.record(
+                        at,
+                        "preempt",
+                        || format!("slot={slot} victim={victim_app} task={victim_task}"),
+                    );
+                });
+            }
             nb_debug!(
                 "hv",
                 "msg=\"preempt\" slot={slot} victim={victim_app} task={victim_task} at={now}"
@@ -583,6 +676,16 @@ impl<S: Scheduler> Hypervisor<S> {
                 task,
                 at: reconfig_start,
                 until: done_at,
+            });
+        }
+        if let Some(monitor) = &self.monitor {
+            monitor.with(|m| {
+                m.on_reconfig(reconfig_start.as_micros(), done_at.as_micros());
+                m.record(
+                    reconfig_start.as_micros(),
+                    "reconfig",
+                    || format!("slot={slot} app={app} task={task} until={done_at}"),
+                );
             });
         }
         queue.push(done_at, HvEvent::ReconfigDone { slot });
@@ -631,6 +734,7 @@ impl<S: Scheduler> Hypervisor<S> {
             let gen = self.launch_gen[slot_index];
             let runtime = self.apps.get_mut(app).expect("bound app is live");
             runtime.phases[task.index()] = TaskPhase::Running(slot);
+            self.monitor_dirty = true;
             runtime.first_launch.get_or_insert(now);
             runtime.item_started[task.index()] = Some(now);
             // Fetch the item's inputs: from predecessors' slots when they
@@ -666,6 +770,17 @@ impl<S: Scheduler> Hypervisor<S> {
                 });
             }
             queue.push(now + latency, HvEvent::ItemDone { app, task, slot, gen });
+            if let Some(monitor) = &self.monitor {
+                let until = now + latency;
+                monitor.with(|m| {
+                    m.on_item_launch(slot_index, now.as_micros(), until.as_micros());
+                    m.record(
+                        now.as_micros(),
+                        "item",
+                        || format!("slot={slot} app={app} task={task} item={item} until={until}"),
+                    );
+                });
+            }
         }
     }
 
@@ -713,14 +828,50 @@ impl<S: Scheduler> Hypervisor<S> {
 impl<S: Scheduler> Handler<HvEvent> for Hypervisor<S> {
     fn handle(&mut self, now: SimTime, event: HvEvent, queue: &mut EventQueue<HvEvent>) {
         match event {
-            HvEvent::Arrival(index) => self.admit(index, now),
+            HvEvent::Arrival(index) => {
+                self.monitor_dirty = true;
+                self.admit(index, now);
+            }
             HvEvent::Tick => {}
-            HvEvent::ReconfigDone { slot } => self.on_reconfig_done(slot, now),
+            HvEvent::ReconfigDone { slot } => {
+                self.monitor_dirty = true;
+                self.on_reconfig_done(slot, now);
+            }
             HvEvent::ItemDone { app, task, slot, gen } => {
-                self.on_item_done(app, task, slot, now, gen)
+                self.monitor_dirty = true;
+                self.on_item_done(app, task, slot, now, gen);
             }
         }
         self.drive(now, queue);
+        if self.monitor_dirty {
+            if let (true, Some(monitor)) = (self.monitor_samples, &self.monitor) {
+                // Sample the post-event scheduling state: unplaced tasks
+                // (work backlog), slotless apps, and apps holding a slot.
+                // Only when the state may have changed — no-op ticks skip
+                // the scan, and the monitor carries the previous sample
+                // through the windows in between.
+                let mut queue_depth = 0u64;
+                let mut waiting = 0u64;
+                let mut running = 0u64;
+                for (_, runtime) in self.apps.iter() {
+                    let mut placed = false;
+                    for phase in &runtime.phases {
+                        if *phase == TaskPhase::Unplaced {
+                            queue_depth += 1;
+                        } else if phase.is_placed() {
+                            placed = true;
+                        }
+                    }
+                    if placed {
+                        running += 1;
+                    } else {
+                        waiting += 1;
+                    }
+                }
+                monitor.with(|m| m.sample(now.as_micros(), queue_depth, waiting, running));
+            }
+            self.monitor_dirty = false;
+        }
         // A zero tick interval disables self re-arming: an outer driver
         // (e.g. a multi-board cluster) supplies the ticks instead.
         if matches!(event, HvEvent::Tick) && !self.finished() && !self.tick_interval.is_zero() {

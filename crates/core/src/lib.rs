@@ -53,6 +53,7 @@ pub mod attribution;
 mod hv_metrics;
 mod hypervisor;
 pub mod invariants;
+pub mod monitor;
 mod runtime;
 mod scheduler;
 mod testbed;
@@ -66,6 +67,7 @@ pub use hypervisor::{Hypervisor, HvEvent};
 pub use invariants::{
     verify_hardware, verify_trace, InvariantConfig, InvariantReport, InvariantRule, Violation,
 };
+pub use monitor::{derive_monitor, post_mortem};
 pub use runtime::{AppId, AppRuntime, TaskPhase};
 pub use scheduler::{
     DmlStaticScheduler, EdfScheduler, FcfsScheduler, NimblockConfig, NimblockScheduler,

@@ -33,6 +33,7 @@ pub struct Testbed<S> {
     scheduling_interval: SimDuration,
     fine_checkpoint: Option<SimDuration>,
     metrics: Option<nimblock_obs::Registry>,
+    monitor: Option<nimblock_obs::MonitorHandle>,
     legacy_queue: bool,
 }
 
@@ -55,8 +56,19 @@ impl<S: Scheduler> Testbed<S> {
             ),
             fine_checkpoint: None,
             metrics: None,
+            monitor: None,
             legacy_queue: false,
         }
+    }
+
+    /// Attaches a continuous-observability monitor (windowed time-series,
+    /// flight recorder, SLO rules — see `nimblock_obs::timeseries`). The
+    /// caller keeps a clone of the handle and snapshots it with
+    /// [`nimblock_obs::MonitorHandle::to_doc`] after the run; the testbed
+    /// finalizes the window series at the run's finish time.
+    pub fn with_monitor(mut self, monitor: nimblock_obs::MonitorHandle) -> Self {
+        self.monitor = Some(monitor);
+        self
     }
 
     /// Runs the simulation on the retired binary-heap event queue instead
@@ -144,6 +156,7 @@ impl<S: Scheduler> Testbed<S> {
     pub fn run_traced(self, events: &EventSequence) -> (Report, crate::Trace) {
         let horizon = self.horizon;
         let registry = self.metrics.clone();
+        let monitor = self.monitor.clone();
         let mut sim = self.into_simulation(events, true);
         sim.run_until(horizon);
         assert!(
@@ -153,6 +166,9 @@ impl<S: Scheduler> Testbed<S> {
         );
         Self::export_sim_metrics(registry.as_ref(), &sim);
         let finished_at = sim.now();
+        if let Some(monitor) = &monitor {
+            monitor.with(|m| m.finalize(finished_at.as_micros()));
+        }
         let mut hypervisor = sim.into_handler();
         let trace = hypervisor.take_trace().expect("tracing was enabled");
         let report = hypervisor
@@ -204,6 +220,9 @@ impl<S: Scheduler> Testbed<S> {
         if let Some(checkpoint) = self.fine_checkpoint {
             hypervisor = hypervisor.with_fine_preemption(checkpoint);
         }
+        if let Some(monitor) = self.monitor {
+            hypervisor = hypervisor.with_monitor(monitor);
+        }
         if tracing {
             hypervisor = hypervisor.with_tracing();
         }
@@ -230,6 +249,7 @@ impl<S: Scheduler> Testbed<S> {
     pub fn run(self, events: &EventSequence) -> Report {
         let horizon = self.horizon;
         let registry = self.metrics.clone();
+        let monitor = self.monitor.clone();
         let mut sim = self.into_simulation(events, false);
         sim.run_until(horizon);
         assert!(
@@ -239,6 +259,9 @@ impl<S: Scheduler> Testbed<S> {
         );
         Self::export_sim_metrics(registry.as_ref(), &sim);
         let finished_at = sim.now();
+        if let Some(monitor) = &monitor {
+            monitor.with(|m| m.finalize(finished_at.as_micros()));
+        }
         sim.into_handler().into_report(finished_at)
     }
 }
@@ -298,6 +321,43 @@ mod tests {
         assert_eq!(plain.records(), metered.records());
         assert_eq!(plain.finished_at(), metered.finished_at());
         assert_eq!(plain.counters(), metered.counters());
+    }
+
+    #[test]
+    fn monitor_fills_windows_without_perturbing_the_schedule() {
+        let events = generate(9, 6, Scenario::Standard);
+        let plain = Testbed::new(NimblockScheduler::new()).run(&events);
+        // One-second windows: the Standard scenario spans ~28 min of
+        // virtual time, which overflows the default 10 ms windows'
+        // capacity bound (the drop counter would eat the late retires).
+        let config = nimblock_obs::MonitorConfig::with_window_micros(1_000_000);
+        let monitor = nimblock_obs::MonitorHandle::new(config, 0);
+        let monitored = Testbed::new(NimblockScheduler::new())
+            .with_monitor(monitor.clone())
+            .run(&events);
+        assert_eq!(plain.records(), monitored.records());
+        assert_eq!(plain.finished_at(), monitored.finished_at());
+        assert_eq!(plain.counters(), monitored.counters());
+        let doc = monitor.to_doc();
+        assert_eq!(doc.slots, 10, "bound to the zcu106 slot count on attach");
+        assert!(!doc.windows.is_empty());
+        let arrivals: u64 = doc.windows.iter().map(|w| w.arrivals).sum();
+        let retires: u64 = doc.windows.iter().map(|w| w.retires).sum();
+        assert_eq!((arrivals, retires), (6, 6));
+        let responses: u64 = doc
+            .windows
+            .iter()
+            .map(|w| w.resp_low.count() + w.resp_med.count() + w.resp_high.count())
+            .sum();
+        assert_eq!(responses, 6, "every retiree lands in one class sketch");
+        for (index, window) in doc.windows.iter().enumerate() {
+            assert!(
+                window.busy_micros <= doc.slots * doc.window_micros,
+                "window {index} overfull: {} busy µs",
+                window.busy_micros
+            );
+        }
+        assert!(!doc.recorder.is_empty());
     }
 
     #[test]

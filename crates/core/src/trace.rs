@@ -305,17 +305,55 @@ impl Trace {
     /// occupancy and an `apps` track with arrival/retire markers. Flow
     /// (`ph:"s"`/`ph:"f"`) arrows tie each CAP reconfiguration to the
     /// first task item it enables — the causal edges of the critical
-    /// path. All timestamps are simulated microseconds.
+    /// path. Two `ph:"C"` counter lanes — waiting apps and slot
+    /// utilization, one sample per tumbling window of the derived
+    /// monitor series (see [`crate::monitor`]) — render the load shape
+    /// next to the slot tracks. All timestamps are simulated
+    /// microseconds.
     pub fn to_chrome(&self) -> String {
         let slots = self.slots() as u64;
         let cap_tid = slots;
         let apps_tid = slots + 1;
+        let queue_tid = slots + 2;
+        let util_tid = slots + 3;
         let mut chrome = ChromeTrace::new();
         for i in 0..slots {
             chrome.thread_name(i, &format!("slot#{i}"));
         }
         chrome.thread_name(cap_tid, "CAP");
         chrome.thread_name(apps_tid, "apps");
+        // Coarsen the counter-lane window so long traces stay renderable:
+        // at most ~128 samples per lane, never finer than the default
+        // window, always a whole multiple of it (keeps timestamps tidy).
+        let base = nimblock_obs::MonitorConfig::default().window_micros;
+        let span = self.end().as_micros();
+        let lane_window = span.div_ceil(128).div_ceil(base).max(1) * base;
+        let monitor = crate::monitor::derive_monitor(
+            self,
+            nimblock_obs::MonitorConfig::with_window_micros(lane_window),
+        );
+        if !monitor.windows().is_empty() {
+            chrome.thread_name(queue_tid, "waiting apps");
+            chrome.thread_name(util_tid, "slot utilization");
+            let window = monitor.config().window_micros;
+            for (index, snapshot) in monitor.windows().iter().enumerate() {
+                let ts = index as u64 * window;
+                chrome.counter(
+                    "waiting apps",
+                    "monitor",
+                    queue_tid,
+                    ts,
+                    &[("apps", snapshot.queue_depth_peak)],
+                );
+                chrome.counter(
+                    "slot utilization",
+                    "monitor",
+                    util_tid,
+                    ts,
+                    &[("permille", snapshot.utilization_permille(monitor.slots(), window))],
+                );
+            }
+        }
         let mut flow_id = 0u64;
         for event in &self.events {
             match event {
@@ -570,6 +608,21 @@ mod tests {
         lone.record(reconfig_event(0, 0, 80));
         let json = lone.to_chrome();
         assert!(!json.contains("\"ph\": \"s\""), "{json}");
+    }
+
+    #[test]
+    fn chrome_export_includes_counter_lanes() {
+        let mut trace = Trace::with_slots(2);
+        trace.record(reconfig_event(0, 0, 80));
+        trace.record(span_event(0, 0, 80, 130));
+        let json = trace.to_chrome();
+        nimblock_obs::validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"ph\": \"C\""), "{json}");
+        assert!(json.contains("\"slot utilization\""), "{json}");
+        assert!(json.contains("\"waiting apps\""), "{json}");
+        assert!(json.contains("\"permille\""), "{json}");
+        // An empty trace derives no windows and draws no lanes.
+        assert!(!Trace::with_slots(2).to_chrome().contains("\"ph\": \"C\""));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct FaasSummary {
     /// name; empty unless the gateway ran with
     /// [`FaasGateway::with_attribution`].
     attribution_by_function: Vec<(String, AttributionComponents)>,
+    /// The monitoring document, when the gateway ran with
+    /// [`FaasGateway::with_monitor`].
+    monitor: Option<nimblock_obs::MonitorDoc>,
 }
 
 impl FaasSummary {
@@ -79,6 +82,13 @@ impl FaasSummary {
         &self.attribution_by_function
     }
 
+    /// Returns the continuous-monitoring document (windowed series,
+    /// alerts, flight recorder), when the gateway ran with
+    /// [`FaasGateway::with_monitor`].
+    pub fn monitor(&self) -> Option<&nimblock_obs::MonitorDoc> {
+        self.monitor.as_ref()
+    }
+
     /// Returns the overall SLO attainment across all invocations.
     pub fn overall_attainment(&self) -> f64 {
         let total = self.total_invocations();
@@ -99,6 +109,7 @@ pub struct FaasGateway {
     registry: FunctionRegistry,
     reconfig: SimDuration,
     metrics: Option<nimblock_obs::Registry>,
+    monitor: Option<nimblock_obs::MonitorConfig>,
     attribution: bool,
 }
 
@@ -109,8 +120,18 @@ impl FaasGateway {
             registry,
             reconfig: SimDuration::from_millis(80),
             metrics: None,
+            monitor: None,
             attribution: false,
         }
+    }
+
+    /// Attaches a continuous monitor: tumbling-window time-series, flight
+    /// recorder, and `config`'s SLO rules, evaluated in virtual time. The
+    /// document lands in [`FaasSummary::monitor`]; cluster runs merge
+    /// per-board series in board order before evaluating the rules.
+    pub fn with_monitor(mut self, config: nimblock_obs::MonitorConfig) -> Self {
+        self.monitor = Some(config);
+        self
     }
 
     /// Enables response-time attribution: the run is traced and the
@@ -177,12 +198,21 @@ impl FaasGateway {
         if let Some(registry) = &self.metrics {
             testbed = testbed.with_metrics(registry.clone());
         }
+        let monitor = self
+            .monitor
+            .as_ref()
+            .map(|config| nimblock_obs::MonitorHandle::new(config.clone(), 0));
+        if let Some(monitor) = &monitor {
+            testbed = testbed.with_monitor(monitor.clone());
+        }
         let report = if self.attribution {
             testbed.run_traced(&events).0
         } else {
             testbed.run(&events)
         };
-        self.summarize(&invocations, report, scheduler_name)
+        let mut summary = self.summarize(&invocations, report, scheduler_name);
+        summary.monitor = monitor.map(|handle| handle.to_doc());
+        summary
     }
 
     /// Runs `workload` across a cluster of `boards` identical FPGAs behind
@@ -222,12 +252,17 @@ impl FaasGateway {
         if let Some(registry) = &self.metrics {
             cluster = cluster.with_metrics(registry.clone());
         }
+        if let Some(config) = &self.monitor {
+            cluster = cluster.with_monitor(config.clone());
+        }
         if self.attribution {
             cluster = cluster.with_tracing();
         }
         let report = cluster.run(&events);
         let scheduler_name = report.merged().scheduler().to_owned();
-        self.summarize(&invocations, report.merged().clone(), scheduler_name)
+        let mut summary = self.summarize(&invocations, report.merged().clone(), scheduler_name);
+        summary.monitor = report.monitor().cloned();
+        summary
     }
 
     /// Aggregates per-function statistics from a finished run. Records are
@@ -326,6 +361,7 @@ impl FaasGateway {
             per_function,
             report,
             attribution_by_function: by_function.into_iter().collect(),
+            monitor: None,
         }
     }
 }
@@ -394,6 +430,31 @@ mod cluster_tests {
         assert!(text.contains("cluster_dispatches_total 20"), "{text}");
         assert!(text.contains("cluster_boards 2"), "{text}");
         nimblock_obs::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn monitored_gateway_carries_a_doc_in_both_deployment_shapes() {
+        let config = nimblock_obs::MonitorConfig::with_window_micros(1_000_000);
+        let single = gateway()
+            .with_monitor(config.clone())
+            .run(&workload(), NimblockScheduler::default());
+        let doc = single.monitor().expect("monitored run carries a doc");
+        assert_eq!(doc.slots, 10);
+        let arrivals: u64 = doc.windows.iter().map(|w| w.arrivals).sum();
+        assert_eq!(arrivals as usize, single.total_invocations());
+        let clustered = gateway().with_monitor(config).run_cluster(
+            &workload(),
+            2,
+            2,
+            DispatchPolicy::RoundRobin,
+            NimblockScheduler::default,
+        );
+        let doc = clustered.monitor().expect("monitored cluster carries a doc");
+        assert_eq!(doc.slots, 20, "2 boards x 10 slots");
+        let arrivals: u64 = doc.windows.iter().map(|w| w.arrivals).sum();
+        assert_eq!(arrivals as usize, clustered.total_invocations());
+        // Unmonitored runs carry none.
+        assert!(gateway().run(&workload(), NimblockScheduler::default()).monitor().is_none());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! - `ph:"s"` / `ph:"f"` *flow* events (an arrow between two slices on
 //!   different tracks — used to tie each CAP reconfiguration to the
 //!   task execution it enables; the finish end binds to the enclosing
-//!   slice via `bp:"e"`).
+//!   slice via `bp:"e"`),
+//! - `ph:"C"` *counter* events (a sampled numeric series — Perfetto
+//!   renders each as a stepped area chart; used for the per-window
+//!   queue-depth and slot-utilization lanes next to the slot tracks).
 //!
 //! All timestamps and durations are microseconds, matching the format's
 //! native unit and the simulator's `SimTime` resolution, so conversion
@@ -204,6 +207,23 @@ impl ChromeTrace {
         });
     }
 
+    /// Samples counter series `name` at `ts_us` (`ph:"C"`). Each key in
+    /// `series` becomes one stacked series of the counter track; viewers
+    /// step-interpolate between samples, so emit one sample per tumbling
+    /// window to draw the windowed time-series as lanes.
+    pub fn counter(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64, series: &[(&str, u64)]) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: 'C',
+            tid,
+            ts: ts_us,
+            dur: None,
+            id: None,
+            args: series.iter().map(|&(k, v)| (k.to_owned(), Json::U64(v))).collect(),
+        });
+    }
+
     /// Number of non-metadata events recorded so far.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -285,6 +305,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                     return Err(format!("event {i}: flow event missing id"));
                 }
             }
+            "C" => {
+                if get("args").is_none() {
+                    return Err(format!("event {i}: counter event missing args"));
+                }
+            }
             "i" | "M" => {}
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
         }
@@ -355,6 +380,26 @@ mod tests {
         let slice = text.find("\"cat\": \"run\"").unwrap();
         let finish = text.find("\"ph\": \"f\"").unwrap();
         assert!(slice < finish, "{text}");
+    }
+
+    #[test]
+    fn counter_events_render_and_validate() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(5, "queue depth");
+        t.counter("queue depth", "monitor", 5, 0, &[("tasks", 3)]);
+        t.counter("queue depth", "monitor", 5, 10_000, &[("tasks", 0)]);
+        t.counter("utilization", "monitor", 6, 0, &[("permille", 875)]);
+        let text = t.render();
+        assert!(text.contains("\"ph\": \"C\""), "{text}");
+        assert!(text.contains("\"tasks\": 3"), "{text}");
+        // 3 counters + 2 metadata events.
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 5);
+    }
+
+    #[test]
+    fn validator_requires_counter_args() {
+        let bad = r#"{"traceEvents":[{"name":"q","cat":"c","ph":"C","pid":1,"tid":0,"ts":0}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("args"));
     }
 
     #[test]

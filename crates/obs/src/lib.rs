@@ -27,6 +27,10 @@
 //!   task with reconfig/preempt/requeue children and causal links), the
 //!   data model behind `nimblock analyze explain`, plus the bounded
 //!   [`SpanBuffer`] required in span-recording hot paths.
+//! - **[`timeseries`]** — continuous observability: the fixed-memory
+//!   virtual-time tumbling-window aggregator ([`MonitorState`]), the
+//!   [`FlightRecorder`] post-mortem ring, and the [`SloEngine`] rules
+//!   engine behind `--timeseries-out` / `analyze monitor`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod gantt;
 pub mod log;
 pub mod registry;
 pub mod spans;
+pub mod timeseries;
 
 pub use chrome::{validate_chrome_trace, ChromeTrace};
 pub use gantt::{render_gantt, GanttRow, GanttSpan};
@@ -45,3 +50,7 @@ pub use registry::{
     DIGEST_SUB_BUCKETS, HISTOGRAM_FINITE_BUCKETS,
 };
 pub use spans::{format_micros, Span, SpanBuffer, SpanKind};
+pub use timeseries::{
+    parse_rules, Alert, FlightRecorder, MonitorConfig, MonitorDoc, MonitorHandle, MonitorState,
+    RecorderEntry, SloEngine, SloRule, SparseSketch, Window, DEFAULT_WINDOW_MICROS,
+};

@@ -291,9 +291,12 @@ impl QuantileDigest {
         QuantileDigest::default()
     }
 
-    /// Returns the bucket index for `value`.
+    /// Returns the bucket index for `value` in the digest's fixed
+    /// bucketing scheme. Public so sparse per-window sketches (the
+    /// time-series aggregator) can share the exact same buckets and
+    /// therefore merge exactly with full digests.
     #[inline]
-    fn bucket_index(value: u64) -> usize {
+    pub fn bucket_index(value: u64) -> usize {
         if value < DIGEST_SUB_BUCKETS as u64 {
             value as usize
         } else {
@@ -307,7 +310,7 @@ impl QuantileDigest {
 
     /// Returns the largest value mapping to bucket `index` (the value the
     /// sketch reports for any quantile landing in that bucket).
-    fn bucket_upper_bound(index: usize) -> u64 {
+    pub fn bucket_upper_bound(index: usize) -> u64 {
         if index < DIGEST_SUB_BUCKETS {
             index as u64
         } else {

@@ -91,6 +91,21 @@ impl SimTime {
     pub const fn elapsed(self) -> SimDuration {
         SimDuration(self.0)
     }
+
+    /// Returns the index of the tumbling window of length `window` that
+    /// contains this timestamp: window `w` covers
+    /// `[w * window, (w + 1) * window)`. Time-series aggregation keys
+    /// every sample by this index, so windows are a pure function of
+    /// virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero — a zero-length window contains no
+    /// timestamps.
+    pub const fn window_index(self, window: SimDuration) -> u64 {
+        assert!(!window.is_zero(), "window length must be non-zero");
+        self.0 / window.0
+    }
 }
 
 impl SimDuration {
@@ -320,6 +335,21 @@ mod tests {
     fn display_formats_as_seconds() {
         assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
         assert_eq!(SimDuration::from_micros(80_000).to_string(), "0.080000s");
+    }
+
+    #[test]
+    fn window_index_tumbles_on_exact_boundaries() {
+        let w = SimDuration::from_millis(10);
+        assert_eq!(SimTime::ZERO.window_index(w), 0);
+        assert_eq!(SimTime::from_micros(9_999).window_index(w), 0);
+        assert_eq!(SimTime::from_micros(10_000).window_index(w), 1);
+        assert_eq!(SimTime::from_millis(25).window_index(w), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn window_index_rejects_zero_windows() {
+        let _ = SimTime::from_millis(1).window_index(SimDuration::ZERO);
     }
 
     #[test]

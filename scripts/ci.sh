@@ -17,6 +17,12 @@
 #   invariants      checked run + standalone trace re-verification
 #   explain         response-time attribution: `analyze explain` on a
 #                   congested trace must decompose exactly in every format
+#   monitor         continuous-monitoring smoke: a run with --timeseries-out
+#                   and a deliberately tight SLO rule must fire an alert and
+#                   render through `analyze monitor` in every format, and
+#                   obs_overhead --gate must bound the detached-sink
+#                   plumbing under 4% (gate skippable with
+#                   NIMBLOCK_SKIP_BENCH_GATE=1)
 #   goldens         golden-drift: regenerate goldens, fail if they differ
 #                   from the committed files
 #   engine-diff     fixed-seed differential oracle: legacy heap vs calendar
@@ -36,7 +42,7 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-ALL_STAGES=(lint build test workspace-test telemetry invariants explain goldens engine-diff bench-gate)
+ALL_STAGES=(lint build test workspace-test telemetry invariants explain monitor goldens engine-diff bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -128,6 +134,43 @@ stage_explain() {
     echo "ok: attribution is exact in text, md, and json"
 }
 
+stage_monitor() {
+    # A monitored run with a deliberately unmeetable SLO (util>=100%) must
+    # fire alerts, and the written time-series document must render
+    # through `analyze monitor` in all three formats.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli run \
+        --scheduler nimblock --scenario stress --events 6 --seed 23 \
+        --window-ms 1000 --slo 'util>=100%' \
+        --timeseries-out "$smoke_dir/series.json" \
+        > "$smoke_dir/monitor.out"
+    grep -q "slo: 1 rule(s) evaluated" "$smoke_dir/monitor.out" \
+        || { echo "error: monitored run lost its slo summary line" >&2; return 1; }
+    grep -qE "slo: .* [1-9][0-9]* alert\(s\) fired" "$smoke_dir/monitor.out" \
+        || { echo "error: the deliberately tight SLO rule fired no alert" >&2; return 1; }
+    ./target/release/nimblock-cli analyze monitor "$smoke_dir/series.json" \
+        > "$smoke_dir/monitor.txt"
+    grep -q "continuous monitor:" "$smoke_dir/monitor.txt" \
+        || { echo "error: text monitor report lost its heading" >&2; return 1; }
+    grep -q "util>=100%" "$smoke_dir/monitor.txt" \
+        || { echo "error: text monitor report lost the fired rule" >&2; return 1; }
+    ./target/release/nimblock-cli analyze monitor "$smoke_dir/series.json" \
+        --format md > "$smoke_dir/monitor.md"
+    grep -q "^# Continuous monitor" "$smoke_dir/monitor.md" \
+        || { echo "error: markdown monitor report lost its heading" >&2; return 1; }
+    ./target/release/nimblock-cli analyze monitor "$smoke_dir/series.json" \
+        --format json > "$smoke_dir/monitor.json"
+    grep -q '"clean": *false' "$smoke_dir/monitor.json" \
+        || { echo "error: JSON monitor report does not flag the breach" >&2; return 1; }
+    echo "ok: tight SLO fired and analyze monitor renders in text, md, and json"
+    if [ "${NIMBLOCK_SKIP_BENCH_GATE:-}" = "1" ]; then
+        echo "skip: obs_overhead gate (NIMBLOCK_SKIP_BENCH_GATE=1)"
+        return 0
+    fi
+    cargo build --release --offline -q -p nimblock-bench
+    ./target/release/obs_overhead --quick --gate 4
+}
+
 stage_goldens() {
     # Regenerate every golden in place, then require the tree to be clean:
     # a diff means an encoding change landed without its golden refresh.
@@ -141,7 +184,7 @@ stage_goldens() {
         return 1
     fi
     NIMBLOCK_REGEN_GOLDENS=1 cargo test -q --offline \
-        --test golden_roundtrip --test golden_telemetry
+        --test golden_roundtrip --test golden_telemetry --test golden_monitor
     if ! git diff --exit-code -- tests/goldens; then
         git checkout -- tests/goldens
         echo "error: regenerated goldens differ from the committed files" \
@@ -177,6 +220,7 @@ run_stage() {
         telemetry) stage_telemetry ;;
         invariants) stage_invariants ;;
         explain) stage_explain ;;
+        monitor) stage_monitor ;;
         goldens) stage_goldens ;;
         engine-diff) stage_engine_diff ;;
         bench-gate) stage_bench_gate ;;

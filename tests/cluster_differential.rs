@@ -26,12 +26,30 @@ fn fingerprint(
     factory: impl Fn() -> Box<dyn Scheduler + Send> + Sync,
 ) -> String {
     let registry = Registry::new();
+    // Attach a continuous monitor with rules from every SLO family so the
+    // windowed series, merge, and burn-rate engine are all under the
+    // byte-compare too (1 s windows keep long stress runs inside the
+    // window-capacity bound).
+    let monitor = nimblock::obs::MonitorConfig::with_window_micros(1_000_000).rules(
+        nimblock::obs::parse_rules(&[
+            "util>=20%".into(),
+            "queue<=4".into(),
+            "resp:med:p95<=50ms".into(),
+            "burn:low:p50<=100ms@3/5".into(),
+        ])
+        .expect("differential SLO rules parse"),
+    );
     let report = ClusterTestbed::new(boards, dispatch, factory)
         .with_threads(threads)
         .with_tracing()
         .with_metrics(registry.clone())
+        .with_monitor(monitor)
         .run(events);
     let mut out = nimblock_ser::to_string_pretty(report.merged());
+    out.push('\n');
+    out.push_str(&nimblock_ser::to_string_pretty(
+        report.monitor().expect("monitored run carries a doc"),
+    ));
     out.push_str(&format!("\nassignments: {:?}", report.assignments()));
     out.push_str(&format!("\nboard_loads: {:?}", report.board_loads()));
     for per_board in report.per_board() {
