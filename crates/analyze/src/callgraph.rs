@@ -1,0 +1,414 @@
+//! Cross-crate symbol table and call graph over [`crate::parse`] items.
+//!
+//! Resolution is by name, not by type (see `DESIGN.md` §16): a call site
+//! resolves to
+//!
+//! * the enclosing impl's own method for plain `self.m(…)`,
+//! * the exact `(Type, m)` symbol for `Type::m(…)` path calls (through
+//!   `use … as` aliases; `Self::m(…)` uses the enclosing impl type),
+//! * **every** workspace method named `m` for `expr.m(…)` with an
+//!   unknown receiver — a deliberate over-approximation, tempered by an
+//!   ambient-method skip list so `clone`/`fmt`/iterator adaptors do not
+//!   connect the whole graph,
+//! * every workspace free function named `m` for bare `m(…)` calls.
+//!
+//! Calls the table cannot resolve (std methods, closure parameters,
+//! macro bodies) produce no edge: the graph under-approximates there and
+//! over-approximates on shared method names, which is the right bias for
+//! reachability-based checks — reachability passes report too much
+//! rather than silently too little, and every report carries its call
+//! chain so a false edge is visible in the finding itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lex::{Lexed, Token, TokenKind};
+use crate::parse::{is_callable_ident, FnItem, ParsedFile};
+
+/// Methods so ubiquitous that name-matching them would connect the call
+/// graph through std trait impls: resolution skips these for
+/// unknown-receiver calls. Workspace-meaningful names (`push`, `pop`,
+/// `insert`, `record`, `merge_from`, …) are deliberately *not* listed.
+const AMBIENT_METHODS: &[&str] = &[
+    "all", "and_then", "any", "as_deref", "as_mut", "as_ref", "as_str", "chain", "chars",
+    "checked_add", "checked_mul", "checked_sub", "clone", "cloned", "cmp", "collect", "contains",
+    "copied", "count", "dedup", "default", "drop", "ends_with", "entry", "enumerate", "eq",
+    "expect", "fetch_add", "fetch_sub", "filter", "filter_map", "find", "find_map", "first",
+    "flat_map", "flatten", "fmt",
+    "fold", "from", "hash", "into", "into_iter", "is_none", "is_none_or", "is_some",
+    // `name` is a near-universal accessor (specs, rules, schedulers,
+    // functions); resolving `.name()` by name would wire every call
+    // site to all nine `Scheduler::name` impls.
+    "is_some_and", "iter", "iter_mut", "join", "last", "load", "map", "map_err", "max", "max_by",
+    "name",
+    "max_by_key", "min", "min_by", "min_by_key", "ne", "next", "ok", "ok_or", "ok_or_else",
+    "or_default", "or_else", "or_insert", "or_insert_with", "partial_cmp", "partition_point",
+    "position", "powi", "product", "push_str", "rev", "round", "saturating_add", "saturating_mul",
+    "saturating_sub", "skip", "sort", "sort_by", "sort_by_key", "sort_unstable", "split", "sqrt",
+    "starts_with", "store", "sum", "take", "then", "then_some", "to_owned", "to_string", "trim",
+    "unwrap", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "unzip", "windows", "wrapping_add",
+    "write", "write_str", "writeln", "zip",
+];
+
+/// One analyzed source file: path, token stream, and extracted items.
+#[derive(Debug)]
+pub struct ModelFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// The token stream (shared with the lint rules).
+    pub lexed: Lexed,
+    /// Items extracted by [`crate::parse::parse_file`].
+    pub parsed: ParsedFile,
+}
+
+/// One function in the program model.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into [`Model::files`].
+    pub file: usize,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+impl FnNode {
+    /// `Type::name` or bare `name`.
+    pub fn qual_name(&self) -> String {
+        self.item.qual_name()
+    }
+}
+
+/// The whole-workspace program model: symbol table plus call graph.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// Analyzed files, in sorted path order.
+    pub files: Vec<ModelFile>,
+    /// Every non-test function, in (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// `calls[f]` — ids of functions `f` calls, deduped and sorted.
+    pub calls: Vec<Vec<usize>>,
+    /// Struct field type heads: type name → field name → type head.
+    pub struct_fields: BTreeMap<String, BTreeMap<String, String>>,
+    by_qual: BTreeMap<(String, String), Vec<usize>>,
+    methods: BTreeMap<String, Vec<usize>>,
+    free_fns: BTreeMap<String, Vec<usize>>,
+}
+
+/// A reachability walk: every reached function mapped to the function it
+/// was first reached from (`None` for roots).
+pub type Walk = BTreeMap<usize, Option<usize>>;
+
+impl Model {
+    /// Build the model (symbol table, then edges) from analyzed files.
+    /// Functions inside `#[cfg(test)]` modules are excluded entirely.
+    pub fn build(files: Vec<ModelFile>) -> Model {
+        let mut model = Model { files, ..Model::default() };
+        for fi in 0..model.files.len() {
+            let structs = model.files[fi].parsed.structs.clone();
+            for strukt in structs {
+                let slot = model.struct_fields.entry(strukt.name).or_default();
+                for (field, head) in strukt.fields {
+                    slot.insert(field, head);
+                }
+            }
+            let items = model.files[fi].parsed.fns.clone();
+            for item in items {
+                if item.in_test {
+                    continue;
+                }
+                let id = model.fns.len();
+                let name = item.name.clone();
+                match &item.owner {
+                    Some(owner) => {
+                        model.by_qual.entry((owner.clone(), name.clone())).or_default().push(id);
+                        model.methods.entry(name).or_default().push(id);
+                    }
+                    None => {
+                        model.free_fns.entry(name).or_default().push(id);
+                    }
+                }
+                model.fns.push(FnNode { file: fi, item });
+            }
+        }
+        model.calls = (0..model.fns.len()).map(|id| model.extract_calls(id)).collect();
+        model
+    }
+
+    /// Total number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.calls.iter().map(Vec::len).sum()
+    }
+
+    /// Ids of functions matching `Type::name` (or a bare free-fn name).
+    pub fn by_qual_name(&self, qual: &str) -> Vec<usize> {
+        match qual.split_once("::") {
+            Some((owner, name)) => self
+                .by_qual
+                .get(&(owner.to_owned(), name.to_owned()))
+                .cloned()
+                .unwrap_or_default(),
+            None => self.free_fns.get(qual).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Ids of every function named `name` (any owner, and free).
+    pub fn named(&self, name: &str) -> Vec<usize> {
+        let mut out = self.methods.get(name).cloned().unwrap_or_default();
+        out.extend(self.free_fns.get(name).cloned().unwrap_or_default());
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of impl methods whose block implements the named trait.
+    pub fn trait_impl_methods(&self, trait_name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.item.trait_name.as_deref() == Some(trait_name))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The body token slice of a function.
+    pub fn body_tokens(&self, id: usize) -> &[Token] {
+        let node = &self.fns[id];
+        let (start, end) = node.item.body;
+        let toks = &self.files[node.file].lexed.tokens;
+        &toks[start.min(toks.len())..end.min(toks.len())]
+    }
+
+    /// Workspace-relative path of the file defining function `id`.
+    pub fn path_of(&self, id: usize) -> &str {
+        &self.files[self.fns[id].file].path
+    }
+
+    /// BFS from `roots`; functions in `pruned` are recorded when reached
+    /// but not expanded (their callees stay unreached through them).
+    pub fn reach(&self, roots: &[usize], pruned: &BTreeSet<usize>) -> Walk {
+        let mut walk: Walk = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &root in roots {
+            if walk.insert(root, None).is_none() {
+                queue.push(root);
+            }
+        }
+        let mut at = 0;
+        while at < queue.len() {
+            let id = queue[at];
+            at += 1;
+            if pruned.contains(&id) {
+                continue;
+            }
+            for &callee in &self.calls[id] {
+                if let std::collections::btree_map::Entry::Vacant(slot) = walk.entry(callee) {
+                    slot.insert(Some(id));
+                    queue.push(callee);
+                }
+            }
+        }
+        walk
+    }
+
+    /// Render the root → … → `id` call chain of a walk, `->`-joined.
+    pub fn chain(&self, walk: &Walk, id: usize) -> String {
+        let mut names = vec![self.fns[id].qual_name()];
+        let mut cursor = id;
+        while let Some(Some(parent)) = walk.get(&cursor) {
+            names.push(self.fns[*parent].qual_name());
+            cursor = *parent;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+
+    /// Graphviz DOT for the subgraph reached by `walk`, with root nodes
+    /// double-circled and each node labeled by qualified name.
+    pub fn to_dot(&self, walk: &Walk) -> String {
+        let mut out = String::from("digraph nimblock_calls {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for (&id, parent) in walk {
+            let shape = if parent.is_none() { ", peripheries=2" } else { "" };
+            out.push_str(&format!(
+                "  f{id} [label=\"{}\\n{}\"{shape}];\n",
+                self.fns[id].qual_name(),
+                self.path_of(id),
+            ));
+        }
+        for (&id, _) in walk {
+            for &callee in &self.calls[id] {
+                if walk.contains_key(&callee) {
+                    out.push_str(&format!("  f{id} -> f{callee};\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// True when the token at absolute index `k` in `fn_id`'s file is a
+    /// call site (identifier followed by `(`, not a declaration).
+    pub fn is_call_site(&self, fn_id: usize, k: usize) -> bool {
+        let toks = &self.files[self.fns[fn_id].file].lexed.tokens;
+        let Some(tok) = toks.get(k) else { return false };
+        tok.kind == TokenKind::Ident
+            && is_callable_ident(&tok.text)
+            && toks.get(k + 1).is_some_and(|t| t.text == "(")
+            && (k == 0 || toks[k - 1].text != "fn")
+    }
+
+    /// Resolve the call site at absolute token index `k` in `fn_id`'s
+    /// file to workspace function ids (empty when unresolvable — std
+    /// calls, closure parameters, ambient method names).
+    pub fn resolve_call(&self, fn_id: usize, k: usize) -> Vec<usize> {
+        if !self.is_call_site(fn_id, k) {
+            return Vec::new();
+        }
+        let node = &self.fns[fn_id];
+        let file = &self.files[node.file];
+        let toks = &file.lexed.tokens;
+        let name = toks[k].text.as_str();
+        let prev = k.checked_sub(1).map(|p| toks[p].text.as_str());
+        let prev2 = k.checked_sub(2).map(|p| toks[p].text.as_str());
+        let prev3 = k.checked_sub(3).map(|p| toks[p].text.as_str());
+        let mut out: Vec<usize> = Vec::new();
+        if prev == Some(".") {
+            if prev2 == Some("self") && prev3 != Some(".") {
+                // Plain `self.m(…)`: the enclosing type's own method.
+                if let Some(owner) = &node.item.owner {
+                    out.extend(self.resolve_path(file, owner, name));
+                }
+            } else if !AMBIENT_METHODS.contains(&name) {
+                // Unknown receiver: every workspace method named `m`.
+                out.extend(self.methods.get(name).into_iter().flatten().copied());
+            }
+        } else if prev == Some(":") && prev2 == Some(":") {
+            if let Some(qualifier) = prev3.filter(|q| is_callable_ident(q)) {
+                let owner = if qualifier == "Self" {
+                    node.item.owner.clone()
+                } else {
+                    Some(qualifier.to_owned())
+                };
+                if let Some(owner) = owner {
+                    out.extend(self.resolve_path(file, &owner, name));
+                }
+            }
+        } else {
+            out.extend(self.free_fns.get(name).into_iter().flatten().copied());
+        }
+        out
+    }
+
+    /// Extract the callee ids of one function body.
+    fn extract_calls(&self, id: usize) -> Vec<usize> {
+        let (start, end) = self.fns[id].item.body;
+        let len = self.files[self.fns[id].file].lexed.tokens.len();
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for k in start..end.min(len) {
+            out.extend(self.resolve_call(id, k));
+        }
+        out.remove(&id);
+        out.into_iter().collect()
+    }
+
+    /// Exact `(Type, method)` lookup through the file's use-aliases.
+    fn resolve_path(&self, file: &ModelFile, owner: &str, name: &str) -> Vec<usize> {
+        let owner = file.parsed.uses.get(owner).map(String::as_str).unwrap_or(owner);
+        self.by_qual.get(&(owner.to_owned(), name.to_owned())).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn model(sources: &[(&str, &str)]) -> Model {
+        let files = sources
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let parsed = parse_file(&lexed);
+                ModelFile { path: (*path).to_owned(), lexed, parsed }
+            })
+            .collect();
+        Model::build(files)
+    }
+
+    fn qual(model: &Model, id: usize) -> String {
+        model.fns[id].qual_name()
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let m = model(&[(
+            "a.rs",
+            "impl Hv { fn handle(&mut self) { self.drive(); } fn drive(&mut self) {} }\nimpl Other { fn drive(&self) {} }",
+        )]);
+        let handle = m.by_qual_name("Hv::handle")[0];
+        let callees: Vec<String> = m.calls[handle].iter().map(|&c| qual(&m, c)).collect();
+        assert_eq!(callees, ["Hv::drive"], "not Other::drive");
+    }
+
+    #[test]
+    fn unknown_receivers_fan_out_except_ambient_methods() {
+        let m = model(&[(
+            "a.rs",
+            "impl A { fn go(&self, q: Q) { q.record(1); q.clone(); } }\nimpl B { fn record(&self, x: u32) {} }\nimpl C { fn record(&self, x: u32) {} fn clone(&self) {} }",
+        )]);
+        let go = m.by_qual_name("A::go")[0];
+        let mut callees: Vec<String> = m.calls[go].iter().map(|&c| qual(&m, c)).collect();
+        callees.sort();
+        assert_eq!(callees, ["B::record", "C::record"], "clone is ambient-skipped");
+    }
+
+    #[test]
+    fn path_calls_resolve_through_use_aliases_and_self() {
+        let m = model(&[
+            (
+                "a.rs",
+                "use crate::q::Queue as Q;\nimpl A { fn go(&self) { Q::push_now(1); Self::local(); } fn local() {} }",
+            ),
+            ("q.rs", "impl Queue { fn push_now(x: u32) {} }"),
+        ]);
+        let go = m.by_qual_name("A::go")[0];
+        let mut callees: Vec<String> = m.calls[go].iter().map(|&c| qual(&m, c)).collect();
+        callees.sort();
+        assert_eq!(callees, ["A::local", "Queue::push_now"]);
+    }
+
+    #[test]
+    fn reach_honors_pruning_and_reports_chains() {
+        let m = model(&[(
+            "a.rs",
+            "fn root() { mid(); } fn mid() { leaf(); } fn leaf() { deep(); } fn deep() {}",
+        )]);
+        let root = m.by_qual_name("root")[0];
+        let mid = m.by_qual_name("mid")[0];
+        let leaf = m.by_qual_name("leaf")[0];
+        let walk = m.reach(&[root], &BTreeSet::new());
+        assert_eq!(walk.len(), 4);
+        assert_eq!(m.chain(&walk, leaf), "root -> mid -> leaf");
+        let pruned: BTreeSet<usize> = [mid].into_iter().collect();
+        let walk = m.reach(&[root], &pruned);
+        assert!(walk.contains_key(&mid), "pruned node is still recorded");
+        assert!(!walk.contains_key(&leaf), "but not expanded");
+    }
+
+    #[test]
+    fn test_functions_stay_out_of_the_model() {
+        let m = model(&[(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() { live(); } }",
+        )]);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(qual(&m, 0), "live");
+    }
+
+    #[test]
+    fn dot_export_covers_the_walk() {
+        let m = model(&[("a.rs", "fn root() { leaf(); } fn leaf() {}")]);
+        let walk = m.reach(&m.by_qual_name("root"), &BTreeSet::new());
+        let dot = m.to_dot(&walk);
+        assert!(dot.contains("digraph nimblock_calls"));
+        assert!(dot.contains("peripheries=2"), "root is marked");
+        assert!(dot.contains("->"), "edge present");
+    }
+}

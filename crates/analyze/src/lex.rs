@@ -53,6 +53,11 @@ pub struct Lexed {
     /// let t = std::time::Instant::now();
     /// ```
     pub allows: BTreeMap<u32, Vec<String>>,
+    /// Every `// nimblock: allow(…)` comment site: (comment line, rules
+    /// named). Unlike [`Lexed::allows`] this is not expanded to the
+    /// following line, so the unused-suppression audit can point at the
+    /// comment itself.
+    pub allow_sites: Vec<(u32, Vec<String>)>,
     /// `in_test[i]` is true when `tokens[i]` sits inside a
     /// `#[cfg(test)] mod … { … }` region.
     pub in_test: Vec<bool>,
@@ -73,6 +78,7 @@ pub fn lex(source: &str) -> Lexed {
     let chars: Vec<char> = source.chars().collect();
     let mut tokens = Vec::new();
     let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut allow_sites: Vec<(u32, Vec<String>)> = Vec::new();
     let mut line: u32 = 1;
     let mut i = 0;
 
@@ -91,10 +97,14 @@ pub fn lex(source: &str) -> Lexed {
                     i += 1;
                 }
                 let comment: String = chars[start..i].iter().collect();
-                if let Some(rules) = parse_allow(&comment) {
+                // Doc comments (`///`, `//!`) describe the suppression
+                // syntax; only plain `//` comments enact it.
+                let doc = comment.starts_with("///") || comment.starts_with("//!");
+                if let Some(rules) = (!doc).then(|| parse_allow(&comment)).flatten() {
                     for l in [line, line + 1] {
                         allows.entry(l).or_default().extend(rules.iter().cloned());
                     }
+                    allow_sites.push((line, rules));
                 }
             }
             '/' if next == Some('*') => {
@@ -120,8 +130,13 @@ pub fn lex(source: &str) -> Lexed {
                 }
             }
             '"' => {
+                let start_line = line;
                 let consumed = skip_string(&chars[i..], &mut line);
-                tokens.push(Token { text: "\"…\"".into(), kind: TokenKind::Literal, line });
+                tokens.push(Token {
+                    text: "\"…\"".into(),
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
                 i += consumed;
             }
             'r' | 'b' if is_raw_or_byte_string(&chars[i..]) => {
@@ -190,7 +205,7 @@ pub fn lex(source: &str) -> Lexed {
     }
 
     let in_test = mark_test_regions(&tokens);
-    Lexed { tokens, allows, in_test }
+    Lexed { tokens, allows, allow_sites, in_test }
 }
 
 /// Parse `nimblock: allow(rule-a, rule-b)` out of a comment, if present.
@@ -215,7 +230,13 @@ fn skip_string(chars: &[char], line: &mut u32) -> usize {
     let mut i = 1;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // A `\` line continuation still advances the source line.
+                if chars.get(i + 1).copied() == Some('\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -281,7 +302,12 @@ fn skip_raw_or_byte(chars: &[char], line: &mut u32) -> usize {
     i = 2;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                if chars.get(i + 1).copied() == Some('\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             c if c == quote => return i + 1,
             '\n' => {
                 *line += 1;
@@ -421,5 +447,99 @@ mod tests {
         let lexed = lex("let x = 1.5e3 + self.0 as f64;");
         assert!(lexed.tokens.iter().any(|t| t.text == "1.5e3"));
         assert!(lexed.tokens.iter().any(|t| t.text == "f64"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        // Two levels of nesting, a close-looking `*/` inside a deeper
+        // level, and code resuming immediately after the true close.
+        let src = "/* a /* b /* c */ b */ a */ live.unwrap();\n/*/ odd open */ tail.unwrap();";
+        let lexed = lex(src);
+        let unwraps: Vec<u32> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(unwraps, [1, 2], "exactly the two real unwraps survive");
+        assert!(
+            !lexed.tokens.iter().any(|t| ["a", "b", "c", "odd"].contains(&t.text.as_str())),
+            "no comment body leaks into the token stream"
+        );
+    }
+
+    #[test]
+    fn multiline_block_comments_keep_line_numbers_straight() {
+        let src = "/* line1\nline2 /* nested\nstill nested */\n*/\nafter.unwrap();";
+        let lexed = lex(src);
+        let unwrap = lexed.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 5);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_end_at_the_matching_guard() {
+        // `"#` inside an `r##"…"##` string must not terminate it; the
+        // tokens after the true close must survive.
+        let src = r####"let a = r##"contains "# and .unwrap() and // comment"##; real.unwrap();"####;
+        let lexed = lex(src);
+        let unwraps: Vec<&Token> =
+            lexed.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 1, "only the call outside the raw string tokenizes");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn raw_string_edge_shapes_lex_cleanly() {
+        // Empty, quote-bearing, byte-raw, and block-comment-bearing raw
+        // strings, each followed by a live token that must tokenize.
+        for (src, expect) in [
+            (r###"let e = r#""#; x.unwrap();"###, 1),
+            (r###"let q = r#"""#; x.unwrap();"###, 1),
+            (r####"let b = br##"bytes "# here"##; x.unwrap();"####, 1),
+            (r###"let c = r#"/* not a comment */"#; x.unwrap();"###, 1),
+        ] {
+            let lexed = lex(src);
+            let n = lexed.tokens.iter().filter(|t| t.text == "unwrap").count();
+            assert_eq!(n, expect, "in {src:?}");
+        }
+    }
+
+    #[test]
+    fn multiline_strings_are_attributed_to_their_opening_line() {
+        // Plain strings spanning lines (including a `\` continuation)
+        // must stamp the literal with the line it opened on and keep
+        // counting lines for what follows.
+        let src = "let s = \"one\ntwo\nthree\";\nlet t = \"a\\\nb\";\nafter.unwrap();";
+        let lexed = lex(src);
+        let literals: Vec<u32> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(literals, [1, 4], "literals carry their opening line");
+        let unwrap = lexed.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 6);
+    }
+
+    #[test]
+    fn allow_sites_record_the_comment_line_only() {
+        let src = "// nimblock: allow(no-println)\nprintln!(\"x\");\nfoo.unwrap(); // nimblock: allow(no-unwrap-hot-path) — justification here\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allow_sites,
+            vec![
+                (1, vec!["no-println".to_owned()]),
+                (3, vec!["no-unwrap-hot-path".to_owned()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_comments_describe_suppressions_without_enacting_them() {
+        let src = "/// Suppress with `// nimblock: allow(no-println)`.\n//! And `// nimblock: allow(no-unwrap-hot-path)` likewise.\nfn f() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.allows.is_empty(), "{:?}", lexed.allows);
+        assert!(lexed.allow_sites.is_empty(), "{:?}", lexed.allow_sites);
     }
 }

@@ -1,6 +1,6 @@
 //! Static and dynamic analysis for the Nimblock workspace.
 //!
-//! Two passes, one crate (see `DESIGN.md` §11):
+//! Three layers, one crate (see `DESIGN.md` §11 and §16):
 //!
 //! * **Static lint** ([`lint`], [`rules`], [`lex`]) — a small in-repo Rust
 //!   tokenizer and rule framework enforcing workspace policies the compiler
@@ -9,6 +9,13 @@
 //!   (`no-wallclock-sim`), no narrowing time/token casts (`no-lossy-cast`),
 //!   and library output hygiene (`no-println`). Findings may be silenced
 //!   line-by-line with `// nimblock: allow(<rule>)`.
+//! * **Deep static analysis** ([`parse`], [`callgraph`], [`passes`]) — an
+//!   item-level parser, a cross-crate symbol table and call graph, and
+//!   reachability passes proving the engine hot path alloc-free
+//!   (`hot-path-no-alloc`), the report/monitor merge and render paths
+//!   deterministic (`determinism-taint`), and the cluster worker pool
+//!   lock-clean (`lock-discipline`). `nimblock-analyze deep` runs them on
+//!   top of the lint and audits every suppression for staleness.
 //! * **Dynamic schedule-invariant verification** ([`invariants`], re-exported
 //!   from `nimblock-core`) — replays any recorded [`Trace`] against the
 //!   paper's hardware and policy invariants: configuration-port exclusivity
@@ -35,10 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod explain;
 pub mod lex;
 pub mod lint;
 pub mod monitor;
+pub mod parse;
+pub mod passes;
 pub mod rules;
 
 /// The dynamic pass: schedule-trace invariant verification.
@@ -48,9 +58,14 @@ pub mod rules;
 /// same engine this crate's CLI does).
 pub use nimblock_core::invariants;
 
+pub use callgraph::Model;
 pub use explain::{explain_trace, Explain, ExplainFormat};
 pub use lint::{lint_source, lint_tree, LintReport};
 pub use monitor::render_monitor;
+pub use passes::{
+    all_passes, deep_tree, DeepAnalysis, DeepReport, Finding, Pass, Suppressions,
+    UnusedSuppression, SUPPRESSION_FILE,
+};
 pub use nimblock_core::invariants::{
     verify_trace, InvariantConfig, InvariantReport, InvariantRule, Violation,
 };

@@ -1,7 +1,9 @@
 //! The `nimblock-analyze` binary: static lint + schedule-trace verification.
 //!
 //! ```text
-//! nimblock-analyze lint  [--root <dir>] [--json]
+//! nimblock-analyze lint  [--root <dir>] [--format text|md|json] [--json]
+//! nimblock-analyze deep  [--root <dir>] [--format text|md|json]
+//!                        [--graph-out <file>]
 //! nimblock-analyze trace <file> [--json] [--mechanism-only]
 //!                        [--reconfig-latency-ms <ms>]
 //! nimblock-analyze monitor <file> [--format text|md|json]
@@ -12,7 +14,9 @@
 //! 2 on usage or I/O errors.
 
 use nimblock_analyze::invariants::InvariantConfig;
-use nimblock_analyze::{all_rules, explain_trace, lint_tree, verify_trace, ExplainFormat};
+use nimblock_analyze::{
+    all_passes, all_rules, deep_tree, explain_trace, lint_tree, verify_trace, ExplainFormat,
+};
 use nimblock_core::Trace;
 use nimblock_sim::SimDuration;
 use std::path::PathBuf;
@@ -22,7 +26,9 @@ const USAGE: &str = "\
 nimblock-analyze: static lint + schedule-trace invariant verification
 
 USAGE:
-    nimblock-analyze lint  [--root <dir>] [--json]
+    nimblock-analyze lint  [--root <dir>] [--format text|md|json] [--json]
+    nimblock-analyze deep  [--root <dir>] [--format text|md|json]
+                           [--graph-out <file>]
     nimblock-analyze trace <file> [--json] [--mechanism-only]
                            [--reconfig-latency-ms <ms>]
     nimblock-analyze explain <file> [--format text|md|json] [--top <n>]
@@ -31,6 +37,12 @@ USAGE:
 
 COMMANDS:
     lint     Run every lint rule over a workspace tree (default: cwd).
+    deep     Whole-workspace semantic analysis: builds a cross-crate
+             symbol table and call graph, then runs the reachability
+             passes (hot-path-no-alloc, determinism-taint,
+             lock-discipline) on top of the full lint, and audits every
+             `// nimblock: allow(...)` marker and suppression-file entry
+             for staleness.
     trace    Verify a serialized schedule trace (JSON, as written by
              `nimblock-cli run --trace-out`) against the paper's
              hardware and policy invariants.
@@ -43,8 +55,11 @@ COMMANDS:
     rules    Print the lint-rule catalog.
 
 OPTIONS:
-    --root <dir>               Workspace root to lint (default: .).
-    --json                     Emit a machine-readable JSON report.
+    --root <dir>               Workspace root to analyze (default: .).
+    --json                     Emit a machine-readable JSON report
+                               (alias for --format json).
+    --graph-out <file>         Deep: also write the call graph with the
+                               union pass walk as Graphviz DOT.
     --mechanism-only           Skip Nimblock-policy invariants (goal-number
                                ceilings, preemption priority) for traces
                                recorded under non-Nimblock schedulers that
@@ -57,7 +72,10 @@ OPTIONS:
     --top <n>                  Explain: how many of the slowest applications
                                get their span trees printed (default 5).
 
-Findings can be suppressed per line with `// nimblock: allow(<rule>)`.
+Findings can be suppressed per line with `// nimblock: allow(<rule>)`;
+deep-pass findings can also be suppressed per function via the committed
+`analyze-suppressions.txt` (every entry needs a justification, and
+`deep` reports any suppression that no longer fires as stale).
 ";
 
 fn main() -> ExitCode {
@@ -81,6 +99,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("deep") => cmd_deep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
@@ -98,7 +117,7 @@ fn run(args: &[String]) -> Result<bool, String> {
 
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut format = ExplainFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -107,18 +126,58 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
                     it.next().ok_or("--root needs a directory argument")?,
                 );
             }
-            "--json" => json = true,
+            "--json" => format = ExplainFormat::Json,
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                format = ExplainFormat::parse(value)
+                    .ok_or_else(|| format!("unknown lint format `{value}`"))?;
+            }
             other => return Err(format!("unknown lint option `{other}`")),
         }
     }
     let report = lint_tree(&root)
         .map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
-    if json {
-        println!("{}", nimblock_ser::to_string_pretty(&report));
-    } else {
-        println!("{report}");
+    match format {
+        ExplainFormat::Json => println!("{}", nimblock_ser::to_string_pretty(&report)),
+        _ => println!("{report}"),
     }
     Ok(report.is_clean())
+}
+
+fn cmd_deep(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = ExplainFormat::Text;
+    let mut graph_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                );
+            }
+            "--json" => format = ExplainFormat::Json,
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                format = ExplainFormat::parse(value)
+                    .ok_or_else(|| format!("unknown deep format `{value}`"))?;
+            }
+            "--graph-out" => {
+                graph_out = Some(PathBuf::from(
+                    it.next().ok_or("--graph-out needs a file argument")?,
+                ));
+            }
+            other => return Err(format!("unknown deep option `{other}`")),
+        }
+    }
+    let analysis = deep_tree(&root)
+        .map_err(|e| format!("cannot analyze {}: {e}", root.display()))?;
+    if let Some(path) = graph_out {
+        std::fs::write(&path, &analysis.dot)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    print!("{}", analysis.report.render(format));
+    Ok(analysis.report.is_clean())
 }
 
 fn cmd_trace(args: &[String]) -> Result<bool, String> {
@@ -230,6 +289,10 @@ fn cmd_rules() {
     println!("lint rules (suppress with `// nimblock: allow(<rule>)`):\n");
     for rule in all_rules() {
         println!("  {:<22} {}", rule.id(), rule.description());
+    }
+    println!("\ndeep passes (suppress per line or via analyze-suppressions.txt):\n");
+    for pass in all_passes() {
+        println!("  {:<22} {}", pass.id(), pass.description());
     }
     println!("\ntrace invariants (paper section in parentheses):\n");
     for rule in nimblock_analyze::InvariantRule::ALL {

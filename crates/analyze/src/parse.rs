@@ -1,0 +1,442 @@
+//! An item-level Rust parser on top of [`crate::lex`].
+//!
+//! This extracts just enough structure for whole-workspace analysis:
+//! `use` aliases, `struct`/`enum` names (with field type heads), `trait`
+//! names, and `fn` items with their owning `impl` type, implemented
+//! trait, and body token range. It deliberately resolves **no types and
+//! no generics** — the call graph built on top of it matches by name,
+//! exactly like the token-stream lint rules, but program-wide. The
+//! false-negative boundaries this creates are catalogued in
+//! `DESIGN.md` §16.
+//!
+//! The parser is a single forward scan over the token stream with a
+//! brace-depth counter and an `impl`/`trait` context stack; it never
+//! backtracks and tolerates anything it does not understand (it skips
+//! one token and keeps going), so a file that confuses it degrades to
+//! fewer extracted items, never to a crash.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{Lexed, Token};
+
+/// One `struct` or `enum` item.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// Named fields as (field, type head), where the type head is the
+    /// last path segment before any generic arguments — `HashMap` for
+    /// `std::collections::HashMap<K, V>`. Empty for enums and tuple
+    /// structs.
+    pub fields: Vec<(String, String)>,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+}
+
+/// One `fn` item (free function, inherent method, trait impl method, or
+/// trait declaration).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The `impl` (or `trait`) type this function belongs to, generics
+    /// stripped: `Hypervisor` for `impl<S: Scheduler> … for Hypervisor<S>`.
+    pub owner: Option<String>,
+    /// The trait being implemented, for `impl Trait for Type` blocks.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `[start, end)` of the body (inside the braces).
+    /// `start == end` for bodyless declarations.
+    pub body: (usize, usize),
+    /// True when the `fn` keyword sits inside a `#[cfg(test)] mod`.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// `use` aliases: local name → original last path segment. Identity
+    /// imports (`use a::B;`) are recorded too, so `B` resolves even when
+    /// the local and original names coincide.
+    pub uses: BTreeMap<String, String>,
+    /// `struct` and `enum` items.
+    pub structs: Vec<StructItem>,
+    /// `trait` names declared in this file.
+    pub traits: Vec<String>,
+    /// `fn` items in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Keywords and literals that can precede `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "fn", "let", "else", "move",
+    "ref", "mut", "pub", "where", "impl", "dyn", "box", "true", "false",
+];
+
+/// Is this identifier a plausible call target (not a keyword)?
+pub fn is_callable_ident(text: &str) -> bool {
+    !NON_CALL_IDENTS.contains(&text)
+        && text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+struct Ctx {
+    owner: String,
+    trait_name: Option<String>,
+    /// Brace depth *outside* the block: the context pops when depth
+    /// returns to this value.
+    depth: usize,
+}
+
+/// Parse one lexed file into items.
+pub fn parse_file(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let mut out = ParsedFile::default();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut depth: usize = 0;
+    let mut i = 0;
+
+    while i < toks.len() {
+        let text = toks[i].text.as_str();
+        match text {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                while stack.last().is_some_and(|c| c.depth >= depth) {
+                    stack.pop();
+                }
+                i += 1;
+            }
+            "use" => i = parse_use(toks, i + 1, &mut out.uses),
+            "impl" => {
+                let (ctx, next) = parse_impl_header(toks, i + 1, depth);
+                if let Some(ctx) = ctx {
+                    stack.push(ctx);
+                }
+                i = next;
+            }
+            "trait" => {
+                if let Some(name) = toks.get(i + 1).map(|t| t.text.clone()) {
+                    if is_callable_ident(&name) {
+                        out.traits.push(name.clone());
+                        stack.push(Ctx { owner: name, trait_name: None, depth });
+                    }
+                }
+                i += 1;
+            }
+            "struct" | "enum" => {
+                i = parse_struct(toks, i, text == "struct", &mut out.structs);
+            }
+            "fn" => {
+                i = parse_fn(lexed, i, stack.last(), &mut out.fns);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parse a `use …;` statement starting after the keyword, recording
+/// every imported name (aliased or not) into `uses`.
+fn parse_use(toks: &[Token], mut i: usize, uses: &mut BTreeMap<String, String>) -> usize {
+    let mut last_ident: Option<String> = None;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            ";" => {
+                record_use(uses, last_ident.take(), None);
+                return i + 1;
+            }
+            "as" => {
+                let alias = toks.get(i + 1).map(|t| t.text.clone());
+                record_use(uses, last_ident.take(), alias);
+                i += 2;
+            }
+            "," | "}" => {
+                record_use(uses, last_ident.take(), None);
+                i += 1;
+            }
+            t if is_callable_ident(t) => {
+                last_ident = Some(t.to_owned());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn record_use(uses: &mut BTreeMap<String, String>, target: Option<String>, alias: Option<String>) {
+    if let Some(target) = target {
+        // `self` closes `use a::b::{self, C}`; `*` globs are skipped.
+        if target == "self" || target == "crate" || target == "super" {
+            return;
+        }
+        let local = alias.unwrap_or_else(|| target.clone());
+        uses.insert(local, target);
+    }
+}
+
+/// Parse the header of an `impl` block: generics, the first type path,
+/// an optional `for` and second path, up to (but not past) the opening
+/// brace. Returns the context to push and the resume index.
+fn parse_impl_header(toks: &[Token], mut i: usize, depth: usize) -> (Option<Ctx>, usize) {
+    i = skip_angle_group(toks, i);
+    let (first, next) = read_type_path(toks, i);
+    i = next;
+    let mut owner = first;
+    let mut trait_name = None;
+    if toks.get(i).is_some_and(|t| t.text == "for") {
+        let (second, next) = read_type_path(toks, skip_ref_prefix(toks, i + 1));
+        trait_name = owner.take();
+        owner = second;
+        i = next;
+    }
+    match owner {
+        Some(owner) => (Some(Ctx { owner, trait_name, depth }), i),
+        None => (None, i),
+    }
+}
+
+/// Skip `&`, `&mut`, `dyn` prefixes before a type path.
+fn skip_ref_prefix(toks: &[Token], mut i: usize) -> usize {
+    while toks.get(i).is_some_and(|t| matches!(t.text.as_str(), "&" | "mut" | "dyn" | "'")) {
+        i += 1;
+    }
+    i
+}
+
+/// Read a type path (`a::b::Type<G>`), returning its last segment with
+/// generics stripped, plus the resume index.
+fn read_type_path(toks: &[Token], mut i: usize) -> (Option<String>, usize) {
+    let mut last: Option<String> = None;
+    let mut at = skip_ref_prefix(toks, i);
+    while at < toks.len() {
+        let t = toks[at].text.as_str();
+        if is_callable_ident(t) {
+            last = Some(t.to_owned());
+            at += 1;
+            at = skip_angle_group(toks, at);
+            if toks.get(at).is_some_and(|t| t.text == ":")
+                && toks.get(at + 1).is_some_and(|t| t.text == ":")
+            {
+                at += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i = at.max(i);
+    (last, i)
+}
+
+/// If `toks[i]` opens a `<…>` group, skip past its balanced close.
+fn skip_angle_group(toks: &[Token], i: usize) -> usize {
+    if !toks.get(i).is_some_and(|t| t.text == "<") {
+        return i;
+    }
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // A `{` or `;` means this `<` was a comparison, not generics.
+            "{" | ";" => return i,
+            _ => {}
+        }
+        j += 1;
+    }
+    i
+}
+
+/// Parse a `struct`/`enum` item starting at the keyword.
+fn parse_struct(toks: &[Token], kw: usize, is_struct: bool, out: &mut Vec<StructItem>) -> usize {
+    let Some(name_tok) = toks.get(kw + 1) else { return kw + 1 };
+    if !is_callable_ident(&name_tok.text) {
+        return kw + 1;
+    }
+    let mut item =
+        StructItem { name: name_tok.text.clone(), fields: Vec::new(), line: toks[kw].line };
+    let mut i = skip_angle_group(toks, kw + 2);
+    // Tuple struct or unit struct: no named fields to record.
+    if !toks.get(i).is_some_and(|t| t.text == "{") {
+        out.push(item);
+        return kw + 1;
+    }
+    if is_struct {
+        i += 1; // inside the braces
+        let mut brace = 1usize;
+        while i < toks.len() && brace > 0 {
+            match toks[i].text.as_str() {
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                ":" if brace == 1 => {
+                    // `field : Type` — field is the previous ident, the
+                    // type head is the last segment of the path after.
+                    let field = toks.get(i.wrapping_sub(1)).map(|t| t.text.clone());
+                    let is_path_sep = toks.get(i + 1).is_some_and(|t| t.text == ":");
+                    if let (Some(field), false) = (field, is_path_sep) {
+                        if is_callable_ident(&field) {
+                            let (head, _) = read_type_path(toks, i + 1);
+                            if let Some(head) = head {
+                                item.fields.push((field, head));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out.push(item);
+    // Resume at the keyword + 1: the main loop's depth tracking must see
+    // the braces we looked ahead into.
+    kw + 1
+}
+
+/// Parse a `fn` item starting at the keyword: name, then scan to the
+/// body `{` (or a `;` for bodyless declarations) and record the body
+/// token range. Returns the index to resume the main scan at (just past
+/// the name, so brace tracking stays with the main loop).
+fn parse_fn(lexed: &Lexed, kw: usize, ctx: Option<&Ctx>, out: &mut Vec<FnItem>) -> usize {
+    let toks = &lexed.tokens;
+    let Some(name_tok) = toks.get(kw + 1) else { return kw + 1 };
+    if !is_callable_ident(&name_tok.text) {
+        return kw + 1;
+    }
+    // Find the body: first `{` before any `;`. Parens and angle groups
+    // in between (args, return type, where clause) contain neither.
+    let mut j = kw + 2;
+    let mut body = (0usize, 0usize);
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            ";" => break,
+            "{" => {
+                let mut depth = 1usize;
+                let start = j + 1;
+                let mut k = start;
+                while k < toks.len() && depth > 0 {
+                    match toks[k].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                body = (start, k.saturating_sub(1));
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    out.push(FnItem {
+        name: name_tok.text.clone(),
+        owner: ctx.map(|c| c.owner.clone()),
+        trait_name: ctx.and_then(|c| c.trait_name.clone()),
+        line: toks[kw].line,
+        body,
+        in_test: lexed.in_test.get(kw).copied().unwrap_or(false),
+    });
+    kw + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn extracts_impl_methods_with_generics_stripped() {
+        let src = "impl<S: Scheduler> Handler<HvEvent> for Hypervisor<S> {\n  fn handle(&mut self) { self.drive(); }\n}\nimpl Hypervisor<S> { fn drive(&mut self) {} }\nfn free() {}\n";
+        let parsed = parse(src);
+        let quals: Vec<String> = parsed.fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(quals, ["Hypervisor::handle", "Hypervisor::drive", "free"]);
+        assert_eq!(parsed.fns[0].trait_name.as_deref(), Some("Handler"));
+        assert_eq!(parsed.fns[1].trait_name, None);
+    }
+
+    #[test]
+    fn trait_decls_and_default_methods_get_the_trait_as_owner() {
+        let src = "pub trait Scheduler {\n  fn next_reconfig(&mut self) -> u32;\n  fn pipelining(&self) -> bool { false }\n}\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.traits, ["Scheduler"]);
+        let quals: Vec<String> = parsed.fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(quals, ["Scheduler::next_reconfig", "Scheduler::pipelining"]);
+        assert_eq!(parsed.fns[0].body.0, parsed.fns[0].body.1, "decl has no body");
+        assert!(parsed.fns[1].body.1 > parsed.fns[1].body.0, "default method has one");
+    }
+
+    #[test]
+    fn impl_context_pops_at_the_closing_brace() {
+        let src = "impl A { fn x(&self) {} }\nfn y() {}\nimpl B { fn z(&self) {} }\n";
+        let parsed = parse(src);
+        let quals: Vec<String> = parsed.fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(quals, ["A::x", "y", "B::z"]);
+    }
+
+    #[test]
+    fn struct_fields_record_type_heads() {
+        let src = "pub struct Report {\n  pub counts: std::collections::HashMap<String, u64>,\n  pub name: String,\n  items: Vec<Slot<E>>,\n}\nenum Kind { A, B }\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.structs.len(), 2);
+        assert_eq!(
+            parsed.structs[0].fields,
+            [
+                ("counts".to_owned(), "HashMap".to_owned()),
+                ("name".to_owned(), "String".to_owned()),
+                ("items".to_owned(), "Vec".to_owned()),
+            ]
+        );
+        assert_eq!(parsed.structs[1].name, "Kind");
+        assert!(parsed.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn use_aliases_resolve_renames() {
+        let src = "use std::collections::{BTreeMap, HashMap as Map};\nuse crate::queue::EventQueue;\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.uses.get("Map").map(String::as_str), Some("HashMap"));
+        assert_eq!(parsed.uses.get("BTreeMap").map(String::as_str), Some("BTreeMap"));
+        assert_eq!(parsed.uses.get("EventQueue").map(String::as_str), Some("EventQueue"));
+    }
+
+    #[test]
+    fn test_module_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.fns.len(), 2);
+        assert!(!parsed.fns[0].in_test);
+        assert!(parsed.fns[1].in_test);
+    }
+
+    #[test]
+    fn nested_fns_are_recorded_without_breaking_the_outer_item() {
+        let src = "impl A {\n  fn outer(&self) { fn inner() {} inner(); }\n  fn after(&self) {}\n}\n";
+        let parsed = parse(src);
+        let quals: Vec<String> = parsed.fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(quals, ["A::outer", "A::inner", "A::after"]);
+    }
+}

@@ -1,0 +1,205 @@
+//! **determinism-taint**: no nondeterminism source may reach the merge
+//! and render paths that must be byte-identical across runs and thread
+//! counts (PR 4/7's cluster-merge contract).
+//!
+//! Roots: every method of `Report`, `ClusterReport`, and `MonitorDoc`
+//! impls, plus the workspace's merge/render family by name
+//! (`merge_from`, `merge_max`, `merged`, `render_prometheus`,
+//! `render_monitor`).
+//!
+//! Flagged sources in reached functions:
+//!
+//! * iteration over a `HashMap`/`HashSet`-typed field of the impl's own
+//!   struct (`self.field.iter()` and friends — field types come from the
+//!   parsed struct items),
+//! * local `HashMap`/`HashSet` construction combined with iteration in
+//!   the same function,
+//! * wall-clock reads (`Instant`, `SystemTime`, `std::time`),
+//! * thread identity (`ThreadId`, `thread::current`,
+//!   `available_parallelism`).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::Model;
+use crate::lex::{Token, TokenKind};
+use crate::passes::{Finding, Pass, PassOutcome};
+
+/// Types whose impl methods are merge/render roots.
+const ROOT_TYPES: &[&str] = &["Report", "ClusterReport", "MonitorDoc"];
+
+/// Merge/render functions rooted by bare name, wherever they live.
+const ROOT_NAMES: &[&str] =
+    &["merge_from", "merge_max", "merged", "render_prometheus", "render_monitor"];
+
+/// Unordered containers whose iteration order is nondeterministic.
+const UNORDERED: &[&str] = &["HashMap", "HashSet"];
+
+/// Iteration methods that expose container order.
+const ITERATION: &[&str] =
+    &["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain"];
+
+/// See module docs.
+pub struct DeterminismTaint;
+
+impl Pass for DeterminismTaint {
+    fn id(&self) -> &'static str {
+        "determinism-taint"
+    }
+    fn description(&self) -> &'static str {
+        "no unordered iteration, wall-clock, or thread-identity source reaches merge/render code"
+    }
+    fn run(&self, model: &Model, prune: &BTreeSet<usize>) -> PassOutcome {
+        let mut roots: Vec<usize> = Vec::new();
+        for (id, node) in model.fns.iter().enumerate() {
+            let owner_rooted =
+                node.item.owner.as_deref().is_some_and(|o| ROOT_TYPES.contains(&o));
+            if owner_rooted || ROOT_NAMES.contains(&node.item.name.as_str()) {
+                roots.push(id);
+            }
+        }
+
+        let walk = model.reach(&roots, prune);
+        let mut findings = Vec::new();
+        for &id in walk.keys() {
+            if prune.contains(&id) {
+                continue;
+            }
+            let chain = model.chain(&walk, id);
+            let body = model.body_tokens(id);
+            let owner = model.fns[id].item.owner.as_deref();
+            for (line, what) in taint_sites(model, owner, body) {
+                findings.push(Finding {
+                    pass: self.id().to_owned(),
+                    path: model.path_of(id).to_owned(),
+                    line,
+                    function: model.fns[id].qual_name(),
+                    message: format!("{what} (reached via {chain})"),
+                });
+            }
+        }
+        PassOutcome { findings, walk }
+    }
+}
+
+/// Scan one body for nondeterminism sources: (line, description).
+fn taint_sites(model: &Model, owner: Option<&str>, toks: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut local_unordered: Option<(u32, &str)> = None;
+    let mut iterates = false;
+
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text.as_str();
+        let at = |off: usize| toks.get(k + off).map(|t| t.text.as_str());
+        let prev = |off: usize| k.checked_sub(off).map(|p| toks[p].text.as_str());
+
+        if UNORDERED.contains(&text) {
+            local_unordered.get_or_insert((t.line, if text == "HashMap" { "HashMap" } else { "HashSet" }));
+        }
+        if ITERATION.contains(&text) && prev(1) == Some(".") && at(1) == Some("(") {
+            iterates = true;
+            // `self.field.iter()` where the field's declared type head is
+            // an unordered container.
+            if prev(3) == Some(".") && prev(4) == Some("self") {
+                if let (Some(owner), Some(field)) = (owner, prev(2)) {
+                    let head = model
+                        .struct_fields
+                        .get(owner)
+                        .and_then(|fields| fields.get(field))
+                        .map(String::as_str);
+                    if head.is_some_and(|h| UNORDERED.contains(&h)) {
+                        out.push((
+                            t.line,
+                            format!(
+                                "`self.{field}.{text}()` iterates a {} field in unspecified order",
+                                head.unwrap_or("?")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        match text {
+            "Instant" | "SystemTime" => {
+                out.push((t.line, format!("wall-clock `{text}` read")));
+            }
+            "time" if prev(2) == Some("std") && prev(1) == Some(":") => {
+                out.push((t.line, "wall-clock `std::time` use".to_owned()));
+            }
+            "ThreadId" | "available_parallelism" => {
+                out.push((t.line, format!("thread-identity `{text}` source")));
+            }
+            "current" if prev(3) == Some("thread") => {
+                out.push((t.line, "thread-identity `thread::current()` source".to_owned()));
+            }
+            _ => {}
+        }
+    }
+
+    if let (Some((line, which)), true) = (local_unordered, iterates) {
+        out.push((
+            line,
+            format!("local `{which}` constructed and iterated in unspecified order"),
+        ));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Model, ModelFile};
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn model(src: &str) -> Model {
+        let lexed = lex(src);
+        let parsed = parse_file(&lexed);
+        Model::build(vec![ModelFile { path: "crates/x/src/lib.rs".into(), lexed: lex(src), parsed }])
+    }
+
+    #[test]
+    fn field_iteration_and_clock_sources_are_flagged() {
+        let m = model(
+            "use std::collections::HashMap;\npub struct Report { counts: HashMap<String, u64>, names: Vec<String> }\nimpl Report {\n  fn merged(&self) -> u64 {\n    let mut total = 0;\n    for (_, v) in self.counts.iter() { total += v; }\n    for n in self.names.iter() { let _ = n; }\n    total\n  }\n  fn stamp(&self) { let t = Instant::now(); let _ = t; }\n}\n",
+        );
+        let pass = DeterminismTaint;
+        let outcome = pass.run(&m, &BTreeSet::new());
+        let msgs: Vec<&str> = outcome.findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("self.counts.iter()")), "{msgs:?}");
+        assert!(
+            !msgs.iter().any(|m| m.contains("self.names")),
+            "Vec fields iterate deterministically: {msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("Instant")), "{msgs:?}");
+    }
+
+    #[test]
+    fn sources_outside_the_merge_reach_are_ignored() {
+        let m = model(
+            "impl Other { fn helper(&self) { let t = Instant::now(); let _ = t; } }\nimpl Report { fn merged(&self) -> u64 { 0 } }\n",
+        );
+        let outcome = DeterminismTaint.run(&m, &BTreeSet::new());
+        assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+    }
+
+    #[test]
+    fn thread_identity_in_reached_helpers_is_flagged_with_a_chain() {
+        let m = model(
+            "impl ClusterReport { fn merged(&self) { tag(); } }\nfn tag() { let id = std::thread::current(); let _ = id; }\n",
+        );
+        let outcome = DeterminismTaint.run(&m, &BTreeSet::new());
+        assert_eq!(outcome.findings.len(), 1, "{:?}", outcome.findings);
+        let chained = outcome
+            .findings
+            .iter()
+            .find(|f| f.function == "tag")
+            .expect("helper finding");
+        assert!(chained.message.contains("ClusterReport::merged -> tag"), "{}", chained.message);
+    }
+}

@@ -1,0 +1,263 @@
+//! **lock-discipline**: the cluster worker pool must never nest `Mutex`
+//! acquisitions or call back into workspace code while holding a guard.
+//!
+//! Scope: functions in `crates/cluster/` (the only crate that takes
+//! locks on the simulation side; the observability registries have their
+//! own internal discipline and deliberately stay out of scope here —
+//! DESIGN.md §16).
+//!
+//! The pass distinguishes *statement-temporary* locks
+//! (`queue.lock().expect("…").pop_front()` — the guard dies at the end
+//! of the statement) from *bound guards*
+//! (`let guard = queue.lock().expect("…");`). While a bound guard is
+//! live (until its block closes or an explicit `drop(guard)`), the pass
+//! flags:
+//!
+//! * any further `.lock(` acquisition (nested locking — deadlock-prone
+//!   with more than one lock order), including a second `.lock(` in a
+//!   single statement, and
+//! * any call that resolves to a workspace function (lock-across-call —
+//!   the callee may block, allocate, or itself lock).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::Model;
+use crate::passes::{skip_group, Finding, Pass, PassOutcome};
+
+/// See module docs.
+pub struct LockDiscipline;
+
+/// Path prefix this pass applies to.
+const SCOPE: &str = "crates/cluster/";
+
+impl Pass for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+    fn description(&self) -> &'static str {
+        "no nested Mutex acquisition or workspace call while holding a guard in cluster code"
+    }
+    fn run(&self, model: &Model, prune: &BTreeSet<usize>) -> PassOutcome {
+        let mut findings = Vec::new();
+        for (id, node) in model.fns.iter().enumerate() {
+            if !model.path_of(id).starts_with(SCOPE) || prune.contains(&id) {
+                continue;
+            }
+            scan_fn(model, id, &node.qual_name(), &mut findings);
+        }
+        PassOutcome { findings, walk: Default::default() }
+    }
+}
+
+/// A live `let`-bound guard.
+struct Guard {
+    name: String,
+    /// Brace depth (relative to the body start) of the binding; the
+    /// guard dies when depth drops below this.
+    depth: usize,
+}
+
+fn scan_fn(model: &Model, id: usize, qual: &str, findings: &mut Vec<Finding>) {
+    let node = &model.fns[id];
+    let toks = &model.files[node.file].lexed.tokens;
+    let (start, end) = node.item.body;
+    let end = end.min(toks.len());
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // The pending `let` binding of the current statement, if any.
+    let mut stmt_let: Option<String> = None;
+    // Token index of a `.lock(` seen in the current statement.
+    let mut stmt_lock: Option<usize> = None;
+
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            pass: "lock-discipline".to_owned(),
+            path: model.path_of(id).to_owned(),
+            line,
+            function: qual.to_owned(),
+            message,
+        });
+    };
+
+    let mut k = start;
+    while k < end {
+        let text = toks[k].text.as_str();
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            ";" => {
+                // Statement end: a pending `let x = ….lock()…;` whose
+                // chain we validated commits a guard.
+                if let (Some(name), Some(lock_at)) = (stmt_let.take(), stmt_lock.take()) {
+                    if binds_guard(toks, lock_at, k) {
+                        guards.push(Guard { name, depth });
+                    }
+                }
+                stmt_let = None;
+                stmt_lock = None;
+            }
+            "let" => {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.text == "mut") {
+                    n += 1;
+                }
+                stmt_let = toks.get(n).map(|t| t.text.clone());
+            }
+            "lock"
+                if k > start
+                    && toks[k - 1].text == "."
+                    && toks.get(k + 1).is_some_and(|t| t.text == "(") =>
+            {
+                if !guards.is_empty() {
+                    push(
+                        toks[k].line,
+                        format!(
+                            "`.lock()` while already holding `{}` — nested Mutex acquisition",
+                            guards.last().map(|g| g.name.as_str()).unwrap_or("?")
+                        ),
+                    );
+                } else if stmt_lock.is_some() {
+                    push(
+                        toks[k].line,
+                        "second `.lock()` in one statement — nested Mutex acquisition".to_owned(),
+                    );
+                }
+                stmt_lock.get_or_insert(k);
+            }
+            "drop"
+                if toks.get(k + 1).is_some_and(|t| t.text == "(")
+                    && toks.get(k + 2).is_some() =>
+            {
+                let dropped = toks[k + 2].text.clone();
+                guards.retain(|g| g.name != dropped);
+            }
+            _ => {
+                // A workspace call while a guard is live.
+                if !guards.is_empty()
+                    && text != "lock"
+                    && text != "drop"
+                    && model.is_call_site(id, k)
+                    && !model.resolve_call(id, k).is_empty()
+                {
+                    push(
+                        toks[k].line,
+                        format!(
+                            "call to `{text}` while holding `{}` — lock held across a call",
+                            guards.last().map(|g| g.name.as_str()).unwrap_or("?")
+                        ),
+                    );
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Does the `.lock(` at `lock_at` bind a guard that outlives its
+/// statement? True when the chain after the lock call consists only of
+/// `.expect(…)`/`.unwrap()` adapters up to the statement end `stmt_end`
+/// — anything else (`.pop_front()`, indexing, a field) consumes the
+/// guard as a temporary.
+fn binds_guard(toks: &[crate::lex::Token], lock_at: usize, stmt_end: usize) -> bool {
+    // Past the `lock ( … )` group.
+    let mut k = skip_group(toks, lock_at + 1);
+    loop {
+        if k >= stmt_end {
+            return true;
+        }
+        match toks[k].text.as_str() {
+            ";" => return true,
+            "." => {
+                let name = toks.get(k + 1).map(|t| t.text.as_str());
+                if matches!(name, Some("expect") | Some("unwrap")) {
+                    k = skip_group(toks, k + 2);
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Model, ModelFile};
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn model(src: &str) -> Model {
+        let lexed = lex(src);
+        let parsed = parse_file(&lexed);
+        Model::build(vec![ModelFile {
+            path: "crates/cluster/src/pool.rs".into(),
+            lexed: lex(src),
+            parsed,
+        }])
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        LockDiscipline.run(&model(src), &BTreeSet::new()).findings
+    }
+
+    #[test]
+    fn statement_temporary_locks_are_clean() {
+        let findings = run(
+            "fn worker(queue: &Q, results: &R) {\n  let next = queue.lock().expect(\"queue\").pop_front();\n  let value = compute();\n  results.lock().expect(\"results\")[0] = value;\n}\nfn compute() -> u32 { 1 }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn nested_acquisition_under_a_bound_guard_is_flagged() {
+        let findings = run(
+            "fn drain(a: &Q, b: &Q) {\n  let first = a.lock().expect(\"a\");\n  let second = b.lock().expect(\"b\");\n}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("nested Mutex acquisition"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn workspace_call_under_a_guard_is_flagged_but_drop_releases() {
+        let findings = run(
+            "fn hold(a: &Q) {\n  let guard = a.lock().unwrap();\n  helper();\n  drop(guard);\n  helper();\n}\nfn helper() {}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lock held across a call"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dies_with_its_block() {
+        let findings = run(
+            "fn scoped(a: &Q) {\n  {\n    let guard = a.lock().unwrap();\n    let n = guard.len();\n    let _ = n;\n  }\n  helper();\n}\nfn helper() {}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn two_locks_in_one_statement_are_flagged() {
+        let findings =
+            run("fn both(a: &Q, b: &Q) {\n  compare(a.lock().unwrap(), b.lock().unwrap());\n}\nfn compare(x: G, y: G) {}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("second `.lock()`"));
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let lexed = lex("fn hold(a: &Q) { let g = a.lock().unwrap(); helper(); }\nfn helper() {}\n");
+        let parsed = parse_file(&lexed);
+        let m = Model::build(vec![ModelFile {
+            path: "crates/obs/src/registry.rs".into(),
+            lexed,
+            parsed,
+        }]);
+        assert!(LockDiscipline.run(&m, &BTreeSet::new()).findings.is_empty());
+    }
+}

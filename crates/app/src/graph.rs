@@ -342,8 +342,18 @@ impl TaskGraph {
 
     /// Returns the maximum number of tasks that share a level — the
     /// task-level parallelism available to slot allocation.
+    ///
+    /// Alloc-free on purpose: this sits on the scheduler's slot-allocation
+    /// path (`usable_cap`) once per reconfiguration decision, and paper
+    /// task graphs are small enough that the O(depth · tasks) scan beats
+    /// materializing [`TaskGraph::level_widths`].
     pub fn max_width(&self) -> usize {
-        self.level_widths().into_iter().max().unwrap_or(1)
+        let mut max = 1;
+        for level in 0..self.depth() {
+            let width = self.levels.iter().filter(|&&l| l == level).count();
+            max = max.max(width);
+        }
+        max
     }
 
     /// Returns `true` if the graph is a simple chain.

@@ -282,6 +282,16 @@ pub enum AnalyzeTarget {
         /// Workspace root to lint.
         root: String,
     },
+    /// Deep whole-workspace analysis: call-graph reachability passes on
+    /// top of the full lint, plus a stale-suppression audit.
+    Deep {
+        /// Workspace root to analyze.
+        root: String,
+        /// Report format: `text` (default), `md`, or `json`.
+        format: ExplainFormat,
+        /// Where to write the call graph as Graphviz DOT, if anywhere.
+        graph_out: Option<String>,
+    },
     /// Verify a serialized schedule trace (as written by
     /// `run --trace-format json --trace-out FILE`).
     Trace {
@@ -459,6 +469,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         json,
                     }));
                 }
+                Some("deep") => {
+                    let mut root = ".".to_owned();
+                    let mut format = ExplainFormat::Text;
+                    let mut graph_out = None;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--root" => root = stream.value_for(flag)?.to_owned(),
+                            "--format" => format = parse_explain_format(stream.value_for(flag)?)?,
+                            "--graph-out" => graph_out = Some(stream.value_for(flag)?.to_owned()),
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    return Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Deep { root, format, graph_out },
+                        json: format == ExplainFormat::Json,
+                    }));
+                }
                 Some("trace") => {
                     let mut path = None;
                     let mut json = false;
@@ -518,9 +545,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }))
                 }
                 Some(other) => Err(err(format!(
-                    "unknown analyze target '{other}' (expected lint, trace, explain, or monitor)"
+                    "unknown analyze target '{other}' (expected lint, deep, trace, explain, or monitor)"
                 ))),
-                None => Err(err("analyze needs a target: lint, trace, explain, or monitor")),
+                None => Err(err("analyze needs a target: lint, deep, trace, explain, or monitor")),
             }
         }
         "faas" => {

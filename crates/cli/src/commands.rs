@@ -411,6 +411,26 @@ fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliErr
                 Err(CliError(format!("lint reported {} finding(s)", report.diags.len())))
             }
         }
+        AnalyzeTarget::Deep { root, format, graph_out } => {
+            let analysis = nimblock_analyze::deep_tree(std::path::Path::new(root))
+                .map_err(|e| CliError(format!("cannot analyze {root}: {e}")))?;
+            if let Some(path) = graph_out {
+                fs::write(path, &analysis.dot)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            }
+            write!(out, "{}", analysis.report.render(*format))
+                .map_err(|e| CliError(e.to_string()))?;
+            if analysis.report.is_clean() {
+                Ok(())
+            } else {
+                Err(CliError(format!(
+                    "deep analysis reported {} finding(s), {} lint finding(s), {} stale suppression(s)",
+                    analysis.report.findings.len(),
+                    analysis.report.lint.len(),
+                    analysis.report.unused_suppressions.len()
+                )))
+            }
+        }
         AnalyzeTarget::Trace { path, mechanism_only } => {
             let text = fs::read_to_string(path)
                 .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;

@@ -46,6 +46,8 @@ USAGE:
                         [--check-invariants] [monitor options]
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
   nimblock-cli analyze  lint [--root DIR] [--json]
+  nimblock-cli analyze  deep [--root DIR] [--format text|md|json]
+                        [--graph-out FILE]
   nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
   nimblock-cli analyze  explain FILE [--format text|md|json] [--top N]
   nimblock-cli analyze  monitor FILE [--format text|md|json]
@@ -85,11 +87,13 @@ OTHER:
   --cluster-threads N  worker threads simulating boards (1 = sequential
                        oracle, 0 = auto); results are byte-identical for
                        every value [1]
-  --root DIR           workspace root for analyze lint [.]
+  --root DIR           workspace root for analyze lint/deep [.]
+  --graph-out FILE     analyze deep: also write the call graph with the
+                       union pass walk as Graphviz DOT
   --mechanism-only     analyze trace: skip Nimblock-policy invariants
                        (use for traces from preempting non-Nimblock policies)
-  --format FMT         analyze explain/monitor report format: text | md | json
-                       [text]
+  --format FMT         analyze deep/explain/monitor report format:
+                       text | md | json [text]
   --top N              analyze explain: how many of the slowest applications
                        get their critical-path span trees printed [5]
 

@@ -127,7 +127,7 @@ impl std::ops::Index<AppId> for AppArena {
     fn index(&self, id: AppId) -> &AppRuntime {
         self.get(id).unwrap_or_else(|| {
             // Indexing a retired id is a caller bug, same as `BTreeMap`'s
-            // panicking `Index`. nimblock: allow(no-unwrap-hot-path)
+            // panicking `Index`.
             panic!("no live application {id}")
         })
     }

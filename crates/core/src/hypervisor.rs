@@ -629,6 +629,8 @@ impl<S: Scheduler> Hypervisor<S> {
                     m.record(
                         at,
                         "preempt",
+                        // Lazy: evaluated only if the flight recorder
+                        // accepts the event. nimblock: allow(hot-path-no-alloc)
                         || format!("slot={slot} victim={victim_app} task={victim_task}"),
                     );
                 });
@@ -684,6 +686,8 @@ impl<S: Scheduler> Hypervisor<S> {
                 m.record(
                     reconfig_start.as_micros(),
                     "reconfig",
+                    // Lazy: evaluated only if the flight recorder
+                    // accepts the event. nimblock: allow(hot-path-no-alloc)
                     || format!("slot={slot} app={app} task={task} until={done_at}"),
                 );
             });
@@ -777,6 +781,8 @@ impl<S: Scheduler> Hypervisor<S> {
                     m.record(
                         now.as_micros(),
                         "item",
+                        // Lazy: evaluated only if the flight recorder
+                        // accepts the event. nimblock: allow(hot-path-no-alloc)
                         || format!("slot={slot} app={app} task={task} item={item} until={until}"),
                     );
                 });

@@ -35,6 +35,8 @@ impl Scheduler for SjfScheduler {
 
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
         view.first_free_slot()?;
+        // Baseline comparison scheduler: a per-decision candidate sort is
+        // its defining behavior, not a regression. nimblock: allow(hot-path-no-alloc)
         let mut apps: Vec<AppId> = view.apps_by_age().collect();
         apps.sort_by_key(|&a| {
             let runtime = view.app(a).expect("live app");
@@ -95,6 +97,8 @@ impl Scheduler for EdfScheduler {
 
     fn next_reconfig(&mut self, view: &SchedView<'_>) -> Option<Reconfig> {
         view.first_free_slot()?;
+        // Baseline comparison scheduler: a per-decision candidate sort is
+        // its defining behavior, not a regression. nimblock: allow(hot-path-no-alloc)
         let mut apps: Vec<AppId> = view.apps_by_age().collect();
         apps.sort_by_key(|&a| {
             let runtime = view.app(a).expect("live app");

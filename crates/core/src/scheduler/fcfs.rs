@@ -58,6 +58,8 @@ impl Scheduler for FcfsScheduler {
         for (app, runtime) in view.apps.iter() {
             for task in runtime.unplaced_ready_iter() {
                 if self.enqueued.insert((app, task)) {
+                    // Ready-queue growth is bounded by live tasks and
+                    // amortized. nimblock: allow(hot-path-no-alloc)
                     self.ready.push_back((app, task));
                 }
             }

@@ -45,6 +45,8 @@ impl Scheduler for NoSharingScheduler {
     }
 
     fn on_arrival(&mut self, _view: &SchedView<'_>, app: AppId) {
+        // Per-arrival FIFO admission; amortized VecDeque growth bounded
+        // by live apps. nimblock: allow(hot-path-no-alloc)
         self.fifo.push_back(app);
     }
 

@@ -152,6 +152,8 @@ impl Scheduler for PremaScheduler {
         if self.backfill {
             for a in view.apps_by_age() {
                 if a != current && !self.rest_buf.contains(&a) {
+                    // `rest_buf` is reusable scratch; capacity tops out
+                    // at the live-app count. nimblock: allow(hot-path-no-alloc)
                     self.rest_buf.push(a);
                 }
             }

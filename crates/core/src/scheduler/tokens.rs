@@ -114,6 +114,9 @@ impl TokenBank {
         for (&id, entry) in self.entries.iter_mut() {
             if entry.tokens >= threshold {
                 let since = *entry.candidate_since.get_or_insert(now);
+                // `pool` is a reusable scratch buffer; its capacity
+                // persists across reconfigurations and tops out at the
+                // live-app count. nimblock: allow(hot-path-no-alloc)
                 self.pool.push((since, id));
             }
         }

@@ -134,7 +134,7 @@ impl Trace {
         // The trace is the run's primary artifact: recorded only when a run
         // opts in (`run_traced`/`--trace-out`), and attribution, invariant
         // verification, and the exporters all need it complete, not sampled.
-        // nimblock: allow(no-unbounded-span-buffer)
+        // nimblock: allow(no-unbounded-span-buffer, hot-path-no-alloc)
         self.events.push(event);
     }
 

@@ -171,6 +171,8 @@ impl FunctionRegistry {
     pub(crate) fn get(&self, name: &str) -> Result<&Function, FaasError> {
         self.functions
             .get(name)
+            // Allocates only on the unknown-function error path, which
+            // rejects the invocation. nimblock: allow(hot-path-no-alloc)
             .ok_or_else(|| FaasError::UnknownFunction(name.to_owned()))
     }
 

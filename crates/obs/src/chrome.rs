@@ -149,6 +149,9 @@ impl ChromeTrace {
         dur_us: u64,
         args: Vec<(String, Json)>,
     ) {
+        // The Chrome trace buffer is the artifact of an opt-in tracing
+        // run; exporters need it complete, and growth is amortized.
+        // nimblock: allow(hot-path-no-alloc)
         self.events.push(Event {
             name: name.into(),
             cat: cat.into(),

@@ -648,6 +648,8 @@ impl FlightRecorder {
             self.dropped += 1;
             return;
         }
+        // Copies the short static kind label into the bounded ring only
+        // when monitoring is enabled. nimblock: allow(hot-path-no-alloc)
         self.push(RecorderEntry { at_us, board, kind: kind.to_owned(), detail: detail() });
     }
 

@@ -135,6 +135,9 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         match &mut self.backend {
             Backend::Calendar(calendar) => calendar.push(at, seq, event),
+            // The legacy binary heap exists for differential testing of
+            // the calendar backend, not production runs; its amortized
+            // doubling is acceptable there. nimblock: allow(hot-path-no-alloc)
             Backend::Legacy(heap) => heap.push(Entry { at, seq, event }),
         }
     }

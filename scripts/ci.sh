@@ -13,6 +13,11 @@
 #   build           tier-1: cargo build --release --offline
 #   test            tier-1: cargo test -q --offline (root package)
 #   workspace-test  cargo test -q --offline --workspace
+#   deep            whole-workspace semantic analysis (DESIGN.md §16):
+#                   call-graph reachability passes (hot-path-no-alloc,
+#                   determinism-taint, lock-discipline) must be clean, the
+#                   suppression audit must find no stale allows, and every
+#                   adversarial fixture must trip exactly its named pass
 #   telemetry       CLI smoke: metrics text + chrome trace parse
 #   invariants      checked run + standalone trace re-verification
 #   explain         response-time attribution: `analyze explain` on a
@@ -42,7 +47,10 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-ALL_STAGES=(lint build test workspace-test telemetry invariants explain monitor goldens engine-diff bench-gate)
+# `deep` sits after the test stages so the analyzer and test binaries it
+# reuses are already built; the analysis itself takes well under ten
+# seconds.
+ALL_STAGES=(lint build test workspace-test deep telemetry invariants explain monitor goldens engine-diff bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -50,6 +58,15 @@ trap 'rm -rf "$smoke_dir"' EXIT
 stage_lint() {
     cargo build --release --offline -q -p nimblock-analyze
     ./target/release/nimblock-analyze lint
+}
+
+stage_deep() {
+    # The deep analyzer must pass the workspace clean (zero unsuppressed
+    # findings, zero stale suppressions — it exits nonzero otherwise) and
+    # each adversarial fixture must trip exactly its named pass.
+    cargo build --release --offline -q -p nimblock-analyze
+    ./target/release/nimblock-analyze deep
+    cargo test -q --offline --test analyze_deep
 }
 
 stage_build() {
@@ -184,7 +201,8 @@ stage_goldens() {
         return 1
     fi
     NIMBLOCK_REGEN_GOLDENS=1 cargo test -q --offline \
-        --test golden_roundtrip --test golden_telemetry --test golden_monitor
+        --test golden_roundtrip --test golden_telemetry --test golden_monitor \
+        --test golden_analyze
     if ! git diff --exit-code -- tests/goldens; then
         git checkout -- tests/goldens
         echo "error: regenerated goldens differ from the committed files" \
@@ -214,6 +232,7 @@ stage_bench_gate() {
 run_stage() {
     case "$1" in
         lint) stage_lint ;;
+        deep) stage_deep ;;
         build) stage_build ;;
         test) stage_test ;;
         workspace-test) stage_workspace_test ;;

@@ -1,0 +1,107 @@
+//! The deep analyzer against its adversarial fixtures and the workspace
+//! itself.
+//!
+//! Each fixture tree under `tests/fixtures/analyze/` is engineered to
+//! trip **exactly one** pass — one finding, from the named pass, in the
+//! named function — and to stay silent everywhere else (lint included).
+//! Together with the workspace-cleanliness test this pins both
+//! directions: the passes fire on the constructs they claim to catch,
+//! and the shipped tree plus its committed suppressions is clean.
+
+use std::path::PathBuf;
+
+use nimblock::analyze::{deep_tree, DeepReport};
+
+fn repo_path(parts: &[&str]) -> PathBuf {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for part in parts {
+        path.push(part);
+    }
+    path
+}
+
+/// Runs `deep` over one fixture tree.
+fn analyze_fixture(name: &str) -> DeepReport {
+    let root = repo_path(&["tests", "fixtures", "analyze", name]);
+    deep_tree(&root)
+        .unwrap_or_else(|e| panic!("cannot analyze fixture {name}: {e}"))
+        .report
+}
+
+/// Asserts the fixture fired exactly one finding, from `pass`, in
+/// `function`, with nothing else dirty.
+fn assert_single_finding(name: &str, pass: &str, function: &str) {
+    let report = analyze_fixture(name);
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "fixture {name} must trip exactly one finding: {:?}",
+        report.findings
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.pass, pass, "fixture {name} fired the wrong pass: {finding}");
+    assert_eq!(
+        finding.function, function,
+        "fixture {name} fired in the wrong function: {finding}"
+    );
+    assert!(report.lint.is_empty(), "fixture {name} must be lint-clean: {:?}", report.lint);
+    assert!(
+        report.unused_suppressions.is_empty(),
+        "fixture {name} has stale suppressions: {:?}",
+        report.unused_suppressions
+    );
+}
+
+#[test]
+fn hot_alloc_fixture_trips_exactly_the_hot_path_pass() {
+    assert_single_finding("hot_alloc", "hot-path-no-alloc", "Hypervisor::bump");
+}
+
+#[test]
+fn hot_alloc_finding_is_the_boxed_entry_not_the_guarded_push() {
+    let report = analyze_fixture("hot_alloc");
+    let finding = &report.findings[0];
+    assert!(finding.message.contains("Box"), "{finding}");
+    assert!(
+        finding.message.contains("Hypervisor::handle -> Hypervisor::bump"),
+        "finding must carry the root-to-sink chain: {finding}"
+    );
+}
+
+#[test]
+fn merge_taint_fixture_trips_exactly_the_determinism_pass() {
+    assert_single_finding("merge_taint", "determinism-taint", "Report::merged");
+    let report = analyze_fixture("merge_taint");
+    assert!(
+        report.findings[0].message.contains("self.counts.iter()"),
+        "the HashMap field, not the Vec field, must fire: {}",
+        report.findings[0]
+    );
+}
+
+#[test]
+fn lock_nesting_fixture_trips_exactly_the_lock_pass() {
+    assert_single_finding("lock_nesting", "lock-discipline", "Pool::drain_one");
+    let report = analyze_fixture("lock_nesting");
+    assert!(
+        report.findings[0].message.contains("nested Mutex acquisition"),
+        "{}",
+        report.findings[0]
+    );
+}
+
+#[test]
+fn workspace_deep_analysis_is_clean() {
+    let analysis = deep_tree(&repo_path(&[])).expect("workspace analyzes");
+    let report = analysis.report;
+    assert!(
+        report.is_clean(),
+        "workspace deep analysis must stay clean — fix the finding or add a \
+         justified suppression:\n{}",
+        report.render(nimblock::analyze::ExplainFormat::Text)
+    );
+    // The committed suppression file is load-bearing: if triage ever
+    // drops to zero suppressed findings the file should be deleted, not
+    // silently ignored.
+    assert!(report.suppressed > 0, "expected the committed suppressions to fire");
+}

@@ -1,0 +1,29 @@
+// Adversarial fixture for `nimblock-analyze deep`: exactly one
+// hot-path-no-alloc finding — the boxed journal entry allocated in
+// `bump`, reached from the `Hypervisor::handle` root. The
+// capacity-guarded `push` two lines below it must NOT fire, pinning the
+// guard exemption. The decoy `Hypervisor` never contaminates the
+// workspace model because fixture paths are excluded from it.
+
+pub struct Entry {
+    pub at: u64,
+}
+
+pub struct Hypervisor {
+    journal: Vec<Box<Entry>>,
+    depth: u64,
+}
+
+impl Hypervisor {
+    pub fn handle(&mut self, at: u64) {
+        self.depth += 1;
+        self.bump(at);
+    }
+
+    fn bump(&mut self, at: u64) {
+        if self.journal.len() == self.journal.capacity() {
+            self.journal.reserve(16);
+        }
+        self.journal.push(Box::new(Entry { at }));
+    }
+}

@@ -1,0 +1,27 @@
+// Adversarial fixture for `nimblock-analyze deep`: exactly one
+// lock-discipline finding — the second `.lock()` acquired while the
+// bound `queue` guard is still live. The statement-temporary lock in
+// `peek_depth` must NOT fire, pinning the temporary-vs-guard
+// distinction.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Pool {
+    queue: Mutex<VecDeque<u64>>,
+    results: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    pub fn drain_one(&self) -> Option<u64> {
+        let mut queue = self.queue.lock().expect("queue poisoned");
+        let results = self.results.lock().expect("results poisoned");
+        let next = queue.pop_front();
+        drop(results);
+        next
+    }
+
+    pub fn peek_depth(&self) -> usize {
+        self.queue.lock().expect("queue poisoned").len()
+    }
+}

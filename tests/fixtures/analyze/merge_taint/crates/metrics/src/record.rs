@@ -1,0 +1,24 @@
+// Adversarial fixture for `nimblock-analyze deep`: exactly one
+// determinism-taint finding — the `HashMap` field iterated inside the
+// `Report::merged` root. The `Vec` field iterated next to it must NOT
+// fire, pinning the ordered-container exemption.
+
+use std::collections::HashMap;
+
+pub struct Report {
+    counts: HashMap<String, u64>,
+    order: Vec<u64>,
+}
+
+impl Report {
+    pub fn merged(&self) -> u64 {
+        let mut total = 0;
+        for (_, value) in self.counts.iter() {
+            total += value;
+        }
+        for value in self.order.iter() {
+            total += value;
+        }
+        total
+    }
+}
