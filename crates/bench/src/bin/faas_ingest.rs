@@ -1,0 +1,177 @@
+//! Front-door ingest benchmark and regression gate.
+//!
+//! Measurement mode (default) streams a million invocations through the
+//! serving front door at several worker-thread counts, verifies every
+//! count is byte-identical to the sequential oracle, and writes
+//! `results/BENCH_faas.json`:
+//!
+//! ```text
+//! cargo run --release --bin faas_ingest
+//! cargo run --release --bin faas_ingest -- --quick --out /tmp/fresh.json
+//! ```
+//!
+//! Gate mode measures fresh numbers and compares them to a committed
+//! baseline, printing a delta table and exiting nonzero on a regression
+//! (this is what `scripts/bench_gate.sh` runs as the last CI stage):
+//!
+//! ```text
+//! cargo run --release --bin faas_ingest -- --quick \
+//!     --gate results/BENCH_faas.json --tolerance 15
+//! ```
+
+use std::process::ExitCode;
+
+use nimblock_bench::faas_ingest::{
+    gate_compare, measure, render_gate_table, BenchReport, IngestConfig,
+};
+
+struct Options {
+    config: IngestConfig,
+    out: String,
+    gate: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut config = IngestConfig::default();
+    let mut out = "results/BENCH_faas.json".to_owned();
+    let mut gate = None;
+    let mut tolerance = 0.15;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                config.invocations = 100_000;
+                config.repeats = 1;
+            }
+            "--invocations" => {
+                config.invocations = value(&mut i, "--invocations")?
+                    .parse()
+                    .map_err(|e| format!("--invocations: {e}"))?;
+            }
+            "--threads" => {
+                let list = value(&mut i, "--threads")?;
+                config.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if config.threads.is_empty() {
+                    return Err("--threads needs at least one entry".to_owned());
+                }
+            }
+            "--repeats" => {
+                config.repeats =
+                    value(&mut i, "--repeats")?.parse().map_err(|e| format!("--repeats: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value(&mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = value(&mut i, "--out")?,
+            "--gate" => gate = Some(value(&mut i, "--gate")?),
+            "--tolerance" => {
+                let pct: f64 =
+                    value(&mut i, "--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                tolerance = pct / 100.0;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Options { config, out, gate, tolerance })
+}
+
+fn load_baseline(path: &str) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    nimblock_ser::from_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("faas_ingest: {message}");
+            eprintln!(
+                "usage: faas_ingest [--quick] [--invocations N] [--threads A,B,..] \
+                 [--repeats N] [--seed N] [--out FILE] [--gate BASELINE --tolerance PCT]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // In gate mode the fresh run must use the baseline's exact workload —
+    // seed, invocation count, threads — or the invocations/sec comparison
+    // is meaningless. Only `--repeats` stays caller-chosen.
+    let baseline = match &options.gate {
+        Some(path) => match load_baseline(path) {
+            Ok(baseline) => {
+                options.config.seed = baseline.seed;
+                options.config.invocations = baseline.invocations;
+                let threads: Vec<usize> =
+                    baseline.measurements.iter().map(|m| m.threads).collect();
+                if !threads.is_empty() {
+                    options.config.threads = threads;
+                }
+                Some(baseline)
+            }
+            Err(message) => {
+                eprintln!("faas_ingest: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    println!(
+        "faas_ingest: invocations={} threads={:?} repeats={} seed={}",
+        options.config.invocations,
+        options.config.threads,
+        options.config.repeats,
+        options.config.seed,
+    );
+    let fresh = measure(&options.config);
+    println!(
+        "host_cpus={} deterministic={} peak_buffered={}",
+        fresh.host_cpus, fresh.deterministic, fresh.peak_buffered
+    );
+    for m in &fresh.measurements {
+        println!(
+            "  threads={:<3} wall={:>8.3}s  {:>12.1} invocations/s  speedup {:.2}x",
+            m.threads, m.wall_secs, m.events_per_sec, m.speedup
+        );
+    }
+
+    if let Some(baseline) = baseline {
+        let outcome = gate_compare(&baseline, &fresh, options.tolerance);
+        print!("{}", render_gate_table(&outcome, options.tolerance));
+        if outcome.pass {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        } else {
+            println!("bench gate: FAIL (set NIMBLOCK_SKIP_BENCH_GATE=1 to bypass)");
+            ExitCode::FAILURE
+        }
+    } else {
+        let json = nimblock_ser::to_string_pretty(&fresh);
+        if let Some(parent) = std::path::Path::new(&options.out).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("faas_ingest: cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&options.out, json + "\n") {
+            eprintln!("faas_ingest: cannot write {}: {e}", options.out);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", options.out);
+        ExitCode::SUCCESS
+    }
+}

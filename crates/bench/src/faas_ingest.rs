@@ -1,0 +1,372 @@
+//! Front-door ingest benchmark: streamed invocations/sec through the
+//! serving layer, plus the regression gate CI runs against the committed
+//! baseline (`results/BENCH_faas.json`).
+//!
+//! The `faas_ingest` binary drives [`nimblock_faas::FrontDoor`] over a
+//! lazily generated arrival stream — the full run pushes **one million
+//! invocations** through admission control, shedding, and cache-aware
+//! dispatch without ever materializing the invocation list (memory is
+//! bounded by the serve chunk; the report's `peak_buffered` proves it).
+//! Before timing anything it verifies that every worker-thread count
+//! produces a byte-identical serving report (the determinism guarantee the
+//! cluster engine carries, extended to the front door), then writes the
+//! numbers as seed-stamped JSON.
+//!
+//! The gate half ([`gate_compare`]) mirrors `cluster_scale`: a pure
+//! function over two decoded [`BenchReport`]s keyed by thread count, so
+//! `scripts/bench_gate.sh` never parses JSON in shell. A fresh measurement
+//! passes when its invocations/sec is within `tolerance` of the committed
+//! baseline; improvements always pass.
+
+use std::time::Instant;
+
+use nimblock_faas::{FrontDoor, FrontDoorConfig, FunctionRegistry, TenantPolicy};
+use nimblock_ser::impl_json_struct;
+use nimblock_sim::SimDuration;
+use nimblock_workload::ArrivalProcess;
+
+/// One thread-count wall-clock sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Worker threads the serving stage was given (1 = sequential oracle).
+    pub threads: usize,
+    /// Best-of-repeats wall-clock for the whole stream, seconds.
+    pub wall_secs: f64,
+    /// Invocations ingested per second of wall-clock.
+    pub events_per_sec: f64,
+    /// Wall-clock of the threads=1 row divided by this row's wall-clock.
+    pub speedup: f64,
+}
+impl_json_struct!(Measurement {
+    threads,
+    wall_secs,
+    events_per_sec,
+    speedup
+});
+
+/// The seed-stamped benchmark report (`results/BENCH_faas.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Always `"faas_ingest"`.
+    pub experiment: String,
+    /// RNG seed of the measured stream.
+    pub seed: u64,
+    /// Invocations streamed per pass.
+    pub invocations: u64,
+    /// Largest number of admitted invocations buffered at once — the
+    /// bounded-memory claim, carried from the measured run.
+    pub peak_buffered: u64,
+    /// Logical CPUs the host reported when this was measured.
+    pub host_cpus: usize,
+    /// Whether every thread count produced a byte-identical serving report.
+    pub deterministic: bool,
+    /// One row per measured thread count.
+    pub measurements: Vec<Measurement>,
+}
+impl_json_struct!(BenchReport {
+    experiment,
+    seed,
+    invocations,
+    peak_buffered,
+    host_cpus,
+    deterministic,
+    measurements
+});
+
+/// Parameters for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Invocations streamed per timed pass.
+    pub invocations: u64,
+    /// Thread counts to measure, in order.
+    pub threads: Vec<usize>,
+    /// Passes per thread count; the minimum wall-clock is kept.
+    pub repeats: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            invocations: 1_000_000,
+            threads: vec![1, 2, 8],
+            repeats: 3,
+            seed: crate::BASE_SEED,
+        }
+    }
+}
+
+/// The measured workload: a bursty open-loop stream far beyond cluster
+/// capacity, with rate limits and quotas engaged so every admission-control
+/// path (admit / shed / reject) stays hot. Shedding is what keeps millions
+/// of invocations in bounded memory, so the benchmark measures the door
+/// under exactly the conditions the bound matters.
+fn door_config(seed: u64, invocations: u64, threads: usize) -> FrontDoorConfig {
+    let mut config = FrontDoorConfig::new(seed);
+    config.invocations = invocations;
+    config.process = ArrivalProcess::parse("bursty:2000").expect("bench process parses");
+    config.shed_horizon = SimDuration::from_millis(200);
+    config.tenant_policy = TenantPolicy { rate_per_sec: 300.0, burst: 32, quota: 64 };
+    config.threads = threads;
+    config
+}
+
+fn run_once(config: &IngestConfig, threads: usize) -> (f64, u64) {
+    let door = FrontDoor::new(
+        FunctionRegistry::benchmark_suite(),
+        door_config(config.seed, config.invocations, threads),
+    );
+    let start = Instant::now();
+    let report = door.run();
+    let wall = start.elapsed().as_secs_f64();
+    // Keep the run from being optimised away and sanity-check conservation.
+    assert!(report.conserves(), "serving counters must conserve invocations");
+    assert_eq!(report.counters.offered, config.invocations);
+    (wall, report.peak_buffered)
+}
+
+/// Serializes one (shorter) run for the determinism check.
+fn fingerprint(config: &IngestConfig, invocations: u64, threads: usize) -> String {
+    let door = FrontDoor::new(
+        FunctionRegistry::benchmark_suite(),
+        door_config(config.seed, invocations, threads),
+    );
+    nimblock_ser::to_string_pretty(&door.run())
+}
+
+/// Runs the full measurement: determinism verification first (on a
+/// truncated stream, so the check does not triple the wall time), then the
+/// timed thread sweep over the full stream.
+///
+/// # Panics
+///
+/// Panics if any thread count's serving report diverges from the
+/// sequential (threads = 1) oracle, or if any pass fails conservation —
+/// correctness bugs must never be recorded as a baseline.
+pub fn measure(config: &IngestConfig) -> BenchReport {
+    let check_invocations = config.invocations.min(50_000);
+    let oracle = fingerprint(config, check_invocations, 1);
+    for &threads in &config.threads {
+        let fresh = fingerprint(config, check_invocations, threads);
+        assert_eq!(
+            fresh, oracle,
+            "front door with {threads} threads diverged from the sequential oracle"
+        );
+    }
+
+    let mut measurements = Vec::with_capacity(config.threads.len());
+    let mut peak_buffered = 0u64;
+    let mut base_wall = None;
+    for &threads in &config.threads {
+        let mut wall_secs = f64::INFINITY;
+        for _ in 0..config.repeats.max(1) {
+            let (wall, peak) = run_once(config, threads);
+            wall_secs = wall_secs.min(wall);
+            peak_buffered = peak_buffered.max(peak);
+        }
+        if threads == 1 || base_wall.is_none() {
+            base_wall = Some(wall_secs);
+        }
+        let base = base_wall.expect("base wall-clock recorded");
+        measurements.push(Measurement {
+            threads,
+            wall_secs,
+            events_per_sec: config.invocations as f64 / wall_secs,
+            speedup: base / wall_secs,
+        });
+    }
+
+    BenchReport {
+        experiment: "faas_ingest".to_owned(),
+        seed: config.seed,
+        invocations: config.invocations,
+        peak_buffered,
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        deterministic: true,
+        measurements,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+/// One row of the gate's delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Threads of the compared row.
+    pub threads: usize,
+    /// Baseline invocations/sec.
+    pub baseline_eps: f64,
+    /// Freshly measured invocations/sec (`None` if the row vanished).
+    pub fresh_eps: Option<f64>,
+    /// Relative change, percent (+ is faster).
+    pub delta_pct: f64,
+    /// Whether this row is within tolerance.
+    pub pass: bool,
+}
+
+/// The gate verdict: per-row deltas plus the overall pass flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// One entry per baseline row.
+    pub rows: Vec<GateRow>,
+    /// True iff every row passed and the fresh run was deterministic.
+    pub pass: bool,
+}
+
+/// Compares a fresh measurement against the committed baseline, keyed by
+/// thread count. A row passes when
+/// `fresh_eps >= (1 - tolerance) * baseline_eps`; a baseline row missing
+/// from the fresh report fails; a non-deterministic fresh report fails
+/// regardless of timing.
+pub fn gate_compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut rows = Vec::with_capacity(baseline.measurements.len());
+    let mut pass = fresh.deterministic;
+    for base in &baseline.measurements {
+        let matched = fresh.measurements.iter().find(|m| m.threads == base.threads);
+        let row = match matched {
+            Some(m) => {
+                let delta_pct = (m.events_per_sec / base.events_per_sec - 1.0) * 100.0;
+                let ok = m.events_per_sec >= (1.0 - tolerance) * base.events_per_sec;
+                GateRow {
+                    threads: base.threads,
+                    baseline_eps: base.events_per_sec,
+                    fresh_eps: Some(m.events_per_sec),
+                    delta_pct,
+                    pass: ok,
+                }
+            }
+            None => GateRow {
+                threads: base.threads,
+                baseline_eps: base.events_per_sec,
+                fresh_eps: None,
+                delta_pct: -100.0,
+                pass: false,
+            },
+        };
+        pass &= row.pass;
+        rows.push(row);
+    }
+    GateOutcome { rows, pass }
+}
+
+/// Renders the gate's delta table as fixed-width text.
+pub fn render_gate_table(outcome: &GateOutcome, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>7} {:>14} {:>14} {:>9}  verdict (tolerance {:.0}%)\n",
+        "threads",
+        "base inv/s",
+        "fresh inv/s",
+        "delta",
+        tolerance * 100.0
+    ));
+    for row in &outcome.rows {
+        let fresh = row
+            .fresh_eps
+            .map_or_else(|| "missing".to_owned(), |eps| format!("{eps:.1}"));
+        out.push_str(&format!(
+            "{:>7} {:>14.1} {:>14} {:>+8.1}%  {}\n",
+            row.threads,
+            row.baseline_eps,
+            fresh,
+            row.delta_pct,
+            if row.pass { "ok" } else { "REGRESSION" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(usize, f64)]) -> BenchReport {
+        BenchReport {
+            experiment: "faas_ingest".to_owned(),
+            seed: 1,
+            invocations: 1000,
+            peak_buffered: 64,
+            host_cpus: 1,
+            deterministic: true,
+            measurements: rows
+                .iter()
+                .map(|&(threads, eps)| Measurement {
+                    threads,
+                    wall_secs: 1.0,
+                    events_per_sec: eps,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bench_report_roundtrips_through_json() {
+        let original = report(&[(1, 100.0), (2, 120.0)]);
+        let text = nimblock_ser::to_string_pretty(&original);
+        let parsed: BenchReport = nimblock_ser::from_str(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_improvement() {
+        let baseline = report(&[(1, 100.0), (2, 100.0)]);
+        let fresh = report(&[(1, 90.0), (2, 250.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        assert!(outcome.pass, "{outcome:?}");
+        assert!(outcome.rows[1].delta_pct > 100.0);
+    }
+
+    #[test]
+    fn gate_fails_on_regression_missing_row_or_nondeterminism() {
+        let baseline = report(&[(1, 100.0), (8, 100.0)]);
+        let outcome = gate_compare(&baseline, &report(&[(1, 80.0), (8, 100.0)]), 0.15);
+        assert!(!outcome.pass);
+        assert!(!outcome.rows[0].pass);
+
+        let outcome = gate_compare(&baseline, &report(&[(1, 100.0)]), 0.15);
+        assert!(!outcome.pass);
+        assert_eq!(outcome.rows[1].fresh_eps, None);
+
+        let mut fresh = report(&[(1, 100.0), (8, 100.0)]);
+        fresh.deterministic = false;
+        assert!(!gate_compare(&baseline, &fresh, 0.15).pass);
+    }
+
+    #[test]
+    fn gate_tolerance_boundary_is_inclusive() {
+        let baseline = report(&[(1, 1000.0)]);
+        assert!(gate_compare(&baseline, &report(&[(1, 850.0)]), 0.15).pass);
+        assert!(!gate_compare(&baseline, &report(&[(1, 849.9)]), 0.15).pass);
+        assert!(gate_compare(&baseline, &report(&[(1, 1000.0)]), 0.0).pass);
+    }
+
+    #[test]
+    fn measure_streams_and_stays_deterministic() {
+        let config = IngestConfig {
+            invocations: 5_000,
+            threads: vec![1, 2],
+            repeats: 1,
+            seed: crate::BASE_SEED,
+        };
+        let report = measure(&config);
+        assert!(report.deterministic);
+        assert_eq!(report.measurements.len(), 2);
+        assert_eq!(report.invocations, 5_000);
+        assert!(report.peak_buffered > 0);
+        assert!(report.measurements.iter().all(|m| m.events_per_sec > 0.0));
+    }
+
+    #[test]
+    fn render_gate_table_marks_regressions() {
+        let baseline = report(&[(1, 100.0)]);
+        let fresh = report(&[(1, 50.0)]);
+        let outcome = gate_compare(&baseline, &fresh, 0.15);
+        let table = render_gate_table(&outcome, 0.15);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("tolerance 15%"), "{table}");
+    }
+}

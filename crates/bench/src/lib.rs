@@ -7,6 +7,7 @@
 
 pub mod cluster_scale;
 pub mod engine_hot_path;
+pub mod faas_ingest;
 pub mod micro;
 pub mod results;
 

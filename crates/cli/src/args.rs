@@ -252,6 +252,70 @@ pub struct FaasArgs {
     pub mean_gap_ms: u64,
     /// Policy serving the invocations.
     pub scheduler: SchedulerKind,
+    /// Front-door serving mode (enabled by `--arrivals`); `None` keeps the
+    /// legacy batch gateway.
+    pub frontdoor: Option<FrontDoorArgs>,
+}
+
+/// Front-door serving flags for the `faas` command (DESIGN.md §17).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontDoorArgs {
+    /// Arrival process spec, `kind[:rate]` (steady / diurnal / bursty).
+    pub arrivals: String,
+    /// Number of tenants sharing the door.
+    pub tenants: usize,
+    /// Per-tenant token-bucket rate (invocations/sec; 0 = unlimited).
+    pub rate_limit: f64,
+    /// Token-bucket burst capacity.
+    pub burst: u64,
+    /// Per-tenant in-flight quota (0 = unlimited).
+    pub quota: u64,
+    /// Cluster board count.
+    pub boards: usize,
+    /// Slots per board.
+    pub slots: usize,
+    /// Worker threads for the serving stage (`1` = sequential oracle,
+    /// `0` = auto). The report is byte-identical for every value.
+    pub threads: usize,
+    /// Base shed horizon in ms (scaled by the class's 1/3/9 weight).
+    pub shed_horizon_ms: u64,
+    /// Maximum data items per invocation.
+    pub max_items: u32,
+    /// Arrival-rate multiplier for a single run.
+    pub load: f64,
+    /// Load factors to sweep into an SLO attainment curve.
+    pub curve: Option<Vec<f64>>,
+    /// Where the rendered curve goes ('-' = stdout).
+    pub curve_out: Option<String>,
+    /// Curve / report render format: text (default), md, or json.
+    pub format: ExplainFormat,
+    /// Where to write the full serving report as JSON ('-' = stdout).
+    pub json: Option<String>,
+    /// Where to write the run's metrics as Prometheus text ('-' = stdout).
+    pub metrics_out: Option<String>,
+}
+
+impl Default for FrontDoorArgs {
+    fn default() -> Self {
+        FrontDoorArgs {
+            arrivals: "steady:0.1".to_owned(),
+            tenants: 4,
+            rate_limit: 0.0,
+            burst: 16,
+            quota: 0,
+            boards: 4,
+            slots: 3,
+            threads: 1,
+            shed_horizon_ms: 10_000,
+            max_items: 4,
+            load: 1.0,
+            curve: None,
+            curve_out: None,
+            format: ExplainFormat::Text,
+            json: None,
+            metrics_out: None,
+        }
+    }
 }
 
 /// `cluster` command arguments.
@@ -556,7 +620,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 invocations: 60,
                 mean_gap_ms: 150,
                 scheduler: SchedulerKind::Nimblock,
+                frontdoor: None,
             };
+            let mut door = FrontDoorArgs::default();
+            let mut arrivals_given = false;
+            let mut door_flag: Option<String> = None;
             while let Some(flag) = stream.next() {
                 match flag {
                     "--seed" => args.seed = parse_number(flag, stream.value_for(flag)?)?,
@@ -569,8 +637,106 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--scheduler" => {
                         args.scheduler = SchedulerKind::parse(stream.value_for(flag)?)?
                     }
+                    "--arrivals" => {
+                        let value = stream.value_for(flag)?;
+                        nimblock_workload::ArrivalProcess::parse(value)
+                            .map_err(|e| err(format!("--arrivals: {e}")))?;
+                        door.arrivals = value.to_owned();
+                        arrivals_given = true;
+                    }
+                    "--tenants" => {
+                        door.tenants = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--rate-limit" => {
+                        door.rate_limit = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--burst" => {
+                        door.burst = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--quota" => {
+                        door.quota = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--boards" => {
+                        door.boards = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--slots" => {
+                        door.slots = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--cluster-threads" | "--threads" => {
+                        door.threads = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--shed-horizon-ms" => {
+                        door.shed_horizon_ms = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--max-items" => {
+                        door.max_items = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--load" => {
+                        door.load = parse_number(flag, stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--curve" => {
+                        let list = stream.value_for(flag)?;
+                        let mut factors = Vec::new();
+                        for part in list.split(',') {
+                            let factor: f64 = parse_number(flag, part)?;
+                            if !(factor > 0.0) {
+                                return Err(err("--curve factors must be positive"));
+                            }
+                            factors.push(factor);
+                        }
+                        if factors.is_empty() {
+                            return Err(err("--curve needs at least one load factor"));
+                        }
+                        door.curve = Some(factors);
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--slo-curve-out" => {
+                        door.curve_out = Some(stream.value_for(flag)?.to_owned());
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--format" => {
+                        door.format = parse_explain_format(stream.value_for(flag)?)?;
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--json" => {
+                        door.json = Some(stream.value_for(flag)?.to_owned());
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
+                    "--metrics-out" => {
+                        door.metrics_out = Some(stream.value_for(flag)?.to_owned());
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
                     other => return Err(err(format!("unknown flag '{other}'"))),
                 }
+            }
+            if arrivals_given {
+                if door.tenants == 0 {
+                    return Err(err("--tenants must be at least 1"));
+                }
+                if door.boards == 0 || door.slots == 0 {
+                    return Err(err("--boards and --slots must be at least 1"));
+                }
+                if door.max_items == 0 {
+                    return Err(err("--max-items must be at least 1"));
+                }
+                if door.curve_out.is_some() && door.curve.is_none() {
+                    return Err(err("--slo-curve-out requires --curve"));
+                }
+                args.frontdoor = Some(door);
+            } else if let Some(flag) = door_flag {
+                return Err(err(format!(
+                    "{flag} is a front-door flag; it requires --arrivals KIND[:RATE]"
+                )));
             }
             Ok(Command::Faas(args))
         }
@@ -743,6 +909,7 @@ mod tests {
         assert_eq!(f.seed, 9);
         assert_eq!(f.invocations, 30);
         assert_eq!(f.scheduler, SchedulerKind::Prema);
+        assert_eq!(f.frontdoor, None, "legacy gateway by default");
 
         let Command::Cluster(c) = parse(&argv("cluster --boards 4 --events 6")).unwrap() else {
             panic!("expected cluster");
@@ -898,6 +1065,67 @@ mod tests {
         assert!(a.json);
         assert!(parse(&argv("analyze monitor")).is_err());
         assert!(parse(&argv("analyze monitor ts.json --format svg")).is_err());
+    }
+
+    #[test]
+    fn faas_front_door_flags_parse() {
+        let line = "faas --arrivals bursty:2 --invocations 500 --tenants 8 --rate-limit 0.5 \
+                    --burst 4 --quota 2 --boards 6 --slots 2 --cluster-threads 4 \
+                    --shed-horizon-ms 250 --max-items 2 --load 3.5";
+        let Command::Faas(f) = parse(&argv(line)).unwrap() else {
+            panic!("expected faas");
+        };
+        let door = f.frontdoor.expect("front-door mode");
+        assert_eq!(door.arrivals, "bursty:2");
+        assert_eq!(door.tenants, 8);
+        assert_eq!(door.rate_limit, 0.5);
+        assert_eq!(door.burst, 4);
+        assert_eq!(door.quota, 2);
+        assert_eq!(door.boards, 6);
+        assert_eq!(door.slots, 2);
+        assert_eq!(door.threads, 4);
+        assert_eq!(door.shed_horizon_ms, 250);
+        assert_eq!(door.max_items, 2);
+        assert_eq!(door.load, 3.5);
+        assert_eq!(door.curve, None);
+
+        // Flag order does not matter: front-door flags may precede --arrivals.
+        let Command::Faas(f) =
+            parse(&argv("faas --tenants 2 --arrivals steady")).unwrap()
+        else {
+            panic!("expected faas");
+        };
+        assert_eq!(f.frontdoor.expect("front-door mode").tenants, 2);
+    }
+
+    #[test]
+    fn faas_front_door_curve_and_outputs_parse() {
+        let line = "faas --arrivals steady:0.1 --curve 0.25,1,4 --slo-curve-out curve.json \
+                    --format json --json report.json --metrics-out -";
+        let Command::Faas(f) = parse(&argv(line)).unwrap() else {
+            panic!("expected faas");
+        };
+        let door = f.frontdoor.expect("front-door mode");
+        assert_eq!(door.curve, Some(vec![0.25, 1.0, 4.0]));
+        assert_eq!(door.curve_out.as_deref(), Some("curve.json"));
+        assert_eq!(door.format, ExplainFormat::Json);
+        assert_eq!(door.json.as_deref(), Some("report.json"));
+        assert_eq!(door.metrics_out.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn faas_front_door_flags_are_validated() {
+        // Front-door flags without --arrivals name the offending flag.
+        let err = parse(&argv("faas --tenants 2")).unwrap_err();
+        assert!(err.to_string().contains("--tenants"), "{err}");
+        assert!(err.to_string().contains("--arrivals"), "{err}");
+        // Malformed processes, degenerate shapes, and orphan outputs.
+        assert!(parse(&argv("faas --arrivals warp:10")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --tenants 0")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --boards 0")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --max-items 0")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --curve -1")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --slo-curve-out c.json")).is_err());
     }
 
     #[test]

@@ -284,8 +284,210 @@ fn compare_command(args: &CompareArgs, out: &mut dyn Write) -> Result<(), CliErr
     write!(out, "{table}").map_err(|e| CliError(e.to_string()))
 }
 
+/// Renders a [`TextTable`] as a GitHub-flavoured markdown pipe table.
+fn markdown_table(table: &TextTable) -> String {
+    let mut text = String::new();
+    text.push_str(&format!("| {} |\n", table.headers().join(" | ")));
+    text.push_str(&format!("|{}\n", "---|".repeat(table.headers().len())));
+    for row in table.rows() {
+        text.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    text
+}
+
+fn front_door_command(
+    args: &FaasArgs,
+    door: &crate::args::FrontDoorArgs,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use nimblock_faas::{FrontDoor, FrontDoorConfig, FunctionRegistry, TenantPolicy};
+
+    let mut config = FrontDoorConfig::new(args.seed);
+    config.invocations =
+        u64::try_from(args.invocations).expect("invocation count fits in u64");
+    config.process = nimblock_workload::ArrivalProcess::parse(&door.arrivals)
+        .map_err(|e| CliError(format!("--arrivals: {e}")))?;
+    config.tenants = door.tenants;
+    config.tenant_policy = TenantPolicy {
+        rate_per_sec: door.rate_limit,
+        burst: door.burst,
+        quota: door.quota,
+    };
+    config.boards = door.boards;
+    config.slots_per_board = door.slots;
+    config.threads = door.threads;
+    config.shed_horizon = SimDuration::from_millis(door.shed_horizon_ms);
+    config.max_items = door.max_items;
+
+    let registry = door.metrics_out.as_ref().map(|_| nimblock_obs::Registry::new());
+    let mut front = FrontDoor::new(FunctionRegistry::benchmark_suite(), config);
+    if let Some(registry) = &registry {
+        front = front.with_metrics(registry.clone());
+    }
+
+    if let Some(factors) = &door.curve {
+        let curve = front.run_curve(factors);
+        let rendered = match door.format {
+            nimblock_analyze::ExplainFormat::Json => nimblock_ser::to_string_pretty(&curve),
+            nimblock_analyze::ExplainFormat::Markdown => {
+                format!("# SLO attainment curve\n\n{}", markdown_table(&curve.to_table()))
+            }
+            nimblock_analyze::ExplainFormat::Text => curve.to_table().to_string(),
+        };
+        match door.curve_out.as_deref() {
+            None | Some("-") => {
+                writeln!(out, "{rendered}").map_err(|e| CliError(e.to_string()))?
+            }
+            Some(path) => write_output(path, &rendered, out)?,
+        }
+        let monotone = curve.attainment_monotone(0.02);
+        writeln!(
+            out,
+            "curve: {} point(s), offered attainment {}",
+            curve.points.len(),
+            if monotone { "monotone non-increasing" } else { "NOT monotone" },
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        for point in &curve.points {
+            if !point.counters.conserves() {
+                return Err(CliError(format!(
+                    "conservation violated at load {}",
+                    point.load_factor
+                )));
+            }
+        }
+        return Ok(());
+    }
+
+    let report = front.run_at_load(door.load);
+    let counters = &report.counters;
+    writeln!(
+        out,
+        "front door: {} offered at {} (load {}), {} tenant(s), {} board(s) x {} slot(s)",
+        counters.offered,
+        door.arrivals,
+        door.load,
+        door.tenants,
+        door.boards,
+        door.slots,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "  admitted {} | shed {} (backlog {}, deadline {}) | rejected {} (rate {}, quota {})",
+        counters.admitted,
+        counters.shed(),
+        counters.shed_backlog,
+        counters.shed_deadline,
+        counters.rejected(),
+        counters.rejected_rate,
+        counters.rejected_quota,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "  conservation: {} (offered = admitted + shed + rejected)",
+        if report.conserves() { "exact" } else { "VIOLATED" },
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "  goodput {}/s | attainment {} | offered attainment {} | peak buffered {} | virtual {}s",
+        fmt3(report.goodput_per_sec),
+        fmt3(report.attainment),
+        fmt3(report.offered_attainment),
+        report.peak_buffered,
+        fmt3(report.virtual_secs),
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "  shed-alert: {}",
+        if report.shed_alert() { "fired" } else { "quiet" },
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+
+    let mut classes = TextTable::new(vec![
+        "class", "admitted", "within-slo", "shed", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+        "attainment",
+    ]);
+    for class in &report.classes {
+        classes.row(vec![
+            class.class_name.clone(),
+            class.admitted.to_string(),
+            class.within_slo.to_string(),
+            class.shed.to_string(),
+            (class.p50_response_micros / 1_000).to_string(),
+            (class.p95_response_micros / 1_000).to_string(),
+            (class.p99_response_micros / 1_000).to_string(),
+            fmt3(class.attainment()),
+        ]);
+    }
+    let mut tenants = TextTable::new(vec![
+        "tenant", "offered", "admitted", "rej-rate", "rej-quota", "peak in-flight",
+    ]);
+    for tenant in &report.tenants {
+        tenants.row(vec![
+            tenant.tenant.to_string(),
+            tenant.offered.to_string(),
+            tenant.admitted.to_string(),
+            tenant.rejected_rate.to_string(),
+            tenant.rejected_quota.to_string(),
+            tenant.peak_in_flight.to_string(),
+        ]);
+    }
+    match door.format {
+        nimblock_analyze::ExplainFormat::Markdown => {
+            write!(
+                out,
+                "\n## Classes\n\n{}\n## Tenants\n\n{}",
+                markdown_table(&classes),
+                markdown_table(&tenants),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+        }
+        _ => {
+            write!(out, "{classes}{tenants}").map_err(|e| CliError(e.to_string()))?;
+        }
+    }
+    for explanation in &report.shed_explanations {
+        if explanation.sheds == 0 {
+            continue;
+        }
+        let c = &explanation.components;
+        writeln!(
+            out,
+            "  shed[{}]: {} shed(s); components queue_wait {} + cap {} + reconfig {} + \
+             compute {} + preempt {} - overlap {} us vs budget {} us",
+            explanation.class_name,
+            explanation.sheds,
+            c.queue_wait,
+            c.cap_serialization,
+            c.reconfig,
+            c.compute,
+            c.preemption_loss,
+            c.pipeline_overlap_gain,
+            explanation.budget_micros,
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+    }
+    if let Some(path) = &door.json {
+        write_output(path, &nimblock_ser::to_string_pretty(&report), out)?;
+    }
+    if let (Some(path), Some(registry)) = (&door.metrics_out, &registry) {
+        write_output(path, &registry.render_prometheus(), out)?;
+    }
+    if !report.conserves() {
+        return Err(CliError("serving counters do not conserve invocations".to_owned()));
+    }
+    Ok(())
+}
+
 fn faas_command(args: &FaasArgs, out: &mut dyn Write) -> Result<(), CliError> {
     use nimblock_faas::{FaasGateway, FunctionRegistry, InvocationWorkload};
+    if let Some(door) = &args.frontdoor {
+        return front_door_command(args, door, out);
+    }
     let gateway = FaasGateway::new(FunctionRegistry::benchmark_suite());
     let workload = InvocationWorkload::new(args.seed)
         .invocations(args.invocations)
@@ -613,6 +815,71 @@ mod tests {
         let output = run_line("faas --invocations 10 --seed 4 --scheduler fcfs");
         assert!(output.contains("SLO attainment"), "{output}");
         assert!(output.contains("FCFS: 10 invocations"), "{output}");
+    }
+
+    #[test]
+    fn faas_front_door_reports_conservation_and_sheds() {
+        // Deep overload with a tight horizon: sheds and rate rejections both
+        // fire, and the conservation line renders as exact.
+        let output = run_line(
+            "faas --arrivals bursty:2000 --invocations 2000 --seed 11 \
+             --shed-horizon-ms 200 --rate-limit 300 --burst 32",
+        );
+        assert!(output.contains("conservation: exact"), "{output}");
+        assert!(output.contains("shed-alert: fired"), "{output}");
+        assert!(output.contains("front door: 2000 offered"), "{output}");
+        assert!(output.contains("class"), "{output}");
+        assert!(output.contains("tenant"), "{output}");
+        assert!(output.contains("shed[latency]"), "{output}");
+    }
+
+    #[test]
+    fn faas_front_door_output_is_thread_count_invariant() {
+        let base = "faas --arrivals steady:0.05 --invocations 400 --seed 17 \
+                    --shed-horizon-ms 60000";
+        let sequential = run_line(&format!("{base} --cluster-threads 1"));
+        for threads in [2, 8, 0] {
+            let parallel = run_line(&format!("{base} --cluster-threads {threads}"));
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn faas_front_door_renders_curves_in_every_format() {
+        let base = "faas --arrivals steady:0.05 --invocations 300 --seed 31 \
+                    --shed-horizon-ms 60000 --curve 0.25,4";
+        let text = run_line(base);
+        assert!(text.contains("offered-slo"), "{text}");
+        assert!(text.contains("monotone non-increasing"), "{text}");
+        let md = run_line(&format!("{base} --format md"));
+        assert!(md.contains("# SLO attainment curve"), "{md}");
+        assert!(md.contains("| load |"), "{md}");
+        let json = run_line(&format!("{base} --format json"));
+        let start = json.find('{').expect("curve json in output");
+        let end = json.rfind('}').expect("curve json in output");
+        let curve: nimblock_metrics::SloCurve =
+            nimblock_ser::from_str(&json[start..=end]).unwrap();
+        assert_eq!(curve.points.len(), 2);
+    }
+
+    #[test]
+    fn faas_front_door_writes_json_and_metrics() {
+        let dir = std::env::temp_dir().join("nimblock-cli-frontdoor-test");
+        fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let report_path = report_path.to_str().unwrap();
+        let output = run_line(&format!(
+            "faas --arrivals bursty:2000 --invocations 1000 --seed 7 \
+             --shed-horizon-ms 200 --json {report_path} --metrics-out -"
+        ));
+        let report: nimblock_faas::FrontDoorReport =
+            nimblock_ser::from_str(&fs::read_to_string(report_path).unwrap()).unwrap();
+        assert!(report.conserves());
+        assert_eq!(report.counters.offered, 1000);
+        let start = output.find("# HELP").expect("prometheus text in output");
+        let count = nimblock_obs::validate_prometheus(&output[start..]).unwrap();
+        assert!(count > 5, "expected several series, got {count}");
+        assert!(output.contains("faas_offered_total 1000"), "{output}");
     }
 
     #[test]

@@ -29,7 +29,8 @@ mod commands;
 
 pub use args::{
     parse, AnalyzeArgs, AnalyzeTarget, CliError, ClusterArgs, Command, CompareArgs,
-    ExplainFormat, FaasArgs, GenerateArgs, MonitorArgs, RunArgs, SchedulerKind, TraceFormat,
+    ExplainFormat, FaasArgs, FrontDoorArgs, GenerateArgs, MonitorArgs, RunArgs, SchedulerKind,
+    TraceFormat,
 };
 pub use commands::{execute, load_sequence, make_sequence};
 
@@ -53,6 +54,13 @@ USAGE:
   nimblock-cli analyze  monitor FILE [--format text|md|json]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
+  nimblock-cli faas     --arrivals KIND[:RATE] [--seed N] [--invocations N]
+                        [--tenants N] [--rate-limit R] [--burst N] [--quota N]
+                        [--boards N] [--slots N] [--cluster-threads N]
+                        [--shed-horizon-ms N] [--max-items N] [--load F]
+                        [--curve F,F,... [--slo-curve-out FILE]]
+                        [--format text|md|json] [--json FILE]
+                        [--metrics-out FILE]
   nimblock-cli cluster  [--boards N | --sweep-boards N,N,...] [--scheduler NAME]
                         [--dispatch POLICY] [--cluster-threads N]
                         [stimulus options] [monitor options]
@@ -96,6 +104,23 @@ OTHER:
                        text | md | json [text]
   --top N              analyze explain: how many of the slowest applications
                        get their critical-path span trees printed [5]
+
+FRONT DOOR (faas --arrivals; the streaming serving layer, DESIGN.md §17):
+  --arrivals KIND[:RATE] arrival process: steady | diurnal | bursty, with a
+                         mean rate in invocations/sec (e.g. bursty:2)
+  --tenants N            tenants sharing the door [4]
+  --rate-limit R         per-tenant token-bucket rate, invocations/sec
+                         (0 = unlimited) [0]
+  --burst N              token-bucket burst capacity [16]
+  --quota N              per-tenant in-flight quota (0 = unlimited) [0]
+  --slots N              slots per board [3]
+  --shed-horizon-ms N    base backlog horizon, scaled by the class's 1/3/9
+                         priority weight [10000]
+  --max-items N          max data items per invocation [4]
+  --load F               arrival-rate multiplier for a single run [1.0]
+  --curve F,F,...        sweep these load factors into an SLO attainment
+                         curve instead of a single run
+  --slo-curve-out FILE   where the rendered curve goes ('-' for stdout)
 
 MONITOR OPTIONS (run/cluster; attach a continuous monitor in virtual time):
   --timeseries-out FILE  write the windowed time-series + alerts document as

@@ -36,16 +36,24 @@ pub enum DispatchPolicy {
     /// The board with the least estimated outstanding compute
     /// (single-server backlog of everything dispatched to it so far).
     LeastOutstanding,
+    /// The board minimizing the estimated completion of this arrival,
+    /// where the estimate prices bitstream-cache warmth: a board that
+    /// recently hosted the same application skips the reconfiguration
+    /// cost (see [`BITSTREAM_CACHE_SLOTS`]). Warm boards therefore win
+    /// until their backlog exceeds a cold board's by more than the
+    /// reconfiguration saving.
+    CacheAware,
 }
 
-impl_json_enum_units!(DispatchPolicy { RoundRobin, FewestApps, LeastOutstanding });
+impl_json_enum_units!(DispatchPolicy { RoundRobin, FewestApps, LeastOutstanding, CacheAware });
 
 impl DispatchPolicy {
     /// All strategies, for sweeps.
-    pub const ALL: [DispatchPolicy; 3] = [
+    pub const ALL: [DispatchPolicy; 4] = [
         DispatchPolicy::RoundRobin,
         DispatchPolicy::FewestApps,
         DispatchPolicy::LeastOutstanding,
+        DispatchPolicy::CacheAware,
     ];
 
     /// Returns the strategy's display name.
@@ -54,6 +62,7 @@ impl DispatchPolicy {
             DispatchPolicy::RoundRobin => "round-robin",
             DispatchPolicy::FewestApps => "fewest-apps",
             DispatchPolicy::LeastOutstanding => "least-outstanding",
+            DispatchPolicy::CacheAware => "cache-aware",
         }
     }
 
@@ -64,10 +73,16 @@ impl DispatchPolicy {
             "rr" | "round-robin" => DispatchPolicy::RoundRobin,
             "fewest-apps" => DispatchPolicy::FewestApps,
             "least-outstanding" => DispatchPolicy::LeastOutstanding,
+            "cache-aware" => DispatchPolicy::CacheAware,
             _ => return None,
         })
     }
 }
+
+/// Bitstreams the dispatcher's cache model remembers per board. Matches
+/// the device model's slot count order of magnitude: a board can keep a
+/// handful of partial bitstreams staged without reconfiguring.
+pub const BITSTREAM_CACHE_SLOTS: usize = 4;
 
 /// The dispatcher's estimate of one board's backlog: a single-server queue
 /// fed by everything assigned to the board so far.
@@ -77,6 +92,11 @@ struct BoardLoad {
     busy_until: SimTime,
     /// Estimated completion time of each still-outstanding application.
     finishes: Vec<SimTime>,
+    /// Most-recently-dispatched application names, newest first, bounded
+    /// by [`BITSTREAM_CACHE_SLOTS`] — the dispatcher's bitstream-cache
+    /// model. Like the backlog, this is the dispatcher's *own* estimate
+    /// fed only by its assignments, never live board state.
+    recent_apps: Vec<String>,
 }
 
 impl BoardLoad {
@@ -103,6 +123,42 @@ impl BoardLoad {
         self.busy_until = finish;
         self.finishes.push(finish);
     }
+
+    /// `true` iff `app_name` is staged in the board's bitstream-cache
+    /// model.
+    fn is_warm(&self, app_name: &str) -> bool {
+        self.recent_apps.iter().any(|name| name == app_name)
+    }
+
+    /// Touches `app_name` in the cache model: moves it to the front,
+    /// evicting the least-recently-used entry past the slot bound.
+    fn touch(&mut self, app_name: &str) {
+        if let Some(pos) = self.recent_apps.iter().position(|name| name == app_name) {
+            self.recent_apps.remove(pos);
+        }
+        self.recent_apps.insert(0, app_name.to_string());
+        self.recent_apps.truncate(BITSTREAM_CACHE_SLOTS);
+    }
+}
+
+/// One dispatch decision: where an arrival goes and what the dispatcher's
+/// load model predicts for it. Produced by [`Dispatcher::decide`]; feed it
+/// back to [`Dispatcher::commit`] to account the work (the serving front
+/// door sheds between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchDecision {
+    /// Chosen board index.
+    pub board: usize,
+    /// Whether the board's bitstream-cache model had the application
+    /// staged (reconfiguration skipped in the cost estimate under
+    /// [`DispatchPolicy::CacheAware`]).
+    pub warm: bool,
+    /// Estimated wait before the board reaches this arrival: the board's
+    /// outstanding backlog at arrival time.
+    pub queue_wait: SimDuration,
+    /// Estimated service cost of the arrival on the chosen board (priced
+    /// warm or cold).
+    pub work: SimDuration,
 }
 
 /// Assigns arrivals to boards deterministically.
@@ -174,10 +230,21 @@ impl Dispatcher {
     /// never be perturbed by board completion order (the historical bug was
     /// threading scheduler progress back into the cursor).
     pub fn assign(&mut self, event: &ArrivalEvent) -> usize {
+        let decision = self.decide(event);
+        self.commit(event, &decision);
+        decision.board
+    }
+
+    /// Decides the board for `event` without accounting its work: prunes
+    /// the load model, advances the round-robin cursor (a shed still
+    /// consumes a decision), and returns the model's predictions. Pair
+    /// with [`Dispatcher::commit`]; [`Dispatcher::assign`] does both.
+    pub fn decide(&mut self, event: &ArrivalEvent) -> DispatchDecision {
         let now = event.arrival();
         for board in &mut self.boards {
             board.prune(now);
         }
+        let app_name = event.app().name();
         let board = match self.policy {
             DispatchPolicy::RoundRobin => {
                 let board = self.cursor % self.boards.len();
@@ -198,12 +265,64 @@ impl Dispatcher {
                 .min_by_key(|(i, b)| (b.outstanding(now), *i))
                 .map(|(i, _)| i)
                 .expect("cluster has at least one board"),
+            DispatchPolicy::CacheAware => self
+                .boards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| {
+                    // Estimated completion of this arrival on board `b`:
+                    // backlog plus service priced by cache warmth.
+                    let work = event.app().single_slot_latency(
+                        event.batch_size(),
+                        if b.is_warm(app_name) { SimDuration::ZERO } else { self.reconfig },
+                    );
+                    (b.outstanding(now) + work, *i)
+                })
+                .map(|(i, _)| i)
+                .expect("cluster has at least one board"),
         };
-        let work = event
-            .app()
-            .single_slot_latency(event.batch_size(), self.reconfig);
-        self.boards[board].assign(now, work);
-        board
+        let warm = self.boards[board].is_warm(app_name);
+        // Only the cache-aware policy prices warmth into the backlog
+        // estimate — the three original policies keep their historical
+        // cost model so their plans stay byte-identical.
+        let priced_reconfig = if self.policy == DispatchPolicy::CacheAware && warm {
+            SimDuration::ZERO
+        } else {
+            self.reconfig
+        };
+        DispatchDecision {
+            board,
+            warm,
+            queue_wait: self.boards[board].outstanding(now),
+            work: event
+                .app()
+                .single_slot_latency(event.batch_size(), priced_reconfig),
+        }
+    }
+
+    /// Accounts a decided arrival into the load model: adds the priced
+    /// work to the board's backlog and stages the application in the
+    /// board's bitstream-cache model.
+    pub fn commit(&mut self, event: &ArrivalEvent, decision: &DispatchDecision) {
+        self.boards[decision.board].assign(event.arrival(), decision.work);
+        self.boards[decision.board].touch(event.app().name());
+    }
+
+    /// The dispatcher's backlog estimate for `board` at `now` — what the
+    /// front door uses to price admission. Boards are indexed `0..boards`.
+    pub fn outstanding(&self, board: usize, now: SimTime) -> SimDuration {
+        self.boards[board].outstanding(now)
+    }
+
+    /// `true` iff the dispatcher's cache model has `app_name` staged on
+    /// `board`.
+    pub fn is_warm(&self, board: usize, app_name: &str) -> bool {
+        self.boards[board].is_warm(app_name)
+    }
+
+    /// Number of boards the dispatcher balances over.
+    pub fn board_count(&self) -> usize {
+        self.boards.len()
     }
 
     /// Plans a whole sequence: one board index per event, in event order.
@@ -312,5 +431,101 @@ mod tests {
     #[should_panic(expected = "at least one board")]
     fn zero_boards_is_rejected() {
         let _ = Dispatcher::new(DispatchPolicy::RoundRobin, 0, RECONFIG);
+    }
+
+    #[test]
+    fn cache_aware_sticks_to_the_warm_board() {
+        let mut dispatcher = Dispatcher::new(DispatchPolicy::CacheAware, 3, RECONFIG);
+        let lenet = |at| ArrivalEvent::new(benchmarks::lenet(), 1, Priority::Medium, at);
+        // First arrival: all cold, lowest index wins.
+        let first = dispatcher.decide(&lenet(SimTime::ZERO));
+        assert_eq!(first.board, 0);
+        assert!(!first.warm);
+        dispatcher.commit(&lenet(SimTime::ZERO), &first);
+        // Second arrival of the same app after board 0's backlog drains:
+        // the bitstream stays staged, so the warm price wins the decision.
+        let second = dispatcher.decide(&lenet(SimTime::from_secs(10)));
+        assert_eq!(second.board, 0);
+        assert!(second.warm, "repeat arrival should hit the bitstream cache");
+        assert!(
+            second.work < first.work,
+            "warm service must be priced below cold ({:?} vs {:?})",
+            second.work,
+            first.work
+        );
+    }
+
+    #[test]
+    fn cache_aware_spills_when_the_warm_board_backlogs() {
+        let mut dispatcher = Dispatcher::new(DispatchPolicy::CacheAware, 2, RECONFIG);
+        // Load board 0 far beyond the reconfig saving with a huge batch.
+        let heavy = ArrivalEvent::new(
+            benchmarks::digit_recognition(),
+            30,
+            Priority::Low,
+            SimTime::ZERO,
+        );
+        assert_eq!(dispatcher.assign(&heavy), 0);
+        // The same app arrives again: board 0 is warm but drowning, so the
+        // cold board's full price still beats warm-behind-backlog.
+        let again = ArrivalEvent::new(
+            benchmarks::digit_recognition(),
+            1,
+            Priority::Low,
+            SimTime::from_millis(1),
+        );
+        let decision = dispatcher.decide(&again);
+        assert_eq!(decision.board, 1, "backlog must outweigh warmth");
+        assert!(!decision.warm);
+    }
+
+    #[test]
+    fn cache_model_is_bounded() {
+        let mut board = BoardLoad::default();
+        for i in 0..100 {
+            board.touch(&format!("app-{i}"));
+        }
+        assert_eq!(board.recent_apps.len(), BITSTREAM_CACHE_SLOTS);
+        assert!(board.is_warm("app-99"));
+        assert!(!board.is_warm("app-0"));
+    }
+
+    #[test]
+    fn original_policies_ignore_warmth_in_pricing() {
+        // Same stimulus through the pre-existing policies must produce the
+        // same plans whether or not the cache model exists: their decision
+        // keys never read it, and their pricing always includes reconfig.
+        let events = generate(23, 40, Scenario::Stress);
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::FewestApps,
+            DispatchPolicy::LeastOutstanding,
+        ] {
+            let mut dispatcher = Dispatcher::new(policy, 3, RECONFIG);
+            for event in &events {
+                let decision = dispatcher.decide(event);
+                assert_eq!(
+                    decision.work,
+                    event.app().single_slot_latency(event.batch_size(), RECONFIG),
+                    "{} must always price the full reconfig",
+                    policy.name()
+                );
+                dispatcher.commit(event, &decision);
+            }
+        }
+    }
+
+    #[test]
+    fn decide_then_commit_equals_assign() {
+        let events = generate(31, 30, Scenario::Stress);
+        for policy in DispatchPolicy::ALL {
+            let mut split = Dispatcher::new(policy, 4, RECONFIG);
+            let mut fused = Dispatcher::new(policy, 4, RECONFIG);
+            for event in &events {
+                let decision = split.decide(event);
+                split.commit(event, &decision);
+                assert_eq!(decision.board, fused.assign(event), "{}", policy.name());
+            }
+        }
     }
 }

@@ -39,5 +39,5 @@ mod dispatch;
 pub mod pool;
 mod testbed;
 
-pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use dispatch::{DispatchDecision, DispatchPolicy, Dispatcher, BITSTREAM_CACHE_SLOTS};
 pub use testbed::{ClusterReport, ClusterTestbed};

@@ -14,7 +14,12 @@
 //!   Zipf-like function popularity (a few hot functions, a long cold tail),
 //! * [`FaasGateway`] — turns invocations into hypervisor arrivals, runs a
 //!   scheduler, and aggregates per-function statistics (including SLO
-//!   attainment and cold-start effects through the shared bitstream cache).
+//!   attainment and cold-start effects through the shared bitstream cache),
+//! * [`FrontDoor`] — the internet-scale serving layer in front of the
+//!   gateway: streaming ingest over lazy arrival processes, per-tenant
+//!   admission control ([`TenantRegistry`]), SLO-class load shedding wired
+//!   to the 1/3/9 priority system, and cache-aware routing into the
+//!   cluster dispatcher (DESIGN.md §17).
 //!
 //! # Example
 //!
@@ -35,10 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod frontdoor;
 mod gateway;
 mod registry;
+mod tenants;
 mod workload;
 
+pub use frontdoor::{FrontDoor, FrontDoorConfig, FrontDoorReport, TenantOutcome};
 pub use gateway::{FaasGateway, FaasSummary, FunctionStats};
 pub use registry::{FaasError, FunctionRegistry, SloClass};
+pub use tenants::{AdmissionVerdict, TenantPolicy, TenantRegistry};
 pub use workload::InvocationWorkload;

@@ -22,6 +22,7 @@ mod deadline;
 mod export;
 mod fairness;
 mod record;
+mod serving;
 mod stats;
 mod table;
 
@@ -33,5 +34,8 @@ pub use deadline::{violation_rate, DeadlineCurve};
 pub use export::{curve_to_csv, report_to_csv, series_to_csv};
 pub use fairness::{jain_index, slowdown_fairness, slowdowns};
 pub use record::{Report, ResponseRecord, RunCounters};
+pub use serving::{
+    ClassAttainment, CurvePoint, ServingCounters, ShedExplanation, SloCurve,
+};
 pub use stats::{harmonic_speedup, percentile, speedups, Summary};
 pub use table::{fmt3, TextTable};

@@ -1,0 +1,431 @@
+//! Lazy, streaming arrival processes for the serving front door.
+//!
+//! The batch generators in [`crate::generate`] materialize a full
+//! [`crate::EventSequence`] up front — fine for 20-event paper stimuli,
+//! impossible for the ROADMAP's millions-of-invocations serving runs. This
+//! module provides the streaming complement: an [`ArrivalProcess`] describes
+//! *how* load arrives (steady Poisson, diurnal sinusoid, bursty on/off) and
+//! [`ArrivalProcess::stream`] turns it into an [`ArrivalStream`] that yields
+//! one inter-arrival gap at a time, in O(1) memory, deterministically per
+//! seed. Function popularity is modelled separately by [`ZipfSampler`], the
+//! classic heavy-tailed FaaS invocation mix.
+
+use nimblock_prng::Prng;
+use nimblock_ser::impl_json_enum_units;
+use nimblock_sim::SimDuration;
+
+/// Virtual period of one diurnal cycle, in seconds. Real diurnal cycles are
+/// 24 h; the simulator compresses them so that serving runs of tens of
+/// virtual seconds still sweep through peak and trough.
+pub const DIURNAL_PERIOD_SECS: f64 = 120.0;
+
+/// Fraction by which the diurnal rate swings above/below the mean.
+pub const DIURNAL_AMPLITUDE: f64 = 0.6;
+
+/// Mean dwell time in the bursty ON state, seconds.
+const BURST_ON_MEAN_SECS: f64 = 2.0;
+/// Mean dwell time in the bursty OFF state, seconds.
+const BURST_OFF_MEAN_SECS: f64 = 8.0;
+/// Rate multiplier while the bursty process is ON.
+const BURST_ON_FACTOR: f64 = 3.0;
+/// Rate multiplier while the bursty process is OFF. Chosen together with
+/// the dwell times so the long-run mean rate stays at the configured rate:
+/// (2·3.0 + 8·0.5) / 10 = 1.0.
+const BURST_OFF_FACTOR: f64 = 0.5;
+
+/// The shape of an arrival process — how the instantaneous arrival rate
+/// evolves over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals at the configured rate.
+    Steady,
+    /// Sinusoid-modulated Poisson: the rate swings ±[`DIURNAL_AMPLITUDE`]
+    /// around the mean over a [`DIURNAL_PERIOD_SECS`] virtual-time cycle.
+    Diurnal,
+    /// Two-state Markov-modulated Poisson: ON bursts at 3× the mean rate,
+    /// OFF troughs at 0.5×, with exponentially distributed dwell times
+    /// tuned so the long-run mean equals the configured rate.
+    Bursty,
+}
+
+impl_json_enum_units!(ArrivalKind { Steady, Diurnal, Bursty });
+
+impl ArrivalKind {
+    /// All arrival kinds, in documentation order.
+    pub const ALL: [ArrivalKind; 3] =
+        [ArrivalKind::Steady, ArrivalKind::Diurnal, ArrivalKind::Bursty];
+
+    /// Returns the kind's CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Steady => "steady",
+            ArrivalKind::Diurnal => "diurnal",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+}
+
+/// A lazily evaluated arrival process: a shape plus a mean rate.
+///
+/// # Example
+///
+/// ```
+/// use nimblock_workload::ArrivalProcess;
+///
+/// let process = ArrivalProcess::parse("bursty:500").unwrap();
+/// let mut stream = process.stream(42, 1.0);
+/// let gap = stream.next_gap();
+/// assert!(gap.as_micros() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    rate_per_sec: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates a process of `kind` with long-run mean `rate_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive and finite.
+    pub fn new(kind: ArrivalKind, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        ArrivalProcess { kind, rate_per_sec }
+    }
+
+    /// Parses a CLI spec of the form `kind[:rate_per_sec]`, e.g. `steady`,
+    /// `diurnal:2000`, `bursty:500`. The rate defaults to 1000/s.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind_str, rate_str) = match spec.split_once(':') {
+            Some((k, r)) => (k, Some(r)),
+            None => (spec, None),
+        };
+        let kind = match kind_str {
+            "steady" => ArrivalKind::Steady,
+            "diurnal" => ArrivalKind::Diurnal,
+            "bursty" => ArrivalKind::Bursty,
+            other => {
+                return Err(format!(
+                    "unknown arrival process '{other}' (expected steady, diurnal, or bursty)"
+                ))
+            }
+        };
+        let rate = match rate_str {
+            None => 1000.0,
+            Some(r) => {
+                let parsed: f64 = r
+                    .parse()
+                    .map_err(|_| format!("invalid arrival rate '{r}'"))?;
+                if !(parsed.is_finite() && parsed > 0.0) {
+                    return Err(format!("arrival rate must be positive, got '{r}'"));
+                }
+                parsed
+            }
+        };
+        Ok(ArrivalProcess::new(kind, rate))
+    }
+
+    /// Returns the process shape.
+    pub fn kind(self) -> ArrivalKind {
+        self.kind
+    }
+
+    /// Returns the long-run mean arrival rate, per virtual second.
+    pub fn rate_per_sec(self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Returns the same process with its mean rate multiplied by `factor`
+    /// — the load knob behind the goodput/SLO-attainment curve sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(self, factor: f64) -> Self {
+        ArrivalProcess::new(self.kind, self.rate_per_sec * factor)
+    }
+
+    /// Opens a deterministic gap stream for this process. `load_factor`
+    /// scales the mean rate exactly like [`ArrivalProcess::scaled`] but
+    /// without rebuilding the process.
+    pub fn stream(self, seed: u64, load_factor: f64) -> ArrivalStream {
+        let scaled = self.scaled(load_factor);
+        ArrivalStream {
+            kind: scaled.kind,
+            rate: scaled.rate_per_sec,
+            rng: Prng::seed_from_u64(seed),
+            elapsed_secs: 0.0,
+            burst_on: false,
+            burst_until_secs: 0.0,
+        }
+    }
+}
+
+/// A lazily evaluated stream of inter-arrival gaps. O(1) state: the
+/// process parameters, a PRNG, and the virtual clock — never a list.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    kind: ArrivalKind,
+    rate: f64,
+    rng: Prng,
+    /// Virtual seconds since the stream opened (drives rate modulation).
+    elapsed_secs: f64,
+    burst_on: bool,
+    burst_until_secs: f64,
+}
+
+impl ArrivalStream {
+    /// Draws the next inter-arrival gap and advances the stream's virtual
+    /// clock. Gaps are clamped to at least one microsecond so the clock
+    /// always advances.
+    pub fn next_gap(&mut self) -> SimDuration {
+        let rate = self.instantaneous_rate();
+        // Inverse-CDF exponential gap: -ln(U) / rate.
+        let uniform: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_secs = (-uniform.ln() / rate).max(1e-6);
+        self.elapsed_secs += gap_secs;
+        SimDuration::from_secs_f64(gap_secs).max(SimDuration::from_micros(1))
+    }
+
+    /// The instantaneous arrival rate at the stream's current virtual time.
+    fn instantaneous_rate(&mut self) -> f64 {
+        match self.kind {
+            ArrivalKind::Steady => self.rate,
+            ArrivalKind::Diurnal => {
+                let phase =
+                    2.0 * std::f64::consts::PI * self.elapsed_secs / DIURNAL_PERIOD_SECS;
+                // Rate stays strictly positive because amplitude < 1.
+                self.rate * (1.0 + DIURNAL_AMPLITUDE * phase.sin())
+            }
+            ArrivalKind::Bursty => {
+                while self.elapsed_secs >= self.burst_until_secs {
+                    self.burst_on = !self.burst_on;
+                    let mean = if self.burst_on {
+                        BURST_ON_MEAN_SECS
+                    } else {
+                        BURST_OFF_MEAN_SECS
+                    };
+                    let uniform: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    self.burst_until_secs += -uniform.ln() * mean;
+                }
+                let factor = if self.burst_on {
+                    BURST_ON_FACTOR
+                } else {
+                    BURST_OFF_FACTOR
+                };
+                self.rate * factor
+            }
+        }
+    }
+}
+
+/// A Zipf popularity sampler over `n` ranked items: item `r` (0-based) is
+/// drawn with probability proportional to `1 / (r + 1)^exponent` — the
+/// classic heavy-tailed FaaS function-popularity mix.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative (unnormalized) weights; the last entry is the total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with the given exponent (1.0 is the
+    /// classic Zipf law; larger skews harder toward rank 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is not finite and non-negative.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one item");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be non-negative, got {exponent}"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws one item index (0-based rank) from the popularity law.
+    pub fn sample(&self, rng: &mut Prng) -> usize {
+        let total = *self
+            .cumulative
+            .last()
+            .expect("sampler always has at least one item");
+        let point: f64 = rng.gen_range(0.0..total);
+        // Linear scan: registries are small (six paper benchmarks); a
+        // binary search would obscure more than it saves.
+        self.cumulative
+            .iter()
+            .position(|&c| point < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+
+    /// Number of items the sampler draws over.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler has exactly one item (it can never be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap_secs(process: ArrivalProcess, seed: u64, draws: usize) -> f64 {
+        let mut stream = process.stream(seed, 1.0);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..draws {
+            total += stream.next_gap();
+        }
+        total.as_secs_f64() / draws as f64
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for kind in ArrivalKind::ALL {
+            let process = ArrivalProcess::new(kind, 500.0);
+            let mut a = process.stream(7, 1.0);
+            let mut b = process.stream(7, 1.0);
+            for _ in 0..1_000 {
+                assert_eq!(a.next_gap(), b.next_gap(), "{} diverged", kind.name());
+            }
+            let mut c = process.stream(8, 1.0);
+            assert!(
+                (0..1_000).any(|_| process.stream(7, 1.0).next_gap() != c.next_gap()),
+                "different seeds should differ"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_mean_gap_matches_rate() {
+        let mean = mean_gap_secs(ArrivalProcess::new(ArrivalKind::Steady, 200.0), 3, 20_000);
+        assert!((mean - 1.0 / 200.0).abs() < 0.0005, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_long_run_mean_stays_near_rate() {
+        let mean = mean_gap_secs(ArrivalProcess::new(ArrivalKind::Bursty, 200.0), 5, 200_000);
+        // Dwell factors are tuned for a long-run mean of 1.0×; allow slack
+        // for finite-run burst phasing.
+        assert!(
+            (mean - 1.0 / 200.0).abs() < 0.002,
+            "bursty mean gap {mean} vs expected {}",
+            1.0 / 200.0
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_actually_swings() {
+        // Gap sizes early in the cycle (peak) should differ from the
+        // trough; compare mean gaps over two quarter-cycles.
+        let process = ArrivalProcess::new(ArrivalKind::Diurnal, 100.0);
+        let mut stream = process.stream(11, 1.0);
+        let quarter = DIURNAL_PERIOD_SECS / 4.0;
+        let mut peak = Vec::new();
+        let mut trough = Vec::new();
+        loop {
+            let gap = stream.next_gap();
+            let t = stream.elapsed_secs;
+            if t < quarter {
+                // First quarter: sin rises 0 → 1, rate above the mean.
+                peak.push(gap.as_secs_f64());
+            } else if t >= 2.0 * quarter && t < 3.0 * quarter {
+                // Third quarter: sin falls 0 → −1, rate below the mean.
+                trough.push(gap.as_secs_f64());
+            } else if t >= 3.0 * quarter {
+                break;
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&trough) > mean(&peak) * 1.5,
+            "trough gaps {} should dwarf peak gaps {}",
+            mean(&trough),
+            mean(&peak)
+        );
+    }
+
+    #[test]
+    fn load_factor_scales_the_rate() {
+        let process = ArrivalProcess::new(ArrivalKind::Steady, 100.0);
+        let base = mean_gap_secs(process, 9, 20_000);
+        let mut doubled_stream = process.stream(9, 2.0);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..20_000 {
+            total += doubled_stream.next_gap();
+        }
+        let doubled = total.as_secs_f64() / 20_000.0;
+        assert!(
+            (base / doubled - 2.0).abs() < 0.1,
+            "2× load should halve gaps: base {base}, doubled {doubled}"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_kind_and_rate() {
+        let p = ArrivalProcess::parse("diurnal:2500").unwrap();
+        assert_eq!(p.kind(), ArrivalKind::Diurnal);
+        assert!((p.rate_per_sec() - 2500.0).abs() < f64::EPSILON);
+        let default = ArrivalProcess::parse("steady").unwrap();
+        assert!((default.rate_per_sec() - 1000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(ArrivalProcess::parse("tidal").is_err());
+        assert!(ArrivalProcess::parse("steady:x").is_err());
+        assert!(ArrivalProcess::parse("steady:-5").is_err());
+        assert!(ArrivalProcess::parse("steady:0").is_err());
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(6, 1.0);
+        let mut rng = Prng::seed_from_u64(17);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1], "rank 0 should beat rank 1: {counts:?}");
+        assert!(counts[1] > counts[5], "rank 1 should beat rank 5: {counts:?}");
+        assert!(counts[5] > 0, "tail ranks must still appear: {counts:?}");
+        // Rank 0 carries 1/H_6 ≈ 0.408 of the mass.
+        let share = counts[0] as f64 / 60_000.0;
+        assert!((share - 0.408).abs() < 0.02, "rank-0 share {share}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        let mut rng = Prng::seed_from_u64(23);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 40_000.0;
+            assert!((share - 0.25).abs() < 0.02, "uniform share {share}");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(ArrivalKind::Steady.name(), "steady");
+        assert_eq!(ArrivalKind::Diurnal.name(), "diurnal");
+        assert_eq!(ArrivalKind::Bursty.name(), "bursty");
+    }
+}

@@ -10,14 +10,22 @@
 //!   real-time) with the paper's inter-arrival delays,
 //! * [`generate`] / [`generate_suite`] — seeded random sequences of 20
 //!   events over the six-benchmark pool (10 sequences per test),
-//! * [`deadline`] — the `D_s` sweep of the deadline analysis (§5.4).
+//! * [`deadline`] — the `D_s` sweep of the deadline analysis (§5.4),
+//! * [`ArrivalProcess`] / [`ZipfSampler`] — lazy streaming arrival
+//!   processes (steady/diurnal/bursty) and the heavy-tailed function
+//!   popularity law behind the serving front door (DESIGN.md §17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deadline;
+mod arrival;
 mod event;
 mod generator;
 
+pub use arrival::{
+    ArrivalKind, ArrivalProcess, ArrivalStream, ZipfSampler, DIURNAL_AMPLITUDE,
+    DIURNAL_PERIOD_SECS,
+};
 pub use event::{ArrivalEvent, EventSequence};
 pub use generator::{generate, generate_suite, fixed_batch_sequence, poisson_sequence, Scenario, MAX_BATCH_SIZE};

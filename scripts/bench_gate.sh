@@ -1,28 +1,30 @@
 #!/usr/bin/env bash
 # Bench regression gate: fresh numbers versus the committed baselines —
-# cluster scaling (`results/BENCH_cluster.json`) and the engine hot path
-# (`results/BENCH_engine.json`).
+# cluster scaling (`results/BENCH_cluster.json`), the engine hot path
+# (`results/BENCH_engine.json`), and front-door ingest
+# (`results/BENCH_faas.json`).
 #
-# The heavy lifting lives in Rust (`cluster_scale -- --gate` and
-# `engine_hot_path -- --gate`): each re-measures with its baseline's exact
-# workload, prints a per-row delta table, and exits nonzero if any row's
-# events/sec regresses beyond the tolerance. The cluster gate additionally
-# re-verifies that every thread count is byte-identical to the sequential
-# oracle. This script only wires them into CI — no JSON parsing happens in
-# shell.
+# The heavy lifting lives in Rust (`cluster_scale -- --gate`,
+# `engine_hot_path -- --gate`, and `faas_ingest -- --gate`): each
+# re-measures with its baseline's exact workload, prints a per-row delta
+# table, and exits nonzero if any row's events/sec regresses beyond the
+# tolerance. The cluster and faas gates additionally re-verify that every
+# thread count is byte-identical to the sequential oracle. This script only
+# wires them into CI — no JSON parsing happens in shell.
 #
 # Environment:
 #   NIMBLOCK_SKIP_BENCH_GATE=1   skip entirely (noisy/shared hosts)
 #   NIMBLOCK_BENCH_TOLERANCE     allowed slowdown, percent [15]
 #   NIMBLOCK_BENCH_REPEATS       passes per measurement, best-of [3]
 #
-# Usage: scripts/bench_gate.sh [cluster-baseline.json [engine-baseline.json]]
+# Usage: scripts/bench_gate.sh [cluster-baseline.json [engine-baseline.json [faas-baseline.json]]]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cluster_baseline="${1:-results/BENCH_cluster.json}"
 engine_baseline="${2:-results/BENCH_engine.json}"
+faas_baseline="${3:-results/BENCH_faas.json}"
 tolerance="${NIMBLOCK_BENCH_TOLERANCE:-15}"
 repeats="${NIMBLOCK_BENCH_REPEATS:-3}"
 
@@ -38,7 +40,7 @@ if [ ! -f "$cluster_baseline" ]; then
 fi
 
 cargo build --release --offline -q -p nimblock-bench \
-    --bin cluster_scale --bin engine_hot_path
+    --bin cluster_scale --bin engine_hot_path --bin faas_ingest
 
 fail=0
 if ! ./target/release/cluster_scale \
@@ -58,6 +60,18 @@ if [ -f "$engine_baseline" ]; then
 else
     echo "bench gate: no engine baseline at $engine_baseline (skipping)" >&2
     echo "record one with: cargo run --release --offline --bin engine_hot_path" >&2
+fi
+
+if [ -f "$faas_baseline" ]; then
+    if ! ./target/release/faas_ingest \
+        --repeats "$repeats" \
+        --gate "$faas_baseline" \
+        --tolerance "$tolerance"; then
+        fail=1
+    fi
+else
+    echo "bench gate: no faas baseline at $faas_baseline (skipping)" >&2
+    echo "record one with: cargo run --release --offline -p nimblock-bench --bin faas_ingest" >&2
 fi
 
 if [ "$fail" -ne 0 ]; then

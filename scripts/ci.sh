@@ -28,19 +28,31 @@
 #                   obs_overhead --gate must bound the detached-sink
 #                   plumbing under 4% (gate skippable with
 #                   NIMBLOCK_SKIP_BENCH_GATE=1)
+#   faas            serving front door smoke: a deliberately overloaded run
+#                   with a tight shed horizon must shed load, conserve
+#                   invocations exactly (offered = admitted + shed +
+#                   rejected), and fire the shed alert; the SLO attainment
+#                   curve must render in text, md, and json
 #   goldens         golden-drift: regenerate goldens, fail if they differ
 #                   from the committed files
 #   engine-diff     fixed-seed differential oracle: legacy heap vs calendar
 #                   event queue must be byte-identical (reports, traces,
 #                   telemetry) across policies, boards, and thread counts
 #   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json
-#                   and results/BENCH_engine.json
+#                   results/BENCH_engine.json, and results/BENCH_faas.json
 #                   (skippable with NIMBLOCK_SKIP_BENCH_GATE=1)
 #
 # Usage:
 #   scripts/ci.sh                 # every stage
 #   scripts/ci.sh lint build      # just those stages, in the given order
 #   scripts/ci.sh --list          # print stage names and exit
+#
+# Environment:
+#   NIMBLOCK_CI_STAGES   comma-separated stage filter, used when no stages
+#                        are given on the command line (e.g.
+#                        NIMBLOCK_CI_STAGES=lint,build,faas scripts/ci.sh)
+#
+# Every run writes per-stage wall-clock timing to results/ci_stages.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,7 +62,7 @@ export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 # `deep` sits after the test stages so the analyzer and test binaries it
 # reuses are already built; the analysis itself takes well under ten
 # seconds.
-ALL_STAGES=(lint build test workspace-test deep telemetry invariants explain monitor goldens engine-diff bench-gate)
+ALL_STAGES=(lint build test workspace-test deep telemetry invariants explain monitor faas goldens engine-diff bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -188,6 +200,46 @@ stage_monitor() {
     ./target/release/obs_overhead --quick --gate 4
 }
 
+stage_faas() {
+    # The serving front door under deliberate overload: a bursty stream far
+    # beyond cluster capacity with a tight shed horizon and per-tenant rate
+    # limits. The stage fails unless load was actually shed (the shed alert
+    # fires only when every shed is explained by its attribution budget)
+    # and the counters conserve invocations exactly — the CLI exits nonzero
+    # on a conservation violation, and the greps re-check the rendered
+    # lines so a silent output regression also fails.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli faas \
+        --arrivals bursty:2000 --invocations 5000 --seed 11 \
+        --shed-horizon-ms 200 --rate-limit 300 --burst 32 \
+        > "$smoke_dir/faas.out"
+    grep -q "conservation: exact" "$smoke_dir/faas.out" \
+        || { echo "error: front door lost invocations (offered != admitted + shed + rejected)" >&2; return 1; }
+    grep -q "shed-alert: fired" "$smoke_dir/faas.out" \
+        || { echo "error: the deliberately overloaded run shed nothing" >&2; return 1; }
+    grep -qE "rejected [1-9]" "$smoke_dir/faas.out" \
+        || { echo "error: the tenant rate limit rejected nothing" >&2; return 1; }
+    # The SLO attainment curve renders in all three formats and stays
+    # monotone non-increasing in offered attainment (the CLI checks
+    # conservation per point and exits nonzero otherwise).
+    local curve_args="--arrivals steady:0.05 --invocations 400 --seed 31 \
+        --shed-horizon-ms 60000 --curve 0.25,4"
+    ./target/release/nimblock-cli faas $curve_args > "$smoke_dir/faas-curve.txt"
+    grep -q "offered-slo" "$smoke_dir/faas-curve.txt" \
+        || { echo "error: text curve lost its offered-slo column" >&2; return 1; }
+    grep -q "monotone non-increasing" "$smoke_dir/faas-curve.txt" \
+        || { echo "error: offered attainment rose with load" >&2; return 1; }
+    ./target/release/nimblock-cli faas $curve_args --format md \
+        > "$smoke_dir/faas-curve.md"
+    grep -q "^# SLO attainment curve" "$smoke_dir/faas-curve.md" \
+        || { echo "error: markdown curve lost its heading" >&2; return 1; }
+    ./target/release/nimblock-cli faas $curve_args --format json \
+        --slo-curve-out "$smoke_dir/faas-curve.json" > /dev/null
+    grep -q '"points"' "$smoke_dir/faas-curve.json" \
+        || { echo "error: JSON curve lost its points array" >&2; return 1; }
+    echo "ok: overload shed and conserved; curve renders in text, md, and json"
+}
+
 stage_goldens() {
     # Regenerate every golden in place, then require the tree to be clean:
     # a diff means an encoding change landed without its golden refresh.
@@ -202,7 +254,7 @@ stage_goldens() {
     fi
     NIMBLOCK_REGEN_GOLDENS=1 cargo test -q --offline \
         --test golden_roundtrip --test golden_telemetry --test golden_monitor \
-        --test golden_analyze
+        --test golden_analyze --test golden_faas
     if ! git diff --exit-code -- tests/goldens; then
         git checkout -- tests/goldens
         echo "error: regenerated goldens differ from the committed files" \
@@ -240,6 +292,7 @@ run_stage() {
         invariants) stage_invariants ;;
         explain) stage_explain ;;
         monitor) stage_monitor ;;
+        faas) stage_faas ;;
         goldens) stage_goldens ;;
         engine-diff) stage_engine_diff ;;
         bench-gate) stage_bench_gate ;;
@@ -256,9 +309,38 @@ if [ "${1:-}" = "--list" ]; then
 fi
 
 stages=("$@")
+if [ ${#stages[@]} -eq 0 ] && [ -n "${NIMBLOCK_CI_STAGES:-}" ]; then
+    IFS=',' read -r -a stages <<< "$NIMBLOCK_CI_STAGES"
+fi
 [ ${#stages[@]} -gt 0 ] || stages=("${ALL_STAGES[@]}")
 
 summary=()
+timing_names=()
+timing_secs=()
+timing_status=()
+
+# Emits per-stage wall-clock timing as results/ci_stages.json so the run's
+# cost profile is a machine-readable artifact (written on failure too).
+write_stage_timings() {
+    local overall=$1 total=$2
+    mkdir -p results
+    {
+        echo '{'
+        echo '  "stages": ['
+        local i last=$((${#timing_names[@]} - 1))
+        for i in "${!timing_names[@]}"; do
+            local comma=','
+            [ "$i" -eq "$last" ] && comma=''
+            printf '    {"stage": "%s", "seconds": %s, "status": "%s"}%s\n' \
+                "${timing_names[$i]}" "${timing_secs[$i]}" "${timing_status[$i]}" "$comma"
+        done
+        echo '  ],'
+        printf '  "total_seconds": %s,\n' "$total"
+        printf '  "status": "%s"\n' "$overall"
+        echo '}'
+    } > results/ci_stages.json
+}
+
 total_start=$SECONDS
 for stage in "${stages[@]}"; do
     echo
@@ -274,13 +356,17 @@ for stage in "${stages[@]}"; do
     )
     status=$?
     set -e
+    took=$((SECONDS - start))
+    timing_names+=("$stage")
+    timing_secs+=("$took")
     if [ "$status" -eq 0 ]; then
-        took=$((SECONDS - start))
+        timing_status+=("ok")
         summary+=("$(printf '%-15s %4ss  ok' "$stage" "$took")")
         echo "-- $stage: ok (${took}s)"
     else
-        took=$((SECONDS - start))
+        timing_status+=("fail")
         summary+=("$(printf '%-15s %4ss  FAIL' "$stage" "$took")")
+        write_stage_timings fail $((SECONDS - total_start))
         echo
         echo "== ci summary =="
         printf '%s\n' "${summary[@]}"
@@ -288,6 +374,8 @@ for stage in "${stages[@]}"; do
         exit 1
     fi
 done
+
+write_stage_timings pass $((SECONDS - total_start))
 
 echo
 echo "== ci summary =="

@@ -92,6 +92,33 @@ fn fixed_seed_cluster_runs_are_identical_for_one_two_and_eight_threads() {
 }
 
 #[test]
+fn fixed_seed_front_door_reports_are_identical_for_one_two_and_eight_threads() {
+    // Same acceptance-criterion triple, one layer up: the serving front
+    // door (DESIGN.md §17) drives the cluster dispatcher through its
+    // streaming admission path, and its full report — counters, class
+    // quantiles, shed explanations, tenant ledgers — must be
+    // byte-identical for every worker-thread count.
+    use nimblock::faas::{FrontDoor, FrontDoorConfig, FunctionRegistry, TenantPolicy};
+    let mut config = FrontDoorConfig::new(2023);
+    config.invocations = 4_000;
+    config.process =
+        nimblock::workload::ArrivalProcess::parse("bursty:2000").expect("process parses");
+    config.shed_horizon = nimblock::sim::SimDuration::from_millis(200);
+    config.tenant_policy = TenantPolicy { rate_per_sec: 300.0, burst: 32, quota: 64 };
+    let oracle = nimblock_ser::to_string_pretty(
+        &FrontDoor::new(FunctionRegistry::benchmark_suite(), config.clone()).run(),
+    );
+    for threads in [2, 8] {
+        let mut parallel = config.clone();
+        parallel.threads = threads;
+        let fresh = nimblock_ser::to_string_pretty(
+            &FrontDoor::new(FunctionRegistry::benchmark_suite(), parallel).run(),
+        );
+        assert_eq!(oracle, fresh, "front door with {threads} threads diverged");
+    }
+}
+
+#[test]
 fn random_cluster_runs_match_the_sequential_oracle() {
     check("random_cluster_runs_match_the_sequential_oracle", |g: &mut Gen| {
         let seed = g.u64(0..=10_000);

@@ -1,0 +1,155 @@
+//! Property tests for the serving front door (DESIGN.md §17): admission
+//! control, load shedding, and the SLO attainment curve on randomized
+//! arrival streams.
+//!
+//! Three families of invariant, each over randomized configurations:
+//!
+//! * **conservation** — every offered invocation is accounted for exactly
+//!   once: `offered = admitted + shed + rejected`, with the per-class and
+//!   per-tenant breakdowns summing back to the totals,
+//! * **quota safety** — no tenant's in-flight high-water mark ever exceeds
+//!   its configured quota, no matter how bursty the stream,
+//! * **degradation monotonicity** — the offered-attainment curve never
+//!   rises as the load factor grows, and the serving report is
+//!   byte-identical for every worker-thread count.
+
+use nimblock::faas::{FrontDoor, FrontDoorConfig, FunctionRegistry, TenantPolicy};
+use nimblock::sim::SimDuration;
+use nimblock::workload::ArrivalProcess;
+use nimblock_check::{check, prop_assert, prop_assert_eq, Gen};
+
+/// A randomized front-door configuration. Arrival rates span calm
+/// (fractions of the cluster's ~0.1/s capacity for the paper's benchmark
+/// mix) through catastrophic overload, so both the admit-heavy and the
+/// shed-heavy paths are exercised.
+fn arb_config(g: &mut Gen) -> FrontDoorConfig {
+    let mut config = FrontDoorConfig::new(g.u64(0..=u64::MAX));
+    config.invocations = g.u64(200..=3_000);
+    let kind = ["steady", "diurnal", "bursty"][g.usize(0..=2)];
+    let rate = [0.02, 0.1, 1.0, 50.0, 2000.0][g.usize(0..=4)];
+    config.process =
+        ArrivalProcess::parse(&format!("{kind}:{rate}")).expect("generated process parses");
+    config.tenants = g.usize(1..=6);
+    config.boards = g.usize(1..=6);
+    config.slots_per_board = g.usize(1..=4);
+    config.max_items = g.u32(1..=4);
+    config.shed_horizon = SimDuration::from_millis(g.u64(20..=120_000));
+    config.chunk = g.usize(64..=4_096);
+    config
+}
+
+fn arb_policy(g: &mut Gen) -> TenantPolicy {
+    TenantPolicy {
+        rate_per_sec: [0.0, 0.05, 1.0, 300.0][g.usize(0..=3)],
+        burst: g.u64(1..=64),
+        quota: g.u64(0..=8),
+    }
+}
+
+#[test]
+fn serving_counters_conserve_on_random_streams() {
+    check("serving_counters_conserve", |g| {
+        let mut config = arb_config(g);
+        config.tenant_policy = arb_policy(g);
+        let offered = config.invocations;
+        let report = FrontDoor::new(FunctionRegistry::benchmark_suite(), config).run();
+        prop_assert!(report.conserves(), "offered != admitted + shed + rejected");
+        prop_assert_eq!(report.counters.offered, offered);
+        // The per-class rows cover every admitted and shed invocation.
+        let class_admitted: u64 = report.classes.iter().map(|c| c.admitted).sum();
+        let class_shed: u64 = report.classes.iter().map(|c| c.shed).sum();
+        prop_assert_eq!(class_admitted, report.counters.admitted);
+        prop_assert_eq!(class_shed, report.counters.shed());
+        // The per-tenant rows cover every offer and every rejection.
+        let tenant_offered: u64 = report.tenants.iter().map(|t| t.offered).sum();
+        let tenant_rejected: u64 = report
+            .tenants
+            .iter()
+            .map(|t| t.rejected_rate + t.rejected_quota)
+            .sum();
+        prop_assert_eq!(tenant_offered, report.counters.offered);
+        prop_assert_eq!(tenant_rejected, report.counters.rejected());
+        // Every shed is explained by its class's attribution budget.
+        let explained: u64 = report.shed_explanations.iter().map(|e| e.sheds).sum();
+        prop_assert_eq!(explained, report.counters.shed());
+        for explanation in &report.shed_explanations {
+            prop_assert!(
+                explanation.explains(),
+                "class {} sheds are not covered by their budget",
+                explanation.class_name
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn quotas_are_never_exceeded_under_randomized_bursts() {
+    check("quota_high_water_mark", |g| {
+        let mut config = arb_config(g);
+        // Always bursty, always a finite quota: the adversarial case.
+        config.process = ArrivalProcess::parse("bursty:2000").expect("parses");
+        let quota = g.u64(1..=6);
+        config.tenant_policy = TenantPolicy { rate_per_sec: 0.0, burst: 1, quota };
+        let report = FrontDoor::new(FunctionRegistry::benchmark_suite(), config).run();
+        for tenant in &report.tenants {
+            prop_assert!(
+                tenant.peak_in_flight <= quota,
+                "tenant {} peaked at {} over quota {quota}",
+                tenant.tenant,
+                tenant.peak_in_flight
+            );
+        }
+        prop_assert!(report.conserves());
+        Ok(())
+    });
+}
+
+#[test]
+fn offered_attainment_never_rises_with_load() {
+    check("offered_attainment_monotone", |g| {
+        let mut config = FrontDoorConfig::new(g.u64(0..=u64::MAX));
+        config.invocations = g.u64(300..=1_500);
+        config.process = ArrivalProcess::parse("steady:0.05").expect("parses");
+        config.shed_horizon = SimDuration::from_secs(g.u64(10..=120));
+        let door = FrontDoor::new(FunctionRegistry::benchmark_suite(), config);
+        let curve = door.run_curve(&[0.25, 1.0, 4.0, 16.0]);
+        prop_assert!(
+            curve.attainment_monotone(0.02),
+            "offered attainment rose with load: {:?}",
+            curve
+                .points
+                .iter()
+                .map(|p| p.offered_attainment)
+                .collect::<Vec<_>>()
+        );
+        for point in &curve.points {
+            prop_assert!(point.counters.conserves());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn serving_reports_are_thread_count_invariant_on_random_configs() {
+    check("front_door_thread_invariance", |g| {
+        let mut config = arb_config(g);
+        config.tenant_policy = arb_policy(g);
+        config.threads = 1;
+        let oracle = nimblock_ser::to_string_pretty(
+            &FrontDoor::new(FunctionRegistry::benchmark_suite(), config.clone()).run(),
+        );
+        for threads in [g.usize(2..=4), 8, 0] {
+            let mut parallel = config.clone();
+            parallel.threads = threads;
+            let fresh = nimblock_ser::to_string_pretty(
+                &FrontDoor::new(FunctionRegistry::benchmark_suite(), parallel).run(),
+            );
+            prop_assert!(
+                fresh == oracle,
+                "front door with {threads} threads diverged from the oracle"
+            );
+        }
+        Ok(())
+    });
+}
