@@ -7,6 +7,9 @@
 //! nimblock-analyze trace <file> [--json] [--mechanism-only]
 //!                        [--reconfig-latency-ms <ms>]
 //! nimblock-analyze monitor <file> [--format text|md|json]
+//! nimblock-analyze plan <trace> [--sweep name=spec]... [--slo <f>]
+//!                        [--replays <n>] [--format text|md|json]
+//!                        [--out <file>]
 //! nimblock-analyze rules
 //! ```
 //!
@@ -33,6 +36,9 @@ USAGE:
                            [--reconfig-latency-ms <ms>]
     nimblock-analyze explain <file> [--format text|md|json] [--top <n>]
     nimblock-analyze monitor <file> [--format text|md|json]
+    nimblock-analyze plan <trace> [--sweep name=spec]... [--slo <f>]
+                           [--replays <n>] [--format text|md|json]
+                           [--out <file>]
     nimblock-analyze rules
 
 COMMANDS:
@@ -52,6 +58,10 @@ COMMANDS:
     monitor  Render a continuous-monitoring document (JSON, as written
              by `nimblock-cli run --timeseries-out` or a post-mortem
              dump): windowed series, SLO alerts, flight recorder.
+    plan     Capacity planning from a recorded serving trace (binary, as
+             written by `nimblock-cli faas --arrivals ... --record-out`):
+             sweep counterfactual fleet shapes through the calibrated
+             estimator and validate sampled scenarios by exact replay.
     rules    Print the lint-rule catalog.
 
 OPTIONS:
@@ -71,6 +81,14 @@ OPTIONS:
                                (default text).
     --top <n>                  Explain: how many of the slowest applications
                                get their span trees printed (default 5).
+    --sweep <name=spec>        Plan: a sweep axis (repeatable): boards=1..32,
+                               slots=2,3, reconfig-ms=40,80, policy=rr
+                               (default: the planner's boards sweep).
+    --slo <f>                  Plan: offered-attainment target the
+                               recommendation must meet (default 0.95).
+    --replays <n>              Plan: scenarios to validate by exact replay
+                               (default 5).
+    --out <file>               Plan: where the report goes (default stdout).
 
 Findings can be suppressed per line with `// nimblock: allow(<rule>)`;
 deep-pass findings can also be suppressed per function via the committed
@@ -103,6 +121,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
         Some("rules") => {
             cmd_rules();
             Ok(true)
@@ -283,6 +302,68 @@ fn cmd_monitor(args: &[String]) -> Result<bool, String> {
     // Fired alerts are a property of the run, not a failure of this
     // command: rendering an alert-bearing document is still a clean exit.
     Ok(true)
+}
+
+fn cmd_plan(args: &[String]) -> Result<bool, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut sweeps: Vec<String> = Vec::new();
+    let mut slo = 0.95f64;
+    let mut replays = 5usize;
+    let mut format = ExplainFormat::Text;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sweep" => sweeps.push(it.next().ok_or("--sweep needs a value")?.clone()),
+            "--slo" => {
+                slo = it
+                    .next()
+                    .ok_or("--slo needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --slo: {e}"))?;
+            }
+            "--replays" => {
+                replays = it
+                    .next()
+                    .ok_or("--replays needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --replays: {e}"))?;
+            }
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                format = ExplainFormat::parse(value)
+                    .ok_or_else(|| format!("unknown plan format `{value}`"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a file argument")?,
+                ));
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown plan option `{other}`")),
+        }
+    }
+    let path = path.ok_or("plan needs a <trace> argument")?;
+    let trace = std::fs::read(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let options = nimblock_plan::PlanOptions { sweeps, slo_target: slo, replays };
+    let report = nimblock_plan::plan(&trace, &options)?;
+    let plan_format = match format {
+        ExplainFormat::Text => nimblock_plan::PlanFormat::Text,
+        ExplainFormat::Markdown => nimblock_plan::PlanFormat::Markdown,
+        ExplainFormat::Json => nimblock_plan::PlanFormat::Json,
+    };
+    let rendered = nimblock_plan::render_plan(&report, plan_format);
+    match out {
+        Some(path) => std::fs::write(&path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{rendered}"),
+    }
+    // A failed byte-identity check poisons every prediction in the
+    // report: the replay engine demonstrably diverged from the recorder.
+    Ok(report.replay_check != "MISMATCH")
 }
 
 fn cmd_rules() {

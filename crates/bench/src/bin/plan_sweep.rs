@@ -1,0 +1,181 @@
+//! Capacity-planner benchmark and regression gate.
+//!
+//! Measurement mode (default) records an overloaded serving day as a
+//! compact trace, times exact replay against the analytical estimator
+//! over a `boards=1..32` sweep, and writes two seed-stamped artifacts:
+//! the gate baseline `results/BENCH_plan.json` and, through the shared
+//! [`nimblock_bench::ResultWriter`], the human-readable tables as
+//! `results/plan_sweep.json`:
+//!
+//! ```text
+//! cargo run --release --bin plan_sweep
+//! cargo run --release --bin plan_sweep -- --quick --out /tmp/fresh.json
+//! ```
+//!
+//! Gate mode measures fresh numbers and compares them to a committed
+//! baseline, printing a delta table and exiting nonzero on a regression
+//! (this is what `scripts/bench_gate.sh` runs as the fourth baseline):
+//!
+//! ```text
+//! cargo run --release --bin plan_sweep -- --quick \
+//!     --gate results/BENCH_plan.json --tolerance 15
+//! ```
+
+use std::process::ExitCode;
+
+use nimblock_bench::plan_sweep::{
+    gate_compare, measure, render_gate_table, BenchReport, PlanBenchConfig,
+};
+use nimblock_bench::ResultWriter;
+use nimblock_metrics::TextTable;
+
+struct Options {
+    config: PlanBenchConfig,
+    out: String,
+    gate: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut config = PlanBenchConfig::default();
+    let mut out = "results/BENCH_plan.json".to_owned();
+    let mut gate = None;
+    let mut tolerance = 0.15;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                config.invocations = 20_000;
+                config.repeats = 1;
+            }
+            "--invocations" => {
+                config.invocations = value(&mut i, "--invocations")?
+                    .parse()
+                    .map_err(|e| format!("--invocations: {e}"))?;
+            }
+            "--repeats" => {
+                config.repeats =
+                    value(&mut i, "--repeats")?.parse().map_err(|e| format!("--repeats: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value(&mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = value(&mut i, "--out")?,
+            "--gate" => gate = Some(value(&mut i, "--gate")?),
+            "--tolerance" => {
+                let pct: f64 =
+                    value(&mut i, "--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                tolerance = pct / 100.0;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Options { config, out, gate, tolerance })
+}
+
+fn load_baseline(path: &str) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    nimblock_ser::from_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))
+}
+
+fn stage_table(report: &BenchReport) -> TextTable {
+    let mut table = TextTable::new(vec!["stage", "wall (s)", "records/s"]);
+    for m in &report.measurements {
+        table.row(vec![
+            m.stage.clone(),
+            format!("{:.3}", m.wall_secs),
+            format!("{:.1}", m.records_per_sec),
+        ]);
+    }
+    table
+}
+
+fn main() -> ExitCode {
+    let mut options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("plan_sweep: {message}");
+            eprintln!(
+                "usage: plan_sweep [--quick] [--invocations N] [--repeats N] [--seed N] \
+                 [--out FILE] [--gate BASELINE --tolerance PCT]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // In gate mode the fresh run must use the baseline's exact workload —
+    // seed and invocation count — or the records/sec comparison is
+    // meaningless. Only `--repeats` stays caller-chosen.
+    let baseline = match &options.gate {
+        Some(path) => match load_baseline(path) {
+            Ok(baseline) => {
+                options.config.seed = baseline.seed;
+                options.config.invocations = baseline.invocations;
+                Some(baseline)
+            }
+            Err(message) => {
+                eprintln!("plan_sweep: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    println!(
+        "plan_sweep: invocations={} repeats={} seed={}",
+        options.config.invocations, options.config.repeats, options.config.seed,
+    );
+    let fresh = measure(&options.config);
+    println!(
+        "scenarios={} deterministic={} estimator_speedup={:.1}x",
+        fresh.scenarios, fresh.deterministic, fresh.estimator_speedup
+    );
+    let table = stage_table(&fresh);
+    print!("{table}");
+
+    if let Some(baseline) = baseline {
+        let outcome = gate_compare(&baseline, &fresh, options.tolerance);
+        print!("{}", render_gate_table(&outcome, options.tolerance));
+        if outcome.pass {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        } else {
+            println!("bench gate: FAIL (set NIMBLOCK_SKIP_BENCH_GATE=1 to bypass)");
+            ExitCode::FAILURE
+        }
+    } else {
+        let json = nimblock_ser::to_string_pretty(&fresh);
+        if let Some(parent) = std::path::Path::new(&options.out).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("plan_sweep: cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&options.out, json + "\n") {
+            eprintln!("plan_sweep: cannot write {}: {e}", options.out);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", options.out);
+        // The human-readable tables, seed-stamped like every experiment.
+        let mut writer = ResultWriter::new("plan_sweep", fresh.seed, 1);
+        writer
+            .table("planner stage throughput", &table)
+            .note(&format!(
+                "estimator walks one record {:.1}x faster than exact simulation \
+                 across a {}-scenario boards sweep",
+                fresh.estimator_speedup, fresh.scenarios
+            ));
+        writer.write();
+        ExitCode::SUCCESS
+    }
+}

@@ -9,6 +9,7 @@ pub mod cluster_scale;
 pub mod engine_hot_path;
 pub mod faas_ingest;
 pub mod micro;
+pub mod plan_sweep;
 pub mod results;
 
 pub use results::ResultWriter;

@@ -168,6 +168,8 @@ pub struct RunArgs {
     /// Verify the recorded schedule against the paper's invariants after
     /// the run; a violation fails the command.
     pub check_invariants: bool,
+    /// Where to write the compact binary stimulus trace, if anywhere.
+    pub record_out: Option<String>,
     /// Continuous-monitoring options.
     pub monitor: MonitorArgs,
 }
@@ -293,6 +295,9 @@ pub struct FrontDoorArgs {
     pub json: Option<String>,
     /// Where to write the run's metrics as Prometheus text ('-' = stdout).
     pub metrics_out: Option<String>,
+    /// Where to write the compact binary serving trace (for
+    /// `analyze plan`); recording is off unless asked for.
+    pub record_out: Option<String>,
 }
 
 impl Default for FrontDoorArgs {
@@ -314,6 +319,7 @@ impl Default for FrontDoorArgs {
             format: ExplainFormat::Text,
             json: None,
             metrics_out: None,
+            record_out: None,
         }
     }
 }
@@ -334,12 +340,14 @@ pub struct ClusterArgs {
     pub dispatch: nimblock_cluster::DispatchPolicy,
     /// Board counts to sweep instead of a single run.
     pub sweep_boards: Option<Vec<usize>>,
+    /// Where to write the compact binary stimulus trace, if anywhere.
+    pub record_out: Option<String>,
     /// Continuous-monitoring options (series merged across boards).
     pub monitor: MonitorArgs,
 }
 
 /// What `analyze` should look at.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AnalyzeTarget {
     /// Lint the source tree rooted at the given directory.
     Lint {
@@ -383,6 +391,25 @@ pub enum AnalyzeTarget {
         /// Report format: `text` (default), `md`, or `json`.
         format: ExplainFormat,
     },
+    /// Capacity planning from a recorded serving trace (as written by
+    /// `faas --arrivals ... --record-out`): sweep counterfactual fleet
+    /// shapes through the calibrated estimator and validate a sample of
+    /// scenarios by exact replay.
+    Plan {
+        /// Path of the recorded binary trace.
+        path: String,
+        /// Sweep axes, `name=spec` (repeatable `--sweep`); empty means
+        /// the planner's default boards sweep.
+        sweeps: Vec<String>,
+        /// Offered-attainment target the recommendation must meet.
+        slo: f64,
+        /// How many scenarios to validate by exact replay.
+        replays: usize,
+        /// Report format: `text` (default), `md`, or `json`.
+        format: ExplainFormat,
+        /// Where the report goes ('-' = stdout; default stdout).
+        out: Option<String>,
+    },
 }
 
 /// `analyze explain` report format (shared with `nimblock-analyze`).
@@ -397,7 +424,7 @@ fn parse_explain_format(value: &str) -> Result<ExplainFormat, CliError> {
 }
 
 /// `analyze` command arguments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalyzeArgs {
     /// Lint a tree or verify a trace.
     pub target: AnalyzeTarget,
@@ -482,6 +509,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut trace_format = None;
             let mut trace_out = None;
             let mut check_invariants = false;
+            let mut record_out = None;
             let mut monitor = MonitorArgs::default();
             while let Some(flag) = stream.next() {
                 match flag {
@@ -495,12 +523,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--trace-out" => trace_out = Some(stream.value_for(flag)?.to_owned()),
                     "--check-invariants" => check_invariants = true,
+                    "--record-out" => record_out = Some(stream.value_for(flag)?.to_owned()),
                     other if monitor.parse_flag(other, &mut stream)? => {}
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
             if trace_out.is_some() && trace_format.is_none() {
                 return Err(err("--trace-out requires --trace-format"));
+            }
+            if record_out.as_deref() == Some("-") {
+                return Err(err("--record-out writes a binary trace; '-' is not supported"));
             }
             monitor.config()?; // validate rules and window at parse time
             Ok(Command::Run(RunArgs {
@@ -513,6 +545,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 trace_format,
                 trace_out,
                 check_invariants,
+                record_out,
                 monitor,
             }))
         }
@@ -608,10 +641,42 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         json: format == ExplainFormat::Json,
                     }))
                 }
+                Some("plan") => {
+                    let mut path = None;
+                    let mut sweeps = Vec::new();
+                    let mut slo = 0.95f64;
+                    let mut replays = 5usize;
+                    let mut format = ExplainFormat::Text;
+                    let mut out = None;
+                    while let Some(flag) = stream.next() {
+                        match flag {
+                            "--sweep" => sweeps.push(stream.value_for(flag)?.to_owned()),
+                            "--slo" => slo = parse_number(flag, stream.value_for(flag)?)?,
+                            "--replays" => replays = parse_number(flag, stream.value_for(flag)?)?,
+                            "--format" => format = parse_explain_format(stream.value_for(flag)?)?,
+                            "--out" => out = Some(stream.value_for(flag)?.to_owned()),
+                            other if !other.starts_with('-') && path.is_none() => {
+                                path = Some(other.to_owned())
+                            }
+                            other => return Err(err(format!("unknown flag '{other}'"))),
+                        }
+                    }
+                    let path = path.ok_or_else(|| err("analyze plan needs a TRACE file"))?;
+                    if !(0.0..=1.0).contains(&slo) {
+                        return Err(err("--slo must be a fraction in 0..=1"));
+                    }
+                    Ok(Command::Analyze(AnalyzeArgs {
+                        target: AnalyzeTarget::Plan { path, sweeps, slo, replays, format, out },
+                        json: format == ExplainFormat::Json,
+                    }))
+                }
                 Some(other) => Err(err(format!(
-                    "unknown analyze target '{other}' (expected lint, deep, trace, explain, or monitor)"
+                    "unknown analyze target '{other}' \
+                     (expected lint, deep, trace, explain, monitor, or plan)"
                 ))),
-                None => Err(err("analyze needs a target: lint, deep, trace, explain, or monitor")),
+                None => {
+                    Err(err("analyze needs a target: lint, deep, trace, explain, monitor, or plan"))
+                }
             }
         }
         "faas" => {
@@ -716,6 +781,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         door.metrics_out = Some(stream.value_for(flag)?.to_owned());
                         door_flag.get_or_insert_with(|| flag.to_owned());
                     }
+                    "--record-out" => {
+                        door.record_out = Some(stream.value_for(flag)?.to_owned());
+                        door_flag.get_or_insert_with(|| flag.to_owned());
+                    }
                     other => return Err(err(format!("unknown flag '{other}'"))),
                 }
             }
@@ -732,6 +801,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if door.curve_out.is_some() && door.curve.is_none() {
                     return Err(err("--slo-curve-out requires --curve"));
                 }
+                if door.record_out.as_deref() == Some("-") {
+                    return Err(err("--record-out writes a binary trace; '-' is not supported"));
+                }
+                if door.record_out.is_some() && door.curve.is_some() {
+                    return Err(err(
+                        "--record-out records a single run; it cannot be combined with --curve",
+                    ));
+                }
                 args.frontdoor = Some(door);
             } else if let Some(flag) = door_flag {
                 return Err(err(format!(
@@ -747,6 +824,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 1usize;
             let mut dispatch = nimblock_cluster::DispatchPolicy::FewestApps;
             let mut sweep_boards = None;
+            let mut record_out = None;
             let mut monitor = MonitorArgs::default();
             while let Some(flag) = stream.next() {
                 match flag {
@@ -780,12 +858,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         }
                         sweep_boards = Some(counts);
                     }
+                    "--record-out" => record_out = Some(stream.value_for(flag)?.to_owned()),
                     other if monitor.parse_flag(other, &mut stream)? => {}
                     other => parse_stimulus_flag(&mut stimulus, other, &mut stream)?,
                 }
             }
             if boards == 0 {
                 return Err(err("--boards must be at least 1"));
+            }
+            if record_out.as_deref() == Some("-") {
+                return Err(err("--record-out writes a binary trace; '-' is not supported"));
             }
             monitor.config()?; // validate rules and window at parse time
             Ok(Command::Cluster(ClusterArgs {
@@ -795,6 +877,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 dispatch,
                 sweep_boards,
+                record_out,
                 monitor,
             }))
         }
@@ -1126,6 +1209,81 @@ mod tests {
         assert!(parse(&argv("faas --arrivals steady --max-items 0")).is_err());
         assert!(parse(&argv("faas --arrivals steady --curve -1")).is_err());
         assert!(parse(&argv("faas --arrivals steady --slo-curve-out c.json")).is_err());
+    }
+
+    #[test]
+    fn analyze_plan_parses() {
+        let line = "analyze plan t.nbt --sweep boards=1..8 --sweep slots=2,3 \
+                    --slo 0.9 --replays 3 --format md --out plan.md";
+        let Command::Analyze(a) = parse(&argv(line)).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(
+            a.target,
+            AnalyzeTarget::Plan {
+                path: "t.nbt".into(),
+                sweeps: vec!["boards=1..8".into(), "slots=2,3".into()],
+                slo: 0.9,
+                replays: 3,
+                format: ExplainFormat::Markdown,
+                out: Some("plan.md".into()),
+            }
+        );
+        // Defaults: boards sweep comes from the planner, 95% target,
+        // five validation replays, text on stdout.
+        let Command::Analyze(a) = parse(&argv("analyze plan t.nbt")).unwrap() else {
+            panic!("expected analyze");
+        };
+        let AnalyzeTarget::Plan { sweeps, slo, replays, format, out, .. } = a.target else {
+            panic!("expected plan");
+        };
+        assert!(sweeps.is_empty());
+        assert_eq!(slo, 0.95);
+        assert_eq!(replays, 5);
+        assert_eq!(format, ExplainFormat::Text);
+        assert_eq!(out, None);
+        let Command::Analyze(a) = parse(&argv("analyze plan t.nbt --format json")).unwrap()
+        else {
+            panic!("expected analyze");
+        };
+        assert!(a.json);
+        assert!(parse(&argv("analyze plan")).is_err());
+        assert!(parse(&argv("analyze plan t.nbt --slo 1.5")).is_err());
+        assert!(parse(&argv("analyze plan t.nbt --format svg")).is_err());
+        let err = parse(&argv("analyze bogus")).unwrap_err();
+        assert!(err.to_string().contains("plan"), "{err}");
+    }
+
+    #[test]
+    fn record_out_flags_parse() {
+        let Command::Faas(f) =
+            parse(&argv("faas --arrivals bursty:2 --record-out day.nbt")).unwrap()
+        else {
+            panic!("expected faas");
+        };
+        assert_eq!(
+            f.frontdoor.expect("front-door mode").record_out.as_deref(),
+            Some("day.nbt")
+        );
+        // Recording is a front-door flag, writes binary (no '-'), and
+        // captures exactly one run (no --curve).
+        assert!(parse(&argv("faas --record-out day.nbt")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --record-out -")).is_err());
+        assert!(parse(&argv("faas --arrivals steady --curve 1,2 --record-out d.nbt")).is_err());
+
+        let Command::Run(run) = parse(&argv("run --record-out stim.nbt")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.record_out.as_deref(), Some("stim.nbt"));
+        assert!(parse(&argv("run --record-out -")).is_err());
+
+        let Command::Cluster(c) =
+            parse(&argv("cluster --boards 4 --record-out stim.nbt")).unwrap()
+        else {
+            panic!("expected cluster");
+        };
+        assert_eq!(c.record_out.as_deref(), Some("stim.nbt"));
+        assert!(parse(&argv("cluster --record-out -")).is_err());
     }
 
     #[test]

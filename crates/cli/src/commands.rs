@@ -66,6 +66,89 @@ fn write_output(path: &str, contents: &str, out: &mut dyn Write) -> Result<(), C
     }
 }
 
+/// Encodes a `run`/`cluster` stimulus as a compact engine-kind binary
+/// trace: every arrival with its board placement, no admission control.
+/// Serving-only header knobs stay zeroed; `analyze plan` needs a serving
+/// trace, but the seekable wire format and reader are shared.
+fn engine_stimulus_trace(
+    events: &EventSequence,
+    seed: u64,
+    boards: u64,
+    slots_per_board: u64,
+    threads: u64,
+    policy: &str,
+    reconfig: SimDuration,
+    assignments: Option<&[usize]>,
+) -> Vec<u8> {
+    use nimblock_app::Priority;
+    use nimblock_obs::record::{
+        TraceFunction, TraceHeader, TraceRecord, TraceVerdict, TraceWriter, KIND_ENGINE,
+    };
+    let mut header = TraceHeader::serving(seed);
+    header.kind = KIND_ENGINE;
+    header.process = "engine".to_owned();
+    header.invocations = events.len() as u64;
+    header.boards = boards;
+    header.slots_per_board = slots_per_board;
+    header.threads = threads;
+    header.policy = policy.to_owned();
+    header.reconfig_micros = reconfig.as_micros();
+    header.max_items = events
+        .events()
+        .iter()
+        .map(|e| u64::from(e.batch_size()))
+        .max()
+        .unwrap_or(1);
+    let mut indices = Vec::with_capacity(events.len());
+    for event in events.events() {
+        let name = event.app().name();
+        let index = match header.functions.iter().position(|f| f.name == name) {
+            Some(index) => index,
+            None => {
+                // Class code = index into `SloClass::ALL` (strictest
+                // first), recovered from the application's priority.
+                let class = match event.priority() {
+                    Priority::High => 0,
+                    Priority::Medium => 1,
+                    Priority::Low => 2,
+                };
+                header.functions.push(TraceFunction { name: name.to_owned(), class });
+                header.functions.len() - 1
+            }
+        };
+        indices.push(index as u32);
+    }
+    // The writer requires monotone arrivals; a loaded stimulus file may
+    // be unsorted, so records go out in arrival order (stable, so equal
+    // arrivals keep their stimulus order).
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events.events()[i].arrival());
+    let mut writer = TraceWriter::new(&header);
+    for &i in &order {
+        let event = &events.events()[i];
+        writer.push(&TraceRecord {
+            arrival_micros: event.arrival().as_micros(),
+            function: indices[i],
+            items: event.batch_size(),
+            tenant: 0,
+            verdict: TraceVerdict::Admit,
+            warm: false,
+            board: assignments.map_or(0, |a| a[i] as u32),
+            queue_wait_micros: 0,
+            work_micros: 0,
+            reconfig_micros: 0,
+        });
+    }
+    writer.finish(None)
+}
+
+/// Writes an engine stimulus trace and prints the one-line receipt.
+fn write_engine_trace(path: &str, trace: &[u8], out: &mut dyn Write) -> Result<(), CliError> {
+    fs::write(path, trace).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    writeln!(out, "recorded stimulus trace written to {path} ({} bytes)", trace.len())
+        .map_err(|e| CliError(e.to_string()))
+}
+
 fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let events = make_sequence(&args.stimulus)?;
     let config = DeviceConfig::zcu106().with_slot_count(args.slots);
@@ -73,6 +156,19 @@ fn run_command(args: &RunArgs, out: &mut dyn Write) -> Result<(), CliError> {
     // exactly the nominal CAP latency, so the invariant check can be exact.
     let exact_reconfig_latency = (config.sd_bandwidth_bytes_per_sec == 0)
         .then(|| nimblock_fpga::Device::new(config.clone()).nominal_reconfig_latency());
+    if let Some(path) = &args.record_out {
+        let trace = engine_stimulus_trace(
+            &events,
+            args.stimulus.seed,
+            1,
+            args.slots as u64,
+            1,
+            "",
+            nimblock_fpga::Device::new(config.clone()).nominal_reconfig_latency(),
+            None,
+        );
+        write_engine_trace(path, &trace, out)?;
+    }
     let mut testbed = Testbed::new(args.scheduler.build()).with_device_config(config);
     let registry = args.metrics_out.as_ref().map(|_| nimblock_obs::Registry::new());
     if let Some(registry) = &registry {
@@ -359,7 +455,22 @@ fn front_door_command(
         return Ok(());
     }
 
-    let report = front.run_at_load(door.load);
+    let report = match door.record_out.as_deref() {
+        Some(path) => {
+            let (report, trace) = front.run_recorded(door.load);
+            fs::write(path, &trace)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            writeln!(
+                out,
+                "recorded {} invocation(s) to {path} ({} bytes)",
+                report.counters.offered,
+                trace.len(),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            report
+        }
+        None => front.run_at_load(door.load),
+    };
     let counters = &report.counters;
     writeln!(
         out,
@@ -529,6 +640,13 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
                 .to_owned(),
         ));
     }
+    if args.sweep_boards.is_some() && args.record_out.is_some() {
+        return Err(CliError(
+            "--record-out is not supported with --sweep-boards \
+             (one trace per run; sweep runs many)"
+                .to_owned(),
+        ));
+    }
     if let Some(sweep) = &args.sweep_boards {
         let mut table = TextTable::new(vec![
             "boards", "mean resp (s)", "p95 (s)", "makespan", "loads",
@@ -569,6 +687,21 @@ fn cluster_command(args: &ClusterArgs, out: &mut dyn Write) -> Result<(), CliErr
         cluster = cluster.with_monitor(args.monitor.config()?);
     }
     let report = cluster.run(&events);
+    if let Some(path) = &args.record_out {
+        let config = DeviceConfig::zcu106();
+        let slots = config.slot_count as u64;
+        let trace = engine_stimulus_trace(
+            &events,
+            args.stimulus.seed,
+            args.boards as u64,
+            slots,
+            args.threads as u64,
+            args.dispatch.name(),
+            nimblock_fpga::Device::new(config).nominal_reconfig_latency(),
+            Some(report.assignments()),
+        );
+        write_engine_trace(path, &trace, out)?;
+    }
     writeln!(
         out,
         "{}: mean response {}s over {} events; per-board loads {:?}",
@@ -675,6 +808,39 @@ fn analyze_command(args: &AnalyzeArgs, out: &mut dyn Write) -> Result<(), CliErr
                 .map_err(|e| CliError(e.to_string()))
             // Fired alerts describe the run, not this command: rendering
             // an alert-bearing document is still a clean exit.
+        }
+        AnalyzeTarget::Plan { path, sweeps, slo, replays, format, out: plan_out } => {
+            let trace = fs::read(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let options = nimblock_plan::PlanOptions {
+                sweeps: sweeps.clone(),
+                slo_target: *slo,
+                replays: *replays,
+            };
+            let report = nimblock_plan::plan(&trace, &options).map_err(CliError)?;
+            let plan_format = match format {
+                nimblock_analyze::ExplainFormat::Text => nimblock_plan::PlanFormat::Text,
+                nimblock_analyze::ExplainFormat::Markdown => nimblock_plan::PlanFormat::Markdown,
+                nimblock_analyze::ExplainFormat::Json => nimblock_plan::PlanFormat::Json,
+            };
+            let rendered = nimblock_plan::render_plan(&report, plan_format);
+            match plan_out.as_deref() {
+                None | Some("-") => {
+                    write!(out, "{rendered}").map_err(|e| CliError(e.to_string()))?
+                }
+                Some(path) => write_output(path, &rendered, out)?,
+            }
+            // A failed byte-identity check means the planner's replay did
+            // not reproduce the recorded day — none of its counterfactual
+            // predictions can be trusted, so the command fails.
+            if report.replay_check == "MISMATCH" {
+                return Err(CliError(
+                    "exact replay of the recorded configuration did not reproduce \
+                     the embedded report byte-for-byte"
+                        .to_owned(),
+                ));
+            }
+            Ok(())
         }
         AnalyzeTarget::Explain { path, format, top } => {
             let text = fs::read_to_string(path)
@@ -1032,6 +1198,92 @@ mod tests {
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze frobnicate")).is_err());
         assert!(parse(&argv("analyze trace")).is_err());
+    }
+
+    #[test]
+    fn faas_record_then_analyze_plan_forecasts_capacity() {
+        let dir = std::env::temp_dir().join("nimblock-cli-plan-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("day.nbt");
+        let trace = trace.to_str().unwrap();
+        let output = run_line(&format!(
+            "faas --arrivals bursty:2000 --invocations 600 --seed 11 --shed-horizon-ms 200 \
+             --rate-limit 300 --burst 32 --record-out {trace}"
+        ));
+        assert!(output.contains("recorded 600 invocation(s)"), "{output}");
+        assert!(output.contains("conservation: exact"), "{output}");
+
+        let text = run_line(&format!("analyze plan {trace} --sweep boards=2..5 --replays 2"));
+        assert!(text.contains("capacity plan"), "{text}");
+        assert!(text.contains("baseline replay byte-identical"), "{text}");
+        assert!(text.contains("error bound"), "{text}");
+        let md = run_line(&format!(
+            "analyze plan {trace} --sweep boards=4..5 --replays 1 --format md"
+        ));
+        assert!(md.starts_with("# Capacity plan"), "{md}");
+        let json = run_line(&format!(
+            "analyze plan {trace} --sweep boards=4..5 --replays 1 --format json"
+        ));
+        let report: nimblock_plan::PlanReport = nimblock_ser::from_str(json.trim()).unwrap();
+        assert_eq!(report.replay_check, "byte-identical");
+        assert_eq!(report.records, 600);
+        assert!(report.error_bound_pp >= 0.0);
+
+        // --out writes the render to a file instead of stdout.
+        let out_path = dir.join("plan.md");
+        let out_path = out_path.to_str().unwrap();
+        run_line(&format!(
+            "analyze plan {trace} --sweep boards=4..5 --replays 1 --format md --out {out_path}"
+        ));
+        assert_eq!(fs::read_to_string(out_path).unwrap(), md);
+    }
+
+    #[test]
+    fn run_and_cluster_record_stimulus_traces() {
+        let dir = std::env::temp_dir().join("nimblock-cli-record-engine-test");
+        fs::create_dir_all(&dir).unwrap();
+        let run_trace = dir.join("run.nbt");
+        let run_trace = run_trace.to_str().unwrap();
+        let output = run_line(&format!(
+            "run --scheduler fcfs --events 4 --seed 9 --record-out {run_trace}"
+        ));
+        assert!(output.contains("recorded stimulus trace written"), "{output}");
+
+        // Engine traces carry placements, not admission decisions, so the
+        // capacity planner refuses them with a pointer at the right flag.
+        let command = parse(&argv(&format!("analyze plan {run_trace}"))).unwrap();
+        let mut sink = Vec::new();
+        let err = execute(&command, &mut sink).unwrap_err();
+        assert!(err.to_string().contains("engine stimulus trace"), "{err}");
+
+        let cluster_trace = dir.join("cluster.nbt");
+        let cluster_trace = cluster_trace.to_str().unwrap();
+        run_line(&format!(
+            "cluster --boards 3 --events 6 --seed 8 --batch 2 --delay-ms 100 \
+             --dispatch rr --record-out {cluster_trace}"
+        ));
+        let bytes = fs::read(cluster_trace).unwrap();
+        let reader = nimblock_obs::record::TraceReader::parse(&bytes).unwrap();
+        assert_eq!(reader.header().kind, nimblock_obs::record::KIND_ENGINE);
+        assert_eq!(reader.header().boards, 3);
+        assert_eq!(reader.header().policy, "round-robin");
+        assert_eq!(reader.summary().records, 6);
+        assert_eq!(reader.summary().admitted, 6, "engine arrivals are all admitted");
+        // Round-robin placements ride along with the stimulus.
+        let boards: Vec<u32> = reader.records().map(|r| r.unwrap().board).collect();
+        let mut seen = boards.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() > 1, "placements should spread: {boards:?}");
+
+        // Sweeps run many configurations; one trace cannot describe them.
+        let command = parse(&argv(&format!(
+            "cluster --sweep-boards 1,2 --events 4 --record-out {cluster_trace}"
+        )))
+        .unwrap();
+        let mut sink = Vec::new();
+        let err = execute(&command, &mut sink).unwrap_err();
+        assert!(err.to_string().contains("--sweep-boards"), "{err}");
     }
 
     #[test]

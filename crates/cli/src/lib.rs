@@ -13,7 +13,8 @@
 //!   (the same engine `run --check-invariants` applies inline), or
 //!   `explain` a trace — decompose every application's response time into
 //!   six exactly-summing attribution components with critical-path span
-//!   trees — or render a continuous-monitoring document (`monitor`),
+//!   trees — render a continuous-monitoring document (`monitor`), or
+//!   forecast what-if fleet shapes from a recorded serving trace (`plan`),
 //! * `faas` / `cluster` — the scale-out deployment shapes.
 //!
 //! `run` and `cluster` optionally attach a continuous monitor
@@ -44,7 +45,8 @@ USAGE:
   nimblock-cli run      [--scheduler NAME] [stimulus options | --input FILE]
                         [--slots N] [--json FILE] [--gantt]
                         [--metrics-out FILE] [--trace-format FMT [--trace-out FILE]]
-                        [--check-invariants] [monitor options]
+                        [--check-invariants] [--record-out FILE]
+                        [monitor options]
   nimblock-cli compare  [stimulus options | --input FILE] [--slots N]
   nimblock-cli analyze  lint [--root DIR] [--json]
   nimblock-cli analyze  deep [--root DIR] [--format text|md|json]
@@ -52,6 +54,8 @@ USAGE:
   nimblock-cli analyze  trace FILE [--json] [--mechanism-only]
   nimblock-cli analyze  explain FILE [--format text|md|json] [--top N]
   nimblock-cli analyze  monitor FILE [--format text|md|json]
+  nimblock-cli analyze  plan TRACE [--sweep NAME=SPEC]... [--slo F]
+                        [--replays N] [--format text|md|json] [--out FILE]
   nimblock-cli faas     [--seed N] [--invocations N] [--mean-gap-ms N]
                         [--scheduler NAME]
   nimblock-cli faas     --arrivals KIND[:RATE] [--seed N] [--invocations N]
@@ -60,10 +64,11 @@ USAGE:
                         [--shed-horizon-ms N] [--max-items N] [--load F]
                         [--curve F,F,... [--slo-curve-out FILE]]
                         [--format text|md|json] [--json FILE]
-                        [--metrics-out FILE]
+                        [--metrics-out FILE] [--record-out FILE]
   nimblock-cli cluster  [--boards N | --sweep-boards N,N,...] [--scheduler NAME]
                         [--dispatch POLICY] [--cluster-threads N]
-                        [stimulus options] [monitor options]
+                        [--record-out FILE] [stimulus options]
+                        [monitor options]
 
 STIMULUS OPTIONS (used by run/compare when no --input is given):
   --scenario standard|stress|realtime   congestion condition [stress]
@@ -104,6 +109,24 @@ OTHER:
                        text | md | json [text]
   --top N              analyze explain: how many of the slowest applications
                        get their critical-path span trees printed [5]
+  --record-out FILE    write the offered traffic as a compact binary trace:
+                       `faas --arrivals` records the serving day (for
+                       `analyze plan`); run/cluster record the stimulus
+                       with board placements
+
+CAPACITY PLANNING (analyze plan; forecast what-if fleet shapes, §18):
+  TRACE                a recorded serving trace (faas ... --record-out FILE)
+  --sweep NAME=SPEC    sweep axis, repeatable; axes cross-product. SPEC is
+                       lo..hi, lo..hi:step, or a comma list:
+                         boards=1..32  slots=2,3  reconfig-ms=40,80
+                         policy=rr (cache-aware | rr | fewest-apps |
+                                    least-outstanding)
+                       [boards=1..8]
+  --slo F              offered-attainment target the recommendation must
+                       meet, fraction [0.95]
+  --replays N          scenarios validated by exact replay; the worst
+                       error is the report's error bound [5]
+  --out FILE           where the plan report goes ('-' for stdout) [stdout]
 
 FRONT DOOR (faas --arrivals; the streaming serving layer, DESIGN.md §17):
   --arrivals KIND[:RATE] arrival process: steady | diurnal | bursty, with a

@@ -40,6 +40,7 @@ use nimblock_metrics::{
     AttributionComponents, ClassAttainment, CurvePoint, ServingCounters, ShedExplanation,
     SloCurve,
 };
+use nimblock_obs::record::{TraceFunction, TraceHeader, TraceRecord, TraceVerdict, TraceWriter};
 use nimblock_obs::{QuantileDigest, Registry};
 use nimblock_prng::Prng;
 use nimblock_ser::impl_json_struct;
@@ -84,6 +85,24 @@ pub struct FrontDoorConfig {
     pub chunk: usize,
 }
 
+/// One offered invocation: the output of the generation stage (arrival
+/// instant, function index in sorted-name registry order, batch items,
+/// tenant). Everything downstream — admission, routing, shedding,
+/// serving — is a deterministic function of this sequence and the
+/// configuration, which is what makes recorded traces exactly
+/// replayable (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfferedInvocation {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Function index, in `FunctionRegistry::names()` (sorted) order.
+    pub function: usize,
+    /// Batch items of the invocation.
+    pub items: u32,
+    /// Offering tenant.
+    pub tenant: usize,
+}
+
 impl FrontDoorConfig {
     /// A front door with steady 0.1/s arrivals (the paper's benchmark mix
     /// runs 0.4 s – 788 s per invocation, so cluster capacity is on the
@@ -108,6 +127,76 @@ impl FrontDoorConfig {
             chunk: 65_536,
         }
     }
+
+    /// Rebuilds a configuration from a recorded trace header. The
+    /// inverse of [`FrontDoor::trace_header`]: replaying the recorded
+    /// invocations through the resulting config reproduces the recorded
+    /// run's report byte-for-byte.
+    pub fn from_trace_header(header: &TraceHeader) -> Result<Self, String> {
+        let process = ArrivalProcess::parse(&header.process)
+            .map_err(|e| format!("trace header arrival process: {e}"))?;
+        let policy = DispatchPolicy::parse(&header.policy)
+            .ok_or_else(|| format!("trace header has unknown policy '{}'", header.policy))?;
+        if header.tenants == 0 || header.boards == 0 || header.slots_per_board == 0 {
+            return Err("trace header has a degenerate fleet (zero tenants/boards/slots)".into());
+        }
+        if header.max_items == 0 || header.chunk == 0 {
+            return Err("trace header has zero max_items or chunk".into());
+        }
+        Ok(FrontDoorConfig {
+            seed: header.seed,
+            invocations: header.invocations,
+            process,
+            tenants: header.tenants as usize,
+            tenant_policy: TenantPolicy {
+                rate_per_sec: header.tenant_rate_per_sec,
+                burst: header.tenant_burst,
+                quota: header.tenant_quota,
+            },
+            boards: header.boards as usize,
+            slots_per_board: header.slots_per_board as usize,
+            threads: header.threads as usize,
+            policy,
+            reconfig: SimDuration::from_micros(header.reconfig_micros),
+            max_items: header.max_items as u32,
+            shed_horizon: SimDuration::from_micros(header.shed_horizon_micros),
+            chunk: header.chunk as usize,
+        })
+    }
+}
+
+/// Checks that `registry` deploys exactly the trace's function table —
+/// same names, same order, same SLO classes — so recorded function
+/// indices resolve to the apps they were recorded against.
+pub fn verify_trace_functions(
+    registry: &FunctionRegistry,
+    header: &TraceHeader,
+) -> Result<(), String> {
+    let names = registry.names();
+    if names.len() != header.functions.len() {
+        return Err(format!(
+            "trace deploys {} function(s), registry has {}",
+            header.functions.len(),
+            names.len()
+        ));
+    }
+    for (name, function) in names.iter().zip(&header.functions) {
+        if *name != function.name {
+            return Err(format!(
+                "trace function '{}' does not match deployed '{name}'",
+                function.name
+            ));
+        }
+        let slo = registry.slo(name).expect("names() lists deployed functions");
+        if class_index(slo) as u8 != function.class {
+            return Err(format!(
+                "trace function '{name}' has class code {}, registry says {}",
+                function.class,
+                class_index(slo)
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Per-tenant outcome row of a front-door run.
@@ -314,6 +403,98 @@ impl FrontDoor {
 
     /// Runs the pipeline with the arrival rate scaled by `load_factor`.
     pub fn run_at_load(&self, load_factor: f64) -> FrontDoorReport {
+        self.serve(load_factor, self.generated(load_factor), None)
+    }
+
+    /// Runs the pipeline while recording every offered invocation into a
+    /// compact trace (DESIGN.md §18). Returns the report and the finished
+    /// trace bytes; the trace embeds the report's JSON, so `analyze plan`
+    /// can later require its exact replay to be byte-identical.
+    pub fn run_recorded(&self, load_factor: f64) -> (FrontDoorReport, Vec<u8>) {
+        let mut writer = TraceWriter::new(&self.trace_header(load_factor));
+        let report = self.serve(load_factor, self.generated(load_factor), Some(&mut writer));
+        let json = nimblock_ser::to_string_pretty(&report);
+        (report, writer.finish(Some(&json)))
+    }
+
+    /// Replays an explicit offered sequence (typically decoded from a
+    /// recorded trace) through this front door's configuration. With the
+    /// recorded configuration the result is byte-identical to the
+    /// recorded run; with a counterfactual configuration (different
+    /// fleet, policy, or reconfiguration latency) it answers "what would
+    /// that day have looked like on this cluster".
+    pub fn replay(
+        &self,
+        load_factor: f64,
+        offered: impl Iterator<Item = OfferedInvocation>,
+    ) -> FrontDoorReport {
+        self.serve(load_factor, offered, None)
+    }
+
+    /// The trace header describing this front door's configuration and
+    /// function table.
+    pub fn trace_header(&self, load_factor: f64) -> TraceHeader {
+        let config = &self.config;
+        TraceHeader {
+            kind: nimblock_obs::record::KIND_SERVING,
+            seed: config.seed,
+            load_factor,
+            invocations: config.invocations,
+            process: config.process.spec(),
+            tenants: config.tenants as u64,
+            tenant_rate_per_sec: config.tenant_policy.rate_per_sec,
+            tenant_burst: config.tenant_policy.burst,
+            tenant_quota: config.tenant_policy.quota,
+            boards: config.boards as u64,
+            slots_per_board: config.slots_per_board as u64,
+            threads: config.threads as u64,
+            policy: config.policy.name().to_owned(),
+            reconfig_micros: config.reconfig.as_micros(),
+            max_items: u64::from(config.max_items),
+            shed_horizon_micros: config.shed_horizon.as_micros(),
+            chunk: config.chunk as u64,
+            functions: self
+                .registry
+                .names()
+                .iter()
+                .map(|name| TraceFunction {
+                    name: (*name).to_owned(),
+                    class: class_index(
+                        self.registry.slo(name).expect("names() lists deployed functions"),
+                    ) as u8,
+                })
+                .collect(),
+        }
+    }
+
+    /// The generation stage as a lazy iterator: arrival-stream gaps, Zipf
+    /// function popularity, uniform batch items and tenants. O(1) state.
+    fn generated(&self, load_factor: f64) -> impl Iterator<Item = OfferedInvocation> {
+        let config = self.config;
+        let sampler = ZipfSampler::new(self.registry.len(), 1.0);
+        let mut stream = config.process.stream(config.seed, load_factor);
+        let mut rng = Prng::seed_from_u64(config.seed ^ 0xFAA5_C0DE);
+        let mut now = SimTime::ZERO;
+        (0..config.invocations).map(move |_| {
+            now += stream.next_gap();
+            let function = sampler.sample(&mut rng);
+            let items = rng.gen_range(1..=config.max_items);
+            let tenant = rng.gen_range(0..config.tenants);
+            OfferedInvocation { at: now, function, items, tenant }
+        })
+    }
+
+    /// The shared serving loop behind [`FrontDoor::run_at_load`],
+    /// [`FrontDoor::run_recorded`], and [`FrontDoor::replay`]: admission,
+    /// routing, shedding, and chunked board serving over any offered
+    /// sequence. One code path, so recorded traces replay through exactly
+    /// the logic that produced them.
+    fn serve(
+        &self,
+        load_factor: f64,
+        offered: impl Iterator<Item = OfferedInvocation>,
+        mut recorder: Option<&mut TraceWriter>,
+    ) -> FrontDoorReport {
         let config = &self.config;
         let functions: Vec<(Arc<nimblock_app::AppSpec>, SloClass)> = self
             .registry
@@ -327,9 +508,6 @@ impl FrontDoor {
                 (Arc::clone(&function.app), function.slo)
             })
             .collect();
-        let sampler = ZipfSampler::new(functions.len(), 1.0);
-        let mut stream = config.process.stream(config.seed, load_factor);
-        let mut rng = Prng::seed_from_u64(config.seed ^ 0xFAA5_C0DE);
         let mut dispatcher = Dispatcher::new(config.policy, config.boards, config.reconfig);
         let mut tenants = TenantRegistry::new(config.tenants, config.tenant_policy);
         let mut counters = ServingCounters::default();
@@ -350,19 +528,31 @@ impl FrontDoor {
         let threads = pool::resolve_threads(config.threads);
 
         let mut now = SimTime::ZERO;
-        for _ in 0..config.invocations {
-            now += stream.next_gap();
-            let function_index = sampler.sample(&mut rng);
-            let items = rng.gen_range(1..=config.max_items);
-            let tenant = rng.gen_range(0..config.tenants);
+        for invocation in offered {
+            now = invocation.at;
+            let OfferedInvocation { function: function_index, items, tenant, .. } = invocation;
             counters.offered += 1;
             match tenants.judge(tenant, now) {
-                AdmissionVerdict::RejectRate => {
-                    counters.rejected_rate += 1;
-                    continue;
-                }
-                AdmissionVerdict::RejectQuota => {
-                    counters.rejected_quota += 1;
+                verdict @ (AdmissionVerdict::RejectRate | AdmissionVerdict::RejectQuota) => {
+                    if verdict == AdmissionVerdict::RejectRate {
+                        counters.rejected_rate += 1;
+                    } else {
+                        counters.rejected_quota += 1;
+                    }
+                    if let Some(writer) = recorder.as_deref_mut() {
+                        writer.push(&TraceRecord {
+                            arrival_micros: now.as_micros(),
+                            function: function_index as u32,
+                            items,
+                            tenant: tenant as u32,
+                            verdict: if verdict == AdmissionVerdict::RejectRate {
+                                TraceVerdict::RejectRate
+                            } else {
+                                TraceVerdict::RejectQuota
+                            },
+                            ..TraceRecord::default()
+                        });
+                    }
                     continue;
                 }
                 AdmissionVerdict::Admit => {}
@@ -408,11 +598,43 @@ impl FrontDoor {
                         },
                         budget_micros: budget.as_micros(),
                     });
+                if let Some(writer) = recorder.as_deref_mut() {
+                    writer.push(&TraceRecord {
+                        arrival_micros: now.as_micros(),
+                        function: function_index as u32,
+                        items,
+                        tenant: tenant as u32,
+                        verdict: if over_backlog {
+                            TraceVerdict::ShedBacklog
+                        } else {
+                            TraceVerdict::ShedDeadline
+                        },
+                        warm: decision.warm,
+                        queue_wait_micros: decision.queue_wait.as_micros(),
+                        work_micros: decision.work.as_micros(),
+                        reconfig_micros: reconfig_part.as_micros(),
+                        ..TraceRecord::default()
+                    });
+                }
                 continue;
             }
             dispatcher.commit(&event, &decision);
             tenants.record_admission(tenant, now + predicted);
             counters.admitted += 1;
+            if let Some(writer) = recorder.as_deref_mut() {
+                writer.push(&TraceRecord {
+                    arrival_micros: now.as_micros(),
+                    function: function_index as u32,
+                    items,
+                    tenant: tenant as u32,
+                    verdict: TraceVerdict::Admit,
+                    warm: decision.warm,
+                    board: decision.board as u32,
+                    queue_wait_micros: decision.queue_wait.as_micros(),
+                    work_micros: decision.work.as_micros(),
+                    ..TraceRecord::default()
+                });
+            }
             chunks[decision.board].push(ServeItem {
                 arrival: now,
                 work: decision.work,
@@ -764,5 +986,84 @@ mod tests {
     #[should_panic(expected = "deployed functions")]
     fn empty_registry_is_rejected() {
         let _ = FrontDoor::new(FunctionRegistry::new(), FrontDoorConfig::new(1));
+    }
+
+    #[test]
+    fn recording_changes_nothing_and_replay_is_byte_identical() {
+        let mut config = overload_config(43);
+        config.invocations = 5_000;
+        let door = FrontDoor::new(FunctionRegistry::benchmark_suite(), config);
+        let plain = door.run();
+        let (recorded, bytes) = door.run_recorded(1.0);
+        assert_eq!(
+            nimblock_ser::to_string_pretty(&plain),
+            nimblock_ser::to_string_pretty(&recorded),
+            "recording must not perturb the run"
+        );
+        let reader = nimblock_obs::TraceReader::parse(&bytes).expect("trace parses");
+        assert_eq!(reader.summary().records, 5_000);
+        assert_eq!(reader.summary().admitted, recorded.counters.admitted);
+        assert_eq!(
+            reader.report_json(),
+            Some(nimblock_ser::to_string_pretty(&recorded).as_str())
+        );
+        // Replaying the recorded arrivals through the recorded config
+        // reproduces the report byte-for-byte.
+        let header = reader.header();
+        let replay_config =
+            FrontDoorConfig::from_trace_header(header).expect("header converts");
+        assert_eq!(replay_config, config);
+        verify_trace_functions(&FunctionRegistry::benchmark_suite(), header)
+            .expect("benchmark suite matches its own trace");
+        let offered = reader.records().map(|record| {
+            let record = record.expect("records decode");
+            OfferedInvocation {
+                at: SimTime::from_micros(record.arrival_micros),
+                function: record.function as usize,
+                items: record.items,
+                tenant: record.tenant as usize,
+            }
+        });
+        let replayed = FrontDoor::new(FunctionRegistry::benchmark_suite(), replay_config)
+            .replay(header.load_factor, offered);
+        assert_eq!(
+            nimblock_ser::to_string_pretty(&replayed),
+            nimblock_ser::to_string_pretty(&recorded),
+            "exact replay must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn counterfactual_replay_changes_capacity_not_traffic() {
+        let mut config = overload_config(47);
+        config.invocations = 4_000;
+        let door = FrontDoor::new(FunctionRegistry::benchmark_suite(), config);
+        let (_, bytes) = door.run_recorded(1.0);
+        let reader = nimblock_obs::TraceReader::parse(&bytes).expect("parses");
+        let offered: Vec<OfferedInvocation> = reader
+            .records()
+            .map(|record| {
+                let record = record.expect("decodes");
+                OfferedInvocation {
+                    at: SimTime::from_micros(record.arrival_micros),
+                    function: record.function as usize,
+                    items: record.items,
+                    tenant: record.tenant as usize,
+                }
+            })
+            .collect();
+        let mut bigger = FrontDoorConfig::from_trace_header(reader.header()).expect("converts");
+        bigger.boards *= 4;
+        let base = FrontDoor::new(FunctionRegistry::benchmark_suite(), config)
+            .replay(1.0, offered.iter().copied());
+        let scaled = FrontDoor::new(FunctionRegistry::benchmark_suite(), bigger)
+            .replay(1.0, offered.iter().copied());
+        assert_eq!(scaled.counters.offered, base.counters.offered, "same traffic");
+        assert!(
+            scaled.counters.shed() <= base.counters.shed(),
+            "4x the boards must not shed more ({} vs {})",
+            scaled.counters.shed(),
+            base.counters.shed()
+        );
     }
 }

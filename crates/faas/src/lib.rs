@@ -46,7 +46,10 @@ mod registry;
 mod tenants;
 mod workload;
 
-pub use frontdoor::{FrontDoor, FrontDoorConfig, FrontDoorReport, TenantOutcome};
+pub use frontdoor::{
+    verify_trace_functions, FrontDoor, FrontDoorConfig, FrontDoorReport, OfferedInvocation,
+    TenantOutcome,
+};
 pub use gateway::{FaasGateway, FaasSummary, FunctionStats};
 pub use registry::{FaasError, FunctionRegistry, SloClass};
 pub use tenants::{AdmissionVerdict, TenantPolicy, TenantRegistry};

@@ -168,6 +168,13 @@ impl FunctionRegistry {
         self.functions.get(name).map(|f| f.slo)
     }
 
+    /// Returns the deployed application behind `name`, if any. The
+    /// capacity planner uses this to re-price recorded work under
+    /// counterfactual reconfiguration latencies.
+    pub fn app(&self, name: &str) -> Option<Arc<AppSpec>> {
+        self.functions.get(name).map(|f| Arc::clone(&f.app))
+    }
+
     pub(crate) fn get(&self, name: &str) -> Result<&Function, FaasError> {
         self.functions
             .get(name)

@@ -31,6 +31,10 @@
 //!   virtual-time tumbling-window aggregator ([`MonitorState`]), the
 //!   [`FlightRecorder`] post-mortem ring, and the [`SloEngine`] rules
 //!   engine behind `--timeseries-out` / `analyze monitor`.
+//! - **[`record`]** — compact record/replay traces: a delta/varint
+//!   binary format capturing every offered invocation of a
+//!   production-scale run ([`TraceWriter`], zero-copy [`TraceReader`]),
+//!   the substrate of the `analyze plan` capacity planner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@
 pub mod chrome;
 pub mod gantt;
 pub mod log;
+pub mod record;
 pub mod registry;
 pub mod spans;
 pub mod timeseries;
@@ -48,6 +53,9 @@ pub use log::{capture, log_emit, log_enabled, set_filter, CaptureGuard, Level};
 pub use registry::{
     validate_prometheus, Counter, Gauge, Histogram, QuantileDigest, Registry, DIGEST_BUCKETS,
     DIGEST_SUB_BUCKETS, HISTOGRAM_FINITE_BUCKETS,
+};
+pub use record::{
+    TraceFunction, TraceHeader, TraceReader, TraceRecord, TraceSummary, TraceVerdict, TraceWriter,
 };
 pub use spans::{format_micros, Span, SpanBuffer, SpanKind};
 pub use timeseries::{

@@ -1098,6 +1098,7 @@ impl MonitorState {
             recorder_dropped: self.recorder.dropped(),
             trigger: None,
             span_tree: None,
+            span_dropped: 0,
         }
     }
 }
@@ -1172,6 +1173,9 @@ pub struct MonitorDoc {
     pub trigger: Option<String>,
     /// Rendered span tree of the app implicated by the trigger.
     pub span_tree: Option<String>,
+    /// Candidate span trees a post-mortem discarded because its bounded
+    /// [`crate::SpanBuffer`] was full (0 for plain exports).
+    pub span_dropped: u64,
 }
 
 impl_json_struct!(MonitorDoc {
@@ -1185,7 +1189,8 @@ impl_json_struct!(MonitorDoc {
     recorder,
     recorder_dropped,
     trigger,
-    span_tree
+    span_tree,
+    span_dropped
 });
 
 #[cfg(test)]

@@ -1,0 +1,357 @@
+//! The planner's report model and its text/markdown/JSON renders.
+//!
+//! Every scenario row carries the estimator's prediction; rows picked
+//! for validation also carry the exact replay and the absolute
+//! attainment error in percentage points. The report-level
+//! `error_bound_pp` is the worst such error — the caveat every
+//! prediction in the table ships with.
+
+use nimblock_metrics::TextTable;
+use nimblock_ser::impl_json_struct;
+
+/// Predicted (or exactly replayed) outcome of serving the recorded
+/// traffic on one scenario's fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Invocations offered (always the recorded traffic).
+    pub offered: u64,
+    /// Invocations admitted and served.
+    pub admitted: u64,
+    /// Invocations shed by the backlog or deadline guards.
+    pub shed: u64,
+    /// Invocations rejected by tenant admission control.
+    pub rejected: u64,
+    /// SLO attainment over admitted invocations.
+    pub attainment: f64,
+    /// SLO attainment over offered invocations — the planning axis.
+    pub offered_attainment: f64,
+    /// Per-class attainment over admitted invocations, strictest class
+    /// first (latency, standard, batch).
+    pub class_attainment: Vec<f64>,
+    /// SLO-met invocations per virtual second.
+    pub goodput_per_sec: f64,
+    /// Fleet cost: boards × virtual duration, board-seconds.
+    pub board_seconds: f64,
+}
+
+impl_json_struct!(Outcome {
+    offered, admitted, shed, rejected, attainment, offered_attainment,
+    class_attainment, goodput_per_sec, board_seconds,
+});
+
+/// One scenario of the sweep: the configuration knobs, the estimator's
+/// prediction, and (for sampled rows) the exact replay next to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Boards in the counterfactual fleet.
+    pub boards: u64,
+    /// Slots per board.
+    pub slots: u64,
+    /// Routing policy name.
+    pub policy: String,
+    /// Partial-reconfiguration latency, milliseconds.
+    pub reconfig_ms: f64,
+    /// The estimator's prediction.
+    pub predicted: Outcome,
+    /// Exact replay, when this row was sampled for validation.
+    pub exact: Option<Outcome>,
+    /// Worst absolute attainment error vs the exact replay, percentage
+    /// points (overall and per class), when sampled.
+    pub error_pp: Option<f64>,
+}
+
+impl_json_struct!(ScenarioRow {
+    boards, slots, policy, reconfig_ms, predicted, exact, error_pp,
+});
+
+/// The full capacity-planning report: recorded-run context, calibration,
+/// validation verdicts, and the swept scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Seed of the recorded run.
+    pub seed: u64,
+    /// Records in the trace (equals offered invocations).
+    pub records: u64,
+    /// Arrival-process spec of the recorded run.
+    pub process: String,
+    /// Load multiplier of the recorded run.
+    pub load_factor: f64,
+    /// Deployed functions in the recorded run.
+    pub functions: u64,
+    /// Tenants sharing the recorded cluster.
+    pub tenants: u64,
+    /// Recorded fleet size.
+    pub baseline_boards: u64,
+    /// Recorded slots per board.
+    pub baseline_slots: u64,
+    /// Recorded routing policy.
+    pub baseline_policy: String,
+    /// Recorded reconfiguration latency, milliseconds.
+    pub baseline_reconfig_ms: f64,
+    /// Offered-attainment target the recommendation must meet.
+    pub slo_target: f64,
+    /// Calibrated warm rate (from the recorded attribution components).
+    pub warm_rate: f64,
+    /// Calibrated queue-wait scale.
+    pub queue_scale: f64,
+    /// Baseline byte-identity verdict: `byte-identical`, `MISMATCH`, or
+    /// `report-missing` when the trace embeds no report.
+    pub replay_check: String,
+    /// Scenarios validated by exact replay.
+    pub sampled_replays: u64,
+    /// Worst estimator attainment error across the sampled replays,
+    /// percentage points.
+    pub error_bound_pp: f64,
+    /// Cheapest scenario predicted to meet the SLO target, if any.
+    pub recommendation: Option<String>,
+    /// The swept scenarios, cross-product order.
+    pub scenarios: Vec<ScenarioRow>,
+}
+
+impl_json_struct!(PlanReport {
+    seed, records, process, load_factor, functions, tenants,
+    baseline_boards, baseline_slots, baseline_policy, baseline_reconfig_ms,
+    slo_target, warm_rate, queue_scale, replay_check, sampled_replays,
+    error_bound_pp, recommendation, scenarios,
+});
+
+/// Output format of [`render_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanFormat {
+    /// Aligned plain-text table.
+    Text,
+    /// GitHub-flavoured markdown.
+    Markdown,
+    /// The report's canonical pretty-printed JSON.
+    Json,
+}
+
+impl PlanFormat {
+    /// Parses a `--format` value.
+    pub fn parse(value: &str) -> Option<PlanFormat> {
+        match value {
+            "text" => Some(PlanFormat::Text),
+            "md" | "markdown" => Some(PlanFormat::Markdown),
+            "json" => Some(PlanFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Percentage with one decimal — the render's attainment precision.
+fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// The scenario table's column headers, shared by text and markdown.
+fn table_headers() -> Vec<&'static str> {
+    vec![
+        "boards", "slots", "policy", "reconfig-ms", "att%", "latency%", "standard%", "batch%",
+        "shed", "rejected", "board-s", "exact-att%", "err-pp",
+    ]
+}
+
+/// One scenario's table cells, shared by text and markdown.
+fn table_cells(row: &ScenarioRow) -> Vec<String> {
+    let class = |index: usize| {
+        row.predicted
+            .class_attainment
+            .get(index)
+            .map(|&v| pct(v))
+            .unwrap_or_else(|| "-".to_owned())
+    };
+    vec![
+        row.boards.to_string(),
+        row.slots.to_string(),
+        row.policy.clone(),
+        format!("{:.1}", row.reconfig_ms),
+        pct(row.predicted.offered_attainment),
+        class(0),
+        class(1),
+        class(2),
+        row.predicted.shed.to_string(),
+        row.predicted.rejected.to_string(),
+        format!("{:.1}", row.predicted.board_seconds),
+        row.exact
+            .as_ref()
+            .map(|exact| pct(exact.offered_attainment))
+            .unwrap_or_else(|| "-".to_owned()),
+        row.error_pp
+            .map(|error| format!("{error:.2}"))
+            .unwrap_or_else(|| "-".to_owned()),
+    ]
+}
+
+/// The context lines above the scenario table, shared by text and
+/// markdown (markdown prefixes them with list bullets).
+fn summary_lines(report: &PlanReport) -> Vec<String> {
+    vec![
+        format!(
+            "trace: seed {}, {} record(s), {} @ {:.2}x load, {} function(s), {} tenant(s)",
+            report.seed,
+            report.records,
+            report.process,
+            report.load_factor,
+            report.functions,
+            report.tenants,
+        ),
+        format!(
+            "baseline: {} board(s) x {} slot(s), {} routing, {:.1} ms reconfig",
+            report.baseline_boards,
+            report.baseline_slots,
+            report.baseline_policy,
+            report.baseline_reconfig_ms,
+        ),
+        format!(
+            "calibration: warm rate {}%, queue scale {:.3}",
+            pct(report.warm_rate),
+            report.queue_scale,
+        ),
+        format!(
+            "validation: baseline replay {}, {} sampled exact replay(s), error bound {:.2} pp",
+            report.replay_check, report.sampled_replays, report.error_bound_pp,
+        ),
+        format!(
+            "recommendation (SLO target {}%): {}",
+            pct(report.slo_target),
+            report
+                .recommendation
+                .as_deref()
+                .unwrap_or("no swept scenario meets the target"),
+        ),
+    ]
+}
+
+/// Renders a planning report in the requested format. Deterministic: the
+/// same report always renders to the same bytes.
+pub fn render_plan(report: &PlanReport, format: PlanFormat) -> String {
+    match format {
+        PlanFormat::Json => {
+            let mut text = nimblock_ser::to_string_pretty(report);
+            text.push('\n');
+            text
+        }
+        PlanFormat::Text => {
+            let mut out = String::from("capacity plan\n=============\n");
+            for line in summary_lines(report) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            out.push('\n');
+            let mut table = TextTable::new(table_headers());
+            for row in &report.scenarios {
+                table.row(table_cells(row));
+            }
+            out.push_str(&table.to_string());
+            out
+        }
+        PlanFormat::Markdown => {
+            let mut out = String::from("# Capacity plan\n\n");
+            for line in summary_lines(report) {
+                out.push_str("- ");
+                out.push_str(&line);
+                out.push('\n');
+            }
+            out.push('\n');
+            let headers = table_headers();
+            out.push_str(&format!("| {} |\n", headers.join(" | ")));
+            out.push_str(&format!(
+                "|{}\n",
+                " --- |".repeat(headers.len())
+            ));
+            for row in &report.scenarios {
+                out.push_str(&format!("| {} |\n", table_cells(row).join(" | ")));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanReport {
+        let predicted = Outcome {
+            offered: 1_000,
+            admitted: 800,
+            shed: 150,
+            rejected: 50,
+            attainment: 0.9,
+            offered_attainment: 0.72,
+            class_attainment: vec![0.95, 0.9, 0.8],
+            goodput_per_sec: 12.5,
+            board_seconds: 48.0,
+        };
+        PlanReport {
+            seed: 7,
+            records: 1_000,
+            process: "bursty:2000".to_owned(),
+            load_factor: 1.0,
+            functions: 6,
+            tenants: 4,
+            baseline_boards: 4,
+            baseline_slots: 3,
+            baseline_policy: "cache-aware".to_owned(),
+            baseline_reconfig_ms: 80.0,
+            slo_target: 0.95,
+            warm_rate: 0.42,
+            queue_scale: 1.25,
+            replay_check: "byte-identical".to_owned(),
+            sampled_replays: 1,
+            error_bound_pp: 1.5,
+            recommendation: Some("4 board(s) x 3 slot(s)".to_owned()),
+            scenarios: vec![ScenarioRow {
+                boards: 4,
+                slots: 3,
+                policy: "cache-aware".to_owned(),
+                reconfig_ms: 80.0,
+                predicted: predicted.clone(),
+                exact: Some(predicted),
+                error_pp: Some(1.5),
+            }],
+        }
+    }
+
+    #[test]
+    fn formats_parse() {
+        assert_eq!(PlanFormat::parse("text"), Some(PlanFormat::Text));
+        assert_eq!(PlanFormat::parse("md"), Some(PlanFormat::Markdown));
+        assert_eq!(PlanFormat::parse("markdown"), Some(PlanFormat::Markdown));
+        assert_eq!(PlanFormat::parse("json"), Some(PlanFormat::Json));
+        assert_eq!(PlanFormat::parse("csv"), None);
+    }
+
+    #[test]
+    fn text_render_carries_the_error_bound_and_classes() {
+        let text = render_plan(&sample(), PlanFormat::Text);
+        assert!(text.contains("error bound 1.50 pp"), "{text}");
+        assert!(text.contains("byte-identical"), "{text}");
+        assert!(text.contains("latency%"), "{text}");
+        assert!(text.contains("95.0"), "{text}");
+        assert!(text.contains("recommendation"), "{text}");
+    }
+
+    #[test]
+    fn markdown_render_is_a_pipe_table() {
+        let md = render_plan(&sample(), PlanFormat::Markdown);
+        assert!(md.starts_with("# Capacity plan"), "{md}");
+        assert!(md.contains("| boards | slots |"), "{md}");
+        assert!(md.contains("| 4 | 3 | cache-aware | 80.0 |"), "{md}");
+    }
+
+    #[test]
+    fn json_render_round_trips() {
+        let report = sample();
+        let json = render_plan(&report, PlanFormat::Json);
+        let back: PlanReport = nimblock_ser::from_str(json.trim_end()).expect("round-trips");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        for format in [PlanFormat::Text, PlanFormat::Markdown, PlanFormat::Json] {
+            assert_eq!(render_plan(&sample(), format), render_plan(&sample(), format));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Sweep-spec parsing and scenario expansion.
+//!
+//! A sweep axis is `name=spec` where `name` picks the knob and `spec` is
+//! either an inclusive range `lo..hi[:step]` (integer knobs) or a
+//! comma-separated list. Axes combine as a cross product; knobs without
+//! an axis stay pinned at the recorded baseline:
+//!
+//! ```text
+//! --sweep boards=1..32
+//! --sweep boards=2..16:2 --sweep reconfig-ms=40,80,160
+//! --sweep policy=cache-aware,round-robin --sweep slots=2..4
+//! ```
+
+use nimblock_cluster::DispatchPolicy;
+use nimblock_obs::record::TraceHeader;
+use nimblock_sim::SimDuration;
+
+/// Hard cap on the cross-product size — a guard against runaway sweeps,
+/// not a tuning knob.
+pub const MAX_SCENARIOS: usize = 512;
+
+/// One counterfactual fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Boards in the fleet.
+    pub boards: u64,
+    /// Reconfigurable slots per board.
+    pub slots: u64,
+    /// Partial-reconfiguration (CAP) latency.
+    pub reconfig: SimDuration,
+    /// Board-selection policy.
+    pub policy: DispatchPolicy,
+}
+
+impl Scenario {
+    /// The recorded run's own configuration.
+    pub fn baseline(header: &TraceHeader) -> Scenario {
+        Scenario {
+            boards: header.boards,
+            slots: header.slots_per_board,
+            reconfig: SimDuration::from_micros(header.reconfig_micros),
+            policy: DispatchPolicy::parse(&header.policy).unwrap_or(DispatchPolicy::CacheAware),
+        }
+    }
+}
+
+/// One parsed sweep axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Fleet sizes to try.
+    Boards(Vec<u64>),
+    /// Per-board slot counts to try.
+    Slots(Vec<u64>),
+    /// CAP latencies to try.
+    Reconfig(Vec<SimDuration>),
+    /// Routing policies to try.
+    Policy(Vec<DispatchPolicy>),
+}
+
+/// Parses an integer spec: `lo..hi`, `lo..hi:step`, or `a,b,c`.
+fn parse_values(name: &str, spec: &str) -> Result<Vec<u64>, String> {
+    if let Some((range, step)) = split_range(spec) {
+        let (lo, hi) = range;
+        let step = step.unwrap_or(1);
+        if step == 0 {
+            return Err(format!("{name}: step must be positive"));
+        }
+        if lo == 0 {
+            return Err(format!("{name}: values must be positive"));
+        }
+        if hi < lo {
+            return Err(format!("{name}: empty range {lo}..{hi}"));
+        }
+        return Ok((lo..=hi).step_by(step as usize).collect());
+    }
+    let values = spec
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{name}: invalid value '{v}'"))
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if values.is_empty() || values.contains(&0) {
+        return Err(format!("{name}: values must be positive"));
+    }
+    Ok(values)
+}
+
+/// Splits `lo..hi[:step]` into its parts, or `None` if not a range.
+fn split_range(spec: &str) -> Option<((u64, u64), Option<u64>)> {
+    let (range, step) = match spec.split_once(':') {
+        Some((range, step)) => (range, Some(step)),
+        None => (spec, None),
+    };
+    let (lo, hi) = range.split_once("..")?;
+    let lo = lo.trim().parse::<u64>().ok()?;
+    let hi = hi.trim().parse::<u64>().ok()?;
+    let step = match step {
+        None => None,
+        Some(s) => Some(s.trim().parse::<u64>().ok()?),
+    };
+    Some(((lo, hi), step))
+}
+
+impl SweepAxis {
+    /// Parses one `name=spec` axis.
+    pub fn parse(spec: &str) -> Result<SweepAxis, String> {
+        let (name, values) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("sweep '{spec}' must be name=spec (e.g. boards=1..32)"))?;
+        match name.trim() {
+            "boards" => Ok(SweepAxis::Boards(parse_values("boards", values)?)),
+            "slots" => Ok(SweepAxis::Slots(parse_values("slots", values)?)),
+            "reconfig-ms" => {
+                let millis = values
+                    .split(',')
+                    .map(|v| {
+                        let parsed: f64 = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("reconfig-ms: invalid value '{v}'"))?;
+                        if !(parsed.is_finite() && parsed >= 0.0) {
+                            return Err(format!("reconfig-ms: '{v}' must be non-negative"));
+                        }
+                        Ok(SimDuration::from_secs_f64(parsed / 1_000.0))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(SweepAxis::Reconfig(millis))
+            }
+            "policy" => {
+                let policies = values
+                    .split(',')
+                    .map(|v| {
+                        DispatchPolicy::parse(v.trim()).ok_or_else(|| {
+                            format!(
+                                "policy: unknown '{}' (expected one of {})",
+                                v.trim(),
+                                DispatchPolicy::ALL
+                                    .iter()
+                                    .map(|p| p.name())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(SweepAxis::Policy(policies))
+            }
+            other => Err(format!(
+                "unknown sweep axis '{other}' (expected boards, slots, reconfig-ms, or policy)"
+            )),
+        }
+    }
+}
+
+/// Expands the cross product of `axes` around `baseline`. Scenario order
+/// is the lexicographic order of the axes as given, so reports are
+/// deterministic.
+pub fn expand_scenarios(
+    baseline: &Scenario,
+    axes: &[SweepAxis],
+) -> Result<Vec<Scenario>, String> {
+    let mut boards = vec![baseline.boards];
+    let mut slots = vec![baseline.slots];
+    let mut reconfigs = vec![baseline.reconfig];
+    let mut policies = vec![baseline.policy];
+    let mut seen = [false; 4];
+    for axis in axes {
+        let slot = match axis {
+            SweepAxis::Boards(v) => {
+                boards = v.clone();
+                0
+            }
+            SweepAxis::Slots(v) => {
+                slots = v.clone();
+                1
+            }
+            SweepAxis::Reconfig(v) => {
+                reconfigs = v.clone();
+                2
+            }
+            SweepAxis::Policy(v) => {
+                policies = v.clone();
+                3
+            }
+        };
+        if seen[slot] {
+            return Err("each sweep axis may be given at most once".to_owned());
+        }
+        seen[slot] = true;
+    }
+    let total = boards.len() * slots.len() * reconfigs.len() * policies.len();
+    if total > MAX_SCENARIOS {
+        return Err(format!(
+            "sweep expands to {total} scenarios (max {MAX_SCENARIOS}); narrow an axis"
+        ));
+    }
+    let mut scenarios = Vec::with_capacity(total);
+    for &policy in &policies {
+        for &reconfig in &reconfigs {
+            for &slot_count in &slots {
+                for &board_count in &boards {
+                    scenarios.push(Scenario {
+                        boards: board_count,
+                        slots: slot_count,
+                        reconfig,
+                        policy,
+                    });
+                }
+            }
+        }
+    }
+    Ok(scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Scenario {
+        Scenario {
+            boards: 4,
+            slots: 3,
+            reconfig: SimDuration::from_millis(80),
+            policy: DispatchPolicy::CacheAware,
+        }
+    }
+
+    #[test]
+    fn ranges_lists_and_steps_parse() {
+        assert_eq!(
+            SweepAxis::parse("boards=1..4").unwrap(),
+            SweepAxis::Boards(vec![1, 2, 3, 4])
+        );
+        assert_eq!(
+            SweepAxis::parse("boards=2..10:4").unwrap(),
+            SweepAxis::Boards(vec![2, 6, 10])
+        );
+        assert_eq!(
+            SweepAxis::parse("slots=2,4,8").unwrap(),
+            SweepAxis::Slots(vec![2, 4, 8])
+        );
+        assert_eq!(
+            SweepAxis::parse("reconfig-ms=40,80").unwrap(),
+            SweepAxis::Reconfig(vec![SimDuration::from_millis(40), SimDuration::from_millis(80)])
+        );
+        assert_eq!(
+            SweepAxis::parse("policy=round-robin,cache-aware").unwrap(),
+            SweepAxis::Policy(vec![DispatchPolicy::RoundRobin, DispatchPolicy::CacheAware])
+        );
+    }
+
+    #[test]
+    fn bad_specs_explain_themselves() {
+        for (spec, needle) in [
+            ("boards", "name=spec"),
+            ("boards=4..1", "empty range"),
+            ("boards=0..4", "positive"),
+            ("boards=1..8:0", "step"),
+            ("boards=x", "invalid value"),
+            ("watts=1..4", "unknown sweep axis"),
+            ("policy=warmest", "unknown"),
+            ("reconfig-ms=fast", "invalid value"),
+        ] {
+            let error = SweepAxis::parse(spec).expect_err(spec);
+            assert!(error.contains(needle), "{spec}: {error}");
+        }
+    }
+
+    #[test]
+    fn cross_product_pins_unswept_axes_to_the_baseline() {
+        let axes = vec![
+            SweepAxis::parse("boards=1..3").unwrap(),
+            SweepAxis::parse("reconfig-ms=40,80").unwrap(),
+        ];
+        let scenarios = expand_scenarios(&base(), &axes).unwrap();
+        assert_eq!(scenarios.len(), 6);
+        assert!(scenarios.iter().all(|s| s.slots == 3));
+        assert!(scenarios.iter().all(|s| s.policy == DispatchPolicy::CacheAware));
+        assert_eq!(scenarios[0].boards, 1);
+        assert_eq!(scenarios[0].reconfig, SimDuration::from_millis(40));
+        assert_eq!(scenarios[5].boards, 3);
+        assert_eq!(scenarios[5].reconfig, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn duplicate_axes_and_oversized_sweeps_are_rejected() {
+        let duplicate = vec![
+            SweepAxis::parse("boards=1..2").unwrap(),
+            SweepAxis::parse("boards=3..4").unwrap(),
+        ];
+        assert!(expand_scenarios(&base(), &duplicate)
+            .unwrap_err()
+            .contains("at most once"));
+        let huge = vec![
+            SweepAxis::parse("boards=1..128").unwrap(),
+            SweepAxis::parse("slots=1..8").unwrap(),
+        ];
+        assert!(expand_scenarios(&base(), &huge).unwrap_err().contains("max 512"));
+    }
+}

@@ -139,6 +139,14 @@ impl ArrivalProcess {
         self.rate_per_sec
     }
 
+    /// Renders the process back to its `kind:rate` CLI spec. The rate
+    /// uses Rust's shortest-round-trip float formatting, so
+    /// `ArrivalProcess::parse(&p.spec())` reconstructs `p` exactly —
+    /// the property recorded traces rely on.
+    pub fn spec(self) -> String {
+        format!("{}:{}", self.kind.name(), self.rate_per_sec)
+    }
+
     /// Returns the same process with its mean rate multiplied by `factor`
     /// — the load knob behind the goodput/SLO-attainment curve sweep.
     ///
@@ -283,6 +291,15 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_round_trips_through_parse() {
+        for spec in ["steady:0.1", "diurnal:2000", "bursty:512.25", "steady:1000"] {
+            let process = ArrivalProcess::parse(spec).unwrap();
+            assert_eq!(ArrivalProcess::parse(&process.spec()).unwrap(), process, "{spec}");
+        }
+        assert_eq!(ArrivalProcess::parse("bursty:2000").unwrap().spec(), "bursty:2000");
+    }
 
     fn mean_gap_secs(process: ArrivalProcess, seed: u64, draws: usize) -> f64 {
         let mut stream = process.stream(seed, 1.0);

@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
 # Bench regression gate: fresh numbers versus the committed baselines —
 # cluster scaling (`results/BENCH_cluster.json`), the engine hot path
-# (`results/BENCH_engine.json`), and front-door ingest
-# (`results/BENCH_faas.json`).
+# (`results/BENCH_engine.json`), front-door ingest
+# (`results/BENCH_faas.json`), and the capacity planner
+# (`results/BENCH_plan.json`).
 #
 # The heavy lifting lives in Rust (`cluster_scale -- --gate`,
-# `engine_hot_path -- --gate`, and `faas_ingest -- --gate`): each
-# re-measures with its baseline's exact workload, prints a per-row delta
-# table, and exits nonzero if any row's events/sec regresses beyond the
-# tolerance. The cluster and faas gates additionally re-verify that every
-# thread count is byte-identical to the sequential oracle. This script only
-# wires them into CI — no JSON parsing happens in shell.
+# `engine_hot_path -- --gate`, `faas_ingest -- --gate`, and
+# `plan_sweep -- --gate`): each re-measures with its baseline's exact
+# workload, prints a per-row delta table, and exits nonzero if any row's
+# events/sec regresses beyond the tolerance. The cluster and faas gates
+# additionally re-verify that every thread count is byte-identical to the
+# sequential oracle, and the plan gate that two full planner passes render
+# byte-identically. This script only wires them into CI — no JSON parsing
+# happens in shell.
 #
 # Environment:
 #   NIMBLOCK_SKIP_BENCH_GATE=1   skip entirely (noisy/shared hosts)
 #   NIMBLOCK_BENCH_TOLERANCE     allowed slowdown, percent [15]
 #   NIMBLOCK_BENCH_REPEATS       passes per measurement, best-of [3]
 #
-# Usage: scripts/bench_gate.sh [cluster-baseline.json [engine-baseline.json [faas-baseline.json]]]
+# Usage: scripts/bench_gate.sh [cluster-baseline.json [engine-baseline.json [faas-baseline.json [plan-baseline.json]]]]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +28,7 @@ cd "$(dirname "$0")/.."
 cluster_baseline="${1:-results/BENCH_cluster.json}"
 engine_baseline="${2:-results/BENCH_engine.json}"
 faas_baseline="${3:-results/BENCH_faas.json}"
+plan_baseline="${4:-results/BENCH_plan.json}"
 tolerance="${NIMBLOCK_BENCH_TOLERANCE:-15}"
 repeats="${NIMBLOCK_BENCH_REPEATS:-3}"
 
@@ -40,7 +44,7 @@ if [ ! -f "$cluster_baseline" ]; then
 fi
 
 cargo build --release --offline -q -p nimblock-bench \
-    --bin cluster_scale --bin engine_hot_path --bin faas_ingest
+    --bin cluster_scale --bin engine_hot_path --bin faas_ingest --bin plan_sweep
 
 fail=0
 if ! ./target/release/cluster_scale \
@@ -72,6 +76,18 @@ if [ -f "$faas_baseline" ]; then
 else
     echo "bench gate: no faas baseline at $faas_baseline (skipping)" >&2
     echo "record one with: cargo run --release --offline -p nimblock-bench --bin faas_ingest" >&2
+fi
+
+if [ -f "$plan_baseline" ]; then
+    if ! ./target/release/plan_sweep \
+        --repeats "$repeats" \
+        --gate "$plan_baseline" \
+        --tolerance "$tolerance"; then
+        fail=1
+    fi
+else
+    echo "bench gate: no plan baseline at $plan_baseline (skipping)" >&2
+    echo "record one with: cargo run --release --offline -p nimblock-bench --bin plan_sweep" >&2
 fi
 
 if [ "$fail" -ne 0 ]; then

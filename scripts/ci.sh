@@ -33,13 +33,19 @@
 #                   invocations exactly (offered = admitted + shed +
 #                   rejected), and fire the shed alert; the SLO attainment
 #                   curve must render in text, md, and json
+#   plan            capacity-planner smoke: record a serving day with
+#                   `faas --record-out`, then `analyze plan` must sweep
+#                   fleet shapes, reproduce the recorded report by exact
+#                   replay byte-for-byte (the CLI exits nonzero on a
+#                   mismatch), and render in text, md, and json
 #   goldens         golden-drift: regenerate goldens, fail if they differ
 #                   from the committed files
 #   engine-diff     fixed-seed differential oracle: legacy heap vs calendar
 #                   event queue must be byte-identical (reports, traces,
 #                   telemetry) across policies, boards, and thread counts
-#   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json
-#                   results/BENCH_engine.json, and results/BENCH_faas.json
+#   bench-gate      scripts/bench_gate.sh versus results/BENCH_cluster.json,
+#                   results/BENCH_engine.json, results/BENCH_faas.json, and
+#                   results/BENCH_plan.json
 #                   (skippable with NIMBLOCK_SKIP_BENCH_GATE=1)
 #
 # Usage:
@@ -52,7 +58,8 @@
 #                        are given on the command line (e.g.
 #                        NIMBLOCK_CI_STAGES=lint,build,faas scripts/ci.sh)
 #
-# Every run writes per-stage wall-clock timing to results/ci_stages.json.
+# Every run writes per-stage wall-clock timing to results/ci_stages.json —
+# a per-run artifact that is gitignored on purpose; never commit it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -62,7 +69,7 @@ export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 # `deep` sits after the test stages so the analyzer and test binaries it
 # reuses are already built; the analysis itself takes well under ten
 # seconds.
-ALL_STAGES=(lint build test workspace-test deep telemetry invariants explain monitor faas goldens engine-diff bench-gate)
+ALL_STAGES=(lint build test workspace-test deep telemetry invariants explain monitor faas plan goldens engine-diff bench-gate)
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -240,6 +247,36 @@ stage_faas() {
     echo "ok: overload shed and conserved; curve renders in text, md, and json"
 }
 
+stage_plan() {
+    # Capacity planning end to end (DESIGN.md §18): record an overloaded
+    # serving day as a compact binary trace, then `analyze plan` must
+    # sweep fleet shapes, validate the recorded baseline by exact replay
+    # (the CLI exits nonzero unless the replay reproduces the embedded
+    # report byte-for-byte), and render in all three formats.
+    ensure_smoke_cli
+    ./target/release/nimblock-cli faas \
+        --arrivals bursty:2000 --invocations 2000 --seed 11 \
+        --shed-horizon-ms 200 --rate-limit 300 --burst 32 \
+        --record-out "$smoke_dir/day.trace" > "$smoke_dir/plan-record.out"
+    grep -q "recorded 2000 invocation(s)" "$smoke_dir/plan-record.out" \
+        || { echo "error: faas --record-out did not record the stream" >&2; return 1; }
+    ./target/release/nimblock-cli analyze plan "$smoke_dir/day.trace" \
+        --sweep boards=1..8 --replays 3 > "$smoke_dir/plan.txt"
+    grep -q "baseline replay byte-identical" "$smoke_dir/plan.txt" \
+        || { echo "error: exact replay did not reproduce the recorded report" >&2; return 1; }
+    grep -q "recommendation" "$smoke_dir/plan.txt" \
+        || { echo "error: text plan lost its recommendation line" >&2; return 1; }
+    ./target/release/nimblock-cli analyze plan "$smoke_dir/day.trace" \
+        --sweep boards=1..8 --replays 3 --format md > "$smoke_dir/plan.md"
+    grep -q "^# Capacity plan" "$smoke_dir/plan.md" \
+        || { echo "error: markdown plan lost its heading" >&2; return 1; }
+    ./target/release/nimblock-cli analyze plan "$smoke_dir/day.trace" \
+        --sweep boards=1..8 --replays 3 --format json > "$smoke_dir/plan.json"
+    grep -q '"replay_check": *"byte-identical"' "$smoke_dir/plan.json" \
+        || { echo "error: JSON plan does not attest the byte-identity check" >&2; return 1; }
+    echo "ok: recorded day replays byte-identically and plans in text, md, and json"
+}
+
 stage_goldens() {
     # Regenerate every golden in place, then require the tree to be clean:
     # a diff means an encoding change landed without its golden refresh.
@@ -254,7 +291,7 @@ stage_goldens() {
     fi
     NIMBLOCK_REGEN_GOLDENS=1 cargo test -q --offline \
         --test golden_roundtrip --test golden_telemetry --test golden_monitor \
-        --test golden_analyze --test golden_faas
+        --test golden_analyze --test golden_faas --test golden_plan
     if ! git diff --exit-code -- tests/goldens; then
         git checkout -- tests/goldens
         echo "error: regenerated goldens differ from the committed files" \
@@ -293,6 +330,7 @@ run_stage() {
         explain) stage_explain ;;
         monitor) stage_monitor ;;
         faas) stage_faas ;;
+        plan) stage_plan ;;
         goldens) stage_goldens ;;
         engine-diff) stage_engine_diff ;;
         bench-gate) stage_bench_gate ;;

@@ -19,7 +19,9 @@
 //! * [`obs`] — observability: metrics registry (Prometheus/JSON), leveled
 //!   logging facade, Chrome trace-event export, ASCII Gantt rendering,
 //! * [`analyze`] — correctness tooling: in-repo source lint and the
-//!   schedule-trace invariant verifier (see `DESIGN.md` §11).
+//!   schedule-trace invariant verifier (see `DESIGN.md` §11),
+//! * [`plan`] — trace-driven capacity planning: what-if SLO forecasting
+//!   from recorded serving traces (see `DESIGN.md` §18).
 //!
 //! # Quickstart
 //!
@@ -53,5 +55,6 @@ pub use nimblock_fpga as fpga;
 pub use nimblock_ilp as ilp;
 pub use nimblock_metrics as metrics;
 pub use nimblock_obs as obs;
+pub use nimblock_plan as plan;
 pub use nimblock_sim as sim;
 pub use nimblock_workload as workload;

@@ -153,3 +153,56 @@ fn serving_reports_are_thread_count_invariant_on_random_configs() {
         Ok(())
     });
 }
+
+/// Record/replay round trip (DESIGN.md §18): on randomized seeds,
+/// arrival processes, fleet shapes, routing policies, and admission
+/// policies, replaying a recorded trace through the configuration
+/// rebuilt from its own header reproduces the live run's report
+/// byte-for-byte — and matches the report embedded in the trace footer.
+#[test]
+fn recorded_traces_replay_byte_identically() {
+    use nimblock::cluster::DispatchPolicy;
+    use nimblock::obs::record::TraceReader;
+    use nimblock::sim::SimTime;
+
+    check("record_replay_byte_identity", |g| {
+        let mut config = arb_config(g);
+        config.tenant_policy = arb_policy(g);
+        config.policy = [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::FewestApps,
+            DispatchPolicy::LeastOutstanding,
+            DispatchPolicy::CacheAware,
+        ][g.usize(0..=3)];
+        config.invocations = g.u64(100..=600);
+        let load = [0.5, 1.0, 4.0][g.usize(0..=2)];
+
+        let door = FrontDoor::new(FunctionRegistry::benchmark_suite(), config);
+        let (live, trace) = door.run_recorded(load);
+        let live_json = nimblock_ser::to_string_pretty(&live);
+
+        let reader = TraceReader::parse(&trace).map_err(|e| format!("trace parses: {e}"))?;
+        prop_assert_eq!(reader.report_json(), Some(live_json.as_str()));
+        let rebuilt = FrontDoorConfig::from_trace_header(reader.header())
+            .map_err(|e| format!("header rebuilds: {e}"))?;
+        prop_assert_eq!(rebuilt, config);
+
+        let offered: Vec<_> = reader
+            .records()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("records decode: {e}"))?
+            .into_iter()
+            .map(|record| nimblock::faas::OfferedInvocation {
+                at: SimTime::from_micros(record.arrival_micros),
+                function: record.function as usize,
+                items: record.items,
+                tenant: record.tenant as usize,
+            })
+            .collect();
+        prop_assert_eq!(offered.len() as u64, config.invocations);
+        let replayed = FrontDoor::new(FunctionRegistry::benchmark_suite(), rebuilt)
+            .replay(reader.header().load_factor, offered.into_iter());
+        prop_assert_eq!(nimblock_ser::to_string_pretty(&replayed), live_json);
+        Ok(())
+    });
+}
